@@ -1,0 +1,29 @@
+//! Ablation — the Brahms history-sample weight γ (self-healing).
+//!
+//! DESIGN.md §5: γ·l1 view slots come from the min-wise sample list and
+//! are what lets nodes recover from targeted poisoning. Sweeping γ under
+//! RAPTEE (t = 10 %, adaptive eviction, f = 20 %) shows the defence's
+//! contribution to converged resilience.
+
+use raptee_bench::{emit, header, Scale};
+use raptee_sim::runner;
+use raptee_util::series::SeriesTable;
+
+fn main() {
+    let scale = Scale::from_env();
+    header("ablation_gamma", "History-sample weight sweep (f = 20%, t = 10%)", &scale);
+    let mut table = SeriesTable::new("gamma(%)");
+    for &gamma in &[0.0, 0.1, 0.2, 0.3, 0.4] {
+        let mut s = scale.scenario();
+        s.byzantine_fraction = 0.20;
+        s.trusted_fraction = 0.10;
+        s.gamma = gamma;
+        let agg = runner::run_repeated(&s, scale.reps);
+        table.insert("Byzantine IDs in views (%)", gamma * 100.0, agg.resilience * 100.0);
+        let mut b = s.brahms_baseline();
+        b.gamma = gamma;
+        let base = runner::run_repeated(&b, scale.reps);
+        table.insert("Brahms baseline (%)", gamma * 100.0, base.resilience * 100.0);
+    }
+    emit("ablation_gamma", "Converged Byzantine share vs gamma", &table);
+}

@@ -1,0 +1,31 @@
+//! Ablation — contribution of trusted communications (the half-view
+//! swap) versus Byzantine eviction alone.
+//!
+//! DESIGN.md §5: RAPTEE has two trusted-node mechanisms. This bench runs
+//! the adaptive configuration with the swap enabled and disabled
+//! (eviction kept) and reports the resilience improvement each achieves
+//! over Brahms.
+
+use raptee_bench::{byzantine_fractions, emit, header, Scale};
+use raptee_sim::runner;
+use raptee_util::series::SeriesTable;
+
+fn main() {
+    let scale = Scale::from_env();
+    header("ablation_swap", "Trusted view-swap on/off (t = 10%)", &scale);
+    let mut table = SeriesTable::new("f(%)");
+    for &f in &byzantine_fractions(&scale) {
+        let mut base = scale.scenario().brahms_baseline();
+        base.byzantine_fraction = f;
+        let baseline = runner::run_repeated(&base, scale.reps);
+        for (label, swap) in [("swap+eviction", true), ("eviction-only", false)] {
+            let mut s = scale.scenario();
+            s.byzantine_fraction = f;
+            s.trusted_fraction = 0.10;
+            s.trusted_swap = swap;
+            let agg = runner::run_repeated(&s, scale.reps);
+            table.insert(label, f * 100.0, runner::resilience_improvement_pct(&baseline, &agg));
+        }
+    }
+    emit("ablation_swap", "Resilience improvement (%)", &table);
+}

@@ -1,0 +1,10 @@
+//! Fig. 10 — Precision, recall and F1-score of trusted-node
+//! identification under 10 % of Byzantine nodes, per eviction rate.
+
+fn main() {
+    raptee_bench::run_identification_figure(
+        "fig10",
+        "Trusted-node identification under 10% Byzantine nodes",
+        0.10,
+    );
+}

@@ -1,0 +1,10 @@
+//! Fig. 11 — Precision, recall and F1-score of trusted-node
+//! identification under 30 % of Byzantine nodes, per eviction rate.
+
+fn main() {
+    raptee_bench::run_identification_figure(
+        "fig11",
+        "Trusted-node identification under 30% Byzantine nodes",
+        0.30,
+    );
+}

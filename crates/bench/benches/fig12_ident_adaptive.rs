@@ -1,0 +1,37 @@
+//! Fig. 12 — Precision, recall and F1-score of trusted-node
+//! identification under the adaptive eviction rate, one series per
+//! Byzantine proportion.
+
+use raptee::EvictionPolicy;
+use raptee_bench::{emit, header, trusted_fractions, Scale};
+use raptee_sim::runner;
+use raptee_util::series::SeriesTable;
+
+fn main() {
+    let scale = Scale::from_env();
+    header(
+        "fig12",
+        "Trusted-node identification under the adaptive eviction rate",
+        &scale,
+    );
+    let mut recall = SeriesTable::new("t(%)");
+    let mut precision = SeriesTable::new("t(%)");
+    let mut f1 = SeriesTable::new("t(%)");
+    for &f in &[0.10, 0.20, 0.30] {
+        for &t in &trusted_fractions() {
+            let mut s = scale.scenario();
+            s.byzantine_fraction = f;
+            s.trusted_fraction = t;
+            s.eviction = EvictionPolicy::adaptive();
+            s.identification_attack = true;
+            let agg = runner::run_repeated(&s, scale.reps);
+            let series = format!("f={}%", (f * 100.0).round());
+            recall.insert(series.clone(), t * 100.0, agg.ident_recall);
+            precision.insert(series.clone(), t * 100.0, agg.ident_precision);
+            f1.insert(series, t * 100.0, agg.ident_f1);
+        }
+    }
+    emit("fig12a", "(a) Identification recall", &recall);
+    emit("fig12b", "(b) Identification precision", &precision);
+    emit("fig12c", "(c) Identification F1-score", &f1);
+}

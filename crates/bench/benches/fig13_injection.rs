@@ -1,0 +1,55 @@
+//! Fig. 13 — Corrupted (view-poisoned) trusted-node injection.
+//!
+//! The adversary deploys genuine SGX nodes bootstrapped inside a
+//! Byzantine-only network (views 100 % poisoned) and releases them into
+//! the real system. One panel per base trusted proportion
+//! t ∈ {1, 10, 30} %; each panel plots the resilience improvement versus
+//! f, with series for the injected proportion {+1, +5, +10, +20, +30} %
+//! and the unattacked baseline.
+
+use raptee_bench::{byzantine_fractions, emit, header, Scale};
+use raptee_sim::runner;
+use raptee_util::series::SeriesTable;
+
+fn main() {
+    let scale = Scale::from_env();
+    header("fig13", "View-poisoned trusted node injection", &scale);
+    let injected = [0.0, 0.01, 0.05, 0.10, 0.20, 0.30];
+    // Reduced grids keep the full-figure run affordable; the paper x
+    // axis (10..30 step 2) is active under RAPTEE_SCALE=paper.
+    let fs = byzantine_fractions(&scale);
+    for &t in &[0.01, 0.10, 0.30] {
+        let mut panel = SeriesTable::new("f(%)");
+        for &f in &fs {
+            let mut base = scale.scenario().brahms_baseline();
+            base.byzantine_fraction = f;
+            let baseline = runner::run_repeated(&base, scale.reps);
+            for &inj in &injected {
+                let mut s = scale.scenario();
+                s.byzantine_fraction = f;
+                s.trusted_fraction = t;
+                s.injected_poisoned_fraction = inj;
+                let agg = runner::run_repeated(&s, scale.reps);
+                let series = if inj == 0.0 {
+                    format!("t={}%", (t * 100.0).round())
+                } else {
+                    format!("+{}%", (inj * 100.0).round())
+                };
+                panel.insert(
+                    series,
+                    f * 100.0,
+                    runner::resilience_improvement_pct(&baseline, &agg),
+                );
+            }
+        }
+        let id = format!("fig13_t{}", (t * 100.0).round());
+        emit(
+            &id,
+            &format!(
+                "Attack on a system with t = {}% (resilience improvement %)",
+                (t * 100.0).round()
+            ),
+            &panel,
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Fig. 3 — Brahms resilience, time to discovery and time to stability
+//! under Byzantine faults.
+//!
+//! The paper's baseline: plain Brahms (α = β = 0.4, γ = 0.2), balanced
+//! push attack plus fully-Byzantine pull answers, sweeping the Byzantine
+//! proportion from 10 % to 30 %. Left panel: percentage of Byzantine IDs
+//! in the views of correct nodes. Right panel: rounds to discovery and to
+//! stability.
+
+use raptee_bench::{byzantine_fractions, emit, header, Scale};
+use raptee_sim::runner;
+use raptee_util::series::SeriesTable;
+
+fn main() {
+    let scale = Scale::from_env();
+    header("fig3", "Brahms baseline under Byzantine faults", &scale);
+    let mut resilience = SeriesTable::new("f(%)");
+    let mut rounds = SeriesTable::new("f(%)");
+    for &f in &byzantine_fractions(&scale) {
+        let mut s = scale.scenario().brahms_baseline();
+        s.byzantine_fraction = f;
+        let agg = runner::run_repeated(&s, scale.reps);
+        resilience.insert("Byzantine IDs (%)", f * 100.0, agg.resilience * 100.0);
+        if let Some(d) = agg.discovery_round {
+            rounds.insert("Discovery", f * 100.0, d);
+        }
+        if let Some(st) = agg.stability_round {
+            rounds.insert("Stability", f * 100.0, st);
+        }
+    }
+    emit("fig3a", "Resilience: Byzantine IDs in correct views (%)", &resilience);
+    emit("fig3b", "Rounds to discovery and stability", &rounds);
+}

@@ -1,0 +1,10 @@
+//! Fig. 5 — RAPTEE resilience improvement and round overheads under a
+//! 0 % eviction rate, versus the Brahms baseline, for t ∈ {1..50} %.
+
+fn main() {
+    raptee_bench::run_resilience_figure(
+        "fig5",
+        "RAPTEE vs Brahms under a 0% eviction rate",
+        raptee::EvictionPolicy::Fixed(0.0),
+    );
+}

@@ -1,0 +1,10 @@
+//! Fig. 6 — RAPTEE resilience improvement and round overheads under a
+//! 40 % eviction rate.
+
+fn main() {
+    raptee_bench::run_resilience_figure(
+        "fig6",
+        "RAPTEE vs Brahms under a 40% eviction rate",
+        raptee::EvictionPolicy::Fixed(0.4),
+    );
+}

@@ -1,0 +1,10 @@
+//! Fig. 7 — RAPTEE resilience improvement and round overheads under a
+//! 60 % eviction rate.
+
+fn main() {
+    raptee_bench::run_resilience_figure(
+        "fig7",
+        "RAPTEE vs Brahms under a 60% eviction rate",
+        raptee::EvictionPolicy::Fixed(0.6),
+    );
+}

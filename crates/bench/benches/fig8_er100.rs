@@ -1,0 +1,10 @@
+//! Fig. 8 — RAPTEE resilience improvement and round overheads under a
+//! 100 % eviction rate (trusted nodes ignore every untrusted pull).
+
+fn main() {
+    raptee_bench::run_resilience_figure(
+        "fig8",
+        "RAPTEE vs Brahms under a 100% eviction rate",
+        raptee::EvictionPolicy::Fixed(1.0),
+    );
+}

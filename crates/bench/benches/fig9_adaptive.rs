@@ -1,0 +1,11 @@
+//! Fig. 9 — RAPTEE resilience improvement and round overheads under the
+//! adaptive eviction-rate policy (20–80 %, linear in the trusted-contact
+//! share).
+
+fn main() {
+    raptee_bench::run_resilience_figure(
+        "fig9",
+        "RAPTEE vs Brahms under the adaptive eviction rate policy",
+        raptee::EvictionPolicy::adaptive(),
+    );
+}

@@ -1,0 +1,487 @@
+//! The Brahms node state machine.
+//!
+//! One protocol round, as driven by the caller:
+//!
+//! ```text
+//! plan = node.plan_round()          // α·l1 push targets, β·l1 pull targets
+//! ... deliver pushes (rate-limited) → receiver.record_push(sender)
+//! ... answer pulls: responder.pull_answer() → requester.record_pulled(ids)
+//! report = node.finish_round()      // defences + view renewal + sampling
+//! ```
+//!
+//! The node never touches a socket: the simulation engine (or RAPTEE's
+//! wrapper) owns delivery, which is what lets RAPTEE interpose mutual
+//! authentication, the trusted swap and Byzantine eviction without
+//! modifying this crate.
+
+use crate::config::BrahmsConfig;
+use raptee_gossip::view::{View, ViewEntry};
+use raptee_net::NodeId;
+use raptee_sampler::SamplerArray;
+use raptee_util::rng::Xoshiro256StarStar;
+
+/// The send targets a node chose for the current round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundPlan {
+    /// Destinations of push messages (the node's own ID is the payload).
+    pub push_targets: Vec<NodeId>,
+    /// Destinations of pull requests.
+    pub pull_targets: Vec<NodeId>,
+}
+
+/// What happened when a round was finalised — exposed for metrics and for
+/// the attack-detection tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundReport {
+    /// Whether the dynamic view was renewed this round.
+    pub view_renewed: bool,
+    /// Number of push messages received.
+    pub pushes_received: usize,
+    /// Number of pulled IDs received (after any caller-side filtering).
+    pub pulled_ids_received: usize,
+    /// `true` when renewal was blocked by the push-flood detector.
+    pub push_flood_detected: bool,
+}
+
+/// A Brahms node: dynamic view + sampling component + per-round buffers.
+///
+/// # Examples
+///
+/// ```
+/// use raptee_brahms::{BrahmsConfig, BrahmsNode};
+/// use raptee_net::NodeId;
+///
+/// let cfg = BrahmsConfig::paper_defaults(10, 10);
+/// let bootstrap: Vec<NodeId> = (1..=10).map(NodeId).collect();
+/// let mut node = BrahmsNode::new(NodeId(0), cfg, &bootstrap, 42);
+/// let plan = node.plan_round();
+/// assert_eq!(plan.push_targets.len(), cfg.alpha_count());
+/// assert_eq!(plan.pull_targets.len(), cfg.beta_count());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BrahmsNode {
+    id: NodeId,
+    config: BrahmsConfig,
+    view: View,
+    sampler: SamplerArray,
+    rng: Xoshiro256StarStar,
+    pushed: Vec<NodeId>,
+    pulled: Vec<NodeId>,
+    rounds: u64,
+    renewals: u64,
+    floods_detected: u64,
+}
+
+impl BrahmsNode {
+    /// Creates a node whose initial view is filled from `bootstrap`
+    /// (paper: "a list containing node IDs and addresses obtained from a
+    /// bootstrap node").
+    pub fn new(id: NodeId, config: BrahmsConfig, bootstrap: &[NodeId], seed: u64) -> Self {
+        config.validate();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut view = View::new(id, config.view_size);
+        for &b in bootstrap {
+            if view.len() == config.view_size {
+                break;
+            }
+            view.insert_fresh(b);
+        }
+        let mut sampler = SamplerArray::new(config.sample_size, &mut rng);
+        // The bootstrap list is the first observed stream.
+        sampler.observe_all(view.ids());
+        Self {
+            id,
+            config,
+            view,
+            sampler,
+            rng,
+            pushed: Vec::new(),
+            pulled: Vec::new(),
+            rounds: 0,
+            renewals: 0,
+            floods_detected: 0,
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The protocol parameters.
+    pub fn config(&self) -> &BrahmsConfig {
+        &self.config
+    }
+
+    /// Read access to the dynamic view `V`.
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+
+    /// Mutable access to the dynamic view — needed by RAPTEE's trusted
+    /// view-swap, which exchanges view halves outside the plain protocol.
+    pub fn view_mut(&mut self) -> &mut View {
+        &mut self.view
+    }
+
+    /// Read access to the sampling component.
+    pub fn sampler(&self) -> &SamplerArray {
+        &self.sampler
+    }
+
+    /// Mutable access to the sampling component (probe validation).
+    pub fn sampler_mut(&mut self) -> &mut SamplerArray {
+        &mut self.sampler
+    }
+
+    /// The node's RNG (shared with wrappers so the whole node stays on
+    /// one deterministic stream).
+    pub fn rng_mut(&mut self) -> &mut Xoshiro256StarStar {
+        &mut self.rng
+    }
+
+    /// Split-borrows the view and the RNG simultaneously — needed by
+    /// RAPTEE's trusted swap, which mutates the view using the node's own
+    /// random stream.
+    pub fn view_and_rng_mut(&mut self) -> (&mut View, &mut Xoshiro256StarStar) {
+        (&mut self.view, &mut self.rng)
+    }
+
+    /// Split-borrows the sampler and the RNG simultaneously — needed by
+    /// the probe-based sampler validation, which re-draws hash functions
+    /// from the node's own random stream.
+    pub fn sampler_and_rng_mut(&mut self) -> (&mut SamplerArray, &mut Xoshiro256StarStar) {
+        (&mut self.sampler, &mut self.rng)
+    }
+
+    /// Rounds finalised so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Rounds in which the view was actually renewed.
+    pub fn renewals(&self) -> u64 {
+        self.renewals
+    }
+
+    /// Rounds in which the push-flood detector fired.
+    pub fn floods_detected(&self) -> u64 {
+        self.floods_detected
+    }
+
+    /// Chooses this round's push and pull targets: `α·l1` and `β·l1`
+    /// uniformly random draws from the view (with replacement, as in the
+    /// original protocol's `rand(V)`).
+    pub fn plan_round(&mut self) -> RoundPlan {
+        let mut plan = RoundPlan {
+            push_targets: Vec::with_capacity(self.config.alpha_count()),
+            pull_targets: Vec::with_capacity(self.config.beta_count()),
+        };
+        if self.view.is_empty() {
+            return plan;
+        }
+        for _ in 0..self.config.alpha_count() {
+            if let Some(e) = self.view.random(&mut self.rng) {
+                plan.push_targets.push(e.id);
+            }
+        }
+        for _ in 0..self.config.beta_count() {
+            if let Some(e) = self.view.random(&mut self.rng) {
+                plan.pull_targets.push(e.id);
+            }
+        }
+        plan
+    }
+
+    /// Records an incoming push (the sender's ID).
+    pub fn record_push(&mut self, sender: NodeId) {
+        if sender != self.id {
+            self.pushed.push(sender);
+        }
+    }
+
+    /// Records the IDs from one pull answer (or, under RAPTEE, the IDs
+    /// surviving eviction, plus the trusted-swap IDs).
+    pub fn record_pulled(&mut self, ids: &[NodeId]) {
+        self.pulled.extend(ids.iter().copied().filter(|&i| i != self.id));
+    }
+
+    /// Answers a pull request: the full current view (paper Section III-A).
+    pub fn pull_answer(&self) -> Vec<NodeId> {
+        self.view.id_vec()
+    }
+
+    /// Number of pushes buffered so far this round (used by wrappers).
+    pub fn pushes_buffered(&self) -> usize {
+        self.pushed.len()
+    }
+
+    /// Finalises the round: runs the attack-blocking rule, renews the
+    /// view from `α·l1` pushed ∪ `β·l1` pulled ∪ `γ·l1` history-sampled
+    /// IDs, and feeds the full (pushed ∪ pulled) stream to the samplers.
+    pub fn finish_round(&mut self) -> RoundReport {
+        let pushes_received = self.pushed.len();
+        let pulled_ids_received = self.pulled.len();
+
+        // Defence (ii): a node receiving more pushes than it expects to
+        // admit is under a targeted flood; block the view update so the
+        // attacker cannot monopolise it. Updates also require both
+        // channels to have produced something, otherwise a starved round
+        // would wipe the view.
+        let push_flood_detected = pushes_received > self.config.effective_flood_threshold();
+        let view_renewed =
+            !push_flood_detected && pushes_received > 0 && pulled_ids_received > 0;
+
+        if view_renewed {
+            let mut next: Vec<ViewEntry> = Vec::with_capacity(self.config.view_size);
+            // Defence (iii): balanced α/β contribution — `rand(α·l1,
+            // pushed) ∪ rand(β·l1, pulled)` exactly as in the original
+            // protocol. The draws are over the raw multisets: an ID that
+            // is over-represented in the stream is proportionally likely
+            // to be drawn (the view itself still stores it only once).
+            // Brahms counters that bias with the sampler, not here.
+            let pushed_pick = self.rng.sample(&self.pushed, self.config.alpha_count());
+            let pulled_pick = self.rng.sample(&self.pulled, self.config.beta_count());
+            // Defence (iv): history sample for self-healing.
+            let history_pick = self.sampler.history_sample(self.config.gamma_count(), &mut self.rng);
+            next.extend(pushed_pick.into_iter().map(ViewEntry::fresh));
+            next.extend(pulled_pick.into_iter().map(ViewEntry::fresh));
+            next.extend(history_pick.into_iter().map(ViewEntry::fresh));
+            self.view.replace_with(next);
+            self.renewals += 1;
+        }
+        if push_flood_detected {
+            self.floods_detected += 1;
+        }
+
+        // The sampling component consumes the *unfiltered* stream in
+        // Brahms; RAPTEE's eviction happens before record_pulled, so from
+        // this node's perspective the stream is whatever was recorded.
+        // Min-wise sampling is invariant under repetition, so the stream
+        // is deduplicated first — a large constant-factor saving, since
+        // pull answers overlap heavily.
+        let mut stream: Vec<NodeId> = self.pushed.drain(..).chain(self.pulled.drain(..)).collect();
+        stream.sort_unstable();
+        stream.dedup();
+        self.sampler.observe_all(stream);
+
+        self.rounds += 1;
+        RoundReport {
+            view_renewed,
+            pushes_received,
+            pulled_ids_received,
+            push_flood_detected,
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(l1: usize) -> BrahmsConfig {
+        BrahmsConfig::paper_defaults(l1, l1)
+    }
+
+    fn ids(range: std::ops::Range<u64>) -> Vec<NodeId> {
+        range.map(NodeId).collect()
+    }
+
+    fn node(l1: usize) -> BrahmsNode {
+        BrahmsNode::new(NodeId(0), cfg(l1), &ids(1..(l1 as u64 + 1)), 7)
+    }
+
+    #[test]
+    fn bootstrap_fills_view_and_sampler() {
+        let n = node(10);
+        assert_eq!(n.view().len(), 10);
+        assert_eq!(n.sampler().samples().len(), 10);
+    }
+
+    #[test]
+    fn plan_counts_match_config() {
+        let mut n = node(10);
+        let plan = n.plan_round();
+        assert_eq!(plan.push_targets.len(), 4); // α=0.4 × 10
+        assert_eq!(plan.pull_targets.len(), 4); // β=0.4 × 10
+        for t in plan.push_targets.iter().chain(&plan.pull_targets) {
+            assert!(n.view().contains(*t));
+        }
+    }
+
+    #[test]
+    fn empty_view_plans_nothing() {
+        let mut n = BrahmsNode::new(NodeId(0), cfg(10), &[], 7);
+        let plan = n.plan_round();
+        assert!(plan.push_targets.is_empty());
+        assert!(plan.pull_targets.is_empty());
+    }
+
+    #[test]
+    fn own_id_filtered_from_events() {
+        let mut n = node(10);
+        n.record_push(NodeId(0));
+        n.record_pulled(&[NodeId(0), NodeId(3)]);
+        assert_eq!(n.pushes_buffered(), 0);
+        let report = n.finish_round();
+        assert_eq!(report.pulled_ids_received, 1);
+    }
+
+    #[test]
+    fn normal_round_renews_view() {
+        let mut n = node(10);
+        for s in 20..24 {
+            n.record_push(NodeId(s));
+        }
+        n.record_pulled(&ids(30..40));
+        let report = n.finish_round();
+        assert!(report.view_renewed);
+        assert!(!report.push_flood_detected);
+        assert_eq!(n.view().len(), 4 + 4 + 2); // α + β + γ counts
+        assert!(n.view().invariants_hold());
+        // The renewed view holds pushed and pulled IDs.
+        assert!(n.view().ids().any(|i| (20..24).contains(&i.0)));
+        assert!(n.view().ids().any(|i| (30..40).contains(&i.0)));
+    }
+
+    #[test]
+    fn push_flood_blocks_renewal() {
+        let mut n = node(10);
+        // α·l1 = 4; deliver 5 pushes → flood.
+        for s in 20..25 {
+            n.record_push(NodeId(s));
+        }
+        n.record_pulled(&ids(30..40));
+        let before = n.view().id_vec();
+        let report = n.finish_round();
+        assert!(report.push_flood_detected);
+        assert!(!report.view_renewed);
+        assert_eq!(n.view().id_vec(), before, "view untouched under flood");
+        assert_eq!(n.floods_detected(), 1);
+    }
+
+    #[test]
+    fn starved_round_keeps_view() {
+        let mut n = node(10);
+        // Pushes but no pulls.
+        n.record_push(NodeId(20));
+        let before = n.view().id_vec();
+        assert!(!n.finish_round().view_renewed);
+        assert_eq!(n.view().id_vec(), before);
+        // Pulls but no pushes.
+        n.record_pulled(&ids(30..35));
+        assert!(!n.finish_round().view_renewed);
+        assert_eq!(n.view().id_vec(), before);
+    }
+
+    #[test]
+    fn sampler_sees_stream_even_when_blocked() {
+        let mut n = node(4);
+        // α·l1 = 2 for l1=4; flood with 3 pushes from new IDs.
+        for s in 100..103 {
+            n.record_push(NodeId(s));
+        }
+        n.finish_round();
+        // Streamed IDs may appear in the samples despite the block.
+        let seen: Vec<u64> = n.sampler().samples().iter().map(|i| i.0).collect();
+        // At minimum, the samplers observed them: feeding again changes nothing.
+        let before = n.sampler().samples();
+        let mut n2 = n.clone();
+        for s in 100..103 {
+            n2.record_push(NodeId(s));
+        }
+        n2.record_pulled(&[NodeId(1)]);
+        n2.finish_round();
+        assert_eq!(n2.sampler().samples(), before, "min-wise samples are stable, {seen:?}");
+    }
+
+    #[test]
+    fn repeated_pushes_do_not_dominate_view() {
+        // One Byzantine ID repeated many times in the push buffer gets at
+        // most one slot in the renewed view.
+        let mut n = node(10);
+        for _ in 0..4 {
+            n.record_push(NodeId(666));
+        }
+        n.record_pulled(&ids(30..40));
+        let report = n.finish_round();
+        assert!(report.view_renewed);
+        let occurrences = n.view().ids().filter(|i| i.0 == 666).count();
+        assert_eq!(occurrences, 1);
+    }
+
+    #[test]
+    fn buffers_clear_between_rounds() {
+        let mut n = node(10);
+        for s in 20..24 {
+            n.record_push(NodeId(s));
+        }
+        n.record_pulled(&ids(30..40));
+        n.finish_round();
+        // Next round with no traffic: starved, no renewal, counters zero.
+        let report = n.finish_round();
+        assert_eq!(report.pushes_received, 0);
+        assert_eq!(report.pulled_ids_received, 0);
+        assert!(!report.view_renewed);
+        assert_eq!(n.rounds(), 2);
+        assert_eq!(n.renewals(), 1);
+    }
+
+    #[test]
+    fn pull_answer_is_full_view() {
+        let n = node(10);
+        let mut answer = n.pull_answer();
+        let mut view_ids = n.view().id_vec();
+        answer.sort_unstable();
+        view_ids.sort_unstable();
+        assert_eq!(answer, view_ids);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let mut n = BrahmsNode::new(NodeId(0), cfg(10), &ids(1..11), 99);
+            for s in 20..24 {
+                n.record_push(NodeId(s));
+            }
+            n.record_pulled(&ids(30..40));
+            n.finish_round();
+            n.view().id_vec()
+        };
+        assert_eq!(mk(), mk());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// After any round, the view respects its invariants and capacity,
+        /// and renewal only happens under the documented conditions.
+        #[test]
+        fn round_preserves_invariants(
+            pushes in proptest::collection::vec(1u64..500, 0..12),
+            pulls in proptest::collection::vec(1u64..500, 0..40),
+            seed in 0u64..1000,
+        ) {
+            let cfg = BrahmsConfig::paper_defaults(10, 10);
+            let bootstrap: Vec<NodeId> = (1..11).map(NodeId).collect();
+            let mut n = BrahmsNode::new(NodeId(0), cfg, &bootstrap, seed);
+            for &p in &pushes {
+                n.record_push(NodeId(p));
+            }
+            n.record_pulled(&pulls.iter().map(|&p| NodeId(p)).collect::<Vec<_>>());
+            let report = n.finish_round();
+            prop_assert!(n.view().invariants_hold());
+            prop_assert!(n.view().len() <= 10);
+            let pushes_kept = pushes.len();
+            let expected_renewal = pushes_kept > 0
+                && pushes_kept <= cfg.alpha_count()
+                && !pulls.is_empty();
+            prop_assert_eq!(report.view_renewed, expected_renewal);
+        }
+    }
+}

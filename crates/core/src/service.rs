@@ -1,0 +1,147 @@
+//! The peer-sampling service facade.
+//!
+//! Upper-layer protocols (dissemination, overlay construction,
+//! aggregation) consume peer sampling through one narrow interface:
+//! "give me a peer that approximates a uniform random draw of the live
+//! membership". [`PeerSamplingService`] is that interface, implemented by
+//! both the Brahms baseline and RAPTEE so applications can swap protocols
+//! without code changes — which is also how the benchmark harness runs
+//! both sides of every comparison.
+
+use crate::node::RapteeNode;
+use raptee_brahms::BrahmsNode;
+use raptee_net::NodeId;
+use raptee_util::rng::Xoshiro256StarStar;
+
+/// A local peer-sampling service endpoint.
+///
+/// # Examples
+///
+/// ```
+/// use raptee::{PeerSamplingService, RapteeConfig, RapteeNode};
+/// use raptee_net::NodeId;
+///
+/// let cfg = RapteeConfig::paper_defaults(8);
+/// let boot: Vec<NodeId> = (1..=8).map(NodeId).collect();
+/// let mut node = RapteeNode::new_untrusted(NodeId(0), cfg, &boot, 1);
+/// let peer = node.next_peer().expect("bootstrap provides peers");
+/// assert!(node.current_view().contains(&peer) || node.current_sample().contains(&peer));
+/// ```
+pub trait PeerSamplingService {
+    /// This endpoint's own identifier.
+    fn local_id(&self) -> NodeId;
+
+    /// The current dynamic view (gossip neighbours).
+    fn current_view(&self) -> Vec<NodeId>;
+
+    /// The current sample list — the service's *uniform* output stream.
+    fn current_sample(&self) -> Vec<NodeId>;
+
+    /// Returns one peer approximating a uniform random member, drawn from
+    /// the sample list (falling back to the view before the samplers have
+    /// observed anything). `None` only when the node knows nobody at all.
+    fn next_peer(&mut self) -> Option<NodeId>;
+}
+
+impl PeerSamplingService for BrahmsNode {
+    fn local_id(&self) -> NodeId {
+        self.id()
+    }
+
+    fn current_view(&self) -> Vec<NodeId> {
+        self.view().id_vec()
+    }
+
+    fn current_sample(&self) -> Vec<NodeId> {
+        self.sampler().samples()
+    }
+
+    fn next_peer(&mut self) -> Option<NodeId> {
+        next_peer_impl(self.sampler().samples(), self.view().id_vec(), self.rng_mut())
+    }
+}
+
+impl PeerSamplingService for RapteeNode {
+    fn local_id(&self) -> NodeId {
+        self.id()
+    }
+
+    fn current_view(&self) -> Vec<NodeId> {
+        self.brahms().view().id_vec()
+    }
+
+    fn current_sample(&self) -> Vec<NodeId> {
+        self.brahms().sampler().samples()
+    }
+
+    fn next_peer(&mut self) -> Option<NodeId> {
+        let samples = self.brahms().sampler().samples();
+        let view = self.brahms().view().id_vec();
+        next_peer_impl(samples, view, self.brahms_mut().rng_mut())
+    }
+}
+
+fn next_peer_impl(
+    samples: Vec<NodeId>,
+    view: Vec<NodeId>,
+    rng: &mut Xoshiro256StarStar,
+) -> Option<NodeId> {
+    let pool = if samples.is_empty() { view } else { samples };
+    if pool.is_empty() {
+        None
+    } else {
+        Some(pool[rng.index(pool.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EvictionPolicy, RapteeConfig};
+    use raptee_brahms::BrahmsConfig;
+
+    fn boot() -> Vec<NodeId> {
+        (1..=8).map(NodeId).collect()
+    }
+
+    #[test]
+    fn brahms_implements_service() {
+        let mut n = BrahmsNode::new(NodeId(0), BrahmsConfig::paper_defaults(8, 8), &boot(), 1);
+        assert_eq!(n.local_id(), NodeId(0));
+        assert_eq!(n.current_view().len(), 8);
+        assert_eq!(n.current_sample().len(), 8);
+        assert!(n.next_peer().is_some());
+    }
+
+    #[test]
+    fn raptee_implements_service() {
+        let cfg = RapteeConfig {
+            brahms: BrahmsConfig::paper_defaults(8, 8),
+            eviction: EvictionPolicy::adaptive(),
+        };
+        let mut n = RapteeNode::new_untrusted(NodeId(0), cfg, &boot(), 1);
+        assert_eq!(n.local_id(), NodeId(0));
+        assert!(n.next_peer().is_some());
+    }
+
+    #[test]
+    fn next_peer_none_when_isolated() {
+        let mut n = BrahmsNode::new(NodeId(0), BrahmsConfig::paper_defaults(8, 8), &[], 1);
+        assert!(n.next_peer().is_none());
+    }
+
+    #[test]
+    fn service_is_object_safe() {
+        let cfg = RapteeConfig {
+            brahms: BrahmsConfig::paper_defaults(8, 8),
+            eviction: EvictionPolicy::adaptive(),
+        };
+        let mut services: Vec<Box<dyn PeerSamplingService>> = vec![
+            Box::new(BrahmsNode::new(NodeId(0), BrahmsConfig::paper_defaults(8, 8), &boot(), 1)),
+            Box::new(RapteeNode::new_untrusted(NodeId(1), cfg, &boot(), 2)),
+        ];
+        for s in &mut services {
+            assert!(s.next_peer().is_some());
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! ChaCha20 stream cipher (RFC 8439).
+//!
+//! Stands in for the AES-CTR symmetric encryption of the paper: all
+//! node-to-node traffic in RAPTEE is symmetrically encrypted to defeat an
+//! eavesdropping adversary. Both AES-CTR and ChaCha20 are length-preserving
+//! stream ciphers, so the substitution changes nothing about message sizes
+//! or the protocol state machine.
+
+/// Key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte ChaCha20 block for (`key`, `counter`, `nonce`).
+pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[0] = 0x6170_7865;
+    state[1] = 0x3320_646e;
+    state[2] = 0x7962_2d32;
+    state[3] = 0x6b20_6574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] =
+            u32::from_le_bytes([nonce[4 * i], nonce[4 * i + 1], nonce[4 * i + 2], nonce[4 * i + 3]]);
+    }
+    let mut working = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Encrypts or decrypts `data` in place (XOR keystream; the operation is an
+/// involution). `initial_counter` is normally `1` per RFC 8439 when a
+/// separate block 0 is reserved for a MAC key, or `0` otherwise.
+pub fn xor_in_place(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], initial_counter: u32, data: &mut [u8]) {
+    for (i, chunk) in data.chunks_mut(64).enumerate() {
+        let ks = block(key, initial_counter.wrapping_add(i as u32), nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+/// Convenience wrapper returning a new ciphertext vector.
+///
+/// # Examples
+///
+/// ```
+/// use raptee_crypto::chacha20::{encrypt, KEY_LEN, NONCE_LEN};
+/// let key = [7u8; KEY_LEN];
+/// let nonce = [1u8; NONCE_LEN];
+/// let ct = encrypt(&key, &nonce, b"attack at dawn");
+/// let pt = encrypt(&key, &nonce, &ct); // XOR cipher: same op decrypts
+/// assert_eq!(pt, b"attack at dawn");
+/// ```
+pub fn encrypt(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], data: &[u8]) -> Vec<u8> {
+    let mut out = data.to_vec();
+    xor_in_place(key, nonce, 1, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.3.2 block-function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let mut key = [0u8; KEY_LEN];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce: [u8; NONCE_LEN] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let out = block(&key, 1, &nonce);
+        let expected_head = [0x10u8, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15];
+        assert_eq!(&out[..8], &expected_head);
+        // Final state word per RFC 8439 §2.3.2 is 0x4e3c50a2, serialized LE.
+        let expected_tail = [0xa2, 0x50, 0x3c, 0x4e];
+        assert_eq!(&out[60..], &expected_tail);
+    }
+
+    /// RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encrypt_vector() {
+        let mut key = [0u8; KEY_LEN];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce: [u8; NONCE_LEN] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let ct = encrypt(&key, &nonce, plaintext);
+        assert_eq!(
+            &ct[..16],
+            &[
+                0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80, 0x41, 0xba, 0x07, 0x28, 0xdd, 0x0d,
+                0x69, 0x81
+            ]
+        );
+        assert_eq!(ct.len(), plaintext.len());
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let key = [0x42u8; KEY_LEN];
+        let nonce = [0x24u8; NONCE_LEN];
+        for len in [0usize, 1, 63, 64, 65, 128, 1000] {
+            let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let ct = encrypt(&key, &nonce, &data);
+            let pt = encrypt(&key, &nonce, &ct);
+            assert_eq!(pt, data, "len {len}");
+            if len > 0 {
+                assert_ne!(ct, data, "ciphertext must differ (len {len})");
+            }
+        }
+    }
+
+    #[test]
+    fn different_nonce_different_stream() {
+        let key = [1u8; KEY_LEN];
+        let a = encrypt(&key, &[0u8; NONCE_LEN], b"same message");
+        let b = encrypt(&key, &[1u8; NONCE_LEN], b"same message");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_key_different_stream() {
+        let nonce = [0u8; NONCE_LEN];
+        let a = encrypt(&[1u8; KEY_LEN], &nonce, b"same message");
+        let b = encrypt(&[2u8; KEY_LEN], &nonce, b"same message");
+        assert_ne!(a, b);
+    }
+}

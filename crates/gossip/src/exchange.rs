@@ -1,0 +1,306 @@
+//! The generic view-exchange algorithm of the framework.
+//!
+//! Jelasity et al. factor every gossip peer-sampling protocol into an
+//! active and a passive thread around three design dimensions:
+//!
+//! * **peer selection** — contact a random view entry, or the *oldest*
+//!   (which yields round-robin probing and fast failure detection);
+//! * **view propagation** — push only, or push–pull;
+//! * **view selection** — governed by `H` (*healer*: prefer dropping the
+//!   oldest links) and `S` (*swapper*: prefer dropping the links just
+//!   sent to the partner).
+//!
+//! The exchange is expressed here as pure functions over [`View`]s so the
+//! same code drives three different callers: the in-process
+//! [`crate::protocols::Population`] driver (tests, metrics), the
+//! message-based trusted view-swap in `raptee`, and the Cyclon/Newscast
+//! baselines.
+
+use crate::view::{View, ViewEntry};
+use raptee_net::NodeId;
+use raptee_util::rng::Xoshiro256StarStar;
+
+/// Which neighbour the active thread contacts each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PeerSelection {
+    /// Uniformly random view entry.
+    Random,
+    /// The entry with the highest age (round-robin probing; RAPTEE's
+    /// choice, criterion (1) in the paper).
+    Oldest,
+}
+
+/// Parameters of one framework instantiation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GossipConfig {
+    /// View size `c`.
+    pub view_size: usize,
+    /// Healer parameter `H`: how many of the oldest items to prefer
+    /// dropping during view selection.
+    pub healer: usize,
+    /// Swapper parameter `S`: how many of the just-sent items to prefer
+    /// dropping during view selection.
+    pub swapper: usize,
+    /// Partner selection policy.
+    pub peer_selection: PeerSelection,
+    /// `true` for push–pull propagation, `false` for push-only.
+    pub pull: bool,
+}
+
+impl GossipConfig {
+    /// Number of entries shipped per message: half the view, with the
+    /// sender itself occupying one slot (criterion (2) of the paper).
+    pub fn exchange_len(&self) -> usize {
+        (self.view_size / 2).max(1)
+    }
+
+    /// Validates the parameter ranges (`H + S` may not exceed the half
+    /// view that can be dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is inconsistent.
+    pub fn validate(&self) {
+        assert!(self.view_size > 0, "view size must be positive");
+        assert!(
+            self.healer <= self.view_size && self.swapper <= self.view_size,
+            "H and S must not exceed the view size"
+        );
+    }
+}
+
+/// Selects the gossip partner for this round according to the policy.
+pub fn select_partner(
+    view: &View,
+    config: &GossipConfig,
+    rng: &mut Xoshiro256StarStar,
+) -> Option<NodeId> {
+    match config.peer_selection {
+        PeerSelection::Random => view.random(rng).map(|e| e.id),
+        PeerSelection::Oldest => view.oldest().map(|e| e.id),
+    }
+}
+
+/// Builds the buffer a node sends to its partner and reorders the local
+/// view so the *sent* entries sit at its head (which is what the `S`
+/// dropping rule in [`integrate`] later refers to).
+///
+/// Framework steps: buffer ← {(self, 0)}; permute view; move `H` oldest
+/// to the end; append the first `exchange_len - 1` entries.
+pub fn prepare_buffer(
+    view: &mut View,
+    config: &GossipConfig,
+    rng: &mut Xoshiro256StarStar,
+) -> Vec<ViewEntry> {
+    let mut buffer = Vec::with_capacity(config.exchange_len());
+    buffer.push(ViewEntry::fresh(view.owner()));
+    view.permute(rng);
+    view.move_oldest_to_end(config.healer.min(view.len()));
+    buffer.extend(view.head(config.exchange_len().saturating_sub(1)));
+    buffer
+}
+
+/// Merges a received buffer into the view (the framework's
+/// `select(c, H, S, buffer)`):
+///
+/// 1. append the buffer, dropping duplicates (keeping the youngest age)
+///    and the owner's own ID;
+/// 2. remove `min(H, len - c)` of the *oldest* entries;
+/// 3. remove `min(S, len - c)` entries from the *head* (the ones just
+///    sent — swap semantics, criterion (3) of the paper);
+/// 4. remove random entries until the view is back at capacity `c`.
+pub fn integrate(
+    view: &mut View,
+    received: &[ViewEntry],
+    config: &GossipConfig,
+    rng: &mut Xoshiro256StarStar,
+) {
+    view.append_dedup(received);
+    let c = config.view_size;
+    view.remove_oldest(config.healer, c);
+    view.remove_head(config.swapper, c);
+    view.shrink_to_capacity(rng);
+}
+
+/// Runs one complete, synchronous push–pull exchange between an initiator
+/// and a responder (helper for in-process drivers and for the trusted
+/// view-swap, where the two parties have already authenticated within the
+/// round). Message-based protocols instead call [`prepare_buffer`] /
+/// [`integrate`] on each side.
+pub fn run_exchange(
+    initiator: &mut View,
+    responder: &mut View,
+    config: &GossipConfig,
+    rng: &mut Xoshiro256StarStar,
+) {
+    let request = prepare_buffer(initiator, config, rng);
+    let reply = if config.pull {
+        prepare_buffer(responder, config, rng)
+    } else {
+        Vec::new()
+    };
+    integrate(responder, &request, config, rng);
+    if config.pull {
+        integrate(initiator, &reply, config, rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> GossipConfig {
+        GossipConfig {
+            view_size: 8,
+            healer: 1,
+            swapper: 3,
+            peer_selection: PeerSelection::Oldest,
+            pull: true,
+        }
+    }
+
+    fn full_view(owner: u64, ids: std::ops::Range<u64>, cap: usize) -> View {
+        let mut v = View::new(NodeId(owner), cap);
+        for i in ids {
+            v.insert_fresh(NodeId(i));
+        }
+        v
+    }
+
+    #[test]
+    fn partner_selection_policies() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let mut v = full_view(0, 1..5, 8);
+        v.increase_age();
+        v.insert_fresh(NodeId(9)); // the only age-0 entry
+        let cfg_old = GossipConfig {
+            peer_selection: PeerSelection::Oldest,
+            ..config()
+        };
+        let p = select_partner(&v, &cfg_old, &mut rng).unwrap();
+        assert_ne!(p, NodeId(9), "oldest selection avoids the fresh entry");
+        let cfg_rand = GossipConfig {
+            peer_selection: PeerSelection::Random,
+            ..config()
+        };
+        assert!(select_partner(&v, &cfg_rand, &mut rng).is_some());
+        let empty = View::new(NodeId(0), 4);
+        assert!(select_partner(&empty, &cfg_rand, &mut rng).is_none());
+    }
+
+    #[test]
+    fn buffer_contains_self_first_and_half_view() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let mut v = full_view(7, 10..20, 10);
+        let cfg = GossipConfig {
+            view_size: 10,
+            ..config()
+        };
+        let buf = prepare_buffer(&mut v, &cfg, &mut rng);
+        assert_eq!(buf.len(), 5, "c/2 entries");
+        assert_eq!(buf[0], ViewEntry::fresh(NodeId(7)), "self link first, age 0");
+        for e in &buf[1..] {
+            assert!(v.contains(e.id));
+        }
+    }
+
+    #[test]
+    fn buffer_excludes_oldest_when_healing() {
+        // With H >= c/2 the oldest entries are moved out of the sent head.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let mut v = View::new(NodeId(0), 8);
+        for i in 1..=8u64 {
+            v.insert(ViewEntry {
+                id: NodeId(i),
+                age: if i <= 4 { 10 } else { 0 },
+            });
+        }
+        let cfg = GossipConfig {
+            view_size: 8,
+            healer: 4,
+            ..config()
+        };
+        let buf = prepare_buffer(&mut v, &cfg, &mut rng);
+        for e in &buf[1..] {
+            assert!(e.age == 0, "aged entries must not be gossiped when H covers them");
+        }
+    }
+
+    #[test]
+    fn integrate_restores_capacity_and_invariants() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        let mut v = full_view(0, 1..9, 8);
+        let incoming: Vec<ViewEntry> = (20..30).map(|i| ViewEntry::fresh(NodeId(i))).collect();
+        integrate(&mut v, &incoming, &config(), &mut rng);
+        assert_eq!(v.len(), 8);
+        assert!(v.invariants_hold());
+    }
+
+    #[test]
+    fn swap_semantics_drop_sent_entries() {
+        // With S = c/2 and a full exchange, the initiator keeps the
+        // partner's entries in place of its own sent ones.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let cfg = GossipConfig {
+            view_size: 8,
+            healer: 0,
+            swapper: 4,
+            peer_selection: PeerSelection::Oldest,
+            pull: true,
+        };
+        let mut a = full_view(0, 1..9, 8);
+        let mut b = full_view(100, 101..109, 8);
+        run_exchange(&mut a, &mut b, &cfg, &mut rng);
+        assert!(a.invariants_hold() && b.invariants_hold());
+        assert_eq!(a.len(), 8);
+        assert_eq!(b.len(), 8);
+        // Each side must now know some of the other's region.
+        assert!(a.ids().any(|id| id.0 >= 100), "initiator learned partner links");
+        assert!(b.ids().any(|id| id.0 < 100), "responder learned initiator links");
+        // The initiator's own ID travelled to the responder.
+        assert!(b.contains(NodeId(0)));
+    }
+
+    #[test]
+    fn push_only_leaves_initiator_unchanged() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(6);
+        let cfg = GossipConfig {
+            pull: false,
+            ..config()
+        };
+        let mut a = full_view(0, 1..9, 8);
+        let before = a.clone();
+        let mut b = full_view(100, 101..109, 8);
+        run_exchange(&mut a, &mut b, &cfg, &mut rng);
+        // Initiator view order may have been permuted by buffer
+        // preparation, but its content is unchanged.
+        let mut ids_before: Vec<_> = before.id_vec();
+        let mut ids_after: Vec<_> = a.id_vec();
+        ids_before.sort_unstable();
+        ids_after.sort_unstable();
+        assert_eq!(ids_before, ids_after);
+        assert!(b.ids().any(|id| id.0 < 100));
+    }
+
+    #[test]
+    fn exchange_len_is_at_least_one() {
+        let cfg = GossipConfig {
+            view_size: 1,
+            healer: 0,
+            swapper: 0,
+            peer_selection: PeerSelection::Random,
+            pull: true,
+        };
+        assert_eq!(cfg.exchange_len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn validate_rejects_oversized_h() {
+        let cfg = GossipConfig {
+            healer: 99,
+            ..config()
+        };
+        cfg.validate();
+    }
+}

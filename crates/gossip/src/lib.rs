@@ -1,0 +1,33 @@
+//! Gossip-based peer sampling — the Jelasity et al. framework.
+//!
+//! RAPTEE's *trusted communications* follow "the instantiation of the
+//! Gossip-based Peer Sampling framework" of Jelasity, Voulgaris,
+//! Guerraoui, Kermarrec & van Steen (TOCS 2007), with the criteria the
+//! paper fixes in Section II:
+//!
+//! 1. partner selection by **age** (probe the entry that has been in the
+//!    view longest — an effective round-robin),
+//! 2. exchange **half of the view**, with the initiator inserting a fresh
+//!    link to itself, and
+//! 3. **swap** semantics: a link sent by the initiator is kept only by the
+//!    partner and vice-versa.
+//!
+//! This crate implements the full generic framework — aged partial views,
+//! the `H` (healer) and `S` (swapper) parameters, peer-selection and
+//! view-propagation policies — plus the classic instantiations the paper
+//! cites as related work ([`protocols::cyclon`], [`protocols::newscast`])
+//! and the overlay-quality metrics used to sanity-check any peer-sampling
+//! service ([`metrics`]: in-degree balance, clustering coefficient,
+//! path lengths, connectivity).
+//!
+//! `raptee` (the core crate) reuses [`View`] and the exchange functions
+//! for the trusted view-swap; `raptee-brahms` reuses [`View`] for its
+//! dynamic view.
+
+pub mod exchange;
+pub mod metrics;
+pub mod protocols;
+pub mod view;
+
+pub use exchange::{GossipConfig, PeerSelection};
+pub use view::{View, ViewEntry};

@@ -1,0 +1,304 @@
+//! Overlay-quality metrics.
+//!
+//! The peer-sampling literature judges a protocol by how close its
+//! who-knows-whom graph is to a random graph of the same out-degree:
+//! balanced in-degrees, low clustering coefficient, small diameter, and
+//! (weak) connectivity. These metrics back the gossip tests, the
+//! `overlay_quality` bench, and the DESIGN.md ablations.
+
+use crate::view::View;
+#[cfg(test)]
+use raptee_net::NodeId;
+use raptee_util::rng::Xoshiro256StarStar;
+use raptee_util::stats::OnlineStats;
+use std::collections::VecDeque;
+
+/// In-degree of every node (number of views it appears in).
+pub fn in_degrees(views: &[View]) -> Vec<usize> {
+    let mut deg = vec![0usize; views.len()];
+    for v in views {
+        for id in v.ids() {
+            if id.index() < deg.len() {
+                deg[id.index()] += 1;
+            }
+        }
+    }
+    deg
+}
+
+/// Summary statistics of the in-degree distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Mean in-degree (equals mean out-degree for full views).
+    pub mean: f64,
+    /// Standard deviation — the balance indicator.
+    pub std_dev: f64,
+    /// Minimum in-degree.
+    pub min: usize,
+    /// Maximum in-degree.
+    pub max: usize,
+}
+
+/// Computes [`DegreeStats`] for a population.
+///
+/// # Panics
+///
+/// Panics when `views` is empty.
+pub fn in_degree_stats(views: &[View]) -> DegreeStats {
+    assert!(!views.is_empty(), "degree stats of empty population");
+    let deg = in_degrees(views);
+    let stats: OnlineStats = deg.iter().map(|&d| d as f64).collect();
+    DegreeStats {
+        mean: stats.mean(),
+        std_dev: stats.population_std_dev(),
+        min: deg.iter().copied().min().unwrap_or(0),
+        max: deg.iter().copied().max().unwrap_or(0),
+    }
+}
+
+/// Average local clustering coefficient over a random sample of
+/// `sample_size` nodes (treating links as undirected, as is conventional
+/// for overlay quality). Lower is better for peer sampling; a random
+/// graph has ≈ c/n.
+pub fn clustering_coefficient(views: &[View], sample_size: usize, seed: u64) -> f64 {
+    let n = views.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    // Undirected adjacency as sorted vectors for binary-search lookups.
+    let mut adj: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for (i, v) in views.iter().enumerate() {
+        for id in v.ids() {
+            if id.index() < n {
+                adj[i].push(id.0);
+                adj[id.index()].push(i as u64);
+            }
+        }
+    }
+    for a in &mut adj {
+        a.sort_unstable();
+        a.dedup();
+    }
+    let indices: Vec<usize> = (0..n).collect();
+    let sample = rng.sample(&indices, sample_size.min(n));
+    let mut acc = 0.0;
+    let mut counted = 0usize;
+    for &i in &sample {
+        let neigh = &adj[i];
+        let k = neigh.len();
+        if k < 2 {
+            continue;
+        }
+        let mut links = 0usize;
+        for (ai, &a) in neigh.iter().enumerate() {
+            for &b in &neigh[ai + 1..] {
+                if adj[a as usize].binary_search(&b).is_ok() {
+                    links += 1;
+                }
+            }
+        }
+        acc += 2.0 * links as f64 / (k * (k - 1)) as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        acc / counted as f64
+    }
+}
+
+/// Average directed shortest-path length from a random sample of source
+/// nodes to all reachable nodes (BFS). Unreachable pairs are skipped.
+pub fn avg_path_length(views: &[View], sources: usize, seed: u64) -> f64 {
+    let n = views.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let indices: Vec<usize> = (0..n).collect();
+    let sample = rng.sample(&indices, sources.min(n));
+    let mut total = 0u64;
+    let mut pairs = 0u64;
+    for &src in &sample {
+        let dist = bfs_distances(views, src);
+        for (i, d) in dist.iter().enumerate() {
+            if i != src {
+                if let Some(d) = d {
+                    total += *d as u64;
+                    pairs += 1;
+                }
+            }
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        total as f64 / pairs as f64
+    }
+}
+
+/// Whether the overlay is weakly connected (connected when link direction
+/// is ignored) — the property whose loss would mean a successful eclipse
+/// or partition.
+pub fn is_weakly_connected(views: &[View]) -> bool {
+    let n = views.len();
+    if n == 0 {
+        return true;
+    }
+    // Undirected adjacency.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, v) in views.iter().enumerate() {
+        for id in v.ids() {
+            if id.index() < n {
+                adj[i].push(id.index());
+                adj[id.index()].push(i);
+            }
+        }
+    }
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::from([0usize]);
+    seen[0] = true;
+    let mut count = 1usize;
+    while let Some(u) = queue.pop_front() {
+        for &w in &adj[u] {
+            if !seen[w] {
+                seen[w] = true;
+                count += 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    count == n
+}
+
+/// BFS over directed view links from `src`; `None` marks unreachable.
+fn bfs_distances(views: &[View], src: usize) -> Vec<Option<u32>> {
+    let n = views.len();
+    let mut dist: Vec<Option<u32>> = vec![None; n];
+    dist[src] = Some(0);
+    let mut queue = VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].expect("queued nodes have distances");
+        for id in views[u].ids() {
+            let w = id.index();
+            if w < n && dist[w].is_none() {
+                dist[w] = Some(du + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::View;
+
+    /// Builds a directed ring: i -> i+1.
+    fn ring(n: usize) -> Vec<View> {
+        (0..n)
+            .map(|i| {
+                let mut v = View::new(NodeId(i as u64), 2);
+                v.insert_fresh(NodeId(((i + 1) % n) as u64));
+                v
+            })
+            .collect()
+    }
+
+    /// Builds a clique over n nodes.
+    fn clique(n: usize) -> Vec<View> {
+        (0..n)
+            .map(|i| {
+                let mut v = View::new(NodeId(i as u64), n);
+                for j in 0..n {
+                    if j != i {
+                        v.insert_fresh(NodeId(j as u64));
+                    }
+                }
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ring_in_degrees_are_all_one() {
+        let views = ring(10);
+        assert_eq!(in_degrees(&views), [1; 10]);
+        let s = in_degree_stats(&views);
+        assert_eq!(s.mean, 1.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!((s.min, s.max), (1, 1));
+    }
+
+    #[test]
+    fn star_in_degrees_are_skewed() {
+        // Everyone points at node 0.
+        let n = 10;
+        let views: Vec<View> = (0..n)
+            .map(|i| {
+                let mut v = View::new(NodeId(i as u64), 2);
+                if i != 0 {
+                    v.insert_fresh(NodeId(0));
+                }
+                v
+            })
+            .collect();
+        let s = in_degree_stats(&views);
+        assert_eq!(s.max, n - 1);
+        assert_eq!(s.min, 0);
+        assert!(s.std_dev > 2.0);
+    }
+
+    #[test]
+    fn clique_clustering_is_one() {
+        let views = clique(8);
+        let cc = clustering_coefficient(&views, 8, 1);
+        assert!((cc - 1.0).abs() < 1e-9, "clique clustering {cc}");
+    }
+
+    #[test]
+    fn ring_clustering_is_zero() {
+        let views = ring(10);
+        let cc = clustering_coefficient(&views, 10, 1);
+        assert_eq!(cc, 0.0);
+    }
+
+    #[test]
+    fn ring_path_lengths() {
+        let views = ring(10);
+        // Directed ring: average distance from any node = (1+..+9)/9 = 5.
+        let apl = avg_path_length(&views, 10, 1);
+        assert!((apl - 5.0).abs() < 1e-9, "apl {apl}");
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        assert!(is_weakly_connected(&ring(10)));
+        // Two disjoint rings.
+        let mut views = ring(10);
+        let island: Vec<View> = (10u64..20)
+            .map(|i| {
+                let mut v = View::new(NodeId(i), 2);
+                v.insert_fresh(NodeId(if i == 19 { 10 } else { i + 1 }));
+                v
+            })
+            .collect();
+        views.extend(island);
+        assert!(!is_weakly_connected(&views));
+    }
+
+    #[test]
+    fn empty_population_edge_cases() {
+        assert!(is_weakly_connected(&[]));
+        assert_eq!(avg_path_length(&[], 5, 1), 0.0);
+        assert_eq!(clustering_coefficient(&[], 5, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn degree_stats_empty_panics() {
+        in_degree_stats(&[]);
+    }
+}

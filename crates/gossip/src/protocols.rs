@@ -1,0 +1,318 @@
+//! Named framework instantiations and an in-process round driver.
+//!
+//! The paper positions RAPTEE's trusted exchange within the lineage of
+//! Cyclon and Newscast, both expressible as points in the (peer
+//! selection, H, S) design space:
+//!
+//! | protocol | selection | H | S |
+//! |---|---|---|---|
+//! | [`cyclon`] | oldest | 0 | c/2 (pure swap) |
+//! | [`newscast`] | random | c/2 (aggressive healing) | 0 |
+//! | [`raptee_trusted`] | oldest | 0 | c/2, initiator self-insertion |
+//!
+//! [`Population`] runs any configuration over an in-process node
+//! population — the harness behind the gossip unit tests, the overlay
+//! metrics and the `overlay_quality` ablation bench.
+
+use crate::exchange::{run_exchange, select_partner, GossipConfig, PeerSelection};
+use crate::view::View;
+use raptee_net::NodeId;
+use raptee_util::rng::Xoshiro256StarStar;
+
+/// Cyclon (Voulgaris, Gavidia & van Steen, 2005): age-based partner
+/// selection with pure swapping — excellent in-degree balance and low
+/// clustering.
+pub fn cyclon(view_size: usize) -> GossipConfig {
+    GossipConfig {
+        view_size,
+        healer: 0,
+        swapper: view_size / 2,
+        peer_selection: PeerSelection::Oldest,
+        pull: true,
+    }
+}
+
+/// Newscast (Tölgyesi & Jelasity, 2009): random selection with aggressive
+/// healing — excellent churn handling at the cost of in-degree balance.
+pub fn newscast(view_size: usize) -> GossipConfig {
+    GossipConfig {
+        view_size,
+        healer: view_size / 2,
+        swapper: 0,
+        peer_selection: PeerSelection::Random,
+        pull: true,
+    }
+}
+
+/// The instantiation RAPTEE uses between trusted nodes (paper Section II):
+/// oldest-first probing, half-view exchange with self-insertion, swap
+/// semantics.
+pub fn raptee_trusted(view_size: usize) -> GossipConfig {
+    GossipConfig {
+        view_size,
+        healer: 0,
+        swapper: view_size / 2,
+        peer_selection: PeerSelection::Oldest,
+        pull: true,
+    }
+}
+
+/// An in-process population of views evolving under one configuration.
+///
+/// # Examples
+///
+/// ```
+/// use raptee_gossip::protocols::{cyclon, Population};
+/// let mut pop = Population::ring(100, cyclon(8), 42);
+/// pop.run_rounds(30);
+/// assert!(pop.views().iter().all(|v| v.invariants_hold()));
+/// ```
+#[derive(Debug)]
+pub struct Population {
+    config: GossipConfig,
+    views: Vec<View>,
+    alive: Vec<bool>,
+    rng: Xoshiro256StarStar,
+    rounds: u64,
+}
+
+impl Population {
+    /// Bootstraps `n` nodes in a directed ring (each node initially knows
+    /// its successors) — the worst-case "thin" bootstrap used to show
+    /// convergence to a random overlay.
+    pub fn ring(n: usize, config: GossipConfig, seed: u64) -> Self {
+        config.validate();
+        let views: Vec<View> = (0..n)
+            .map(|i| {
+                let mut v = View::new(NodeId(i as u64), config.view_size);
+                for k in 1..=config.view_size.min(n.saturating_sub(1)) {
+                    v.insert_fresh(NodeId(((i + k) % n) as u64));
+                }
+                v
+            })
+            .collect();
+        Self {
+            alive: vec![true; views.len()],
+            config,
+            views,
+            rng: Xoshiro256StarStar::seed_from_u64(seed),
+            rounds: 0,
+        }
+    }
+
+    /// Bootstraps `n` nodes with uniformly random initial views — the
+    /// bootstrap the paper uses ("a view composed of a uniform random
+    /// sample of the global membership").
+    pub fn random_bootstrap(n: usize, config: GossipConfig, seed: u64) -> Self {
+        config.validate();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let all: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
+        let views: Vec<View> = (0..n)
+            .map(|i| {
+                let mut v = View::new(NodeId(i as u64), config.view_size);
+                // Sample a bit more than c to survive the owner exclusion.
+                for id in rng.sample(&all, config.view_size + 2) {
+                    if v.len() == config.view_size {
+                        break;
+                    }
+                    v.insert_fresh(id);
+                }
+                v
+            })
+            .collect();
+        Self {
+            alive: vec![true; views.len()],
+            config,
+            views,
+            rng,
+            rounds: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// True when the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// The per-node views.
+    pub fn views(&self) -> &[View] {
+        &self.views
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Runs one synchronous gossip round: every node ages its view, then
+    /// each node (in random activation order) initiates one exchange.
+    pub fn run_round(&mut self) {
+        let n = self.views.len();
+        for v in &mut self.views {
+            v.increase_age();
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        self.rng.shuffle(&mut order);
+        for i in order {
+            if !self.alive[i] {
+                continue;
+            }
+            let partner = {
+                let view = &self.views[i];
+                select_partner(view, &self.config, &mut self.rng)
+            };
+            let Some(partner) = partner else { continue };
+            let p = partner.index();
+            if p == i || p >= n {
+                continue;
+            }
+            if !self.alive[p] {
+                // Timeout semantics (as in Cyclon): an unresponsive
+                // neighbour is dropped from the view.
+                self.views[i].remove(partner);
+                continue;
+            }
+            // Split-borrow the two views.
+            let (a, b) = if i < p {
+                let (lo, hi) = self.views.split_at_mut(p);
+                (&mut lo[i], &mut hi[0])
+            } else {
+                let (lo, hi) = self.views.split_at_mut(i);
+                (&mut hi[0], &mut lo[p])
+            };
+            run_exchange(a, b, &self.config, &mut self.rng);
+        }
+        self.rounds += 1;
+    }
+
+    /// Runs `k` rounds.
+    pub fn run_rounds(&mut self, k: usize) {
+        for _ in 0..k {
+            self.run_round();
+        }
+    }
+
+    /// Simulates the crash of `node`: its view is emptied and it stops
+    /// initiating; other nodes keep (stale) links to it until healing
+    /// removes them. Returns the fraction of views still containing the
+    /// node, for use in healing tests.
+    pub fn crash(&mut self, node: NodeId) -> f64 {
+        self.alive[node.index()] = false;
+        self.views[node.index()].replace_with(std::iter::empty());
+        self.referencing_fraction(node)
+    }
+
+    /// Whether `node` is alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.index()]
+    }
+
+    /// Fraction of live views containing `node`.
+    pub fn referencing_fraction(&self, node: NodeId) -> f64 {
+        let refs = self
+            .views
+            .iter()
+            .enumerate()
+            .filter(|(i, v)| *i != node.index() && v.contains(node))
+            .count();
+        refs as f64 / (self.views.len() - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn configs_are_valid() {
+        cyclon(16).validate();
+        newscast(16).validate();
+        raptee_trusted(16).validate();
+        assert_eq!(raptee_trusted(16).swapper, 8);
+        assert_eq!(raptee_trusted(16).peer_selection, PeerSelection::Oldest);
+    }
+
+    #[test]
+    fn ring_converges_to_connected_low_diameter_overlay() {
+        let mut pop = Population::ring(200, cyclon(10), 7);
+        pop.run_rounds(40);
+        assert!(metrics::is_weakly_connected(pop.views()));
+        let apl = metrics::avg_path_length(pop.views(), 20, 77);
+        // Random graph with out-degree 10 over 200 nodes: APL ≈ ln(200)/ln(10) ≈ 2.3.
+        assert!(apl < 4.0, "average path length {apl}");
+    }
+
+    #[test]
+    fn cyclon_balances_in_degree_better_than_newscast() {
+        let n = 300;
+        let rounds = 60;
+        let mut cy = Population::random_bootstrap(n, cyclon(10), 1);
+        let mut nc = Population::random_bootstrap(n, newscast(10), 1);
+        cy.run_rounds(rounds);
+        nc.run_rounds(rounds);
+        let sd_cy = metrics::in_degree_stats(cy.views()).std_dev;
+        let sd_nc = metrics::in_degree_stats(nc.views()).std_dev;
+        assert!(
+            sd_cy < sd_nc,
+            "cyclon in-degree sd {sd_cy} should beat newscast {sd_nc}"
+        );
+    }
+
+    #[test]
+    fn views_remain_full_and_valid() {
+        let mut pop = Population::random_bootstrap(150, raptee_trusted(12), 3);
+        pop.run_rounds(25);
+        for v in pop.views() {
+            assert_eq!(v.len(), 12);
+            assert!(v.invariants_hold());
+        }
+    }
+
+    #[test]
+    fn healing_removes_crashed_node() {
+        let mut pop = Population::random_bootstrap(200, newscast(10), 5);
+        pop.run_rounds(20);
+        let victim = NodeId(17);
+        let before = pop.crash(victim);
+        assert!(before > 0.0, "node must be referenced before the crash");
+        pop.run_rounds(40);
+        let after = pop.referencing_fraction(victim);
+        assert!(
+            after < before / 4.0,
+            "healing should purge the dead node: before {before}, after {after}"
+        );
+    }
+
+    #[test]
+    fn dissemination_speed_full_discovery() {
+        // A single node's ID must spread: after enough rounds, a fresh
+        // joiner appears in many views (the dissemination property RAPTEE
+        // exploits for trusted IDs).
+        let mut pop = Population::ring(100, cyclon(8), 11);
+        pop.run_rounds(30);
+        let coverage = pop.referencing_fraction(NodeId(0));
+        assert!(coverage > 0.04, "node 0 should reach ≥ c/n coverage, got {coverage}");
+    }
+
+    #[test]
+    fn rounds_counter() {
+        let mut pop = Population::ring(10, cyclon(4), 1);
+        assert_eq!(pop.rounds(), 0);
+        pop.run_rounds(3);
+        assert_eq!(pop.rounds(), 3);
+    }
+
+    #[test]
+    fn random_bootstrap_views_are_full() {
+        let pop = Population::random_bootstrap(50, cyclon(8), 2);
+        for v in pop.views() {
+            assert_eq!(v.len(), 8);
+        }
+    }
+}

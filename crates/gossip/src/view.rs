@@ -1,0 +1,523 @@
+//! Aged partial views.
+//!
+//! A [`View`] is the local, partial knowledge a node has of the global
+//! membership: a bounded list of (node ID, age) entries. Ages drive the
+//! framework's healing (drop stale links) and partner selection
+//! (round-robin by oldest). The view maintains two invariants at all
+//! times: no duplicate IDs, and never the owner's own ID.
+
+use raptee_net::NodeId;
+use raptee_util::rng::Xoshiro256StarStar;
+
+/// One view entry: a known peer and how many rounds it has been known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ViewEntry {
+    /// The peer's identifier.
+    pub id: NodeId,
+    /// Rounds since this link was created (0 = fresh).
+    pub age: u32,
+}
+
+impl ViewEntry {
+    /// A fresh (age-0) entry.
+    pub fn fresh(id: NodeId) -> Self {
+        Self { id, age: 0 }
+    }
+}
+
+/// A bounded, aged partial view owned by one node.
+///
+/// # Examples
+///
+/// ```
+/// use raptee_gossip::view::View;
+/// use raptee_net::NodeId;
+///
+/// let mut v = View::new(NodeId(0), 4);
+/// v.insert_fresh(NodeId(1));
+/// v.insert_fresh(NodeId(2));
+/// assert_eq!(v.len(), 2);
+/// assert!(v.contains(NodeId(1)));
+/// assert!(!v.contains(NodeId(0)), "own ID is never stored");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct View {
+    owner: NodeId,
+    capacity: usize,
+    entries: Vec<ViewEntry>,
+}
+
+impl View {
+    /// Creates an empty view for `owner` with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(owner: NodeId, capacity: usize) -> Self {
+        assert!(capacity > 0, "view capacity must be positive");
+        Self {
+            owner,
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The view owner (whose ID is excluded from the entries).
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries, in current (order-significant) sequence.
+    pub fn entries(&self) -> &[ViewEntry] {
+        &self.entries
+    }
+
+    /// Iterator over the IDs in the view.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.entries.iter().map(|e| e.id)
+    }
+
+    /// Collects the IDs into a vector (convenience for message building).
+    pub fn id_vec(&self) -> Vec<NodeId> {
+        self.ids().collect()
+    }
+
+    /// Whether `id` is present.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.entries.iter().any(|e| e.id == id)
+    }
+
+    /// Inserts a fresh (age-0) entry if `id` is neither the owner nor a
+    /// duplicate and capacity remains. Returns `true` on insertion.
+    pub fn insert_fresh(&mut self, id: NodeId) -> bool {
+        self.insert(ViewEntry::fresh(id))
+    }
+
+    /// Inserts an entry under the same rules as [`View::insert_fresh`]; a
+    /// duplicate ID keeps the *younger* age of the two.
+    pub fn insert(&mut self, entry: ViewEntry) -> bool {
+        if entry.id == self.owner {
+            return false;
+        }
+        if let Some(existing) = self.entries.iter_mut().find(|e| e.id == entry.id) {
+            if entry.age < existing.age {
+                existing.age = entry.age;
+            }
+            return false;
+        }
+        if self.entries.len() >= self.capacity {
+            return false;
+        }
+        self.entries.push(entry);
+        true
+    }
+
+    /// Inserts `entry`, evicting the oldest entry if the view is full
+    /// (used by protocols with unconditional admission like Newscast).
+    pub fn insert_replacing_oldest(&mut self, entry: ViewEntry) {
+        if entry.id == self.owner {
+            return;
+        }
+        if let Some(existing) = self.entries.iter_mut().find(|e| e.id == entry.id) {
+            if entry.age < existing.age {
+                existing.age = entry.age;
+            }
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some(oldest) = self.oldest_index() {
+                self.entries.swap_remove(oldest);
+            }
+        }
+        self.entries.push(entry);
+    }
+
+    /// Increments every entry's age by one round.
+    pub fn increase_age(&mut self) {
+        for e in &mut self.entries {
+            e.age = e.age.saturating_add(1);
+        }
+    }
+
+    /// The entry that has been in the view the longest (ties broken by
+    /// position), or `None` when empty.
+    pub fn oldest(&self) -> Option<ViewEntry> {
+        self.oldest_index().map(|i| self.entries[i])
+    }
+
+    fn oldest_index(&self) -> Option<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| e.age)
+            .map(|(i, _)| i)
+    }
+
+    /// Removes and returns the entry for `id`, if present.
+    pub fn remove(&mut self, id: NodeId) -> Option<ViewEntry> {
+        let pos = self.entries.iter().position(|e| e.id == id)?;
+        Some(self.entries.remove(pos))
+    }
+
+    /// Uniformly permutes the entry order.
+    pub fn permute(&mut self, rng: &mut Xoshiro256StarStar) {
+        rng.shuffle(&mut self.entries);
+    }
+
+    /// Moves the `h` oldest entries (by age) to the end of the view,
+    /// preserving the relative order of the others — step "move oldest H
+    /// items to the end" of the framework's active/passive threads.
+    pub fn move_oldest_to_end(&mut self, h: usize) {
+        if h == 0 || self.entries.is_empty() {
+            return;
+        }
+        let h = h.min(self.entries.len());
+        // Select the h oldest indices.
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.entries[i].age));
+        let mut oldest: Vec<usize> = order.into_iter().take(h).collect();
+        oldest.sort_unstable();
+        let mut tail: Vec<ViewEntry> = Vec::with_capacity(h);
+        for &i in oldest.iter().rev() {
+            tail.push(self.entries.remove(i));
+        }
+        tail.reverse();
+        self.entries.extend(tail);
+    }
+
+    /// The first `n` entries in current order (the "head" the framework
+    /// sends to the partner).
+    pub fn head(&self, n: usize) -> Vec<ViewEntry> {
+        self.entries.iter().take(n).copied().collect()
+    }
+
+    /// Appends entries without enforcing capacity (used mid-exchange; the
+    /// follow-up [`View::shrink_to_capacity`] pipeline restores it).
+    /// Duplicates keep the youngest age; the owner ID is still excluded.
+    pub fn append_dedup(&mut self, incoming: &[ViewEntry]) {
+        for &e in incoming {
+            if e.id == self.owner {
+                continue;
+            }
+            if let Some(existing) = self.entries.iter_mut().find(|x| x.id == e.id) {
+                if e.age < existing.age {
+                    existing.age = e.age;
+                }
+            } else {
+                self.entries.push(e);
+            }
+        }
+    }
+
+    /// Removes up to `n` of the oldest entries, but never shrinks below
+    /// `floor` entries. Returns how many were removed.
+    pub fn remove_oldest(&mut self, n: usize, floor: usize) -> usize {
+        let removable = self.entries.len().saturating_sub(floor).min(n);
+        for _ in 0..removable {
+            if let Some(i) = self.oldest_index() {
+                self.entries.remove(i);
+            }
+        }
+        removable
+    }
+
+    /// Removes up to `n` entries from the head, but never below `floor`.
+    /// Returns how many were removed.
+    pub fn remove_head(&mut self, n: usize, floor: usize) -> usize {
+        let removable = self.entries.len().saturating_sub(floor).min(n);
+        self.entries.drain(..removable);
+        removable
+    }
+
+    /// Removes random entries until `len() <= capacity`.
+    pub fn shrink_to_capacity(&mut self, rng: &mut Xoshiro256StarStar) {
+        while self.entries.len() > self.capacity {
+            let i = rng.index(self.entries.len());
+            self.entries.swap_remove(i);
+        }
+    }
+
+    /// Replaces the content with `entries` (applying owner/duplicate
+    /// rules), used when renewing the dynamic view in Brahms.
+    pub fn replace_with(&mut self, entries: impl IntoIterator<Item = ViewEntry>) {
+        self.entries.clear();
+        for e in entries {
+            self.insert(e);
+        }
+    }
+
+    /// Selects a uniformly random entry.
+    pub fn random(&self, rng: &mut Xoshiro256StarStar) -> Option<ViewEntry> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self.entries[rng.index(self.entries.len())])
+        }
+    }
+
+    /// Draws `k` distinct random entries.
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar, k: usize) -> Vec<ViewEntry> {
+        rng.sample(&self.entries, k)
+    }
+
+    /// Keeps only the entries satisfying the predicate; returns how many
+    /// were removed.
+    pub fn retain<F: FnMut(&ViewEntry) -> bool>(&mut self, mut pred: F) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| pred(e));
+        before - self.entries.len()
+    }
+
+    /// Checks the two structural invariants (unique IDs, no owner entry);
+    /// used by tests and debug assertions.
+    pub fn invariants_hold(&self) -> bool {
+        if self.entries.iter().any(|e| e.id == self.owner) {
+            return false;
+        }
+        let mut ids: Vec<NodeId> = self.ids().collect();
+        ids.sort_unstable();
+        ids.windows(2).all(|w| w[0] != w[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view_with(owner: u64, cap: usize, ids: &[u64]) -> View {
+        let mut v = View::new(NodeId(owner), cap);
+        for &i in ids {
+            v.insert_fresh(NodeId(i));
+        }
+        v
+    }
+
+    #[test]
+    fn rejects_owner_and_duplicates() {
+        let mut v = View::new(NodeId(0), 4);
+        assert!(!v.insert_fresh(NodeId(0)), "own ID rejected");
+        assert!(v.insert_fresh(NodeId(1)));
+        assert!(!v.insert_fresh(NodeId(1)), "duplicate rejected");
+        assert_eq!(v.len(), 1);
+        assert!(v.invariants_hold());
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_younger_age() {
+        let mut v = View::new(NodeId(0), 4);
+        v.insert(ViewEntry { id: NodeId(1), age: 5 });
+        v.insert(ViewEntry { id: NodeId(1), age: 2 });
+        assert_eq!(v.entries()[0].age, 2);
+        v.insert(ViewEntry { id: NodeId(1), age: 9 });
+        assert_eq!(v.entries()[0].age, 2, "older duplicate must not regress age");
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut v = view_with(0, 2, &[1, 2]);
+        assert!(!v.insert_fresh(NodeId(3)));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn replace_oldest_evicts_by_age() {
+        let mut v = View::new(NodeId(0), 2);
+        v.insert(ViewEntry { id: NodeId(1), age: 9 });
+        v.insert(ViewEntry { id: NodeId(2), age: 1 });
+        v.insert_replacing_oldest(ViewEntry::fresh(NodeId(3)));
+        assert!(!v.contains(NodeId(1)), "oldest evicted");
+        assert!(v.contains(NodeId(2)) && v.contains(NodeId(3)));
+    }
+
+    #[test]
+    fn aging_and_oldest() {
+        let mut v = view_with(0, 4, &[1, 2]);
+        v.increase_age();
+        v.insert_fresh(NodeId(3));
+        let oldest = v.oldest().unwrap();
+        assert_eq!(oldest.age, 1);
+        assert!(oldest.id == NodeId(1) || oldest.id == NodeId(2));
+    }
+
+    #[test]
+    fn move_oldest_to_end_preserves_content() {
+        let mut v = View::new(NodeId(0), 8);
+        for (i, age) in [(1u64, 3u32), (2, 7), (3, 1), (4, 7), (5, 0)] {
+            v.insert(ViewEntry { id: NodeId(i), age });
+        }
+        v.move_oldest_to_end(2);
+        assert_eq!(v.len(), 5);
+        // The two age-7 entries must occupy the last two slots.
+        let tail: Vec<u32> = v.entries()[3..].iter().map(|e| e.age).collect();
+        assert_eq!(tail, vec![7, 7]);
+        // Relative order of the others preserved: 1 (age3), 3 (age1), 5 (age0).
+        let head: Vec<u64> = v.entries()[..3].iter().map(|e| e.id.0).collect();
+        assert_eq!(head, vec![1, 3, 5]);
+        assert!(v.invariants_hold());
+    }
+
+    #[test]
+    fn move_oldest_handles_degenerate_inputs() {
+        let mut v = view_with(0, 4, &[1, 2]);
+        v.move_oldest_to_end(0);
+        assert_eq!(v.len(), 2);
+        v.move_oldest_to_end(99); // more than len
+        assert_eq!(v.len(), 2);
+        let mut empty = View::new(NodeId(0), 4);
+        empty.move_oldest_to_end(3);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn append_dedup_respects_owner_and_duplicates() {
+        let mut v = view_with(0, 2, &[1]);
+        v.append_dedup(&[
+            ViewEntry::fresh(NodeId(0)), // owner: skipped
+            ViewEntry { id: NodeId(1), age: 0 },
+            ViewEntry::fresh(NodeId(2)),
+            ViewEntry::fresh(NodeId(3)),
+        ]);
+        assert_eq!(v.len(), 3, "append may exceed capacity temporarily");
+        assert!(!v.contains(NodeId(0)));
+        assert!(v.invariants_hold());
+    }
+
+    #[test]
+    fn remove_oldest_respects_floor() {
+        let mut v = View::new(NodeId(0), 8);
+        for i in 1..=4 {
+            v.insert(ViewEntry { id: NodeId(i), age: i as u32 });
+        }
+        let removed = v.remove_oldest(10, 3);
+        assert_eq!(removed, 1);
+        assert_eq!(v.len(), 3);
+        assert!(!v.contains(NodeId(4)), "the oldest (age 4) went first");
+    }
+
+    #[test]
+    fn remove_head_respects_floor() {
+        let mut v = view_with(0, 8, &[1, 2, 3, 4]);
+        let removed = v.remove_head(3, 2);
+        assert_eq!(removed, 2);
+        assert_eq!(v.id_vec(), vec![NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn shrink_to_capacity() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let mut v = View::new(NodeId(0), 3);
+        v.append_dedup(&(1..=10).map(|i| ViewEntry::fresh(NodeId(i))).collect::<Vec<_>>());
+        assert_eq!(v.len(), 10);
+        v.shrink_to_capacity(&mut rng);
+        assert_eq!(v.len(), 3);
+        assert!(v.invariants_hold());
+    }
+
+    #[test]
+    fn replace_with_applies_rules() {
+        let mut v = View::new(NodeId(0), 3);
+        v.insert_fresh(NodeId(9));
+        v.replace_with([
+            ViewEntry::fresh(NodeId(0)),
+            ViewEntry::fresh(NodeId(1)),
+            ViewEntry::fresh(NodeId(1)),
+            ViewEntry::fresh(NodeId(2)),
+        ]);
+        assert_eq!(v.len(), 2);
+        assert!(!v.contains(NodeId(9)));
+        assert!(v.invariants_hold());
+    }
+
+    #[test]
+    fn random_and_sample() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let v = view_with(0, 8, &[1, 2, 3, 4, 5]);
+        assert!(v.random(&mut rng).is_some());
+        let s = v.sample(&mut rng, 3);
+        assert_eq!(s.len(), 3);
+        let empty = View::new(NodeId(0), 2);
+        assert!(empty.random(&mut rng).is_none());
+        assert!(empty.sample(&mut rng, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        View::new(NodeId(0), 0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any sequence of inserts preserves the structural invariants.
+        #[test]
+        fn inserts_preserve_invariants(ids in proptest::collection::vec(0u64..50, 0..100)) {
+            let mut v = View::new(NodeId(7), 10);
+            for id in ids {
+                v.insert_fresh(NodeId(id));
+                prop_assert!(v.invariants_hold());
+                prop_assert!(v.len() <= v.capacity());
+            }
+        }
+
+        /// append_dedup + shrink restores capacity and invariants.
+        #[test]
+        fn exchange_pipeline_preserves_invariants(
+            base in proptest::collection::vec(0u64..50, 0..10),
+            incoming in proptest::collection::vec((0u64..50, 0u32..20), 0..30),
+            seed in 0u64..1000,
+        ) {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+            let mut v = View::new(NodeId(7), 8);
+            for id in base {
+                v.insert_fresh(NodeId(id));
+            }
+            let entries: Vec<ViewEntry> = incoming
+                .into_iter()
+                .map(|(id, age)| ViewEntry { id: NodeId(id), age })
+                .collect();
+            v.append_dedup(&entries);
+            prop_assert!(v.invariants_hold());
+            v.shrink_to_capacity(&mut rng);
+            prop_assert!(v.len() <= 8);
+            prop_assert!(v.invariants_hold());
+        }
+
+        /// move_oldest_to_end never changes the multiset of entries.
+        #[test]
+        fn move_oldest_is_a_permutation(
+            items in proptest::collection::vec((0u64..100, 0u32..50), 0..20),
+            h in 0usize..25,
+        ) {
+            let mut v = View::new(NodeId(200), 32);
+            for (id, age) in items {
+                v.insert(ViewEntry { id: NodeId(id), age });
+            }
+            let mut before: Vec<_> = v.entries().to_vec();
+            v.move_oldest_to_end(h);
+            let mut after: Vec<_> = v.entries().to_vec();
+            before.sort_by_key(|e| e.id);
+            after.sort_by_key(|e| e.id);
+            prop_assert_eq!(before, after);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Node identifiers.
+//!
+//! In the paper "each node is identified by a unique ID, chosen when the
+//! node becomes active for the first time". The simulation uses dense
+//! integer IDs so that node roles (honest / Byzantine / trusted) can be
+//! assigned by index ranges and views can be stored compactly.
+
+/// The unique identifier of a node.
+///
+/// `NodeId` is a transport-level address: it says nothing about the node's
+/// role. Role assignment lives in the simulation layer so the protocol
+/// code cannot accidentally "cheat" by inspecting an ID.
+///
+/// # Examples
+///
+/// ```
+/// use raptee_net::NodeId;
+/// let a = NodeId(3);
+/// assert_eq!(a.index(), 3);
+/// assert_eq!(format!("{a}"), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// The ID as a dense index (for role tables and adjacency vectors).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Stable little-endian byte encoding (for hashing and channel
+    /// key-derivation contexts).
+    pub fn to_bytes(self) -> [u8; 8] {
+        self.0.to_le_bytes()
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(v: u64) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u64 {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let id = NodeId::from(42u64);
+        assert_eq!(u64::from(id), 42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_bytes(), 42u64.to_le_bytes());
+    }
+
+    #[test]
+    fn ordering_follows_integer() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(5), NodeId(5));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", NodeId(17)), "n17");
+    }
+}

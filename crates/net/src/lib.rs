@@ -1,0 +1,34 @@
+//! Simulated round-based network substrate.
+//!
+//! The paper evaluates RAPTEE on Grid'5000 with 10,000 OS processes
+//! speaking TCP; every reported metric, however, is counted in protocol
+//! *rounds* (2.5 s each), not wall-clock time. This crate provides the
+//! deterministic, round-based message fabric the simulation runs on:
+//!
+//! * [`id`] — [`id::NodeId`], the transport address of a simulated node.
+//! * [`network`] — [`network::Network`], a generic router with per-node
+//!   inboxes, optional message loss, per-kind traffic accounting and an
+//!   adversary *tap* modelling the paper's (explicitly excluded, but
+//!   testable) global eavesdropper.
+//! * [`rate`] — [`rate::PushRateLimiter`], the "limited pushes" defence
+//!   Brahms assumes (computational puzzles / virtual currency): it caps
+//!   how many pushes any identity can emit per round, which bounds the
+//!   adversary's total push volume.
+//! * [`channel`] — [`channel::SecureChannel`], symmetric encryption of
+//!   node-to-node traffic (paper Section III-B: "communications between
+//!   any two nodes, including trusted ones, are cyphered with symmetric
+//!   encryption").
+//!
+//! The network is generic over the payload type `M`, so the protocol
+//! crates (`raptee-brahms`, `raptee`) define their own message enums and
+//! this crate stays protocol-agnostic.
+
+pub mod channel;
+pub mod id;
+pub mod network;
+pub mod rate;
+
+pub use channel::SecureChannel;
+pub use id::NodeId;
+pub use network::{Envelope, MessageMeter, Network, TrafficTap};
+pub use rate::PushRateLimiter;

@@ -1,0 +1,356 @@
+//! Generic round-based message router.
+//!
+//! [`Network`] moves typed messages between per-node inboxes. It is
+//! synchronous in the gossip sense: the simulation engine drives phases
+//! (send pushes → deliver → send pulls → deliver → ...), and the network
+//! guarantees deterministic delivery order for a fixed seed.
+//!
+//! Two cross-cutting concerns live here rather than in protocol code:
+//!
+//! * **Loss** — an optional uniform drop probability, used by the failure
+//!   injection tests (gossip must survive lossy links).
+//! * **Observation** — a [`TrafficTap`] records (from, to, kind) triples.
+//!   The paper *assumes* the adversary cannot eavesdrop arbitrary links
+//!   (Section III-B); the tap lets tests verify what such an adversary
+//!   could or could not learn (e.g. that trusted handshakes are
+//!   shape-identical to untrusted ones).
+
+use crate::id::NodeId;
+use raptee_util::rng::Xoshiro256StarStar;
+
+/// A message in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sender address.
+    pub from: NodeId,
+    /// Destination address.
+    pub to: NodeId,
+    /// Protocol payload.
+    pub payload: M,
+}
+
+/// Sizing/classification hook implemented by protocol message enums so the
+/// network can account traffic per kind without knowing the protocol.
+pub trait MessageMeter {
+    /// A short, static label for the message kind ("push", "pull-req", ...).
+    fn kind(&self) -> &'static str;
+    /// Approximate wire size in bytes (after encryption; stream ciphers
+    /// are length-preserving so plaintext size is wire size plus a
+    /// constant header).
+    fn size_bytes(&self) -> usize;
+}
+
+/// Record of one observed delivery, as seen by a passive global observer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TapRecord {
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Message kind label.
+    pub kind: &'static str,
+    /// Observed size in bytes.
+    pub size: usize,
+}
+
+/// A passive wire observer (the eavesdropping adversary of the threat-model
+/// discussion). Collects [`TapRecord`]s; contents are *not* visible, which
+/// mirrors the fact that all traffic is encrypted.
+#[derive(Debug, Default, Clone)]
+pub struct TrafficTap {
+    records: Vec<TapRecord>,
+}
+
+impl TrafficTap {
+    /// Creates an empty tap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All records captured so far.
+    pub fn records(&self) -> &[TapRecord] {
+        &self.records
+    }
+
+    /// Drops captured records (e.g. between rounds).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+/// Per-kind traffic counters.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TrafficTotals {
+    /// (kind, message count, byte count) triples in first-seen order.
+    entries: Vec<(&'static str, u64, u64)>,
+}
+
+impl TrafficTotals {
+    fn add(&mut self, kind: &'static str, bytes: usize) {
+        for e in &mut self.entries {
+            if e.0 == kind {
+                e.1 += 1;
+                e.2 += bytes as u64;
+                return;
+            }
+        }
+        self.entries.push((kind, 1, bytes as u64));
+    }
+
+    /// Message count for a kind (0 if never seen).
+    pub fn count(&self, kind: &str) -> u64 {
+        self.entries.iter().find(|e| e.0 == kind).map_or(0, |e| e.1)
+    }
+
+    /// Byte count for a kind (0 if never seen).
+    pub fn bytes(&self, kind: &str) -> u64 {
+        self.entries.iter().find(|e| e.0 == kind).map_or(0, |e| e.2)
+    }
+
+    /// Total messages across kinds.
+    pub fn total_messages(&self) -> u64 {
+        self.entries.iter().map(|e| e.1).sum()
+    }
+
+    /// Iterates `(kind, count, bytes)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64, u64)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+/// The simulated network fabric.
+///
+/// # Examples
+///
+/// ```
+/// use raptee_net::{Network, NodeId, MessageMeter};
+///
+/// #[derive(Debug, Clone)]
+/// struct Ping;
+/// impl MessageMeter for Ping {
+///     fn kind(&self) -> &'static str { "ping" }
+///     fn size_bytes(&self) -> usize { 8 }
+/// }
+///
+/// let mut net: Network<Ping> = Network::new(4, 99);
+/// net.send(NodeId(0), NodeId(3), Ping);
+/// let inbox = net.take_inbox(NodeId(3));
+/// assert_eq!(inbox.len(), 1);
+/// assert_eq!(net.totals().count("ping"), 1);
+/// ```
+#[derive(Debug)]
+pub struct Network<M> {
+    inboxes: Vec<Vec<Envelope<M>>>,
+    rng: Xoshiro256StarStar,
+    drop_probability: f64,
+    totals: TrafficTotals,
+    dropped: u64,
+    tap: Option<TrafficTap>,
+}
+
+impl<M: MessageMeter> Network<M> {
+    /// Creates a lossless network connecting `n` nodes, seeded for
+    /// deterministic loss decisions.
+    pub fn new(n: usize, seed: u64) -> Self {
+        Self {
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            rng: Xoshiro256StarStar::seed_from_u64(seed),
+            drop_probability: 0.0,
+            totals: TrafficTotals::default(),
+            dropped: 0,
+            tap: None,
+        }
+    }
+
+    /// Number of attached nodes.
+    pub fn len(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    /// True when the network has no attached nodes.
+    pub fn is_empty(&self) -> bool {
+        self.inboxes.is_empty()
+    }
+
+    /// Sets a uniform message-loss probability in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability.
+    pub fn set_drop_probability(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "drop probability must be in [0,1]");
+        self.drop_probability = p;
+    }
+
+    /// Installs a passive observer; see [`TrafficTap`].
+    pub fn install_tap(&mut self) {
+        self.tap = Some(TrafficTap::new());
+    }
+
+    /// Access to the installed tap, if any.
+    pub fn tap(&self) -> Option<&TrafficTap> {
+        self.tap.as_ref()
+    }
+
+    /// Clears the tap's captured records.
+    pub fn clear_tap(&mut self) {
+        if let Some(t) = &mut self.tap {
+            t.clear();
+        }
+    }
+
+    /// Sends `payload` from `from` to `to`. The message is accounted, may
+    /// be dropped by the loss policy, and otherwise lands in `to`'s inbox.
+    /// Returns `true` when delivered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a valid node index for this network.
+    pub fn send(&mut self, from: NodeId, to: NodeId, payload: M) -> bool {
+        assert!(to.index() < self.inboxes.len(), "destination {to} out of range");
+        let kind = payload.kind();
+        let size = payload.size_bytes();
+        self.totals.add(kind, size);
+        if self.drop_probability > 0.0 && self.rng.chance(self.drop_probability) {
+            self.dropped += 1;
+            return false;
+        }
+        if let Some(t) = &mut self.tap {
+            t.records.push(TapRecord {
+                from,
+                to,
+                kind,
+                size,
+            });
+        }
+        self.inboxes[to.index()].push(Envelope { from, to, payload });
+        true
+    }
+
+    /// Removes and returns the inbox of `node` (delivery order = send
+    /// order, which keeps the simulation deterministic).
+    pub fn take_inbox(&mut self, node: NodeId) -> Vec<Envelope<M>> {
+        std::mem::take(&mut self.inboxes[node.index()])
+    }
+
+    /// Peeks at the pending messages of `node` without removing them.
+    pub fn inbox(&self, node: NodeId) -> &[Envelope<M>] {
+        &self.inboxes[node.index()]
+    }
+
+    /// Per-kind traffic totals (counts attempted sends, including dropped
+    /// messages — the sender pays for the bytes either way).
+    pub fn totals(&self) -> &TrafficTotals {
+        &self.totals
+    }
+
+    /// Number of messages dropped by the loss policy.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Msg {
+        Small,
+        Big,
+    }
+    impl MessageMeter for Msg {
+        fn kind(&self) -> &'static str {
+            match self {
+                Msg::Small => "small",
+                Msg::Big => "big",
+            }
+        }
+        fn size_bytes(&self) -> usize {
+            match self {
+                Msg::Small => 16,
+                Msg::Big => 1600,
+            }
+        }
+    }
+
+    #[test]
+    fn send_and_take() {
+        let mut net: Network<Msg> = Network::new(3, 1);
+        net.send(NodeId(0), NodeId(2), Msg::Small);
+        net.send(NodeId(1), NodeId(2), Msg::Big);
+        assert_eq!(net.inbox(NodeId(2)).len(), 2);
+        let inbox = net.take_inbox(NodeId(2));
+        assert_eq!(inbox[0].from, NodeId(0));
+        assert_eq!(inbox[1].payload, Msg::Big);
+        assert!(net.inbox(NodeId(2)).is_empty(), "take drains the inbox");
+    }
+
+    #[test]
+    fn totals_account_per_kind() {
+        let mut net: Network<Msg> = Network::new(2, 1);
+        net.send(NodeId(0), NodeId(1), Msg::Small);
+        net.send(NodeId(0), NodeId(1), Msg::Small);
+        net.send(NodeId(0), NodeId(1), Msg::Big);
+        assert_eq!(net.totals().count("small"), 2);
+        assert_eq!(net.totals().bytes("small"), 32);
+        assert_eq!(net.totals().count("big"), 1);
+        assert_eq!(net.totals().total_messages(), 3);
+        assert_eq!(net.totals().count("absent"), 0);
+    }
+
+    #[test]
+    fn loss_drops_roughly_the_right_fraction() {
+        let mut net: Network<Msg> = Network::new(2, 42);
+        net.set_drop_probability(0.3);
+        let mut delivered = 0;
+        for _ in 0..10_000 {
+            if net.send(NodeId(0), NodeId(1), Msg::Small) {
+                delivered += 1;
+            }
+        }
+        let rate = delivered as f64 / 10_000.0;
+        assert!((rate - 0.7).abs() < 0.02, "delivery rate {rate}");
+        assert_eq!(net.dropped() + delivered, 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_drop_probability_panics() {
+        let mut net: Network<Msg> = Network::new(1, 1);
+        net.set_drop_probability(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_destination_panics() {
+        let mut net: Network<Msg> = Network::new(1, 1);
+        net.send(NodeId(0), NodeId(9), Msg::Small);
+    }
+
+    #[test]
+    fn tap_sees_shapes_not_content() {
+        let mut net: Network<Msg> = Network::new(2, 1);
+        net.install_tap();
+        net.send(NodeId(0), NodeId(1), Msg::Big);
+        let recs = net.tap().unwrap().records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].kind, "big");
+        assert_eq!(recs[0].size, 1600);
+        net.clear_tap();
+        assert!(net.tap().unwrap().records().is_empty());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = |seed| {
+            let mut net: Network<Msg> = Network::new(2, seed);
+            net.set_drop_probability(0.5);
+            (0..100)
+                .map(|_| net.send(NodeId(0), NodeId(1), Msg::Small))
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

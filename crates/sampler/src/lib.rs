@@ -1,0 +1,393 @@
+//! The Brahms sampling component.
+//!
+//! Brahms maintains, next to its gossip-fed dynamic view, a *sample list*
+//! `S` of `l2` entries that converges to a uniform random sample of all
+//! IDs ever streamed through the node — regardless of how biased the
+//! stream is. The trick is min-wise independent permutations (Broder et
+//! al., JCSS 2000): each [`Sampler`] draws a random hash function at
+//! initialisation and remembers the ID with the smallest hash seen so
+//! far. Because the hash is fixed *before* the stream arrives, every
+//! distinct ID has the same chance of being the minimum, no matter how
+//! often the adversary repeats its own IDs — over-representation in the
+//! stream buys the adversary nothing.
+//!
+//! The sample list's *history sample* is what lets Brahms self-heal from
+//! targeted attacks (defence (iv) in the paper), and RAPTEE additionally
+//! protects it at trusted nodes by filtering what enters the stream
+//! (Byzantine eviction).
+//!
+//! [`SamplerArray`] packages `l2` independent samplers with the probe
+//! based *validation* of the original Brahms paper: sampled nodes are
+//! periodically pinged and a dead sample causes its sampler to re-draw a
+//! fresh hash function, so departed nodes eventually leave `S`.
+
+use raptee_net::NodeId;
+use raptee_util::rng::{mix64, Xoshiro256StarStar};
+
+/// A single min-wise sampler: remembers the streamed ID minimising a
+/// randomly drawn hash function.
+///
+/// # Examples
+///
+/// ```
+/// use raptee_sampler::Sampler;
+/// use raptee_net::NodeId;
+///
+/// let mut s = Sampler::new(7);
+/// s.observe(NodeId(1));
+/// s.observe(NodeId(2));
+/// let first = s.sample().unwrap();
+/// // Feeding the same IDs again cannot change the sample.
+/// s.observe(NodeId(1));
+/// s.observe(NodeId(2));
+/// assert_eq!(s.sample(), Some(first));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sampler {
+    seed: u64,
+    best_hash: u64,
+    sample: Option<NodeId>,
+}
+
+impl Sampler {
+    /// Creates a sampler with a hash function drawn from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            best_hash: u64::MAX,
+            sample: None,
+        }
+    }
+
+    /// The keyed hash `h_seed(id)` — a SplitMix64-finalizer construction
+    /// approximating a min-wise independent family.
+    #[inline]
+    pub fn hash(&self, id: NodeId) -> u64 {
+        mix64(self.seed ^ mix64(id.0.wrapping_add(0x9E37_79B9_7F4A_7C15)))
+    }
+
+    /// Feeds one ID through the sampler.
+    pub fn observe(&mut self, id: NodeId) {
+        let h = self.hash(id);
+        if h < self.best_hash {
+            self.best_hash = h;
+            self.sample = Some(id);
+        }
+    }
+
+    /// The current sample, if any ID was observed.
+    pub fn sample(&self) -> Option<NodeId> {
+        self.sample
+    }
+
+    /// Re-initialises with a fresh hash function, forgetting the current
+    /// sample (Brahms' reaction to a failed validation probe).
+    pub fn reinit(&mut self, new_seed: u64) {
+        *self = Sampler::new(new_seed);
+    }
+}
+
+/// The full sampling component: `l2` independent samplers.
+///
+/// # Examples
+///
+/// ```
+/// use raptee_sampler::SamplerArray;
+/// use raptee_net::NodeId;
+/// use raptee_util::rng::Xoshiro256StarStar;
+///
+/// let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+/// let mut s = SamplerArray::new(16, &mut rng);
+/// for i in 0..100 {
+///     s.observe(NodeId(i));
+/// }
+/// assert_eq!(s.samples().len(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SamplerArray {
+    samplers: Vec<Sampler>,
+}
+
+impl SamplerArray {
+    /// Creates `l2` samplers with independent hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l2` is zero.
+    pub fn new(l2: usize, rng: &mut Xoshiro256StarStar) -> Self {
+        assert!(l2 > 0, "sampler array needs at least one sampler");
+        Self {
+            samplers: (0..l2).map(|_| Sampler::new(rng.next_u64())).collect(),
+        }
+    }
+
+    /// Number of samplers (`l2`).
+    pub fn len(&self) -> usize {
+        self.samplers.len()
+    }
+
+    /// True when the array holds no samplers (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.samplers.is_empty()
+    }
+
+    /// Feeds one ID to every sampler.
+    pub fn observe(&mut self, id: NodeId) {
+        for s in &mut self.samplers {
+            s.observe(id);
+        }
+    }
+
+    /// Feeds a batch of IDs.
+    pub fn observe_all<I: IntoIterator<Item = NodeId>>(&mut self, ids: I) {
+        for id in ids {
+            self.observe(id);
+        }
+    }
+
+    /// The current sample list (one entry per sampler that has observed at
+    /// least one ID). May contain duplicates across samplers — Brahms uses
+    /// it as a multiset.
+    pub fn samples(&self) -> Vec<NodeId> {
+        self.samplers.iter().filter_map(Sampler::sample).collect()
+    }
+
+    /// Draws `k` entries uniformly from the sample list — the "history
+    /// sample" feeding `γ·l1` entries of the view renewal.
+    pub fn history_sample(&self, k: usize, rng: &mut Xoshiro256StarStar) -> Vec<NodeId> {
+        let current = self.samples();
+        if current.is_empty() {
+            return Vec::new();
+        }
+        (0..k).map(|_| current[rng.index(current.len())]).collect()
+    }
+
+    /// Brahms validation: probes each current sample with `is_alive` and
+    /// re-initialises the samplers whose sampled node is dead. Returns how
+    /// many samplers were reset.
+    pub fn validate<F: FnMut(NodeId) -> bool>(
+        &mut self,
+        mut is_alive: F,
+        rng: &mut Xoshiro256StarStar,
+    ) -> usize {
+        let mut reset = 0;
+        for s in &mut self.samplers {
+            if let Some(id) = s.sample() {
+                if !is_alive(id) {
+                    s.reinit(rng.next_u64());
+                    reset += 1;
+                }
+            }
+        }
+        reset
+    }
+
+    /// Fraction of samplers currently holding an ID for which `pred` is
+    /// true — used by the experiment metrics (e.g. "how Byzantine is the
+    /// sample list").
+    pub fn fraction_matching<F: Fn(NodeId) -> bool>(&self, pred: F) -> f64 {
+        let samples = self.samples();
+        if samples.is_empty() {
+            return 0.0;
+        }
+        samples.iter().filter(|&&id| pred(id)).count() as f64 / samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_keeps_minimum() {
+        let s0 = Sampler::new(42);
+        // Find the argmin by brute force and check observe() agrees for
+        // every prefix order.
+        let ids: Vec<NodeId> = (0..50).map(NodeId).collect();
+        let argmin = *ids.iter().min_by_key(|id| s0.hash(**id)).unwrap();
+        let mut s = s0;
+        for &id in &ids {
+            s.observe(id);
+        }
+        assert_eq!(s.sample(), Some(argmin));
+    }
+
+    #[test]
+    fn sampler_empty_is_none() {
+        assert_eq!(Sampler::new(1).sample(), None);
+    }
+
+    #[test]
+    fn repetition_does_not_bias() {
+        // Adversary floods its ID a million times; an honest ID with a
+        // smaller hash still wins.
+        let s0 = Sampler::new(7);
+        let honest = NodeId(1);
+        let byz = NodeId(2);
+        let (winner, loser) = if s0.hash(honest) < s0.hash(byz) {
+            (honest, byz)
+        } else {
+            (byz, honest)
+        };
+        let mut s = s0;
+        for _ in 0..1000 {
+            s.observe(loser);
+        }
+        s.observe(winner);
+        for _ in 0..1000 {
+            s.observe(loser);
+        }
+        assert_eq!(s.sample(), Some(winner));
+    }
+
+    #[test]
+    fn reinit_forgets() {
+        let mut s = Sampler::new(1);
+        s.observe(NodeId(5));
+        s.reinit(2);
+        assert_eq!(s.sample(), None);
+    }
+
+    #[test]
+    fn array_basic_flow() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let mut arr = SamplerArray::new(8, &mut rng);
+        assert_eq!(arr.len(), 8);
+        assert!(arr.samples().is_empty());
+        arr.observe_all((0..20).map(NodeId));
+        assert_eq!(arr.samples().len(), 8);
+    }
+
+    #[test]
+    fn history_sample_draws_from_samples() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let mut arr = SamplerArray::new(8, &mut rng);
+        arr.observe_all((0..20).map(NodeId));
+        let hs = arr.history_sample(5, &mut rng);
+        assert_eq!(hs.len(), 5);
+        let samples = arr.samples();
+        assert!(hs.iter().all(|id| samples.contains(id)));
+        // Empty array case.
+        let empty = SamplerArray::new(4, &mut rng);
+        assert!(empty.history_sample(5, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn validation_resets_dead_samples() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+        let mut arr = SamplerArray::new(32, &mut rng);
+        arr.observe_all((0..100).map(NodeId));
+        // Declare even IDs dead.
+        let reset = arr.validate(|id| id.0 % 2 == 1, &mut rng);
+        assert!(reset > 0, "some samples must have been even");
+        // After re-observing only odd IDs, all samples are odd.
+        arr.observe_all((0..100).filter(|i| i % 2 == 1).map(NodeId));
+        assert!(arr.samples().iter().all(|id| id.0 % 2 == 1));
+        assert_eq!(arr.samples().len(), 32);
+    }
+
+    #[test]
+    fn fraction_matching() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let mut arr = SamplerArray::new(64, &mut rng);
+        arr.observe_all((0..1000).map(NodeId));
+        let frac = arr.fraction_matching(|id| id.0 < 500);
+        assert!(frac > 0.3 && frac < 0.7, "roughly half: {frac}");
+        let none = SamplerArray::new(4, &mut rng);
+        assert_eq!(none.fraction_matching(|_| true), 0.0);
+    }
+
+    #[test]
+    fn samples_are_uniform_chi_square() {
+        // The headline Brahms property: across many independent samplers,
+        // the sampled ID is uniform over the distinct stream content, even
+        // when the stream itself is heavily biased.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+        let universe = 50u64;
+        let mut counts = vec![0u64; universe as usize];
+        for _ in 0..200 {
+            let mut arr = SamplerArray::new(50, &mut rng);
+            // Biased stream: ID 0 appears 100x more often.
+            for _ in 0..100 {
+                arr.observe(NodeId(0));
+            }
+            arr.observe_all((0..universe).map(NodeId));
+            for id in arr.samples() {
+                counts[id.index()] += 1;
+            }
+        }
+        let test = raptee_util::chi::chi_square_uniform(&counts);
+        assert!(
+            test.is_uniform(),
+            "sample distribution not uniform: chi2 {} vs critical {}",
+            test.statistic,
+            test.critical_1pct
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_samplers_panics() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        SamplerArray::new(0, &mut rng);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Stream order never affects the final sample.
+        #[test]
+        fn order_invariance(
+            mut ids in proptest::collection::vec(0u64..1000, 1..100),
+            seed in 0u64..10_000,
+        ) {
+            let mut forward = Sampler::new(seed);
+            for &id in &ids {
+                forward.observe(NodeId(id));
+            }
+            ids.reverse();
+            let mut backward = Sampler::new(seed);
+            for &id in &ids {
+                backward.observe(NodeId(id));
+            }
+            prop_assert_eq!(forward.sample(), backward.sample());
+        }
+
+        /// The sample is always an element of the stream.
+        #[test]
+        fn sample_from_stream(
+            ids in proptest::collection::vec(0u64..1000, 1..100),
+            seed in 0u64..10_000,
+        ) {
+            let mut s = Sampler::new(seed);
+            for &id in &ids {
+                s.observe(NodeId(id));
+            }
+            let sample = s.sample().unwrap();
+            prop_assert!(ids.contains(&sample.0));
+        }
+
+        /// Observing more IDs can only change the sample to a smaller hash.
+        #[test]
+        fn monotone_in_hash(
+            first in proptest::collection::vec(0u64..1000, 1..50),
+            second in proptest::collection::vec(0u64..1000, 1..50),
+            seed in 0u64..10_000,
+        ) {
+            let mut s = Sampler::new(seed);
+            for &id in &first {
+                s.observe(NodeId(id));
+            }
+            let h1 = s.hash(s.sample().unwrap());
+            for &id in &second {
+                s.observe(NodeId(id));
+            }
+            let h2 = s.hash(s.sample().unwrap());
+            prop_assert!(h2 <= h1);
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! The adversary of Section III-B, plus its two RAPTEE-specific attacks.
+//!
+//! One coordinator controls all Byzantine nodes. Its baseline strategy —
+//! proved optimal for Brahms in the original paper — is:
+//!
+//! * **balanced pushes**: spend the collective (rate-limited) push budget
+//!   `B·α·l1` spread as evenly as possible over the correct nodes, each
+//!   push advertising a Byzantine ID;
+//! * **poisoned pull answers**: answer every pull request with a view
+//!   that "contains exclusively Byzantine IDs".
+//!
+//! Against RAPTEE it can additionally run:
+//!
+//! * the **trusted-node identification** classifier (Section VI-A):
+//!   Byzantine nodes pull non-Byzantine nodes, measure the Byzantine
+//!   share of each answer, and flag nodes whose share sits more than a
+//!   threshold *below* the population average — the statistical shadow
+//!   cast by Byzantine eviction;
+//! * **view-poisoned trusted-node injection** (Section VI-B), set up by
+//!   the engine: genuine enclaves bootstrapped inside a Byzantine-only
+//!   network so their initial views are fully poisoned.
+
+use raptee_net::NodeId;
+use raptee_util::rng::Xoshiro256StarStar;
+
+/// The adversary's classification of one node, with bookkeeping for
+/// precision/recall.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Observation {
+    /// Most recently observed Byzantine share in the node's pull answer.
+    byz_share: f64,
+}
+
+/// The coordinator of all Byzantine nodes.
+#[derive(Debug, Clone)]
+pub struct Adversary {
+    byzantine_ids: Vec<NodeId>,
+    /// View-poisoned trusted nodes the adversary has injected
+    /// (Section VI-B). They are advertised *sparsely* — one slot of an
+    /// occasional pull answer — just enough for the system to discover
+    /// and contact them; flooding them into every answer would dilute
+    /// the Byzantine poisoning pressure and work against the adversary.
+    injected: Vec<NodeId>,
+    view_size: usize,
+    rng: Xoshiro256StarStar,
+    /// Latest observation per (non-Byzantine) node index; `None` = never
+    /// pulled.
+    observations: Vec<Option<Observation>>,
+}
+
+impl Adversary {
+    /// Creates the adversary controlling `byzantine_ids`, in a system of
+    /// `total_actors` nodes whose views have `view_size` entries.
+    pub fn new(
+        byzantine_ids: Vec<NodeId>,
+        total_actors: usize,
+        view_size: usize,
+        seed: u64,
+    ) -> Self {
+        Self {
+            injected: Vec::new(),
+            byzantine_ids,
+            view_size,
+            rng: Xoshiro256StarStar::seed_from_u64(seed),
+            observations: vec![None; total_actors],
+        }
+    }
+
+    /// Registers injected view-poisoned trusted nodes for sparse
+    /// advertisement so the system discovers them.
+    pub fn advertise_injected(&mut self, injected: impl IntoIterator<Item = NodeId>) {
+        self.injected.extend(injected);
+    }
+
+    /// Number of Byzantine identities.
+    pub fn count(&self) -> usize {
+        self.byzantine_ids.len()
+    }
+
+    /// The Byzantine identities.
+    pub fn ids(&self) -> &[NodeId] {
+        &self.byzantine_ids
+    }
+
+    /// Plans this round's balanced push attack: returns
+    /// `(victim, advertised Byzantine ID)` pairs. `budget` is the
+    /// adversary's lawful total (`B · α·l1`, enforced upstream by the
+    /// rate limiter); `victims` are the correct nodes.
+    ///
+    /// Pushes are spread evenly: every victim receives
+    /// `⌊budget / |victims|⌋`, and the remainder goes to a random subset
+    /// — the "evenly balanced push messages" of the paper.
+    pub fn plan_balanced_pushes(
+        &mut self,
+        victims: &[NodeId],
+        budget: usize,
+    ) -> Vec<(NodeId, NodeId)> {
+        if victims.is_empty() || self.byzantine_ids.is_empty() || budget == 0 {
+            return Vec::new();
+        }
+        let base = budget / victims.len();
+        let remainder = budget % victims.len();
+        let mut plan = Vec::with_capacity(budget.min(victims.len() * (base + 1)));
+        for &v in victims {
+            for _ in 0..base {
+                plan.push((v, self.random_byz_id()));
+            }
+        }
+        let extra = self.rng.sample(victims, remainder);
+        for v in extra {
+            plan.push((v, self.random_byz_id()));
+        }
+        plan
+    }
+
+    /// Answers a pull request: a full view of exclusively Byzantine IDs
+    /// (distinct when enough identities exist). When poisoned trusted
+    /// nodes have been injected, one answer in four carries a single
+    /// injected ID in place of a Byzantine one — enough for discovery,
+    /// negligible dilution.
+    pub fn pull_answer(&mut self) -> Vec<NodeId> {
+        let k = self.view_size.min(self.byzantine_ids.len());
+        let mut answer = self.rng.sample(&self.byzantine_ids, k);
+        if !self.injected.is_empty() && !answer.is_empty() && self.rng.chance(0.25) {
+            let slot = self.rng.index(answer.len());
+            answer[slot] = self.injected[self.rng.index(self.injected.len())];
+        }
+        answer
+    }
+
+    /// Records the Byzantine share observed in a pull answer received
+    /// from non-Byzantine node `from` (identification attack data
+    /// collection).
+    pub fn observe_pull_answer(&mut self, from: NodeId, answer: &[NodeId], is_byz: impl Fn(NodeId) -> bool) {
+        if answer.is_empty() {
+            return;
+        }
+        let byz = answer.iter().filter(|&&id| is_byz(id)).count();
+        let share = byz as f64 / answer.len() as f64;
+        self.record_share(from, share);
+    }
+
+    /// Records an already-computed Byzantine share for node `from` (used
+    /// by the engine, which computes shares in place instead of cloning
+    /// pull answers).
+    pub fn record_share(&mut self, from: NodeId, share: f64) {
+        if let Some(slot) = self.observations.get_mut(from.index()) {
+            *slot = Some(Observation { byz_share: share });
+        }
+    }
+
+    /// Plans a *targeted* attack (the strategy Brahms' history sampling
+    /// is designed to defeat): a fraction of the budget floods a small
+    /// victim set, the rest stays balanced over everyone. Returns
+    /// `(victim, advertised ID)` pairs like
+    /// [`Adversary::plan_balanced_pushes`].
+    pub fn plan_targeted_pushes(
+        &mut self,
+        all_victims: &[NodeId],
+        targets: &[NodeId],
+        budget: usize,
+        focus: f64,
+    ) -> Vec<(NodeId, NodeId)> {
+        if all_victims.is_empty() || self.byzantine_ids.is_empty() || budget == 0 {
+            return Vec::new();
+        }
+        let focused_budget = (budget as f64 * focus.clamp(0.0, 1.0)).round() as usize;
+        let mut plan = if targets.is_empty() {
+            Vec::new()
+        } else {
+            self.plan_balanced_pushes(targets, focused_budget)
+        };
+        plan.extend(self.plan_balanced_pushes(all_victims, budget - plan.len()));
+        plan
+    }
+
+    /// Picks `k` observation targets uniformly among `candidates` (the
+    /// Byzantine nodes' own pull requests for the identification attack).
+    pub fn observation_targets(&mut self, candidates: &[NodeId], k: usize) -> Vec<NodeId> {
+        self.rng.sample(candidates, k)
+    }
+
+    /// Runs the identification classifier (Section VI-A): computes the
+    /// average observed Byzantine share, then flags every observed node
+    /// whose share sits more than `threshold` *below* that average.
+    /// Returns the flagged node IDs.
+    pub fn classify_trusted(&self, threshold: f64) -> Vec<NodeId> {
+        let observed: Vec<(usize, f64)> = self
+            .observations
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.map(|o| (i, o.byz_share)))
+            .collect();
+        if observed.is_empty() {
+            return Vec::new();
+        }
+        let avg = observed.iter().map(|&(_, s)| s).sum::<f64>() / observed.len() as f64;
+        observed
+            .into_iter()
+            .filter(|&(_, share)| avg - share > threshold)
+            .map(|(i, _)| NodeId(i as u64))
+            .collect()
+    }
+
+    /// Number of nodes observed so far.
+    pub fn observed_count(&self) -> usize {
+        self.observations.iter().filter(|o| o.is_some()).count()
+    }
+
+    fn random_byz_id(&mut self) -> NodeId {
+        self.byzantine_ids[self.rng.index(self.byzantine_ids.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adversary(byz: u64, total: usize) -> Adversary {
+        Adversary::new((0..byz).map(NodeId).collect(), total, 10, 7)
+    }
+
+    #[test]
+    fn balanced_pushes_are_even_and_within_budget() {
+        let mut a = adversary(20, 100);
+        let victims: Vec<NodeId> = (20..100).map(NodeId).collect();
+        let budget = 20 * 4; // B·α·l1 with α·l1 = 4
+        let plan = a.plan_balanced_pushes(&victims, budget);
+        assert_eq!(plan.len(), budget);
+        // Per-victim counts differ by at most one.
+        let mut counts = vec![0usize; 100];
+        for &(v, id) in &plan {
+            counts[v.index()] += 1;
+            assert!(id.0 < 20, "advertised IDs are Byzantine");
+        }
+        let victim_counts: Vec<usize> = (20..100).map(|i| counts[i]).collect();
+        let min = victim_counts.iter().min().unwrap();
+        let max = victim_counts.iter().max().unwrap();
+        assert!(max - min <= 1, "balanced: min {min}, max {max}");
+    }
+
+    #[test]
+    fn push_plan_edge_cases() {
+        let mut a = adversary(5, 10);
+        assert!(a.plan_balanced_pushes(&[], 10).is_empty());
+        assert!(a.plan_balanced_pushes(&[NodeId(9)], 0).is_empty());
+        let mut empty = Adversary::new(vec![], 10, 10, 1);
+        assert!(empty.plan_balanced_pushes(&[NodeId(9)], 10).is_empty());
+    }
+
+    #[test]
+    fn pull_answers_are_fully_byzantine_and_distinct() {
+        let mut a = adversary(50, 100);
+        let ans = a.pull_answer();
+        assert_eq!(ans.len(), 10);
+        assert!(ans.iter().all(|id| id.0 < 50));
+        let mut dedup = ans.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+    }
+
+    #[test]
+    fn pull_answer_with_few_identities() {
+        let mut a = adversary(3, 100);
+        let ans = a.pull_answer();
+        assert_eq!(ans.len(), 3, "cannot exceed the identity pool");
+    }
+
+    #[test]
+    fn identification_flags_low_share_nodes() {
+        let mut a = adversary(10, 100);
+        let is_byz = |id: NodeId| id.0 < 10;
+        // Regular honest nodes: ~50 % Byzantine answers.
+        for i in 20..40u64 {
+            let answer: Vec<NodeId> = (0..10).map(|k| NodeId(if k % 2 == 0 { k } else { 50 + k })).collect();
+            a.observe_pull_answer(NodeId(i), &answer, is_byz);
+        }
+        // One trusted-looking node: 0 % Byzantine.
+        let clean: Vec<NodeId> = (50..60).map(NodeId).collect();
+        a.observe_pull_answer(NodeId(40), &clean, is_byz);
+        let flagged = a.classify_trusted(0.1);
+        assert_eq!(flagged, vec![NodeId(40)]);
+        assert_eq!(a.observed_count(), 21);
+    }
+
+    #[test]
+    fn identification_silent_without_contrast() {
+        // All nodes look alike → nobody exceeds the threshold.
+        let mut a = adversary(10, 100);
+        let is_byz = |id: NodeId| id.0 < 10;
+        for i in 20..40u64 {
+            let answer: Vec<NodeId> = (0..10).map(NodeId).collect(); // 100 % byz
+            a.observe_pull_answer(NodeId(i), &answer, is_byz);
+        }
+        assert!(a.classify_trusted(0.1).is_empty());
+        // And with no observations at all.
+        let a2 = adversary(10, 100);
+        assert!(a2.classify_trusted(0.1).is_empty());
+    }
+
+    #[test]
+    fn observation_targets_sampled_from_candidates() {
+        let mut a = adversary(10, 100);
+        let candidates: Vec<NodeId> = (10..100).map(NodeId).collect();
+        let targets = a.observation_targets(&candidates, 5);
+        assert_eq!(targets.len(), 5);
+        assert!(targets.iter().all(|t| t.0 >= 10));
+    }
+
+    #[test]
+    fn targeted_plan_focuses_budget() {
+        let mut a = adversary(20, 200);
+        let all: Vec<NodeId> = (20..200).map(NodeId).collect();
+        let targets: Vec<NodeId> = (20..29).map(NodeId).collect();
+        let budget = 80;
+        let plan = a.plan_targeted_pushes(&all, &targets, budget, 0.75);
+        assert_eq!(plan.len(), budget);
+        let focused = plan.iter().filter(|(v, _)| targets.contains(v)).count();
+        // 75% of the budget goes to the 9 victims (they also receive a
+        // trickle from the balanced remainder).
+        assert!(
+            focused >= 60,
+            "focus must dominate victim traffic: {focused}/{budget}"
+        );
+    }
+
+    #[test]
+    fn targeted_plan_degenerates_to_balanced() {
+        let mut a = adversary(20, 200);
+        let all: Vec<NodeId> = (20..200).map(NodeId).collect();
+        let plan = a.plan_targeted_pushes(&all, &[], 40, 0.9);
+        assert_eq!(plan.len(), 40, "empty target set falls back to balanced");
+        let mut b = adversary(20, 200);
+        assert!(b.plan_targeted_pushes(&all, &all[..2], 0, 0.9).is_empty());
+    }
+
+    #[test]
+    fn injected_ids_advertised_sparsely() {
+        let mut a = adversary(5, 100);
+        a.advertise_injected([NodeId(90), NodeId(91)]);
+        let mut injected_slots = 0usize;
+        let mut total_slots = 0usize;
+        for _ in 0..200 {
+            let ans = a.pull_answer();
+            assert!(ans.iter().all(|id| id.0 < 5 || id.0 >= 90));
+            injected_slots += ans.iter().filter(|id| id.0 >= 90).count();
+            total_slots += ans.len();
+        }
+        assert!(injected_slots > 0, "injected IDs must appear eventually");
+        let share = injected_slots as f64 / total_slots as f64;
+        assert!(
+            share < 0.15,
+            "advertisement must stay sparse, got {share:.3}"
+        );
+    }
+
+    #[test]
+    fn empty_answer_not_recorded() {
+        let mut a = adversary(10, 100);
+        a.observe_pull_answer(NodeId(50), &[], |_| false);
+        assert_eq!(a.observed_count(), 0);
+    }
+}

@@ -1,0 +1,833 @@
+//! The synchronous round engine.
+//!
+//! Wires together the RAPTEE/Brahms nodes, the limited-pushes defence,
+//! the adversary, and the metric collectors. One [`Simulation`] executes
+//! one run of one [`Scenario`]; the [`crate::runner`] module handles
+//! repetition and sweeps.
+//!
+//! Round structure (mirroring the paper's 2.5 s protocol rounds):
+//!
+//! 1. every correct node plans its `α·l1` pushes and `β·l1` pulls;
+//! 2. pushes are delivered through the per-identity rate limiter —
+//!    honest pushes first, then the adversary's balanced faulty pushes
+//!    (the adversary saturates exactly its lawful budget);
+//! 3. pulls execute: mutual authentication precedes each one, trusted
+//!    pairs run the trusted view-swap, all other answers flow back as
+//!    untrusted pulls (Byzantine responders answer with all-Byzantine
+//!    views);
+//! 4. when enabled, Byzantine nodes issue observation pulls for the
+//!    identification attack;
+//! 5. every correct node finalises its round (eviction → Brahms
+//!    defences → view renewal → sampling) and the engine updates the
+//!    discovery/stability/resilience metrics.
+
+use crate::adversary::Adversary;
+use crate::bitset::BitSet;
+use crate::metrics::{
+    IdentificationResult, RunResult, DISCOVERY_TARGET_SHARE, STABILITY_SPREAD,
+};
+use crate::scenario::{AttackStrategy, Scenario};
+use raptee::provisioning;
+use raptee::{RapteeConfig, RapteeNode};
+use raptee_brahms::BrahmsConfig;
+use raptee_crypto::auth::AuthOutcome;
+use raptee_net::{NodeId, PushRateLimiter};
+use raptee_util::rng::Xoshiro256StarStar;
+
+/// Rounds of per-node share smoothing for the spread-stability check.
+const SMOOTHING_WINDOW: usize = 10;
+
+enum Actor {
+    Byzantine,
+    Correct(Box<RapteeNode>),
+}
+
+/// One deterministic simulation run.
+pub struct Simulation {
+    scenario: Scenario,
+    actors: Vec<Actor>,
+    trusted: Vec<bool>,
+    alive: Vec<bool>,
+    loss_rng: Xoshiro256StarStar,
+    byz_count: usize,
+    adversary: Adversary,
+    limiter: PushRateLimiter,
+    discovery: Vec<Option<BitSet>>,
+    discovery_target: usize,
+    /// Per-actor ring buffer of recent per-round view pollution shares,
+    /// used for the smoothed spread-stability criterion.
+    share_windows: Vec<Vec<f64>>,
+    non_byz_total: usize,
+    round: usize,
+    byz_share_series: Vec<f64>,
+    mean_discovered_series: Vec<f64>,
+    discovery_round: Option<usize>,
+    spread_stability_round: Option<usize>,
+    best_identification: Option<IdentificationResult>,
+    floods_detected: u64,
+    total_evicted: u64,
+}
+
+impl Simulation {
+    /// Builds the population: Byzantine identities, trusted nodes
+    /// (provisioned through the simulated attestation service), honest
+    /// nodes, and optionally the adversary's injected view-poisoned
+    /// trusted nodes.
+    pub fn new(scenario: Scenario) -> Self {
+        scenario.validate();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(scenario.seed);
+        let n = scenario.n;
+        let total = scenario.total_actors();
+        let byz = scenario.byzantine_count();
+        let trusted_n = scenario.trusted_count();
+
+        let gamma = scenario.gamma;
+        let ab = (1.0 - gamma) / 2.0;
+        let alpha_count = (ab * scenario.view_size as f64).round();
+        let flood_threshold = if scenario.flood_slack_sigmas > 0.0 {
+            Some((alpha_count + scenario.flood_slack_sigmas * alpha_count.sqrt()).round() as usize)
+        } else {
+            None
+        };
+        let config = RapteeConfig {
+            brahms: BrahmsConfig {
+                view_size: scenario.view_size,
+                sample_size: scenario.sample_size,
+                alpha: ab,
+                beta: ab,
+                gamma,
+                flood_threshold,
+            },
+            eviction: scenario.eviction,
+        };
+
+        // Group-key provisioning through the full simulated attestation
+        // flow: one certified platform per trusted node.
+        let mut attestation = provisioning::new_attestation_service(scenario.seed ^ 0x6E0C);
+        let mut provision = |platform: u64| {
+            attestation.certify_platform(platform);
+            provisioning::provision_trusted_key(&mut attestation, platform)
+                .expect("certified platform with genuine code attests")
+        };
+
+        let all_ids: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
+        let byz_ids: Vec<NodeId> = (0..byz as u64).map(NodeId).collect();
+
+        let mut actors: Vec<Actor> = Vec::with_capacity(total);
+        let mut trusted_flags = vec![false; total];
+        #[allow(clippy::needless_range_loop)] // i is the node identity
+        for i in 0..total {
+            let id = NodeId(i as u64);
+            if i < byz {
+                actors.push(Actor::Byzantine);
+                continue;
+            }
+            let is_trusted = i < byz + trusted_n;
+            let is_injected = i >= n;
+            let seed = rng.next_u64();
+            // Paper bootstrap: a uniform random sample of the global
+            // membership — except injected nodes, which the adversary
+            // bootstrapped inside a Byzantine-only network.
+            let bootstrap = if is_injected {
+                rng.sample(&byz_ids, scenario.view_size.min(byz_ids.len()))
+            } else {
+                rng.sample(&all_ids, (scenario.view_size + 2).min(all_ids.len()))
+            };
+            let node = if is_trusted || is_injected {
+                trusted_flags[i] = true;
+                let key = provision(0x1000 + i as u64);
+                RapteeNode::new_trusted(id, config.clone(), &bootstrap, seed, key)
+            } else {
+                RapteeNode::new_untrusted(id, config.clone(), &bootstrap, seed)
+            };
+            actors.push(Actor::Correct(Box::new(node)));
+        }
+
+        // Discovery bitsets (non-Byzantine actors only) seeded with the
+        // bootstrap view and the node itself.
+        let non_byz_total = total - byz;
+        let mut discovery: Vec<Option<BitSet>> = Vec::with_capacity(total);
+        for (i, actor) in actors.iter().enumerate() {
+            match actor {
+                Actor::Byzantine => discovery.push(None),
+                Actor::Correct(node) => {
+                    let mut set = BitSet::new(total);
+                    set.insert(i);
+                    for id in node.brahms().view().ids() {
+                        if id.index() >= byz {
+                            set.insert(id.index());
+                        }
+                    }
+                    discovery.push(Some(set));
+                }
+            }
+        }
+        let discovery_target =
+            (DISCOVERY_TARGET_SHARE * non_byz_total as f64).ceil() as usize;
+
+        let share_windows = vec![Vec::new(); total];
+        let alpha_count = config.brahms.alpha_count();
+        let mut adversary = Adversary::new(byz_ids, total, scenario.view_size, rng.next_u64());
+        // Section VI-B: the adversary advertises its injected poisoned
+        // trusted nodes so the system contacts them and the poison can
+        // flow into the genuine trusted tier.
+        adversary.advertise_injected((n..total).map(|i| NodeId(i as u64)));
+        Self {
+            adversary,
+            limiter: PushRateLimiter::new(total, alpha_count as u32),
+            actors,
+            trusted: trusted_flags,
+            alive: vec![true; total],
+            loss_rng: rng.split(),
+            byz_count: byz,
+            discovery,
+            discovery_target,
+            share_windows,
+            non_byz_total,
+            round: 0,
+            byz_share_series: Vec::with_capacity(scenario.rounds),
+            mean_discovered_series: Vec::with_capacity(scenario.rounds),
+            discovery_round: None,
+            spread_stability_round: None,
+            best_identification: None,
+            floods_detected: 0,
+            total_evicted: 0,
+            scenario,
+        }
+    }
+
+    /// The scenario driving this run.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Whether actor `id` is Byzantine.
+    pub fn is_byzantine(&self, id: NodeId) -> bool {
+        id.index() < self.byz_count
+    }
+
+    /// Whether actor `id` is alive (crashed nodes stop participating).
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.alive[id.index()]
+    }
+
+    /// Whether actor `id` is a (genuine or injected) trusted node.
+    pub fn is_trusted(&self, id: NodeId) -> bool {
+        self.trusted[id.index()]
+    }
+
+    /// Current round index.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Number of non-Byzantine IDs `id` has discovered so far (None for
+    /// Byzantine actors).
+    pub fn discovery_count(&self, id: NodeId) -> Option<usize> {
+        self.discovery[id.index()].as_ref().map(|s| s.count())
+    }
+
+    /// Read access to a correct node (None for Byzantine actors).
+    pub fn node(&self, id: NodeId) -> Option<&RapteeNode> {
+        match &self.actors[id.index()] {
+            Actor::Byzantine => None,
+            Actor::Correct(n) => Some(n),
+        }
+    }
+
+    /// Executes the full run and returns the collected metrics.
+    pub fn run(mut self) -> RunResult {
+        for _ in 0..self.scenario.rounds {
+            self.run_round();
+        }
+        self.into_result()
+    }
+
+    /// Executes one round (public so tests can single-step).
+    pub fn run_round(&mut self) {
+        self.limiter.next_round();
+        let total = self.actors.len();
+
+        // Churn injection: crash a batch of correct nodes at the
+        // configured round. Crashed nodes stop planning, answering and
+        // pushing; pulls towards them time out.
+        if self.scenario.crash_fraction > 0.0 && self.round == self.scenario.crash_round {
+            let candidates: Vec<usize> = (self.byz_count..total).filter(|&i| self.alive[i]).collect();
+            let k = (self.scenario.crash_fraction * candidates.len() as f64).round() as usize;
+            for idx in self.loss_rng.sample(&candidates, k) {
+                self.alive[idx] = false;
+            }
+        }
+
+        // Phase 1: plans (dead nodes do not participate).
+        let mut plans: Vec<Option<raptee_brahms::RoundPlan>> = Vec::with_capacity(total);
+        for (i, actor) in self.actors.iter_mut().enumerate() {
+            match actor {
+                Actor::Correct(node) if self.alive[i] => plans.push(Some(node.plan_round())),
+                _ => plans.push(None),
+            }
+        }
+
+        // Phase 2a: honest pushes (through the rate limiter).
+        for (i, plan) in plans.iter().enumerate() {
+            let Some(plan) = plan else { continue };
+            let sender = NodeId(i as u64);
+            for &target in &plan.push_targets {
+                if !self.limiter.try_push(sender) {
+                    continue;
+                }
+                if !self.alive[target.index()] {
+                    continue;
+                }
+                if self.scenario.message_loss > 0.0 && self.loss_rng.chance(self.scenario.message_loss) {
+                    continue;
+                }
+                if let Actor::Correct(node) = &mut self.actors[target.index()] {
+                    node.record_push(sender);
+                }
+            }
+        }
+
+        // Phase 2b: the adversary's balanced pushes, saturating exactly
+        // its lawful budget B·α·l1 (every push charged to a Byzantine
+        // identity).
+        let victims: Vec<NodeId> = (self.byz_count..total).map(|i| NodeId(i as u64)).collect();
+        let alpha_count = match self.actors.iter().find_map(|a| match a {
+            Actor::Correct(n) => Some(n.config().brahms.alpha_count()),
+            Actor::Byzantine => None,
+        }) {
+            Some(c) => c,
+            None => return, // no correct nodes: nothing to simulate
+        };
+        let budget = self.byz_count * alpha_count;
+        let byz_pushes = match self.scenario.attack {
+            AttackStrategy::Balanced => self.adversary.plan_balanced_pushes(&victims, budget),
+            AttackStrategy::Targeted {
+                victim_fraction,
+                focus,
+            } => {
+                // A fixed prefix of the correct nodes is the victim set
+                // (deterministic per scenario; the adversary knows the
+                // membership).
+                let k = ((victims.len() as f64) * victim_fraction).round() as usize;
+                let targets = &victims[..k.min(victims.len())];
+                self.adversary
+                    .plan_targeted_pushes(&victims, targets, budget, focus)
+            }
+        };
+        let mut charge_rotor = 0usize;
+        for (victim, advertised) in byz_pushes {
+            // Rotate charges across Byzantine identities; the budget
+            // equals exactly B × per-identity allowance.
+            let mut charged = false;
+            for _ in 0..self.byz_count {
+                let payer = NodeId((charge_rotor % self.byz_count.max(1)) as u64);
+                charge_rotor += 1;
+                if self.limiter.try_push(payer) {
+                    charged = true;
+                    break;
+                }
+            }
+            if !charged {
+                continue;
+            }
+            if !self.alive[victim.index()] {
+                continue;
+            }
+            if self.scenario.message_loss > 0.0 && self.loss_rng.chance(self.scenario.message_loss) {
+                continue;
+            }
+            if let Actor::Correct(node) = &mut self.actors[victim.index()] {
+                node.record_push(advertised);
+            }
+        }
+
+        // Phase 3: pulls (with mutual authentication).
+        for i in 0..total {
+            let Some(plan) = plans.get_mut(i).and_then(Option::take) else {
+                continue;
+            };
+            for &target in &plan.pull_targets {
+                self.handle_pull(i, target);
+            }
+        }
+
+        // Phase 3b: proactive trusted exchanges. Each trusted node
+        // initiates one exchange with the oldest entry of its trusted
+        // directory (framework criterion (1): round-robin probing) —
+        // the mechanism that keeps a sparse trusted population meeting
+        // every round once discovered.
+        if self.scenario.trusted_swap {
+            for i in 0..total {
+                if !self.trusted[i] {
+                    continue;
+                }
+                let partner = match &self.actors[i] {
+                    Actor::Correct(node) => node.trusted_partner(),
+                    Actor::Byzantine => None,
+                };
+                let Some(partner) = partner else { continue };
+                if partner.index() == i || !self.alive[i] {
+                    continue;
+                }
+                if !self.alive[partner.index()] {
+                    // Timeout: forget the dead trusted peer.
+                    if let Actor::Correct(node) = &mut self.actors[i] {
+                        node.forget_trusted_peer(partner);
+                    }
+                    continue;
+                }
+                let (a, b) = self.two_nodes(i, partner.index());
+                RapteeNode::trusted_swap_kind(a, b, false);
+            }
+        }
+
+        // Phase 4: adversary observation pulls (identification attack).
+        if self.scenario.identification_attack && self.byz_count > 0 {
+            let beta_count = alpha_count; // α = β in the paper's config
+            let candidates: Vec<NodeId> = (self.byz_count..self.scenario.n)
+                .map(|i| NodeId(i as u64))
+                .collect();
+            for _ in 0..self.byz_count {
+                let targets = self.adversary.observation_targets(&candidates, beta_count);
+                for t in targets {
+                    if let Actor::Correct(node) = &self.actors[t.index()] {
+                        let view = node.brahms().view();
+                        if view.is_empty() {
+                            continue;
+                        }
+                        let byz = view.ids().filter(|id| id.index() < self.byz_count).count();
+                        let share = byz as f64 / view.len() as f64;
+                        self.adversary.record_share(t, share);
+                    }
+                }
+            }
+        }
+
+        // Phase 5: finalisation + metrics.
+        let mut share_sum = 0.0;
+        let mut share_count = 0usize;
+        let mut shares: Vec<f64> = Vec::with_capacity(self.non_byz_total);
+        let mut all_discovered = true;
+        let mut discovered_sum = 0usize;
+        let mut discovered_nodes = 0usize;
+        let validation_due = self.scenario.sampler_validation_period > 0
+            && (self.round + 1).is_multiple_of(self.scenario.sampler_validation_period);
+        for i in 0..total {
+            if !self.alive[i] {
+                continue;
+            }
+            let Actor::Correct(node) = &mut self.actors[i] else {
+                continue;
+            };
+            if validation_due {
+                // Brahms sampler validation: probe sampled nodes, re-draw
+                // the samplers whose sample is dead.
+                let alive = &self.alive;
+                let brahms = node.brahms_mut();
+                let (sampler, rng) = brahms.sampler_and_rng_mut();
+                sampler.validate(|id| alive.get(id.index()).copied().unwrap_or(false), rng);
+            }
+            let outcome = node.finish_round();
+            self.total_evicted += outcome.evicted as u64;
+            if outcome.report.push_flood_detected {
+                self.floods_detected += 1;
+            }
+            // Discovery counts an ID once it has *entered the dynamic
+            // view* (matching the paper's round counts; IDs merely seen
+            // in transit — or evicted — do not count).
+            let view = node.brahms().view();
+            if let Some(set) = &mut self.discovery[i] {
+                for id in view.ids() {
+                    if id.index() >= self.byz_count && id.index() < set.len() {
+                        set.insert(id.index());
+                    }
+                }
+                discovered_sum += set.count();
+                discovered_nodes += 1;
+                if set.count() < self.discovery_target {
+                    all_discovered = false;
+                }
+            }
+            if !view.is_empty() {
+                let byz = view.ids().filter(|id| id.index() < self.byz_count).count();
+                let share = byz as f64 / view.len() as f64;
+                let window = &mut self.share_windows[i];
+                window.push(share);
+                if window.len() > SMOOTHING_WINDOW {
+                    window.remove(0);
+                }
+                shares.push(window.iter().sum::<f64>() / window.len() as f64);
+                share_sum += share;
+                share_count += 1;
+            }
+        }
+        let mean_share = if share_count == 0 {
+            0.0
+        } else {
+            share_sum / share_count as f64
+        };
+        self.byz_share_series.push(mean_share);
+
+        if self.discovery_round.is_none() && all_discovered {
+            self.discovery_round = Some(self.round);
+        }
+        if discovered_nodes > 0 {
+            let target_pool = (self.non_byz_total as f64).max(1.0);
+            self.mean_discovered_series
+                .push(discovered_sum as f64 / discovered_nodes as f64 / target_pool);
+        }
+        // Spread stability (the paper's criterion): every non-Byzantine
+        // node's pollution within STABILITY_SPREAD of the average. Each
+        // node's share is smoothed over SMOOTHING_WINDOW rounds first —
+        // at reduced view sizes a single view entry moves the raw share
+        // by 5-10 points of pure quantisation noise, which would make the
+        // criterion unreachable regardless of convergence. The smoothed
+        // criterion stays gated by laggard nodes, like the original.
+        let smoothed_mean = if shares.is_empty() {
+            0.0
+        } else {
+            shares.iter().sum::<f64>() / shares.len() as f64
+        };
+        if self.spread_stability_round.is_none()
+            && self.round + 1 >= SMOOTHING_WINDOW
+            && !shares.is_empty()
+            && shares.iter().all(|s| (s - smoothed_mean).abs() <= STABILITY_SPREAD)
+        {
+            self.spread_stability_round = Some(self.round);
+        }
+
+        if self.scenario.identification_attack {
+            let flagged = self.adversary.classify_trusted(self.scenario.identification_threshold);
+            let byz = self.byz_count;
+            let trusted = &self.trusted;
+            let n = self.scenario.n;
+            // Ground truth: genuine trusted nodes (injected ones are the
+            // adversary's own and excluded).
+            let actual = trusted[byz..n].iter().filter(|&&t| t).count();
+            let result = IdentificationResult::evaluate(
+                &flagged,
+                |id| id.index() < n && trusted[id.index()],
+                actual,
+                self.round,
+            );
+            let better = match &self.best_identification {
+                None => true,
+                Some(best) => result.f1 > best.f1,
+            };
+            if better {
+                self.best_identification = Some(result);
+            }
+        }
+
+        self.round += 1;
+    }
+
+    /// One pull interaction: authentication, then swap or plain pull.
+    fn handle_pull(&mut self, requester: usize, target: NodeId) {
+        let t = target.index();
+        if t == requester || t >= self.actors.len() {
+            return;
+        }
+        // A crashed responder times out: the requester learns nothing
+        // and drops the stale link (Cyclon-style timeout handling).
+        if !self.alive[t] {
+            if let Actor::Correct(node) = &mut self.actors[requester] {
+                node.brahms_mut().view_mut().remove(target);
+                node.forget_trusted_peer(target);
+            }
+            return;
+        }
+        if self.scenario.message_loss > 0.0 && self.loss_rng.chance(self.scenario.message_loss) {
+            return; // request or answer lost in transit
+        }
+        match &self.actors[t] {
+            Actor::Byzantine => {
+                // Byzantine responders fail authentication (random keys)
+                // and answer with exclusively Byzantine IDs.
+                let reply = self.adversary.pull_answer();
+                if let Actor::Correct(node) = &mut self.actors[requester] {
+                    node.record_untrusted_pull(&reply);
+                }
+            }
+            Actor::Correct(_) => {
+                let both_trusted = self.trusted[requester] && self.trusted[t];
+                let outcome_trusted = if self.scenario.real_crypto_handshakes {
+                    let (a, b) = self.two_nodes(requester, t);
+                    let (oa, ob) = RapteeNode::run_handshake(a, b);
+                    debug_assert_eq!(oa, ob);
+                    debug_assert_eq!(oa == AuthOutcome::Trusted, both_trusted);
+                    oa == AuthOutcome::Trusted
+                } else {
+                    both_trusted
+                };
+                if outcome_trusted && self.scenario.trusted_swap {
+                    let (a, b) = self.two_nodes(requester, t);
+                    RapteeNode::trusted_swap(a, b);
+                } else if outcome_trusted {
+                    // Ablation: swap disabled. The pair still recognises
+                    // each other, so the answer bypasses eviction, but no
+                    // half-view exchange happens.
+                    let reply = match &self.actors[t] {
+                        Actor::Correct(node) => node.pull_answer(),
+                        Actor::Byzantine => unreachable!(),
+                    };
+                    if let Actor::Correct(node) = &mut self.actors[requester] {
+                        node.record_trusted_pull(&reply);
+                    }
+                } else {
+                    let reply = match &self.actors[t] {
+                        Actor::Correct(node) => node.pull_answer(),
+                        Actor::Byzantine => unreachable!(),
+                    };
+                    if let Actor::Correct(node) = &mut self.actors[requester] {
+                        node.record_untrusted_pull(&reply);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Split-borrows two distinct correct nodes.
+    fn two_nodes(&mut self, a: usize, b: usize) -> (&mut RapteeNode, &mut RapteeNode) {
+        assert_ne!(a, b, "cannot borrow the same node twice");
+        let (x, y, swapped) = if a < b { (a, b, false) } else { (b, a, true) };
+        let (lo, hi) = self.actors.split_at_mut(y);
+        let first = match &mut lo[x] {
+            Actor::Correct(n) => n.as_mut(),
+            Actor::Byzantine => panic!("actor {x} is Byzantine"),
+        };
+        let second = match &mut hi[0] {
+            Actor::Correct(n) => n.as_mut(),
+            Actor::Byzantine => panic!("actor {y} is Byzantine"),
+        };
+        if swapped {
+            (second, first)
+        } else {
+            (first, second)
+        }
+    }
+
+    fn into_result(self) -> RunResult {
+        let tail = self.scenario.tail_window.min(self.byz_share_series.len());
+        let resilience = if tail == 0 {
+            0.0
+        } else {
+            let s = &self.byz_share_series[self.byz_share_series.len() - tail..];
+            s.iter().sum::<f64>() / tail as f64
+        };
+        let stability_round = self
+            .spread_stability_round
+            .or_else(|| crate::metrics::series_stability_round(&self.byz_share_series, resilience));
+        let mean_discovery_round = crate::metrics::fractional_crossing(
+            &self.mean_discovered_series,
+            crate::metrics::DISCOVERY_TARGET_SHARE,
+        );
+        RunResult {
+            resilience,
+            discovery_round: self.discovery_round,
+            mean_discovery_round,
+            stability_round,
+            spread_stability_round: self.spread_stability_round,
+            byz_share_series: self.byz_share_series,
+            identification: self.best_identification,
+            rounds: self.round,
+            floods_detected: self.floods_detected,
+            total_evicted: self.total_evicted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Protocol;
+    use raptee::EvictionPolicy;
+
+    fn small(protocol: Protocol) -> Scenario {
+        Scenario {
+            n: 120,
+            byzantine_fraction: 0.1,
+            trusted_fraction: 0.05,
+            view_size: 12,
+            sample_size: 12,
+            rounds: 90,
+            tail_window: 10,
+            protocol,
+            seed: 424242,
+            ..Scenario::default()
+        }
+    }
+
+    #[test]
+    fn brahms_run_converges_below_catastrophe() {
+        let result = Simulation::new(small(Protocol::Brahms)).run();
+        assert_eq!(result.rounds, 90);
+        assert!(result.resilience > 0.0, "some pollution is inevitable");
+        assert!(
+            result.resilience < 0.9,
+            "Brahms keeps the adversary below near-total control: {}",
+            result.resilience
+        );
+        assert_eq!(result.byz_share_series.len(), 90);
+    }
+
+    #[test]
+    fn raptee_beats_brahms_at_equal_workload() {
+        // A healthy share of trusted nodes so the effect clears run-to-run
+        // noise at this small scale (the full sweeps in the bench harness
+        // cover the small-t regime with repetitions).
+        let mut scenario = small(Protocol::Raptee);
+        scenario.trusted_fraction = 0.2;
+        let brahms = Simulation::new(scenario.brahms_baseline()).run();
+        let raptee = Simulation::new(scenario).run();
+        assert!(
+            raptee.resilience < brahms.resilience,
+            "RAPTEE {} should improve on Brahms {}",
+            raptee.resilience,
+            brahms.resilience
+        );
+    }
+
+    #[test]
+    fn discovery_and_stability_reached_in_calm_runs() {
+        let result = Simulation::new(small(Protocol::Brahms)).run();
+        assert!(
+            result.mean_discovery_round.is_some(),
+            "mean discovery must complete: series tail {:?}",
+            result.byz_share_series.last()
+        );
+        assert!(result.stability_round.is_some(), "stability must be reached");
+        if let (Some(all), Some(mean)) = (result.discovery_round, result.mean_discovery_round) {
+            assert!(all as f64 >= mean.floor(), "all-nodes discovery cannot precede the mean");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Simulation::new(small(Protocol::Raptee)).run();
+        let b = Simulation::new(small(Protocol::Raptee)).run();
+        assert_eq!(a, b);
+        let mut other = small(Protocol::Raptee);
+        other.seed = 99;
+        let c = Simulation::new(other).run();
+        assert_ne!(a.byz_share_series, c.byz_share_series);
+    }
+
+    #[test]
+    fn real_crypto_handshakes_match_shortcut() {
+        let mut with_crypto = small(Protocol::Raptee);
+        with_crypto.real_crypto_handshakes = true;
+        with_crypto.rounds = 12;
+        let mut shortcut = with_crypto.clone();
+        shortcut.real_crypto_handshakes = false;
+        // The handshake outcome is key equality either way; the RNG
+        // streams differ (nonce draws), so compare qualitative behaviour:
+        // both runs complete and produce sane shares.
+        let a = Simulation::new(with_crypto).run();
+        let b = Simulation::new(shortcut).run();
+        assert_eq!(a.rounds, b.rounds);
+        assert!((a.resilience - b.resilience).abs() < 0.25);
+    }
+
+    #[test]
+    fn eviction_only_happens_under_raptee() {
+        let brahms = Simulation::new(small(Protocol::Brahms)).run();
+        assert_eq!(brahms.total_evicted, 0);
+        let mut s = small(Protocol::Raptee);
+        s.eviction = EvictionPolicy::Fixed(0.8);
+        let raptee = Simulation::new(s).run();
+        assert!(raptee.total_evicted > 0);
+    }
+
+    #[test]
+    fn identification_attack_produces_result() {
+        let mut s = small(Protocol::Raptee);
+        s.identification_attack = true;
+        s.eviction = EvictionPolicy::Fixed(1.0); // most detectable config
+        s.trusted_fraction = 0.2;
+        let result = Simulation::new(s).run();
+        let ident = result.identification.expect("attack enabled");
+        assert!(ident.precision >= 0.0 && ident.precision <= 1.0);
+        assert!(ident.recall >= 0.0 && ident.recall <= 1.0);
+    }
+
+    #[test]
+    fn injected_nodes_join_population() {
+        let mut s = small(Protocol::Raptee);
+        s.injected_poisoned_fraction = 0.1;
+        let sim = Simulation::new(s.clone());
+        assert_eq!(sim.actors.len(), s.total_actors());
+        // The injected trusted nodes start with fully Byzantine views.
+        let first_injected = NodeId(s.n as u64);
+        assert!(sim.is_trusted(first_injected));
+        let node = sim.node(first_injected).unwrap();
+        assert!(node
+            .brahms()
+            .view()
+            .ids()
+            .all(|id| id.index() < s.byzantine_count()));
+        let result = sim.run();
+        assert_eq!(result.rounds, s.rounds);
+    }
+
+    #[test]
+    fn message_loss_slows_but_does_not_break() {
+        let mut s = small(Protocol::Brahms);
+        s.message_loss = 0.5;
+        s.rounds = 30;
+        let r = Simulation::new(s).run();
+        assert_eq!(r.rounds, 30);
+        assert!(r.resilience < 0.95);
+    }
+
+    #[test]
+    fn crash_marks_nodes_dead_and_views_recover() {
+        let mut s = small(Protocol::Brahms);
+        s.crash_fraction = 0.2;
+        s.crash_round = 10;
+        s.rounds = 30;
+        let byz = s.byzantine_count();
+        let n = s.n;
+        let mut sim = Simulation::new(s);
+        for _ in 0..30 {
+            sim.run_round();
+        }
+        let dead = (byz..n)
+            .filter(|&i| !sim.is_alive(NodeId(i as u64)))
+            .count();
+        let expected = ((n - byz) as f64 * 0.2).round() as usize;
+        assert_eq!(dead, expected);
+        // Survivors keep full views despite the departures.
+        for i in byz..n {
+            let id = NodeId(i as u64);
+            if sim.is_alive(id) {
+                assert!(!sim.node(id).unwrap().brahms().view().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn targeted_attack_runs() {
+        let mut s = small(Protocol::Brahms);
+        s.attack = crate::scenario::AttackStrategy::Targeted {
+            victim_fraction: 0.1,
+            focus: 0.7,
+        };
+        s.rounds = 20;
+        let r = Simulation::new(s).run();
+        assert_eq!(r.rounds, 20);
+    }
+
+    #[test]
+    fn role_queries() {
+        let s = small(Protocol::Raptee);
+        let byz = s.byzantine_count();
+        let sim = Simulation::new(s);
+        assert!(sim.is_byzantine(NodeId(0)));
+        assert!(!sim.is_byzantine(NodeId(byz as u64)));
+        assert!(sim.is_trusted(NodeId(byz as u64)));
+        assert!(sim.node(NodeId(0)).is_none());
+        assert!(sim.node(NodeId(byz as u64)).is_some());
+    }
+}

@@ -1,0 +1,37 @@
+//! Large-scale RAPTEE/Brahms simulation engine.
+//!
+//! Reproduces the paper's Grid'5000 methodology in a deterministic,
+//! in-process form: populations of up to the paper's 10,000 nodes, a
+//! configurable share `f` of Byzantine nodes under one adversary, a share
+//! `t` of trusted (enclave-provisioned) nodes, synchronous 200-round
+//! runs, and the paper's three performance metrics plus its two attack
+//! analyses.
+//!
+//! * [`scenario`] — experiment configuration ([`scenario::Scenario`]):
+//!   population, fractions, eviction policy, protocol selection, attack
+//!   toggles, seeds.
+//! * [`adversary`] — the adversarial strategy of Section III-B: evenly
+//!   balanced faulty pushes (rate-limited like everyone else), pull
+//!   answers containing exclusively Byzantine IDs, the trusted-node
+//!   identification classifier of Section VI-A, and the view-poisoned
+//!   trusted-node injection of Section VI-B.
+//! * [`engine`] — the synchronous round loop gluing nodes, network
+//!   defences and adversary together.
+//! * [`metrics`] — resilience, system-discovery time, view-stability
+//!   time, identification precision/recall/F1.
+//! * [`runner`] — repetition and (rayon-parallel) parameter sweeps, plus
+//!   the derived quantities the figures plot (resilience improvement %,
+//!   round-overhead %).
+//! * [`bitset`] — a dense bitset for per-node discovery tracking.
+
+pub mod adversary;
+pub mod bitset;
+pub mod engine;
+pub mod metrics;
+pub mod runner;
+pub mod scenario;
+
+pub use engine::Simulation;
+pub use metrics::{IdentificationResult, RunResult};
+pub use runner::{run_repeated, run_scenario, AggregatedResult};
+pub use scenario::{AttackStrategy, Protocol, Scenario};

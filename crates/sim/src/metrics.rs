@@ -1,0 +1,287 @@
+//! Experiment metrics (paper Section V-B).
+//!
+//! * **Resilience** — percentage of Byzantine IDs in the views of
+//!   non-Byzantine nodes once the run has converged (averaged over the
+//!   scenario's tail window).
+//! * **System-discovery time** — "the number of rounds required for all
+//!   nodes to discover at least 75 % of non-Byzantine IDs".
+//! * **View-stability time** — "the number of rounds necessary for all
+//!   non-Byzantine node views to be polluted within 10 % of the average
+//!   proportion of Byzantine IDs in the views of non-Byzantine nodes".
+//! * **Identification quality** — precision/recall/F1 of the Section VI-A
+//!   trusted-node identification attack, evaluated every round with the
+//!   adversary free to pick its best moment.
+
+use raptee_net::NodeId;
+
+/// The share of non-Byzantine IDs every node must know for the discovery
+/// metric (paper: 75 %).
+pub const DISCOVERY_TARGET_SHARE: f64 = 0.75;
+
+/// The view-composition spread that defines stability (paper: 10 %).
+pub const STABILITY_SPREAD: f64 = 0.10;
+
+/// Outcome of the trusted-node identification attack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdentificationResult {
+    /// Fraction of flagged nodes that are actually trusted.
+    pub precision: f64,
+    /// Fraction of trusted nodes that were flagged.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub f1: f64,
+    /// Round at which the adversary achieved this result.
+    pub round: usize,
+}
+
+impl IdentificationResult {
+    /// Computes precision/recall/F1 for a set of flagged IDs against the
+    /// ground-truth predicate, given the number of actual positives.
+    pub fn evaluate(
+        flagged: &[NodeId],
+        is_trusted: impl Fn(NodeId) -> bool,
+        actual_positives: usize,
+        round: usize,
+    ) -> Self {
+        let true_positives = flagged.iter().filter(|&&id| is_trusted(id)).count();
+        let precision = if flagged.is_empty() {
+            0.0
+        } else {
+            true_positives as f64 / flagged.len() as f64
+        };
+        let recall = if actual_positives == 0 {
+            0.0
+        } else {
+            true_positives as f64 / actual_positives as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Self {
+            precision,
+            recall,
+            f1,
+            round,
+        }
+    }
+}
+
+/// Series-based view-stability detector, robust to reduced view sizes.
+///
+/// At the paper's scale (view size 200) the literal per-node criterion —
+/// every view within [`STABILITY_SPREAD`] of the average — is meaningful;
+/// with the reduced views of the fast benchmark profile a single view
+/// entry moves a node's share by 5–10 points, so the per-node spread
+/// never settles. This detector instead finds the first round from which
+/// the *mean* Byzantine share stays within 10 % (relative, floored at one
+/// percentage point absolute) of its converged value for the rest of the
+/// run — the same "pollution has stabilised" knee, measured on the
+/// population average.
+pub fn series_stability_round(series: &[f64], converged: f64) -> Option<usize> {
+    // Smooth single-round noise first: with one repetition at reduced
+    // scale the raw mean share jitters by ±1 point round-to-round, which
+    // would randomise the knee.
+    let smoothed = rolling_mean(series, 10);
+    series_stability_round_with(&smoothed, converged, 20)
+}
+
+/// Rolling mean with a trailing window (first elements average what is
+/// available).
+pub fn rolling_mean(series: &[f64], window: usize) -> Vec<f64> {
+    let w = window.max(1);
+    let mut out = Vec::with_capacity(series.len());
+    let mut sum = 0.0;
+    for i in 0..series.len() {
+        sum += series[i];
+        if i >= w {
+            sum -= series[i - w];
+        }
+        out.push(sum / (i.min(w - 1) + 1) as f64);
+    }
+    out
+}
+
+/// [`series_stability_round`] with an explicit hold window: the first
+/// round from which the series stays within tolerance (10 % relative,
+/// floored at 1.5 points absolute — converged protocols keep drifting by
+/// fractions of a point for hundreds of rounds, which must not count as
+/// instability) for the next `hold` rounds (or to the end of the run).
+pub fn series_stability_round_with(series: &[f64], converged: f64, hold: usize) -> Option<usize> {
+    if series.is_empty() {
+        return None;
+    }
+    let tolerance = (0.10 * converged).max(0.015);
+    let in_band = |v: f64| (v - converged).abs() <= tolerance;
+    'outer: for i in 0..series.len() {
+        if !in_band(series[i]) {
+            continue;
+        }
+        let end = (i + hold.max(1)).min(series.len());
+        for &v in &series[i..end] {
+            if !in_band(v) {
+                continue 'outer;
+            }
+        }
+        return Some(i);
+    }
+    None
+}
+
+/// Finds the fractional index at which `series` first crosses
+/// `target`, linearly interpolating between the straddling rounds —
+/// giving round metrics sub-round resolution so overhead ratios do not
+/// quantise at reduced scale.
+pub fn fractional_crossing(series: &[f64], target: f64) -> Option<f64> {
+    let first = *series.first()?;
+    if first >= target {
+        return Some(0.0);
+    }
+    for i in 1..series.len() {
+        let (a, b) = (series[i - 1], series[i]);
+        if b >= target {
+            let frac = if b > a { (target - a) / (b - a) } else { 0.0 };
+            return Some((i - 1) as f64 + frac);
+        }
+    }
+    None
+}
+
+/// The complete result of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Converged mean Byzantine share in non-Byzantine views, in `[0, 1]`.
+    pub resilience: f64,
+    /// Paper-literal discovery: first round at which *every*
+    /// non-Byzantine node knew ≥ 75 % of non-Byzantine IDs; `None` if
+    /// never reached within the run. An extreme order statistic — noisy
+    /// at reduced population sizes.
+    pub discovery_round: Option<usize>,
+    /// Scale-robust discovery: the (fractional, linearly interpolated)
+    /// round at which the *mean* discovered share across non-Byzantine
+    /// nodes crossed 75 %. The benches use this at reduced scale (see
+    /// EXPERIMENTS.md).
+    pub mean_discovery_round: Option<f64>,
+    /// First round from which the mean Byzantine share stayed within
+    /// tolerance of its converged value (see [`series_stability_round`]);
+    /// `None` if the series never settled.
+    pub stability_round: Option<usize>,
+    /// The paper-literal criterion: first round at which *every*
+    /// non-Byzantine view was within [`STABILITY_SPREAD`] of the average.
+    /// Meaningful at full view sizes; usually `None` at reduced scale.
+    pub spread_stability_round: Option<usize>,
+    /// Mean Byzantine share per round (the convergence curve).
+    pub byz_share_series: Vec<f64>,
+    /// Best identification-attack outcome (max F1 over rounds), when the
+    /// attack was enabled.
+    pub identification: Option<IdentificationResult>,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total push-flood detections across nodes and rounds.
+    pub floods_detected: u64,
+    /// Total IDs dropped by Byzantine eviction.
+    pub total_evicted: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_stability_finds_knee() {
+        // Ramp from 0 to 0.4 over 10 rounds, then flat.
+        let mut series: Vec<f64> = (0..10).map(|i| i as f64 * 0.04).collect();
+        series.extend(std::iter::repeat_n(0.4, 30));
+        // Unsmoothed detector finds the exact knee.
+        let r = series_stability_round_with(&series, 0.4, 20).unwrap();
+        assert!((9..=10).contains(&r), "knee at ≈10, got {r}");
+        // The smoothed public entry point lags by up to the smoothing
+        // window but must stay in its vicinity.
+        let r = series_stability_round(&series, 0.4).unwrap();
+        assert!((9..=20).contains(&r), "smoothed knee near 10..20, got {r}");
+    }
+
+    #[test]
+    fn series_stability_unstable_tail_is_none() {
+        let series = vec![0.1, 0.4, 0.1, 0.9];
+        assert_eq!(series_stability_round(&series, 0.2), None);
+    }
+
+    #[test]
+    fn series_stability_tolerates_late_blips() {
+        // One outlier 30 rounds after the knee must not postpone it when
+        // the hold window has already been satisfied.
+        let mut series = vec![0.4; 60];
+        series[0] = 0.0; // pre-knee
+        series[40] = 0.9; // late blip
+        let r = series_stability_round_with(&series, 0.4, 20).unwrap();
+        assert_eq!(r, 1);
+    }
+
+    #[test]
+    fn series_stability_slow_drift_within_floor_is_stable() {
+        // A 1-point drift over 100 rounds sits inside the absolute floor.
+        let series: Vec<f64> = (0..100).map(|i| 0.30 + 0.01 * (i as f64 / 100.0)).collect();
+        let r = series_stability_round(&series, 0.305).unwrap();
+        assert_eq!(r, 0);
+    }
+
+    #[test]
+    fn series_stability_empty_is_none() {
+        assert_eq!(series_stability_round(&[], 0.5), None);
+    }
+
+    #[test]
+    fn series_stability_constant_is_round_zero() {
+        let series = vec![0.3; 5];
+        assert_eq!(series_stability_round(&series, 0.3), Some(0));
+    }
+
+    fn ids(v: &[u64]) -> Vec<NodeId> {
+        v.iter().copied().map(NodeId).collect()
+    }
+
+    #[test]
+    fn fractional_crossing_interpolates() {
+        let series = [0.0, 0.4, 0.8, 1.0];
+        let r = fractional_crossing(&series, 0.6).unwrap();
+        assert!((r - 1.5).abs() < 1e-12, "0.6 is halfway between rounds 1 and 2: {r}");
+        assert_eq!(fractional_crossing(&series, 0.0), Some(0.0));
+        assert_eq!(fractional_crossing(&series, 1.01), None);
+        assert_eq!(fractional_crossing(&[], 0.5), None);
+    }
+
+    #[test]
+    fn perfect_identification() {
+        let r = IdentificationResult::evaluate(&ids(&[1, 2]), |id| id.0 < 3, 2, 5);
+        assert_eq!(r.precision, 1.0);
+        assert_eq!(r.recall, 1.0);
+        assert_eq!(r.f1, 1.0);
+        assert_eq!(r.round, 5);
+    }
+
+    #[test]
+    fn partial_identification() {
+        // Flags 4 nodes, 2 of which are among the 4 actual positives.
+        let r = IdentificationResult::evaluate(&ids(&[1, 2, 10, 11]), |id| id.0 < 4, 4, 0);
+        assert_eq!(r.precision, 0.5);
+        assert_eq!(r.recall, 0.5);
+        assert!((r.f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_flag_set() {
+        let r = IdentificationResult::evaluate(&[], |_| true, 10, 0);
+        assert_eq!(r.precision, 0.0);
+        assert_eq!(r.recall, 0.0);
+        assert_eq!(r.f1, 0.0);
+    }
+
+    #[test]
+    fn no_actual_positives() {
+        let r = IdentificationResult::evaluate(&ids(&[1]), |_| false, 0, 0);
+        assert_eq!(r.recall, 0.0);
+        assert_eq!(r.f1, 0.0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Repetition, aggregation and parameter sweeps.
+//!
+//! The paper repeats every setup 10 times and reports means; its figures
+//! sweep `f` (Byzantine share), `t` (trusted share) and the eviction
+//! rate. This module provides those loops — rayon-parallel across
+//! repetitions and grid points, deterministic per (scenario, repetition)
+//! pair — plus the derived quantities the figures actually plot:
+//! resilience improvement (%) and round overhead (%) relative to the
+//! Brahms baseline at the same workload.
+
+use crate::engine::Simulation;
+use crate::metrics::RunResult;
+use crate::scenario::Scenario;
+use rayon::prelude::*;
+
+/// Mean results across repetitions of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregatedResult {
+    /// Mean converged Byzantine share in non-Byzantine views (`[0, 1]`).
+    pub resilience: f64,
+    /// Mean discovery round among repetitions that reached discovery;
+    /// `None` when none did.
+    pub discovery_round: Option<f64>,
+    /// Mean stability round among repetitions that reached stability.
+    pub stability_round: Option<f64>,
+    /// Mean best-identification precision/recall/F1 (0 when the attack
+    /// was disabled).
+    pub ident_precision: f64,
+    /// See [`AggregatedResult::ident_precision`].
+    pub ident_recall: f64,
+    /// See [`AggregatedResult::ident_precision`].
+    pub ident_f1: f64,
+    /// Number of repetitions aggregated.
+    pub repetitions: usize,
+    /// Fraction of repetitions that reached discovery within the run.
+    pub discovery_success: f64,
+    /// Fraction of repetitions that reached stability within the run.
+    pub stability_success: f64,
+}
+
+/// Runs one scenario once.
+pub fn run_scenario(scenario: &Scenario) -> RunResult {
+    Simulation::new(scenario.clone()).run()
+}
+
+/// Runs `repetitions` independent repetitions (seeds derived from the
+/// scenario seed) in parallel and aggregates.
+///
+/// # Panics
+///
+/// Panics if `repetitions` is zero.
+pub fn run_repeated(scenario: &Scenario, repetitions: usize) -> AggregatedResult {
+    assert!(repetitions > 0, "need at least one repetition");
+    let results: Vec<RunResult> = (0..repetitions)
+        .into_par_iter()
+        .map(|rep| {
+            let mut s = scenario.clone();
+            s.seed = scenario.seed.wrapping_add(0x9E37_79B9 * (rep as u64 + 1));
+            run_scenario(&s)
+        })
+        .collect();
+    aggregate(&results)
+}
+
+/// Aggregates a set of run results into means.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn aggregate(results: &[RunResult]) -> AggregatedResult {
+    assert!(!results.is_empty(), "cannot aggregate zero results");
+    let n = results.len() as f64;
+    let resilience = results.iter().map(|r| r.resilience).sum::<f64>() / n;
+    let mean_of = |vals: Vec<f64>| {
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    };
+    // Prefer the paper-literal all-nodes round when reached; otherwise
+    // fall back to the scale-robust mean-based round.
+    let discovery: Vec<f64> = results
+        .iter()
+        .filter_map(|r| {
+            r.discovery_round
+                .map(|x| x as f64)
+                .or(r.mean_discovery_round)
+        })
+        .collect();
+    let stability: Vec<f64> = results
+        .iter()
+        .filter_map(|r| r.stability_round.map(|x| x as f64))
+        .collect();
+    let discovery_success = discovery.len() as f64 / n;
+    let stability_success = stability.len() as f64 / n;
+    let idents: Vec<_> = results.iter().filter_map(|r| r.identification).collect();
+    let (ip, ir, if1) = if idents.is_empty() {
+        (0.0, 0.0, 0.0)
+    } else {
+        let m = idents.len() as f64;
+        (
+            idents.iter().map(|i| i.precision).sum::<f64>() / m,
+            idents.iter().map(|i| i.recall).sum::<f64>() / m,
+            idents.iter().map(|i| i.f1).sum::<f64>() / m,
+        )
+    };
+    AggregatedResult {
+        resilience,
+        discovery_round: mean_of(discovery),
+        stability_round: mean_of(stability),
+        ident_precision: ip,
+        ident_recall: ir,
+        ident_f1: if1,
+        repetitions: results.len(),
+        discovery_success,
+        stability_success,
+    }
+}
+
+/// Resilience improvement (%) of `raptee` over `baseline` — "the
+/// percentage drop in the number of Byzantine identifiers in the views of
+/// correct nodes".
+pub fn resilience_improvement_pct(baseline: &AggregatedResult, raptee: &AggregatedResult) -> f64 {
+    if baseline.resilience <= 0.0 {
+        return 0.0;
+    }
+    (baseline.resilience - raptee.resilience) / baseline.resilience * 100.0
+}
+
+/// Round overhead (%) of `raptee` relative to `baseline` for a metric
+/// expressed in rounds (discovery or stability). `None` when either side
+/// never reached the metric.
+pub fn round_overhead_pct(baseline: Option<f64>, raptee: Option<f64>) -> Option<f64> {
+    match (baseline, raptee) {
+        (Some(b), Some(r)) if b > 0.0 => Some((r - b) / b * 100.0),
+        _ => None,
+    }
+}
+
+/// Runs a full (f, t) grid for one eviction policy — the shape of
+/// Figs. 5–9 — in parallel. Returns `(f, t, raptee_result)` triples plus
+/// a baseline per `f` value.
+pub fn sweep_grid(
+    template: &Scenario,
+    byzantine_fractions: &[f64],
+    trusted_fractions: &[f64],
+    repetitions: usize,
+) -> SweepResults {
+    let baselines: Vec<(f64, AggregatedResult)> = byzantine_fractions
+        .par_iter()
+        .map(|&f| {
+            let mut s = template.brahms_baseline();
+            s.byzantine_fraction = f;
+            (f, run_repeated(&s, repetitions))
+        })
+        .collect();
+    let grid: Vec<(f64, f64, AggregatedResult)> = byzantine_fractions
+        .iter()
+        .flat_map(|&f| trusted_fractions.iter().map(move |&t| (f, t)))
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|(f, t)| {
+            let mut s = template.clone();
+            s.byzantine_fraction = f;
+            s.trusted_fraction = t;
+            (f, t, run_repeated(&s, repetitions))
+        })
+        .collect();
+    SweepResults { baselines, grid }
+}
+
+/// Output of [`sweep_grid`].
+#[derive(Debug, Clone)]
+pub struct SweepResults {
+    /// Brahms baseline per Byzantine fraction.
+    pub baselines: Vec<(f64, AggregatedResult)>,
+    /// RAPTEE result per (f, t) grid point.
+    pub grid: Vec<(f64, f64, AggregatedResult)>,
+}
+
+impl SweepResults {
+    /// The baseline for Byzantine fraction `f`.
+    pub fn baseline(&self, f: f64) -> Option<&AggregatedResult> {
+        self.baselines
+            .iter()
+            .find(|(bf, _)| (bf - f).abs() < 1e-12)
+            .map(|(_, r)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::IdentificationResult;
+    use crate::scenario::Protocol;
+
+    fn tiny() -> Scenario {
+        Scenario {
+            n: 80,
+            byzantine_fraction: 0.1,
+            trusted_fraction: 0.05,
+            view_size: 10,
+            sample_size: 10,
+            rounds: 25,
+            tail_window: 5,
+            seed: 7,
+            ..Scenario::default()
+        }
+    }
+
+    fn fake_result(resilience: f64, discovery: Option<usize>) -> RunResult {
+        RunResult {
+            resilience,
+            discovery_round: discovery,
+            mean_discovery_round: discovery.map(|d| d as f64),
+            stability_round: discovery.map(|d| d + 5),
+            spread_stability_round: None,
+            byz_share_series: vec![resilience],
+            identification: Some(IdentificationResult {
+                precision: 0.5,
+                recall: 0.25,
+                f1: 1.0 / 3.0,
+                round: 3,
+            }),
+            rounds: 10,
+            floods_detected: 0,
+            total_evicted: 0,
+        }
+    }
+
+    #[test]
+    fn aggregate_means() {
+        let agg = aggregate(&[fake_result(0.2, Some(10)), fake_result(0.4, None)]);
+        assert!((agg.resilience - 0.3).abs() < 1e-12);
+        assert_eq!(agg.discovery_round, Some(10.0));
+        assert_eq!(agg.discovery_success, 0.5);
+        assert_eq!(agg.repetitions, 2);
+        assert!((agg.ident_precision - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_and_overhead_formulas() {
+        let base = aggregate(&[fake_result(0.4, Some(100))]);
+        let new = aggregate(&[fake_result(0.3, Some(110))]);
+        let imp = resilience_improvement_pct(&base, &new);
+        assert!((imp - 25.0).abs() < 1e-9);
+        let ovh = round_overhead_pct(base.discovery_round, new.discovery_round).unwrap();
+        assert!((ovh - 10.0).abs() < 1e-9);
+        assert_eq!(round_overhead_pct(None, Some(1.0)), None);
+        assert_eq!(round_overhead_pct(Some(0.0), Some(1.0)), None);
+    }
+
+    #[test]
+    fn repeated_runs_aggregate() {
+        let agg = run_repeated(&tiny(), 2);
+        assert_eq!(agg.repetitions, 2);
+        assert!(agg.resilience > 0.0 && agg.resilience < 1.0);
+    }
+
+    #[test]
+    fn repeated_runs_are_reproducible() {
+        let a = run_repeated(&tiny(), 2);
+        let b = run_repeated(&tiny(), 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sweep_covers_grid() {
+        let mut template = tiny();
+        template.protocol = Protocol::Raptee;
+        let sweep = sweep_grid(&template, &[0.1, 0.2], &[0.01, 0.1], 1);
+        assert_eq!(sweep.baselines.len(), 2);
+        assert_eq!(sweep.grid.len(), 4);
+        assert!(sweep.baseline(0.1).is_some());
+        assert!(sweep.baseline(0.15).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_repetitions_rejected() {
+        run_repeated(&tiny(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero results")]
+    fn aggregate_empty_rejected() {
+        aggregate(&[]);
+    }
+}

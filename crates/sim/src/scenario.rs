@@ -1,0 +1,360 @@
+//! Experiment configuration.
+
+use raptee::EvictionPolicy;
+
+/// The adversary's push strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttackStrategy {
+    /// Spread faulty pushes evenly over all correct nodes — proved
+    /// optimal for the system-wide objective in the Brahms paper, and
+    /// the strategy used throughout the evaluation.
+    Balanced,
+    /// Dedicate `focus` of the push budget to a victim subset of
+    /// `victim_fraction` of the correct nodes (the isolation attempt
+    /// Brahms' history sampling defeats; exercised by the
+    /// `ablation_gamma` analysis and the targeted-attack tests).
+    Targeted {
+        /// Fraction of correct nodes under focused attack.
+        victim_fraction: f64,
+        /// Fraction of the adversary's push budget aimed at them.
+        focus: f64,
+    },
+}
+
+/// Which protocol the non-Byzantine population runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Plain Brahms: no trusted nodes, no authentication, no eviction —
+    /// the paper's baseline (Fig. 3).
+    Brahms,
+    /// RAPTEE: `t·N` trusted nodes with mutual auth, trusted
+    /// communications and Byzantine eviction.
+    Raptee,
+}
+
+/// One experimental setup, mirroring the paper's Section V-B: "An
+/// experimental setup consists of selected proportions of Byzantine
+/// nodes, f, and trusted nodes, t, and a fixed Byzantine eviction rate."
+///
+/// # Examples
+///
+/// ```
+/// use raptee_sim::{Protocol, Scenario};
+/// use raptee::EvictionPolicy;
+///
+/// let s = Scenario {
+///     n: 500,
+///     byzantine_fraction: 0.1,
+///     trusted_fraction: 0.01,
+///     eviction: EvictionPolicy::adaptive(),
+///     protocol: Protocol::Raptee,
+///     ..Scenario::default()
+/// };
+/// s.validate();
+/// assert_eq!(s.byzantine_count(), 50);
+/// assert_eq!(s.trusted_count(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Total number of (original) nodes `N`.
+    pub n: usize,
+    /// Byzantine share `f` of the original population.
+    pub byzantine_fraction: f64,
+    /// Trusted share `t` of the original population (ignored under
+    /// [`Protocol::Brahms`]).
+    pub trusted_fraction: f64,
+    /// Additional view-poisoned trusted nodes injected by the adversary,
+    /// as a fraction of `n` (Section VI-B). They hold the genuine group
+    /// key and run correct code, but bootstrap with all-Byzantine views.
+    pub injected_poisoned_fraction: f64,
+    /// The adversary's push strategy.
+    pub attack: AttackStrategy,
+    /// Eviction policy for trusted nodes.
+    pub eviction: EvictionPolicy,
+    /// Enable the trusted view-swap (Section IV-B). Disabling it while
+    /// keeping eviction isolates the contribution of trusted
+    /// communications — the `ablation_trusted_swap` bench.
+    pub trusted_swap: bool,
+    /// Brahms history-sample weight `γ` (paper default 0.2); `α = β =
+    /// (1 − γ)/2`. Swept by the `ablation_gamma` bench to isolate the
+    /// self-healing contribution.
+    pub gamma: f64,
+    /// Dynamic view size `l1`. The paper uses 200 at `N = 10,000` (2 %).
+    pub view_size: usize,
+    /// Sample list size `l2` (paper: equal to `l1`).
+    pub sample_size: usize,
+    /// Rounds per run (paper: 200).
+    pub rounds: usize,
+    /// Protocol selection.
+    pub protocol: Protocol,
+    /// Run the real four-message HMAC handshake for every pull
+    /// (`true`), or the role-based shortcut whose equivalence is
+    /// asserted by `tests/crypto_shortcut.rs` (`false`, default for
+    /// large sweeps).
+    pub real_crypto_handshakes: bool,
+    /// Enable the trusted-node identification attack bookkeeping
+    /// (Section VI-A); costs one extra observation pull per Byzantine
+    /// node per round.
+    pub identification_attack: bool,
+    /// Identification threshold (paper: 0.1 maximises the adversary's
+    /// outcome).
+    pub identification_threshold: f64,
+    /// Uniform message-loss probability applied to pushes and pull
+    /// answers (failure injection; the paper's testbed is lossless).
+    pub message_loss: f64,
+    /// Fraction of *correct* nodes crashed at [`Scenario::crash_round`]
+    /// (churn injection; exercises Brahms' probe-based sampler
+    /// validation and the timeout handling of pulls).
+    pub crash_fraction: f64,
+    /// Round at which the crash batch happens.
+    pub crash_round: usize,
+    /// Run the sampler liveness validation every `k` rounds (0 disables).
+    /// The original Brahms probes its samples so departed nodes leave
+    /// the sample list.
+    pub sampler_validation_period: usize,
+    /// Push-flood threshold margin in standard deviations above `α·l1`.
+    /// `0` keeps the paper-literal `α·l1` threshold (appropriate at the
+    /// paper's view size, where `α·l1` already sits ≈ 4σ above the mean
+    /// arrival rate); the reduced-scale default of `4.0` reproduces that
+    /// same relative margin. See `BrahmsConfig::flood_threshold`.
+    pub flood_slack_sigmas: f64,
+    /// Rounds averaged at the end of the run for the resilience metric.
+    pub tail_window: usize,
+    /// Master seed; every repetition derives its own sub-seed.
+    pub seed: u64,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Self {
+            n: 1000,
+            byzantine_fraction: 0.1,
+            trusted_fraction: 0.01,
+            injected_poisoned_fraction: 0.0,
+            attack: AttackStrategy::Balanced,
+            eviction: EvictionPolicy::adaptive(),
+            trusted_swap: true,
+            gamma: 0.2,
+            view_size: 20,
+            sample_size: 20,
+            rounds: 120,
+            protocol: Protocol::Raptee,
+            real_crypto_handshakes: false,
+            identification_attack: false,
+            identification_threshold: 0.1,
+            message_loss: 0.0,
+            crash_fraction: 0.0,
+            crash_round: 0,
+            sampler_validation_period: 0,
+            flood_slack_sigmas: 4.0,
+            tail_window: 20,
+            seed: 0x5A97EE,
+        }
+    }
+}
+
+impl Scenario {
+    /// The paper's full-scale configuration: 10,000 nodes, view size 200,
+    /// 200 rounds.
+    pub fn paper_scale() -> Self {
+        Self {
+            n: 10_000,
+            view_size: 200,
+            sample_size: 200,
+            rounds: 200,
+            flood_slack_sigmas: 0.0, // paper-literal α·l1 threshold
+            ..Self::default()
+        }
+    }
+
+    /// Validates ranges and consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fractions leave `[0, 1]`, their sum exceeds 1, or any
+    /// size is zero.
+    pub fn validate(&self) {
+        assert!(self.n > 1, "population must contain at least two nodes");
+        for (name, v) in [
+            ("byzantine_fraction", self.byzantine_fraction),
+            ("trusted_fraction", self.trusted_fraction),
+            ("injected_poisoned_fraction", self.injected_poisoned_fraction),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name} must be in [0,1]");
+        }
+        assert!(
+            self.byzantine_fraction + self.trusted_fraction <= 1.0 + 1e-9,
+            "byzantine + trusted fractions exceed the population"
+        );
+        assert!(self.view_size > 0 && self.sample_size > 0, "sizes must be positive");
+        assert!(self.rounds > 0, "must run at least one round");
+        assert!(self.tail_window > 0, "tail window must be positive");
+        assert!((0.0..1.0).contains(&self.gamma), "gamma must be in [0,1)");
+        assert!(self.flood_slack_sigmas >= 0.0, "flood slack must be non-negative");
+        assert!((0.0..=1.0).contains(&self.message_loss), "message loss must be in [0,1]");
+        if let AttackStrategy::Targeted { victim_fraction, focus } = self.attack {
+            assert!((0.0..=1.0).contains(&victim_fraction), "victim fraction must be in [0,1]");
+            assert!((0.0..=1.0).contains(&focus), "focus must be in [0,1]");
+        }
+        assert!((0.0..1.0).contains(&self.crash_fraction), "crash fraction must be in [0,1)");
+        self.eviction.validate();
+        assert!(
+            (0.0..=1.0).contains(&self.identification_threshold),
+            "identification threshold must be in [0,1]"
+        );
+    }
+
+    /// Number of Byzantine nodes `⌊f·N⌋` (at least 1 when `f > 0`).
+    pub fn byzantine_count(&self) -> usize {
+        let b = (self.byzantine_fraction * self.n as f64).round() as usize;
+        if self.byzantine_fraction > 0.0 {
+            b.max(1)
+        } else {
+            0
+        }
+    }
+
+    /// Number of trusted nodes `⌊t·N⌋` (at least 1 when `t > 0` and the
+    /// protocol is RAPTEE; the paper's smallest setting is "1 % of
+    /// SGX-capable devices").
+    pub fn trusted_count(&self) -> usize {
+        if self.protocol == Protocol::Brahms {
+            return 0;
+        }
+        let t = (self.trusted_fraction * self.n as f64).round() as usize;
+        if self.trusted_fraction > 0.0 {
+            t.max(1)
+        } else {
+            0
+        }
+    }
+
+    /// Number of injected view-poisoned trusted nodes (extra, on top of
+    /// `n`).
+    pub fn injected_count(&self) -> usize {
+        (self.injected_poisoned_fraction * self.n as f64).round() as usize
+    }
+
+    /// Number of honest (non-Byzantine, untrusted) nodes.
+    pub fn honest_count(&self) -> usize {
+        self.n - self.byzantine_count() - self.trusted_count()
+    }
+
+    /// Total actors in the run, including injected nodes.
+    pub fn total_actors(&self) -> usize {
+        self.n + self.injected_count()
+    }
+
+    /// A copy of this scenario switched to the Brahms baseline (used to
+    /// compute resilience improvement and round overheads).
+    pub fn brahms_baseline(&self) -> Scenario {
+        Scenario {
+            protocol: Protocol::Brahms,
+            trusted_fraction: 0.0,
+            injected_poisoned_fraction: 0.0,
+            identification_attack: false,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        Scenario::default().validate();
+        Scenario::paper_scale().validate();
+        assert_eq!(Scenario::paper_scale().n, 10_000);
+    }
+
+    #[test]
+    fn counts_partition_population() {
+        let s = Scenario {
+            n: 1000,
+            byzantine_fraction: 0.14,
+            trusted_fraction: 0.05,
+            ..Scenario::default()
+        };
+        assert_eq!(s.byzantine_count(), 140);
+        assert_eq!(s.trusted_count(), 50);
+        assert_eq!(s.honest_count(), 810);
+        assert_eq!(
+            s.byzantine_count() + s.trusted_count() + s.honest_count(),
+            s.n
+        );
+    }
+
+    #[test]
+    fn tiny_fractions_round_up_to_one() {
+        let s = Scenario {
+            n: 50,
+            byzantine_fraction: 0.001,
+            trusted_fraction: 0.001,
+            ..Scenario::default()
+        };
+        assert_eq!(s.byzantine_count(), 1);
+        assert_eq!(s.trusted_count(), 1);
+    }
+
+    #[test]
+    fn brahms_protocol_has_no_trusted_nodes() {
+        let s = Scenario {
+            trusted_fraction: 0.3,
+            protocol: Protocol::Brahms,
+            ..Scenario::default()
+        };
+        assert_eq!(s.trusted_count(), 0);
+    }
+
+    #[test]
+    fn baseline_strips_raptee_features() {
+        let s = Scenario {
+            injected_poisoned_fraction: 0.1,
+            identification_attack: true,
+            ..Scenario::default()
+        };
+        let b = s.brahms_baseline();
+        assert_eq!(b.protocol, Protocol::Brahms);
+        assert_eq!(b.trusted_count(), 0);
+        assert_eq!(b.injected_count(), 0);
+        assert!(!b.identification_attack);
+        // Workload knobs preserved.
+        assert_eq!(b.n, s.n);
+        assert_eq!(b.byzantine_fraction, s.byzantine_fraction);
+        assert_eq!(b.seed, s.seed);
+    }
+
+    #[test]
+    fn injected_are_extra_actors() {
+        let s = Scenario {
+            n: 100,
+            injected_poisoned_fraction: 0.2,
+            ..Scenario::default()
+        };
+        assert_eq!(s.injected_count(), 20);
+        assert_eq!(s.total_actors(), 120);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the population")]
+    fn overfull_population_rejected() {
+        Scenario {
+            byzantine_fraction: 0.7,
+            trusted_fraction: 0.5,
+            ..Scenario::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn negative_fraction_rejected() {
+        Scenario {
+            byzantine_fraction: -0.1,
+            ..Scenario::default()
+        }
+        .validate();
+    }
+}

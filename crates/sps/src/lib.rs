@@ -1,0 +1,509 @@
+//! Secure Peer Sampling (SPS) — the detection/blacklisting baseline.
+//!
+//! Jesi, Montresor & van Steen (Computer Networks 2010) secure
+//! gossip-based peer sampling with a *detection* mechanism: each node
+//! watches the stream of identifiers it receives, flags IDs that are
+//! statistically over-represented (the signature of a hub/poisoning
+//! attack) and blacklists them. The RAPTEE paper positions SPS as
+//! related work and notes its weakness: "this protocol remains
+//! vulnerable to rapid flooding attack as correct nodes cannot identify
+//! and blacklist attackers before being overwhelmed by them and
+//! isolated."
+//!
+//! This crate implements a faithful simplification — framework gossip
+//! plus frequency-based detection — together with a small population
+//! driver and the two adversary profiles that make the comparison with
+//! Brahms meaningful:
+//!
+//! * **slow flooding**: few malicious IDs, heavily repeated — exactly
+//!   what the detector is built for; SPS holds.
+//! * **rapid flooding**: the full malicious identity space pushed at
+//!   once, each ID staying under the detection threshold; SPS is
+//!   overwhelmed, which Brahms' min-wise sampling and push limiting
+//!   survive (see `benches/baseline_sps_flooding.rs` and
+//!   `tests/baselines.rs`).
+
+use raptee_gossip::exchange::{integrate, prepare_buffer, select_partner, GossipConfig};
+use raptee_gossip::protocols::cyclon;
+use raptee_gossip::view::{View, ViewEntry};
+use raptee_net::NodeId;
+use raptee_util::rng::Xoshiro256StarStar;
+use std::collections::HashMap;
+
+/// Detection parameters of an SPS node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpsConfig {
+    /// Underlying gossip configuration (view size, H/S, selection).
+    pub gossip: GossipConfig,
+    /// Sliding-window length (rounds) of the frequency statistics.
+    pub window: usize,
+    /// An ID is blacklisted when its observed frequency exceeds
+    /// `threshold ×` the uniform expectation over the window.
+    pub threshold: f64,
+}
+
+impl SpsConfig {
+    /// A reasonable default instantiation over Cyclon-style gossip
+    /// (balanced in-degree keeps honest hubs from looking like
+    /// flooders).
+    pub fn with_view_size(c: usize) -> Self {
+        Self {
+            gossip: cyclon(c),
+            window: 20,
+            threshold: 6.0,
+        }
+    }
+
+    /// Validates parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window is zero or the threshold is not above 1.
+    pub fn validate(&self) {
+        self.gossip.validate();
+        assert!(self.window > 0, "detection window must be positive");
+        assert!(self.threshold > 1.0, "detection threshold must exceed 1");
+    }
+}
+
+/// One SPS node: a framework view plus the over-representation detector.
+#[derive(Debug, Clone)]
+pub struct SpsNode {
+    view: View,
+    config: SpsConfig,
+    /// Per-round observation counts, oldest first.
+    history: Vec<HashMap<NodeId, u32>>,
+    blacklist: Vec<NodeId>,
+    total_observed: u64,
+}
+
+impl SpsNode {
+    /// Creates a node bootstrapped from `bootstrap`.
+    pub fn new(id: NodeId, config: SpsConfig, bootstrap: &[NodeId]) -> Self {
+        config.validate();
+        let mut view = View::new(id, config.gossip.view_size);
+        for &b in bootstrap {
+            view.insert_fresh(b);
+        }
+        Self {
+            view,
+            config,
+            history: Vec::new(),
+            blacklist: Vec::new(),
+            total_observed: 0,
+        }
+    }
+
+    /// The node's view.
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+
+    /// The node's blacklist.
+    pub fn blacklist(&self) -> &[NodeId] {
+        &self.blacklist
+    }
+
+    /// Whether `id` is blacklisted.
+    pub fn is_blacklisted(&self, id: NodeId) -> bool {
+        self.blacklist.contains(&id)
+    }
+
+    /// Observes one round's received entries, updates the detector and
+    /// returns the entries that survive filtering (not blacklisted).
+    pub fn filter_incoming(&mut self, incoming: &[ViewEntry]) -> Vec<ViewEntry> {
+        // Record observations.
+        let mut round_counts: HashMap<NodeId, u32> = HashMap::new();
+        for e in incoming {
+            *round_counts.entry(e.id).or_insert(0) += 1;
+            self.total_observed += 1;
+        }
+        self.history.push(round_counts);
+        if self.history.len() > self.config.window {
+            self.history.remove(0);
+        }
+        // Re-derive the blacklist: an ID whose windowed frequency exceeds
+        // threshold × uniform expectation is flagged.
+        let mut totals: HashMap<NodeId, u32> = HashMap::new();
+        let mut window_total = 0u64;
+        for round in &self.history {
+            for (&id, &c) in round {
+                *totals.entry(id).or_insert(0) += c;
+                window_total += c as u64;
+            }
+        }
+        if window_total > 0 && totals.len() > 1 {
+            // Robust expectation: the *median* per-ID count. A mean would
+            // be inflated by the flooder's own mass (self-shadowing),
+            // letting heavy repetition of one ID slip under the bar.
+            let mut counts: Vec<u32> = totals.values().copied().collect();
+            counts.sort_unstable();
+            let expected = counts[counts.len() / 2] as f64;
+            for (&id, &c) in &totals {
+                if c as f64 > self.config.threshold * expected.max(1.0)
+                    && !self.blacklist.contains(&id)
+                {
+                    self.blacklist.push(id);
+                }
+            }
+        }
+        // Purge blacklisted IDs from the view and the incoming batch.
+        let blacklist = &self.blacklist;
+        self.view.retain(|e| !blacklist.contains(&e.id));
+        incoming
+            .iter()
+            .copied()
+            .filter(|e| !blacklist.contains(&e.id))
+            .collect()
+    }
+}
+
+/// What a population actor is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Correct,
+    Malicious,
+}
+
+/// The adversary's flooding profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flooding {
+    /// Repeat a small core of malicious IDs — detectable.
+    Slow {
+        /// Number of distinct malicious IDs advertised.
+        core: usize,
+    },
+    /// Spread the whole malicious identity space evenly so every ID stays
+    /// under the detection threshold — the attack SPS cannot stop.
+    Rapid,
+}
+
+/// A self-contained SPS population under a flooding adversary.
+#[derive(Debug)]
+pub struct SpsPopulation {
+    nodes: Vec<Option<SpsNode>>,
+    roles: Vec<Role>,
+    config: SpsConfig,
+    flooding: Flooding,
+    rng: Xoshiro256StarStar,
+    rounds: u64,
+}
+
+impl SpsPopulation {
+    /// Builds `n` nodes, the first `malicious` of which are adversarial,
+    /// each bootstrapped with a uniform membership sample.
+    pub fn new(n: usize, malicious: usize, config: SpsConfig, flooding: Flooding, seed: u64) -> Self {
+        config.validate();
+        assert!(malicious < n, "need at least one correct node");
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let all: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
+        let nodes: Vec<Option<SpsNode>> = (0..n)
+            .map(|i| {
+                if i < malicious {
+                    None
+                } else {
+                    let boot = rng.sample(&all, config.gossip.view_size + 2);
+                    Some(SpsNode::new(NodeId(i as u64), config, &boot))
+                }
+            })
+            .collect();
+        let roles = (0..n)
+            .map(|i| if i < malicious { Role::Malicious } else { Role::Correct })
+            .collect();
+        Self {
+            nodes,
+            roles,
+            config,
+            flooding,
+            rng,
+            rounds: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Rounds executed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    fn malicious_count(&self) -> usize {
+        self.roles.iter().filter(|r| **r == Role::Malicious).count()
+    }
+
+    /// The adversary's reply buffer under the configured profile.
+    fn malicious_buffer(&mut self) -> Vec<ViewEntry> {
+        let m = self.malicious_count();
+        let len = self.config.gossip.exchange_len();
+        let ids: Vec<NodeId> = match self.flooding {
+            Flooding::Slow { core } => (0..core.clamp(1, m) as u64).map(NodeId).collect(),
+            Flooding::Rapid => (0..m as u64).map(NodeId).collect(),
+        };
+        (0..len)
+            .map(|_| ViewEntry::fresh(ids[self.rng.index(ids.len())]))
+            .collect()
+    }
+
+    /// Runs one gossip round: correct nodes exchange views; any contact
+    /// with a malicious node returns a flooded buffer.
+    pub fn run_round(&mut self) {
+        let n = self.nodes.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        self.rng.shuffle(&mut order);
+        for i in order {
+            if self.roles[i] == Role::Malicious {
+                continue;
+            }
+            // Active thread of node i.
+            let Some(node) = self.nodes[i].as_mut() else { continue };
+            node.view.increase_age();
+            let Some(partner) = select_partner(&node.view, &self.config.gossip, &mut self.rng)
+            else {
+                continue;
+            };
+            let p = partner.index();
+            if p == i || p >= n {
+                continue;
+            }
+            if self.roles[p] == Role::Malicious {
+                // The adversary replies with a flooded buffer; it ignores
+                // what it receives.
+                let cfg = self.config.gossip;
+                let request = {
+                    let node = self.nodes[i].as_mut().expect("checked correct");
+                    prepare_buffer(&mut node.view, &cfg, &mut self.rng)
+                };
+                drop(request);
+                let reply = self.malicious_buffer();
+                let node = self.nodes[i].as_mut().expect("checked correct");
+                let admitted = node.filter_incoming(&reply);
+                integrate(&mut node.view, &admitted, &cfg, &mut self.rng);
+            } else {
+                // Correct ↔ correct exchange with detection on both ends.
+                let cfg = self.config.gossip;
+                let (a, b) = Self::two(&mut self.nodes, i, p);
+                let buf_a = prepare_buffer(&mut a.view, &cfg, &mut self.rng);
+                let buf_b = prepare_buffer(&mut b.view, &cfg, &mut self.rng);
+                let admitted_b = b.filter_incoming(&buf_a);
+                integrate(&mut b.view, &admitted_b, &cfg, &mut self.rng);
+                let admitted_a = a.filter_incoming(&buf_b);
+                integrate(&mut a.view, &admitted_a, &cfg, &mut self.rng);
+            }
+        }
+        self.rounds += 1;
+    }
+
+    /// Runs `k` rounds.
+    pub fn run_rounds(&mut self, k: usize) {
+        for _ in 0..k {
+            self.run_round();
+        }
+    }
+
+    /// Mean malicious share in correct views.
+    pub fn malicious_view_share(&self) -> f64 {
+        let m = self.malicious_count();
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for node in self.nodes.iter().flatten() {
+            let v = node.view();
+            if v.is_empty() {
+                continue;
+            }
+            let bad = v.ids().filter(|id| id.index() < m).count();
+            total += bad as f64 / v.len() as f64;
+            count += 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+
+    /// Mean blacklist coverage: fraction of malicious IDs blacklisted,
+    /// averaged over correct nodes.
+    pub fn blacklist_coverage(&self) -> f64 {
+        let m = self.malicious_count().max(1);
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for node in self.nodes.iter().flatten() {
+            let bad = node.blacklist.iter().filter(|id| id.index() < m).count();
+            total += bad as f64 / m as f64;
+            count += 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+
+    /// Fraction of *correct* IDs wrongly blacklisted (collateral damage),
+    /// averaged over correct nodes.
+    pub fn false_positive_rate(&self) -> f64 {
+        let m = self.malicious_count();
+        let correct_total = (self.nodes.len() - m).max(1);
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for node in self.nodes.iter().flatten() {
+            let fp = node.blacklist.iter().filter(|id| id.index() >= m).count();
+            total += fp as f64 / correct_total as f64;
+            count += 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+
+    fn two(nodes: &mut [Option<SpsNode>], a: usize, b: usize) -> (&mut SpsNode, &mut SpsNode) {
+        assert_ne!(a, b);
+        let (x, y, swapped) = if a < b { (a, b, false) } else { (b, a, true) };
+        let (lo, hi) = nodes.split_at_mut(y);
+        let first = lo[x].as_mut().expect("caller checked role");
+        let second = hi[0].as_mut().expect("caller checked role");
+        if swapped {
+            (second, first)
+        } else {
+            (first, second)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> SpsConfig {
+        SpsConfig::with_view_size(10)
+    }
+
+    #[test]
+    fn config_validation() {
+        config().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn threshold_must_exceed_one() {
+        let mut c = config();
+        c.threshold = 0.9;
+        c.validate();
+    }
+
+    #[test]
+    fn detector_flags_over_represented_ids() {
+        let mut node = SpsNode::new(NodeId(0), config(), &[NodeId(1), NodeId(2)]);
+        // Rounds dominated by one ID; the rest uniform.
+        for _ in 0..10 {
+            let mut batch: Vec<ViewEntry> = (10..15).map(|i| ViewEntry::fresh(NodeId(i))).collect();
+            batch.extend((0..10).map(|_| ViewEntry::fresh(NodeId(99))));
+            node.filter_incoming(&batch);
+        }
+        assert!(node.is_blacklisted(NodeId(99)));
+        assert!(!node.is_blacklisted(NodeId(10)));
+    }
+
+    #[test]
+    fn filtered_batch_excludes_blacklisted() {
+        let mut node = SpsNode::new(NodeId(0), config(), &[]);
+        for _ in 0..10 {
+            let batch: Vec<ViewEntry> = (0..10).map(|_| ViewEntry::fresh(NodeId(99))).collect();
+            node.filter_incoming(&batch);
+        }
+        // 99 is now blacklisted (it is virtually the only observed ID
+        // once others appear).
+        let mut probe: Vec<ViewEntry> = vec![ViewEntry::fresh(NodeId(99))];
+        probe.extend((1..8).map(|i| ViewEntry::fresh(NodeId(i))));
+        let admitted = node.filter_incoming(&probe);
+        if node.is_blacklisted(NodeId(99)) {
+            assert!(admitted.iter().all(|e| e.id != NodeId(99)));
+        }
+    }
+
+    #[test]
+    fn blacklisted_ids_leave_the_view() {
+        let mut node = SpsNode::new(NodeId(0), config(), &[NodeId(99), NodeId(1)]);
+        assert!(node.view().contains(NodeId(99)));
+        for _ in 0..10 {
+            let mut batch: Vec<ViewEntry> = (10..15).map(|i| ViewEntry::fresh(NodeId(i))).collect();
+            batch.extend((0..10).map(|_| ViewEntry::fresh(NodeId(99))));
+            node.filter_incoming(&batch);
+        }
+        assert!(node.is_blacklisted(NodeId(99)));
+        assert!(!node.view().contains(NodeId(99)));
+    }
+
+    #[test]
+    fn slow_flooding_is_contained() {
+        let mut pop = SpsPopulation::new(200, 20, config(), Flooding::Slow { core: 2 }, 7);
+        pop.run_rounds(60);
+        assert!(
+            pop.blacklist_coverage() > 0.0,
+            "the repeated core must get blacklisted somewhere"
+        );
+        let share = pop.malicious_view_share();
+        assert!(
+            share < 0.3,
+            "slow flooding must be contained by detection: {share:.3}"
+        );
+    }
+
+    #[test]
+    fn rapid_flooding_overwhelms_sps() {
+        let mut pop = SpsPopulation::new(200, 20, config(), Flooding::Rapid, 7);
+        pop.run_rounds(60);
+        let share = pop.malicious_view_share();
+        // 10% malicious nodes end up far over-represented: the detector
+        // cannot lock onto any single ID.
+        assert!(
+            share > 0.3,
+            "rapid flooding must overwhelm the detector: {share:.3}"
+        );
+    }
+
+    #[test]
+    fn rapid_beats_slow_for_the_adversary() {
+        let slow = {
+            let mut pop = SpsPopulation::new(150, 15, config(), Flooding::Slow { core: 2 }, 3);
+            pop.run_rounds(50);
+            pop.malicious_view_share()
+        };
+        let rapid = {
+            let mut pop = SpsPopulation::new(150, 15, config(), Flooding::Rapid, 3);
+            pop.run_rounds(50);
+            pop.malicious_view_share()
+        };
+        assert!(
+            rapid > slow,
+            "rapid flooding must serve the adversary better: rapid {rapid:.3} vs slow {slow:.3}"
+        );
+    }
+
+    #[test]
+    fn false_positives_stay_low_in_calm_runs() {
+        let mut pop = SpsPopulation::new(150, 0, config(), Flooding::Rapid, 11);
+        pop.run_rounds(50);
+        assert!(
+            pop.false_positive_rate() < 0.05,
+            "honest gossip must rarely be blacklisted: {:.4}",
+            pop.false_positive_rate()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "correct node")]
+    fn all_malicious_population_rejected() {
+        SpsPopulation::new(10, 10, config(), Flooding::Rapid, 1);
+    }
+}

@@ -1,0 +1,270 @@
+//! Simulated remote attestation and group-key provisioning.
+//!
+//! Plays the role of Intel's attestation service in the paper's trust
+//! model: "we trust Intel for the certification of genuine SGX-enabled
+//! CPUs, and we assume that the code running inside enclaves is properly
+//! attested before being provided with secrets."
+//!
+//! The flow mirrors EPID/DCAP attestation shrunk to its essentials:
+//!
+//! 1. A platform produces a [`Quote`] over its enclave's measurement,
+//!    authenticated with a per-platform key that the service can verify
+//!    (standing in for the CPU-fused EPID key certified by Intel).
+//! 2. The [`AttestationService`] checks the quote signature and compares
+//!    the measurement with the expected RAPTEE trusted-code measurement.
+//! 3. On success it returns the group key, which the caller installs into
+//!    the enclave ([`Enclave::provision_group_key`]).
+//!
+//! The adversary can buy SGX platforms (so it can obtain *valid quotes for
+//! genuine code*) but cannot forge a quote for modified code — exactly the
+//! capability split the paper's Section VI-B injection attack assumes.
+
+use crate::enclave::{Enclave, Measurement};
+use raptee_crypto::hmac::hmac_sha256;
+use raptee_crypto::key::{constant_time_eq, SecretKey};
+
+/// An attestation quote: the platform's claim that an enclave with
+/// `measurement` runs on a genuine platform `platform_id`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quote {
+    /// Identity of the quoting platform (certified by "Intel").
+    pub platform_id: u64,
+    /// Measurement of the enclave being attested.
+    pub measurement: Measurement,
+    /// Freshness nonce chosen by the verifier.
+    pub nonce: [u8; 16],
+    /// Platform signature over (platform_id, measurement, nonce) —
+    /// modelled as an HMAC under the platform's certified key.
+    pub signature: [u8; 32],
+}
+
+/// Errors returned by the attestation service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttestationError {
+    /// The platform is not in the certified-platform registry.
+    UnknownPlatform,
+    /// The quote signature does not verify.
+    BadSignature,
+    /// The enclave measurement is not the expected RAPTEE trusted code.
+    WrongMeasurement,
+    /// The nonce does not match the challenge issued by the service.
+    StaleNonce,
+}
+
+impl std::fmt::Display for AttestationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AttestationError::UnknownPlatform => "platform is not certified",
+            AttestationError::BadSignature => "quote signature verification failed",
+            AttestationError::WrongMeasurement => "enclave measurement is not the expected code",
+            AttestationError::StaleNonce => "attestation nonce is stale or unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for AttestationError {}
+
+/// The group-key provisioning service.
+///
+/// # Examples
+///
+/// ```
+/// use raptee_tee::{AttestationService, Enclave};
+/// use raptee_crypto::SecretKey;
+///
+/// let code = b"raptee trusted code";
+/// let mut service = AttestationService::new(
+///     raptee_tee::enclave::Measurement::of_code(code),
+///     SecretKey::from_seed(7),
+/// );
+/// service.certify_platform(1001);
+///
+/// let mut enclave = Enclave::load(code, 1001);
+/// let nonce = service.challenge();
+/// let quote = AttestationService::quote(1001, &enclave, nonce);
+/// let key = service.attest(&quote).expect("genuine enclave attests");
+/// enclave.provision_group_key(key);
+/// assert!(enclave.is_provisioned());
+/// ```
+#[derive(Debug)]
+pub struct AttestationService {
+    expected: Measurement,
+    group_key: SecretKey,
+    certified_platforms: Vec<u64>,
+    issued_nonces: Vec<[u8; 16]>,
+    nonce_counter: u64,
+}
+
+impl AttestationService {
+    /// Creates a service that provisions `group_key` to enclaves whose
+    /// measurement equals `expected`.
+    pub fn new(expected: Measurement, group_key: SecretKey) -> Self {
+        Self {
+            expected,
+            group_key,
+            certified_platforms: Vec::new(),
+            issued_nonces: Vec::new(),
+            nonce_counter: 0,
+        }
+    }
+
+    /// Registers a platform as genuine (the "Intel certifies CPUs" step).
+    pub fn certify_platform(&mut self, platform_id: u64) {
+        if !self.certified_platforms.contains(&platform_id) {
+            self.certified_platforms.push(platform_id);
+        }
+    }
+
+    /// Issues a fresh challenge nonce the platform must quote over.
+    pub fn challenge(&mut self) -> [u8; 16] {
+        self.nonce_counter += 1;
+        let mut nonce = [0u8; 16];
+        nonce[..8].copy_from_slice(&self.nonce_counter.to_le_bytes());
+        self.issued_nonces.push(nonce);
+        nonce
+    }
+
+    /// Produces a quote on behalf of `platform_id` for `enclave` — the
+    /// operation the platform's quoting enclave performs. Free function so
+    /// simulations can quote without borrowing the service.
+    pub fn quote(platform_id: u64, enclave: &Enclave, nonce: [u8; 16]) -> Quote {
+        let signature = Self::platform_sign(platform_id, enclave.measurement(), nonce);
+        Quote {
+            platform_id,
+            measurement: enclave.measurement(),
+            nonce,
+            signature,
+        }
+    }
+
+    /// Verifies a quote and, on success, releases the group key.
+    ///
+    /// # Errors
+    ///
+    /// See [`AttestationError`] for the four rejection cases.
+    pub fn attest(&mut self, quote: &Quote) -> Result<SecretKey, AttestationError> {
+        if !self.certified_platforms.contains(&quote.platform_id) {
+            return Err(AttestationError::UnknownPlatform);
+        }
+        let pos = self
+            .issued_nonces
+            .iter()
+            .position(|n| n == &quote.nonce)
+            .ok_or(AttestationError::StaleNonce)?;
+        let expected_sig = Self::platform_sign(quote.platform_id, quote.measurement, quote.nonce);
+        if !constant_time_eq(&expected_sig, &quote.signature) {
+            return Err(AttestationError::BadSignature);
+        }
+        if quote.measurement != self.expected {
+            return Err(AttestationError::WrongMeasurement);
+        }
+        self.issued_nonces.swap_remove(pos);
+        Ok(self.group_key.clone())
+    }
+
+    /// The platform attestation key — in real SGX a CPU-fused secret whose
+    /// public part Intel certifies. Deterministic per platform so both the
+    /// quoting side and the service derive the same key.
+    fn platform_sign(platform_id: u64, measurement: Measurement, nonce: [u8; 16]) -> [u8; 32] {
+        let key = raptee_crypto::hmac::derive_key(&platform_id.to_le_bytes(), "platform-epid", &[]);
+        let mut msg = Vec::with_capacity(8 + 32 + 16);
+        msg.extend_from_slice(&platform_id.to_le_bytes());
+        msg.extend_from_slice(&measurement.0);
+        msg.extend_from_slice(&nonce);
+        hmac_sha256(&key, &msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CODE: &[u8] = b"raptee trusted node code v1.0";
+
+    fn service() -> AttestationService {
+        let mut s = AttestationService::new(Measurement::of_code(CODE), SecretKey::from_seed(42));
+        s.certify_platform(1);
+        s
+    }
+
+    #[test]
+    fn genuine_enclave_attests_and_gets_key() {
+        let mut s = service();
+        let enclave = Enclave::load(CODE, 1);
+        let nonce = s.challenge();
+        let quote = AttestationService::quote(1, &enclave, nonce);
+        let key = s.attest(&quote).unwrap();
+        assert_eq!(key, SecretKey::from_seed(42));
+    }
+
+    #[test]
+    fn modified_code_rejected() {
+        let mut s = service();
+        let evil = Enclave::load(b"modified raptee code", 1);
+        let nonce = s.challenge();
+        let quote = AttestationService::quote(1, &evil, nonce);
+        assert_eq!(s.attest(&quote).unwrap_err(), AttestationError::WrongMeasurement);
+    }
+
+    #[test]
+    fn uncertified_platform_rejected() {
+        let mut s = service();
+        let enclave = Enclave::load(CODE, 999);
+        let nonce = s.challenge();
+        let quote = AttestationService::quote(999, &enclave, nonce);
+        assert_eq!(s.attest(&quote).unwrap_err(), AttestationError::UnknownPlatform);
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let mut s = service();
+        let enclave = Enclave::load(CODE, 1);
+        let nonce = s.challenge();
+        let mut quote = AttestationService::quote(1, &enclave, nonce);
+        quote.signature[0] ^= 1;
+        assert_eq!(s.attest(&quote).unwrap_err(), AttestationError::BadSignature);
+    }
+
+    #[test]
+    fn lying_about_measurement_breaks_signature() {
+        // A certified but malicious platform cannot claim the genuine
+        // measurement for evil code: the platform signature covers the
+        // real measurement produced by the quoting enclave.
+        let mut s = service();
+        let evil = Enclave::load(b"evil", 1);
+        let nonce = s.challenge();
+        let mut quote = AttestationService::quote(1, &evil, nonce);
+        quote.measurement = Measurement::of_code(CODE); // lie
+        assert_eq!(s.attest(&quote).unwrap_err(), AttestationError::BadSignature);
+    }
+
+    #[test]
+    fn nonce_cannot_be_replayed() {
+        let mut s = service();
+        let enclave = Enclave::load(CODE, 1);
+        let nonce = s.challenge();
+        let quote = AttestationService::quote(1, &enclave, nonce);
+        assert!(s.attest(&quote).is_ok());
+        // Second use of the same nonce fails.
+        assert_eq!(s.attest(&quote).unwrap_err(), AttestationError::StaleNonce);
+    }
+
+    #[test]
+    fn adversary_purchased_platform_gets_key_only_for_genuine_code() {
+        // Section VI-B: the adversary buys SGX hardware. It can attest the
+        // *genuine* code (and then only feed it poisoned views), but not
+        // its own code.
+        let mut s = service();
+        s.certify_platform(666); // adversary-owned but genuine CPU
+        let genuine = Enclave::load(CODE, 666);
+        let nonce = s.challenge();
+        assert!(s.attest(&AttestationService::quote(666, &genuine, nonce)).is_ok());
+        let evil = Enclave::load(b"evil raptee", 666);
+        let nonce = s.challenge();
+        assert_eq!(
+            s.attest(&AttestationService::quote(666, &evil, nonce)).unwrap_err(),
+            AttestationError::WrongMeasurement
+        );
+    }
+}

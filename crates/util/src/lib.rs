@@ -1,0 +1,41 @@
+//! Shared utilities for the RAPTEE reproduction.
+//!
+//! This crate holds the deterministic building blocks used by every other
+//! crate in the workspace:
+//!
+//! * [`rng`] — small, fast, seedable pseudo-random generators
+//!   ([`rng::SplitMix64`], [`rng::Xoshiro256StarStar`]) plus the 64-bit
+//!   mixing functions used to build the min-wise-independent hash families
+//!   of the Brahms sampling component.
+//! * [`stats`] — online mean/variance accumulators, percentiles and
+//!   confidence half-widths used by the experiment harness.
+//! * [`hist`] — fixed-width histograms for in-degree distribution and
+//!   round-latency reporting.
+//! * [`chi`] — a chi-square uniformity test used by the sampler property
+//!   tests.
+//! * [`series`] — tiny CSV/series formatting helpers shared by the
+//!   benchmark harness so each figure can print the same rows the paper
+//!   reports.
+//!
+//! Everything here is deliberately dependency-free so the rest of the
+//! workspace stays deterministic and auditable.
+//!
+//! # Examples
+//!
+//! ```
+//! use raptee_util::rng::Xoshiro256StarStar;
+//!
+//! let mut rng = Xoshiro256StarStar::seed_from_u64(42);
+//! let a = rng.next_u64();
+//! let b = rng.next_u64();
+//! assert_ne!(a, b);
+//! ```
+
+pub mod chi;
+pub mod hist;
+pub mod rng;
+pub mod series;
+pub mod stats;
+
+pub use rng::{mix64, SplitMix64, Xoshiro256StarStar};
+pub use stats::OnlineStats;

@@ -1,0 +1,89 @@
+//! An upper-layer protocol on top of the peer-sampling service:
+//! epidemic broadcast.
+//!
+//! The paper motivates peer sampling as the substrate for "information
+//! dissemination" — a node with a new block/transaction gossips it to
+//! peers drawn from its sample list. The *quality* of the sample decides
+//! whether the rumor reaches everyone: if the adversary is
+//! over-represented, infections waste their fan-out on Byzantine nodes
+//! that swallow the message.
+//!
+//! This example runs the peer-sampling layer (Brahms vs RAPTEE) to
+//! convergence under a 25 % adversary, then broadcasts a rumor over the
+//! resulting sample lists (fanout 4, Byzantine nodes never forward) and
+//! reports per-round honest coverage.
+//!
+//! Run with `cargo run --release --example broadcast_dissemination`.
+
+use raptee_net::NodeId;
+use raptee_sim::{Protocol, Scenario, Simulation};
+use raptee_util::rng::Xoshiro256StarStar;
+
+const FANOUT: usize = 4;
+
+fn broadcast(label: &str, scenario: &Scenario) {
+    let byz = scenario.byzantine_count();
+    let mut sim = Simulation::new(scenario.clone());
+    for _ in 0..scenario.rounds {
+        sim.run_round();
+    }
+    // Collect each honest node's converged sample list.
+    let samples: Vec<Vec<NodeId>> = (0..scenario.n)
+        .map(|i| {
+            sim.node(NodeId(i as u64))
+                .map(|n| n.brahms().sampler().samples())
+                .unwrap_or_default()
+        })
+        .collect();
+    // Epidemic rounds: infected honest nodes forward to FANOUT peers from
+    // their sample list. Byzantine nodes accept and drop.
+    let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+    let mut infected = vec![false; scenario.n];
+    let source = byz; // first honest node
+    infected[source] = true;
+    let honest_total = scenario.n - byz;
+    print!("{label:<8} coverage/round:");
+    for _round in 0..10 {
+        let mut next = infected.clone();
+        for i in byz..scenario.n {
+            if !infected[i] || samples[i].is_empty() {
+                continue;
+            }
+            for _ in 0..FANOUT {
+                let peer = samples[i][rng.index(samples[i].len())];
+                next[peer.index()] = true;
+            }
+        }
+        infected = next;
+        let covered = (byz..scenario.n).filter(|&i| infected[i]).count();
+        print!(" {:>3.0}%", covered as f64 / honest_total as f64 * 100.0);
+    }
+    let covered = (byz..scenario.n).filter(|&i| infected[i]).count();
+    println!("  (final: {covered}/{honest_total})");
+}
+
+fn main() {
+    println!("epidemic broadcast over converged sample lists, f = 25%, fanout = {FANOUT}\n");
+    let base = Scenario {
+        n: 400,
+        byzantine_fraction: 0.25,
+        trusted_fraction: 0.10,
+        view_size: 16,
+        sample_size: 16,
+        rounds: 120,
+        seed: 17,
+        ..Scenario::default()
+    };
+    broadcast(
+        "Brahms",
+        &Scenario {
+            protocol: Protocol::Brahms,
+            ..base.clone()
+        },
+    );
+    broadcast("RAPTEE", &base);
+    println!(
+        "\nWith fewer Byzantine IDs in the sample lists, RAPTEE wastes less fanout\n\
+         on adversarial sinks and reaches full coverage sooner."
+    );
+}

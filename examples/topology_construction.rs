@@ -1,0 +1,91 @@
+//! Overlay construction on top of the peer-sampling service.
+//!
+//! The paper's introduction motivates peer sampling as the substrate of
+//! "distributed unstructured overlay management" (T-Man, Vicinity): each
+//! node greedily keeps the neighbours that best match a target topology,
+//! using the peer-sampling stream as its source of fresh candidates. If
+//! the stream is biased towards the adversary, the structured overlay is
+//! built out of Byzantine nodes.
+//!
+//! This example builds a *ring* over the node-ID space (T-Man's classic
+//! demo): every correct node keeps the k closest IDs (cyclic distance)
+//! it has ever sampled, refreshed from the converged sample lists of
+//! either Brahms or RAPTEE under a 25 % adversary. We measure how many
+//! of the final ring neighbours are Byzantine.
+//!
+//! Run with `cargo run --release --example topology_construction`.
+
+use raptee_net::NodeId;
+use raptee_sim::{Protocol, Scenario, Simulation};
+
+const NEIGHBOURS: usize = 4;
+
+/// Cyclic distance over the ID space.
+fn ring_distance(a: u64, b: u64, n: u64) -> u64 {
+    let d = a.abs_diff(b);
+    d.min(n - d)
+}
+
+fn build_ring(label: &str, scenario: &Scenario) {
+    let byz = scenario.byzantine_count();
+    let mut sim = Simulation::new(scenario.clone());
+    for _ in 0..scenario.rounds {
+        sim.run_round();
+    }
+    // Each correct node selects its NEIGHBOURS closest sampled IDs.
+    let mut byz_neighbours = 0usize;
+    let mut total_neighbours = 0usize;
+    let mut perfect = 0usize;
+    for i in byz..scenario.n {
+        let node = sim.node(NodeId(i as u64)).unwrap();
+        let mut candidates: Vec<NodeId> = node.brahms().sampler().samples();
+        candidates.extend(node.brahms().view().ids());
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates
+            .sort_by_key(|c| ring_distance(i as u64, c.0, scenario.n as u64));
+        let chosen: Vec<NodeId> = candidates.into_iter().take(NEIGHBOURS).collect();
+        let byz_here = chosen.iter().filter(|c| c.index() < byz).count();
+        byz_neighbours += byz_here;
+        total_neighbours += chosen.len();
+        // "Perfect" = both immediate ring successors/predecessors found
+        // among the correct population (ignoring gaps left by Byzantine
+        // positions).
+        if byz_here == 0 && chosen.len() == NEIGHBOURS {
+            perfect += 1;
+        }
+    }
+    println!(
+        "{label:<8}  Byzantine ring neighbours: {:>5.1}%   nodes with a fully honest neighbourhood: {:>5.1}%",
+        byz_neighbours as f64 / total_neighbours as f64 * 100.0,
+        perfect as f64 / (scenario.n - byz) as f64 * 100.0
+    );
+}
+
+fn main() {
+    println!(
+        "T-Man-style ring construction from the sampling stream, f = 25%, k = {NEIGHBOURS}\n"
+    );
+    let base = Scenario {
+        n: 400,
+        byzantine_fraction: 0.25,
+        trusted_fraction: 0.10,
+        view_size: 16,
+        sample_size: 16,
+        rounds: 120,
+        seed: 5150,
+        ..Scenario::default()
+    };
+    build_ring(
+        "Brahms",
+        &Scenario {
+            protocol: Protocol::Brahms,
+            ..base.clone()
+        },
+    );
+    build_ring("RAPTEE", &base);
+    println!(
+        "\nA less-biased sampling stream directly translates into a cleaner\n\
+         structured overlay: fewer Byzantine nodes capture ring positions."
+    );
+}

@@ -1,0 +1,403 @@
+//! Argument parsing and command execution for the `raptee-cli` binary.
+//!
+//! Dependency-free by design (no clap offline): a small hand-rolled
+//! `--key value` parser with typed accessors, unit-tested separately
+//! from I/O.
+//!
+//! ```text
+//! raptee-cli run    [--n 400] [--f 0.2] [--t 0.1] [--eviction adaptive]
+//!                   [--view 16] [--rounds 200] [--seed 7] [--protocol raptee]
+//!                   [--reps 1] [--series]
+//! raptee-cli sweep  [--eviction adaptive] [--reps 2] ...
+//! raptee-cli ident  [--f 0.1] [--eviction 0.6] ...
+//! raptee-cli inject [--t 0.01] [--injected 0.05] ...
+//! ```
+
+use raptee::EvictionPolicy;
+use raptee_sim::{runner, Protocol, Scenario};
+use std::collections::BTreeMap;
+
+/// A parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// `--key value` pairs.
+    pub options: BTreeMap<String, String>,
+}
+
+/// Parsing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--key` had no value.
+    MissingValue(String),
+    /// A positional argument appeared where an option was expected.
+    UnexpectedArgument(String),
+    /// A value failed to parse for its option.
+    BadValue {
+        /// Option name.
+        key: String,
+        /// Offending value.
+        value: String,
+    },
+    /// Unknown subcommand.
+    UnknownCommand(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::MissingCommand => write!(f, "missing subcommand (run|sweep|ident|inject)"),
+            CliError::MissingValue(k) => write!(f, "option --{k} expects a value"),
+            CliError::UnexpectedArgument(a) => write!(f, "unexpected argument {a:?}"),
+            CliError::BadValue { key, value } => {
+                write!(f, "invalid value {value:?} for --{key}")
+            }
+            CliError::UnknownCommand(c) => write!(f, "unknown subcommand {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] when the grammar is violated.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, CliError> {
+        let mut iter = raw.into_iter();
+        let command = iter.next().ok_or(CliError::MissingCommand)?;
+        if command.starts_with('-') {
+            return Err(CliError::MissingCommand);
+        }
+        let mut options = BTreeMap::new();
+        while let Some(arg) = iter.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| CliError::UnexpectedArgument(arg.clone()))?
+                .to_string();
+            let value = iter.next().ok_or_else(|| CliError::MissingValue(key.clone()))?;
+            options.insert(key, value);
+        }
+        Ok(Args { command, options })
+    }
+
+    /// Typed option accessor with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::BadValue`] when present but unparsable.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| CliError::BadValue {
+                key: key.to_string(),
+                value: v.clone(),
+            }),
+        }
+    }
+
+    /// Whether a boolean flag (`--series true` / presence with any value
+    /// other than "false") is set.
+    pub fn flag(&self, key: &str) -> bool {
+        match self.options.get(key) {
+            None => false,
+            Some(v) => v != "false" && v != "0",
+        }
+    }
+
+    /// Parses the `--eviction` option: `none`, `adaptive`, or a fixed
+    /// rate like `0.6`.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::BadValue`] on anything else.
+    pub fn eviction(&self) -> Result<EvictionPolicy, CliError> {
+        match self.options.get("eviction").map(String::as_str) {
+            None | Some("adaptive") => Ok(EvictionPolicy::adaptive()),
+            Some("none") => Ok(EvictionPolicy::none()),
+            Some(v) => match v.parse::<f64>() {
+                Ok(r) if (0.0..=1.0).contains(&r) => Ok(EvictionPolicy::Fixed(r)),
+                _ => Err(CliError::BadValue {
+                    key: "eviction".into(),
+                    value: v.into(),
+                }),
+            },
+        }
+    }
+
+    /// Parses the `--protocol` option (`raptee` default, or `brahms`).
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::BadValue`] on anything else.
+    pub fn protocol(&self) -> Result<Protocol, CliError> {
+        match self.options.get("protocol").map(String::as_str) {
+            None | Some("raptee") => Ok(Protocol::Raptee),
+            Some("brahms") => Ok(Protocol::Brahms),
+            Some(v) => Err(CliError::BadValue {
+                key: "protocol".into(),
+                value: v.into(),
+            }),
+        }
+    }
+
+    /// Builds the scenario common to all subcommands.
+    ///
+    /// # Errors
+    ///
+    /// Propagates option-parsing failures.
+    pub fn scenario(&self) -> Result<Scenario, CliError> {
+        let view = self.get("view", 16usize)?;
+        let rounds = self.get("rounds", 200usize)?;
+        Ok(Scenario {
+            n: self.get("n", 400usize)?,
+            byzantine_fraction: self.get("f", 0.10f64)?,
+            trusted_fraction: self.get("t", 0.01f64)?,
+            injected_poisoned_fraction: self.get("injected", 0.0f64)?,
+            eviction: self.eviction()?,
+            view_size: view,
+            sample_size: view,
+            rounds,
+            tail_window: (rounds / 10).max(5),
+            protocol: self.protocol()?,
+            seed: self.get("seed", 0x5A97EE_u64)?,
+            ..Scenario::default()
+        })
+    }
+}
+
+/// The usage string printed on error or `help`.
+pub const USAGE: &str = "raptee-cli — drive the RAPTEE reproduction from the command line
+
+USAGE:
+    raptee-cli <run|sweep|ident|inject|help> [--key value]...
+
+COMMON OPTIONS:
+    --n <usize>        population size            [default: 400]
+    --f <f64>          Byzantine fraction         [default: 0.10]
+    --t <f64>          trusted fraction           [default: 0.01]
+    --view <usize>     view/sample size           [default: 16]
+    --rounds <usize>   rounds per run             [default: 200]
+    --seed <u64>       master seed
+    --reps <usize>     repetitions                [default: 1]
+    --eviction <p>     none | adaptive | 0.0..1.0 [default: adaptive]
+    --protocol <p>     raptee | brahms            [default: raptee]
+
+SUBCOMMANDS:
+    run      one scenario; add --series true to dump the pollution curve as CSV
+    sweep    f × t grid vs the Brahms baseline (fig 5-9 shape)
+    ident    trusted-node identification attack (fig 10-12 shape)
+    inject   view-poisoned trusted node injection (fig 13 shape); --injected <f64>
+";
+
+/// Executes a parsed command; returns the text to print.
+///
+/// # Errors
+///
+/// Returns usage/validation errors as [`CliError`].
+pub fn execute(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "help" => Ok(USAGE.to_string()),
+        "run" => cmd_run(args),
+        "sweep" => cmd_sweep(args),
+        "ident" => cmd_ident(args),
+        "inject" => cmd_inject(args),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn cmd_run(args: &Args) -> Result<String, CliError> {
+    let scenario = args.scenario()?;
+    let reps = args.get("reps", 1usize)?;
+    let agg = runner::run_repeated(&scenario, reps);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "protocol={:?} n={} f={:.0}% t={:.0}% eviction={} rounds={} reps={reps}\n",
+        scenario.protocol,
+        scenario.n,
+        scenario.byzantine_fraction * 100.0,
+        scenario.trusted_fraction * 100.0,
+        scenario.eviction.label(),
+        scenario.rounds,
+    ));
+    out.push_str(&format!(
+        "resilience: {:.2}% Byzantine IDs in non-Byzantine views\n",
+        agg.resilience * 100.0
+    ));
+    out.push_str(&format!(
+        "discovery round: {}   stability round: {}\n",
+        agg.discovery_round.map_or("-".into(), |r| format!("{r:.1}")),
+        agg.stability_round.map_or("-".into(), |r| format!("{r:.1}")),
+    ));
+    if args.flag("series") {
+        let run = runner::run_scenario(&scenario);
+        out.push_str("round,byzantine_share\n");
+        for (i, v) in run.byz_share_series.iter().enumerate() {
+            out.push_str(&format!("{i},{v:.4}\n"));
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_sweep(args: &Args) -> Result<String, CliError> {
+    let template = args.scenario()?;
+    let reps = args.get("reps", 1usize)?;
+    let fs = [0.10, 0.14, 0.18, 0.22, 0.26, 0.30];
+    let ts = [0.01, 0.05, 0.10, 0.20, 0.30, 0.50];
+    let sweep = runner::sweep_grid(&template, &fs, &ts, reps);
+    let mut out = String::from("f,t,improvement_pct,resilience,baseline\n");
+    for (f, t, result) in &sweep.grid {
+        let base = sweep.baseline(*f).expect("baseline per f");
+        out.push_str(&format!(
+            "{f:.2},{t:.2},{:.2},{:.4},{:.4}\n",
+            runner::resilience_improvement_pct(base, result),
+            result.resilience,
+            base.resilience,
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_ident(args: &Args) -> Result<String, CliError> {
+    let mut scenario = args.scenario()?;
+    scenario.identification_attack = true;
+    let reps = args.get("reps", 1usize)?;
+    let agg = runner::run_repeated(&scenario, reps);
+    Ok(format!(
+        "identification attack (f={:.0}%, t={:.0}%, {}):\nprecision={:.3} recall={:.3} f1={:.3}\n",
+        scenario.byzantine_fraction * 100.0,
+        scenario.trusted_fraction * 100.0,
+        scenario.eviction.label(),
+        agg.ident_precision,
+        agg.ident_recall,
+        agg.ident_f1,
+    ))
+}
+
+fn cmd_inject(args: &Args) -> Result<String, CliError> {
+    let scenario = args.scenario()?;
+    let reps = args.get("reps", 1usize)?;
+    let baseline = runner::run_repeated(&scenario.brahms_baseline(), reps);
+    let clean = runner::run_repeated(
+        &Scenario {
+            injected_poisoned_fraction: 0.0,
+            ..scenario.clone()
+        },
+        reps,
+    );
+    let attacked = runner::run_repeated(&scenario, reps);
+    Ok(format!(
+        "injection attack (t={:.0}%, +{:.0}% poisoned):\n\
+         clean improvement:    {:.2}%\n\
+         attacked improvement: {:.2}%\n",
+        scenario.trusted_fraction * 100.0,
+        scenario.injected_poisoned_fraction * 100.0,
+        runner::resilience_improvement_pct(&baseline, &clean),
+        runner::resilience_improvement_pct(&baseline, &attacked),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Result<Args, CliError> {
+        Args::parse(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = args(&["run", "--n", "100", "--f", "0.2"]).unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.get("n", 0usize).unwrap(), 100);
+        assert_eq!(a.get("f", 0.0f64).unwrap(), 0.2);
+        assert_eq!(a.get("rounds", 200usize).unwrap(), 200, "default applies");
+    }
+
+    #[test]
+    fn rejects_bad_grammar() {
+        assert_eq!(args(&[]).unwrap_err(), CliError::MissingCommand);
+        assert_eq!(args(&["--n", "5"]).unwrap_err(), CliError::MissingCommand);
+        assert_eq!(
+            args(&["run", "--n"]).unwrap_err(),
+            CliError::MissingValue("n".into())
+        );
+        assert_eq!(
+            args(&["run", "stray"]).unwrap_err(),
+            CliError::UnexpectedArgument("stray".into())
+        );
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let a = args(&["run", "--n", "lots"]).unwrap();
+        assert!(matches!(a.get("n", 0usize), Err(CliError::BadValue { .. })));
+        let a = args(&["run", "--eviction", "1.5"]).unwrap();
+        assert!(a.eviction().is_err());
+        let a = args(&["run", "--protocol", "bitcoin"]).unwrap();
+        assert!(a.protocol().is_err());
+    }
+
+    #[test]
+    fn eviction_forms() {
+        assert_eq!(
+            args(&["run"]).unwrap().eviction().unwrap(),
+            EvictionPolicy::adaptive()
+        );
+        assert_eq!(
+            args(&["run", "--eviction", "none"]).unwrap().eviction().unwrap(),
+            EvictionPolicy::Fixed(0.0)
+        );
+        assert_eq!(
+            args(&["run", "--eviction", "0.4"]).unwrap().eviction().unwrap(),
+            EvictionPolicy::Fixed(0.4)
+        );
+    }
+
+    #[test]
+    fn scenario_construction() {
+        let a = args(&["run", "--n", "120", "--f", "0.3", "--rounds", "50"]).unwrap();
+        let s = a.scenario().unwrap();
+        assert_eq!(s.n, 120);
+        assert_eq!(s.byzantine_fraction, 0.3);
+        assert_eq!(s.rounds, 50);
+        s.validate();
+    }
+
+    #[test]
+    fn execute_help_and_unknown() {
+        let help = execute(&args(&["help"]).unwrap()).unwrap();
+        assert!(help.contains("USAGE"));
+        assert_eq!(
+            execute(&args(&["frobnicate"]).unwrap()).unwrap_err(),
+            CliError::UnknownCommand("frobnicate".into())
+        );
+    }
+
+    #[test]
+    fn execute_small_run() {
+        let a = args(&["run", "--n", "80", "--rounds", "20", "--view", "10", "--t", "0.1"]).unwrap();
+        let out = execute(&a).unwrap();
+        assert!(out.contains("resilience:"), "{out}");
+    }
+
+    #[test]
+    fn execute_small_ident() {
+        let a = args(&["ident", "--n", "80", "--rounds", "20", "--view", "10", "--t", "0.2"]).unwrap();
+        let out = execute(&a).unwrap();
+        assert!(out.contains("precision="), "{out}");
+    }
+
+    #[test]
+    fn series_flag() {
+        let a = args(&["run", "--n", "60", "--rounds", "10", "--view", "8", "--series", "true"]).unwrap();
+        let out = execute(&a).unwrap();
+        assert!(out.contains("round,byzantine_share"));
+        assert!(out.lines().count() > 10);
+    }
+}

@@ -1,0 +1,160 @@
+//! Cross-crate cryptographic integration: the real handshake over the
+//! simulated network, wire indistinguishability, and the crypto-shortcut
+//! equivalence the large sweeps rely on.
+
+use raptee::{provisioning, EvictionPolicy, RapteeConfig, RapteeNode};
+use raptee_brahms::BrahmsConfig;
+use raptee_crypto::auth::{AuthChallenge, AuthConfirm, AuthOutcome, AuthResponse};
+use raptee_net::{MessageMeter, Network, NodeId};
+use raptee_sim::{run_scenario, Scenario};
+
+fn cfg() -> RapteeConfig {
+    RapteeConfig {
+        brahms: BrahmsConfig::paper_defaults(8, 8),
+        eviction: EvictionPolicy::adaptive(),
+    }
+}
+
+fn boot() -> Vec<NodeId> {
+    (10..18).map(NodeId).collect()
+}
+
+/// Wire messages for the authentication exchange.
+#[derive(Debug, Clone)]
+enum AuthMsg {
+    Challenge(AuthChallenge),
+    Response(AuthResponse),
+    Confirm(AuthConfirm),
+}
+
+impl MessageMeter for AuthMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            AuthMsg::Challenge(_) => "auth-challenge",
+            AuthMsg::Response(_) => "auth-response",
+            AuthMsg::Confirm(_) => "auth-confirm",
+        }
+    }
+    fn size_bytes(&self) -> usize {
+        match self {
+            AuthMsg::Challenge(_) => 16,
+            AuthMsg::Response(_) => 48,
+            AuthMsg::Confirm(_) => 32,
+        }
+    }
+}
+
+/// Runs the four-step handshake through `Network` inboxes instead of
+/// in-process calls, and returns both verdicts plus the observed wire
+/// trace.
+fn handshake_over_network(
+    a: &mut RapteeNode,
+    b: &mut RapteeNode,
+) -> (AuthOutcome, AuthOutcome, Vec<&'static str>) {
+    let mut net: Network<AuthMsg> = Network::new(64, 9);
+    net.install_tap();
+    let (na, nb) = (a.id(), b.id());
+
+    let (challenge, a_pending) = a.auth_initiate();
+    net.send(na, nb, AuthMsg::Challenge(challenge));
+    let challenge = match net.take_inbox(nb).pop().unwrap().payload {
+        AuthMsg::Challenge(c) => c,
+        other => panic!("expected challenge, got {other:?}"),
+    };
+    let (response, b_pending) = b.auth_respond(&challenge);
+    net.send(nb, na, AuthMsg::Response(response));
+    let response = match net.take_inbox(na).pop().unwrap().payload {
+        AuthMsg::Response(r) => r,
+        other => panic!("expected response, got {other:?}"),
+    };
+    let (a_outcome, confirm) = a.auth_finish_initiator(&a_pending, &response);
+    net.send(na, nb, AuthMsg::Confirm(confirm));
+    let confirm = match net.take_inbox(nb).pop().unwrap().payload {
+        AuthMsg::Confirm(c) => c,
+        other => panic!("expected confirm, got {other:?}"),
+    };
+    let b_outcome = b.auth_finish_responder(&b_pending, &confirm);
+    let trace = net.tap().unwrap().records().iter().map(|r| r.kind).collect();
+    (a_outcome, b_outcome, trace)
+}
+
+#[test]
+fn provisioned_handshake_over_the_network() {
+    let mut service = provisioning::new_attestation_service(42);
+    service.certify_platform(1);
+    service.certify_platform(2);
+    let k1 = provisioning::provision_trusted_key(&mut service, 1).unwrap();
+    let k2 = provisioning::provision_trusted_key(&mut service, 2).unwrap();
+    let mut a = RapteeNode::new_trusted(NodeId(1), cfg(), &boot(), 1, k1);
+    let mut b = RapteeNode::new_trusted(NodeId(2), cfg(), &boot(), 2, k2);
+    let (oa, ob, _) = handshake_over_network(&mut a, &mut b);
+    assert_eq!(oa, AuthOutcome::Trusted);
+    assert_eq!(ob, AuthOutcome::Trusted);
+}
+
+#[test]
+fn wire_trace_is_identical_for_trusted_and_untrusted_handshakes() {
+    // The eavesdropper's view (message kinds, sizes, order) must not
+    // reveal whether a handshake concluded Trusted.
+    let key = raptee_crypto::SecretKey::from_seed(7);
+    let mut t1 = RapteeNode::new_trusted(NodeId(1), cfg(), &boot(), 1, key.clone());
+    let mut t2 = RapteeNode::new_trusted(NodeId(2), cfg(), &boot(), 2, key);
+    let (_, _, trusted_trace) = handshake_over_network(&mut t1, &mut t2);
+
+    let mut u1 = RapteeNode::new_untrusted(NodeId(3), cfg(), &boot(), 3);
+    let mut u2 = RapteeNode::new_untrusted(NodeId(4), cfg(), &boot(), 4);
+    let (ou1, ou2, untrusted_trace) = handshake_over_network(&mut u1, &mut u2);
+    assert_eq!(ou1, AuthOutcome::Untrusted);
+    assert_eq!(ou2, AuthOutcome::Untrusted);
+    assert_eq!(
+        trusted_trace, untrusted_trace,
+        "wire patterns must be indistinguishable"
+    );
+}
+
+#[test]
+fn real_crypto_simulation_matches_shortcut_qualitatively() {
+    // The sweeps use a role-based shortcut instead of running 4 HMAC
+    // messages per pull. This test runs the full crypto path end-to-end
+    // and checks the protocol outcome is the same phenomenon (the RNG
+    // streams differ, so we compare converged metrics, not bit-equality).
+    let mut with_crypto = Scenario {
+        n: 120,
+        byzantine_fraction: 0.15,
+        trusted_fraction: 0.15,
+        view_size: 12,
+        sample_size: 12,
+        rounds: 60,
+        tail_window: 10,
+        seed: 31,
+        real_crypto_handshakes: true,
+        ..Scenario::default()
+    };
+    let crypto_run = run_scenario(&with_crypto);
+    with_crypto.real_crypto_handshakes = false;
+    let shortcut_run = run_scenario(&with_crypto);
+    assert!(
+        (crypto_run.resilience - shortcut_run.resilience).abs() < 0.15,
+        "crypto and shortcut runs must agree: {:.3} vs {:.3}",
+        crypto_run.resilience,
+        shortcut_run.resilience
+    );
+    assert!(crypto_run.total_evicted > 0);
+}
+
+#[test]
+fn group_key_is_required_for_trusted_tier() {
+    // A node with a random key (adversary without attestation) cannot
+    // join the trusted tier even if it *claims* to be trusted — the
+    // handshake fails against genuinely provisioned nodes.
+    let mut service = provisioning::new_attestation_service(42);
+    service.certify_platform(1);
+    let genuine_key = provisioning::provision_trusted_key(&mut service, 1).unwrap();
+    let mut genuine = RapteeNode::new_trusted(NodeId(1), cfg(), &boot(), 1, genuine_key);
+    // Adversary guesses/derives its own key.
+    let fake_key = raptee_crypto::SecretKey::from_seed(0xBAD);
+    let mut impostor = RapteeNode::new_trusted(NodeId(2), cfg(), &boot(), 2, fake_key);
+    let (o1, o2) = RapteeNode::run_handshake(&mut genuine, &mut impostor);
+    assert_eq!(o1, AuthOutcome::Untrusted);
+    assert_eq!(o2, AuthOutcome::Untrusted);
+}

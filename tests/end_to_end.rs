@@ -1,0 +1,188 @@
+//! End-to-end integration tests spanning every crate: provisioning →
+//! nodes → simulation → metrics.
+
+use raptee::EvictionPolicy;
+use raptee_net::NodeId;
+use raptee_sim::{run_scenario, runner, Protocol, Scenario, Simulation};
+
+fn base() -> Scenario {
+    Scenario {
+        n: 250,
+        byzantine_fraction: 0.15,
+        trusted_fraction: 0.10,
+        view_size: 14,
+        sample_size: 14,
+        rounds: 120,
+        tail_window: 15,
+        seed: 1234,
+        ..Scenario::default()
+    }
+}
+
+#[test]
+fn full_raptee_run_beats_brahms() {
+    let raptee = run_scenario(&base());
+    let brahms = run_scenario(&base().brahms_baseline());
+    assert!(
+        raptee.resilience < brahms.resilience,
+        "RAPTEE {:.3} must beat Brahms {:.3}",
+        raptee.resilience,
+        brahms.resilience
+    );
+    // Both keep the adversary below full control and above zero.
+    for r in [&raptee, &brahms] {
+        assert!(r.resilience > 0.05 && r.resilience < 0.95);
+        assert_eq!(r.rounds, 120);
+        assert_eq!(r.byz_share_series.len(), 120);
+    }
+}
+
+#[test]
+fn improvement_grows_with_trusted_fraction() {
+    let brahms = runner::run_repeated(&base().brahms_baseline(), 2);
+    let mut last = -100.0;
+    for t in [0.05, 0.20, 0.50] {
+        let mut s = base();
+        s.trusted_fraction = t;
+        let agg = runner::run_repeated(&s, 2);
+        let imp = runner::resilience_improvement_pct(&brahms, &agg);
+        assert!(
+            imp > last - 3.0,
+            "improvement should not collapse as t grows: t={t}, imp={imp:.1}%, prev={last:.1}%"
+        );
+        last = imp.max(last);
+    }
+    assert!(last > 10.0, "t=50% must yield a double-digit improvement, got {last:.1}%");
+}
+
+#[test]
+fn resilience_rises_with_byzantine_fraction() {
+    let mut previous = 0.0;
+    for f in [0.10, 0.20, 0.30] {
+        let mut s = base().brahms_baseline();
+        s.byzantine_fraction = f;
+        let r = run_scenario(&s);
+        assert!(
+            r.resilience > previous,
+            "pollution must grow with f: f={f} gave {:.3}, previous {:.3}",
+            r.resilience,
+            previous
+        );
+        // Superlinear over-representation: the adversary always controls
+        // more view share than its node share.
+        assert!(r.resilience > f, "over-representation at f={f}: {:.3}", r.resilience);
+        previous = r.resilience;
+    }
+}
+
+#[test]
+fn trusted_views_are_cleaner_than_honest_views() {
+    let s = base();
+    let byz = s.byzantine_count();
+    let trusted_n = s.trusted_count();
+    let mut sim = Simulation::new(s.clone());
+    for _ in 0..s.rounds {
+        sim.run_round();
+    }
+    let share = |idx: usize| {
+        let node = sim.node(NodeId(idx as u64)).unwrap();
+        let v = node.brahms().view();
+        v.ids().filter(|id| id.index() < byz).count() as f64 / v.len() as f64
+    };
+    let trusted_mean: f64 =
+        (byz..byz + trusted_n).map(share).sum::<f64>() / trusted_n as f64;
+    let honest_mean: f64 = (byz + trusted_n..s.n).map(share).sum::<f64>()
+        / (s.n - byz - trusted_n) as f64;
+    assert!(
+        trusted_mean < honest_mean,
+        "eviction must keep trusted views cleaner: trusted {trusted_mean:.3} vs honest {honest_mean:.3}"
+    );
+}
+
+#[test]
+fn trusted_nodes_discover_each_other() {
+    let s = base();
+    let byz = s.byzantine_count();
+    let trusted_n = s.trusted_count();
+    let mut sim = Simulation::new(s.clone());
+    for _ in 0..60 {
+        sim.run_round();
+    }
+    // After 60 rounds, trusted directories hold a healthy share of the
+    // trusted population.
+    let mut total = 0usize;
+    for i in byz..byz + trusted_n {
+        let node = sim.node(NodeId(i as u64)).unwrap();
+        assert!(node.is_trusted());
+        total += node.directory().len();
+    }
+    let mean = total as f64 / trusted_n as f64;
+    assert!(
+        mean >= 1.0,
+        "trusted nodes must have met at least one sibling on average, got {mean:.2}"
+    );
+    // And the directory never contains non-trusted nodes.
+    for i in byz..byz + trusted_n {
+        let node = sim.node(NodeId(i as u64)).unwrap();
+        for id in node.directory().ids() {
+            assert!(sim.is_trusted(id), "directory of {i} contains non-trusted {id}");
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic_across_protocols() {
+    for protocol in [Protocol::Brahms, Protocol::Raptee] {
+        let mut s = base();
+        s.protocol = protocol;
+        s.rounds = 40;
+        let a = run_scenario(&s);
+        let b = run_scenario(&s);
+        assert_eq!(a, b, "{protocol:?} must be deterministic");
+    }
+}
+
+#[test]
+fn eviction_policy_ordering_at_convergence() {
+    // Stronger eviction keeps trusted nodes cleaner; adaptive sits
+    // between its bounds.
+    let mut resiliences = Vec::new();
+    for policy in [
+        EvictionPolicy::Fixed(0.0),
+        EvictionPolicy::adaptive(),
+        EvictionPolicy::Fixed(1.0),
+    ] {
+        let mut s = base();
+        s.eviction = policy;
+        resiliences.push(runner::run_repeated(&s, 2).resilience);
+    }
+    assert!(
+        resiliences[2] < resiliences[0],
+        "full eviction must beat none: {resiliences:?}"
+    );
+}
+
+#[test]
+fn flood_detection_fires_under_attack() {
+    let r = run_scenario(&base());
+    assert!(
+        r.floods_detected > 0,
+        "the balanced push attack must occasionally trip the detector"
+    );
+}
+
+#[test]
+fn total_evicted_scales_with_rate() {
+    let mut low = base();
+    low.eviction = EvictionPolicy::Fixed(0.2);
+    let mut high = base();
+    high.eviction = EvictionPolicy::Fixed(0.8);
+    let r_low = run_scenario(&low);
+    let r_high = run_scenario(&high);
+    assert!(
+        r_high.total_evicted > r_low.total_evicted,
+        "80% eviction must drop more IDs than 20%: {} vs {}",
+        r_high.total_evicted,
+        r_low.total_evicted
+    );
+}

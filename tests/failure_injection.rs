@@ -1,0 +1,186 @@
+//! Failure-injection integration tests: message loss and churn.
+//!
+//! The paper's testbed is lossless and churn-free; these tests check the
+//! *robustness claims peer sampling inherits from gossip* — the protocol
+//! keeps working under lossy links, and departed nodes leave both views
+//! and sample lists (Brahms' probe validation).
+
+use raptee_net::NodeId;
+use raptee_sim::{run_scenario, Scenario, Simulation};
+
+fn base() -> Scenario {
+    Scenario {
+        n: 200,
+        byzantine_fraction: 0.10,
+        trusted_fraction: 0.10,
+        view_size: 14,
+        sample_size: 14,
+        rounds: 100,
+        tail_window: 12,
+        seed: 777,
+        ..Scenario::default()
+    }
+}
+
+#[test]
+fn protocol_survives_heavy_message_loss() {
+    let mut s = base();
+    s.message_loss = 0.30;
+    let r = run_scenario(&s);
+    // Slower, noisier — but functional: pollution bounded, series complete.
+    assert_eq!(r.rounds, s.rounds);
+    assert!(r.resilience > 0.0 && r.resilience < 0.95);
+    let lossless = run_scenario(&base());
+    // Loss must not make things *better* for the adversary by an order
+    // of magnitude, nor collapse the protocol.
+    assert!((r.resilience - lossless.resilience).abs() < 0.3);
+}
+
+#[test]
+fn crashed_nodes_leave_views() {
+    let mut s = base();
+    s.crash_fraction = 0.20;
+    s.crash_round = 30;
+    let byz = s.byzantine_count();
+    let mut sim = Simulation::new(s.clone());
+    for _ in 0..s.rounds {
+        sim.run_round();
+    }
+    // Collect one crashed and count its references among survivors.
+    let crashed: Vec<u64> = (byz..s.n)
+        .filter(|&i| !sim.is_alive(NodeId(i as u64)))
+        .map(|i| i as u64)
+        .collect();
+    assert!(!crashed.is_empty(), "the crash batch must have hit someone");
+    let mut stale_refs = 0usize;
+    let mut survivors = 0usize;
+    for i in byz..s.n {
+        let id = NodeId(i as u64);
+        if !sim.is_alive(id) {
+            continue;
+        }
+        survivors += 1;
+        let node = sim.node(id).unwrap();
+        stale_refs += node
+            .brahms()
+            .view()
+            .ids()
+            .filter(|v| crashed.contains(&v.0))
+            .count();
+    }
+    // 70 rounds after the crash, stale links are rare: each survivor
+    // holds far fewer than one crashed reference on average.
+    let per_node = stale_refs as f64 / survivors as f64;
+    assert!(
+        per_node < 1.0,
+        "views must shed crashed nodes: {per_node:.2} stale refs/node"
+    );
+}
+
+#[test]
+fn sampler_validation_purges_dead_samples() {
+    let mut with_validation = base();
+    with_validation.crash_fraction = 0.25;
+    with_validation.crash_round = 20;
+    with_validation.sampler_validation_period = 5;
+    let byz = with_validation.byzantine_count();
+    let mut sim = Simulation::new(with_validation.clone());
+    for _ in 0..with_validation.rounds {
+        sim.run_round();
+    }
+    let mut dead_samples = 0usize;
+    let mut total_samples = 0usize;
+    for i in byz..with_validation.n {
+        let id = NodeId(i as u64);
+        if !sim.is_alive(id) {
+            continue;
+        }
+        let node = sim.node(id).unwrap();
+        for s_id in node.brahms().sampler().samples() {
+            total_samples += 1;
+            if s_id.index() >= byz && !sim.is_alive(s_id) {
+                dead_samples += 1;
+            }
+        }
+    }
+    let dead_share = dead_samples as f64 / total_samples.max(1) as f64;
+    assert!(
+        dead_share < 0.10,
+        "validation must purge dead samples: {dead_share:.3} still dead"
+    );
+}
+
+#[test]
+fn without_validation_dead_samples_linger() {
+    // Negative control for the test above: with validation disabled, the
+    // min-wise samplers keep their dead minima forever.
+    let mut s = base();
+    s.crash_fraction = 0.25;
+    s.crash_round = 20;
+    s.sampler_validation_period = 0;
+    let byz = s.byzantine_count();
+    let mut sim = Simulation::new(s.clone());
+    for _ in 0..s.rounds {
+        sim.run_round();
+    }
+    let mut dead = 0usize;
+    let mut total = 0usize;
+    for i in byz..s.n {
+        let id = NodeId(i as u64);
+        if !sim.is_alive(id) {
+            continue;
+        }
+        for s_id in sim.node(id).unwrap().brahms().sampler().samples() {
+            total += 1;
+            if s_id.index() >= byz && !sim.is_alive(s_id) {
+                dead += 1;
+            }
+        }
+    }
+    let share = dead as f64 / total.max(1) as f64;
+    assert!(
+        share > 0.10,
+        "without validation the sample lists stay polluted by the departed: {share:.3}"
+    );
+}
+
+#[test]
+fn crashed_trusted_peers_leave_directories() {
+    let mut s = base();
+    s.trusted_fraction = 0.20;
+    s.crash_fraction = 0.30;
+    s.crash_round = 40;
+    let byz = s.byzantine_count();
+    let trusted_n = s.trusted_count();
+    let mut sim = Simulation::new(s.clone());
+    for _ in 0..s.rounds {
+        sim.run_round();
+    }
+    for i in byz..byz + trusted_n {
+        let id = NodeId(i as u64);
+        if !sim.is_alive(id) {
+            continue;
+        }
+        let node = sim.node(id).unwrap();
+        for peer in node.directory().ids() {
+            // Directory TTL (30 rounds) plus timeout-on-contact clears
+            // dead peers well within the 60 post-crash rounds.
+            assert!(
+                sim.is_alive(peer),
+                "directory of trusted node {i} still lists crashed {peer}"
+            );
+        }
+    }
+}
+
+#[test]
+fn determinism_holds_under_failures() {
+    let mut s = base();
+    s.message_loss = 0.15;
+    s.crash_fraction = 0.10;
+    s.crash_round = 25;
+    s.sampler_validation_period = 7;
+    let a = run_scenario(&s);
+    let b = run_scenario(&s);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,133 @@
+//! Cross-crate property-based tests on the protocol invariants.
+//!
+//! These complement the per-crate proptest suites with properties that
+//! only make sense once several layers are composed.
+
+use proptest::prelude::*;
+use raptee::wire::Message;
+use raptee::{EvictionPolicy, RapteeConfig, RapteeNode};
+use raptee_brahms::BrahmsConfig;
+use raptee_crypto::auth::AuthOutcome;
+use raptee_crypto::SecretKey;
+use raptee_net::{NodeId, SecureChannel};
+
+fn config(view: usize, eviction: EvictionPolicy) -> RapteeConfig {
+    RapteeConfig {
+        brahms: BrahmsConfig::paper_defaults(view, view),
+        eviction,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Two trusted nodes always authenticate regardless of nonce draws
+    /// and node identities; any other pairing never does.
+    #[test]
+    fn handshake_depends_only_on_keys(
+        seed_a in 0u64..5000,
+        seed_b in 0u64..5000,
+        id_a in 0u64..1000,
+        id_b in 1000u64..2000,
+        trusted_pair in any::<bool>(),
+    ) {
+        let boot: Vec<NodeId> = (5000..5010).map(NodeId).collect();
+        let cfg = config(8, EvictionPolicy::adaptive());
+        let group = SecretKey::from_seed(42);
+        let (mut a, mut b) = if trusted_pair {
+            (
+                RapteeNode::new_trusted(NodeId(id_a), cfg.clone(), &boot, seed_a, group.clone()),
+                RapteeNode::new_trusted(NodeId(id_b), cfg, &boot, seed_b, group),
+            )
+        } else {
+            (
+                RapteeNode::new_trusted(NodeId(id_a), cfg.clone(), &boot, seed_a, group),
+                RapteeNode::new_untrusted(NodeId(id_b), cfg, &boot, seed_b),
+            )
+        };
+        let (oa, ob) = RapteeNode::run_handshake(&mut a, &mut b);
+        prop_assert_eq!(oa, ob, "verdicts always agree");
+        let expected = if trusted_pair { AuthOutcome::Trusted } else { AuthOutcome::Untrusted };
+        prop_assert_eq!(oa, expected);
+    }
+
+    /// Eviction never admits more pulled IDs than were recorded, never
+    /// evicts trusted-swap IDs, and reports a consistent count.
+    #[test]
+    fn eviction_accounting_is_consistent(
+        rate in 0.0f64..=1.0,
+        untrusted_ids in proptest::collection::vec(100u64..10_000, 0..120),
+        seed in 0u64..1000,
+    ) {
+        let boot: Vec<NodeId> = (50..60).map(NodeId).collect();
+        let cfg = config(10, EvictionPolicy::Fixed(rate));
+        let mut node = RapteeNode::new_trusted(
+            NodeId(1),
+            cfg,
+            &boot,
+            seed,
+            SecretKey::from_seed(7),
+        );
+        node.plan_round();
+        let ids: Vec<NodeId> = untrusted_ids.iter().copied().map(NodeId).collect();
+        node.record_untrusted_pull(&ids);
+        let outcome = node.finish_round();
+        prop_assert_eq!(outcome.evicted + outcome.admitted_pulled.len(), ids.len());
+        prop_assert!((outcome.eviction_rate - rate).abs() < 1e-12);
+        if rate == 0.0 {
+            prop_assert_eq!(outcome.evicted, 0);
+        }
+        if rate == 1.0 {
+            prop_assert!(outcome.admitted_pulled.is_empty());
+        }
+        // Every admitted ID came from the recorded batch.
+        for id in &outcome.admitted_pulled {
+            prop_assert!(ids.contains(id));
+        }
+    }
+
+    /// The trusted swap preserves view invariants and capacity on both
+    /// sides for arbitrary disjoint bootstrap sets.
+    #[test]
+    fn trusted_swap_preserves_invariants(
+        boot_a in proptest::collection::btree_set(100u64..200, 4..12),
+        boot_b in proptest::collection::btree_set(300u64..400, 4..12),
+        seed in 0u64..1000,
+    ) {
+        let cfg = config(12, EvictionPolicy::adaptive());
+        let key = SecretKey::from_seed(3);
+        let ba: Vec<NodeId> = boot_a.into_iter().map(NodeId).collect();
+        let bb: Vec<NodeId> = boot_b.into_iter().map(NodeId).collect();
+        let mut a = RapteeNode::new_trusted(NodeId(1), cfg.clone(), &ba, seed, key.clone());
+        let mut b = RapteeNode::new_trusted(NodeId(2), cfg, &bb, seed ^ 1, key);
+        a.plan_round();
+        b.plan_round();
+        RapteeNode::trusted_swap(&mut a, &mut b);
+        for node in [&a, &b] {
+            prop_assert!(node.brahms().view().invariants_hold());
+            prop_assert!(node.brahms().view().len() <= 12);
+            prop_assert!(node.directory().invariants_hold());
+        }
+        // Directories now reference each other.
+        prop_assert!(a.directory().contains(NodeId(2)));
+        prop_assert!(b.directory().contains(NodeId(1)));
+    }
+
+    /// Wire messages survive an encrypted round trip through the secure
+    /// channel for arbitrary views and nonces.
+    #[test]
+    fn encrypted_wire_roundtrip(
+        ids in proptest::collection::vec(any::<u64>(), 0..100),
+        base_seed in any::<u64>(),
+        from in 0u64..100,
+        to in 100u64..200,
+    ) {
+        let msg = Message::PullAnswer { ids: ids.into_iter().map(NodeId).collect() };
+        let base = SecretKey::from_seed(base_seed);
+        let mut tx = SecureChannel::new(&base, NodeId(from), NodeId(to));
+        let mut rx = SecureChannel::new(&base, NodeId(from), NodeId(to));
+        let ct = tx.seal_from_initiator(&msg.encode());
+        let decoded = Message::decode(&rx.open_from_initiator(&ct)).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+}

@@ -1,0 +1,155 @@
+//! Targeted-attack integration tests — Brahms' defence (iv).
+//!
+//! The original Brahms paper proves that the *balanced* attack maximises
+//! the adversary's system-wide representation, and that history sampling
+//! lets targeted victims self-heal instead of being isolated. These
+//! tests reproduce both facts and show the role of `γ` (the
+//! history-sample weight) in the defence.
+
+use raptee_net::NodeId;
+use raptee_sim::{run_scenario, AttackStrategy, Scenario, Simulation};
+
+fn base() -> Scenario {
+    Scenario {
+        n: 250,
+        byzantine_fraction: 0.15,
+        trusted_fraction: 0.0,
+        view_size: 14,
+        sample_size: 14,
+        rounds: 120,
+        tail_window: 15,
+        seed: 4242,
+        ..Scenario::default()
+    }
+}
+
+fn targeted(victim_fraction: f64, focus: f64) -> AttackStrategy {
+    AttackStrategy::Targeted {
+        victim_fraction,
+        focus,
+    }
+}
+
+/// Mean Byzantine share in the views of the victim prefix vs the rest.
+fn victim_vs_rest(s: &Scenario, victim_fraction: f64) -> (f64, f64) {
+    let byz = s.byzantine_count();
+    let mut sim = Simulation::new(s.clone());
+    for _ in 0..s.rounds {
+        sim.run_round();
+    }
+    let victims_end = byz + (((s.n - byz) as f64) * victim_fraction).round() as usize;
+    let share = |i: usize| {
+        let node = sim.node(NodeId(i as u64)).unwrap();
+        let v = node.brahms().view();
+        v.ids().filter(|id| id.index() < byz).count() as f64 / v.len().max(1) as f64
+    };
+    let victims: Vec<f64> = (byz..victims_end).map(share).collect();
+    let rest: Vec<f64> = (victims_end..s.n).map(share).collect();
+    (
+        victims.iter().sum::<f64>() / victims.len() as f64,
+        rest.iter().sum::<f64>() / rest.len() as f64,
+    )
+}
+
+#[test]
+fn targeted_victims_are_more_polluted_but_not_isolated() {
+    let mut s = base();
+    s.attack = targeted(0.05, 0.8);
+    let (victim_share, rest_share) = victim_vs_rest(&s, 0.05);
+    assert!(
+        victim_share > rest_share,
+        "focused pushes must bias the victims: victims {victim_share:.3} vs rest {rest_share:.3}"
+    );
+    assert!(
+        victim_share < 0.995,
+        "history sampling must prevent complete isolation: {victim_share:.3}"
+    );
+}
+
+#[test]
+fn sample_lists_resist_targeted_flooding() {
+    // Defence (iv)'s foundation: the min-wise sample list is the
+    // self-healing reservoir — even when a victim's *view* is heavily
+    // biased by focused pushes, its *sample list* stays markedly less
+    // Byzantine, because repetition buys the adversary nothing against
+    // min-wise sampling. ("Once some correct ID becomes the permanent
+    // sample of the node under attack ... the threat of isolation is
+    // eliminated.")
+    let mut s = base();
+    s.attack = targeted(0.05, 0.9);
+    let byz = s.byzantine_count();
+    let mut sim = Simulation::new(s.clone());
+    for _ in 0..s.rounds {
+        sim.run_round();
+    }
+    let victims_end = byz + (((s.n - byz) as f64) * 0.05).round() as usize;
+    let mut view_shares = Vec::new();
+    let mut sample_shares = Vec::new();
+    for i in byz..victims_end {
+        let node = sim.node(NodeId(i as u64)).unwrap();
+        let v = node.brahms().view();
+        view_shares
+            .push(v.ids().filter(|id| id.index() < byz).count() as f64 / v.len().max(1) as f64);
+        sample_shares.push(
+            node.brahms()
+                .sampler()
+                .fraction_matching(|id| id.index() < byz),
+        );
+    }
+    let view_mean = view_shares.iter().sum::<f64>() / view_shares.len() as f64;
+    let sample_mean = sample_shares.iter().sum::<f64>() / sample_shares.len() as f64;
+    // Despite receiving the overwhelming majority of the adversary's
+    // pushes, the victims' sample lists stay close to the fair Byzantine
+    // share f = 15% — min-wise sampling is repetition-blind. (Their
+    // *views* are protected by the flood detector, which blocks renewal
+    // during the heaviest rounds.)
+    assert!(
+        sample_mean < 2.0 * 0.15,
+        "victim sample lists must stay near the fair share: {sample_mean:.3}"
+    );
+    assert!(
+        view_mean < 0.9,
+        "victim views must not be fully captured: {view_mean:.3}"
+    );
+}
+
+#[test]
+fn balanced_attack_maximises_systemwide_damage() {
+    // The Brahms optimality result: concentrating the budget lowers the
+    // adversary's *system-wide* representation compared to balancing.
+    let balanced = run_scenario(&base());
+    let mut focused = base();
+    focused.attack = targeted(0.05, 0.8);
+    let targeted_run = run_scenario(&focused);
+    assert!(
+        targeted_run.resilience <= balanced.resilience + 0.02,
+        "targeting must not beat the balanced optimum system-wide: \
+         targeted {:.3} vs balanced {:.3}",
+        targeted_run.resilience,
+        balanced.resilience
+    );
+}
+
+#[test]
+fn flood_detector_fires_harder_under_targeting() {
+    let balanced = run_scenario(&base());
+    let mut focused = base();
+    focused.attack = targeted(0.05, 0.9);
+    let targeted_run = run_scenario(&focused);
+    // The victims now receive far more pushes than expected, so the
+    // per-node flood detector (defence (ii)) trips more often.
+    assert!(
+        targeted_run.floods_detected >= balanced.floods_detected,
+        "targeting should trip at least as many floods: {} vs {}",
+        targeted_run.floods_detected,
+        balanced.floods_detected
+    );
+}
+
+#[test]
+fn targeted_attack_is_deterministic() {
+    let mut s = base();
+    s.attack = targeted(0.10, 0.5);
+    s.rounds = 40;
+    assert_eq!(run_scenario(&s), run_scenario(&s));
+}
