@@ -1,0 +1,176 @@
+//! Offline stand-in for the crates.io `rayon` crate.
+//!
+//! The build environment for this reproduction has no registry access,
+//! so the workspace vendors the *exact* API surface it uses —
+//! `into_par_iter()` / `par_iter()` followed by `map(...).collect()` —
+//! backed by `std::thread::scope`. Work is chunked across
+//! `available_parallelism()` threads and results keep input order, so
+//! callers observe the same semantics as rayon for these pipelines
+//! (deterministic output order, one closure call per item).
+//!
+//! This is not a work-stealing scheduler: each thread gets one
+//! contiguous chunk. For the simulation sweeps in `raptee-sim` — many
+//! similarly-sized, CPU-bound repetitions — that is within noise of
+//! real rayon, and it keeps the workspace self-contained.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+pub mod prelude {
+    //! Drop-in for `rayon::prelude::*`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// An eager "parallel iterator": the items are materialised up front and
+/// each adaptor applies immediately.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Types convertible into a [`ParIter`] by value (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator over its items.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// Types whose references yield a [`ParIter`] of `&T` (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed element type.
+    type Item: Send;
+    /// Borrows `self` as a parallel iterator over `&T`.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+range_par_iter!(usize, u32, u64, i32, i64);
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.as_slice().par_iter()
+    }
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item across a thread pool, preserving order.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: par_apply(self.items, &f),
+        }
+    }
+
+    /// Collects the (already computed) items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+thread_local! {
+    /// Set while a `par_apply` worker runs on this thread. Real rayon
+    /// shares one global pool, so nested parallelism never
+    /// oversubscribes; this shim gets the same property by running
+    /// nested maps serially on the already-parallel worker.
+    static IN_PAR_REGION: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Chunked fork-join map over `items`, preserving input order.
+fn par_apply<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 || IN_PAR_REGION.with(|flag| flag.get()) {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items.into_iter();
+    loop {
+        let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    IN_PAR_REGION.with(|flag| flag.set(true));
+                    chunk.into_iter().map(f).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon-shim worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1.0f64, 2.0, 3.0];
+        let out: Vec<f64> = data.par_iter().map(|&x| x + 0.5).collect();
+        assert_eq!(out, vec![1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn nested_parallelism_runs_inner_serially() {
+        // Outer map is parallel; inner maps must not spawn another
+        // thread layer (cores² threads). Observable contract: results
+        // are still correct and ordered.
+        let out: Vec<Vec<usize>> = (0..8usize)
+            .into_par_iter()
+            .map(|i| (0..4usize).into_par_iter().map(move |j| i * 10 + j).collect())
+            .collect();
+        for (i, inner) in out.iter().enumerate() {
+            assert_eq!(inner, &[i * 10, i * 10 + 1, i * 10 + 2, i * 10 + 3]);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u64> = Vec::<u64>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}
