@@ -1,0 +1,107 @@
+//! BASALT protocol parameters.
+
+/// Parameters of a BASALT node.
+///
+/// The defaults mirror the message budget of the Brahms/RAPTEE scenarios
+/// so head-to-head comparisons spend the same bandwidth: `push_count` and
+/// `pull_count` are both `round(0.4·v)` — exactly how `BrahmsConfig`
+/// computes its `α·l1` pushes and `β·l1` pulls at equal view sizes (and
+/// therefore the same per-identity rate-limiter budget).
+///
+/// # Examples
+///
+/// ```
+/// use raptee_basalt::BasaltConfig;
+/// let cfg = BasaltConfig::for_view(20, 30);
+/// assert_eq!(cfg.view_size, 20);
+/// assert_eq!(cfg.push_count, 8);
+/// assert_eq!(cfg.rotation_count, 2);
+/// cfg.validate();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BasaltConfig {
+    /// Number of view slots `v` (each with its own ranking seed).
+    pub view_size: usize,
+    /// Rounds between seed rotations; `0` disables rotation.
+    pub rotation_interval: usize,
+    /// Slots rotated per rotation (round-robin over the view).
+    pub rotation_count: usize,
+    /// Push messages sent per round (own ID advertised to view peers).
+    pub push_count: usize,
+    /// Pull (exchange) requests sent per round, aimed at the
+    /// least-confirmed samples.
+    pub pull_count: usize,
+}
+
+impl BasaltConfig {
+    /// Brahms-budget-parity configuration for a view of `view_size`
+    /// slots, rotating `max(1, v/10)` seeds every `rotation_interval`
+    /// rounds.
+    pub fn for_view(view_size: usize, rotation_interval: usize) -> Self {
+        let fanout = ((0.4 * view_size as f64).round() as usize).max(1);
+        let cfg = Self {
+            view_size,
+            rotation_interval,
+            rotation_count: (view_size / 10).max(1),
+            push_count: fanout,
+            pull_count: fanout,
+        };
+        cfg.validate();
+        cfg
+    }
+
+    /// Checks parameter consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any size is zero or `rotation_count` exceeds the view.
+    pub fn validate(&self) {
+        assert!(self.view_size > 0, "BASALT view size must be positive");
+        assert!(
+            self.rotation_count > 0 && self.rotation_count <= self.view_size,
+            "rotation count must be in 1..=view_size"
+        );
+        assert!(self.push_count > 0, "push count must be positive");
+        assert!(self.pull_count > 0, "pull count must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_view_matches_brahms_budget() {
+        let cfg = BasaltConfig::for_view(16, 30);
+        assert_eq!(cfg.push_count, 6); // round(0.4·16) = α·l1 at l1=16
+        assert_eq!(cfg.pull_count, 6);
+        assert_eq!(cfg.rotation_count, 1);
+        assert_eq!(cfg.rotation_interval, 30);
+    }
+
+    #[test]
+    fn tiny_views_keep_positive_fanout() {
+        let cfg = BasaltConfig::for_view(1, 0);
+        assert_eq!(cfg.push_count, 1);
+        assert_eq!(cfg.rotation_count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "view size must be positive")]
+    fn zero_view_rejected() {
+        BasaltConfig::for_view(0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "rotation count")]
+    fn oversized_rotation_rejected() {
+        BasaltConfig {
+            view_size: 4,
+            rotation_interval: 10,
+            rotation_count: 5,
+            push_count: 2,
+            pull_count: 2,
+        }
+        .validate();
+    }
+}

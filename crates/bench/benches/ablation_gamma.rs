@@ -11,7 +11,11 @@ use raptee_util::series::SeriesTable;
 
 fn main() {
     let scale = Scale::from_env();
-    header("ablation_gamma", "History-sample weight sweep (f = 20%, t = 10%)", &scale);
+    header(
+        "ablation_gamma",
+        "History-sample weight sweep (f = 20%, t = 10%)",
+        &scale,
+    );
     let mut table = SeriesTable::new("gamma(%)");
     for &gamma in &[0.0, 0.1, 0.2, 0.3, 0.4] {
         let mut s = scale.scenario();
@@ -19,11 +23,23 @@ fn main() {
         s.trusted_fraction = 0.10;
         s.gamma = gamma;
         let agg = runner::run_repeated(&s, scale.reps);
-        table.insert("Byzantine IDs in views (%)", gamma * 100.0, agg.resilience * 100.0);
+        table.insert(
+            "Byzantine IDs in views (%)",
+            gamma * 100.0,
+            agg.resilience * 100.0,
+        );
         let mut b = s.brahms_baseline();
         b.gamma = gamma;
         let base = runner::run_repeated(&b, scale.reps);
-        table.insert("Brahms baseline (%)", gamma * 100.0, base.resilience * 100.0);
+        table.insert(
+            "Brahms baseline (%)",
+            gamma * 100.0,
+            base.resilience * 100.0,
+        );
     }
-    emit("ablation_gamma", "Converged Byzantine share vs gamma", &table);
+    emit(
+        "ablation_gamma",
+        "Converged Byzantine share vs gamma",
+        &table,
+    );
 }

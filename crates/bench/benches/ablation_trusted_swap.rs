@@ -12,7 +12,11 @@ use raptee_util::series::SeriesTable;
 
 fn main() {
     let scale = Scale::from_env();
-    header("ablation_swap", "Trusted view-swap on/off (t = 10%)", &scale);
+    header(
+        "ablation_swap",
+        "Trusted view-swap on/off (t = 10%)",
+        &scale,
+    );
     let mut table = SeriesTable::new("f(%)");
     for &f in &byzantine_fractions(&scale) {
         let mut base = scale.scenario().brahms_baseline();
@@ -24,7 +28,11 @@ fn main() {
             s.trusted_fraction = 0.10;
             s.trusted_swap = swap;
             let agg = runner::run_repeated(&s, scale.reps);
-            table.insert(label, f * 100.0, runner::resilience_improvement_pct(&baseline, &agg));
+            table.insert(
+                label,
+                f * 100.0,
+                runner::resilience_improvement_pct(&baseline, &agg),
+            );
         }
     }
     emit("ablation_swap", "Resilience improvement (%)", &table);

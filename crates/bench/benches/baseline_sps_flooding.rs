@@ -27,10 +27,18 @@ fn main() {
         let cfg = SpsConfig::with_view_size(scale.view);
         let mut slow = SpsPopulation::new(n, malicious, cfg, Flooding::Slow { core: 2 }, 42);
         slow.run_rounds(rounds);
-        table.insert("SPS slow-flood", f * 100.0, slow.malicious_view_share() * 100.0);
+        table.insert(
+            "SPS slow-flood",
+            f * 100.0,
+            slow.malicious_view_share() * 100.0,
+        );
         let mut rapid = SpsPopulation::new(n, malicious, cfg, Flooding::Rapid, 42);
         rapid.run_rounds(rounds);
-        table.insert("SPS rapid-flood", f * 100.0, rapid.malicious_view_share() * 100.0);
+        table.insert(
+            "SPS rapid-flood",
+            f * 100.0,
+            rapid.malicious_view_share() * 100.0,
+        );
 
         let s = Scenario {
             n,

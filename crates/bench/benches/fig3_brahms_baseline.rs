@@ -28,6 +28,10 @@ fn main() {
             rounds.insert("Stability", f * 100.0, st);
         }
     }
-    emit("fig3a", "Resilience: Byzantine IDs in correct views (%)", &resilience);
+    emit(
+        "fig3a",
+        "Resilience: Byzantine IDs in correct views (%)",
+        &resilience,
+    );
     emit("fig3b", "Rounds to discovery and stability", &rounds);
 }

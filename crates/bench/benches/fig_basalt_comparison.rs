@@ -1,0 +1,72 @@
+//! BASALT comparison — the head-to-head the RAPTEE paper only discusses
+//! qualitatively.
+//!
+//! Three protocols at the same workload and per-identity message budget,
+//! sweeping the Byzantine proportion under the balanced attack:
+//!
+//! * **Brahms** — the unhardened baseline (Fig. 3);
+//! * **RAPTEE** — Brahms + trusted tier (t = 10 %, adaptive eviction);
+//! * **BASALT** — ranked hit-counter views with seed rotation, no
+//!   trusted hardware at all.
+//!
+//! Panel (a): converged Byzantine in-view share (%). Panel (b): rounds to
+//! 75 % system discovery — note the discovery *criterion* differs by
+//! protocol (see `raptee_sim::engine`): Brahms/RAPTEE count an ID once it
+//! enters the dynamic view, BASALT counts every ranked candidate, because
+//! its view is deliberately stable. Panel (b) therefore compares each
+//! protocol against its own notion of "known", not a shared event.
+//! BASALT bounds pollution near the adversary's population share without
+//! enclaves; RAPTEE buys resilience *and* fast view-level mixing with its
+//! trusted tier.
+
+use raptee_bench::{byzantine_fractions, emit, header, Scale};
+use raptee_sim::runner;
+use raptee_util::series::SeriesTable;
+
+/// Seed-rotation interval for the BASALT runs (rounds).
+const ROTATION_INTERVAL: usize = 30;
+
+fn main() {
+    let scale = Scale::from_env();
+    header(
+        "fig_basalt_comparison",
+        "Brahms vs RAPTEE vs BASALT under the balanced attack",
+        &scale,
+    );
+    let mut resilience = SeriesTable::new("f(%)");
+    let mut discovery = SeriesTable::new("f(%)");
+    for &f in &byzantine_fractions(&scale) {
+        let mut template = scale.scenario();
+        template.byzantine_fraction = f;
+
+        let brahms = runner::run_repeated(&template.brahms_baseline(), scale.reps);
+        let mut raptee_scenario = template.clone();
+        raptee_scenario.trusted_fraction = 0.10;
+        let raptee = runner::run_repeated(&raptee_scenario, scale.reps);
+        let basalt = runner::run_repeated(&template.basalt_variant(ROTATION_INTERVAL), scale.reps);
+
+        let x = f * 100.0;
+        resilience.insert("Brahms", x, brahms.resilience * 100.0);
+        resilience.insert("RAPTEE t=10%", x, raptee.resilience * 100.0);
+        resilience.insert("BASALT", x, basalt.resilience * 100.0);
+        for (name, agg) in [
+            ("Brahms", &brahms),
+            ("RAPTEE t=10%", &raptee),
+            ("BASALT", &basalt),
+        ] {
+            if let Some(d) = agg.discovery_round {
+                discovery.insert(name, x, d);
+            }
+        }
+    }
+    emit(
+        "fig_basalt_comparisona",
+        "(a) Converged Byzantine IDs in correct views (%)",
+        &resilience,
+    );
+    emit(
+        "fig_basalt_comparisonb",
+        "(b) Rounds to 75% system discovery (criterion differs: view-entry for Brahms/RAPTEE, ranked candidates for BASALT)",
+        &discovery,
+    );
+}

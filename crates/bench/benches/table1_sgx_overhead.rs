@@ -21,7 +21,11 @@ use std::hint::black_box;
 /// Spins for the sampled SGX overhead of `func`, converting cycles to
 /// time at the paper's 3.5 GHz NUC clock — so the emulated-SGX benchmark
 /// rows genuinely cost more wall-clock, like the paper's emulated nodes.
-fn pay_sgx_overhead(model: &SgxOverheadModel, func: PeerSamplingFunction, rng: &mut Xoshiro256StarStar) {
+fn pay_sgx_overhead(
+    model: &SgxOverheadModel,
+    func: PeerSamplingFunction,
+    rng: &mut Xoshiro256StarStar,
+) {
     let cycles = model.sample_overhead(func, rng);
     let nanos = cycles as f64 / 3.5; // 3.5 GHz
     let start = std::time::Instant::now();
@@ -55,8 +59,9 @@ fn print_calibration_table() {
     println!();
     println!("Sampled emulation overhead (100k draws/function):");
     for func in PeerSamplingFunction::ALL {
-        let stats: raptee_util::stats::OnlineStats =
-            (0..100_000).map(|_| model.sample_overhead(func, &mut rng) as f64).collect();
+        let stats: raptee_util::stats::OnlineStats = (0..100_000)
+            .map(|_| model.sample_overhead(func, &mut rng) as f64)
+            .collect();
         println!(
             "{:<24} mean={:>8.1} sd={:>7.1} cycles",
             func.label(),
@@ -129,7 +134,11 @@ fn bench_functions(c: &mut Criterion) {
                 |(mut a, mut bnode)| {
                     RapteeNode::trusted_swap(&mut a, &mut bnode);
                     if profile == ExecutionProfile::EmulatedSgx {
-                        pay_sgx_overhead(&model, PeerSamplingFunction::TrustedCommunications, &mut rng);
+                        pay_sgx_overhead(
+                            &model,
+                            PeerSamplingFunction::TrustedCommunications,
+                            &mut rng,
+                        );
                     }
                     black_box(a.brahms().view().len())
                 },
@@ -157,7 +166,11 @@ fn bench_functions(c: &mut Criterion) {
                     // dominated by the sampler stream at this view size.
                     let out = node.finish_round();
                     if profile == ExecutionProfile::EmulatedSgx {
-                        pay_sgx_overhead(&model, PeerSamplingFunction::SampleListComputation, &mut rng);
+                        pay_sgx_overhead(
+                            &model,
+                            PeerSamplingFunction::SampleListComputation,
+                            &mut rng,
+                        );
                     }
                     black_box(out.report.pulled_ids_received)
                 },
@@ -173,7 +186,11 @@ fn bench_functions(c: &mut Criterion) {
             b.iter(|| {
                 let plan = node.plan_round();
                 if profile == ExecutionProfile::EmulatedSgx {
-                    pay_sgx_overhead(&model, PeerSamplingFunction::DynamicViewComputation, &mut rng);
+                    pay_sgx_overhead(
+                        &model,
+                        PeerSamplingFunction::DynamicViewComputation,
+                        &mut rng,
+                    );
                 }
                 black_box(plan.push_targets.len())
             })

@@ -166,7 +166,11 @@ pub fn run_resilience_figure(id: &str, caption: &str, eviction: raptee::Eviction
             stability.insert(series, f * 100.0, o);
         }
     }
-    emit(&format!("{id}a"), "(a) Byzantine resilience gain (%)", &resilience);
+    emit(
+        &format!("{id}a"),
+        "(a) Byzantine resilience gain (%)",
+        &resilience,
+    );
     emit(
         &format!("{id}b"),
         "(b) Round overhead for system discovery (%)",

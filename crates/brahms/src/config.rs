@@ -107,7 +107,10 @@ mod tests {
         cfg.validate();
         assert_eq!(cfg.view_size, 200);
         assert_eq!(cfg.sample_size, 160);
-        assert_eq!(cfg.alpha_count() + cfg.beta_count() + cfg.gamma_count(), 200);
+        assert_eq!(
+            cfg.alpha_count() + cfg.beta_count() + cfg.gamma_count(),
+            200
+        );
     }
 
     #[test]

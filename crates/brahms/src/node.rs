@@ -203,7 +203,8 @@ impl BrahmsNode {
     /// Records the IDs from one pull answer (or, under RAPTEE, the IDs
     /// surviving eviction, plus the trusted-swap IDs).
     pub fn record_pulled(&mut self, ids: &[NodeId]) {
-        self.pulled.extend(ids.iter().copied().filter(|&i| i != self.id));
+        self.pulled
+            .extend(ids.iter().copied().filter(|&i| i != self.id));
     }
 
     /// Answers a pull request: the full current view (paper Section III-A).
@@ -229,8 +230,7 @@ impl BrahmsNode {
         // channels to have produced something, otherwise a starved round
         // would wipe the view.
         let push_flood_detected = pushes_received > self.config.effective_flood_threshold();
-        let view_renewed =
-            !push_flood_detected && pushes_received > 0 && pulled_ids_received > 0;
+        let view_renewed = !push_flood_detected && pushes_received > 0 && pulled_ids_received > 0;
 
         if view_renewed {
             let mut next: Vec<ViewEntry> = Vec::with_capacity(self.config.view_size);
@@ -243,7 +243,9 @@ impl BrahmsNode {
             let pushed_pick = self.rng.sample(&self.pushed, self.config.alpha_count());
             let pulled_pick = self.rng.sample(&self.pulled, self.config.beta_count());
             // Defence (iv): history sample for self-healing.
-            let history_pick = self.sampler.history_sample(self.config.gamma_count(), &mut self.rng);
+            let history_pick = self
+                .sampler
+                .history_sample(self.config.gamma_count(), &mut self.rng);
             next.extend(pushed_pick.into_iter().map(ViewEntry::fresh));
             next.extend(pulled_pick.into_iter().map(ViewEntry::fresh));
             next.extend(history_pick.into_iter().map(ViewEntry::fresh));
@@ -273,7 +275,6 @@ impl BrahmsNode {
             push_flood_detected,
         }
     }
-
 }
 
 #[cfg(test)]
@@ -393,7 +394,11 @@ mod tests {
         }
         n2.record_pulled(&[NodeId(1)]);
         n2.finish_round();
-        assert_eq!(n2.sampler().samples(), before, "min-wise samples are stable, {seen:?}");
+        assert_eq!(
+            n2.sampler().samples(),
+            before,
+            "min-wise samples are stable, {seen:?}"
+        );
     }
 
     #[test]

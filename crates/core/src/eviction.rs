@@ -50,7 +50,10 @@ impl EvictionPolicy {
                 assert!((0.0..=1.0).contains(&r), "eviction rate must be in [0,1]");
             }
             EvictionPolicy::Adaptive { lo, hi } => {
-                assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi), "bounds must be in [0,1]");
+                assert!(
+                    (0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi),
+                    "bounds must be in [0,1]"
+                );
                 assert!(lo <= hi, "adaptive lower bound must not exceed upper bound");
             }
         }

@@ -101,7 +101,12 @@ pub struct RapteeNode {
 impl RapteeNode {
     /// Creates an *untrusted* node: it generates its own random secret
     /// key, so its handshakes never conclude `Trusted` with anyone.
-    pub fn new_untrusted(id: NodeId, config: RapteeConfig, bootstrap: &[NodeId], seed: u64) -> Self {
+    pub fn new_untrusted(
+        id: NodeId,
+        config: RapteeConfig,
+        bootstrap: &[NodeId],
+        seed: u64,
+    ) -> Self {
         // Derive the key from both the node seed and the ID through the
         // keyed PRF; unique per node, unrelated to the group key.
         let key = SecretKey::from_seed(seed).derive("raptee-untrusted-node-key", &id.to_bytes());
@@ -372,10 +377,28 @@ impl RapteeNode {
         // meeting every round — the "dissemination-efficient" exchange
         // among trusted nodes of Section III-A.
         let dir_cfg = raptee_trusted(initiator.directory.capacity());
-        let dir_i = prepare_buffer(&mut initiator.directory, &dir_cfg, initiator.brahms.rng_mut());
-        let dir_r = prepare_buffer(&mut responder.directory, &dir_cfg, responder.brahms.rng_mut());
-        integrate(&mut initiator.directory, &dir_r, &dir_cfg, initiator.brahms.rng_mut());
-        integrate(&mut responder.directory, &dir_i, &dir_cfg, responder.brahms.rng_mut());
+        let dir_i = prepare_buffer(
+            &mut initiator.directory,
+            &dir_cfg,
+            initiator.brahms.rng_mut(),
+        );
+        let dir_r = prepare_buffer(
+            &mut responder.directory,
+            &dir_cfg,
+            responder.brahms.rng_mut(),
+        );
+        integrate(
+            &mut initiator.directory,
+            &dir_r,
+            &dir_cfg,
+            initiator.brahms.rng_mut(),
+        );
+        integrate(
+            &mut responder.directory,
+            &dir_i,
+            &dir_cfg,
+            responder.brahms.rng_mut(),
+        );
         if opportunistic {
             initiator.note_trusted_peer(responder.id());
             responder.note_trusted_peer(initiator.id());
@@ -466,7 +489,12 @@ mod tests {
     }
 
     fn untrusted(id: u64, seed: u64) -> RapteeNode {
-        RapteeNode::new_untrusted(NodeId(id), cfg(EvictionPolicy::adaptive()), &boot(100..110), seed)
+        RapteeNode::new_untrusted(
+            NodeId(id),
+            cfg(EvictionPolicy::adaptive()),
+            &boot(100..110),
+            seed,
+        )
     }
 
     #[test]
@@ -569,7 +597,11 @@ mod tests {
         RapteeNode::trusted_swap(&mut a, &mut b);
         a.record_untrusted_pull(&boot(300..310));
         let out = a.finish_round();
-        assert!((out.eviction_rate - 0.5).abs() < 1e-12, "rate {}", out.eviction_rate);
+        assert!(
+            (out.eviction_rate - 0.5).abs() < 1e-12,
+            "rate {}",
+            out.eviction_rate
+        );
     }
 
     #[test]

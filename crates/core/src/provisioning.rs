@@ -110,7 +110,10 @@ mod tests {
         let evil = Enclave::load(b"raptee-trusted-node-enclave-v1.0-EVIL", 666);
         let nonce = service.challenge();
         let quote = AttestationService::quote(666, &evil, nonce);
-        assert_eq!(service.attest(&quote).unwrap_err(), AttestationError::WrongMeasurement);
+        assert_eq!(
+            service.attest(&quote).unwrap_err(),
+            AttestationError::WrongMeasurement
+        );
     }
 
     #[test]

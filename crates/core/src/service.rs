@@ -57,7 +57,11 @@ impl PeerSamplingService for BrahmsNode {
     }
 
     fn next_peer(&mut self) -> Option<NodeId> {
-        next_peer_impl(self.sampler().samples(), self.view().id_vec(), self.rng_mut())
+        next_peer_impl(
+            self.sampler().samples(),
+            self.view().id_vec(),
+            self.rng_mut(),
+        )
     }
 }
 
@@ -137,7 +141,12 @@ mod tests {
             eviction: EvictionPolicy::adaptive(),
         };
         let mut services: Vec<Box<dyn PeerSamplingService>> = vec![
-            Box::new(BrahmsNode::new(NodeId(0), BrahmsConfig::paper_defaults(8, 8), &boot(), 1)),
+            Box::new(BrahmsNode::new(
+                NodeId(0),
+                BrahmsConfig::paper_defaults(8, 8),
+                &boot(),
+                1,
+            )),
             Box::new(RapteeNode::new_untrusted(NodeId(1), cfg, &boot(), 2)),
         ];
         for s in &mut services {

@@ -152,7 +152,11 @@ impl Message {
         let (&t, rest) = buf.split_first().ok_or(WireError::Truncated)?;
         match t {
             tag::PUSH => {
-                let bytes: [u8; 8] = rest.get(..8).ok_or(WireError::Truncated)?.try_into().unwrap();
+                let bytes: [u8; 8] = rest
+                    .get(..8)
+                    .ok_or(WireError::Truncated)?
+                    .try_into()
+                    .unwrap();
                 Ok((
                     Message::Push {
                         sender: NodeId(u64::from_le_bytes(bytes)),
@@ -162,8 +166,11 @@ impl Message {
             }
             tag::PULL_REQUEST => Ok((Message::PullRequest, 1)),
             tag::PULL_ANSWER => {
-                let len_bytes: [u8; 4] =
-                    rest.get(..4).ok_or(WireError::Truncated)?.try_into().unwrap();
+                let len_bytes: [u8; 4] = rest
+                    .get(..4)
+                    .ok_or(WireError::Truncated)?
+                    .try_into()
+                    .unwrap();
                 let len = u32::from_le_bytes(len_bytes) as usize;
                 let body = rest.get(4..).ok_or(WireError::Truncated)?;
                 let need = len.checked_mul(8).ok_or(WireError::BadLength)?;
@@ -182,7 +189,10 @@ impl Message {
                     .ok_or(WireError::Truncated)?
                     .try_into()
                     .unwrap();
-                Ok((Message::AuthChallenge(AuthChallenge { nonce }), 1 + NONCE_LEN))
+                Ok((
+                    Message::AuthChallenge(AuthChallenge { nonce }),
+                    1 + NONCE_LEN,
+                ))
             }
             tag::AUTH_RESPONSE => {
                 let nonce: [u8; NONCE_LEN] = rest
@@ -201,7 +211,11 @@ impl Message {
                 ))
             }
             tag::AUTH_CONFIRM => {
-                let mac: [u8; 32] = rest.get(..32).ok_or(WireError::Truncated)?.try_into().unwrap();
+                let mac: [u8; 32] = rest
+                    .get(..32)
+                    .ok_or(WireError::Truncated)?
+                    .try_into()
+                    .unwrap();
                 Ok((Message::AuthConfirm(AuthConfirm { tag: mac }), 33))
             }
             other => Err(WireError::UnknownTag(other)),
@@ -238,7 +252,9 @@ mod tests {
             Message::PullAnswer {
                 ids: (0..200).map(NodeId).collect(),
             },
-            Message::AuthChallenge(AuthChallenge { nonce: [7; NONCE_LEN] }),
+            Message::AuthChallenge(AuthChallenge {
+                nonce: [7; NONCE_LEN],
+            }),
             Message::AuthResponse(AuthResponse {
                 nonce: [9; NONCE_LEN],
                 tag: [3; 32],
@@ -289,7 +305,10 @@ mod tests {
 
     #[test]
     fn unknown_tag_rejected() {
-        assert_eq!(Message::decode(&[99]).unwrap_err(), WireError::UnknownTag(99));
+        assert_eq!(
+            Message::decode(&[99]).unwrap_err(),
+            WireError::UnknownTag(99)
+        );
     }
 
     #[test]
@@ -304,7 +323,10 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut bytes = Message::PullRequest.encode();
         bytes.push(0);
-        assert_eq!(Message::decode(&bytes).unwrap_err(), WireError::TrailingBytes);
+        assert_eq!(
+            Message::decode(&bytes).unwrap_err(),
+            WireError::TrailingBytes
+        );
     }
 
     #[test]
@@ -349,9 +371,11 @@ mod prop_tests {
         prop_oneof![
             any::<u64>().prop_map(|v| Message::Push { sender: NodeId(v) }),
             Just(Message::PullRequest),
-            proptest::collection::vec(any::<u64>(), 0..300)
-                .prop_map(|v| Message::PullAnswer { ids: v.into_iter().map(NodeId).collect() }),
-            any::<[u8; NONCE_LEN]>().prop_map(|nonce| Message::AuthChallenge(AuthChallenge { nonce })),
+            proptest::collection::vec(any::<u64>(), 0..300).prop_map(|v| Message::PullAnswer {
+                ids: v.into_iter().map(NodeId).collect()
+            }),
+            any::<[u8; NONCE_LEN]>()
+                .prop_map(|nonce| Message::AuthChallenge(AuthChallenge { nonce })),
             (any::<[u8; NONCE_LEN]>(), any::<[u8; 32]>())
                 .prop_map(|(nonce, tag)| Message::AuthResponse(AuthResponse { nonce, tag })),
             any::<[u8; 32]>().prop_map(|tag| Message::AuthConfirm(AuthConfirm { tag })),

@@ -283,10 +283,7 @@ mod tests {
         let u = Authenticator::new(SecretKey::from_seed(2));
         let (cht, _) = t.initiate([1; NONCE_LEN]);
         let (chu, _) = u.initiate([1; NONCE_LEN]);
-        assert_eq!(
-            std::mem::size_of_val(&cht),
-            std::mem::size_of_val(&chu)
-        );
+        assert_eq!(std::mem::size_of_val(&cht), std::mem::size_of_val(&chu));
         let (rt, _) = t.respond(&cht, [2; NONCE_LEN]);
         let (ru, _) = u.respond(&chu, [2; NONCE_LEN]);
         assert_eq!(std::mem::size_of_val(&rt), std::mem::size_of_val(&ru));

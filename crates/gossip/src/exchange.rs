@@ -198,7 +198,11 @@ mod tests {
         };
         let buf = prepare_buffer(&mut v, &cfg, &mut rng);
         assert_eq!(buf.len(), 5, "c/2 entries");
-        assert_eq!(buf[0], ViewEntry::fresh(NodeId(7)), "self link first, age 0");
+        assert_eq!(
+            buf[0],
+            ViewEntry::fresh(NodeId(7)),
+            "self link first, age 0"
+        );
         for e in &buf[1..] {
             assert!(v.contains(e.id));
         }
@@ -222,7 +226,10 @@ mod tests {
         };
         let buf = prepare_buffer(&mut v, &cfg, &mut rng);
         for e in &buf[1..] {
-            assert!(e.age == 0, "aged entries must not be gossiped when H covers them");
+            assert!(
+                e.age == 0,
+                "aged entries must not be gossiped when H covers them"
+            );
         }
     }
 
@@ -255,8 +262,14 @@ mod tests {
         assert_eq!(a.len(), 8);
         assert_eq!(b.len(), 8);
         // Each side must now know some of the other's region.
-        assert!(a.ids().any(|id| id.0 >= 100), "initiator learned partner links");
-        assert!(b.ids().any(|id| id.0 < 100), "responder learned initiator links");
+        assert!(
+            a.ids().any(|id| id.0 >= 100),
+            "initiator learned partner links"
+        );
+        assert!(
+            b.ids().any(|id| id.0 < 100),
+            "responder learned initiator links"
+        );
         // The initiator's own ID travelled to the responder.
         assert!(b.contains(NodeId(0)));
     }

@@ -297,7 +297,10 @@ mod tests {
         let mut pop = Population::ring(100, cyclon(8), 11);
         pop.run_rounds(30);
         let coverage = pop.referencing_fraction(NodeId(0));
-        assert!(coverage > 0.04, "node 0 should reach ≥ c/n coverage, got {coverage}");
+        assert!(
+            coverage > 0.04,
+            "node 0 should reach ≥ c/n coverage, got {coverage}"
+        );
     }
 
     #[test]

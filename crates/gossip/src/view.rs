@@ -320,11 +320,24 @@ mod tests {
     #[test]
     fn duplicate_insert_keeps_younger_age() {
         let mut v = View::new(NodeId(0), 4);
-        v.insert(ViewEntry { id: NodeId(1), age: 5 });
-        v.insert(ViewEntry { id: NodeId(1), age: 2 });
+        v.insert(ViewEntry {
+            id: NodeId(1),
+            age: 5,
+        });
+        v.insert(ViewEntry {
+            id: NodeId(1),
+            age: 2,
+        });
         assert_eq!(v.entries()[0].age, 2);
-        v.insert(ViewEntry { id: NodeId(1), age: 9 });
-        assert_eq!(v.entries()[0].age, 2, "older duplicate must not regress age");
+        v.insert(ViewEntry {
+            id: NodeId(1),
+            age: 9,
+        });
+        assert_eq!(
+            v.entries()[0].age,
+            2,
+            "older duplicate must not regress age"
+        );
     }
 
     #[test]
@@ -337,8 +350,14 @@ mod tests {
     #[test]
     fn replace_oldest_evicts_by_age() {
         let mut v = View::new(NodeId(0), 2);
-        v.insert(ViewEntry { id: NodeId(1), age: 9 });
-        v.insert(ViewEntry { id: NodeId(2), age: 1 });
+        v.insert(ViewEntry {
+            id: NodeId(1),
+            age: 9,
+        });
+        v.insert(ViewEntry {
+            id: NodeId(2),
+            age: 1,
+        });
         v.insert_replacing_oldest(ViewEntry::fresh(NodeId(3)));
         assert!(!v.contains(NodeId(1)), "oldest evicted");
         assert!(v.contains(NodeId(2)) && v.contains(NodeId(3)));
@@ -388,7 +407,10 @@ mod tests {
         let mut v = view_with(0, 2, &[1]);
         v.append_dedup(&[
             ViewEntry::fresh(NodeId(0)), // owner: skipped
-            ViewEntry { id: NodeId(1), age: 0 },
+            ViewEntry {
+                id: NodeId(1),
+                age: 0,
+            },
             ViewEntry::fresh(NodeId(2)),
             ViewEntry::fresh(NodeId(3)),
         ]);
@@ -401,7 +423,10 @@ mod tests {
     fn remove_oldest_respects_floor() {
         let mut v = View::new(NodeId(0), 8);
         for i in 1..=4 {
-            v.insert(ViewEntry { id: NodeId(i), age: i as u32 });
+            v.insert(ViewEntry {
+                id: NodeId(i),
+                age: i as u32,
+            });
         }
         let removed = v.remove_oldest(10, 3);
         assert_eq!(removed, 1);
@@ -421,7 +446,11 @@ mod tests {
     fn shrink_to_capacity() {
         let mut rng = Xoshiro256StarStar::seed_from_u64(1);
         let mut v = View::new(NodeId(0), 3);
-        v.append_dedup(&(1..=10).map(|i| ViewEntry::fresh(NodeId(i))).collect::<Vec<_>>());
+        v.append_dedup(
+            &(1..=10)
+                .map(|i| ViewEntry::fresh(NodeId(i)))
+                .collect::<Vec<_>>(),
+        );
         assert_eq!(v.len(), 10);
         v.shrink_to_capacity(&mut rng);
         assert_eq!(v.len(), 3);

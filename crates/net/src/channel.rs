@@ -63,26 +63,30 @@ impl SecureChannel {
     /// Encrypts a payload travelling initiator → responder.
     pub fn seal_from_initiator(&mut self, plaintext: &[u8]) -> Vec<u8> {
         self.initiator_counter += 1;
-        self.session.encrypt(&Self::nonce(0, self.initiator_counter), plaintext)
+        self.session
+            .encrypt(&Self::nonce(0, self.initiator_counter), plaintext)
     }
 
     /// Encrypts a payload travelling responder → initiator.
     pub fn seal_from_responder(&mut self, plaintext: &[u8]) -> Vec<u8> {
         self.responder_counter += 1;
-        self.session.encrypt(&Self::nonce(1, self.responder_counter), plaintext)
+        self.session
+            .encrypt(&Self::nonce(1, self.responder_counter), plaintext)
     }
 
     /// Decrypts the next initiator → responder payload. Ciphertexts must
     /// be opened in send order (the round-based network preserves order).
     pub fn open_from_initiator(&mut self, ciphertext: &[u8]) -> Vec<u8> {
         self.opened_initiator += 1;
-        self.session.decrypt(&Self::nonce(0, self.opened_initiator), ciphertext)
+        self.session
+            .decrypt(&Self::nonce(0, self.opened_initiator), ciphertext)
     }
 
     /// Decrypts the next responder → initiator payload.
     pub fn open_from_responder(&mut self, ciphertext: &[u8]) -> Vec<u8> {
         self.opened_responder += 1;
-        self.session.decrypt(&Self::nonce(1, self.opened_responder), ciphertext)
+        self.session
+            .decrypt(&Self::nonce(1, self.opened_responder), ciphertext)
     }
 
     fn nonce(direction: u8, counter: u64) -> [u8; 12] {

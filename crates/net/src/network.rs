@@ -178,7 +178,10 @@ impl<M: MessageMeter> Network<M> {
     ///
     /// Panics if `p` is not a probability.
     pub fn set_drop_probability(&mut self, p: f64) {
-        assert!((0.0..=1.0).contains(&p), "drop probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability must be in [0,1]"
+        );
         self.drop_probability = p;
     }
 
@@ -207,7 +210,10 @@ impl<M: MessageMeter> Network<M> {
     ///
     /// Panics if `to` is not a valid node index for this network.
     pub fn send(&mut self, from: NodeId, to: NodeId, payload: M) -> bool {
-        assert!(to.index() < self.inboxes.len(), "destination {to} out of range");
+        assert!(
+            to.index() < self.inboxes.len(),
+            "destination {to} out of range"
+        );
         let kind = payload.kind();
         let size = payload.size_bytes();
         self.totals.add(kind, size);

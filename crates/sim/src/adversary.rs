@@ -23,6 +23,9 @@
 use raptee_net::NodeId;
 use raptee_util::rng::Xoshiro256StarStar;
 
+/// A planned batch of adversary pushes: `(victim, advertised ID)` pairs.
+pub type PushPlan = Vec<(NodeId, NodeId)>;
+
 /// The adversary's classification of one node, with bookkeeping for
 /// precision/recall.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,6 +49,10 @@ pub struct Adversary {
     /// Latest observation per (non-Byzantine) node index; `None` = never
     /// pulled.
     observations: Vec<Option<Observation>>,
+    /// Round-robin cursor over the Byzantine identities for the
+    /// force-push attack (coverage beats repetition against ranked
+    /// views).
+    force_rotor: usize,
 }
 
 impl Adversary {
@@ -63,6 +70,7 @@ impl Adversary {
             view_size,
             rng: Xoshiro256StarStar::seed_from_u64(seed),
             observations: vec![None; total_actors],
+            force_rotor: 0,
         }
     }
 
@@ -131,7 +139,12 @@ impl Adversary {
     /// Records the Byzantine share observed in a pull answer received
     /// from non-Byzantine node `from` (identification attack data
     /// collection).
-    pub fn observe_pull_answer(&mut self, from: NodeId, answer: &[NodeId], is_byz: impl Fn(NodeId) -> bool) {
+    pub fn observe_pull_answer(
+        &mut self,
+        from: NodeId,
+        answer: &[NodeId],
+        is_byz: impl Fn(NodeId) -> bool,
+    ) {
         if answer.is_empty() {
             return;
         }
@@ -161,6 +174,26 @@ impl Adversary {
         budget: usize,
         focus: f64,
     ) -> Vec<(NodeId, NodeId)> {
+        self.plan_with_focus(
+            all_victims,
+            targets,
+            budget,
+            focus,
+            Self::plan_balanced_pushes,
+        )
+    }
+
+    /// Shared focus-splitting for the targeted attack variants: a `focus`
+    /// share of the budget goes to `targets` through `planner`, the rest
+    /// stays spread over everyone.
+    fn plan_with_focus(
+        &mut self,
+        all_victims: &[NodeId],
+        targets: &[NodeId],
+        budget: usize,
+        focus: f64,
+        planner: fn(&mut Self, &[NodeId], usize) -> PushPlan,
+    ) -> PushPlan {
         if all_victims.is_empty() || self.byzantine_ids.is_empty() || budget == 0 {
             return Vec::new();
         }
@@ -168,10 +201,64 @@ impl Adversary {
         let mut plan = if targets.is_empty() {
             Vec::new()
         } else {
-            self.plan_balanced_pushes(targets, focused_budget)
+            planner(self, targets, focused_budget)
         };
-        plan.extend(self.plan_balanced_pushes(all_victims, budget - plan.len()));
+        plan.extend(planner(self, all_victims, budget - plan.len()));
         plan
+    }
+
+    /// Plans the *force-push* attack against BASALT's ranked hit-counter
+    /// views: the lawful budget is still spread evenly over the victims
+    /// (rate limiting makes concentration pointless), but every push
+    /// advertises the **next distinct Byzantine identity round-robin**
+    /// instead of a random draw. Against a min-rank view, repeating an ID
+    /// buys nothing — the adversary's best play is maximal *coverage*, so
+    /// that every slot where some Byzantine ID happens to rank closest is
+    /// found as quickly as possible. Returns `(victim, advertised)` pairs
+    /// like [`Adversary::plan_balanced_pushes`].
+    pub fn plan_force_pushes(
+        &mut self,
+        victims: &[NodeId],
+        budget: usize,
+    ) -> Vec<(NodeId, NodeId)> {
+        if victims.is_empty() || self.byzantine_ids.is_empty() || budget == 0 {
+            return Vec::new();
+        }
+        let base = budget / victims.len();
+        let remainder = budget % victims.len();
+        let mut plan = Vec::with_capacity(budget);
+        for &v in victims {
+            for _ in 0..base {
+                plan.push((v, self.next_force_id()));
+            }
+        }
+        let extra = self.rng.sample(victims, remainder);
+        for v in extra {
+            plan.push((v, self.next_force_id()));
+        }
+        plan
+    }
+
+    fn next_force_id(&mut self) -> NodeId {
+        let id = self.byzantine_ids[self.force_rotor % self.byzantine_ids.len()];
+        self.force_rotor = self.force_rotor.wrapping_add(1);
+        id
+    }
+
+    /// The *targeted* force-push attack: like
+    /// [`Adversary::plan_targeted_pushes`], a `focus` share of the budget
+    /// floods the victim subset, the rest stays balanced — but every push
+    /// advertises distinct Byzantine identities round-robin, the only
+    /// lever that matters against a ranked view. Returns
+    /// `(victim, advertised)` pairs.
+    pub fn plan_targeted_force_pushes(
+        &mut self,
+        all_victims: &[NodeId],
+        targets: &[NodeId],
+        budget: usize,
+        focus: f64,
+    ) -> Vec<(NodeId, NodeId)> {
+        self.plan_with_focus(all_victims, targets, budget, focus, Self::plan_force_pushes)
     }
 
     /// Picks `k` observation targets uniformly among `candidates` (the
@@ -273,7 +360,9 @@ mod tests {
         let is_byz = |id: NodeId| id.0 < 10;
         // Regular honest nodes: ~50 % Byzantine answers.
         for i in 20..40u64 {
-            let answer: Vec<NodeId> = (0..10).map(|k| NodeId(if k % 2 == 0 { k } else { 50 + k })).collect();
+            let answer: Vec<NodeId> = (0..10)
+                .map(|k| NodeId(if k % 2 == 0 { k } else { 50 + k }))
+                .collect();
             a.observe_pull_answer(NodeId(i), &answer, is_byz);
         }
         // One trusted-looking node: 0 % Byzantine.
@@ -353,6 +442,85 @@ mod tests {
             share < 0.15,
             "advertisement must stay sparse, got {share:.3}"
         );
+    }
+
+    #[test]
+    fn force_pushes_maximise_identity_coverage() {
+        let mut a = adversary(20, 100);
+        let victims: Vec<NodeId> = (20..100).map(NodeId).collect();
+        let budget = 20 * 4;
+        let plan = a.plan_force_pushes(&victims, budget);
+        assert_eq!(plan.len(), budget);
+        // Every Byzantine identity is advertised (budget ≥ identities),
+        // and the per-victim spread stays balanced.
+        let mut advertised: Vec<u64> = plan.iter().map(|&(_, id)| id.0).collect();
+        advertised.sort_unstable();
+        advertised.dedup();
+        assert_eq!(advertised.len(), 20, "full identity coverage");
+        let mut counts = vec![0usize; 100];
+        for &(v, id) in &plan {
+            counts[v.index()] += 1;
+            assert!(id.0 < 20, "advertised IDs are Byzantine");
+        }
+        let victim_counts: Vec<usize> = (20..100).map(|i| counts[i]).collect();
+        let min = victim_counts.iter().min().unwrap();
+        let max = victim_counts.iter().max().unwrap();
+        assert!(max - min <= 1, "balanced: min {min}, max {max}");
+    }
+
+    #[test]
+    fn force_push_rotor_advances_across_rounds() {
+        // Each victim eventually sees every Byzantine identity, not the
+        // same prefix over and over.
+        let mut a = adversary(8, 20);
+        let victims = [NodeId(10)];
+        let mut seen: Vec<u64> = Vec::new();
+        for _ in 0..4 {
+            for (_, id) in a.plan_force_pushes(&victims, 2) {
+                seen.push(id.0);
+            }
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 8, "the rotor must cycle the identity pool");
+    }
+
+    #[test]
+    fn targeted_force_plan_focuses_budget_with_distinct_ids() {
+        let mut a = adversary(20, 200);
+        let all: Vec<NodeId> = (20..200).map(NodeId).collect();
+        let targets: Vec<NodeId> = (20..29).map(NodeId).collect();
+        let budget = 80;
+        let plan = a.plan_targeted_force_pushes(&all, &targets, budget, 0.75);
+        assert_eq!(plan.len(), budget);
+        let focused = plan.iter().filter(|(v, _)| targets.contains(v)).count();
+        assert!(
+            focused >= 60,
+            "focus must dominate victim traffic: {focused}/{budget}"
+        );
+        // The focused traffic still cycles distinct identities.
+        let mut victim_ids: Vec<u64> = plan
+            .iter()
+            .filter(|(v, _)| targets.contains(v))
+            .map(|&(_, id)| id.0)
+            .collect();
+        victim_ids.sort_unstable();
+        victim_ids.dedup();
+        assert_eq!(victim_ids.len(), 20, "victims see the full identity pool");
+        // Degenerate forms.
+        assert_eq!(a.plan_targeted_force_pushes(&all, &[], 40, 0.9).len(), 40);
+        assert!(a
+            .plan_targeted_force_pushes(&all, &targets, 0, 0.9)
+            .is_empty());
+    }
+
+    #[test]
+    fn force_push_edge_cases() {
+        let mut a = adversary(5, 10);
+        assert!(a.plan_force_pushes(&[], 10).is_empty());
+        assert!(a.plan_force_pushes(&[NodeId(9)], 0).is_empty());
+        let mut empty = Adversary::new(vec![], 10, 10, 1);
+        assert!(empty.plan_force_pushes(&[NodeId(9)], 10).is_empty());
     }
 
     #[test]

@@ -51,7 +51,11 @@ impl BitSet {
     /// Panics when `idx` is outside the universe.
     #[inline]
     pub fn insert(&mut self, idx: usize) -> bool {
-        assert!(idx < self.len, "bitset index {idx} out of range {}", self.len);
+        assert!(
+            idx < self.len,
+            "bitset index {idx} out of range {}",
+            self.len
+        );
         let (w, b) = (idx / 64, idx % 64);
         let mask = 1u64 << b;
         if self.words[w] & mask == 0 {
@@ -93,7 +97,10 @@ mod tests {
         assert_eq!(b.count(), 3);
         assert!(b.contains(0) && b.contains(64) && b.contains(129));
         assert!(!b.contains(1));
-        assert!(!b.contains(500), "out-of-range contains is false, not panic");
+        assert!(
+            !b.contains(500),
+            "out-of-range contains is false, not panic"
+        );
     }
 
     #[test]

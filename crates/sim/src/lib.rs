@@ -8,8 +8,8 @@
 //! analyses.
 //!
 //! * [`scenario`] — experiment configuration ([`scenario::Scenario`]):
-//!   population, fractions, eviction policy, protocol selection, attack
-//!   toggles, seeds.
+//!   population, fractions, eviction policy, protocol selection (Brahms,
+//!   RAPTEE, or BASALT hit-counter sampling), attack toggles, seeds.
 //! * [`adversary`] — the adversarial strategy of Section III-B: evenly
 //!   balanced faulty pushes (rate-limited like everyone else), pull
 //!   answers containing exclusively Byzantine IDs, the trusted-node

@@ -182,6 +182,9 @@ pub struct RunResult {
     pub floods_detected: u64,
     /// Total IDs dropped by Byzantine eviction.
     pub total_evicted: u64,
+    /// Total BASALT ranking-seed rotations across nodes and rounds (0
+    /// under Brahms/RAPTEE).
+    pub seed_rotations: u64,
 }
 
 #[cfg(test)]
@@ -246,7 +249,10 @@ mod tests {
     fn fractional_crossing_interpolates() {
         let series = [0.0, 0.4, 0.8, 1.0];
         let r = fractional_crossing(&series, 0.6).unwrap();
-        assert!((r - 1.5).abs() < 1e-12, "0.6 is halfway between rounds 1 and 2: {r}");
+        assert!(
+            (r - 1.5).abs() < 1e-12,
+            "0.6 is halfway between rounds 1 and 2: {r}"
+        );
         assert_eq!(fractional_crossing(&series, 0.0), Some(0.0));
         assert_eq!(fractional_crossing(&series, 1.01), None);
         assert_eq!(fractional_crossing(&[], 0.5), None);

@@ -226,6 +226,7 @@ mod tests {
             rounds: 10,
             floods_detected: 0,
             total_evicted: 0,
+            seed_rotations: 0,
         }
     }
 

@@ -30,6 +30,16 @@ pub enum Protocol {
     /// RAPTEE: `t·N` trusted nodes with mutual auth, trusted
     /// communications and Byzantine eviction.
     Raptee,
+    /// BASALT (Auvolat et al., PAPERS.md): ranked hit-counter views with
+    /// periodic seed rotation — the purely algorithmic Byzantine-tolerant
+    /// baseline. No trusted tier exists under this protocol.
+    Basalt {
+        /// Number of ranked view slots `v` (kept equal to
+        /// [`Scenario::view_size`] for budget-parity comparisons).
+        view_size: usize,
+        /// Rounds between seed rotations (`0` disables rotation).
+        rotation_interval: usize,
+    },
 }
 
 /// One experimental setup, mirroring the paper's Section V-B: "An
@@ -178,7 +188,10 @@ impl Scenario {
         for (name, v) in [
             ("byzantine_fraction", self.byzantine_fraction),
             ("trusted_fraction", self.trusted_fraction),
-            ("injected_poisoned_fraction", self.injected_poisoned_fraction),
+            (
+                "injected_poisoned_fraction",
+                self.injected_poisoned_fraction,
+            ),
         ] {
             assert!((0.0..=1.0).contains(&v), "{name} must be in [0,1]");
         }
@@ -186,22 +199,52 @@ impl Scenario {
             self.byzantine_fraction + self.trusted_fraction <= 1.0 + 1e-9,
             "byzantine + trusted fractions exceed the population"
         );
-        assert!(self.view_size > 0 && self.sample_size > 0, "sizes must be positive");
+        assert!(
+            self.view_size > 0 && self.sample_size > 0,
+            "sizes must be positive"
+        );
         assert!(self.rounds > 0, "must run at least one round");
         assert!(self.tail_window > 0, "tail window must be positive");
         assert!((0.0..1.0).contains(&self.gamma), "gamma must be in [0,1)");
-        assert!(self.flood_slack_sigmas >= 0.0, "flood slack must be non-negative");
-        assert!((0.0..=1.0).contains(&self.message_loss), "message loss must be in [0,1]");
-        if let AttackStrategy::Targeted { victim_fraction, focus } = self.attack {
-            assert!((0.0..=1.0).contains(&victim_fraction), "victim fraction must be in [0,1]");
+        assert!(
+            self.flood_slack_sigmas >= 0.0,
+            "flood slack must be non-negative"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.message_loss),
+            "message loss must be in [0,1]"
+        );
+        if let AttackStrategy::Targeted {
+            victim_fraction,
+            focus,
+        } = self.attack
+        {
+            assert!(
+                (0.0..=1.0).contains(&victim_fraction),
+                "victim fraction must be in [0,1]"
+            );
             assert!((0.0..=1.0).contains(&focus), "focus must be in [0,1]");
         }
-        assert!((0.0..1.0).contains(&self.crash_fraction), "crash fraction must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&self.crash_fraction),
+            "crash fraction must be in [0,1)"
+        );
         self.eviction.validate();
         assert!(
             (0.0..=1.0).contains(&self.identification_threshold),
             "identification threshold must be in [0,1]"
         );
+        if let Protocol::Basalt { view_size, .. } = self.protocol {
+            assert!(view_size > 0, "BASALT view size must be positive");
+            assert!(
+                self.injected_poisoned_fraction == 0.0,
+                "trusted-node injection needs a trusted tier (RAPTEE only)"
+            );
+            assert!(
+                !self.identification_attack,
+                "the identification attack targets trusted nodes (RAPTEE only)"
+            );
+        }
     }
 
     /// Number of Byzantine nodes `⌊f·N⌋` (at least 1 when `f > 0`).
@@ -216,9 +259,9 @@ impl Scenario {
 
     /// Number of trusted nodes `⌊t·N⌋` (at least 1 when `t > 0` and the
     /// protocol is RAPTEE; the paper's smallest setting is "1 % of
-    /// SGX-capable devices").
+    /// SGX-capable devices"). Brahms and BASALT run no trusted tier.
     pub fn trusted_count(&self) -> usize {
-        if self.protocol == Protocol::Brahms {
+        if self.protocol != Protocol::Raptee {
             return 0;
         }
         let t = (self.trusted_fraction * self.n as f64).round() as usize;
@@ -250,6 +293,24 @@ impl Scenario {
     pub fn brahms_baseline(&self) -> Scenario {
         Scenario {
             protocol: Protocol::Brahms,
+            trusted_fraction: 0.0,
+            injected_poisoned_fraction: 0.0,
+            identification_attack: false,
+            ..self.clone()
+        }
+    }
+
+    /// A copy of this scenario switched to BASALT at the same view size
+    /// and workload (the algorithmic counterpart of
+    /// [`Scenario::brahms_baseline`]): same `N`, `f`, rounds and message
+    /// budget, no trusted tier, seeds rotated every `rotation_interval`
+    /// rounds.
+    pub fn basalt_variant(&self, rotation_interval: usize) -> Scenario {
+        Scenario {
+            protocol: Protocol::Basalt {
+                view_size: self.view_size,
+                rotation_interval,
+            },
             trusted_fraction: 0.0,
             injected_poisoned_fraction: 0.0,
             identification_attack: false,
@@ -335,6 +396,55 @@ mod tests {
         };
         assert_eq!(s.injected_count(), 20);
         assert_eq!(s.total_actors(), 120);
+    }
+
+    #[test]
+    fn basalt_variant_strips_trusted_tier() {
+        let s = Scenario {
+            trusted_fraction: 0.2,
+            injected_poisoned_fraction: 0.1,
+            identification_attack: true,
+            ..Scenario::default()
+        };
+        let b = s.basalt_variant(30);
+        b.validate();
+        assert_eq!(
+            b.protocol,
+            Protocol::Basalt {
+                view_size: s.view_size,
+                rotation_interval: 30
+            }
+        );
+        assert_eq!(b.trusted_count(), 0);
+        assert_eq!(b.injected_count(), 0);
+        assert!(!b.identification_attack);
+        // Workload knobs preserved.
+        assert_eq!(b.n, s.n);
+        assert_eq!(b.byzantine_fraction, s.byzantine_fraction);
+        assert_eq!(b.seed, s.seed);
+    }
+
+    #[test]
+    #[should_panic(expected = "RAPTEE only")]
+    fn basalt_rejects_injection_attack() {
+        Scenario {
+            injected_poisoned_fraction: 0.1,
+            ..Scenario::default().basalt_variant(10)
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "view size must be positive")]
+    fn basalt_zero_view_rejected() {
+        Scenario {
+            protocol: Protocol::Basalt {
+                view_size: 0,
+                rotation_interval: 10,
+            },
+            ..Scenario::default()
+        }
+        .validate();
     }
 
     #[test]

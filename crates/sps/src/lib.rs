@@ -192,7 +192,13 @@ pub struct SpsPopulation {
 impl SpsPopulation {
     /// Builds `n` nodes, the first `malicious` of which are adversarial,
     /// each bootstrapped with a uniform membership sample.
-    pub fn new(n: usize, malicious: usize, config: SpsConfig, flooding: Flooding, seed: u64) -> Self {
+    pub fn new(
+        n: usize,
+        malicious: usize,
+        config: SpsConfig,
+        flooding: Flooding,
+        seed: u64,
+    ) -> Self {
         config.validate();
         assert!(malicious < n, "need at least one correct node");
         let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
@@ -208,7 +214,13 @@ impl SpsPopulation {
             })
             .collect();
         let roles = (0..n)
-            .map(|i| if i < malicious { Role::Malicious } else { Role::Correct })
+            .map(|i| {
+                if i < malicious {
+                    Role::Malicious
+                } else {
+                    Role::Correct
+                }
+            })
             .collect();
         Self {
             nodes,
@@ -263,7 +275,9 @@ impl SpsPopulation {
                 continue;
             }
             // Active thread of node i.
-            let Some(node) = self.nodes[i].as_mut() else { continue };
+            let Some(node) = self.nodes[i].as_mut() else {
+                continue;
+            };
             node.view.increase_age();
             let Some(partner) = select_partner(&node.view, &self.config.gossip, &mut self.rng)
             else {

@@ -204,7 +204,10 @@ mod tests {
         let evil = Enclave::load(b"modified raptee code", 1);
         let nonce = s.challenge();
         let quote = AttestationService::quote(1, &evil, nonce);
-        assert_eq!(s.attest(&quote).unwrap_err(), AttestationError::WrongMeasurement);
+        assert_eq!(
+            s.attest(&quote).unwrap_err(),
+            AttestationError::WrongMeasurement
+        );
     }
 
     #[test]
@@ -213,7 +216,10 @@ mod tests {
         let enclave = Enclave::load(CODE, 999);
         let nonce = s.challenge();
         let quote = AttestationService::quote(999, &enclave, nonce);
-        assert_eq!(s.attest(&quote).unwrap_err(), AttestationError::UnknownPlatform);
+        assert_eq!(
+            s.attest(&quote).unwrap_err(),
+            AttestationError::UnknownPlatform
+        );
     }
 
     #[test]
@@ -223,7 +229,10 @@ mod tests {
         let nonce = s.challenge();
         let mut quote = AttestationService::quote(1, &enclave, nonce);
         quote.signature[0] ^= 1;
-        assert_eq!(s.attest(&quote).unwrap_err(), AttestationError::BadSignature);
+        assert_eq!(
+            s.attest(&quote).unwrap_err(),
+            AttestationError::BadSignature
+        );
     }
 
     #[test]
@@ -236,7 +245,10 @@ mod tests {
         let nonce = s.challenge();
         let mut quote = AttestationService::quote(1, &evil, nonce);
         quote.measurement = Measurement::of_code(CODE); // lie
-        assert_eq!(s.attest(&quote).unwrap_err(), AttestationError::BadSignature);
+        assert_eq!(
+            s.attest(&quote).unwrap_err(),
+            AttestationError::BadSignature
+        );
     }
 
     #[test]
@@ -259,11 +271,14 @@ mod tests {
         s.certify_platform(666); // adversary-owned but genuine CPU
         let genuine = Enclave::load(CODE, 666);
         let nonce = s.challenge();
-        assert!(s.attest(&AttestationService::quote(666, &genuine, nonce)).is_ok());
+        assert!(s
+            .attest(&AttestationService::quote(666, &genuine, nonce))
+            .is_ok());
         let evil = Enclave::load(b"evil raptee", 666);
         let nonce = s.challenge();
         assert_eq!(
-            s.attest(&AttestationService::quote(666, &evil, nonce)).unwrap_err(),
+            s.attest(&AttestationService::quote(666, &evil, nonce))
+                .unwrap_err(),
             AttestationError::WrongMeasurement
         );
     }

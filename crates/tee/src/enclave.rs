@@ -135,7 +135,10 @@ impl Enclave {
     /// [`EnclaveError::SealMismatch`] if the blob is absent, truncated, or
     /// its MAC does not verify under this enclave's sealing key.
     pub fn unseal(&self, name: &str) -> Result<Vec<u8>, EnclaveError> {
-        let blob = self.sealed_store.get(name).ok_or(EnclaveError::SealMismatch)?;
+        let blob = self
+            .sealed_store
+            .get(name)
+            .ok_or(EnclaveError::SealMismatch)?;
         self.unseal_blob(blob)
     }
 
@@ -246,7 +249,10 @@ mod tests {
         let blob = genuine.export_sealed("secret").unwrap().to_vec();
         // Different code, same platform: must not unseal.
         let imposter = Enclave::load(b"evil code", 1);
-        assert_eq!(imposter.unseal_blob(&blob).unwrap_err(), EnclaveError::SealMismatch);
+        assert_eq!(
+            imposter.unseal_blob(&blob).unwrap_err(),
+            EnclaveError::SealMismatch
+        );
         // Same code, same platform: unseals fine.
         let sibling = Enclave::load(CODE, 1);
         assert_eq!(sibling.unseal_blob(&blob).unwrap(), b"group material");
@@ -258,13 +264,19 @@ mod tests {
         e1.seal("secret", b"data");
         let blob = e1.export_sealed("secret").unwrap().to_vec();
         let e2 = Enclave::load(CODE, 2);
-        assert_eq!(e2.unseal_blob(&blob).unwrap_err(), EnclaveError::SealMismatch);
+        assert_eq!(
+            e2.unseal_blob(&blob).unwrap_err(),
+            EnclaveError::SealMismatch
+        );
     }
 
     #[test]
     fn truncated_blob_rejected() {
         let e = Enclave::load(CODE, 1);
-        assert_eq!(e.unseal_blob(&[0u8; 10]).unwrap_err(), EnclaveError::SealMismatch);
+        assert_eq!(
+            e.unseal_blob(&[0u8; 10]).unwrap_err(),
+            EnclaveError::SealMismatch
+        );
     }
 
     #[test]
@@ -274,7 +286,10 @@ mod tests {
         let mut blob = e.export_sealed("secret").unwrap().to_vec();
         let mid = blob.len() / 2;
         blob[mid] ^= 0xFF;
-        assert_eq!(e.unseal_blob(&blob).unwrap_err(), EnclaveError::SealMismatch);
+        assert_eq!(
+            e.unseal_blob(&blob).unwrap_err(),
+            EnclaveError::SealMismatch
+        );
     }
 
     #[test]

@@ -121,7 +121,10 @@ impl SgxOverheadModel {
     /// relative deviation).
     pub fn from_rows(rows: [OverheadRow; 5]) -> Self {
         for r in &rows {
-            assert!(r.sgx_cycles >= r.standard_cycles, "SGX cost below standard cost");
+            assert!(
+                r.sgx_cycles >= r.standard_cycles,
+                "SGX cost below standard cost"
+            );
             assert!(r.rel_std_dev >= 0.0, "negative standard deviation");
         }
         Self { rows }
@@ -239,11 +242,17 @@ mod tests {
     fn profile_costs() {
         let m = SgxOverheadModel::paper_table1();
         let mut rng = Xoshiro256StarStar::seed_from_u64(1);
-        let std_cost =
-            m.cycles(PeerSamplingFunction::PushMessage, ExecutionProfile::Standard, &mut rng);
+        let std_cost = m.cycles(
+            PeerSamplingFunction::PushMessage,
+            ExecutionProfile::Standard,
+            &mut rng,
+        );
         assert_eq!(std_cost, 7_521);
-        let sgx_cost =
-            m.cycles(PeerSamplingFunction::PushMessage, ExecutionProfile::EmulatedSgx, &mut rng);
+        let sgx_cost = m.cycles(
+            PeerSamplingFunction::PushMessage,
+            ExecutionProfile::EmulatedSgx,
+            &mut rng,
+        );
         assert!(sgx_cost > std_cost);
     }
 

@@ -93,7 +93,12 @@ mod tests {
             counts[rng.index(50)] += 1;
         }
         let t = chi_square_uniform(&counts);
-        assert!(t.is_uniform(), "statistic {} vs critical {}", t.statistic, t.critical_1pct);
+        assert!(
+            t.is_uniform(),
+            "statistic {} vs critical {}",
+            t.statistic,
+            t.critical_1pct
+        );
     }
 
     #[test]

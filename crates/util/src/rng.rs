@@ -94,7 +94,10 @@ impl Xoshiro256StarStar {
     /// Panics if the state is all zeroes, which is the single invalid
     /// xoshiro state (the generator would be stuck at zero forever).
     pub fn from_state(s: [u64; 4]) -> Self {
-        assert!(s.iter().any(|&w| w != 0), "xoshiro256** state must be non-zero");
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro256** state must be non-zero"
+        );
         Self { s }
     }
 
@@ -266,7 +269,10 @@ mod tests {
             assert!(v < 10);
             seen[v] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all residues should appear in 1000 draws");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues should appear in 1000 draws"
+        );
     }
 
     #[test]

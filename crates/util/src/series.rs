@@ -42,7 +42,9 @@ impl PartialOrd for OrderedF64 {
 }
 impl Ord for OrderedF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("series x values must not be NaN")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("series x values must not be NaN")
     }
 }
 
@@ -62,7 +64,10 @@ impl SeriesTable {
     /// Panics if `x` is NaN.
     pub fn insert(&mut self, series: impl Into<String>, x: f64, y: f64) {
         assert!(!x.is_nan(), "series x values must not be NaN");
-        self.series.entry(series.into()).or_default().insert(OrderedF64(x), y);
+        self.series
+            .entry(series.into())
+            .or_default()
+            .insert(OrderedF64(x), y);
     }
 
     /// Names of the series, in stable (lexicographic) order.
@@ -72,7 +77,11 @@ impl SeriesTable {
 
     /// All distinct x values across every series, ascending.
     pub fn xs(&self) -> Vec<f64> {
-        let mut xs: Vec<OrderedF64> = self.series.values().flat_map(|m| m.keys().copied()).collect();
+        let mut xs: Vec<OrderedF64> = self
+            .series
+            .values()
+            .flat_map(|m| m.keys().copied())
+            .collect();
         xs.sort();
         xs.dedup();
         xs.into_iter().map(|x| x.0).collect()

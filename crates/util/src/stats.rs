@@ -178,7 +178,10 @@ impl Extend<f64> for OnlineStats {
 /// Panics if `values` is empty or `q` is outside `[0, 100]`.
 pub fn percentile(values: &[f64], q: f64) -> f64 {
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile input must not contain NaN"));
+    sorted.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("percentile input must not contain NaN")
+    });
     percentile_of_sorted(&sorted, q)
 }
 
@@ -189,7 +192,10 @@ pub fn percentile(values: &[f64], q: f64) -> f64 {
 /// Panics if `sorted` is empty or `q` is outside `[0, 100]`.
 pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of empty slice");
-    assert!((0.0..=100.0).contains(&q), "percentile rank must be within [0, 100]");
+    assert!(
+        (0.0..=100.0).contains(&q),
+        "percentile rank must be within [0, 100]"
+    );
     if sorted.len() == 1 {
         return sorted[0];
     }
@@ -227,7 +233,10 @@ impl Summary {
         assert!(!values.is_empty(), "summary of empty sample");
         let stats: OnlineStats = values.iter().copied().collect();
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("summary input must not contain NaN"));
+        sorted.sort_by(|a, b| {
+            a.partial_cmp(b)
+                .expect("summary input must not contain NaN")
+        });
         Self {
             count: values.len(),
             mean: stats.mean(),

@@ -25,7 +25,10 @@ fn trusted(seed: u64) -> RapteeNode {
 
 fn main() {
     println!("-- single-node view: adaptive rate vs trusted-contact share --\n");
-    println!("{:<28} {:>14} {:>14}", "round contact mix", "trusted share", "eviction rate");
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "round contact mix", "trusted share", "eviction rate"
+    );
     for trusted_contacts in 0..=4u32 {
         let untrusted_contacts = 4 - trusted_contacts;
         let mut node = trusted(1);
@@ -63,7 +66,10 @@ fn main() {
         ..Scenario::default()
     };
     let baseline = run_scenario(&base.brahms_baseline());
-    println!("{:<12} {:>22} {:>18}", "policy", "Byzantine IDs (views)", "improvement");
+    println!(
+        "{:<12} {:>22} {:>18}",
+        "policy", "Byzantine IDs (views)", "improvement"
+    );
     for policy in [
         EvictionPolicy::Fixed(0.0),
         EvictionPolicy::Fixed(0.4),
@@ -81,5 +87,8 @@ fn main() {
             (baseline.resilience - r.resilience) / baseline.resilience * 100.0
         );
     }
-    println!("\n(Brahms baseline: {:.1}% Byzantine IDs)", baseline.resilience * 100.0);
+    println!(
+        "\n(Brahms baseline: {:.1}% Byzantine IDs)",
+        baseline.resilience * 100.0
+    );
 }

@@ -1,0 +1,103 @@
+//! BASALT vs RAPTEE: two answers to the same Byzantine adversary.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example basalt_vs_raptee
+//! ```
+//!
+//! RAPTEE hardens Brahms with a small tier of SGX-backed trusted nodes;
+//! BASALT (Auvolat et al.) resists the same balanced and targeted
+//! attacks purely algorithmically with ranked hit-counter views and seed
+//! rotation. This example first pokes the BASALT node API directly, then
+//! runs the same 200-node population under Brahms, RAPTEE and BASALT and
+//! compares converged pollution.
+
+use raptee_basalt::{BasaltConfig, BasaltNode};
+use raptee_net::NodeId;
+use raptee_sim::{run_scenario, Protocol, Scenario};
+
+fn main() {
+    // --- 1. The node-level API ------------------------------------------
+    let cfg = BasaltConfig::for_view(10, 5);
+    let bootstrap: Vec<NodeId> = (1..=30).map(NodeId).collect();
+    let mut node = BasaltNode::new(NodeId(0), cfg, &bootstrap, 42);
+    println!(
+        "BASALT node {} holds {} ranked slots over a {}-peer bootstrap",
+        node.id(),
+        node.view().capacity(),
+        bootstrap.len()
+    );
+    println!("initial samples: {:?}", node.view().distinct_ids());
+
+    // An attacker floods one ID ten thousand times: hit counters move,
+    // the view does not.
+    let before = node.view().sample_ids();
+    for _ in 0..10_000 {
+        node.record_push(NodeId(999));
+    }
+    let captured = node
+        .view()
+        .sample_ids()
+        .iter()
+        .filter(|id| id.0 == 999)
+        .count();
+    println!(
+        "after 10,000 force-pushes of one ID: view changed: {}, slots captured: {captured}",
+        node.view().sample_ids() != before,
+    );
+
+    // Seed rotation re-ranks a slot every 5 rounds.
+    for _ in 0..20 {
+        node.finish_round();
+    }
+    println!(
+        "after 20 rounds at rotation interval 5: {} slots rotated\n",
+        node.rotations()
+    );
+
+    // --- 2. A whole system ----------------------------------------------
+    let scenario = Scenario {
+        n: 200,
+        byzantine_fraction: 0.10,
+        trusted_fraction: 0.10,
+        view_size: 14,
+        sample_size: 14,
+        rounds: 120,
+        tail_window: 15,
+        protocol: Protocol::Raptee,
+        seed: 7,
+        ..Scenario::default()
+    };
+    println!(
+        "running {} nodes ({} Byzantine) for {} rounds under three protocols...",
+        scenario.n,
+        scenario.byzantine_count(),
+        scenario.rounds
+    );
+
+    let brahms = run_scenario(&scenario.brahms_baseline());
+    let raptee = run_scenario(&scenario);
+    let basalt = run_scenario(&scenario.basalt_variant(30));
+
+    println!("\n  protocol   converged Byzantine in-view share");
+    for (name, result) in [
+        ("Brahms", &brahms),
+        ("RAPTEE", &raptee),
+        ("BASALT", &basalt),
+    ] {
+        println!("  {name:<9}  {:>6.2}%", result.resilience * 100.0);
+    }
+    println!(
+        "\nBASALT rotated {} ranking seeds over the run and, like RAPTEE, \
+         undercuts plain Brahms — without any trusted hardware.",
+        basalt.seed_rotations
+    );
+    assert!(
+        basalt.resilience < brahms.resilience,
+        "BASALT must undercut Brahms"
+    );
+    assert!(
+        raptee.resilience < brahms.resilience,
+        "RAPTEE must undercut Brahms"
+    );
+}

@@ -11,8 +11,8 @@
 //! rounds with the adaptive eviction policy, and then uses the
 //! [`PeerSamplingService`] facade the way an upper-layer protocol would.
 
-use raptee::{PeerSamplingService, RapteeConfig, RapteeNode};
 use raptee::{provisioning, EvictionPolicy};
+use raptee::{PeerSamplingService, RapteeConfig, RapteeNode};
 use raptee_net::NodeId;
 use raptee_sim::{run_scenario, Protocol, Scenario};
 

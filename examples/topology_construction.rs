@@ -42,8 +42,7 @@ fn build_ring(label: &str, scenario: &Scenario) {
         candidates.extend(node.brahms().view().ids());
         candidates.sort_unstable();
         candidates.dedup();
-        candidates
-            .sort_by_key(|c| ring_distance(i as u64, c.0, scenario.n as u64));
+        candidates.sort_by_key(|c| ring_distance(i as u64, c.0, scenario.n as u64));
         let chosen: Vec<NodeId> = candidates.into_iter().take(NEIGHBOURS).collect();
         let byz_here = chosen.iter().filter(|c| c.index() < byz).count();
         byz_neighbours += byz_here;
@@ -63,9 +62,7 @@ fn build_ring(label: &str, scenario: &Scenario) {
 }
 
 fn main() {
-    println!(
-        "T-Man-style ring construction from the sampling stream, f = 25%, k = {NEIGHBOURS}\n"
-    );
+    println!("T-Man-style ring construction from the sampling stream, f = 25%, k = {NEIGHBOURS}\n");
     let base = Scenario {
         n: 400,
         byzantine_fraction: 0.25,

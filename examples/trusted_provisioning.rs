@@ -32,13 +32,20 @@ fn main() {
     let enclave_b = provisioning::provision_trusted_enclave(&mut service, 2).unwrap();
     println!("enclave A measurement: {}", enclave_a.measurement());
     println!("enclave B measurement: {}", enclave_b.measurement());
-    println!("both provisioned: {} / {}", enclave_a.is_provisioned(), enclave_b.is_provisioned());
+    println!(
+        "both provisioned: {} / {}",
+        enclave_a.is_provisioned(),
+        enclave_b.is_provisioned()
+    );
 
     // The adversary runs *modified* code on its genuine CPU: refused.
     let evil = Enclave::load(b"raptee trusted code, but evil", 666);
     let nonce = service.challenge();
     let quote = AttestationService::quote(666, &evil, nonce);
-    println!("adversary's tampered enclave attests: {:?}", service.attest(&quote).err().unwrap());
+    println!(
+        "adversary's tampered enclave attests: {:?}",
+        service.attest(&quote).err().unwrap()
+    );
 
     // 3: seal + restart recovery.
     let key = enclave_a.group_key().unwrap().clone();
@@ -46,7 +53,10 @@ fn main() {
     let blob = enclave_a.export_sealed("group-key").unwrap().to_vec();
     let restarted = Enclave::load(TRUSTED_CODE, 1);
     let recovered = restarted.unseal_blob(&blob).unwrap();
-    println!("sealed key recovered after restart: {}", recovered == key.as_bytes());
+    println!(
+        "sealed key recovered after restart: {}",
+        recovered == key.as_bytes()
+    );
 
     // 4: mutual authentication.
     let cfg = RapteeConfig {

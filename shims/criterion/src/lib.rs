@@ -60,7 +60,11 @@ impl Criterion {
     }
 
     /// Runs a single stand-alone benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
         run_one(&id.to_string(), 20, None, &mut f);
         self
     }
@@ -87,7 +91,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Measures one benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
         run_one(&id.to_string(), self.sample_size, self.throughput, &mut f);
         self
     }
@@ -157,7 +165,8 @@ impl Bencher {
         let mut total = Duration::ZERO;
         let mut iters = 0u64;
         let deadline = Instant::now() + MIN_BATCH * self.sample_size as u32;
-        while iters < self.sample_size as u64 * 4 || (Instant::now() < deadline && iters < 1 << 20) {
+        while iters < self.sample_size as u64 * 4 || (Instant::now() < deadline && iters < 1 << 20)
+        {
             let input = setup();
             let t = Instant::now();
             std::hint::black_box(routine(input));
@@ -178,7 +187,12 @@ impl Bencher {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, throughput: Option<Throughput>, f: &mut F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
     let mut b = Bencher {
         sample_size,
         mean_secs: f64::NAN,

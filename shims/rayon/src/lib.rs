@@ -161,7 +161,12 @@ mod tests {
         // are still correct and ordered.
         let out: Vec<Vec<usize>> = (0..8usize)
             .into_par_iter()
-            .map(|i| (0..4usize).into_par_iter().map(move |j| i * 10 + j).collect())
+            .map(|i| {
+                (0..4usize)
+                    .into_par_iter()
+                    .map(move |j| i * 10 + j)
+                    .collect()
+            })
             .collect();
         for (i, inner) in out.iter().enumerate() {
             assert_eq!(inner, &[i * 10, i * 10 + 1, i * 10 + 2, i * 10 + 3]);

@@ -80,7 +80,9 @@ impl Args {
                 .strip_prefix("--")
                 .ok_or_else(|| CliError::UnexpectedArgument(arg.clone()))?
                 .to_string();
-            let value = iter.next().ok_or_else(|| CliError::MissingValue(key.clone()))?;
+            let value = iter
+                .next()
+                .ok_or_else(|| CliError::MissingValue(key.clone()))?;
             options.insert(key, value);
         }
         Ok(Args { command, options })
@@ -130,15 +132,21 @@ impl Args {
         }
     }
 
-    /// Parses the `--protocol` option (`raptee` default, or `brahms`).
+    /// Parses the `--protocol` option (`raptee` default, `brahms`, or
+    /// `basalt` — the latter reads `--rotation` for its seed-rotation
+    /// interval and runs `view_size` ranked slots).
     ///
     /// # Errors
     ///
     /// [`CliError::BadValue`] on anything else.
-    pub fn protocol(&self) -> Result<Protocol, CliError> {
+    pub fn protocol(&self, view_size: usize) -> Result<Protocol, CliError> {
         match self.options.get("protocol").map(String::as_str) {
             None | Some("raptee") => Ok(Protocol::Raptee),
             Some("brahms") => Ok(Protocol::Brahms),
+            Some("basalt") => Ok(Protocol::Basalt {
+                view_size,
+                rotation_interval: self.get("rotation", 30usize)?,
+            }),
             Some(v) => Err(CliError::BadValue {
                 key: "protocol".into(),
                 value: v.into(),
@@ -154,6 +162,9 @@ impl Args {
     pub fn scenario(&self) -> Result<Scenario, CliError> {
         let view = self.get("view", 16usize)?;
         let rounds = self.get("rounds", 200usize)?;
+        // `--t` is ignored under `--protocol basalt` (no trusted tier
+        // exists); an explicit `--injected` under BASALT is rejected by
+        // `Scenario::validate` when the simulation starts.
         Ok(Scenario {
             n: self.get("n", 400usize)?,
             byzantine_fraction: self.get("f", 0.10f64)?,
@@ -164,7 +175,7 @@ impl Args {
             sample_size: view,
             rounds,
             tail_window: (rounds / 10).max(5),
-            protocol: self.protocol()?,
+            protocol: self.protocol(view)?,
             seed: self.get("seed", 0x5A97EE_u64)?,
             ..Scenario::default()
         })
@@ -186,7 +197,8 @@ COMMON OPTIONS:
     --seed <u64>       master seed
     --reps <usize>     repetitions                [default: 1]
     --eviction <p>     none | adaptive | 0.0..1.0 [default: adaptive]
-    --protocol <p>     raptee | brahms            [default: raptee]
+    --protocol <p>     raptee | brahms | basalt   [default: raptee]
+    --rotation <usize> BASALT seed-rotation interval in rounds [default: 30]
 
 SUBCOMMANDS:
     run      one scenario; add --series true to dump the pollution curve as CSV
@@ -221,7 +233,9 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
         scenario.protocol,
         scenario.n,
         scenario.byzantine_fraction * 100.0,
-        scenario.trusted_fraction * 100.0,
+        // The *effective* trusted share: 0 under Brahms/BASALT even when
+        // a --t default or flag is present.
+        scenario.trusted_count() as f64 / scenario.n as f64 * 100.0,
         scenario.eviction.label(),
         scenario.rounds,
     ));
@@ -231,8 +245,10 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
     ));
     out.push_str(&format!(
         "discovery round: {}   stability round: {}\n",
-        agg.discovery_round.map_or("-".into(), |r| format!("{r:.1}")),
-        agg.stability_round.map_or("-".into(), |r| format!("{r:.1}")),
+        agg.discovery_round
+            .map_or("-".into(), |r| format!("{r:.1}")),
+        agg.stability_round
+            .map_or("-".into(), |r| format!("{r:.1}")),
     ));
     if args.flag("series") {
         let run = runner::run_scenario(&scenario);
@@ -263,8 +279,21 @@ fn cmd_sweep(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Rejects `--protocol basalt` for the RAPTEE-only attack subcommands
+/// with the CLI's usual error path (rather than the library assert).
+fn require_trusted_tier(scenario: &Scenario) -> Result<(), CliError> {
+    if matches!(scenario.protocol, Protocol::Basalt { .. }) {
+        return Err(CliError::BadValue {
+            key: "protocol".into(),
+            value: "basalt (this attack needs a trusted tier)".into(),
+        });
+    }
+    Ok(())
+}
+
 fn cmd_ident(args: &Args) -> Result<String, CliError> {
     let mut scenario = args.scenario()?;
+    require_trusted_tier(&scenario)?;
     scenario.identification_attack = true;
     let reps = args.get("reps", 1usize)?;
     let agg = runner::run_repeated(&scenario, reps);
@@ -281,6 +310,7 @@ fn cmd_ident(args: &Args) -> Result<String, CliError> {
 
 fn cmd_inject(args: &Args) -> Result<String, CliError> {
     let scenario = args.scenario()?;
+    require_trusted_tier(&scenario)?;
     let reps = args.get("reps", 1usize)?;
     let baseline = runner::run_repeated(&scenario.brahms_baseline(), reps);
     let clean = runner::run_repeated(
@@ -340,7 +370,7 @@ mod tests {
         let a = args(&["run", "--eviction", "1.5"]).unwrap();
         assert!(a.eviction().is_err());
         let a = args(&["run", "--protocol", "bitcoin"]).unwrap();
-        assert!(a.protocol().is_err());
+        assert!(a.protocol(16).is_err());
     }
 
     #[test]
@@ -350,11 +380,17 @@ mod tests {
             EvictionPolicy::adaptive()
         );
         assert_eq!(
-            args(&["run", "--eviction", "none"]).unwrap().eviction().unwrap(),
+            args(&["run", "--eviction", "none"])
+                .unwrap()
+                .eviction()
+                .unwrap(),
             EvictionPolicy::Fixed(0.0)
         );
         assert_eq!(
-            args(&["run", "--eviction", "0.4"]).unwrap().eviction().unwrap(),
+            args(&["run", "--eviction", "0.4"])
+                .unwrap()
+                .eviction()
+                .unwrap(),
             EvictionPolicy::Fixed(0.4)
         );
     }
@@ -381,21 +417,75 @@ mod tests {
 
     #[test]
     fn execute_small_run() {
-        let a = args(&["run", "--n", "80", "--rounds", "20", "--view", "10", "--t", "0.1"]).unwrap();
+        let a = args(&[
+            "run", "--n", "80", "--rounds", "20", "--view", "10", "--t", "0.1",
+        ])
+        .unwrap();
         let out = execute(&a).unwrap();
         assert!(out.contains("resilience:"), "{out}");
     }
 
     #[test]
     fn execute_small_ident() {
-        let a = args(&["ident", "--n", "80", "--rounds", "20", "--view", "10", "--t", "0.2"]).unwrap();
+        let a = args(&[
+            "ident", "--n", "80", "--rounds", "20", "--view", "10", "--t", "0.2",
+        ])
+        .unwrap();
         let out = execute(&a).unwrap();
         assert!(out.contains("precision="), "{out}");
     }
 
     #[test]
+    fn basalt_protocol_parses_and_runs() {
+        let a = args(&["run", "--protocol", "basalt", "--rotation", "10"]).unwrap();
+        assert_eq!(
+            a.protocol(16).unwrap(),
+            Protocol::Basalt {
+                view_size: 16,
+                rotation_interval: 10
+            }
+        );
+        let s = a.scenario().unwrap();
+        assert_eq!(s.trusted_count(), 0, "BASALT runs no trusted tier");
+        s.validate();
+        let a = args(&[
+            "run",
+            "--protocol",
+            "basalt",
+            "--n",
+            "80",
+            "--rounds",
+            "20",
+            "--view",
+            "10",
+        ])
+        .unwrap();
+        let out = execute(&a).unwrap();
+        assert!(out.contains("resilience:"), "{out}");
+        assert!(
+            out.contains("t=0%"),
+            "no trusted tier must be reported: {out}"
+        );
+    }
+
+    #[test]
+    fn attack_subcommands_reject_basalt_cleanly() {
+        for cmd in ["ident", "inject"] {
+            let a = args(&[cmd, "--protocol", "basalt", "--n", "80", "--rounds", "10"]).unwrap();
+            let err = execute(&a).unwrap_err();
+            assert!(
+                matches!(err, CliError::BadValue { ref key, .. } if key == "protocol"),
+                "{cmd} must fail with the CLI error path, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
     fn series_flag() {
-        let a = args(&["run", "--n", "60", "--rounds", "10", "--view", "8", "--series", "true"]).unwrap();
+        let a = args(&[
+            "run", "--n", "60", "--rounds", "10", "--view", "8", "--series", "true",
+        ])
+        .unwrap();
         let out = execute(&a).unwrap();
         assert!(out.contains("round,byzantine_share"));
         assert!(out.lines().count() > 10);

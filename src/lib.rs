@@ -6,6 +6,7 @@
 //! `raptee-cli` binary.
 
 pub use raptee;
+pub use raptee_basalt;
 pub use raptee_brahms;
 pub use raptee_crypto;
 pub use raptee_gossip;

@@ -1,7 +1,9 @@
-//! Integration tests for the paper's Section VI attack analyses.
+//! Integration tests for the paper's Section VI attack analyses, plus
+//! the BASALT head-to-head the paper only discusses qualitatively.
 
 use raptee::EvictionPolicy;
-use raptee_sim::{run_scenario, runner, Scenario};
+use raptee_net::NodeId;
+use raptee_sim::{run_scenario, runner, AttackStrategy, Scenario, Simulation};
 
 fn base() -> Scenario {
     Scenario {
@@ -100,7 +102,10 @@ fn injected_nodes_self_heal() {
         let v = node.brahms().view();
         v.ids().filter(|id| id.index() < byz).count() as f64 / v.len().max(1) as f64
     };
-    assert!(poisoned_share(&sim) > 0.99, "bootstrap must be fully poisoned");
+    assert!(
+        poisoned_share(&sim) > 0.99,
+        "bootstrap must be fully poisoned"
+    );
     for _ in 0..s.rounds {
         sim.run_round();
     }
@@ -128,6 +133,86 @@ fn small_injection_can_even_help_at_small_t() {
         "low-f injection must not meaningfully hurt: clean {:.3}, attacked {:.3}",
         c.resilience,
         a.resilience
+    );
+}
+
+#[test]
+fn basalt_undercuts_brahms_under_balanced_attack_at_f10() {
+    // The fig_basalt_comparison headline at the paper's smallest f: with
+    // 10 % Byzantine nodes running the balanced push attack and fully
+    // poisoned pull answers, BASALT's ranked hit-counter views hold the
+    // steady-state Byzantine in-view share measurably below plain Brahms
+    // — no trusted hardware involved.
+    let mut brahms_scenario = base().brahms_baseline();
+    brahms_scenario.byzantine_fraction = 0.10;
+    let basalt_scenario = brahms_scenario.basalt_variant(30);
+    let brahms = runner::run_repeated(&brahms_scenario, 2);
+    let basalt = runner::run_repeated(&basalt_scenario, 2);
+    assert!(
+        basalt.resilience < brahms.resilience - 0.05,
+        "BASALT must measurably undercut Brahms at f=10%: basalt {:.3} vs brahms {:.3}",
+        basalt.resilience,
+        brahms.resilience
+    );
+    // And it stays in the vicinity of the adversary's population share —
+    // the BASALT bound — rather than merely below Brahms.
+    assert!(
+        basalt.resilience < 0.25,
+        "BASALT must hold near the f=10% fair share: {:.3}",
+        basalt.resilience
+    );
+}
+
+/// Mean Byzantine share in the victim prefix's views at the end of a
+/// targeted-attack run (victims are the first `victim_fraction` of the
+/// correct nodes, matching the engine's deterministic victim set).
+fn targeted_victim_share(s: &Scenario, victim_fraction: f64) -> f64 {
+    let byz = s.byzantine_count();
+    let mut sim = Simulation::new(s.clone());
+    for _ in 0..s.rounds {
+        sim.run_round();
+    }
+    let victims_end = byz + (((s.n - byz) as f64) * victim_fraction).round() as usize;
+    let shares: Vec<f64> = (byz..victims_end)
+        .map(|i| {
+            let id = NodeId(i as u64);
+            if let Some(node) = sim.node(id) {
+                let v = node.brahms().view();
+                v.ids().filter(|id| id.index() < byz).count() as f64 / v.len().max(1) as f64
+            } else if let Some(node) = sim.basalt(id) {
+                node.view().fraction_matching(|id| id.index() < byz)
+            } else {
+                panic!("victim {id} is not a correct node");
+            }
+        })
+        .collect();
+    shares.iter().sum::<f64>() / shares.len() as f64
+}
+
+#[test]
+fn basalt_resists_targeted_attack_better_than_brahms() {
+    // Satellite criterion: under the Targeted strategy the victim
+    // subset's Byzantine in-view share stays below the plain-Brahms
+    // baseline measured in the same test. Brahms protects victims with
+    // history sampling and the flood detector; BASALT's seeded ranking
+    // makes the focused budget outright worthless, which must show as a
+    // strictly lower victim pollution.
+    let mut s = base().brahms_baseline();
+    s.byzantine_fraction = 0.15;
+    s.attack = AttackStrategy::Targeted {
+        victim_fraction: 0.05,
+        focus: 0.8,
+    };
+    let brahms_victims = targeted_victim_share(&s, 0.05);
+    let basalt_victims = targeted_victim_share(&s.basalt_variant(30), 0.05);
+    assert!(
+        basalt_victims < brahms_victims,
+        "targeted victims must fare better under BASALT: basalt {basalt_victims:.3} vs \
+         brahms {brahms_victims:.3}"
+    );
+    assert!(
+        basalt_victims < 0.5,
+        "BASALT victims must stay far from isolation: {basalt_victims:.3}"
     );
 }
 

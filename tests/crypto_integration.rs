@@ -74,7 +74,13 @@ fn handshake_over_network(
         other => panic!("expected confirm, got {other:?}"),
     };
     let b_outcome = b.auth_finish_responder(&b_pending, &confirm);
-    let trace = net.tap().unwrap().records().iter().map(|r| r.kind).collect();
+    let trace = net
+        .tap()
+        .unwrap()
+        .records()
+        .iter()
+        .map(|r| r.kind)
+        .collect();
     (a_outcome, b_outcome, trace)
 }
 

@@ -52,7 +52,10 @@ fn improvement_grows_with_trusted_fraction() {
         );
         last = imp.max(last);
     }
-    assert!(last > 10.0, "t=50% must yield a double-digit improvement, got {last:.1}%");
+    assert!(
+        last > 10.0,
+        "t=50% must yield a double-digit improvement, got {last:.1}%"
+    );
 }
 
 #[test]
@@ -70,7 +73,11 @@ fn resilience_rises_with_byzantine_fraction() {
         );
         // Superlinear over-representation: the adversary always controls
         // more view share than its node share.
-        assert!(r.resilience > f, "over-representation at f={f}: {:.3}", r.resilience);
+        assert!(
+            r.resilience > f,
+            "over-representation at f={f}: {:.3}",
+            r.resilience
+        );
         previous = r.resilience;
     }
 }
@@ -89,10 +96,9 @@ fn trusted_views_are_cleaner_than_honest_views() {
         let v = node.brahms().view();
         v.ids().filter(|id| id.index() < byz).count() as f64 / v.len() as f64
     };
-    let trusted_mean: f64 =
-        (byz..byz + trusted_n).map(share).sum::<f64>() / trusted_n as f64;
-    let honest_mean: f64 = (byz + trusted_n..s.n).map(share).sum::<f64>()
-        / (s.n - byz - trusted_n) as f64;
+    let trusted_mean: f64 = (byz..byz + trusted_n).map(share).sum::<f64>() / trusted_n as f64;
+    let honest_mean: f64 =
+        (byz + trusted_n..s.n).map(share).sum::<f64>() / (s.n - byz - trusted_n) as f64;
     assert!(
         trusted_mean < honest_mean,
         "eviction must keep trusted views cleaner: trusted {trusted_mean:.3} vs honest {honest_mean:.3}"
@@ -125,7 +131,10 @@ fn trusted_nodes_discover_each_other() {
     for i in byz..byz + trusted_n {
         let node = sim.node(NodeId(i as u64)).unwrap();
         for id in node.directory().ids() {
-            assert!(sim.is_trusted(id), "directory of {i} contains non-trusted {id}");
+            assert!(
+                sim.is_trusted(id),
+                "directory of {i} contains non-trusted {id}"
+            );
         }
     }
 }

@@ -6,7 +6,9 @@
 //! lib, a missing dependency edge — fails `cargo test -q` instead of
 //! only `cargo run --example quickstart`.
 
-use raptee_repro::raptee::{provisioning, EvictionPolicy, PeerSamplingService, RapteeConfig, RapteeNode};
+use raptee_repro::raptee::{
+    provisioning, EvictionPolicy, PeerSamplingService, RapteeConfig, RapteeNode,
+};
 use raptee_repro::raptee_brahms::BrahmsConfig;
 use raptee_repro::raptee_crypto::SecretKey;
 use raptee_repro::raptee_net::NodeId;
@@ -48,7 +50,10 @@ fn provisioned_trusted_node_serves_peers() {
     assert!(node.is_trusted());
     assert_eq!(node.current_view().len(), 20);
     let peer = node.next_peer().expect("bootstrap provides peers");
-    assert!(bootstrap.contains(&peer), "samples come from the bootstrap view");
+    assert!(
+        bootstrap.contains(&peer),
+        "samples come from the bootstrap view"
+    );
 }
 
 /// Quickstart part 2, shrunk to test scale: a full RAPTEE run beats the
