@@ -21,10 +21,11 @@ use crate::config::BasaltConfig;
 use crate::view::BasaltView;
 use raptee_crypto::SecretKey;
 use raptee_net::NodeId;
+use raptee_util::bitset::IdSet;
 use raptee_util::rng::Xoshiro256StarStar;
 
 /// The send targets a node chose for the current round.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BasaltPlan {
     /// Destinations of push messages (the node's own ID is the payload).
     pub push_targets: Vec<NodeId>,
@@ -65,6 +66,12 @@ pub struct BasaltNode {
     rng: Xoshiro256StarStar,
     rounds: u64,
     rotations: u64,
+    /// Reusable buffers for the per-round distinct-view / probe-order
+    /// computations — planning, answering and rotating allocate nothing
+    /// in steady state.
+    scratch_distinct: Vec<NodeId>,
+    scratch_seen: IdSet,
+    scratch_order: Vec<u32>,
 }
 
 impl BasaltNode {
@@ -85,6 +92,9 @@ impl BasaltNode {
             rng,
             rounds: 0,
             rotations: 0,
+            scratch_distinct: Vec::new(),
+            scratch_seen: IdSet::new(),
+            scratch_order: Vec::new(),
         }
     }
 
@@ -117,20 +127,32 @@ impl BasaltNode {
     /// distinct view (with replacement, like Brahms' `rand(V)`), and the
     /// `pull_count` least-confirmed samples as exchange partners.
     pub fn plan_round(&mut self) -> BasaltPlan {
-        let candidates = self.view.distinct_ids();
-        let mut plan = BasaltPlan {
-            push_targets: Vec::with_capacity(self.config.push_count),
-            pull_targets: Vec::new(),
-        };
-        if candidates.is_empty() {
-            return plan;
+        let mut plan = BasaltPlan::default();
+        self.plan_round_into(&mut plan);
+        plan
+    }
+
+    /// [`BasaltNode::plan_round`] into a caller-owned plan whose target
+    /// vectors are cleared and refilled — the engine keeps one plan per
+    /// actor alive across rounds, so planning allocates nothing. The RNG
+    /// draw sequence is identical to `plan_round`.
+    pub fn plan_round_into(&mut self, plan: &mut BasaltPlan) {
+        plan.push_targets.clear();
+        plan.pull_targets.clear();
+        self.view
+            .distinct_into(&mut self.scratch_distinct, &mut self.scratch_seen);
+        if self.scratch_distinct.is_empty() {
+            return;
         }
         for _ in 0..self.config.push_count {
             plan.push_targets
-                .push(candidates[self.rng.index(candidates.len())]);
+                .push(self.scratch_distinct[self.rng.index(self.scratch_distinct.len())]);
         }
-        plan.pull_targets = self.view.least_confirmed(self.config.pull_count);
-        plan
+        self.view.least_confirmed_into(
+            self.config.pull_count,
+            &mut self.scratch_order,
+            &mut plan.pull_targets,
+        );
     }
 
     /// Records an incoming push (the sender advertises one ID).
@@ -141,6 +163,13 @@ impl BasaltNode {
     /// Answers a pull request: the distinct current view.
     pub fn pull_answer(&self) -> Vec<NodeId> {
         self.view.distinct_ids()
+    }
+
+    /// [`BasaltNode::pull_answer`] into a caller-owned buffer (cleared
+    /// first) — the engine's pull loop reuses one reply buffer for the
+    /// whole round.
+    pub fn pull_answer_into(&mut self, out: &mut Vec<NodeId>) {
+        self.view.distinct_into(out, &mut self.scratch_seen);
     }
 
     /// Records a pull answer: the responder itself (the contact proves it
@@ -161,11 +190,12 @@ impl BasaltNode {
                 .rounds
                 .is_multiple_of(self.config.rotation_interval as u64)
         {
-            let survivors = self.view.distinct_ids();
+            self.view
+                .distinct_into(&mut self.scratch_distinct, &mut self.scratch_seen);
             let indices = self.view.rotate(self.config.rotation_count);
             rotated = indices.len();
             self.rotations += rotated as u64;
-            self.view.observe_into(&indices, &survivors);
+            self.view.observe_into(&indices, &self.scratch_distinct);
         }
         BasaltRoundReport {
             rotated,

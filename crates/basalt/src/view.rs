@@ -24,7 +24,9 @@
 
 use raptee_crypto::SecretKey;
 use raptee_net::NodeId;
+use raptee_util::bitset::{IdSet, DENSE_ID_LIMIT};
 use raptee_util::rng::mix64;
+use std::cell::RefCell;
 
 /// One view slot: a ranking seed plus the closest candidate seen so far.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,13 +110,47 @@ impl Slot {
 /// }
 /// assert_eq!(v.sample_ids(), before);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct BasaltView {
     owner: NodeId,
     ranking_key: SecretKey,
     slots: Vec<Slot>,
     rotation_cursor: usize,
+    /// Lazily rebuilt O(1) membership index over the sampled IDs.
+    /// Mutators that can change a slot's sample mark it stale; the next
+    /// [`BasaltView::contains`] rebuilds it in one O(v) pass and every
+    /// further query is O(1). After convergence (replacements become
+    /// rare) membership bursts amortise to constant time.
+    members: RefCell<MemberCache>,
 }
+
+#[derive(Debug, Clone)]
+struct MemberCache {
+    set: IdSet,
+    stale: bool,
+}
+
+impl Default for MemberCache {
+    fn default() -> Self {
+        Self {
+            set: IdSet::new(),
+            stale: true,
+        }
+    }
+}
+
+/// Equality is defined by owner, key, slots and rotation cursor; the
+/// membership cache is derived state.
+impl PartialEq for BasaltView {
+    fn eq(&self, other: &Self) -> bool {
+        self.owner == other.owner
+            && self.ranking_key == other.ranking_key
+            && self.slots == other.slots
+            && self.rotation_cursor == other.rotation_cursor
+    }
+}
+
+impl Eq for BasaltView {}
 
 impl BasaltView {
     /// Creates an empty view of `slots` ranking slots whose seeds are
@@ -132,6 +168,7 @@ impl BasaltView {
             ranking_key,
             slots: Vec::with_capacity(slots),
             rotation_cursor: 0,
+            members: RefCell::new(MemberCache::default()),
         };
         for i in 0..slots {
             let seed = view.derive_seed(i, 0);
@@ -182,10 +219,15 @@ impl BasaltView {
         if id == self.owner {
             return 0;
         }
-        self.slots
+        let replaced: usize = self
+            .slots
             .iter_mut()
             .map(|s| usize::from(s.consider(id)))
-            .sum()
+            .sum();
+        if replaced > 0 {
+            self.members.get_mut().stale = true;
+        }
+        replaced
     }
 
     /// Feeds a batch of candidates.
@@ -208,6 +250,7 @@ impl BasaltView {
                 }
             }
         }
+        self.members.get_mut().stale = true;
     }
 
     /// The per-slot samples in slot order (a multiset: distinct slots can
@@ -224,20 +267,56 @@ impl BasaltView {
 
     /// The distinct sampled IDs, in first-slot order.
     pub fn distinct_ids(&self) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = Vec::with_capacity(self.slots.len());
+        let mut out = Vec::with_capacity(self.slots.len());
+        let mut seen = IdSet::new();
+        self.distinct_into(&mut out, &mut seen);
+        out
+    }
+
+    /// [`BasaltView::distinct_ids`] into caller-owned buffers: `out` is
+    /// cleared and refilled in first-slot order, `seen` is the dedup
+    /// scratch. O(v) instead of the O(v²) scan — the planning, answer
+    /// and rotation paths of a node reuse one scratch pair.
+    pub fn distinct_into(&self, out: &mut Vec<NodeId>, seen: &mut IdSet) {
+        out.clear();
+        seen.clear();
         for s in &self.slots {
             if let Some(id) = s.sample {
-                if !out.contains(&id) {
+                let idx = id.0 as usize;
+                let fresh = if idx < DENSE_ID_LIMIT {
+                    seen.insert(idx)
+                } else {
+                    !out.contains(&id)
+                };
+                if fresh {
                     out.push(id);
                 }
             }
         }
-        out
     }
 
-    /// Whether any slot currently samples `id`.
+    /// Whether any slot currently samples `id` — amortised O(1) through
+    /// the lazily rebuilt membership cache (IDs beyond the dense range
+    /// fall back to a slot scan).
     pub fn contains(&self, id: NodeId) -> bool {
-        self.slots.iter().any(|s| s.sample == Some(id))
+        let idx = id.0 as usize;
+        if idx >= DENSE_ID_LIMIT {
+            return self.slots.iter().any(|s| s.sample == Some(id));
+        }
+        let mut cache = self.members.borrow_mut();
+        if cache.stale {
+            cache.set.clear();
+            for s in &self.slots {
+                if let Some(sampled) = s.sample {
+                    let i = sampled.0 as usize;
+                    if i < DENSE_ID_LIMIT {
+                        cache.set.insert(i);
+                    }
+                }
+            }
+            cache.stale = false;
+        }
+        cache.set.contains(idx)
     }
 
     /// Fraction of filled slots whose sample satisfies `pred` (the
@@ -255,13 +334,26 @@ impl BasaltView {
     /// the exchange loop so stale or fabricated entries are validated or
     /// refreshed soonest.
     pub fn least_confirmed(&self, k: usize) -> Vec<NodeId> {
-        let mut order: Vec<usize> = (0..self.slots.len())
-            .filter(|&i| self.slots[i].sample.is_some())
-            .collect();
-        order.sort_by_key(|&i| (self.slots[i].hits, i));
+        let mut order = Vec::new();
         let mut out = Vec::with_capacity(k);
-        for i in order {
-            let id = self.slots[i].sample.expect("filtered to filled slots");
+        self.least_confirmed_into(k, &mut order, &mut out);
+        out
+    }
+
+    /// [`BasaltView::least_confirmed`] into caller-owned buffers
+    /// (`order` is index scratch, `out` is cleared and refilled) so the
+    /// per-round exchange planning allocates nothing.
+    pub fn least_confirmed_into(&self, k: usize, order: &mut Vec<u32>, out: &mut Vec<NodeId>) {
+        order.clear();
+        order.extend(
+            (0..self.slots.len() as u32).filter(|&i| self.slots[i as usize].sample.is_some()),
+        );
+        order.sort_by_key(|&i| (self.slots[i as usize].hits, i));
+        out.clear();
+        for &i in order.iter() {
+            let id = self.slots[i as usize]
+                .sample
+                .expect("filtered to filled slots");
             if !out.contains(&id) {
                 out.push(id);
                 if out.len() == k {
@@ -269,7 +361,6 @@ impl BasaltView {
                 }
             }
         }
-        out
     }
 
     /// Rotates the next `k` slots (round-robin over the view): each gets
@@ -287,6 +378,9 @@ impl BasaltView {
             let seed = self.derive_seed(i, generation);
             self.slots[i] = Slot::new(seed, generation);
             rotated.push(i);
+        }
+        if k > 0 {
+            self.members.get_mut().stale = true;
         }
         rotated
     }
@@ -451,5 +545,44 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_slots_panics() {
         BasaltView::new(NodeId(0), 0, SecretKey::from_seed(1));
+    }
+
+    #[test]
+    fn contains_cache_tracks_mutations() {
+        let mut v = view(0, 4);
+        assert!(!v.contains(NodeId(1)));
+        v.observe_all((1..100).map(NodeId));
+        let samples = v.sample_ids();
+        for &id in &samples {
+            assert!(v.contains(id));
+        }
+        assert!(!v.contains(NodeId(5000)));
+        // Rotation blanks slots: membership must follow.
+        v.rotate(4);
+        for &id in &samples {
+            assert!(!v.contains(id), "rotated view no longer samples {id:?}");
+        }
+        // Refill and check again through the observe_into path.
+        v.observe_into(&[0, 1, 2, 3], &(1..50).map(NodeId).collect::<Vec<_>>());
+        for s in v.slots() {
+            let id = s.sample().expect("refilled");
+            assert!(v.contains(id));
+        }
+    }
+
+    #[test]
+    fn scratch_variants_match_allocating_ones() {
+        let mut v = view(3, 16);
+        v.observe_all((1..40).map(NodeId));
+        let mut out = vec![NodeId(999)];
+        let mut seen = IdSet::new();
+        v.distinct_into(&mut out, &mut seen);
+        assert_eq!(out, v.distinct_ids());
+        let mut order = Vec::new();
+        let mut probes = Vec::new();
+        for k in [1usize, 3, 16] {
+            v.least_confirmed_into(k, &mut order, &mut probes);
+            assert_eq!(probes, v.least_confirmed(k), "k={k}");
+        }
     }
 }

@@ -1,0 +1,161 @@
+//! Engine throughput bench: times full simulation runs and emits the
+//! tracked `BENCH_paper_scale.json` at the repository root.
+//!
+//! Two profiles:
+//!
+//! * **tiny control** — always runs (seconds): N=150, view 12, 250
+//!   rounds. This is the CI smoke target; it exists so the bench binary
+//!   and the JSON emission path can never bit-rot.
+//! * **paper** — the published setup (`Scenario::paper_scale()`:
+//!   N=10,000, view 200, 200 rounds), one timed run. Expensive; opt in
+//!   with `RAPTEE_SCALE=paper` (matching the figure benches).
+//!
+//! The JSON records wall-clock, rounds/sec, and peak RSS when the
+//! platform exposes it (`/proc/self/status` VmHWM on Linux). Only a
+//! full `RAPTEE_SCALE=paper` invocation rewrites the committed
+//! `BENCH_paper_scale.json` (the measurement that matters for the
+//! trajectory); the tiny control prints its JSON to stdout without
+//! touching the artifact, so CI smoke runs never dirty the tree or
+//! clobber a recorded paper-scale measurement.
+
+use raptee_sim::{Protocol, Scenario, Simulation};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Measurement {
+    profile: &'static str,
+    n: usize,
+    view: usize,
+    rounds: usize,
+    protocol: &'static str,
+    wall_s: f64,
+    rounds_per_sec: f64,
+    resilience: f64,
+}
+
+fn time_run(profile: &'static str, protocol: &'static str, scenario: Scenario) -> Measurement {
+    let n = scenario.n;
+    let view = scenario.view_size;
+    let rounds = scenario.rounds;
+    let start = Instant::now();
+    let result = Simulation::new(scenario).run();
+    let wall_s = start.elapsed().as_secs_f64();
+    Measurement {
+        profile,
+        n,
+        view,
+        rounds,
+        protocol,
+        wall_s,
+        rounds_per_sec: rounds as f64 / wall_s,
+        resilience: result.resilience,
+    }
+}
+
+/// Peak resident set size in KiB, read from `/proc/self/status` (Linux
+/// only; `None` elsewhere).
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches(" kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
+fn tiny_control() -> Scenario {
+    Scenario {
+        n: 150,
+        view_size: 12,
+        sample_size: 12,
+        rounds: 250,
+        tail_window: 25,
+        seed: 0xBE7C,
+        ..Scenario::default()
+    }
+}
+
+fn emit_json(measurements: &[Measurement], write_artifact: bool) {
+    let mut json = String::from("{\n  \"bench\": \"perf_paper_scale\",\n  \"runs\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"profile\": \"{}\", \"protocol\": \"{}\", \"n\": {}, \"view\": {}, \"rounds\": {}, \"wall_s\": {:.3}, \"rounds_per_sec\": {:.3}, \"resilience\": {:.6}}}",
+            m.profile, m.protocol, m.n, m.view, m.rounds, m.wall_s, m.rounds_per_sec, m.resilience
+        );
+        json.push_str(if i + 1 < measurements.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    match peak_rss_kib() {
+        Some(kib) => {
+            let _ = writeln!(json, "  \"peak_rss_kib\": {kib}");
+        }
+        None => json.push_str("  \"peak_rss_kib\": null\n"),
+    }
+    json.push_str("}\n");
+
+    if write_artifact {
+        // crates/bench -> workspace root.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..");
+        let path = root.join("BENCH_paper_scale.json");
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => println!("could not write {}: {e}", path.display()),
+        }
+    } else {
+        println!("(tiny control only: artifact untouched; set RAPTEE_SCALE=paper to rewrite it)");
+    }
+    print!("{json}");
+}
+
+fn main() {
+    let full = std::env::var("RAPTEE_SCALE").as_deref() == Ok("paper");
+    println!("=== perf_paper_scale — engine throughput ===");
+    println!(
+        "    tiny control always runs; set RAPTEE_SCALE=paper for the full N=10,000 measurement"
+    );
+    println!();
+
+    let mut measurements = Vec::new();
+
+    let tiny = time_run("tiny", "raptee", tiny_control());
+    println!(
+        "tiny   : N={:<6} view={:<4} rounds={:<4} wall={:>8.2}s  {:>8.1} rounds/s",
+        tiny.n, tiny.view, tiny.rounds, tiny.wall_s, tiny.rounds_per_sec
+    );
+    measurements.push(tiny);
+
+    let basalt_tiny = time_run("tiny", "basalt", tiny_control().basalt_variant(15));
+    println!(
+        "tiny   : N={:<6} view={:<4} rounds={:<4} wall={:>8.2}s  {:>8.1} rounds/s (BASALT)",
+        basalt_tiny.n,
+        basalt_tiny.view,
+        basalt_tiny.rounds,
+        basalt_tiny.wall_s,
+        basalt_tiny.rounds_per_sec
+    );
+    measurements.push(basalt_tiny);
+
+    if full {
+        let mut scenario = Scenario::paper_scale();
+        scenario.protocol = Protocol::Raptee;
+        let paper = time_run("paper", "raptee", scenario);
+        println!(
+            "paper  : N={:<6} view={:<4} rounds={:<4} wall={:>8.2}s  {:>8.1} rounds/s",
+            paper.n, paper.view, paper.rounds, paper.wall_s, paper.rounds_per_sec
+        );
+        measurements.push(paper);
+    } else {
+        println!("paper  : skipped (RAPTEE_SCALE != paper)");
+    }
+
+    println!();
+    emit_json(&measurements, full);
+}

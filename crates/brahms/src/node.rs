@@ -21,7 +21,7 @@ use raptee_sampler::SamplerArray;
 use raptee_util::rng::Xoshiro256StarStar;
 
 /// The send targets a node chose for the current round.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RoundPlan {
     /// Destinations of push messages (the node's own ID is the payload).
     pub push_targets: Vec<NodeId>,
@@ -70,6 +70,13 @@ pub struct BrahmsNode {
     rounds: u64,
     renewals: u64,
     floods_detected: u64,
+    /// Reusable buffers for the per-round renewal pipeline (index scratch
+    /// for `sample_into`, drawn picks, the current sample list and the
+    /// next view) — the round loop allocates nothing in steady state.
+    scratch_idx: Vec<u32>,
+    scratch_pick: Vec<NodeId>,
+    scratch_samples: Vec<NodeId>,
+    scratch_next: Vec<ViewEntry>,
 }
 
 impl BrahmsNode {
@@ -100,6 +107,10 @@ impl BrahmsNode {
             rounds: 0,
             renewals: 0,
             floods_detected: 0,
+            scratch_idx: Vec::new(),
+            scratch_pick: Vec::new(),
+            scratch_samples: Vec::new(),
+            scratch_next: Vec::new(),
         }
     }
 
@@ -173,12 +184,20 @@ impl BrahmsNode {
     /// uniformly random draws from the view (with replacement, as in the
     /// original protocol's `rand(V)`).
     pub fn plan_round(&mut self) -> RoundPlan {
-        let mut plan = RoundPlan {
-            push_targets: Vec::with_capacity(self.config.alpha_count()),
-            pull_targets: Vec::with_capacity(self.config.beta_count()),
-        };
+        let mut plan = RoundPlan::default();
+        self.plan_round_into(&mut plan);
+        plan
+    }
+
+    /// [`BrahmsNode::plan_round`] into a caller-owned plan whose target
+    /// vectors are cleared and refilled — the engine keeps one plan per
+    /// actor alive across rounds, so planning allocates nothing. The RNG
+    /// draw sequence is identical to `plan_round`.
+    pub fn plan_round_into(&mut self, plan: &mut RoundPlan) {
+        plan.push_targets.clear();
+        plan.pull_targets.clear();
         if self.view.is_empty() {
-            return plan;
+            return;
         }
         for _ in 0..self.config.alpha_count() {
             if let Some(e) = self.view.random(&mut self.rng) {
@@ -190,7 +209,6 @@ impl BrahmsNode {
                 plan.pull_targets.push(e.id);
             }
         }
-        plan
     }
 
     /// Records an incoming push (the sender's ID).
@@ -233,23 +251,41 @@ impl BrahmsNode {
         let view_renewed = !push_flood_detected && pushes_received > 0 && pulled_ids_received > 0;
 
         if view_renewed {
-            let mut next: Vec<ViewEntry> = Vec::with_capacity(self.config.view_size);
             // Defence (iii): balanced α/β contribution — `rand(α·l1,
             // pushed) ∪ rand(β·l1, pulled)` exactly as in the original
             // protocol. The draws are over the raw multisets: an ID that
             // is over-represented in the stream is proportionally likely
             // to be drawn (the view itself still stores it only once).
             // Brahms counters that bias with the sampler, not here.
-            let pushed_pick = self.rng.sample(&self.pushed, self.config.alpha_count());
-            let pulled_pick = self.rng.sample(&self.pulled, self.config.beta_count());
-            // Defence (iv): history sample for self-healing.
-            let history_pick = self
-                .sampler
-                .history_sample(self.config.gamma_count(), &mut self.rng);
-            next.extend(pushed_pick.into_iter().map(ViewEntry::fresh));
-            next.extend(pulled_pick.into_iter().map(ViewEntry::fresh));
-            next.extend(history_pick.into_iter().map(ViewEntry::fresh));
-            self.view.replace_with(next);
+            self.scratch_next.clear();
+            self.rng.sample_into(
+                &self.pushed,
+                self.config.alpha_count(),
+                &mut self.scratch_idx,
+                &mut self.scratch_pick,
+            );
+            self.scratch_next
+                .extend(self.scratch_pick.iter().copied().map(ViewEntry::fresh));
+            self.rng.sample_into(
+                &self.pulled,
+                self.config.beta_count(),
+                &mut self.scratch_idx,
+                &mut self.scratch_pick,
+            );
+            self.scratch_next
+                .extend(self.scratch_pick.iter().copied().map(ViewEntry::fresh));
+            // Defence (iv): history sample for self-healing — `γ·l1`
+            // draws with replacement from the current sample list (the
+            // same draws `SamplerArray::history_sample` would make).
+            self.sampler.samples_into(&mut self.scratch_samples);
+            if !self.scratch_samples.is_empty() {
+                for _ in 0..self.config.gamma_count() {
+                    let i = self.rng.index(self.scratch_samples.len());
+                    self.scratch_next
+                        .push(ViewEntry::fresh(self.scratch_samples[i]));
+                }
+            }
+            self.view.replace_with(self.scratch_next.drain(..));
             self.renewals += 1;
         }
         if push_flood_detected {
@@ -259,13 +295,11 @@ impl BrahmsNode {
         // The sampling component consumes the *unfiltered* stream in
         // Brahms; RAPTEE's eviction happens before record_pulled, so from
         // this node's perspective the stream is whatever was recorded.
-        // Min-wise sampling is invariant under repetition, so the stream
-        // is deduplicated first — a large constant-factor saving, since
-        // pull answers overlap heavily.
-        let mut stream: Vec<NodeId> = self.pushed.drain(..).chain(self.pulled.drain(..)).collect();
-        stream.sort_unstable();
-        stream.dedup();
-        self.sampler.observe_all(stream);
+        // Min-wise sampling is invariant under repetition — the sampler's
+        // seen-cache makes repeats O(1), so the stream is fed raw (no
+        // sort/dedup pass, no intermediate allocation).
+        self.sampler.observe_all(self.pushed.drain(..));
+        self.sampler.observe_all(self.pulled.drain(..));
 
         self.rounds += 1;
         RoundReport {

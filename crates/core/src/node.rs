@@ -69,10 +69,11 @@ pub struct RapteeRoundOutcome {
     pub eviction_rate: f64,
     /// How many pulled IDs were evicted.
     pub evicted: usize,
-    /// The pulled IDs actually admitted to Brahms (post-eviction, plus
-    /// trusted-swap IDs) — what the node genuinely *learned* this round
-    /// from pulls, used by the discovery metric.
-    pub admitted_pulled: Vec<NodeId>,
+    /// Number of pulled IDs actually admitted to Brahms (post-eviction,
+    /// plus trusted-swap IDs). A count rather than the ID list: the
+    /// round loop streams the survivors straight into Brahms instead of
+    /// materialising them (the engine's discovery metric reads the view).
+    pub admitted_pulled: usize,
 }
 
 /// A RAPTEE node.
@@ -191,11 +192,19 @@ impl RapteeNode {
     /// trusted directory (expiring stale entries), and plans the Brahms
     /// pushes/pulls.
     pub fn plan_round(&mut self) -> RoundPlan {
+        let mut plan = RoundPlan::default();
+        self.plan_round_into(&mut plan);
+        plan
+    }
+
+    /// [`RapteeNode::plan_round`] into a caller-owned plan (cleared and
+    /// refilled) — the engine reuses one plan per actor across rounds.
+    pub fn plan_round_into(&mut self, plan: &mut RoundPlan) {
         self.contacts_total = 0;
         self.contacts_trusted = 0;
         self.directory.increase_age();
         self.directory.retain(|e| e.age <= Self::DIRECTORY_TTL);
-        self.brahms.plan_round()
+        self.brahms.plan_round_into(plan);
     }
 
     /// The peer this trusted node proactively initiates its trusted
@@ -438,20 +447,20 @@ impl RapteeNode {
         self.last_eviction_rate = rate;
 
         let before = self.pulled_untrusted.len();
-        let mut admitted: Vec<NodeId> = Vec::with_capacity(before + self.pulled_trusted.len());
         if rate > 0.0 {
+            // In-place Bernoulli filter; expected surviving share 1-rate.
+            // `retain` visits elements in insertion order, so the RNG
+            // draw sequence matches the historical drain-and-filter.
             let rng = self.brahms.rng_mut();
-            // Drain and Bernoulli-filter; expected surviving share 1-rate.
-            let drained: Vec<NodeId> = self.pulled_untrusted.drain(..).collect();
-            let rng2 = rng; // single mutable borrow alias for clarity
-            admitted.extend(drained.into_iter().filter(|_| !rng2.chance(rate)));
-        } else {
-            admitted.append(&mut self.pulled_untrusted);
+            self.pulled_untrusted.retain(|_| !rng.chance(rate));
         }
-        let evicted = before - admitted.len();
-        admitted.append(&mut self.pulled_trusted);
+        let evicted = before - self.pulled_untrusted.len();
+        let admitted = self.pulled_untrusted.len() + self.pulled_trusted.len();
 
-        self.brahms.record_pulled(&admitted);
+        self.brahms.record_pulled(&self.pulled_untrusted);
+        self.brahms.record_pulled(&self.pulled_trusted);
+        self.pulled_untrusted.clear();
+        self.pulled_trusted.clear();
         let report = self.brahms.finish_round();
         RapteeRoundOutcome {
             report,
@@ -541,7 +550,7 @@ mod tests {
         let out = t.finish_round();
         assert_eq!(out.eviction_rate, 1.0);
         assert_eq!(out.evicted, 40);
-        assert!(out.admitted_pulled.is_empty());
+        assert_eq!(out.admitted_pulled, 0);
         // No pulled IDs admitted → Brahms treats the round as starved.
         assert!(!out.report.view_renewed);
     }
@@ -553,7 +562,7 @@ mod tests {
         t.record_untrusted_pull(&boot(300..340));
         let out = t.finish_round();
         assert_eq!(out.evicted, 0);
-        assert_eq!(out.admitted_pulled.len(), 40);
+        assert_eq!(out.admitted_pulled, 40);
     }
 
     #[test]
@@ -641,7 +650,7 @@ mod tests {
         a.record_push(NodeId(150));
         let out = a.finish_round();
         assert!(out.report.view_renewed);
-        assert!(!out.admitted_pulled.is_empty());
+        assert!(out.admitted_pulled > 0);
         assert!(a.brahms().view().invariants_hold());
     }
 

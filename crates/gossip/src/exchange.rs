@@ -96,7 +96,7 @@ pub fn prepare_buffer(
     buffer.push(ViewEntry::fresh(view.owner()));
     view.permute(rng);
     view.move_oldest_to_end(config.healer.min(view.len()));
-    buffer.extend(view.head(config.exchange_len().saturating_sub(1)));
+    buffer.extend_from_slice(view.head_slice(config.exchange_len().saturating_sub(1)));
     buffer
 }
 

@@ -7,6 +7,7 @@
 //! times: no duplicate IDs, and never the owner's own ID.
 
 use raptee_net::NodeId;
+use raptee_util::bitset::{IdSet, DENSE_ID_LIMIT};
 use raptee_util::rng::Xoshiro256StarStar;
 
 /// One view entry: a known peer and how many rounds it has been known.
@@ -40,12 +41,30 @@ impl ViewEntry {
 /// assert!(v.contains(NodeId(1)));
 /// assert!(!v.contains(NodeId(0)), "own ID is never stored");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct View {
     owner: NodeId,
     capacity: usize,
     entries: Vec<ViewEntry>,
+    /// O(1) membership index over the dense ID range (IDs at or above
+    /// [`DENSE_ID_LIMIT`] fall back to a linear scan — they only occur in
+    /// adversarial corner cases, never in the contiguous simulation
+    /// numbering). Kept in lock-step with `entries` by every mutator.
+    present: IdSet,
 }
+
+/// Equality is defined by owner, capacity and entry sequence; the
+/// membership index is derived state (its grown size depends on insert
+/// history, not content).
+impl PartialEq for View {
+    fn eq(&self, other: &Self) -> bool {
+        self.owner == other.owner
+            && self.capacity == other.capacity
+            && self.entries == other.entries
+    }
+}
+
+impl Eq for View {}
 
 impl View {
     /// Creates an empty view for `owner` with the given capacity.
@@ -59,6 +78,25 @@ impl View {
             owner,
             capacity,
             entries: Vec::with_capacity(capacity),
+            present: IdSet::new(),
+        }
+    }
+
+    /// Records `id` in the O(1) membership index (dense range only).
+    #[inline]
+    fn index_insert(&mut self, id: NodeId) {
+        let idx = id.0 as usize;
+        if idx < DENSE_ID_LIMIT {
+            self.present.insert(idx);
+        }
+    }
+
+    /// Drops `id` from the O(1) membership index (dense range only).
+    #[inline]
+    fn index_remove(&mut self, id: NodeId) {
+        let idx = id.0 as usize;
+        if idx < DENSE_ID_LIMIT {
+            self.present.remove(idx);
         }
     }
 
@@ -97,9 +135,15 @@ impl View {
         self.ids().collect()
     }
 
-    /// Whether `id` is present.
+    /// Whether `id` is present — O(1) through the membership index for
+    /// dense IDs, linear only beyond [`DENSE_ID_LIMIT`].
     pub fn contains(&self, id: NodeId) -> bool {
-        self.entries.iter().any(|e| e.id == id)
+        let idx = id.0 as usize;
+        if idx < DENSE_ID_LIMIT {
+            self.present.contains(idx)
+        } else {
+            self.entries.iter().any(|e| e.id == id)
+        }
     }
 
     /// Inserts a fresh (age-0) entry if `id` is neither the owner nor a
@@ -114,7 +158,12 @@ impl View {
         if entry.id == self.owner {
             return false;
         }
-        if let Some(existing) = self.entries.iter_mut().find(|e| e.id == entry.id) {
+        if self.contains(entry.id) {
+            let existing = self
+                .entries
+                .iter_mut()
+                .find(|e| e.id == entry.id)
+                .expect("membership index in sync with entries");
             if entry.age < existing.age {
                 existing.age = entry.age;
             }
@@ -124,6 +173,7 @@ impl View {
             return false;
         }
         self.entries.push(entry);
+        self.index_insert(entry.id);
         true
     }
 
@@ -133,7 +183,12 @@ impl View {
         if entry.id == self.owner {
             return;
         }
-        if let Some(existing) = self.entries.iter_mut().find(|e| e.id == entry.id) {
+        if self.contains(entry.id) {
+            let existing = self
+                .entries
+                .iter_mut()
+                .find(|e| e.id == entry.id)
+                .expect("membership index in sync with entries");
             if entry.age < existing.age {
                 existing.age = entry.age;
             }
@@ -141,10 +196,12 @@ impl View {
         }
         if self.entries.len() >= self.capacity {
             if let Some(oldest) = self.oldest_index() {
-                self.entries.swap_remove(oldest);
+                let evicted = self.entries.swap_remove(oldest);
+                self.index_remove(evicted.id);
             }
         }
         self.entries.push(entry);
+        self.index_insert(entry.id);
     }
 
     /// Increments every entry's age by one round.
@@ -170,8 +227,13 @@ impl View {
 
     /// Removes and returns the entry for `id`, if present.
     pub fn remove(&mut self, id: NodeId) -> Option<ViewEntry> {
+        if !self.contains(id) {
+            return None;
+        }
         let pos = self.entries.iter().position(|e| e.id == id)?;
-        Some(self.entries.remove(pos))
+        let removed = self.entries.remove(pos);
+        self.index_remove(removed.id);
+        Some(removed)
     }
 
     /// Uniformly permutes the entry order.
@@ -201,9 +263,15 @@ impl View {
     }
 
     /// The first `n` entries in current order (the "head" the framework
-    /// sends to the partner).
+    /// sends to the partner), borrowed — no allocation.
+    pub fn head_slice(&self, n: usize) -> &[ViewEntry] {
+        &self.entries[..n.min(self.entries.len())]
+    }
+
+    /// Owned variant of [`View::head_slice`] (convenience for tests and
+    /// message construction outside the hot path).
     pub fn head(&self, n: usize) -> Vec<ViewEntry> {
-        self.entries.iter().take(n).copied().collect()
+        self.head_slice(n).to_vec()
     }
 
     /// Appends entries without enforcing capacity (used mid-exchange; the
@@ -214,12 +282,18 @@ impl View {
             if e.id == self.owner {
                 continue;
             }
-            if let Some(existing) = self.entries.iter_mut().find(|x| x.id == e.id) {
+            if self.contains(e.id) {
+                let existing = self
+                    .entries
+                    .iter_mut()
+                    .find(|x| x.id == e.id)
+                    .expect("membership index in sync with entries");
                 if e.age < existing.age {
                     existing.age = e.age;
                 }
             } else {
                 self.entries.push(e);
+                self.index_insert(e.id);
             }
         }
     }
@@ -230,7 +304,8 @@ impl View {
         let removable = self.entries.len().saturating_sub(floor).min(n);
         for _ in 0..removable {
             if let Some(i) = self.oldest_index() {
-                self.entries.remove(i);
+                let removed = self.entries.remove(i);
+                self.index_remove(removed.id);
             }
         }
         removable
@@ -240,6 +315,10 @@ impl View {
     /// Returns how many were removed.
     pub fn remove_head(&mut self, n: usize, floor: usize) -> usize {
         let removable = self.entries.len().saturating_sub(floor).min(n);
+        for i in 0..removable {
+            let id = self.entries[i].id;
+            self.index_remove(id);
+        }
         self.entries.drain(..removable);
         removable
     }
@@ -248,7 +327,8 @@ impl View {
     pub fn shrink_to_capacity(&mut self, rng: &mut Xoshiro256StarStar) {
         while self.entries.len() > self.capacity {
             let i = rng.index(self.entries.len());
-            self.entries.swap_remove(i);
+            let removed = self.entries.swap_remove(i);
+            self.index_remove(removed.id);
         }
     }
 
@@ -256,6 +336,7 @@ impl View {
     /// rules), used when renewing the dynamic view in Brahms.
     pub fn replace_with(&mut self, entries: impl IntoIterator<Item = ViewEntry>) {
         self.entries.clear();
+        self.present.clear();
         for e in entries {
             self.insert(e);
         }
@@ -279,19 +360,35 @@ impl View {
     /// were removed.
     pub fn retain<F: FnMut(&ViewEntry) -> bool>(&mut self, mut pred: F) -> usize {
         let before = self.entries.len();
-        self.entries.retain(|e| pred(e));
+        let present = &mut self.present;
+        self.entries.retain(|e| {
+            let keep = pred(e);
+            if !keep {
+                let idx = e.id.0 as usize;
+                if idx < DENSE_ID_LIMIT {
+                    present.remove(idx);
+                }
+            }
+            keep
+        });
         before - self.entries.len()
     }
 
-    /// Checks the two structural invariants (unique IDs, no owner entry);
-    /// used by tests and debug assertions.
+    /// Checks the two structural invariants (unique IDs, no owner entry)
+    /// plus the consistency of the O(1) membership index; used by tests
+    /// and debug assertions.
     pub fn invariants_hold(&self) -> bool {
         if self.entries.iter().any(|e| e.id == self.owner) {
             return false;
         }
         let mut ids: Vec<NodeId> = self.ids().collect();
         ids.sort_unstable();
-        ids.windows(2).all(|w| w[0] != w[1])
+        if !ids.windows(2).all(|w| w[0] != w[1]) {
+            return false;
+        }
+        let dense = ids.iter().filter(|id| (id.0 as usize) < DENSE_ID_LIMIT);
+        dense.clone().count() == self.present.count()
+            && dense.clone().all(|id| self.present.contains(id.0 as usize))
     }
 }
 
@@ -488,6 +585,60 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_panics() {
         View::new(NodeId(0), 0);
+    }
+
+    #[test]
+    fn membership_index_survives_every_mutator() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(12);
+        let mut v = View::new(NodeId(0), 6);
+        for i in 1..=6 {
+            v.insert(ViewEntry {
+                id: NodeId(i),
+                age: i as u32,
+            });
+        }
+        assert!(v.invariants_hold());
+        v.insert_replacing_oldest(ViewEntry::fresh(NodeId(7)));
+        assert!(v.invariants_hold() && !v.contains(NodeId(6)));
+        v.remove(NodeId(1));
+        assert!(v.invariants_hold() && !v.contains(NodeId(1)));
+        v.remove_oldest(1, 0);
+        v.remove_head(1, 0);
+        assert!(v.invariants_hold());
+        v.append_dedup(&[ViewEntry::fresh(NodeId(20)), ViewEntry::fresh(NodeId(21))]);
+        v.retain(|e| e.id != NodeId(20));
+        assert!(v.invariants_hold() && !v.contains(NodeId(20)));
+        v.append_dedup(
+            &(30..45)
+                .map(|i| ViewEntry::fresh(NodeId(i)))
+                .collect::<Vec<_>>(),
+        );
+        v.shrink_to_capacity(&mut rng);
+        assert!(v.invariants_hold());
+        v.replace_with([ViewEntry::fresh(NodeId(50)), ViewEntry::fresh(NodeId(51))]);
+        assert!(v.invariants_hold());
+        assert!(v.contains(NodeId(50)) && !v.contains(NodeId(30)));
+    }
+
+    #[test]
+    fn ids_beyond_dense_limit_use_the_fallback() {
+        let huge = NodeId(u64::MAX - 1);
+        let mut v = View::new(NodeId(0), 4);
+        assert!(v.insert_fresh(huge));
+        assert!(v.contains(huge));
+        assert!(!v.insert_fresh(huge), "duplicate detected via scan");
+        assert!(v.invariants_hold());
+        v.remove(huge);
+        assert!(!v.contains(huge));
+        assert!(v.invariants_hold());
+    }
+
+    #[test]
+    fn head_slice_borrows_the_prefix() {
+        let v = view_with(0, 8, &[1, 2, 3, 4]);
+        assert_eq!(v.head_slice(2), &v.entries()[..2]);
+        assert_eq!(v.head_slice(99).len(), 4);
+        assert_eq!(v.head(2), v.head_slice(2).to_vec());
     }
 }
 

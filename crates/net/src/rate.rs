@@ -64,6 +64,23 @@ impl PushRateLimiter {
         }
     }
 
+    /// Attempts to charge `n` pushes to `sender` at once; returns how
+    /// many were granted (the first `granted` of the batch — the rest
+    /// are rejected and counted, exactly as `n` sequential
+    /// [`PushRateLimiter::try_push`] calls would).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` is out of range.
+    pub fn try_push_n(&mut self, sender: NodeId, n: usize) -> usize {
+        let slot = &mut self.used[sender.index()];
+        let remaining = self.budget_per_round - *slot;
+        let granted = remaining.min(u32::try_from(n).unwrap_or(u32::MAX));
+        *slot += granted;
+        self.rejected_total += n as u64 - u64::from(granted);
+        granted as usize
+    }
+
     /// Remaining budget for `sender` this round.
     pub fn remaining(&self, sender: NodeId) -> u32 {
         self.budget_per_round - self.used[sender.index()]
@@ -111,6 +128,22 @@ mod tests {
         assert!(!rl.try_push(NodeId(0)));
         assert!(!rl.try_push(NodeId(0)));
         assert_eq!(rl.rejected_total(), 2);
+    }
+
+    #[test]
+    fn batched_charge_matches_sequential() {
+        let mut a = PushRateLimiter::new(2, 3);
+        let mut b = PushRateLimiter::new(2, 3);
+        // 5 pushes against a budget of 3: 3 granted, 2 rejected.
+        let granted = a.try_push_n(NodeId(0), 5);
+        let seq = (0..5).filter(|_| b.try_push(NodeId(0))).count();
+        assert_eq!(granted, seq);
+        assert_eq!(a.remaining(NodeId(0)), b.remaining(NodeId(0)));
+        assert_eq!(a.rejected_total(), b.rejected_total());
+        // Empty batch and post-exhaustion batch.
+        assert_eq!(a.try_push_n(NodeId(0), 0), 0);
+        assert_eq!(a.try_push_n(NodeId(0), 4), 0);
+        assert_eq!(a.try_push_n(NodeId(1), 2), 2);
     }
 
     #[test]

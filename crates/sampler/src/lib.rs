@@ -22,7 +22,16 @@
 //! fresh hash function, so departed nodes eventually leave `S`.
 
 use raptee_net::NodeId;
+use raptee_util::bitset::{IdSet, DENSE_ID_LIMIT};
 use raptee_util::rng::{mix64, Xoshiro256StarStar};
+
+/// The ID pre-mix shared by every sampler hash: `h_seed(id) =
+/// mix64(seed ^ premix(id))`. Computing it once per observed ID halves
+/// the work of feeding an ID through all `l2` samplers.
+#[inline]
+fn premix(id: NodeId) -> u64 {
+    mix64(id.0.wrapping_add(0x9E37_79B9_7F4A_7C15))
+}
 
 /// A single min-wise sampler: remembers the streamed ID minimising a
 /// randomly drawn hash function.
@@ -63,12 +72,20 @@ impl Sampler {
     /// approximating a min-wise independent family.
     #[inline]
     pub fn hash(&self, id: NodeId) -> u64 {
-        mix64(self.seed ^ mix64(id.0.wrapping_add(0x9E37_79B9_7F4A_7C15)))
+        mix64(self.seed ^ premix(id))
     }
 
     /// Feeds one ID through the sampler.
     pub fn observe(&mut self, id: NodeId) {
-        let h = self.hash(id);
+        self.observe_premixed(id, premix(id));
+    }
+
+    /// [`Sampler::observe`] with the ID's [`premix`] already computed —
+    /// the [`SamplerArray`] hot path shares one premix across all `l2`
+    /// samplers.
+    #[inline]
+    fn observe_premixed(&mut self, id: NodeId, pre: u64) {
+        let h = mix64(self.seed ^ pre);
         if h < self.best_hash {
             self.best_hash = h;
             self.sample = Some(id);
@@ -106,6 +123,14 @@ impl Sampler {
 #[derive(Debug, Clone)]
 pub struct SamplerArray {
     samplers: Vec<Sampler>,
+    /// Dense IDs every sampler has already observed since its last
+    /// (re-)initialisation. Min-wise sampling is invariant under
+    /// repetition, so a cached ID can skip the whole hash loop — after
+    /// the gossip stream converges this eliminates nearly all sampler
+    /// work. Any sampler reset ([`SamplerArray::validate`]) clears the
+    /// cache, restoring the conservative invariant that a cached ID has
+    /// been seen by *every* live hash function.
+    seen: IdSet,
 }
 
 impl SamplerArray {
@@ -118,6 +143,7 @@ impl SamplerArray {
         assert!(l2 > 0, "sampler array needs at least one sampler");
         Self {
             samplers: (0..l2).map(|_| Sampler::new(rng.next_u64())).collect(),
+            seen: IdSet::new(),
         }
     }
 
@@ -131,10 +157,17 @@ impl SamplerArray {
         self.samplers.is_empty()
     }
 
-    /// Feeds one ID to every sampler.
+    /// Feeds one ID to every sampler. Repeats of an already-seen ID are
+    /// O(1): min-wise sampling cannot change on repetition, so the
+    /// seen-cache short-circuits the hash loop.
     pub fn observe(&mut self, id: NodeId) {
+        let idx = id.0 as usize;
+        if idx < DENSE_ID_LIMIT && !self.seen.insert(idx) {
+            return;
+        }
+        let pre = premix(id);
         for s in &mut self.samplers {
-            s.observe(id);
+            s.observe_premixed(id, pre);
         }
     }
 
@@ -150,6 +183,13 @@ impl SamplerArray {
     /// it as a multiset.
     pub fn samples(&self) -> Vec<NodeId> {
         self.samplers.iter().filter_map(Sampler::sample).collect()
+    }
+
+    /// [`SamplerArray::samples`] into a caller-owned buffer (cleared
+    /// first) — the per-round history-sample path allocates nothing.
+    pub fn samples_into(&self, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(self.samplers.iter().filter_map(Sampler::sample));
     }
 
     /// Draws `k` entries uniformly from the sample list — the "history
@@ -178,6 +218,12 @@ impl SamplerArray {
                     reset += 1;
                 }
             }
+        }
+        if reset > 0 {
+            // A fresh hash function has seen nothing: drop the seen-cache
+            // so future streams reach it (repeats stay idempotent for the
+            // untouched samplers).
+            self.seen.clear();
         }
         reset
     }
@@ -284,6 +330,58 @@ mod tests {
         arr.observe_all((0..100).filter(|i| i % 2 == 1).map(NodeId));
         assert!(arr.samples().iter().all(|id| id.0 % 2 == 1));
         assert_eq!(arr.samples().len(), 32);
+    }
+
+    #[test]
+    fn seen_cache_is_observationally_invisible() {
+        // A stream with heavy repetition must leave the array in exactly
+        // the state of the deduplicated stream — and the cache must reach
+        // the same samples as an uncached element-wise feed.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(21);
+        let mut cached = SamplerArray::new(16, &mut rng);
+        let mut reference = SamplerArray::new(16, &mut rng.clone());
+        // Same hash functions: rebuild reference from identical seeds.
+        reference.samplers.clone_from(&cached.samplers);
+        for rep in 0..5 {
+            for id in 0..200u64 {
+                cached.observe(NodeId(id));
+                if rep == 0 {
+                    for s in &mut reference.samplers {
+                        s.observe(NodeId(id));
+                    }
+                }
+            }
+        }
+        assert_eq!(cached.samples(), reference.samples());
+    }
+
+    #[test]
+    fn huge_ids_bypass_the_cache() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        let mut arr = SamplerArray::new(8, &mut rng);
+        let huge = NodeId(u64::MAX - 3);
+        arr.observe(huge);
+        arr.observe(huge); // repeat takes the uncached path; still idempotent
+        assert!(arr.samples().iter().all(|&id| id == huge));
+        assert!(
+            arr.seen.is_empty(),
+            "IDs beyond DENSE_ID_LIMIT must not grow the cache"
+        );
+    }
+
+    #[test]
+    fn validation_reset_clears_seen_cache() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+        let mut arr = SamplerArray::new(8, &mut rng);
+        arr.observe_all((0..50).map(NodeId));
+        assert!(!arr.seen.is_empty());
+        // Kill everything: every sampler resets, the cache must drop so
+        // re-observed IDs reach the fresh hash functions.
+        let reset = arr.validate(|_| false, &mut rng);
+        assert_eq!(reset, 8);
+        assert!(arr.seen.is_empty());
+        arr.observe_all((0..50).map(NodeId));
+        assert_eq!(arr.samples().len(), 8, "fresh samplers re-filled");
     }
 
     #[test]

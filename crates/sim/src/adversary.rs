@@ -53,6 +53,11 @@ pub struct Adversary {
     /// force-push attack (coverage beats repetition against ranked
     /// views).
     force_rotor: usize,
+    /// Reusable buffers for the per-round sampling calls (Fisher–Yates
+    /// index scratch and the remainder-victim draw) — planning and pull
+    /// answers allocate nothing in steady state.
+    idx_scratch: Vec<u32>,
+    extra_scratch: Vec<NodeId>,
 }
 
 impl Adversary {
@@ -71,6 +76,8 @@ impl Adversary {
             rng: Xoshiro256StarStar::seed_from_u64(seed),
             observations: vec![None; total_actors],
             force_rotor: 0,
+            idx_scratch: Vec::new(),
+            extra_scratch: Vec::new(),
         }
     }
 
@@ -103,22 +110,49 @@ impl Adversary {
         victims: &[NodeId],
         budget: usize,
     ) -> Vec<(NodeId, NodeId)> {
+        let mut plan = Vec::new();
+        self.plan_balanced_pushes_into(victims, budget, &mut plan);
+        plan
+    }
+
+    /// [`Adversary::plan_balanced_pushes`] into a caller-owned plan
+    /// buffer (cleared first) — the engine reuses one buffer per round.
+    /// The RNG draw sequence is identical to the allocating variant.
+    pub fn plan_balanced_pushes_into(
+        &mut self,
+        victims: &[NodeId],
+        budget: usize,
+        plan: &mut PushPlan,
+    ) {
+        plan.clear();
+        self.balanced_pushes_append(victims, budget, plan);
+    }
+
+    /// The shared appending body of the balanced planner (also reused by
+    /// the focused share of the targeted attack).
+    fn balanced_pushes_append(&mut self, victims: &[NodeId], budget: usize, plan: &mut PushPlan) {
         if victims.is_empty() || self.byzantine_ids.is_empty() || budget == 0 {
-            return Vec::new();
+            return;
         }
         let base = budget / victims.len();
         let remainder = budget % victims.len();
-        let mut plan = Vec::with_capacity(budget.min(victims.len() * (base + 1)));
+        plan.reserve(budget.min(victims.len() * (base + 1)));
         for &v in victims {
             for _ in 0..base {
                 plan.push((v, self.random_byz_id()));
             }
         }
-        let extra = self.rng.sample(victims, remainder);
-        for v in extra {
+        let Self {
+            rng,
+            idx_scratch,
+            extra_scratch,
+            ..
+        } = self;
+        rng.sample_into(victims, remainder, idx_scratch, extra_scratch);
+        for i in 0..self.extra_scratch.len() {
+            let v = self.extra_scratch[i];
             plan.push((v, self.random_byz_id()));
         }
-        plan
     }
 
     /// Answers a pull request: a full view of exclusively Byzantine IDs
@@ -127,13 +161,26 @@ impl Adversary {
     /// injected ID in place of a Byzantine one — enough for discovery,
     /// negligible dilution.
     pub fn pull_answer(&mut self) -> Vec<NodeId> {
-        let k = self.view_size.min(self.byzantine_ids.len());
-        let mut answer = self.rng.sample(&self.byzantine_ids, k);
-        if !self.injected.is_empty() && !answer.is_empty() && self.rng.chance(0.25) {
-            let slot = self.rng.index(answer.len());
-            answer[slot] = self.injected[self.rng.index(self.injected.len())];
-        }
+        let mut answer = Vec::new();
+        self.pull_answer_into(&mut answer);
         answer
+    }
+
+    /// [`Adversary::pull_answer`] into a caller-owned buffer (cleared
+    /// first); identical RNG draw sequence.
+    pub fn pull_answer_into(&mut self, out: &mut Vec<NodeId>) {
+        let k = self.view_size.min(self.byzantine_ids.len());
+        let Self {
+            rng,
+            byzantine_ids,
+            idx_scratch,
+            ..
+        } = self;
+        rng.sample_into(byzantine_ids, k, idx_scratch, out);
+        if !self.injected.is_empty() && !out.is_empty() && self.rng.chance(0.25) {
+            let slot = self.rng.index(out.len());
+            out[slot] = self.injected[self.rng.index(self.injected.len())];
+        }
     }
 
     /// Records the Byzantine share observed in a pull answer received
@@ -174,13 +221,29 @@ impl Adversary {
         budget: usize,
         focus: f64,
     ) -> Vec<(NodeId, NodeId)> {
+        let mut plan = Vec::new();
+        self.plan_targeted_pushes_into(all_victims, targets, budget, focus, &mut plan);
+        plan
+    }
+
+    /// [`Adversary::plan_targeted_pushes`] into a caller-owned plan
+    /// buffer (cleared first); identical RNG draw sequence.
+    pub fn plan_targeted_pushes_into(
+        &mut self,
+        all_victims: &[NodeId],
+        targets: &[NodeId],
+        budget: usize,
+        focus: f64,
+        plan: &mut PushPlan,
+    ) {
         self.plan_with_focus(
             all_victims,
             targets,
             budget,
             focus,
-            Self::plan_balanced_pushes,
-        )
+            Self::balanced_pushes_append,
+            plan,
+        );
     }
 
     /// Shared focus-splitting for the targeted attack variants: a `focus`
@@ -192,19 +255,19 @@ impl Adversary {
         targets: &[NodeId],
         budget: usize,
         focus: f64,
-        planner: fn(&mut Self, &[NodeId], usize) -> PushPlan,
-    ) -> PushPlan {
+        planner: fn(&mut Self, &[NodeId], usize, &mut PushPlan),
+        plan: &mut PushPlan,
+    ) {
+        plan.clear();
         if all_victims.is_empty() || self.byzantine_ids.is_empty() || budget == 0 {
-            return Vec::new();
+            return;
         }
         let focused_budget = (budget as f64 * focus.clamp(0.0, 1.0)).round() as usize;
-        let mut plan = if targets.is_empty() {
-            Vec::new()
-        } else {
-            planner(self, targets, focused_budget)
-        };
-        plan.extend(planner(self, all_victims, budget - plan.len()));
-        plan
+        if !targets.is_empty() {
+            planner(self, targets, focused_budget, plan);
+        }
+        let spent = plan.len();
+        planner(self, all_victims, budget - spent, plan);
     }
 
     /// Plans the *force-push* attack against BASALT's ranked hit-counter
@@ -221,22 +284,47 @@ impl Adversary {
         victims: &[NodeId],
         budget: usize,
     ) -> Vec<(NodeId, NodeId)> {
+        let mut plan = Vec::new();
+        self.plan_force_pushes_into(victims, budget, &mut plan);
+        plan
+    }
+
+    /// [`Adversary::plan_force_pushes`] into a caller-owned plan buffer
+    /// (cleared first); identical RNG draw sequence.
+    pub fn plan_force_pushes_into(
+        &mut self,
+        victims: &[NodeId],
+        budget: usize,
+        plan: &mut PushPlan,
+    ) {
+        plan.clear();
+        self.force_pushes_append(victims, budget, plan);
+    }
+
+    /// The shared appending body of the force-push planner.
+    fn force_pushes_append(&mut self, victims: &[NodeId], budget: usize, plan: &mut PushPlan) {
         if victims.is_empty() || self.byzantine_ids.is_empty() || budget == 0 {
-            return Vec::new();
+            return;
         }
         let base = budget / victims.len();
         let remainder = budget % victims.len();
-        let mut plan = Vec::with_capacity(budget);
+        plan.reserve(budget);
         for &v in victims {
             for _ in 0..base {
                 plan.push((v, self.next_force_id()));
             }
         }
-        let extra = self.rng.sample(victims, remainder);
-        for v in extra {
+        let Self {
+            rng,
+            idx_scratch,
+            extra_scratch,
+            ..
+        } = self;
+        rng.sample_into(victims, remainder, idx_scratch, extra_scratch);
+        for i in 0..self.extra_scratch.len() {
+            let v = self.extra_scratch[i];
             plan.push((v, self.next_force_id()));
         }
-        plan
     }
 
     fn next_force_id(&mut self) -> NodeId {
@@ -258,13 +346,49 @@ impl Adversary {
         budget: usize,
         focus: f64,
     ) -> Vec<(NodeId, NodeId)> {
-        self.plan_with_focus(all_victims, targets, budget, focus, Self::plan_force_pushes)
+        let mut plan = Vec::new();
+        self.plan_targeted_force_pushes_into(all_victims, targets, budget, focus, &mut plan);
+        plan
+    }
+
+    /// [`Adversary::plan_targeted_force_pushes`] into a caller-owned plan
+    /// buffer (cleared first); identical RNG draw sequence.
+    pub fn plan_targeted_force_pushes_into(
+        &mut self,
+        all_victims: &[NodeId],
+        targets: &[NodeId],
+        budget: usize,
+        focus: f64,
+        plan: &mut PushPlan,
+    ) {
+        self.plan_with_focus(
+            all_victims,
+            targets,
+            budget,
+            focus,
+            Self::force_pushes_append,
+            plan,
+        );
     }
 
     /// Picks `k` observation targets uniformly among `candidates` (the
     /// Byzantine nodes' own pull requests for the identification attack).
     pub fn observation_targets(&mut self, candidates: &[NodeId], k: usize) -> Vec<NodeId> {
         self.rng.sample(candidates, k)
+    }
+
+    /// [`Adversary::observation_targets`] into a caller-owned buffer
+    /// (cleared first); identical RNG draw sequence.
+    pub fn observation_targets_into(
+        &mut self,
+        candidates: &[NodeId],
+        k: usize,
+        out: &mut Vec<NodeId>,
+    ) {
+        let Self {
+            rng, idx_scratch, ..
+        } = self;
+        rng.sample_into(candidates, k, idx_scratch, out);
     }
 
     /// Runs the identification classifier (Section VI-A): computes the

@@ -1,128 +1,12 @@
 //! Dense bitset for discovery tracking.
 //!
+//! The implementation now lives in [`raptee_util::bitset`] so the view
+//! structures in `raptee-gossip`/`raptee-basalt` can share it without a
+//! dependency cycle; this module re-exports it for source compatibility.
+//!
 //! Every non-Byzantine node tracks which non-Byzantine IDs it has learned
 //! so far (system-discovery metric). At the paper's scale that is
 //! 10,000 × 10,000 bits ≈ 12 MB total — cheap as bitsets, prohibitive as
 //! hash sets.
 
-/// A fixed-capacity bitset over `0..len`.
-///
-/// # Examples
-///
-/// ```
-/// use raptee_sim::bitset::BitSet;
-/// let mut b = BitSet::new(100);
-/// assert!(b.insert(42));
-/// assert!(!b.insert(42), "second insert is a no-op");
-/// assert!(b.contains(42));
-/// assert_eq!(b.count(), 1);
-/// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct BitSet {
-    words: Vec<u64>,
-    len: usize,
-    count: usize,
-}
-
-impl BitSet {
-    /// Creates an empty set over the universe `0..len`.
-    pub fn new(len: usize) -> Self {
-        Self {
-            words: vec![0; len.div_ceil(64)],
-            len,
-            count: 0,
-        }
-    }
-
-    /// Universe size.
-    pub fn len(&self) -> usize {
-        self.len
-    }
-
-    /// True when no bit is set.
-    pub fn is_empty(&self) -> bool {
-        self.count == 0
-    }
-
-    /// Inserts `idx`; returns `true` if it was newly set.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `idx` is outside the universe.
-    #[inline]
-    pub fn insert(&mut self, idx: usize) -> bool {
-        assert!(
-            idx < self.len,
-            "bitset index {idx} out of range {}",
-            self.len
-        );
-        let (w, b) = (idx / 64, idx % 64);
-        let mask = 1u64 << b;
-        if self.words[w] & mask == 0 {
-            self.words[w] |= mask;
-            self.count += 1;
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Membership test.
-    #[inline]
-    pub fn contains(&self, idx: usize) -> bool {
-        if idx >= self.len {
-            return false;
-        }
-        self.words[idx / 64] & (1u64 << (idx % 64)) != 0
-    }
-
-    /// Number of set bits (maintained incrementally — O(1)).
-    pub fn count(&self) -> usize {
-        self.count
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn insert_and_query() {
-        let mut b = BitSet::new(130);
-        assert!(b.is_empty());
-        assert!(b.insert(0));
-        assert!(b.insert(129));
-        assert!(b.insert(64));
-        assert!(!b.insert(64));
-        assert_eq!(b.count(), 3);
-        assert!(b.contains(0) && b.contains(64) && b.contains(129));
-        assert!(!b.contains(1));
-        assert!(
-            !b.contains(500),
-            "out-of-range contains is false, not panic"
-        );
-    }
-
-    #[test]
-    fn count_matches_popcount() {
-        let mut b = BitSet::new(1000);
-        for i in (0..1000).step_by(7) {
-            b.insert(i);
-        }
-        let pop: u32 = b.words.iter().map(|w| w.count_ones()).sum();
-        assert_eq!(b.count(), pop as usize);
-    }
-
-    #[test]
-    #[should_panic(expected = "out of range")]
-    fn insert_out_of_range_panics() {
-        BitSet::new(10).insert(10);
-    }
-
-    #[test]
-    fn zero_capacity() {
-        let b = BitSet::new(0);
-        assert_eq!(b.len(), 0);
-        assert!(!b.contains(0));
-    }
-}
+pub use raptee_util::bitset::{BitSet, IdSet};

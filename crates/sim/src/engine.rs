@@ -28,7 +28,7 @@ use crate::scenario::{AttackStrategy, Protocol, Scenario};
 use raptee::provisioning;
 use raptee::{RapteeConfig, RapteeNode};
 use raptee_basalt::{BasaltConfig, BasaltNode, BasaltPlan};
-use raptee_brahms::BrahmsConfig;
+use raptee_brahms::{BrahmsConfig, RoundPlan};
 use raptee_crypto::auth::AuthOutcome;
 use raptee_net::{NodeId, PushRateLimiter};
 use raptee_util::rng::Xoshiro256StarStar;
@@ -40,6 +40,48 @@ enum Actor {
     Byzantine,
     Correct(Box<RapteeNode>),
     Basalt(Box<BasaltNode>),
+}
+
+/// Per-simulation scratch arenas: every buffer the round loop needs is
+/// allocated once and reused for all rounds, so the steady-state hot
+/// path is allocation-free. Taken out of the [`Simulation`] at the top
+/// of each round (so `&mut self` methods stay callable) and put back at
+/// the end.
+#[derive(Default)]
+struct Scratch {
+    /// One Brahms/RAPTEE plan per actor, refilled in place each round.
+    plans: Vec<RoundPlan>,
+    /// One BASALT plan per actor, refilled in place each round.
+    basalt_plans: Vec<BasaltPlan>,
+    /// Whether actor `i` produced a plan this round (alive + correct).
+    live: Vec<bool>,
+    /// The adversary's push plan for the round.
+    byz_plan: PushPlan,
+    /// Honest pushes surviving limiter/liveness/loss, as
+    /// `(target index, sender)` in sender-major order.
+    survivors: Vec<(u32, NodeId)>,
+    /// `survivors` counting-sorted by target — delivery streams over
+    /// per-target runs instead of hopping between actors per message.
+    sorted: Vec<(u32, NodeId)>,
+    /// Counting-sort bucket offsets.
+    counts: Vec<u32>,
+    /// Reusable pull-answer buffer.
+    reply: Vec<NodeId>,
+    /// Reusable observation-target buffer (identification attack).
+    observed: Vec<NodeId>,
+    /// Reusable smoothed-share buffer for the round accumulator.
+    shares: Vec<f64>,
+}
+
+impl Scratch {
+    /// Sizes the per-actor vectors once (no-op afterwards).
+    fn ensure_capacity(&mut self, total: usize) {
+        if self.live.len() != total {
+            self.plans.resize_with(total, RoundPlan::default);
+            self.basalt_plans.resize_with(total, BasaltPlan::default);
+            self.live.resize(total, false);
+        }
+    }
 }
 
 /// Per-round metric aggregates, filled by one allocation-free streaming
@@ -56,11 +98,13 @@ struct RoundAccumulator {
 }
 
 impl RoundAccumulator {
-    fn new(capacity: usize) -> Self {
+    /// Builds an accumulator around a reused (cleared) share buffer.
+    fn new(mut shares: Vec<f64>) -> Self {
+        shares.clear();
         Self {
             share_sum: 0.0,
             share_count: 0,
-            shares: Vec::with_capacity(capacity),
+            shares,
             all_discovered: true,
             discovered_sum: 0,
             discovered_nodes: 0,
@@ -135,6 +179,14 @@ pub struct Simulation {
     /// Per-actor ring buffer of recent per-round view pollution shares,
     /// used for the smoothed spread-stability criterion.
     share_windows: Vec<Vec<f64>>,
+    /// All non-Byzantine actor IDs (the adversary's victim pool; alive
+    /// filtering happens at delivery time) — built once.
+    victims: Vec<NodeId>,
+    /// Correct original-population IDs the identification attack may
+    /// observe — built once.
+    ident_candidates: Vec<NodeId>,
+    /// Reusable round buffers (see [`Scratch`]).
+    scratch: Scratch,
     non_byz_total: usize,
     round: usize,
     byz_share_series: Vec<f64>,
@@ -289,6 +341,9 @@ impl Simulation {
             discovery,
             discovery_target,
             share_windows,
+            victims: (byz..total).map(|i| NodeId(i as u64)).collect(),
+            ident_candidates: (byz..n).map(|i| NodeId(i as u64)).collect(),
+            scratch: Scratch::default(),
             non_byz_total,
             round: 0,
             byz_share_series: Vec::with_capacity(scenario.rounds),
@@ -377,35 +432,38 @@ impl Simulation {
             }
         }
 
+        // The scratch arenas move out for the duration of the round so
+        // `&mut self` stays available to the delivery machinery.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.ensure_capacity(total);
         match self.scenario.protocol {
-            Protocol::Basalt { .. } => self.basalt_round(),
-            Protocol::Brahms | Protocol::Raptee => self.raptee_round(),
+            Protocol::Basalt { .. } => self.basalt_round(&mut scratch),
+            Protocol::Brahms | Protocol::Raptee => self.raptee_round(&mut scratch),
         }
+        self.scratch = scratch;
 
         self.round += 1;
     }
 
-    /// One Brahms/RAPTEE round (the paper's protocol loop).
-    fn raptee_round(&mut self) {
-        let total = self.actors.len();
-
-        // Phase 1: plans (dead nodes do not participate).
-        let mut plans: Vec<Option<raptee_brahms::RoundPlan>> = Vec::with_capacity(total);
-        for (i, actor) in self.actors.iter_mut().enumerate() {
-            match actor {
-                Actor::Correct(node) if self.alive[i] => plans.push(Some(node.plan_round())),
-                _ => plans.push(None),
-            }
-        }
-
-        // Phase 2a: honest pushes (through the rate limiter).
-        for (i, plan) in plans.iter().enumerate() {
-            let Some(plan) = plan else { continue };
+    /// Collects the honest pushes surviving the rate limiter, liveness
+    /// and message loss (in sender-major order, so the loss RNG stream is
+    /// unchanged), then counting-sorts them by target into `sorted`. The
+    /// stable sort preserves each receiver's arrival order, so delivering
+    /// over the per-target runs is observationally identical to
+    /// per-message dispatch — but walks the actors sequentially instead
+    /// of hopping between them per message.
+    fn collect_and_sort_pushes<'a>(
+        &mut self,
+        survivors: &mut Vec<(u32, NodeId)>,
+        sorted: &mut Vec<(u32, NodeId)>,
+        counts: &mut Vec<u32>,
+        planned: impl Iterator<Item = (usize, &'a [NodeId])>,
+    ) {
+        survivors.clear();
+        for (i, targets) in planned {
             let sender = NodeId(i as u64);
-            for &target in &plan.push_targets {
-                if !self.limiter.try_push(sender) {
-                    continue;
-                }
+            let granted = self.limiter.try_push_n(sender, targets.len());
+            for &target in &targets[..granted] {
                 if !self.alive[target.index()] {
                     continue;
                 }
@@ -414,7 +472,62 @@ impl Simulation {
                 {
                     continue;
                 }
-                if let Actor::Correct(node) = &mut self.actors[target.index()] {
+                survivors.push((target.index() as u32, sender));
+            }
+        }
+        let total = self.actors.len();
+        counts.clear();
+        counts.resize(total + 1, 0);
+        for &(t, _) in survivors.iter() {
+            counts[t as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        sorted.clear();
+        sorted.resize(survivors.len(), (0, NodeId(0)));
+        for &(t, sender) in survivors.iter() {
+            let pos = &mut counts[t as usize];
+            sorted[*pos as usize] = (t, sender);
+            *pos += 1;
+        }
+    }
+
+    /// One Brahms/RAPTEE round (the paper's protocol loop).
+    fn raptee_round(&mut self, s: &mut Scratch) {
+        let total = self.actors.len();
+
+        // Phase 1: plans (dead nodes do not participate), refilled into
+        // the per-actor plan arenas.
+        for i in 0..total {
+            s.live[i] = match &mut self.actors[i] {
+                Actor::Correct(node) if self.alive[i] => {
+                    node.plan_round_into(&mut s.plans[i]);
+                    true
+                }
+                _ => false,
+            };
+        }
+
+        // Phase 2a: honest pushes (through the rate limiter), delivered
+        // as counting-sorted per-target runs.
+        {
+            let Scratch {
+                plans,
+                live,
+                survivors,
+                sorted,
+                counts,
+                ..
+            } = s;
+            let planned = plans
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| live[*i])
+                .map(|(i, p)| (i, p.push_targets.as_slice()));
+            self.collect_and_sort_pushes(survivors, sorted, counts, planned);
+            for &(t, sender) in sorted.iter() {
+                if let Actor::Correct(node) = &mut self.actors[t as usize] {
                     node.record_push(sender);
                 }
             }
@@ -423,7 +536,6 @@ impl Simulation {
         // Phase 2b: the adversary's balanced pushes, saturating exactly
         // its lawful budget B·α·l1 (every push charged to a Byzantine
         // identity).
-        let victims: Vec<NodeId> = (self.byz_count..total).map(|i| NodeId(i as u64)).collect();
         let alpha_count = match self.actors.iter().find_map(|a| match a {
             Actor::Correct(n) => Some(n.config().brahms.alpha_count()),
             _ => None,
@@ -432,25 +544,30 @@ impl Simulation {
             None => return, // no correct nodes: nothing to simulate
         };
         let budget = self.byz_count * alpha_count;
-        let byz_pushes = self.plan_adversary_pushes(
-            &victims,
+        self.plan_adversary_pushes(
             budget,
-            Adversary::plan_balanced_pushes,
-            Adversary::plan_targeted_pushes,
+            Adversary::plan_balanced_pushes_into,
+            Adversary::plan_targeted_pushes_into,
+            &mut s.byz_plan,
         );
-        self.deliver_byz_pushes(byz_pushes, |actor, advertised| {
+        self.deliver_byz_pushes(&s.byz_plan, |actor, advertised| {
             if let Actor::Correct(node) = actor {
                 node.record_push(advertised);
             }
         });
 
         // Phase 3: pulls (with mutual authentication).
-        for i in 0..total {
-            let Some(plan) = plans.get_mut(i).and_then(Option::take) else {
-                continue;
-            };
-            for &target in &plan.pull_targets {
-                self.handle_pull(i, target);
+        {
+            let Scratch {
+                plans, live, reply, ..
+            } = s;
+            for i in 0..total {
+                if !live[i] {
+                    continue;
+                }
+                for &target in &plans[i].pull_targets {
+                    self.handle_pull(i, target, reply);
+                }
             }
         }
 
@@ -487,12 +604,14 @@ impl Simulation {
         // Phase 4: adversary observation pulls (identification attack).
         if self.scenario.identification_attack && self.byz_count > 0 {
             let beta_count = alpha_count; // α = β in the paper's config
-            let candidates: Vec<NodeId> = (self.byz_count..self.scenario.n)
-                .map(|i| NodeId(i as u64))
-                .collect();
             for _ in 0..self.byz_count {
-                let targets = self.adversary.observation_targets(&candidates, beta_count);
-                for t in targets {
+                self.adversary.observation_targets_into(
+                    &self.ident_candidates,
+                    beta_count,
+                    &mut s.observed,
+                );
+                for idx in 0..s.observed.len() {
+                    let t = s.observed[idx];
                     if let Actor::Correct(node) = &self.actors[t.index()] {
                         let view = node.brahms().view();
                         if view.is_empty() {
@@ -509,7 +628,7 @@ impl Simulation {
         // Phase 5: finalisation + metrics.
         let validation_due = self.scenario.sampler_validation_period > 0
             && (self.round + 1).is_multiple_of(self.scenario.sampler_validation_period);
-        let mut acc = RoundAccumulator::new(self.non_byz_total);
+        let mut acc = RoundAccumulator::new(std::mem::take(&mut s.shares));
         for i in 0..total {
             if !self.alive[i] {
                 continue;
@@ -542,7 +661,7 @@ impl Simulation {
                 &mut self.share_windows,
             );
         }
-        self.finish_round_metrics(acc);
+        s.shares = self.finish_round_metrics(acc);
 
         if self.scenario.identification_attack {
             let flagged = self
@@ -574,46 +693,49 @@ impl Simulation {
     /// adversary running the force-push attack, periodic seed rotation at
     /// round end. Shares the rate limiter, message-loss and crash
     /// machinery with the Brahms/RAPTEE path.
-    fn basalt_round(&mut self) {
+    fn basalt_round(&mut self, s: &mut Scratch) {
         let total = self.actors.len();
 
-        // Phase 1: plans (dead nodes do not participate).
-        let mut plans: Vec<Option<BasaltPlan>> = Vec::with_capacity(total);
-        for (i, actor) in self.actors.iter_mut().enumerate() {
-            match actor {
-                Actor::Basalt(node) if self.alive[i] => plans.push(Some(node.plan_round())),
-                _ => plans.push(None),
-            }
+        // Phase 1: plans (dead nodes do not participate), refilled into
+        // the per-actor plan arenas.
+        for i in 0..total {
+            s.live[i] = match &mut self.actors[i] {
+                Actor::Basalt(node) if self.alive[i] => {
+                    node.plan_round_into(&mut s.basalt_plans[i]);
+                    true
+                }
+                _ => false,
+            };
         }
 
         // Phase 2a: honest pushes (each node advertises itself, through
-        // the rate limiter).
-        for (i, plan) in plans.iter().enumerate() {
-            let Some(plan) = plan else { continue };
-            let sender = NodeId(i as u64);
-            for &target in &plan.push_targets {
-                if !self.limiter.try_push(sender) {
-                    continue;
-                }
-                if !self.alive[target.index()] {
-                    continue;
-                }
-                if self.scenario.message_loss > 0.0
-                    && self.loss_rng.chance(self.scenario.message_loss)
-                {
-                    continue;
-                }
-                if let Actor::Basalt(node) = &mut self.actors[target.index()] {
+        // the rate limiter), delivered as counting-sorted per-target runs.
+        {
+            let Scratch {
+                basalt_plans,
+                live,
+                survivors,
+                sorted,
+                counts,
+                ..
+            } = s;
+            let planned = basalt_plans
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| live[*i])
+                .map(|(i, p)| (i, p.push_targets.as_slice()));
+            self.collect_and_sort_pushes(survivors, sorted, counts, planned);
+            for &(t, sender) in sorted.iter() {
+                if let Actor::Basalt(node) = &mut self.actors[t as usize] {
                     node.record_push(sender);
                 }
-                self.note_discovered(target.index(), sender);
+                self.note_discovered(t as usize, sender);
             }
         }
 
         // Phase 2b: the adversary's force pushes — maximal identity
         // coverage at exactly its lawful budget B·push_count, every push
         // charged to a Byzantine identity.
-        let victims: Vec<NodeId> = (self.byz_count..total).map(|i| NodeId(i as u64)).collect();
         let push_count = match self.actors.iter().find_map(|a| match a {
             Actor::Basalt(n) => Some(n.config().push_count),
             _ => None,
@@ -622,31 +744,39 @@ impl Simulation {
             None => return, // no correct nodes: nothing to simulate
         };
         let budget = self.byz_count * push_count;
-        let byz_pushes = self.plan_adversary_pushes(
-            &victims,
+        self.plan_adversary_pushes(
             budget,
-            Adversary::plan_force_pushes,
-            Adversary::plan_targeted_force_pushes,
+            Adversary::plan_force_pushes_into,
+            Adversary::plan_targeted_force_pushes_into,
+            &mut s.byz_plan,
         );
-        self.deliver_byz_pushes(byz_pushes, |actor, advertised| {
+        self.deliver_byz_pushes(&s.byz_plan, |actor, advertised| {
             if let Actor::Basalt(node) = actor {
                 node.record_push(advertised);
             }
         });
 
         // Phase 3: pull exchanges, least-confirmed samples first.
-        for i in 0..total {
-            let Some(plan) = plans.get_mut(i).and_then(Option::take) else {
-                continue;
-            };
-            for &target in &plan.pull_targets {
-                self.handle_basalt_pull(i, target);
+        {
+            let Scratch {
+                basalt_plans,
+                live,
+                reply,
+                ..
+            } = s;
+            for i in 0..total {
+                if !live[i] {
+                    continue;
+                }
+                for &target in &basalt_plans[i].pull_targets {
+                    self.handle_basalt_pull(i, target, reply);
+                }
             }
         }
 
         // Phase 4: finalisation (seed rotation) + metrics over the
         // per-slot samples.
-        let mut acc = RoundAccumulator::new(self.non_byz_total);
+        let mut acc = RoundAccumulator::new(std::mem::take(&mut s.shares));
         for i in 0..total {
             if !self.alive[i] {
                 continue;
@@ -665,13 +795,14 @@ impl Simulation {
                 &mut self.share_windows,
             );
         }
-        self.finish_round_metrics(acc);
+        s.shares = self.finish_round_metrics(acc);
     }
 
     /// One BASALT pull exchange: the responder's distinct view flows back
-    /// and is ranked immediately; the responder learns the requester
-    /// (exchanges are bidirectional contacts).
-    fn handle_basalt_pull(&mut self, requester: usize, target: NodeId) {
+    /// (through the round's reusable reply buffer) and is ranked
+    /// immediately; the responder learns the requester (exchanges are
+    /// bidirectional contacts).
+    fn handle_basalt_pull(&mut self, requester: usize, target: NodeId, reply: &mut Vec<NodeId>) {
         let t = target.index();
         if t == requester || t >= self.actors.len() {
             return;
@@ -684,15 +815,19 @@ impl Simulation {
         if self.scenario.message_loss > 0.0 && self.loss_rng.chance(self.scenario.message_loss) {
             return; // request or answer lost in transit
         }
-        let reply = match &self.actors[t] {
+        if matches!(self.actors[t], Actor::Byzantine) {
             // Byzantine responders answer with exclusively Byzantine IDs
             // — rank-blind poison the hit-counter view absorbs.
-            Actor::Byzantine => self.adversary.pull_answer(),
-            Actor::Basalt(node) => node.pull_answer(),
-            Actor::Correct(_) => return, // mixed populations are not modelled
-        };
+            self.adversary.pull_answer_into(reply);
+        } else {
+            match &mut self.actors[t] {
+                Actor::Basalt(node) => node.pull_answer_into(reply),
+                Actor::Correct(_) => return, // mixed populations are not modelled
+                Actor::Byzantine => unreachable!("handled above"),
+            }
+        }
         if let Actor::Basalt(node) = &mut self.actors[requester] {
-            node.record_pull_answer(target, &reply);
+            node.record_pull_answer(target, reply);
         }
         // Discovery under BASALT counts *ranked candidates*: the view is
         // deliberately stable (slots converge to their distance minima),
@@ -700,7 +835,7 @@ impl Simulation {
         // measure rotation pacing, not knowledge. A candidate that has
         // been ranked against every slot has genuinely been discovered.
         self.note_discovered(requester, target);
-        for &id in &reply {
+        for &id in reply.iter() {
             self.note_discovered(requester, id);
         }
         let requester_id = NodeId(requester as u64);
@@ -726,7 +861,7 @@ impl Simulation {
     /// Folds one round's [`RoundAccumulator`] into the run series:
     /// pollution curve, discovery round, mean-discovery series and the
     /// spread-stability detector.
-    fn finish_round_metrics(&mut self, acc: RoundAccumulator) {
+    fn finish_round_metrics(&mut self, acc: RoundAccumulator) -> Vec<f64> {
         let RoundAccumulator {
             share_sum,
             share_count,
@@ -771,6 +906,8 @@ impl Simulation {
         {
             self.spread_stability_round = Some(self.round);
         }
+        // Hand the share buffer back for reuse next round.
+        shares
     }
 
     /// Plans the adversary's pushes for this round, honouring the
@@ -781,20 +918,21 @@ impl Simulation {
     /// IDs against Brahms/RAPTEE, distinct-ID coverage against BASALT).
     fn plan_adversary_pushes(
         &mut self,
-        victims: &[NodeId],
         budget: usize,
-        balanced: fn(&mut Adversary, &[NodeId], usize) -> PushPlan,
-        targeted: fn(&mut Adversary, &[NodeId], &[NodeId], usize, f64) -> PushPlan,
-    ) -> PushPlan {
+        balanced: fn(&mut Adversary, &[NodeId], usize, &mut PushPlan),
+        targeted: fn(&mut Adversary, &[NodeId], &[NodeId], usize, f64, &mut PushPlan),
+        plan: &mut PushPlan,
+    ) {
+        let victims = &self.victims;
         match self.scenario.attack {
-            AttackStrategy::Balanced => balanced(&mut self.adversary, victims, budget),
+            AttackStrategy::Balanced => balanced(&mut self.adversary, victims, budget, plan),
             AttackStrategy::Targeted {
                 victim_fraction,
                 focus,
             } => {
                 let k = ((victims.len() as f64) * victim_fraction).round() as usize;
                 let targets = &victims[..k.min(victims.len())];
-                targeted(&mut self.adversary, victims, targets, budget, focus)
+                targeted(&mut self.adversary, victims, targets, budget, focus, plan);
             }
         }
     }
@@ -805,9 +943,9 @@ impl Simulation {
     /// message-loss filters, and hands the survivors to `deliver`. Shared
     /// by every protocol path so Brahms-vs-BASALT comparisons face
     /// provably identical adversary machinery.
-    fn deliver_byz_pushes(&mut self, byz_pushes: PushPlan, deliver: fn(&mut Actor, NodeId)) {
+    fn deliver_byz_pushes(&mut self, byz_pushes: &PushPlan, deliver: fn(&mut Actor, NodeId)) {
         let mut charge_rotor = 0usize;
-        for (victim, advertised) in byz_pushes {
+        for &(victim, advertised) in byz_pushes {
             let mut charged = false;
             for _ in 0..self.byz_count {
                 let payer = NodeId((charge_rotor % self.byz_count.max(1)) as u64);
@@ -832,7 +970,8 @@ impl Simulation {
     }
 
     /// One pull interaction: authentication, then swap or plain pull.
-    fn handle_pull(&mut self, requester: usize, target: NodeId) {
+    /// `reply` is the round's reusable answer buffer.
+    fn handle_pull(&mut self, requester: usize, target: NodeId, reply: &mut Vec<NodeId>) {
         let t = target.index();
         if t == requester || t >= self.actors.len() {
             return;
@@ -853,9 +992,9 @@ impl Simulation {
             Actor::Byzantine => {
                 // Byzantine responders fail authentication (random keys)
                 // and answer with exclusively Byzantine IDs.
-                let reply = self.adversary.pull_answer();
+                self.adversary.pull_answer_into(reply);
                 if let Actor::Correct(node) = &mut self.actors[requester] {
-                    node.record_untrusted_pull(&reply);
+                    node.record_untrusted_pull(reply);
                 }
             }
             Actor::Basalt(_) => unreachable!("BASALT actors never appear on the RAPTEE path"),
@@ -873,24 +1012,24 @@ impl Simulation {
                 if outcome_trusted && self.scenario.trusted_swap {
                     let (a, b) = self.two_nodes(requester, t);
                     RapteeNode::trusted_swap(a, b);
-                } else if outcome_trusted {
-                    // Ablation: swap disabled. The pair still recognises
-                    // each other, so the answer bypasses eviction, but no
-                    // half-view exchange happens.
-                    let reply = match &self.actors[t] {
-                        Actor::Correct(node) => node.pull_answer(),
-                        _ => unreachable!(),
-                    };
-                    if let Actor::Correct(node) = &mut self.actors[requester] {
-                        node.record_trusted_pull(&reply);
-                    }
                 } else {
-                    let reply = match &self.actors[t] {
-                        Actor::Correct(node) => node.pull_answer(),
+                    // Either an untrusted answer, or the swap-disabled
+                    // ablation: the pair still recognises each other, so
+                    // the answer bypasses eviction, but no half-view
+                    // exchange happens. The responder's full view streams
+                    // through the round's reply buffer (what
+                    // `pull_answer` returns, without the allocation).
+                    reply.clear();
+                    match &self.actors[t] {
+                        Actor::Correct(node) => reply.extend(node.brahms().view().ids()),
                         _ => unreachable!(),
-                    };
+                    }
                     if let Actor::Correct(node) = &mut self.actors[requester] {
-                        node.record_untrusted_pull(&reply);
+                        if outcome_trusted {
+                            node.record_trusted_pull(reply);
+                        } else {
+                            node.record_untrusted_pull(reply);
+                        }
                     }
                 }
             }

@@ -38,9 +38,11 @@ pub struct AggregatedResult {
     pub stability_success: f64,
 }
 
-/// Runs one scenario once.
-pub fn run_scenario(scenario: &Scenario) -> RunResult {
-    Simulation::new(scenario.clone()).run()
+/// Runs one scenario once. Takes the scenario by value — repetition
+/// loops and benches hand over their per-repetition copy instead of
+/// cloning it again behind the call.
+pub fn run_scenario(scenario: Scenario) -> RunResult {
+    Simulation::new(scenario).run()
 }
 
 /// Runs `repetitions` independent repetitions (seeds derived from the
@@ -56,7 +58,7 @@ pub fn run_repeated(scenario: &Scenario, repetitions: usize) -> AggregatedResult
         .map(|rep| {
             let mut s = scenario.clone();
             s.seed = scenario.seed.wrapping_add(0x9E37_79B9 * (rep as u64 + 1));
-            run_scenario(&s)
+            run_scenario(s)
         })
         .collect();
     aggregate(&results)

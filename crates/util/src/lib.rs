@@ -11,6 +11,9 @@
 //!   confidence half-widths used by the experiment harness.
 //! * [`hist`] — fixed-width histograms for in-degree distribution and
 //!   round-latency reporting.
+//! * [`bitset`] — dense fixed-universe and growable bitsets used for
+//!   O(1) membership over node-ID spaces (view indices, seen-caches,
+//!   discovery tracking).
 //! * [`chi`] — a chi-square uniformity test used by the sampler property
 //!   tests.
 //! * [`series`] — tiny CSV/series formatting helpers shared by the
@@ -31,11 +34,13 @@
 //! assert_ne!(a, b);
 //! ```
 
+pub mod bitset;
 pub mod chi;
 pub mod hist;
 pub mod rng;
 pub mod series;
 pub mod stats;
 
+pub use bitset::{BitSet, IdSet, DENSE_ID_LIMIT};
 pub use rng::{mix64, SplitMix64, Xoshiro256StarStar};
 pub use stats::OnlineStats;

@@ -177,21 +177,39 @@ impl Xoshiro256StarStar {
     ///
     /// If `k >= slice.len()`, returns a shuffled copy of the whole slice.
     pub fn sample<T: Clone>(&mut self, slice: &[T], k: usize) -> Vec<T> {
+        let mut idx = Vec::new();
+        let mut out = Vec::with_capacity(k.min(slice.len()));
+        self.sample_into(slice, k, &mut idx, &mut out);
+        out
+    }
+
+    /// Exactly [`Xoshiro256StarStar::sample`], but writing into
+    /// caller-owned scratch (`idx`) and output (`out`) buffers so hot
+    /// loops can sample without allocating. The draw sequence is
+    /// *bit-identical* to `sample` — the simulation engine depends on
+    /// this to keep optimized runs reproducible against golden results.
+    pub fn sample_into<T: Clone>(
+        &mut self,
+        slice: &[T],
+        k: usize,
+        idx: &mut Vec<u32>,
+        out: &mut Vec<T>,
+    ) {
+        out.clear();
         let n = slice.len();
         if k >= n {
-            let mut all = slice.to_vec();
-            self.shuffle(&mut all);
-            return all;
+            out.extend_from_slice(slice);
+            self.shuffle(out);
+            return;
         }
         // Partial shuffle over indices: O(n) setup, O(k) draws.
-        let mut idx: Vec<u32> = (0..n as u32).collect();
-        let mut out = Vec::with_capacity(k);
+        idx.clear();
+        idx.extend(0..n as u32);
         for i in 0..k {
             let j = i + self.index(n - i);
             idx.swap(i, j);
             out.push(slice[idx[i] as usize].clone());
         }
-        out
     }
 
     /// Picks one element uniformly, or `None` when the slice is empty.
@@ -319,6 +337,21 @@ mod tests {
         let mut s = rng.sample(&v, 25);
         s.sort_unstable();
         assert_eq!(s, v);
+    }
+
+    #[test]
+    fn sample_into_matches_sample() {
+        let v: Vec<u32> = (0..200).collect();
+        for k in [0usize, 1, 50, 199, 200, 500] {
+            let mut a = Xoshiro256StarStar::seed_from_u64(77);
+            let mut b = Xoshiro256StarStar::seed_from_u64(77);
+            let plain = a.sample(&v, k);
+            let mut idx = Vec::new();
+            let mut out = vec![999]; // stale content must be cleared
+            b.sample_into(&v, k, &mut idx, &mut out);
+            assert_eq!(plain, out, "k={k}");
+            assert_eq!(a.next_u64(), b.next_u64(), "identical draw count, k={k}");
+        }
     }
 
     #[test]

@@ -65,7 +65,7 @@ fn main() {
         seed: 31,
         ..Scenario::default()
     };
-    let baseline = run_scenario(&base.brahms_baseline());
+    let baseline = run_scenario(base.brahms_baseline());
     println!(
         "{:<12} {:>22} {:>18}",
         "policy", "Byzantine IDs (views)", "improvement"
@@ -79,7 +79,7 @@ fn main() {
     ] {
         let mut s = base.clone();
         s.eviction = policy;
-        let r = run_scenario(&s);
+        let r = run_scenario(s);
         println!(
             "{:<12} {:>21.1}% {:>17.1}%",
             policy.label(),

@@ -75,9 +75,9 @@ fn main() {
         scenario.rounds
     );
 
-    let brahms = run_scenario(&scenario.brahms_baseline());
-    let raptee = run_scenario(&scenario);
-    let basalt = run_scenario(&scenario.basalt_variant(30));
+    let brahms = run_scenario(scenario.brahms_baseline());
+    let raptee = run_scenario(scenario.clone());
+    let basalt = run_scenario(scenario.basalt_variant(30));
 
     println!("\n  protocol   converged Byzantine in-view share");
     for (name, result) in [

@@ -55,8 +55,8 @@ fn main() {
         scenario.trusted_count(),
         scenario.rounds
     );
-    let raptee = run_scenario(&scenario);
-    let brahms = run_scenario(&scenario.brahms_baseline());
+    let raptee = run_scenario(scenario.clone());
+    let brahms = run_scenario(scenario.brahms_baseline());
     println!(
         "Brahms baseline: {:.1}% Byzantine IDs in correct views",
         brahms.resilience * 100.0

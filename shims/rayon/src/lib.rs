@@ -3,18 +3,30 @@
 //! The build environment for this reproduction has no registry access,
 //! so the workspace vendors the *exact* API surface it uses —
 //! `into_par_iter()` / `par_iter()` followed by `map(...).collect()` —
-//! backed by `std::thread::scope`. Work is chunked across
-//! `available_parallelism()` threads and results keep input order, so
-//! callers observe the same semantics as rayon for these pipelines
+//! backed by `std::thread::scope`. Results keep input order, so callers
+//! observe the same semantics as rayon for these pipelines
 //! (deterministic output order, one closure call per item).
 //!
-//! This is not a work-stealing scheduler: each thread gets one
-//! contiguous chunk. For the simulation sweeps in `raptee-sim` — many
-//! similarly-sized, CPU-bound repetitions — that is within noise of
-//! real rayon, and it keeps the workspace self-contained.
+//! Scheduling is **work-stealing**: every worker owns a deque seeded
+//! with a contiguous chunk of the items; it pops work from the front of
+//! its own deque and, when empty, steals the back half of a victim's.
+//! Heterogeneous workloads (a `sweep_grid` mixing N=150 and N=10,000
+//! scenarios) therefore no longer serialize on the thread that drew the
+//! most expensive chunk, which is what the previous even-chunk scheduler
+//! did. Results are written back by item index, so the output is
+//! identical for every thread count — including 1.
+//!
+//! Thread count resolution, in priority order:
+//! 1. a scoped [`with_num_threads`] override (used by the determinism
+//!    test-suite to pin 1-vs-N schedules);
+//! 2. the `RAYON_NUM_THREADS` environment variable (same contract as
+//!    real rayon);
+//! 3. `std::thread::available_parallelism()`.
 
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::ops::Range;
+use std::sync::Mutex;
 
 pub mod prelude {
     //! Drop-in for `rayon::prelude::*`.
@@ -79,7 +91,8 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
 }
 
 impl<T: Send> ParIter<T> {
-    /// Applies `f` to every item across a thread pool, preserving order.
+    /// Applies `f` to every item across a work-stealing thread pool,
+    /// preserving order.
     pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
         ParIter {
             items: par_apply(self.items, &f),
@@ -98,43 +111,108 @@ thread_local! {
     /// oversubscribes; this shim gets the same property by running
     /// nested maps serially on the already-parallel worker.
     static IN_PAR_REGION: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+
+    /// Scoped thread-count override installed by [`with_num_threads`].
+    static THREAD_OVERRIDE: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
 }
 
-/// Chunked fork-join map over `items`, preserving input order.
-fn par_apply<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
-    let n = items.len();
-    let threads = std::thread::available_parallelism()
+/// Runs `f` with the shim's thread count pinned to `n` (≥ 1) on this
+/// thread, restoring the previous setting afterwards. Scoped and
+/// thread-local — unlike an environment variable it cannot race with
+/// concurrently running tests. Used by the determinism suite to prove
+/// schedules with 1 and N workers produce identical results.
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let previous = THREAD_OVERRIDE.with(|c| c.replace(Some(n.max(1))));
+    let result = f();
+    THREAD_OVERRIDE.with(|c| c.set(previous));
+    result
+}
+
+/// Resolves the worker count: scoped override, then `RAYON_NUM_THREADS`,
+/// then the machine's available parallelism.
+fn configured_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(|c| c.get()) {
+        return n;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
-        .min(n);
+}
+
+/// Work-stealing fork-join map over `items`, preserving input order.
+fn par_apply<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+    let n = items.len();
+    let threads = configured_threads().min(n);
     if threads <= 1 || IN_PAR_REGION.with(|flag| flag.get()) {
         return items.into_iter().map(f).collect();
     }
+
+    // Seed each worker's deque with a contiguous chunk of indexed items.
     let chunk_len = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    let mut items = items.into_iter();
-    loop {
-        let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
-        if chunk.is_empty() {
-            break;
+    let mut deques: Vec<Mutex<VecDeque<(usize, T)>>> = Vec::with_capacity(threads);
+    {
+        let mut items = items.into_iter().enumerate();
+        for _ in 0..threads {
+            deques.push(Mutex::new(items.by_ref().take(chunk_len).collect()));
         }
-        chunks.push(chunk);
     }
+    let deques = &deques;
+
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
                 scope.spawn(move || {
                     IN_PAR_REGION.with(|flag| flag.set(true));
-                    chunk.into_iter().map(f).collect::<Vec<R>>()
+                    let mut done: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        // Drain the front of the local deque.
+                        let task = deques[w].lock().expect("deque poisoned").pop_front();
+                        if let Some((i, item)) = task {
+                            done.push((i, f(item)));
+                            continue;
+                        }
+                        // Empty: steal the back half of the first
+                        // non-empty victim (back-stealing keeps the
+                        // victim's cache-warm front intact).
+                        let mut loot: Option<VecDeque<(usize, T)>> = None;
+                        for v in 1..threads {
+                            let victim = (w + v) % threads;
+                            let mut dq = deques[victim].lock().expect("deque poisoned");
+                            let len = dq.len();
+                            if len > 0 {
+                                loot = Some(dq.split_off(len - len.div_ceil(2)));
+                                break;
+                            }
+                        }
+                        match loot {
+                            Some(stolen) => {
+                                deques[w].lock().expect("deque poisoned").extend(stolen);
+                            }
+                            None => break, // every deque drained
+                        }
+                    }
+                    done
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("rayon-shim worker panicked"))
-            .collect()
-    })
+        for h in handles {
+            for (i, r) in h.join().expect("rayon-shim worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every item computed exactly once"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -177,5 +255,62 @@ mod tests {
     fn empty_input() {
         let out: Vec<u64> = Vec::<u64>::new().into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stealing_balances_heterogeneous_items() {
+        // The first chunk carries nearly all the work; with even
+        // chunking the run serializes on worker 0, with stealing the
+        // other workers drain it. Correctness contract: identical,
+        // ordered output regardless of who computed what.
+        crate::with_num_threads(4, || {
+            let weights: Vec<u64> = (0..64).map(|i| if i < 16 { 200_000 } else { 10 }).collect();
+            let out: Vec<u64> = weights
+                .clone()
+                .into_par_iter()
+                .map(|w| (0..w).fold(0u64, |acc, x| acc.wrapping_add(x % 7)))
+                .collect();
+            let expect: Vec<u64> = weights
+                .into_iter()
+                .map(|w| (0..w).fold(0u64, |acc, x| acc.wrapping_add(x % 7)))
+                .collect();
+            assert_eq!(out, expect);
+        });
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let reference: Vec<u64> = crate::with_num_threads(1, || {
+            (0..500u64)
+                .into_par_iter()
+                .map(|x| x.wrapping_mul(x))
+                .collect()
+        });
+        for threads in [2, 3, 8, 64] {
+            let out: Vec<u64> = crate::with_num_threads(threads, || {
+                (0..500u64)
+                    .into_par_iter()
+                    .map(|x| x.wrapping_mul(x))
+                    .collect()
+            });
+            assert_eq!(out, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn with_num_threads_restores_previous_override() {
+        crate::with_num_threads(2, || {
+            crate::with_num_threads(5, || {
+                assert_eq!(super::configured_threads(), 5);
+            });
+            assert_eq!(super::configured_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out: Vec<u32> =
+            crate::with_num_threads(32, || (0..3u32).into_par_iter().map(|x| x + 1).collect());
+        assert_eq!(out, vec![1, 2, 3]);
     }
 }

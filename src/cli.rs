@@ -251,7 +251,7 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
             .map_or("-".into(), |r| format!("{r:.1}")),
     ));
     if args.flag("series") {
-        let run = runner::run_scenario(&scenario);
+        let run = runner::run_scenario(scenario);
         out.push_str("round,byzantine_share\n");
         for (i, v) in run.byz_share_series.iter().enumerate() {
             out.push_str(&format!("{i},{v:.4}\n"));

@@ -23,12 +23,13 @@ fn base() -> Scenario {
 fn identification_attack_yields_bounded_quality() {
     let mut s = base();
     s.identification_attack = true;
-    let r = run_scenario(&s);
+    let rounds = s.rounds;
+    let r = run_scenario(s);
     let ident = r.identification.expect("attack enabled");
     assert!((0.0..=1.0).contains(&ident.precision));
     assert!((0.0..=1.0).contains(&ident.recall));
     assert!((0.0..=1.0).contains(&ident.f1));
-    assert!(ident.round < s.rounds);
+    assert!(ident.round < rounds);
 }
 
 #[test]
@@ -220,7 +221,7 @@ fn basalt_resists_targeted_attack_better_than_brahms() {
 fn identification_without_trusted_nodes_finds_nothing() {
     let mut s = base().brahms_baseline();
     s.identification_attack = true;
-    let r = run_scenario(&s);
+    let r = run_scenario(s);
     if let Some(ident) = r.identification {
         assert_eq!(ident.recall, 0.0, "no trusted nodes exist to find");
         assert_eq!(ident.precision, 0.0);

@@ -136,9 +136,9 @@ fn real_crypto_simulation_matches_shortcut_qualitatively() {
         real_crypto_handshakes: true,
         ..Scenario::default()
     };
-    let crypto_run = run_scenario(&with_crypto);
+    let crypto_run = run_scenario(with_crypto.clone());
     with_crypto.real_crypto_handshakes = false;
-    let shortcut_run = run_scenario(&with_crypto);
+    let shortcut_run = run_scenario(with_crypto);
     assert!(
         (crypto_run.resilience - shortcut_run.resilience).abs() < 0.15,
         "crypto and shortcut runs must agree: {:.3} vs {:.3}",

@@ -1,0 +1,232 @@
+//! Determinism regression suite.
+//!
+//! The performance work (allocation-free round engine, sampler
+//! seen-cache, batched delivery, work-stealing sweeps) is only valid if
+//! it is *observationally invisible*: identical seeds must keep yielding
+//! bit-identical [`RunResult`]s. Three layers of protection:
+//!
+//! 1. **Golden fingerprints** — the exact metric bits produced by the
+//!    pre-optimization engine (captured at the seed commit for five
+//!    scenarios spanning Brahms / RAPTEE / BASALT, churn, loss,
+//!    validation, identification and targeted attacks). Any change to
+//!    an RNG draw, a delivery order that matters, or a metric fold
+//!    breaks these constants.
+//! 2. **Run-to-run identity** — the same scenario twice in one process.
+//! 3. **Thread-count invariance** — repetition/sweep aggregates under 1
+//!    worker vs several (through the rayon shim's scoped override), so
+//!    the work-stealing scheduler provably cannot leak schedule
+//!    dependence into results.
+
+use raptee_sim::{runner, AttackStrategy, Protocol, RunResult, Scenario, Simulation};
+
+/// A compact, bit-exact fingerprint of a [`RunResult`].
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    resilience_bits: u64,
+    series_hash: u64,
+    discovery: Option<usize>,
+    mean_discovery_bits: Option<u64>,
+    stability: Option<usize>,
+    spread_stability: Option<usize>,
+    floods: u64,
+    evicted: u64,
+    rotations: u64,
+}
+
+fn fingerprint(r: &RunResult) -> Fingerprint {
+    let series_hash = r
+        .byz_share_series
+        .iter()
+        .fold(0u64, |acc, v| acc.rotate_left(7) ^ v.to_bits());
+    Fingerprint {
+        resilience_bits: r.resilience.to_bits(),
+        series_hash,
+        discovery: r.discovery_round,
+        mean_discovery_bits: r.mean_discovery_round.map(f64::to_bits),
+        stability: r.stability_round,
+        spread_stability: r.spread_stability_round,
+        floods: r.floods_detected,
+        evicted: r.total_evicted,
+        rotations: r.seed_rotations,
+    }
+}
+
+fn base(protocol: Protocol) -> Scenario {
+    Scenario {
+        n: 150,
+        byzantine_fraction: 0.1,
+        trusted_fraction: 0.1,
+        view_size: 12,
+        sample_size: 12,
+        rounds: 60,
+        tail_window: 10,
+        protocol,
+        seed: 0xD5EED,
+        ..Scenario::default()
+    }
+}
+
+fn churn_scenario() -> Scenario {
+    let mut s = base(Protocol::Raptee);
+    s.message_loss = 0.1;
+    s.crash_fraction = 0.15;
+    s.crash_round = 20;
+    s.sampler_validation_period = 5;
+    s.identification_attack = true;
+    s
+}
+
+fn basalt_targeted_scenario() -> Scenario {
+    let mut s = base(Protocol::Brahms).basalt_variant(10);
+    s.attack = AttackStrategy::Targeted {
+        victim_fraction: 0.2,
+        focus: 0.6,
+    };
+    s.message_loss = 0.05;
+    s
+}
+
+/// Asserts `scenario` still produces the exact metric bits the
+/// pre-optimization engine produced, and that a second run agrees.
+fn assert_golden(name: &str, scenario: Scenario, golden: Fingerprint) {
+    let a = Simulation::new(scenario.clone()).run();
+    let b = Simulation::new(scenario).run();
+    assert_eq!(a, b, "{name}: same-seed runs must be identical");
+    assert_eq!(
+        fingerprint(&a),
+        golden,
+        "{name}: RunResult diverged from the seed-commit engine"
+    );
+}
+
+// Golden constants captured from the engine BEFORE the perf rewrite
+// (PR 2 state), at the scenarios above.
+
+#[test]
+fn golden_brahms() {
+    assert_golden(
+        "brahms",
+        base(Protocol::Brahms).brahms_baseline(),
+        Fingerprint {
+            resilience_bits: 0x3fda3ddc203b4efa,
+            series_hash: 0x977d282f517c692,
+            discovery: None,
+            mean_discovery_bits: None,
+            stability: Some(11),
+            spread_stability: None,
+            floods: 1,
+            evicted: 0,
+            rotations: 0,
+        },
+    );
+}
+
+#[test]
+fn golden_raptee() {
+    assert_golden(
+        "raptee",
+        base(Protocol::Raptee),
+        Fingerprint {
+            resilience_bits: 0x3fd942da9bc93fe8,
+            series_hash: 0xcf5597f0420987a6,
+            discovery: None,
+            mean_discovery_bits: Some(4633423779339946151),
+            stability: Some(12),
+            spread_stability: None,
+            floods: 4,
+            evicted: 21465,
+            rotations: 0,
+        },
+    );
+}
+
+#[test]
+fn golden_basalt() {
+    assert_golden(
+        "basalt",
+        base(Protocol::Brahms).basalt_variant(15),
+        Fingerprint {
+            resilience_bits: 0x3fc09fcb68cd4e41,
+            series_hash: 0xa9cc604284e88158,
+            discovery: None,
+            mean_discovery_bits: Some(4618751561592782251),
+            stability: Some(12),
+            spread_stability: None,
+            floods: 0,
+            evicted: 0,
+            rotations: 540,
+        },
+    );
+}
+
+#[test]
+fn golden_raptee_under_churn_loss_validation_and_identification() {
+    assert_golden(
+        "raptee-churn",
+        churn_scenario(),
+        Fingerprint {
+            resilience_bits: 0x3fd910204974809e,
+            series_hash: 0x1bccb30147a4c96f,
+            discovery: None,
+            mean_discovery_bits: None,
+            stability: Some(35),
+            spread_stability: None,
+            floods: 0,
+            evicted: 16960,
+            rotations: 0,
+        },
+    );
+}
+
+#[test]
+fn golden_basalt_under_targeted_attack_and_loss() {
+    assert_golden(
+        "basalt-targeted",
+        basalt_targeted_scenario(),
+        Fingerprint {
+            resilience_bits: 0x3fc12b5caa69f096,
+            series_hash: 0x7ae0846b13676301,
+            discovery: Some(51),
+            mean_discovery_bits: Some(4619542959363840151),
+            stability: Some(10),
+            spread_stability: None,
+            floods: 0,
+            evicted: 0,
+            rotations: 810,
+        },
+    );
+}
+
+#[test]
+fn repetitions_identical_across_thread_counts() {
+    // One scenario per protocol; the repetition loop is the rayon-shim
+    // surface, so aggregates must not depend on the worker count.
+    for scenario in [
+        base(Protocol::Brahms).brahms_baseline(),
+        base(Protocol::Raptee),
+        base(Protocol::Brahms).basalt_variant(15),
+    ] {
+        let serial = rayon::with_num_threads(1, || runner::run_repeated(&scenario, 3));
+        for threads in [2, 4] {
+            let parallel = rayon::with_num_threads(threads, || runner::run_repeated(&scenario, 3));
+            assert_eq!(
+                serial, parallel,
+                "{:?}: aggregates must match at {threads} threads",
+                scenario.protocol
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_grid_identical_across_thread_counts() {
+    let mut template = base(Protocol::Raptee);
+    template.rounds = 25;
+    template.tail_window = 5;
+    let fs = [0.1, 0.2];
+    let ts = [0.05, 0.2];
+    let serial = rayon::with_num_threads(1, || runner::sweep_grid(&template, &fs, &ts, 1));
+    let stolen = rayon::with_num_threads(4, || runner::sweep_grid(&template, &fs, &ts, 1));
+    assert_eq!(serial.baselines, stolen.baselines);
+    assert_eq!(serial.grid, stolen.grid);
+}

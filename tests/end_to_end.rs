@@ -21,8 +21,8 @@ fn base() -> Scenario {
 
 #[test]
 fn full_raptee_run_beats_brahms() {
-    let raptee = run_scenario(&base());
-    let brahms = run_scenario(&base().brahms_baseline());
+    let raptee = run_scenario(base());
+    let brahms = run_scenario(base().brahms_baseline());
     assert!(
         raptee.resilience < brahms.resilience,
         "RAPTEE {:.3} must beat Brahms {:.3}",
@@ -64,7 +64,7 @@ fn resilience_rises_with_byzantine_fraction() {
     for f in [0.10, 0.20, 0.30] {
         let mut s = base().brahms_baseline();
         s.byzantine_fraction = f;
-        let r = run_scenario(&s);
+        let r = run_scenario(s);
         assert!(
             r.resilience > previous,
             "pollution must grow with f: f={f} gave {:.3}, previous {:.3}",
@@ -145,8 +145,8 @@ fn runs_are_deterministic_across_protocols() {
         let mut s = base();
         s.protocol = protocol;
         s.rounds = 40;
-        let a = run_scenario(&s);
-        let b = run_scenario(&s);
+        let a = run_scenario(s.clone());
+        let b = run_scenario(s);
         assert_eq!(a, b, "{protocol:?} must be deterministic");
     }
 }
@@ -173,7 +173,7 @@ fn eviction_policy_ordering_at_convergence() {
 
 #[test]
 fn flood_detection_fires_under_attack() {
-    let r = run_scenario(&base());
+    let r = run_scenario(base());
     assert!(
         r.floods_detected > 0,
         "the balanced push attack must occasionally trip the detector"
@@ -186,8 +186,8 @@ fn total_evicted_scales_with_rate() {
     low.eviction = EvictionPolicy::Fixed(0.2);
     let mut high = base();
     high.eviction = EvictionPolicy::Fixed(0.8);
-    let r_low = run_scenario(&low);
-    let r_high = run_scenario(&high);
+    let r_low = run_scenario(low);
+    let r_high = run_scenario(high);
     assert!(
         r_high.total_evicted > r_low.total_evicted,
         "80% eviction must drop more IDs than 20%: {} vs {}",

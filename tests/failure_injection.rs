@@ -26,11 +26,12 @@ fn base() -> Scenario {
 fn protocol_survives_heavy_message_loss() {
     let mut s = base();
     s.message_loss = 0.30;
-    let r = run_scenario(&s);
+    let rounds = s.rounds;
+    let r = run_scenario(s);
     // Slower, noisier — but functional: pollution bounded, series complete.
-    assert_eq!(r.rounds, s.rounds);
+    assert_eq!(r.rounds, rounds);
     assert!(r.resilience > 0.0 && r.resilience < 0.95);
-    let lossless = run_scenario(&base());
+    let lossless = run_scenario(base());
     // Loss must not make things *better* for the adversary by an order
     // of magnitude, nor collapse the protocol.
     assert!((r.resilience - lossless.resilience).abs() < 0.3);
@@ -180,7 +181,7 @@ fn determinism_holds_under_failures() {
     s.crash_fraction = 0.10;
     s.crash_round = 25;
     s.sampler_validation_period = 7;
-    let a = run_scenario(&s);
-    let b = run_scenario(&s);
+    let a = run_scenario(s.clone());
+    let b = run_scenario(s);
     assert_eq!(a, b);
 }

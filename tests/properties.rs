@@ -72,17 +72,13 @@ proptest! {
         let ids: Vec<NodeId> = untrusted_ids.iter().copied().map(NodeId).collect();
         node.record_untrusted_pull(&ids);
         let outcome = node.finish_round();
-        prop_assert_eq!(outcome.evicted + outcome.admitted_pulled.len(), ids.len());
+        prop_assert_eq!(outcome.evicted + outcome.admitted_pulled, ids.len());
         prop_assert!((outcome.eviction_rate - rate).abs() < 1e-12);
         if rate == 0.0 {
             prop_assert_eq!(outcome.evicted, 0);
         }
         if rate == 1.0 {
-            prop_assert!(outcome.admitted_pulled.is_empty());
-        }
-        // Every admitted ID came from the recorded batch.
-        for id in &outcome.admitted_pulled {
-            prop_assert!(ids.contains(id));
+            prop_assert_eq!(outcome.admitted_pulled, 0);
         }
     }
 

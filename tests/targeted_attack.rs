@@ -117,10 +117,10 @@ fn sample_lists_resist_targeted_flooding() {
 fn balanced_attack_maximises_systemwide_damage() {
     // The Brahms optimality result: concentrating the budget lowers the
     // adversary's *system-wide* representation compared to balancing.
-    let balanced = run_scenario(&base());
+    let balanced = run_scenario(base());
     let mut focused = base();
     focused.attack = targeted(0.05, 0.8);
-    let targeted_run = run_scenario(&focused);
+    let targeted_run = run_scenario(focused);
     assert!(
         targeted_run.resilience <= balanced.resilience + 0.02,
         "targeting must not beat the balanced optimum system-wide: \
@@ -132,10 +132,10 @@ fn balanced_attack_maximises_systemwide_damage() {
 
 #[test]
 fn flood_detector_fires_harder_under_targeting() {
-    let balanced = run_scenario(&base());
+    let balanced = run_scenario(base());
     let mut focused = base();
     focused.attack = targeted(0.05, 0.9);
-    let targeted_run = run_scenario(&focused);
+    let targeted_run = run_scenario(focused);
     // The victims now receive far more pushes than expected, so the
     // per-node flood detector (defence (ii)) trips more often.
     assert!(
@@ -151,5 +151,5 @@ fn targeted_attack_is_deterministic() {
     let mut s = base();
     s.attack = targeted(0.10, 0.5);
     s.rounds = 40;
-    assert_eq!(run_scenario(&s), run_scenario(&s));
+    assert_eq!(run_scenario(s.clone()), run_scenario(s));
 }

@@ -71,8 +71,8 @@ fn raptee_beats_brahms_baseline_end_to_end() {
         seed: 7,
         ..Scenario::default()
     };
-    let raptee = runner::run_scenario(&scenario);
-    let brahms = runner::run_scenario(&scenario.brahms_baseline());
+    let raptee = runner::run_scenario(scenario.clone());
+    let brahms = runner::run_scenario(scenario.brahms_baseline());
     assert!(
         raptee.resilience > 0.0 && raptee.resilience < 1.0,
         "resilience is a fraction, got {}",
