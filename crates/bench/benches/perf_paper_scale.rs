@@ -10,17 +10,24 @@
 //!   N=10,000, view 200, 200 rounds), one timed run. Expensive; opt in
 //!   with `RAPTEE_SCALE=paper` (matching the figure benches).
 //!
-//! The JSON records wall-clock, rounds/sec, and peak RSS when the
-//! platform exposes it (`/proc/self/status` VmHWM on Linux). Only a
-//! full `RAPTEE_SCALE=paper` invocation rewrites the committed
+//! The JSON records wall-clock, rounds/sec, the intra-run worker count
+//! (`threads`, the engine's `RAYON_NUM_THREADS`-governed parallelism),
+//! the git revision, and peak RSS when the platform exposes it
+//! (`/proc/self/status` VmHWM on Linux). Only a full
+//! `RAPTEE_SCALE=paper` invocation rewrites the committed
 //! `BENCH_paper_scale.json` (the measurement that matters for the
 //! trajectory); the tiny control prints its JSON to stdout without
 //! touching the artifact, so CI smoke runs never dirty the tree or
 //! clobber a recorded paper-scale measurement.
+//!
+//! Each paper-scale rewrite **appends** to the artifact's `history`
+//! array (timestamp, git revision, thread count, wall-clock,
+//! rounds/sec, peak RSS) instead of overwriting it, so the perf
+//! trajectory across PRs stays machine-readable.
 
 use raptee_sim::{Protocol, Scenario, Simulation};
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 struct Measurement {
     profile: &'static str,
@@ -54,6 +61,14 @@ fn time_run(profile: &'static str, protocol: &'static str, scenario: Scenario) -
 
 /// Peak resident set size in KiB, read from `/proc/self/status` (Linux
 /// only; `None` elsewhere).
+///
+/// Caveats (recorded in the JSON as `peak_rss_note`): VmHWM is the
+/// whole bench *process* high-water mark — it includes the tiny-control
+/// runs that precede the paper run, allocator retention (freed blocks
+/// the allocator has not returned to the kernel), and is
+/// platform/allocator-dependent (glibc malloc here). It is an upper
+/// bound on the engine's live working set, which is the honest
+/// direction for a budget check.
 fn peak_rss_kib() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     for line in status.lines() {
@@ -62,6 +77,65 @@ fn peak_rss_kib() -> Option<u64> {
         }
     }
     None
+}
+
+/// The short git revision (`-dirty` suffixed when the work tree has
+/// uncommitted changes), when the bench runs inside a work tree.
+fn git_rev() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--abbrev=9"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let rev = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    (!rev.is_empty()).then_some(rev)
+}
+
+/// The existing `history` array entries of the committed artifact (the
+/// text between `"history": [` and its closing `]`), so a rewrite
+/// appends instead of clobbering. Pre-history artifacts (≤ PR 3) stored
+/// a single paper run at the top level; that run is migrated into the
+/// first history entry when recognisable.
+fn existing_history(artifact: &str) -> Vec<String> {
+    if let Some(start) = artifact.find("\"history\": [") {
+        let body = &artifact[start + "\"history\": [".len()..];
+        if let Some(end) = body.find(']') {
+            return body[..end]
+                .split_terminator("},")
+                .map(|e| {
+                    let e = e.trim().trim_end_matches('}');
+                    format!("{e}}}")
+                })
+                .filter(|e| e.len() > 2)
+                .collect();
+        }
+    }
+    // Legacy single-run artifact: synthesise the entry from the tracked
+    // paper-profile line so PR 3's 333 s measurement stays on record.
+    for line in artifact.lines() {
+        if line.contains("\"profile\": \"paper\"") {
+            let field = |key: &str| {
+                let tag = format!("\"{key}\": ");
+                let rest = &line[line.find(&tag)? + tag.len()..];
+                let end = rest.find([',', '}']).unwrap_or(rest.len());
+                Some(rest[..end].trim().to_string())
+            };
+            if let (Some(wall), Some(rps)) = (field("wall_s"), field("rounds_per_sec")) {
+                let rss = artifact
+                    .lines()
+                    .find_map(|l| l.trim().strip_prefix("\"peak_rss_kib\": "))
+                    .map(|v| v.trim().to_string())
+                    .unwrap_or_else(|| "null".into());
+                return vec![format!(
+                    "{{\"timestamp\": null, \"git_rev\": null, \"threads\": 1, \
+                     \"wall_s\": {wall}, \"rounds_per_sec\": {rps}, \"peak_rss_kib\": {rss}}}"
+                )];
+            }
+        }
+    }
+    Vec::new()
 }
 
 fn tiny_control() -> Scenario {
@@ -77,7 +151,18 @@ fn tiny_control() -> Scenario {
 }
 
 fn emit_json(measurements: &[Measurement], write_artifact: bool) {
-    let mut json = String::from("{\n  \"bench\": \"perf_paper_scale\",\n  \"runs\": [\n");
+    let threads = rayon::current_num_threads();
+    let rev = git_rev();
+    let rev_json = rev
+        .as_deref()
+        .map_or_else(|| "null".to_string(), |r| format!("\"{r}\""));
+    let peak = peak_rss_kib();
+    let peak_json = peak.map_or_else(|| "null".to_string(), |kib| kib.to_string());
+
+    let mut json = String::from("{\n  \"bench\": \"perf_paper_scale\",\n");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"git_rev\": {rev_json},");
+    json.push_str("  \"runs\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let _ = write!(
             json,
@@ -91,20 +176,42 @@ fn emit_json(measurements: &[Measurement], write_artifact: bool) {
         });
     }
     json.push_str("  ],\n");
-    match peak_rss_kib() {
-        Some(kib) => {
-            let _ = writeln!(json, "  \"peak_rss_kib\": {kib}");
-        }
-        None => json.push_str("  \"peak_rss_kib\": null\n"),
+    let _ = writeln!(json, "  \"peak_rss_kib\": {peak_json},");
+    json.push_str(
+        "  \"peak_rss_note\": \"VmHWM of the whole bench process (Linux): includes the \
+         tiny-control runs and allocator retention; glibc malloc; an upper bound on the \
+         engine's live set; null on platforms without /proc\",\n",
+    );
+
+    // The history array is append-only across paper-scale rewrites: the
+    // perf trajectory over PRs stays machine-readable.
+    // crates/bench -> workspace root.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let path = root.join("BENCH_paper_scale.json");
+    let mut history = std::fs::read_to_string(&path)
+        .map(|old| existing_history(&old))
+        .unwrap_or_default();
+    if let Some(paper) = measurements.iter().find(|m| m.profile == "paper") {
+        let timestamp = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs().to_string())
+            .unwrap_or_else(|_| "null".into());
+        history.push(format!(
+            "{{\"timestamp\": {timestamp}, \"git_rev\": {rev_json}, \"threads\": {threads}, \
+             \"wall_s\": {:.3}, \"rounds_per_sec\": {:.3}, \"peak_rss_kib\": {peak_json}}}",
+            paper.wall_s, paper.rounds_per_sec
+        ));
     }
-    json.push_str("}\n");
+    json.push_str("  \"history\": [\n");
+    for (i, entry) in history.iter().enumerate() {
+        let _ = write!(json, "    {entry}");
+        json.push_str(if i + 1 < history.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
 
     if write_artifact {
-        // crates/bench -> workspace root.
-        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("..")
-            .join("..");
-        let path = root.join("BENCH_paper_scale.json");
         match std::fs::write(&path, &json) {
             Ok(()) => println!("wrote {}", path.display()),
             Err(e) => println!("could not write {}: {e}", path.display()),

@@ -38,4 +38,4 @@ pub mod config;
 pub mod node;
 
 pub use config::BrahmsConfig;
-pub use node::{BrahmsNode, RoundPlan, RoundReport};
+pub use node::{BrahmsNode, FinishScratch, RoundPlan, RoundReport};

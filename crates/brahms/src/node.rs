@@ -43,6 +43,22 @@ pub struct RoundReport {
     pub push_flood_detected: bool,
 }
 
+/// Reusable buffers for the round-finalisation pipeline (index scratch
+/// for `sample_into`, drawn picks, the current sample list and the next
+/// view). Every [`BrahmsNode`] owns one for the standalone
+/// [`BrahmsNode::finish_round`] API; the simulation engine instead keeps
+/// **one per worker thread** and finalises thousands of nodes through it
+/// via [`BrahmsNode::finish_round_with`], so per-node state stays small
+/// (struct-of-arrays engine layout) and the parallel round loop still
+/// allocates nothing in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct FinishScratch {
+    idx: Vec<u32>,
+    pick: Vec<NodeId>,
+    samples: Vec<NodeId>,
+    next: Vec<ViewEntry>,
+}
+
 /// A Brahms node: dynamic view + sampling component + per-round buffers.
 ///
 /// # Examples
@@ -70,13 +86,9 @@ pub struct BrahmsNode {
     rounds: u64,
     renewals: u64,
     floods_detected: u64,
-    /// Reusable buffers for the per-round renewal pipeline (index scratch
-    /// for `sample_into`, drawn picks, the current sample list and the
-    /// next view) — the round loop allocates nothing in steady state.
-    scratch_idx: Vec<u32>,
-    scratch_pick: Vec<NodeId>,
-    scratch_samples: Vec<NodeId>,
-    scratch_next: Vec<ViewEntry>,
+    /// Scratch for the standalone [`BrahmsNode::finish_round`] path (the
+    /// engine passes per-worker scratch instead — see [`FinishScratch`]).
+    scratch: FinishScratch,
 }
 
 impl BrahmsNode {
@@ -107,10 +119,7 @@ impl BrahmsNode {
             rounds: 0,
             renewals: 0,
             floods_detected: 0,
-            scratch_idx: Vec::new(),
-            scratch_pick: Vec::new(),
-            scratch_samples: Vec::new(),
-            scratch_next: Vec::new(),
+            scratch: FinishScratch::default(),
         }
     }
 
@@ -239,8 +248,36 @@ impl BrahmsNode {
     /// view from `α·l1` pushed ∪ `β·l1` pulled ∪ `γ·l1` history-sampled
     /// IDs, and feeds the full (pushed ∪ pulled) stream to the samplers.
     pub fn finish_round(&mut self) -> RoundReport {
-        let pushes_received = self.pushed.len();
-        let pulled_ids_received = self.pulled.len();
+        let pushed = std::mem::take(&mut self.pushed);
+        let pulled = std::mem::take(&mut self.pulled);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let report = self.finish_round_with(&pushed, &pulled, &mut scratch);
+        self.scratch = scratch;
+        // Hand the buffers back for next-round reuse, emptied (the
+        // historical drain semantics).
+        self.pushed = pushed;
+        self.pushed.clear();
+        self.pulled = pulled;
+        self.pulled.clear();
+        report
+    }
+
+    /// [`BrahmsNode::finish_round`] over caller-owned event streams and
+    /// scratch, bypassing the internal `record_push`/`record_pulled`
+    /// buffers entirely. The simulation engine reconstructs each node's
+    /// `pushed`/`pulled` streams from its shared per-round arenas (push
+    /// runs, pull-answer snapshots) and finalises many nodes in parallel
+    /// through per-worker [`FinishScratch`] arenas. The RNG draw
+    /// sequence is identical to `finish_round` on identically recorded
+    /// streams — callers must pre-apply the `record_*` self-ID filters.
+    pub fn finish_round_with(
+        &mut self,
+        pushed: &[NodeId],
+        pulled: &[NodeId],
+        scratch: &mut FinishScratch,
+    ) -> RoundReport {
+        let pushes_received = pushed.len();
+        let pulled_ids_received = pulled.len();
 
         // Defence (ii): a node receiving more pushes than it expects to
         // admit is under a targeted flood; block the view update so the
@@ -257,35 +294,36 @@ impl BrahmsNode {
             // is over-represented in the stream is proportionally likely
             // to be drawn (the view itself still stores it only once).
             // Brahms counters that bias with the sampler, not here.
-            self.scratch_next.clear();
+            scratch.next.clear();
             self.rng.sample_into(
-                &self.pushed,
+                pushed,
                 self.config.alpha_count(),
-                &mut self.scratch_idx,
-                &mut self.scratch_pick,
+                &mut scratch.idx,
+                &mut scratch.pick,
             );
-            self.scratch_next
-                .extend(self.scratch_pick.iter().copied().map(ViewEntry::fresh));
+            scratch
+                .next
+                .extend(scratch.pick.iter().copied().map(ViewEntry::fresh));
             self.rng.sample_into(
-                &self.pulled,
+                pulled,
                 self.config.beta_count(),
-                &mut self.scratch_idx,
-                &mut self.scratch_pick,
+                &mut scratch.idx,
+                &mut scratch.pick,
             );
-            self.scratch_next
-                .extend(self.scratch_pick.iter().copied().map(ViewEntry::fresh));
+            scratch
+                .next
+                .extend(scratch.pick.iter().copied().map(ViewEntry::fresh));
             // Defence (iv): history sample for self-healing — `γ·l1`
             // draws with replacement from the current sample list (the
             // same draws `SamplerArray::history_sample` would make).
-            self.sampler.samples_into(&mut self.scratch_samples);
-            if !self.scratch_samples.is_empty() {
+            self.sampler.samples_into(&mut scratch.samples);
+            if !scratch.samples.is_empty() {
                 for _ in 0..self.config.gamma_count() {
-                    let i = self.rng.index(self.scratch_samples.len());
-                    self.scratch_next
-                        .push(ViewEntry::fresh(self.scratch_samples[i]));
+                    let i = self.rng.index(scratch.samples.len());
+                    scratch.next.push(ViewEntry::fresh(scratch.samples[i]));
                 }
             }
-            self.view.replace_with(self.scratch_next.drain(..));
+            self.view.replace_with(scratch.next.drain(..));
             self.renewals += 1;
         }
         if push_flood_detected {
@@ -298,8 +336,8 @@ impl BrahmsNode {
         // Min-wise sampling is invariant under repetition — the sampler's
         // seen-cache makes repeats O(1), so the stream is fed raw (no
         // sort/dedup pass, no intermediate allocation).
-        self.sampler.observe_all(self.pushed.drain(..));
-        self.sampler.observe_all(self.pulled.drain(..));
+        self.sampler.observe_all(pushed.iter().copied());
+        self.sampler.observe_all(pulled.iter().copied());
 
         self.rounds += 1;
         RoundReport {

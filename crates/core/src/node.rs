@@ -429,21 +429,26 @@ impl RapteeNode {
     // Round finalisation (Section IV-C)
     // ------------------------------------------------------------------
 
+    /// The eviction rate implied by this round's contact mix (0 for
+    /// untrusted nodes).
+    fn round_eviction_rate(&self, contacts_total: u32) -> f64 {
+        if !self.trusted {
+            return 0.0;
+        }
+        let trusted_share = if contacts_total == 0 {
+            0.0
+        } else {
+            f64::from(self.contacts_trusted) / f64::from(contacts_total)
+        };
+        self.config.eviction.rate(trusted_share)
+    }
+
     /// Finalises the round: applies Byzantine eviction to the IDs pulled
     /// from untrusted peers (trusted nodes only), forwards the survivors
     /// and the trusted-swap IDs to Brahms, and runs the Brahms round
     /// finalisation.
     pub fn finish_round(&mut self) -> RapteeRoundOutcome {
-        let trusted_share = if self.contacts_total == 0 {
-            0.0
-        } else {
-            f64::from(self.contacts_trusted) / f64::from(self.contacts_total)
-        };
-        let rate = if self.trusted {
-            self.config.eviction.rate(trusted_share)
-        } else {
-            0.0
-        };
+        let rate = self.round_eviction_rate(self.contacts_total);
         self.last_eviction_rate = rate;
 
         let before = self.pulled_untrusted.len();
@@ -462,6 +467,71 @@ impl RapteeNode {
         self.pulled_untrusted.clear();
         self.pulled_trusted.clear();
         let report = self.brahms.finish_round();
+        RapteeRoundOutcome {
+            report,
+            eviction_rate: rate,
+            evicted,
+            admitted_pulled: admitted,
+        }
+    }
+
+    /// [`RapteeNode::finish_round`] over caller-owned streams — the
+    /// parallel engine path. The engine defers untrusted pull answers
+    /// (instead of copying them into per-node buffers) and reconstructs
+    /// them at finalisation time into per-**worker** arenas:
+    ///
+    /// * `pushed` — the round's delivered push senders, already filtered
+    ///   of this node's own ID (`record_push` semantics);
+    /// * `untrusted_pulled` — the reconstructed untrusted pull-answer
+    ///   stream, in delivery order, *unfiltered* (eviction draws happen
+    ///   per element before the self-ID filter, exactly like the
+    ///   buffered path);
+    /// * `untrusted_contacts` — how many untrusted pull answers the
+    ///   stream represents (the deferred `record_untrusted_pull` contact
+    ///   count; trusted contacts were recorded on the node directly);
+    /// * `pulled_scratch` / `scratch` — worker-owned reusable buffers.
+    ///
+    /// The RNG draw sequence is bit-identical to the buffered path on
+    /// identical streams.
+    pub fn finish_round_streamed(
+        &mut self,
+        pushed: &[NodeId],
+        untrusted_pulled: &mut Vec<NodeId>,
+        untrusted_contacts: u32,
+        pulled_scratch: &mut Vec<NodeId>,
+        scratch: &mut raptee_brahms::FinishScratch,
+    ) -> RapteeRoundOutcome {
+        // Streamed and buffered untrusted-pull delivery cannot be mixed
+        // within one round: buffered IDs would be skipped now (their
+        // contacts double-counted) and leak into the next round.
+        debug_assert!(
+            self.pulled_untrusted.is_empty(),
+            "record_untrusted_pull and finish_round_streamed are mutually exclusive in a round"
+        );
+        let rate = self.round_eviction_rate(self.contacts_total + untrusted_contacts);
+        self.last_eviction_rate = rate;
+
+        let before = untrusted_pulled.len();
+        if rate > 0.0 {
+            // In-place Bernoulli filter, element order = delivery order,
+            // so the draw sequence matches the buffered path.
+            let rng = self.brahms.rng_mut();
+            untrusted_pulled.retain(|_| !rng.chance(rate));
+        }
+        let evicted = before - untrusted_pulled.len();
+        let admitted = untrusted_pulled.len() + self.pulled_trusted.len();
+
+        // `record_pulled` semantics: untrusted survivors first, then the
+        // trusted-swap IDs, both minus this node's own ID.
+        let id = self.id();
+        pulled_scratch.clear();
+        pulled_scratch.extend(untrusted_pulled.iter().copied().filter(|&i| i != id));
+        pulled_scratch.extend(self.pulled_trusted.iter().copied().filter(|&i| i != id));
+        self.pulled_trusted.clear();
+
+        let report = self
+            .brahms
+            .finish_round_with(pushed, pulled_scratch, scratch);
         RapteeRoundOutcome {
             report,
             eviction_rate: rate,

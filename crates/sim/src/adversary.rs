@@ -169,17 +169,66 @@ impl Adversary {
     /// [`Adversary::pull_answer`] into a caller-owned buffer (cleared
     /// first); identical RNG draw sequence.
     pub fn pull_answer_into(&mut self, out: &mut Vec<NodeId>) {
-        let k = self.view_size.min(self.byzantine_ids.len());
         let Self {
             rng,
             byzantine_ids,
+            injected,
+            view_size,
             idx_scratch,
             ..
         } = self;
-        rng.sample_into(byzantine_ids, k, idx_scratch, out);
-        if !self.injected.is_empty() && !out.is_empty() && self.rng.chance(0.25) {
-            let slot = self.rng.index(out.len());
-            out[slot] = self.injected[self.rng.index(self.injected.len())];
+        Self::answer_with(rng, byzantine_ids, injected, *view_size, idx_scratch, out);
+    }
+
+    /// A snapshot of the adversary's RNG, taken *before* a
+    /// [`Adversary::pull_answer_into`] call so the identical answer can
+    /// later be regenerated by [`Adversary::replay_pull_answer`]. The
+    /// parallel engine stores these 32-byte states per deferred answer
+    /// instead of materialising the answer IDs — the coordinator RNG
+    /// stays a single sequential stream (bit-identical results at any
+    /// thread count), while the per-ID work moves to the parallel apply
+    /// phase.
+    pub fn rng_snapshot(&self) -> Xoshiro256StarStar {
+        self.rng.clone()
+    }
+
+    /// Regenerates a pull answer from an [`Adversary::rng_snapshot`]
+    /// taken when the answer was originally drawn. `&self` only — safe
+    /// to call from many worker threads at once with worker-owned
+    /// `rng`/`idx`/`out` buffers. The produced IDs are bit-identical to
+    /// what `pull_answer_into` emitted at snapshot time (the identity
+    /// pools never change mid-round).
+    pub fn replay_pull_answer(
+        &self,
+        rng: &mut Xoshiro256StarStar,
+        idx: &mut Vec<u32>,
+        out: &mut Vec<NodeId>,
+    ) {
+        Self::answer_with(
+            rng,
+            &self.byzantine_ids,
+            &self.injected,
+            self.view_size,
+            idx,
+            out,
+        );
+    }
+
+    /// The shared answer body: a full view of exclusively Byzantine IDs,
+    /// with the sparse injected-ID advertisement.
+    fn answer_with(
+        rng: &mut Xoshiro256StarStar,
+        byzantine_ids: &[NodeId],
+        injected: &[NodeId],
+        view_size: usize,
+        idx: &mut Vec<u32>,
+        out: &mut Vec<NodeId>,
+    ) {
+        let k = view_size.min(byzantine_ids.len());
+        rng.sample_into(byzantine_ids, k, idx, out);
+        if !injected.is_empty() && !out.is_empty() && rng.chance(0.25) {
+            let slot = rng.index(out.len());
+            out[slot] = injected[rng.index(injected.len())];
         }
     }
 
@@ -645,6 +694,19 @@ mod tests {
         assert!(a.plan_force_pushes(&[NodeId(9)], 0).is_empty());
         let mut empty = Adversary::new(vec![], 10, 10, 1);
         assert!(empty.plan_force_pushes(&[NodeId(9)], 10).is_empty());
+    }
+
+    #[test]
+    fn replayed_pull_answers_match_the_original() {
+        let mut a = adversary(50, 100);
+        a.advertise_injected([NodeId(90), NodeId(91)]);
+        let (mut idx, mut out) = (Vec::new(), Vec::new());
+        for _ in 0..100 {
+            let mut snap = a.rng_snapshot();
+            let original = a.pull_answer();
+            a.replay_pull_answer(&mut snap, &mut idx, &mut out);
+            assert_eq!(out, original, "replay must be bit-identical");
+        }
     }
 
     #[test]

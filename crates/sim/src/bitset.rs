@@ -10,3 +10,142 @@
 //! hash sets.
 
 pub use raptee_util::bitset::{BitSet, IdSet};
+
+/// The discovery matrix in struct-of-arrays form: one flat word arena
+/// holding every tracked node's discovery bitset as a fixed-stride row,
+/// plus one popcount per row. Replaces the former
+/// `Vec<Option<BitSet>>` (10,000 separately boxed bitsets at paper
+/// scale) with two allocations, and hands out disjoint per-row views so
+/// the parallel apply phase can update discovery sharded by node.
+#[derive(Debug, Clone)]
+pub struct DiscoveryMatrix {
+    words: Vec<u64>,
+    counts: Vec<u32>,
+    stride: usize,
+    universe: usize,
+}
+
+/// Exclusive access to one row of a [`DiscoveryMatrix`] — safe to use
+/// from a worker thread while other workers hold other rows.
+#[derive(Debug)]
+pub struct DiscoveryRow<'a> {
+    words: &'a mut [u64],
+    count: &'a mut u32,
+    universe: usize,
+}
+
+impl DiscoveryMatrix {
+    /// Creates `rows` empty bitsets over the universe `0..universe`.
+    pub fn new(rows: usize, universe: usize) -> Self {
+        let stride = universe.div_ceil(64);
+        Self {
+            words: vec![0; rows * stride],
+            counts: vec![0; rows],
+            stride,
+            universe,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Inserts `idx` into `row`; returns `true` if it was newly set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row` or `idx` is out of range.
+    #[inline]
+    pub fn insert(&mut self, row: usize, idx: usize) -> bool {
+        assert!(idx < self.universe, "discovery index {idx} out of range");
+        let word = &mut self.words[row * self.stride + idx / 64];
+        let mask = 1u64 << (idx % 64);
+        if *word & mask == 0 {
+            *word |= mask;
+            self.counts[row] += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of set bits in `row` (maintained incrementally — O(1)).
+    #[inline]
+    pub fn count(&self, row: usize) -> usize {
+        self.counts[row] as usize
+    }
+
+    /// Splits the matrix into disjoint per-row handles, in row order —
+    /// the shape the engine zips against its node and stat lanes for the
+    /// parallel finish phase.
+    pub fn rows_mut(&mut self) -> impl Iterator<Item = DiscoveryRow<'_>> {
+        let universe = self.universe;
+        self.words
+            .chunks_mut(self.stride.max(1))
+            .zip(self.counts.iter_mut())
+            .map(move |(words, count)| DiscoveryRow {
+                words,
+                count,
+                universe,
+            })
+    }
+}
+
+impl DiscoveryRow<'_> {
+    /// Inserts `idx`; returns `true` if it was newly set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is outside the universe.
+    #[inline]
+    pub fn insert(&mut self, idx: usize) -> bool {
+        assert!(idx < self.universe, "discovery index {idx} out of range");
+        let word = &mut self.words[idx / 64];
+        let mask = 1u64 << (idx % 64);
+        if *word & mask == 0 {
+            *word |= mask;
+            *self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of set bits in this row (O(1)).
+    #[inline]
+    pub fn count(&self) -> usize {
+        *self.count as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::DiscoveryMatrix;
+
+    #[test]
+    fn matrix_insert_count_and_rows() {
+        let mut m = DiscoveryMatrix::new(3, 130);
+        assert!(m.insert(0, 0));
+        assert!(m.insert(0, 129));
+        assert!(!m.insert(0, 129), "second insert is a no-op");
+        assert!(m.insert(2, 64));
+        assert_eq!(m.count(0), 2);
+        assert_eq!(m.count(1), 0);
+        assert_eq!(m.count(2), 1);
+
+        let mut rows: Vec<_> = m.rows_mut().collect();
+        assert_eq!(rows.len(), 3);
+        assert!(rows[1].insert(7));
+        assert!(!rows[0].insert(129));
+        assert_eq!(rows[0].count(), 2);
+        drop(rows);
+        assert_eq!(m.count(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn matrix_out_of_range_panics() {
+        DiscoveryMatrix::new(1, 10).insert(0, 10);
+    }
+}

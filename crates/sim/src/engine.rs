@@ -1,9 +1,9 @@
-//! The synchronous round engine.
+//! The synchronous round engine — phase-parallel since PR 4.
 //!
-//! Wires together the RAPTEE/Brahms nodes, the limited-pushes defence,
-//! the adversary, and the metric collectors. One [`Simulation`] executes
-//! one run of one [`Scenario`]; the [`crate::runner`] module handles
-//! repetition and sweeps.
+//! Wires together the RAPTEE/Brahms/BASALT nodes, the limited-pushes
+//! defence, the adversary, and the metric collectors. One [`Simulation`]
+//! executes one run of one [`Scenario`]; the [`crate::runner`] module
+//! handles repetition and sweeps.
 //!
 //! Round structure (mirroring the paper's 2.5 s protocol rounds):
 //!
@@ -20,15 +20,51 @@
 //! 5. every correct node finalises its round (eviction → Brahms
 //!    defences → view renewal → sampling) and the engine updates the
 //!    discovery/stability/resilience metrics.
+//!
+//! # Intra-run parallelism
+//!
+//! A single run uses every worker of the rayon shim while staying
+//! **bit-identical at any thread count** (pinned by
+//! `tests/determinism.rs`). The round is split into phases:
+//!
+//! * **plan** (parallel, sharded by node) — `plan_round_into` draws only
+//!   from the node's own RNG stream; the same pass snapshots each
+//!   node's view into a flat arena for later deferred pull answers.
+//! * **exchange** (sequential) — everything that consumes a *shared*
+//!   ordered stream stays a thin sequential control pass: the rate
+//!   limiter, the message-loss RNG, the adversary's coordinator RNG and
+//!   the (rare) trusted view-swaps. Instead of copying answer IDs, the
+//!   pass records per-requester *pull events*: a reference into the
+//!   view-snapshot arena when the responder's view was still untouched
+//!   at pull time, a materialised copy when it had already mutated
+//!   (swap or churn removal), or a 32-byte adversary-RNG snapshot for
+//!   Byzantine answers (regenerated in parallel later).
+//! * **apply** (parallel, sharded by receiving node) — each node
+//!   reconstructs its push/pull streams from the shared arenas into
+//!   per-**worker** scratch and finalises its round; per-node metric
+//!   observations land in per-node stat slots.
+//! * **fold** (sequential) — stat slots are folded in node-index order,
+//!   so every floating-point accumulation happens in exactly the
+//!   historical order.
+//!
+//! Deferring the pull answers is also the engine's struct-of-arrays
+//! memory win: per-node state no longer includes the ~`β·l1 × l1`-entry
+//! pull buffers that dominated peak RSS at paper scale — the streams
+//! only ever exist in a handful of per-worker arenas.
+//!
+//! BASALT's pull phase ranks every answer into the responder's and
+//! requester's views *on arrival*, making answers order-dependent across
+//! nodes; that one phase stays sequential, while BASALT planning, push
+//! application and round finalisation shard like the Brahms path.
 
 use crate::adversary::{Adversary, PushPlan};
-use crate::bitset::BitSet;
+use crate::bitset::{DiscoveryMatrix, DiscoveryRow};
 use crate::metrics::{IdentificationResult, RunResult, DISCOVERY_TARGET_SHARE, STABILITY_SPREAD};
 use crate::scenario::{AttackStrategy, Protocol, Scenario};
 use raptee::provisioning;
 use raptee::{RapteeConfig, RapteeNode};
 use raptee_basalt::{BasaltConfig, BasaltNode, BasaltPlan};
-use raptee_brahms::{BrahmsConfig, RoundPlan};
+use raptee_brahms::{BrahmsConfig, FinishScratch, RoundPlan};
 use raptee_crypto::auth::AuthOutcome;
 use raptee_net::{NodeId, PushRateLimiter};
 use raptee_util::rng::Xoshiro256StarStar;
@@ -36,10 +72,147 @@ use raptee_util::rng::Xoshiro256StarStar;
 /// Rounds of per-node share smoothing for the spread-stability check.
 const SMOOTHING_WINDOW: usize = 10;
 
-enum Actor {
-    Byzantine,
-    Correct(Box<RapteeNode>),
-    Basalt(Box<BasaltNode>),
+/// The correct population in dense, unboxed storage. Byzantine actors
+/// are pure identities (the adversary coordinates them centrally), so
+/// they occupy no node state at all: actor index `i` maps to population
+/// index `i - byz_count` for `i >= byz_count`.
+enum Population {
+    Raptee(Vec<RapteeNode>),
+    Basalt(Vec<BasaltNode>),
+}
+
+impl Population {
+    fn len(&self) -> usize {
+        match self {
+            Population::Raptee(v) => v.len(),
+            Population::Basalt(v) => v.len(),
+        }
+    }
+}
+
+/// One deferred pull answer, recorded by the sequential exchange pass
+/// and consumed by the parallel apply phase.
+enum PullEvent {
+    /// The responder's view had not mutated yet at pull time: the answer
+    /// is the responder's row of the post-plan view-snapshot arena.
+    Snapshot {
+        /// Dense population index of the responder.
+        responder: u32,
+    },
+    /// The responder's view had already mutated (trusted swap or churn
+    /// removal): the answer was copied into the answer arena.
+    Arena {
+        /// Start offset in the answer arena.
+        start: u32,
+        /// Number of IDs.
+        len: u32,
+    },
+    /// A Byzantine answer: regenerate it from this snapshot of the
+    /// adversary's RNG (see [`Adversary::replay_pull_answer`]).
+    ByzReplay {
+        /// The coordinator RNG state just before the answer was drawn.
+        rng: Xoshiro256StarStar,
+    },
+}
+
+/// Per-node round outcome slot, written by the parallel apply phase and
+/// folded sequentially in node-index order.
+#[derive(Debug, Clone, Default)]
+struct RoundStat {
+    /// Whether the node was alive and finalised this round.
+    participated: bool,
+    /// IDs evicted by the Byzantine-eviction filter (RAPTEE).
+    evicted: u32,
+    /// Whether the push-flood detector fired (Brahms/RAPTEE).
+    flood: bool,
+    /// Seed rotations performed (BASALT).
+    rotated: u32,
+    /// Whether the view was non-empty (a pollution share exists).
+    has_share: bool,
+    /// This round's raw Byzantine view share.
+    share: f64,
+    /// The share smoothed over [`SMOOTHING_WINDOW`] rounds.
+    smoothed: f64,
+    /// Discovery-bitset population after this round's observation.
+    discovered: u32,
+}
+
+/// The per-node share-smoothing windows in struct-of-arrays form: one
+/// flat ring-buffer arena (stride [`SMOOTHING_WINDOW`]) instead of
+/// 10,000 tiny `Vec<f64>`s. Ring iteration order is oldest→newest, so
+/// the smoothed mean sums in exactly the order the historical
+/// `Vec::push`/`remove(0)` window did.
+struct ShareRings {
+    buf: Vec<f64>,
+    start: Vec<u8>,
+    len: Vec<u8>,
+}
+
+/// Exclusive access to one node's smoothing window.
+struct ShareRingRow<'a> {
+    buf: &'a mut [f64],
+    start: &'a mut u8,
+    len: &'a mut u8,
+}
+
+impl ShareRings {
+    fn new(rows: usize) -> Self {
+        Self {
+            buf: vec![0.0; rows * SMOOTHING_WINDOW],
+            start: vec![0; rows],
+            len: vec![0; rows],
+        }
+    }
+
+    /// Splits into disjoint per-node handles, in row order.
+    fn rows_mut(&mut self) -> impl Iterator<Item = ShareRingRow<'_>> {
+        self.buf
+            .chunks_mut(SMOOTHING_WINDOW)
+            .zip(self.start.iter_mut())
+            .zip(self.len.iter_mut())
+            .map(|((buf, start), len)| ShareRingRow { buf, start, len })
+    }
+}
+
+impl ShareRingRow<'_> {
+    /// Appends this round's share (evicting the oldest entry once the
+    /// window is full) and returns the window mean, summed oldest-first
+    /// — bit-identical to the historical `Vec<f64>` window.
+    fn push_and_mean(&mut self, share: f64) -> f64 {
+        let w = SMOOTHING_WINDOW;
+        if usize::from(*self.len) == w {
+            self.buf[usize::from(*self.start)] = share;
+            *self.start = ((usize::from(*self.start) + 1) % w) as u8;
+        } else {
+            self.buf[(usize::from(*self.start) + usize::from(*self.len)) % w] = share;
+            *self.len += 1;
+        }
+        let len = usize::from(*self.len);
+        let mut sum = 0.0;
+        for k in 0..len {
+            sum += self.buf[(usize::from(*self.start) + k) % w];
+        }
+        sum / len as f64
+    }
+}
+
+/// Per-worker arenas for the parallel apply phase: every buffer a
+/// node-finalisation needs is owned by the worker (not the node), so
+/// peak memory scales with the thread count instead of the population.
+#[derive(Default)]
+struct WorkerScratch {
+    /// Reconstructed push-sender stream (self-filtered).
+    pushed: Vec<NodeId>,
+    /// Reconstructed untrusted pull-answer stream (unfiltered).
+    untrusted: Vec<NodeId>,
+    /// `record_pulled`-equivalent combined stream.
+    pulled: Vec<NodeId>,
+    /// Fisher–Yates index scratch for Byzantine answer replay.
+    idx: Vec<u32>,
+    /// Replay output buffer.
+    reply: Vec<NodeId>,
+    /// Brahms finalisation scratch (renewal sampling buffers).
+    finish: FinishScratch,
 }
 
 /// Per-simulation scratch arenas: every buffer the round loop needs is
@@ -49,45 +222,75 @@ enum Actor {
 /// the end.
 #[derive(Default)]
 struct Scratch {
-    /// One Brahms/RAPTEE plan per actor, refilled in place each round.
+    /// One Brahms/RAPTEE plan per population index, refilled in place.
     plans: Vec<RoundPlan>,
-    /// One BASALT plan per actor, refilled in place each round.
+    /// One BASALT plan per population index, refilled in place.
     basalt_plans: Vec<BasaltPlan>,
-    /// Whether actor `i` produced a plan this round (alive + correct).
+    /// Whether population index `ci` produced a plan this round.
     live: Vec<bool>,
     /// The adversary's push plan for the round.
     byz_plan: PushPlan,
     /// Honest pushes surviving limiter/liveness/loss, as
-    /// `(target index, sender)` in sender-major order.
+    /// `(absolute target index, sender)` in sender-major order.
     survivors: Vec<(u32, NodeId)>,
-    /// `survivors` counting-sorted by target — delivery streams over
-    /// per-target runs instead of hopping between actors per message.
+    /// `survivors` counting-sorted by target — the apply phase reads
+    /// per-receiver runs instead of per-message dispatch.
     sorted: Vec<(u32, NodeId)>,
-    /// Counting-sort bucket offsets.
+    /// Counting-sort offsets; after the fill pass, `counts[t]` is the
+    /// *end* of target `t`'s run (its start is `counts[t-1]`).
     counts: Vec<u32>,
-    /// Reusable pull-answer buffer.
+    /// Adversary pushes surviving limiter/liveness/loss, in plan order.
+    byz_survivors: Vec<(u32, NodeId)>,
+    /// `byz_survivors` counting-sorted by victim.
+    byz_sorted: Vec<(u32, NodeId)>,
+    /// Counting-sort offsets for the adversary runs.
+    byz_counts: Vec<u32>,
+    /// Reusable sequential-phase answer buffer (BASALT pulls, trusted
+    /// ablation answers, adversary RNG advancement).
     reply: Vec<NodeId>,
     /// Reusable observation-target buffer (identification attack).
     observed: Vec<NodeId>,
-    /// Reusable smoothed-share buffer for the round accumulator.
+    /// Reusable smoothed-share buffer for the round fold.
     shares: Vec<f64>,
+    /// Deferred pull answers, requester-major.
+    events: Vec<PullEvent>,
+    /// Event range per population index (`events[start[ci]..start[ci+1]]`).
+    event_start: Vec<u32>,
+    /// Materialised answers for responders whose view had already
+    /// mutated at pull time.
+    arena: Vec<NodeId>,
+    /// Post-plan view snapshots, one `view_size`-stride row per
+    /// population index.
+    snap_ids: Vec<NodeId>,
+    /// Occupied length of each snapshot row.
+    snap_len: Vec<u32>,
+    /// Whether a node's view has mutated during the current exchange
+    /// phase (trusted swap or churn removal) — after the first mutation,
+    /// answers from it must be materialised instead of snapshot-deferred.
+    view_mutated: Vec<bool>,
+    /// Per-node round outcomes, folded sequentially after the apply
+    /// phase.
+    stats: Vec<RoundStat>,
 }
 
 impl Scratch {
-    /// Sizes the per-actor vectors once (no-op afterwards).
-    fn ensure_capacity(&mut self, total: usize) {
-        if self.live.len() != total {
-            self.plans.resize_with(total, RoundPlan::default);
-            self.basalt_plans.resize_with(total, BasaltPlan::default);
-            self.live.resize(total, false);
+    /// Sizes the per-node lanes once (no-op afterwards).
+    fn ensure_capacity(&mut self, pop: usize) {
+        if self.live.len() != pop {
+            self.plans.resize_with(pop, RoundPlan::default);
+            self.basalt_plans.resize_with(pop, BasaltPlan::default);
+            self.live.resize(pop, false);
+            self.view_mutated.resize(pop, false);
+            self.stats.resize_with(pop, RoundStat::default);
+            self.snap_len.resize(pop, 0);
+            self.event_start.resize(pop + 1, 0);
         }
     }
 }
 
-/// Per-round metric aggregates, filled by one allocation-free streaming
-/// pass over each alive non-Byzantine actor's current view content
-/// (Brahms dynamic view, or BASALT per-slot samples) and folded into the
-/// run series by [`Simulation::finish_round_metrics`].
+/// Per-round metric aggregates, filled by the sequential node-order fold
+/// over the apply phase's [`RoundStat`] slots and folded into the run
+/// series by [`Simulation::finish_round_metrics`].
 struct RoundAccumulator {
     share_sum: f64,
     share_count: usize,
@@ -110,75 +313,104 @@ impl RoundAccumulator {
             discovered_nodes: 0,
         }
     }
+}
 
-    /// Streams actor `i`'s view content once: updates its discovery
-    /// bitset (non-Byzantine IDs only), its smoothed pollution window,
-    /// and the round aggregates. `discovery` and `share_windows` are
-    /// passed as disjoint field borrows so the caller can keep the actor
-    /// itself mutably borrowed.
-    fn observe_node(
-        &mut self,
-        i: usize,
-        ids: impl Iterator<Item = NodeId>,
-        byz_count: usize,
-        discovery_target: usize,
-        discovery: &mut [Option<BitSet>],
-        share_windows: &mut [Vec<f64>],
-    ) {
-        let mut len = 0usize;
-        let mut byz = 0usize;
-        if let Some(set) = discovery[i].as_mut() {
-            for id in ids {
-                len += 1;
-                if id.index() < byz_count {
-                    byz += 1;
-                } else if id.index() < set.len() {
-                    set.insert(id.index());
-                }
-            }
-            self.discovered_sum += set.count();
-            self.discovered_nodes += 1;
-            if set.count() < discovery_target {
-                self.all_discovered = false;
-            }
-        } else {
-            for id in ids {
-                len += 1;
-                if id.index() < byz_count {
-                    byz += 1;
-                }
-            }
-        }
-        if len > 0 {
-            let share = byz as f64 / len as f64;
-            let window = &mut share_windows[i];
-            window.push(share);
-            if window.len() > SMOOTHING_WINDOW {
-                window.remove(0);
-            }
-            self.shares
-                .push(window.iter().sum::<f64>() / window.len() as f64);
-            self.share_sum += share;
-            self.share_count += 1;
-        }
+/// Per-node lanes of the parallel plan phase.
+struct PlanItem<'a, N> {
+    node: &'a mut N,
+    live: &'a mut bool,
+}
+
+/// Per-node lanes of the parallel apply/finish phase.
+struct FinishItem<'a, N> {
+    node: &'a mut N,
+    stat: &'a mut RoundStat,
+    disc: DiscoveryRow<'a>,
+    ring: ShareRingRow<'a>,
+}
+
+/// Split-borrows two distinct population entries.
+fn two_nodes<N>(nodes: &mut [N], a: usize, b: usize) -> (&mut N, &mut N) {
+    assert_ne!(a, b, "cannot borrow the same node twice");
+    let (x, y, swapped) = if a < b { (a, b, false) } else { (b, a, true) };
+    let (lo, hi) = nodes.split_at_mut(y);
+    if swapped {
+        (&mut hi[0], &mut lo[x])
+    } else {
+        (&mut lo[x], &mut hi[0])
+    }
+}
+
+/// Stable counting sort of `(target, payload)` pairs by target over the
+/// universe `0..total`. After the fill pass `counts[t]` is the end of
+/// `t`'s run, so run `t` is `sorted[counts[t-1]..counts[t]]` (`0` for
+/// `t = 0`). Stability preserves each receiver's arrival order, so
+/// streaming over the runs is observationally identical to per-message
+/// dispatch.
+fn counting_sort_by_target(
+    survivors: &[(u32, NodeId)],
+    sorted: &mut Vec<(u32, NodeId)>,
+    counts: &mut Vec<u32>,
+    total: usize,
+) {
+    counts.clear();
+    counts.resize(total + 1, 0);
+    for &(t, _) in survivors {
+        counts[t as usize + 1] += 1;
+    }
+    for i in 1..counts.len() {
+        counts[i] += counts[i - 1];
+    }
+    sorted.clear();
+    sorted.resize(survivors.len(), (0, NodeId(0)));
+    for &(t, payload) in survivors {
+        let pos = &mut counts[t as usize];
+        sorted[*pos as usize] = (t, payload);
+        *pos += 1;
+    }
+}
+
+/// The `[start, end)` bounds of target `t`'s run in a
+/// [`counting_sort_by_target`]-sorted buffer.
+#[inline]
+fn run_bounds(counts: &[u32], t: usize) -> (usize, usize) {
+    let start = if t == 0 { 0 } else { counts[t - 1] as usize };
+    (start, counts[t] as usize)
+}
+
+/// Marks non-Byzantine `id` as discovered in `row` (no-op for Byzantine
+/// and out-of-universe IDs). An associated function over the matrix so
+/// the sequential BASALT pull pass can call it while the population is
+/// borrowed.
+fn note_discovered(
+    discovery: &mut DiscoveryMatrix,
+    byz_count: usize,
+    total: usize,
+    row: usize,
+    id: NodeId,
+) {
+    if id.index() >= byz_count && id.index() < total {
+        discovery.insert(row, id.index());
     }
 }
 
 /// One deterministic simulation run.
 pub struct Simulation {
     scenario: Scenario,
-    actors: Vec<Actor>,
+    population: Population,
     trusted: Vec<bool>,
     alive: Vec<bool>,
     loss_rng: Xoshiro256StarStar,
     byz_count: usize,
     adversary: Adversary,
     limiter: PushRateLimiter,
-    discovery: Vec<Option<BitSet>>,
+    /// Discovery bitsets of every non-Byzantine actor, as one flat
+    /// matrix (rows by population index, universe = absolute indices).
+    discovery: DiscoveryMatrix,
     discovery_target: usize,
-    /// Per-actor ring buffer of recent per-round view pollution shares,
-    /// used for the smoothed spread-stability criterion.
-    share_windows: Vec<Vec<f64>>,
+    /// Per-node rings of recent per-round view pollution shares, used
+    /// for the smoothed spread-stability criterion.
+    share_rings: ShareRings,
     /// All non-Byzantine actor IDs (the adversary's victim pool; alive
     /// filtering happens at delivery time) — built once.
     victims: Vec<NodeId>,
@@ -187,6 +419,8 @@ pub struct Simulation {
     ident_candidates: Vec<NodeId>,
     /// Reusable round buffers (see [`Scratch`]).
     scratch: Scratch,
+    /// Per-worker arenas for the parallel phases.
+    workers: Vec<WorkerScratch>,
     non_byz_total: usize,
     round: usize,
     byz_share_series: Vec<f64>,
@@ -254,21 +488,18 @@ impl Simulation {
             _ => None,
         };
 
-        let mut actors: Vec<Actor> = Vec::with_capacity(total);
+        // Byzantine actors are the identity prefix [0, byz) and carry no
+        // state; the correct population is stored densely and unboxed.
+        let mut raptee_nodes: Vec<RapteeNode> = Vec::new();
+        let mut basalt_nodes: Vec<BasaltNode> = Vec::new();
         let mut trusted_flags = vec![false; total];
         #[allow(clippy::needless_range_loop)] // i is the node identity
-        for i in 0..total {
+        for i in byz..total {
             let id = NodeId(i as u64);
-            if i < byz {
-                actors.push(Actor::Byzantine);
-                continue;
-            }
             let seed = rng.next_u64();
             if let Some(bcfg) = basalt_config {
                 let bootstrap = rng.sample(&all_ids, (bcfg.view_size + 2).min(all_ids.len()));
-                actors.push(Actor::Basalt(Box::new(BasaltNode::new(
-                    id, bcfg, &bootstrap, seed,
-                ))));
+                basalt_nodes.push(BasaltNode::new(id, bcfg, &bootstrap, seed));
                 continue;
             }
             let is_trusted = i < byz + trusted_n;
@@ -288,37 +519,40 @@ impl Simulation {
             } else {
                 RapteeNode::new_untrusted(id, config.clone(), &bootstrap, seed)
             };
-            actors.push(Actor::Correct(Box::new(node)));
+            raptee_nodes.push(node);
         }
+        let population = if basalt_config.is_some() {
+            Population::Basalt(basalt_nodes)
+        } else {
+            Population::Raptee(raptee_nodes)
+        };
 
         // Discovery bitsets (non-Byzantine actors only) seeded with the
         // bootstrap view and the node itself.
         let non_byz_total = total - byz;
-        let mut discovery: Vec<Option<BitSet>> = Vec::with_capacity(total);
-        for (i, actor) in actors.iter().enumerate() {
-            let seed_set = |ids: &mut dyn Iterator<Item = NodeId>| {
-                let mut set = BitSet::new(total);
-                set.insert(i);
-                for id in ids {
-                    if id.index() >= byz {
-                        set.insert(id.index());
-                    }
+        let mut discovery = DiscoveryMatrix::new(non_byz_total, total);
+        let mut seed_row = |ci: usize, ids: &mut dyn Iterator<Item = NodeId>| {
+            discovery.insert(ci, byz + ci);
+            for id in ids {
+                if id.index() >= byz {
+                    discovery.insert(ci, id.index());
                 }
-                set
-            };
-            match actor {
-                Actor::Byzantine => discovery.push(None),
-                Actor::Correct(node) => {
-                    discovery.push(Some(seed_set(&mut node.brahms().view().ids())));
+            }
+        };
+        match &population {
+            Population::Raptee(nodes) => {
+                for (ci, node) in nodes.iter().enumerate() {
+                    seed_row(ci, &mut node.brahms().view().ids());
                 }
-                Actor::Basalt(node) => {
-                    discovery.push(Some(seed_set(&mut node.view().sample_ids().into_iter())));
+            }
+            Population::Basalt(nodes) => {
+                for (ci, node) in nodes.iter().enumerate() {
+                    seed_row(ci, &mut node.view().sample_ids().into_iter());
                 }
             }
         }
         let discovery_target = (DISCOVERY_TARGET_SHARE * non_byz_total as f64).ceil() as usize;
 
-        let share_windows = vec![Vec::new(); total];
         // The per-identity push budget: Brahms' α·l1, or BASALT's
         // equal-bandwidth push fanout.
         let alpha_count = basalt_config.map_or(config.brahms.alpha_count(), |c| c.push_count);
@@ -333,17 +567,18 @@ impl Simulation {
         Self {
             adversary,
             limiter: PushRateLimiter::new(total, alpha_count as u32),
-            actors,
+            population,
             trusted: trusted_flags,
             alive: vec![true; total],
             loss_rng: rng.split(),
             byz_count: byz,
             discovery,
             discovery_target,
-            share_windows,
+            share_rings: ShareRings::new(non_byz_total),
             victims: (byz..total).map(|i| NodeId(i as u64)).collect(),
             ident_candidates: (byz..n).map(|i| NodeId(i as u64)).collect(),
             scratch: Scratch::default(),
+            workers: Vec::new(),
             non_byz_total,
             round: 0,
             byz_share_series: Vec::with_capacity(scenario.rounds),
@@ -361,6 +596,11 @@ impl Simulation {
     /// The scenario driving this run.
     pub fn scenario(&self) -> &Scenario {
         &self.scenario
+    }
+
+    /// Total actors in the run (Byzantine identities + correct nodes).
+    pub fn total_actors(&self) -> usize {
+        self.byz_count + self.population.len()
     }
 
     /// Whether actor `id` is Byzantine.
@@ -386,14 +626,20 @@ impl Simulation {
     /// Number of non-Byzantine IDs `id` has discovered so far (None for
     /// Byzantine actors).
     pub fn discovery_count(&self, id: NodeId) -> Option<usize> {
-        self.discovery[id.index()].as_ref().map(|s| s.count())
+        if id.index() < self.byz_count {
+            return None;
+        }
+        Some(self.discovery.count(id.index() - self.byz_count))
     }
 
     /// Read access to a correct Brahms/RAPTEE node (None for Byzantine
     /// actors and under [`Protocol::Basalt`]).
     pub fn node(&self, id: NodeId) -> Option<&RapteeNode> {
-        match &self.actors[id.index()] {
-            Actor::Correct(n) => Some(n),
+        if id.index() < self.byz_count {
+            return None;
+        }
+        match &self.population {
+            Population::Raptee(nodes) => nodes.get(id.index() - self.byz_count),
             _ => None,
         }
     }
@@ -401,8 +647,11 @@ impl Simulation {
     /// Read access to a correct BASALT node (None for Byzantine actors
     /// and under the other protocols).
     pub fn basalt(&self, id: NodeId) -> Option<&BasaltNode> {
-        match &self.actors[id.index()] {
-            Actor::Basalt(n) => Some(n),
+        if id.index() < self.byz_count {
+            return None;
+        }
+        match &self.population {
+            Population::Basalt(nodes) => nodes.get(id.index() - self.byz_count),
             _ => None,
         }
     }
@@ -418,7 +667,7 @@ impl Simulation {
     /// Executes one round (public so tests can single-step).
     pub fn run_round(&mut self) {
         self.limiter.next_round();
-        let total = self.actors.len();
+        let total = self.total_actors();
 
         // Churn injection: crash a batch of correct nodes at the
         // configured round. Crashed nodes stop planning, answering and
@@ -433,27 +682,32 @@ impl Simulation {
         }
 
         // The scratch arenas move out for the duration of the round so
-        // `&mut self` stays available to the delivery machinery.
+        // `&mut self` stays available to the control passes.
         let mut scratch = std::mem::take(&mut self.scratch);
-        scratch.ensure_capacity(total);
+        let mut workers = std::mem::take(&mut self.workers);
+        scratch.ensure_capacity(self.population.len());
         match self.scenario.protocol {
-            Protocol::Basalt { .. } => self.basalt_round(&mut scratch),
-            Protocol::Brahms | Protocol::Raptee => self.raptee_round(&mut scratch),
+            Protocol::Basalt { .. } => self.basalt_round(&mut scratch, &mut workers),
+            Protocol::Brahms | Protocol::Raptee => self.raptee_round(&mut scratch, &mut workers),
         }
         self.scratch = scratch;
+        self.workers = workers;
 
         self.round += 1;
     }
 
     /// Collects the honest pushes surviving the rate limiter, liveness
     /// and message loss (in sender-major order, so the loss RNG stream is
-    /// unchanged), then counting-sorts them by target into `sorted`. The
-    /// stable sort preserves each receiver's arrival order, so delivering
-    /// over the per-target runs is observationally identical to
-    /// per-message dispatch — but walks the actors sequentially instead
-    /// of hopping between them per message.
+    /// unchanged), then counting-sorts them by target into `sorted`. An
+    /// associated function over the delivery fields so callers can hold
+    /// population borrows.
+    #[allow(clippy::too_many_arguments)]
     fn collect_and_sort_pushes<'a>(
-        &mut self,
+        limiter: &mut PushRateLimiter,
+        loss_rng: &mut Xoshiro256StarStar,
+        alive: &[bool],
+        message_loss: f64,
+        total: usize,
         survivors: &mut Vec<(u32, NodeId)>,
         sorted: &mut Vec<(u32, NodeId)>,
         counts: &mut Vec<u32>,
@@ -462,55 +716,161 @@ impl Simulation {
         survivors.clear();
         for (i, targets) in planned {
             let sender = NodeId(i as u64);
-            let granted = self.limiter.try_push_n(sender, targets.len());
+            let granted = limiter.try_push_n(sender, targets.len());
             for &target in &targets[..granted] {
-                if !self.alive[target.index()] {
+                if !alive[target.index()] {
                     continue;
                 }
-                if self.scenario.message_loss > 0.0
-                    && self.loss_rng.chance(self.scenario.message_loss)
-                {
+                if message_loss > 0.0 && loss_rng.chance(message_loss) {
                     continue;
                 }
                 survivors.push((target.index() as u32, sender));
             }
         }
-        let total = self.actors.len();
-        counts.clear();
-        counts.resize(total + 1, 0);
-        for &(t, _) in survivors.iter() {
-            counts[t as usize + 1] += 1;
+        counting_sort_by_target(survivors, sorted, counts, total);
+    }
+
+    /// Charges each planned adversary push to a Byzantine identity
+    /// through the rate limiter (rotating payers — the budget equals
+    /// exactly B × the per-identity allowance), applies the liveness and
+    /// message-loss filters, and counting-sorts the survivors by victim
+    /// for the parallel apply phase. Shared by every protocol path so
+    /// Brahms-vs-BASALT comparisons face provably identical adversary
+    /// machinery.
+    fn collect_byz_pushes(
+        &mut self,
+        byz_plan: &[(NodeId, NodeId)],
+        survivors: &mut Vec<(u32, NodeId)>,
+        sorted: &mut Vec<(u32, NodeId)>,
+        counts: &mut Vec<u32>,
+    ) {
+        survivors.clear();
+        let mut charge_rotor = 0usize;
+        for &(victim, advertised) in byz_plan {
+            let mut charged = false;
+            for _ in 0..self.byz_count {
+                let payer = NodeId((charge_rotor % self.byz_count.max(1)) as u64);
+                charge_rotor += 1;
+                if self.limiter.try_push(payer) {
+                    charged = true;
+                    break;
+                }
+            }
+            if !charged {
+                continue;
+            }
+            if !self.alive[victim.index()] {
+                continue;
+            }
+            if self.scenario.message_loss > 0.0 && self.loss_rng.chance(self.scenario.message_loss)
+            {
+                continue;
+            }
+            survivors.push((victim.index() as u32, advertised));
         }
-        for i in 1..counts.len() {
-            counts[i] += counts[i - 1];
-        }
-        sorted.clear();
-        sorted.resize(survivors.len(), (0, NodeId(0)));
-        for &(t, sender) in survivors.iter() {
-            let pos = &mut counts[t as usize];
-            sorted[*pos as usize] = (t, sender);
-            *pos += 1;
+        counting_sort_by_target(survivors, sorted, counts, self.total_actors());
+    }
+
+    /// Plans the adversary's pushes for this round, honouring the
+    /// scenario's attack strategy: `balanced` spreads the budget evenly,
+    /// `targeted` focuses a share of it on a fixed prefix of the correct
+    /// nodes (deterministic per scenario; the adversary knows the
+    /// membership). The planners are protocol-specific (random Byzantine
+    /// IDs against Brahms/RAPTEE, distinct-ID coverage against BASALT).
+    fn plan_adversary_pushes(
+        &mut self,
+        budget: usize,
+        balanced: fn(&mut Adversary, &[NodeId], usize, &mut PushPlan),
+        targeted: fn(&mut Adversary, &[NodeId], &[NodeId], usize, f64, &mut PushPlan),
+        plan: &mut PushPlan,
+    ) {
+        let victims = &self.victims;
+        match self.scenario.attack {
+            AttackStrategy::Balanced => balanced(&mut self.adversary, victims, budget, plan),
+            AttackStrategy::Targeted {
+                victim_fraction,
+                focus,
+            } => {
+                let k = ((victims.len() as f64) * victim_fraction).round() as usize;
+                let targets = &victims[..k.min(victims.len())];
+                targeted(&mut self.adversary, victims, targets, budget, focus, plan);
+            }
         }
     }
 
     /// One Brahms/RAPTEE round (the paper's protocol loop).
-    fn raptee_round(&mut self, s: &mut Scratch) {
-        let total = self.actors.len();
+    fn raptee_round(&mut self, s: &mut Scratch, workers: &mut Vec<WorkerScratch>) {
+        let total = self.total_actors();
+        let byz = self.byz_count;
+        let stride = self.scenario.view_size;
+        let (pop, alpha_count) = match &self.population {
+            Population::Raptee(nodes) => (
+                nodes.len(),
+                nodes.first().map(|n| n.config().brahms.alpha_count()),
+            ),
+            Population::Basalt(_) => unreachable!("BASALT runs through basalt_round"),
+        };
+        // No correct nodes: nothing to simulate (matches the historical
+        // early return before the adversary planned anything).
+        let Some(alpha_count) = alpha_count else {
+            return;
+        };
 
-        // Phase 1: plans (dead nodes do not participate), refilled into
-        // the per-actor plan arenas.
-        for i in 0..total {
-            s.live[i] = match &mut self.actors[i] {
-                Actor::Correct(node) if self.alive[i] => {
-                    node.plan_round_into(&mut s.plans[i]);
-                    true
-                }
-                _ => false,
+        // Phase 1 (parallel, sharded by node): plans — dead nodes do not
+        // participate — plus the post-plan view snapshot that deferred
+        // pull answers will reference, and the per-round reset of the
+        // view-mutation flags.
+        if s.snap_ids.len() != pop * stride {
+            s.snap_ids.resize(pop * stride, NodeId(0));
+        }
+        {
+            let Population::Raptee(nodes) = &mut self.population else {
+                unreachable!()
             };
+            let alive = &self.alive;
+            struct Lane<'a> {
+                item: PlanItem<'a, RapteeNode>,
+                plan: &'a mut RoundPlan,
+                mutated: &'a mut bool,
+                snap: &'a mut [NodeId],
+                snap_len: &'a mut u32,
+            }
+            let mut lanes: Vec<Lane> = nodes
+                .iter_mut()
+                .zip(s.plans.iter_mut())
+                .zip(s.live.iter_mut())
+                .zip(s.view_mutated.iter_mut())
+                .zip(s.snap_ids.chunks_mut(stride))
+                .zip(s.snap_len.iter_mut())
+                .map(|(((((node, plan), live), mutated), snap), snap_len)| Lane {
+                    item: PlanItem { node, live },
+                    plan,
+                    mutated,
+                    snap,
+                    snap_len,
+                })
+                .collect();
+            rayon::par_for_each_mut(&mut lanes, |ci, lane| {
+                *lane.mutated = false;
+                if !alive[byz + ci] {
+                    *lane.item.live = false;
+                    *lane.snap_len = 0;
+                    return;
+                }
+                lane.item.node.plan_round_into(lane.plan);
+                *lane.item.live = true;
+                let view = lane.item.node.brahms().view();
+                for (k, e) in view.entries().iter().enumerate() {
+                    lane.snap[k] = e.id;
+                }
+                *lane.snap_len = view.len() as u32;
+            });
         }
 
-        // Phase 2a: honest pushes (through the rate limiter), delivered
-        // as counting-sorted per-target runs.
+        // Phase 2a (sequential control): honest pushes through the rate
+        // limiter and loss filter, counting-sorted into per-receiver
+        // runs. No per-ID node work happens here — the runs are consumed
+        // by the parallel apply phase.
         {
             let Scratch {
                 plans,
@@ -523,88 +883,107 @@ impl Simulation {
             let planned = plans
                 .iter()
                 .enumerate()
-                .filter(|(i, _)| live[*i])
-                .map(|(i, p)| (i, p.push_targets.as_slice()));
-            self.collect_and_sort_pushes(survivors, sorted, counts, planned);
-            for &(t, sender) in sorted.iter() {
-                if let Actor::Correct(node) = &mut self.actors[t as usize] {
-                    node.record_push(sender);
-                }
-            }
+                .filter(|(ci, _)| live[*ci])
+                .map(|(ci, p)| (byz + ci, p.push_targets.as_slice()));
+            Self::collect_and_sort_pushes(
+                &mut self.limiter,
+                &mut self.loss_rng,
+                &self.alive,
+                self.scenario.message_loss,
+                total,
+                survivors,
+                sorted,
+                counts,
+                planned,
+            );
         }
 
-        // Phase 2b: the adversary's balanced pushes, saturating exactly
-        // its lawful budget B·α·l1 (every push charged to a Byzantine
-        // identity).
-        let alpha_count = match self.actors.iter().find_map(|a| match a {
-            Actor::Correct(n) => Some(n.config().brahms.alpha_count()),
-            _ => None,
-        }) {
-            Some(c) => c,
-            None => return, // no correct nodes: nothing to simulate
-        };
-        let budget = self.byz_count * alpha_count;
+        // Phase 2b (sequential control): the adversary's balanced
+        // pushes, saturating exactly its lawful budget B·α·l1 (every
+        // push charged to a Byzantine identity).
+        let budget = byz * alpha_count;
         self.plan_adversary_pushes(
             budget,
             Adversary::plan_balanced_pushes_into,
             Adversary::plan_targeted_pushes_into,
             &mut s.byz_plan,
         );
-        self.deliver_byz_pushes(&s.byz_plan, |actor, advertised| {
-            if let Actor::Correct(node) = actor {
-                node.record_push(advertised);
-            }
-        });
-
-        // Phase 3: pulls (with mutual authentication).
         {
             let Scratch {
-                plans, live, reply, ..
+                byz_plan,
+                byz_survivors,
+                byz_sorted,
+                byz_counts,
+                ..
             } = s;
-            for i in 0..total {
-                if !live[i] {
-                    continue;
-                }
-                for &target in &plans[i].pull_targets {
-                    self.handle_pull(i, target, reply);
-                }
-            }
+            let plan = std::mem::take(byz_plan);
+            self.collect_byz_pushes(&plan, byz_survivors, byz_sorted, byz_counts);
+            *byz_plan = plan;
         }
 
-        // Phase 3b: proactive trusted exchanges. Each trusted node
-        // initiates one exchange with the oldest entry of its trusted
-        // directory (framework criterion (1): round-robin probing) —
-        // the mechanism that keeps a sparse trusted population meeting
-        // every round once discovered.
+        // Phase 3 (sequential control): pulls. Only the shared ordered
+        // streams run here — loss draws, handshakes, the adversary RNG,
+        // and the (rare) trusted swaps; every untrusted answer is
+        // deferred as a pull event for the parallel apply phase.
+        s.events.clear();
+        s.arena.clear();
+        for ci in 0..pop {
+            s.event_start[ci] = s.events.len() as u32;
+            if !s.live[ci] {
+                continue;
+            }
+            let n_pulls = s.plans[ci].pull_targets.len();
+            for k in 0..n_pulls {
+                let target = s.plans[ci].pull_targets[k];
+                self.control_pull(ci, target, s);
+            }
+        }
+        s.event_start[pop] = s.events.len() as u32;
+
+        // Phase 3b (sequential): proactive trusted exchanges. Each
+        // trusted node initiates one exchange with the oldest entry of
+        // its trusted directory (framework criterion (1): round-robin
+        // probing) — the mechanism that keeps a sparse trusted
+        // population meeting every round once discovered. Swaps here
+        // cannot invalidate snapshot-deferred answers: those reference
+        // the frozen snapshot arena, not the live views.
         if self.scenario.trusted_swap {
-            for i in 0..total {
-                if !self.trusted[i] {
+            let Population::Raptee(nodes) = &mut self.population else {
+                unreachable!()
+            };
+            for ci in 0..pop {
+                let abs = byz + ci;
+                if !self.trusted[abs] {
                     continue;
                 }
-                let partner = match &self.actors[i] {
-                    Actor::Correct(node) => node.trusted_partner(),
-                    _ => None,
+                let Some(partner) = nodes[ci].trusted_partner() else {
+                    continue;
                 };
-                let Some(partner) = partner else { continue };
-                if partner.index() == i || !self.alive[i] {
+                if partner.index() == abs || !self.alive[abs] {
                     continue;
                 }
                 if !self.alive[partner.index()] {
                     // Timeout: forget the dead trusted peer.
-                    if let Actor::Correct(node) = &mut self.actors[i] {
-                        node.forget_trusted_peer(partner);
-                    }
+                    nodes[ci].forget_trusted_peer(partner);
                     continue;
                 }
-                let (a, b) = self.two_nodes(i, partner.index());
+                assert!(
+                    partner.index() >= byz,
+                    "directory entries are authenticated trusted peers"
+                );
+                let (a, b) = two_nodes(nodes, ci, partner.index() - byz);
                 RapteeNode::trusted_swap_kind(a, b, false);
             }
         }
 
-        // Phase 4: adversary observation pulls (identification attack).
-        if self.scenario.identification_attack && self.byz_count > 0 {
+        // Phase 4 (sequential): adversary observation pulls
+        // (identification attack).
+        if self.scenario.identification_attack && byz > 0 {
             let beta_count = alpha_count; // α = β in the paper's config
-            for _ in 0..self.byz_count {
+            let Population::Raptee(nodes) = &self.population else {
+                unreachable!()
+            };
+            for _ in 0..byz {
                 self.adversary.observation_targets_into(
                     &self.ident_candidates,
                     beta_count,
@@ -612,62 +991,154 @@ impl Simulation {
                 );
                 for idx in 0..s.observed.len() {
                     let t = s.observed[idx];
-                    if let Actor::Correct(node) = &self.actors[t.index()] {
-                        let view = node.brahms().view();
-                        if view.is_empty() {
-                            continue;
-                        }
-                        let byz = view.ids().filter(|id| id.index() < self.byz_count).count();
-                        let share = byz as f64 / view.len() as f64;
-                        self.adversary.record_share(t, share);
+                    let view = nodes[t.index() - byz].brahms().view();
+                    if view.is_empty() {
+                        continue;
                     }
+                    let byz_in_view = view.ids().filter(|id| id.index() < byz).count();
+                    let share = byz_in_view as f64 / view.len() as f64;
+                    self.adversary.record_share(t, share);
                 }
             }
         }
 
-        // Phase 5: finalisation + metrics.
+        // Phase 5 (parallel apply, sharded by node): stream
+        // reconstruction from the shared arenas, round finalisation and
+        // per-node metric observation into the stat slots.
         let validation_due = self.scenario.sampler_validation_period > 0
             && (self.round + 1).is_multiple_of(self.scenario.sampler_validation_period);
-        let mut acc = RoundAccumulator::new(std::mem::take(&mut s.shares));
-        for i in 0..total {
-            if !self.alive[i] {
-                continue;
-            }
-            let Actor::Correct(node) = &mut self.actors[i] else {
-                continue;
+        {
+            let Population::Raptee(nodes) = &mut self.population else {
+                unreachable!()
             };
-            if validation_due {
-                // Brahms sampler validation: probe sampled nodes, re-draw
-                // the samplers whose sample is dead.
-                let alive = &self.alive;
-                let brahms = node.brahms_mut();
-                let (sampler, rng) = brahms.sampler_and_rng_mut();
-                sampler.validate(|id| alive.get(id.index()).copied().unwrap_or(false), rng);
-            }
-            let outcome = node.finish_round();
-            self.total_evicted += outcome.evicted as u64;
-            if outcome.report.push_flood_detected {
-                self.floods_detected += 1;
-            }
-            // Discovery counts an ID once it has *entered the dynamic
-            // view* (matching the paper's round counts; IDs merely seen
-            // in transit — or evicted — do not count).
-            acc.observe_node(
-                i,
-                node.brahms().view().ids(),
-                self.byz_count,
-                self.discovery_target,
-                &mut self.discovery,
-                &mut self.share_windows,
-            );
+            let Scratch {
+                stats,
+                events,
+                event_start,
+                arena,
+                snap_ids,
+                snap_len,
+                sorted,
+                counts,
+                byz_sorted,
+                byz_counts,
+                ..
+            } = s;
+            let (events, event_start) = (&events[..], &event_start[..]);
+            let (arena, snap_ids, snap_len) = (&arena[..], &snap_ids[..], &snap_len[..]);
+            let (sorted, counts) = (&sorted[..], &counts[..]);
+            let (byz_sorted, byz_counts) = (&byz_sorted[..], &byz_counts[..]);
+            let alive = &self.alive;
+            let adversary = &self.adversary;
+            let mut items: Vec<FinishItem<RapteeNode>> = nodes
+                .iter_mut()
+                .zip(stats.iter_mut())
+                .zip(self.discovery.rows_mut())
+                .zip(self.share_rings.rows_mut())
+                .map(|(((node, stat), disc), ring)| FinishItem {
+                    node,
+                    stat,
+                    disc,
+                    ring,
+                })
+                .collect();
+            rayon::par_for_each_scratch(&mut items, workers, |ws, ci, it| {
+                let abs = byz + ci;
+                *it.stat = RoundStat::default();
+                if !alive[abs] {
+                    return;
+                }
+                it.stat.participated = true;
+                if validation_due {
+                    // Brahms sampler validation: probe sampled nodes,
+                    // re-draw the samplers whose sample is dead.
+                    let brahms = it.node.brahms_mut();
+                    let (sampler, rng) = brahms.sampler_and_rng_mut();
+                    sampler.validate(|id| alive.get(id.index()).copied().unwrap_or(false), rng);
+                }
+                let me = NodeId(abs as u64);
+                // Push stream: the honest counting-sorted run, then the
+                // adversary's run — each receiver's historical arrival
+                // order, with the `record_push` self-filter.
+                ws.pushed.clear();
+                let (h0, h1) = run_bounds(counts, abs);
+                ws.pushed.extend(
+                    sorted[h0..h1]
+                        .iter()
+                        .map(|&(_, sender)| sender)
+                        .filter(|&x| x != me),
+                );
+                let (b0, b1) = run_bounds(byz_counts, abs);
+                ws.pushed.extend(
+                    byz_sorted[b0..b1]
+                        .iter()
+                        .map(|&(_, advertised)| advertised)
+                        .filter(|&x| x != me),
+                );
+                // Untrusted pull stream, reconstructed in delivery order.
+                ws.untrusted.clear();
+                let e0 = event_start[ci] as usize;
+                let e1 = event_start[ci + 1] as usize;
+                for ev in &events[e0..e1] {
+                    match ev {
+                        PullEvent::Snapshot { responder } => {
+                            let r = *responder as usize;
+                            let base = r * stride;
+                            ws.untrusted
+                                .extend_from_slice(&snap_ids[base..base + snap_len[r] as usize]);
+                        }
+                        PullEvent::Arena { start, len } => {
+                            let (a, b) = (*start as usize, (*start + *len) as usize);
+                            ws.untrusted.extend_from_slice(&arena[a..b]);
+                        }
+                        PullEvent::ByzReplay { rng } => {
+                            let mut rng = rng.clone();
+                            adversary.replay_pull_answer(&mut rng, &mut ws.idx, &mut ws.reply);
+                            ws.untrusted.extend_from_slice(&ws.reply);
+                        }
+                    }
+                }
+                let outcome = it.node.finish_round_streamed(
+                    &ws.pushed,
+                    &mut ws.untrusted,
+                    (e1 - e0) as u32,
+                    &mut ws.pulled,
+                    &mut ws.finish,
+                );
+                it.stat.evicted = outcome.evicted as u32;
+                it.stat.flood = outcome.report.push_flood_detected;
+                // Discovery counts an ID once it has *entered the
+                // dynamic view* (matching the paper's round counts; IDs
+                // merely seen in transit — or evicted — do not count).
+                let mut len = 0usize;
+                let mut byz_in_view = 0usize;
+                for id in it.node.brahms().view().ids() {
+                    len += 1;
+                    if id.index() < byz {
+                        byz_in_view += 1;
+                    } else if id.index() < total {
+                        it.disc.insert(id.index());
+                    }
+                }
+                it.stat.discovered = it.disc.count() as u32;
+                if len > 0 {
+                    let share = byz_in_view as f64 / len as f64;
+                    it.stat.share = share;
+                    it.stat.has_share = true;
+                    it.stat.smoothed = it.ring.push_and_mean(share);
+                }
+            });
         }
-        s.shares = self.finish_round_metrics(acc);
+
+        // Fold (sequential, node-index order — float accumulation order
+        // is exactly the historical per-actor loop's).
+        let shares = std::mem::take(&mut s.shares);
+        s.shares = self.fold_round_stats(&s.stats, shares);
 
         if self.scenario.identification_attack {
             let flagged = self
                 .adversary
                 .classify_trusted(self.scenario.identification_threshold);
-            let byz = self.byz_count;
             let trusted = &self.trusted;
             let n = self.scenario.n;
             // Ground truth: genuine trusted nodes (injected ones are the
@@ -689,27 +1160,136 @@ impl Simulation {
         }
     }
 
+    /// One pull of the sequential exchange pass: replicates the
+    /// historical `handle_pull` control flow but defers untrusted
+    /// answers as [`PullEvent`]s instead of copying IDs.
+    fn control_pull(&mut self, requester_ci: usize, target: NodeId, s: &mut Scratch) {
+        let byz = self.byz_count;
+        let requester_abs = byz + requester_ci;
+        let t = target.index();
+        if t == requester_abs || t >= self.total_actors() {
+            return;
+        }
+        let Population::Raptee(nodes) = &mut self.population else {
+            unreachable!()
+        };
+        // A crashed responder times out: the requester learns nothing
+        // and drops the stale link (Cyclon-style timeout handling).
+        if !self.alive[t] {
+            let node = &mut nodes[requester_ci];
+            node.brahms_mut().view_mut().remove(target);
+            node.forget_trusted_peer(target);
+            s.view_mutated[requester_ci] = true;
+            return;
+        }
+        if self.scenario.message_loss > 0.0 && self.loss_rng.chance(self.scenario.message_loss) {
+            return; // request or answer lost in transit
+        }
+        if t < byz {
+            // Byzantine responders fail authentication (random keys) and
+            // answer with exclusively Byzantine IDs. The coordinator RNG
+            // must advance here, in event order; the answer itself is
+            // regenerated in parallel from the pre-draw snapshot.
+            let snapshot = self.adversary.rng_snapshot();
+            self.adversary.pull_answer_into(&mut s.reply);
+            s.events.push(PullEvent::ByzReplay { rng: snapshot });
+            return;
+        }
+        let tc = t - byz;
+        let both_trusted = self.trusted[requester_abs] && self.trusted[t];
+        let outcome_trusted = if self.scenario.real_crypto_handshakes {
+            let (a, b) = two_nodes(nodes, requester_ci, tc);
+            let (oa, ob) = RapteeNode::run_handshake(a, b);
+            debug_assert_eq!(oa, ob);
+            debug_assert_eq!(oa == AuthOutcome::Trusted, both_trusted);
+            oa == AuthOutcome::Trusted
+        } else {
+            both_trusted
+        };
+        if outcome_trusted && self.scenario.trusted_swap {
+            let (a, b) = two_nodes(nodes, requester_ci, tc);
+            RapteeNode::trusted_swap(a, b);
+            s.view_mutated[requester_ci] = true;
+            s.view_mutated[tc] = true;
+        } else if outcome_trusted {
+            // The swap-disabled ablation: the pair still recognises each
+            // other, so the answer bypasses eviction, but no half-view
+            // exchange happens. Trusted answers are rare — record them
+            // immediately from the live view.
+            s.reply.clear();
+            s.reply.extend(nodes[tc].brahms().view().ids());
+            nodes[requester_ci].record_trusted_pull(&s.reply);
+        } else {
+            // An untrusted answer: the responder's full view at this
+            // moment. If the responder's view is still exactly its
+            // post-plan snapshot, defer by reference; otherwise copy the
+            // live view into the answer arena.
+            if !s.view_mutated[tc] {
+                s.events.push(PullEvent::Snapshot {
+                    responder: tc as u32,
+                });
+            } else {
+                let start = s.arena.len() as u32;
+                s.arena.extend(nodes[tc].brahms().view().ids());
+                let len = s.arena.len() as u32 - start;
+                s.events.push(PullEvent::Arena { start, len });
+            }
+        }
+    }
+
     /// One BASALT round: pushes and pulls ranked on arrival, the
     /// adversary running the force-push attack, periodic seed rotation at
     /// round end. Shares the rate limiter, message-loss and crash
-    /// machinery with the Brahms/RAPTEE path.
-    fn basalt_round(&mut self, s: &mut Scratch) {
-        let total = self.actors.len();
+    /// machinery with the Brahms/RAPTEE path. Planning, push application
+    /// and finalisation shard across workers; the pull phase stays
+    /// sequential because ranked views make answers order-dependent
+    /// across nodes.
+    fn basalt_round(&mut self, s: &mut Scratch, workers: &mut Vec<WorkerScratch>) {
+        let total = self.total_actors();
+        let byz = self.byz_count;
+        let (pop, push_count) = match &self.population {
+            Population::Basalt(nodes) => {
+                (nodes.len(), nodes.first().map(|n| n.config().push_count))
+            }
+            Population::Raptee(_) => unreachable!("Brahms/RAPTEE runs through raptee_round"),
+        };
+        // No correct nodes: nothing to simulate.
+        let Some(push_count) = push_count else {
+            return;
+        };
 
-        // Phase 1: plans (dead nodes do not participate), refilled into
-        // the per-actor plan arenas.
-        for i in 0..total {
-            s.live[i] = match &mut self.actors[i] {
-                Actor::Basalt(node) if self.alive[i] => {
-                    node.plan_round_into(&mut s.basalt_plans[i]);
-                    true
-                }
-                _ => false,
+        // Phase 1 (parallel): plans — dead nodes do not participate.
+        {
+            let Population::Basalt(nodes) = &mut self.population else {
+                unreachable!()
             };
+            let alive = &self.alive;
+            struct Lane<'a> {
+                item: PlanItem<'a, BasaltNode>,
+                plan: &'a mut BasaltPlan,
+            }
+            let mut lanes: Vec<Lane> = nodes
+                .iter_mut()
+                .zip(s.basalt_plans.iter_mut())
+                .zip(s.live.iter_mut())
+                .map(|((node, plan), live)| Lane {
+                    item: PlanItem { node, live },
+                    plan,
+                })
+                .collect();
+            rayon::par_for_each_mut(&mut lanes, |ci, lane| {
+                if alive[byz + ci] {
+                    lane.item.node.plan_round_into(lane.plan);
+                    *lane.item.live = true;
+                } else {
+                    *lane.item.live = false;
+                }
+            });
         }
 
-        // Phase 2a: honest pushes (each node advertises itself, through
-        // the rate limiter), delivered as counting-sorted per-target runs.
+        // Phase 2a (sequential control): honest pushes (each node
+        // advertises itself) through the rate limiter, counting-sorted
+        // into per-receiver runs.
         {
             let Scratch {
                 basalt_plans,
@@ -722,89 +1302,162 @@ impl Simulation {
             let planned = basalt_plans
                 .iter()
                 .enumerate()
-                .filter(|(i, _)| live[*i])
-                .map(|(i, p)| (i, p.push_targets.as_slice()));
-            self.collect_and_sort_pushes(survivors, sorted, counts, planned);
-            for &(t, sender) in sorted.iter() {
-                if let Actor::Basalt(node) = &mut self.actors[t as usize] {
-                    node.record_push(sender);
-                }
-                self.note_discovered(t as usize, sender);
-            }
+                .filter(|(ci, _)| live[*ci])
+                .map(|(ci, p)| (byz + ci, p.push_targets.as_slice()));
+            Self::collect_and_sort_pushes(
+                &mut self.limiter,
+                &mut self.loss_rng,
+                &self.alive,
+                self.scenario.message_loss,
+                total,
+                survivors,
+                sorted,
+                counts,
+                planned,
+            );
         }
 
-        // Phase 2b: the adversary's force pushes — maximal identity
-        // coverage at exactly its lawful budget B·push_count, every push
-        // charged to a Byzantine identity.
-        let push_count = match self.actors.iter().find_map(|a| match a {
-            Actor::Basalt(n) => Some(n.config().push_count),
-            _ => None,
-        }) {
-            Some(c) => c,
-            None => return, // no correct nodes: nothing to simulate
-        };
-        let budget = self.byz_count * push_count;
+        // Phase 2b (sequential control): the adversary's force pushes —
+        // maximal identity coverage at exactly its lawful budget
+        // B·push_count, every push charged to a Byzantine identity.
+        let budget = byz * push_count;
         self.plan_adversary_pushes(
             budget,
             Adversary::plan_force_pushes_into,
             Adversary::plan_targeted_force_pushes_into,
             &mut s.byz_plan,
         );
-        self.deliver_byz_pushes(&s.byz_plan, |actor, advertised| {
-            if let Actor::Basalt(node) = actor {
-                node.record_push(advertised);
-            }
-        });
-
-        // Phase 3: pull exchanges, least-confirmed samples first.
         {
             let Scratch {
-                basalt_plans,
-                live,
-                reply,
+                byz_plan,
+                byz_survivors,
+                byz_sorted,
+                byz_counts,
                 ..
             } = s;
-            for i in 0..total {
-                if !live[i] {
-                    continue;
+            let plan = std::mem::take(byz_plan);
+            self.collect_byz_pushes(&plan, byz_survivors, byz_sorted, byz_counts);
+            *byz_plan = plan;
+        }
+
+        // Phase 2-apply (parallel, sharded by receiver): rank the honest
+        // run, then the adversary's run, into each receiver's
+        // hit-counter view; honest senders count as discovered.
+        {
+            let Population::Basalt(nodes) = &mut self.population else {
+                unreachable!()
+            };
+            let Scratch {
+                sorted,
+                counts,
+                byz_sorted,
+                byz_counts,
+                ..
+            } = s;
+            let (sorted, counts) = (&sorted[..], &counts[..]);
+            let (byz_sorted, byz_counts) = (&byz_sorted[..], &byz_counts[..]);
+            struct Lane<'a> {
+                node: &'a mut BasaltNode,
+                disc: DiscoveryRow<'a>,
+            }
+            let mut lanes: Vec<Lane> = nodes
+                .iter_mut()
+                .zip(self.discovery.rows_mut())
+                .map(|(node, disc)| Lane { node, disc })
+                .collect();
+            rayon::par_for_each_mut(&mut lanes, |ci, lane| {
+                let abs = byz + ci;
+                let (h0, h1) = run_bounds(counts, abs);
+                for &(_, sender) in &sorted[h0..h1] {
+                    lane.node.record_push(sender);
+                    if sender.index() >= byz && sender.index() < total {
+                        lane.disc.insert(sender.index());
+                    }
                 }
-                for &target in &basalt_plans[i].pull_targets {
-                    self.handle_basalt_pull(i, target, reply);
+                let (b0, b1) = run_bounds(byz_counts, abs);
+                for &(_, advertised) in &byz_sorted[b0..b1] {
+                    lane.node.record_push(advertised);
                 }
+            });
+        }
+
+        // Phase 3 (sequential): pull exchanges, least-confirmed samples
+        // first. Order-dependent across nodes (every answer is ranked on
+        // arrival and shapes later answers), so this phase does not
+        // shard.
+        for ci in 0..pop {
+            if !s.live[ci] {
+                continue;
+            }
+            let n_pulls = s.basalt_plans[ci].pull_targets.len();
+            for k in 0..n_pulls {
+                let target = s.basalt_plans[ci].pull_targets[k];
+                self.basalt_pull(ci, target, s);
             }
         }
 
-        // Phase 4: finalisation (seed rotation) + metrics over the
-        // per-slot samples.
-        let mut acc = RoundAccumulator::new(std::mem::take(&mut s.shares));
-        for i in 0..total {
-            if !self.alive[i] {
-                continue;
-            }
-            let Actor::Basalt(node) = &mut self.actors[i] else {
-                continue;
+        // Phase 4 (parallel): finalisation (seed rotation) + metrics
+        // over the per-slot samples.
+        {
+            let Population::Basalt(nodes) = &mut self.population else {
+                unreachable!()
             };
-            let report = node.finish_round();
-            self.seed_rotations += report.rotated as u64;
-            acc.observe_node(
-                i,
-                node.view().sample_iter(),
-                self.byz_count,
-                self.discovery_target,
-                &mut self.discovery,
-                &mut self.share_windows,
-            );
+            let alive = &self.alive;
+            let mut items: Vec<FinishItem<BasaltNode>> = nodes
+                .iter_mut()
+                .zip(s.stats.iter_mut())
+                .zip(self.discovery.rows_mut())
+                .zip(self.share_rings.rows_mut())
+                .map(|(((node, stat), disc), ring)| FinishItem {
+                    node,
+                    stat,
+                    disc,
+                    ring,
+                })
+                .collect();
+            rayon::par_for_each_mut(&mut items, |ci, it| {
+                *it.stat = RoundStat::default();
+                if !alive[byz + ci] {
+                    return;
+                }
+                it.stat.participated = true;
+                let report = it.node.finish_round();
+                it.stat.rotated = report.rotated as u32;
+                let mut len = 0usize;
+                let mut byz_in_view = 0usize;
+                for id in it.node.view().sample_iter() {
+                    len += 1;
+                    if id.index() < byz {
+                        byz_in_view += 1;
+                    } else if id.index() < total {
+                        it.disc.insert(id.index());
+                    }
+                }
+                it.stat.discovered = it.disc.count() as u32;
+                if len > 0 {
+                    let share = byz_in_view as f64 / len as f64;
+                    it.stat.share = share;
+                    it.stat.has_share = true;
+                    it.stat.smoothed = it.ring.push_and_mean(share);
+                }
+            });
         }
-        s.shares = self.finish_round_metrics(acc);
+        let _ = workers; // BASALT finalisation needs no per-worker arenas
+
+        let shares = std::mem::take(&mut s.shares);
+        s.shares = self.fold_round_stats(&s.stats, shares);
     }
 
-    /// One BASALT pull exchange: the responder's distinct view flows back
-    /// (through the round's reusable reply buffer) and is ranked
-    /// immediately; the responder learns the requester (exchanges are
-    /// bidirectional contacts).
-    fn handle_basalt_pull(&mut self, requester: usize, target: NodeId, reply: &mut Vec<NodeId>) {
+    /// One BASALT pull exchange of the sequential phase: the responder's
+    /// distinct view flows back (through the round's reusable reply
+    /// buffer) and is ranked immediately; the responder learns the
+    /// requester (exchanges are bidirectional contacts).
+    fn basalt_pull(&mut self, requester_ci: usize, target: NodeId, s: &mut Scratch) {
+        let byz = self.byz_count;
+        let total = self.total_actors();
+        let requester_abs = byz + requester_ci;
         let t = target.index();
-        if t == requester || t >= self.actors.len() {
+        if t == requester_abs || t >= total {
             return;
         }
         // A crashed responder times out; its stale samples are recycled
@@ -815,47 +1468,59 @@ impl Simulation {
         if self.scenario.message_loss > 0.0 && self.loss_rng.chance(self.scenario.message_loss) {
             return; // request or answer lost in transit
         }
-        if matches!(self.actors[t], Actor::Byzantine) {
+        let Population::Basalt(nodes) = &mut self.population else {
+            unreachable!()
+        };
+        if t < byz {
             // Byzantine responders answer with exclusively Byzantine IDs
             // — rank-blind poison the hit-counter view absorbs.
-            self.adversary.pull_answer_into(reply);
+            self.adversary.pull_answer_into(&mut s.reply);
         } else {
-            match &mut self.actors[t] {
-                Actor::Basalt(node) => node.pull_answer_into(reply),
-                Actor::Correct(_) => return, // mixed populations are not modelled
-                Actor::Byzantine => unreachable!("handled above"),
-            }
+            nodes[t - byz].pull_answer_into(&mut s.reply);
         }
-        if let Actor::Basalt(node) = &mut self.actors[requester] {
-            node.record_pull_answer(target, reply);
-        }
+        nodes[requester_ci].record_pull_answer(target, &s.reply);
         // Discovery under BASALT counts *ranked candidates*: the view is
         // deliberately stable (slots converge to their distance minima),
         // so the Brahms "entered the dynamic view" criterion would
         // measure rotation pacing, not knowledge. A candidate that has
         // been ranked against every slot has genuinely been discovered.
-        self.note_discovered(requester, target);
-        for &id in reply.iter() {
-            self.note_discovered(requester, id);
+        note_discovered(&mut self.discovery, byz, total, requester_ci, target);
+        for idx in 0..s.reply.len() {
+            note_discovered(&mut self.discovery, byz, total, requester_ci, s.reply[idx]);
         }
-        let requester_id = NodeId(requester as u64);
-        if let Actor::Basalt(node) = &mut self.actors[t] {
-            node.record_push(requester_id);
+        let requester_id = NodeId(requester_abs as u64);
+        if t >= byz {
+            nodes[t - byz].record_push(requester_id);
+            note_discovered(&mut self.discovery, byz, total, t - byz, requester_id);
         }
-        self.note_discovered(t, requester_id);
     }
 
-    /// Marks non-Byzantine `id` as discovered by actor `i` (no-op for
-    /// Byzantine IDs and Byzantine observers).
-    fn note_discovered(&mut self, i: usize, id: NodeId) {
-        if id.index() < self.byz_count {
-            return;
-        }
-        if let Some(set) = &mut self.discovery[i] {
-            if id.index() < set.len() {
-                set.insert(id.index());
+    /// Folds the apply phase's per-node stat slots, in node-index order,
+    /// into the run counters and this round's [`RoundAccumulator`], then
+    /// into the run series. Returns the share buffer for reuse.
+    fn fold_round_stats(&mut self, stats: &[RoundStat], shares: Vec<f64>) -> Vec<f64> {
+        let mut acc = RoundAccumulator::new(shares);
+        for stat in stats {
+            if !stat.participated {
+                continue;
+            }
+            self.total_evicted += u64::from(stat.evicted);
+            if stat.flood {
+                self.floods_detected += 1;
+            }
+            self.seed_rotations += u64::from(stat.rotated);
+            acc.discovered_sum += stat.discovered as usize;
+            acc.discovered_nodes += 1;
+            if (stat.discovered as usize) < self.discovery_target {
+                acc.all_discovered = false;
+            }
+            if stat.has_share {
+                acc.shares.push(stat.smoothed);
+                acc.share_sum += stat.share;
+                acc.share_count += 1;
             }
         }
+        self.finish_round_metrics(acc)
     }
 
     /// Folds one round's [`RoundAccumulator`] into the run series:
@@ -908,152 +1573,6 @@ impl Simulation {
         }
         // Hand the share buffer back for reuse next round.
         shares
-    }
-
-    /// Plans the adversary's pushes for this round, honouring the
-    /// scenario's attack strategy: `balanced` spreads the budget evenly,
-    /// `targeted` focuses a share of it on a fixed prefix of the correct
-    /// nodes (deterministic per scenario; the adversary knows the
-    /// membership). The planners are protocol-specific (random Byzantine
-    /// IDs against Brahms/RAPTEE, distinct-ID coverage against BASALT).
-    fn plan_adversary_pushes(
-        &mut self,
-        budget: usize,
-        balanced: fn(&mut Adversary, &[NodeId], usize, &mut PushPlan),
-        targeted: fn(&mut Adversary, &[NodeId], &[NodeId], usize, f64, &mut PushPlan),
-        plan: &mut PushPlan,
-    ) {
-        let victims = &self.victims;
-        match self.scenario.attack {
-            AttackStrategy::Balanced => balanced(&mut self.adversary, victims, budget, plan),
-            AttackStrategy::Targeted {
-                victim_fraction,
-                focus,
-            } => {
-                let k = ((victims.len() as f64) * victim_fraction).round() as usize;
-                let targets = &victims[..k.min(victims.len())];
-                targeted(&mut self.adversary, victims, targets, budget, focus, plan);
-            }
-        }
-    }
-
-    /// Charges each planned adversary push to a Byzantine identity
-    /// through the rate limiter (rotating payers — the budget equals
-    /// exactly B × the per-identity allowance), applies the liveness and
-    /// message-loss filters, and hands the survivors to `deliver`. Shared
-    /// by every protocol path so Brahms-vs-BASALT comparisons face
-    /// provably identical adversary machinery.
-    fn deliver_byz_pushes(&mut self, byz_pushes: &PushPlan, deliver: fn(&mut Actor, NodeId)) {
-        let mut charge_rotor = 0usize;
-        for &(victim, advertised) in byz_pushes {
-            let mut charged = false;
-            for _ in 0..self.byz_count {
-                let payer = NodeId((charge_rotor % self.byz_count.max(1)) as u64);
-                charge_rotor += 1;
-                if self.limiter.try_push(payer) {
-                    charged = true;
-                    break;
-                }
-            }
-            if !charged {
-                continue;
-            }
-            if !self.alive[victim.index()] {
-                continue;
-            }
-            if self.scenario.message_loss > 0.0 && self.loss_rng.chance(self.scenario.message_loss)
-            {
-                continue;
-            }
-            deliver(&mut self.actors[victim.index()], advertised);
-        }
-    }
-
-    /// One pull interaction: authentication, then swap or plain pull.
-    /// `reply` is the round's reusable answer buffer.
-    fn handle_pull(&mut self, requester: usize, target: NodeId, reply: &mut Vec<NodeId>) {
-        let t = target.index();
-        if t == requester || t >= self.actors.len() {
-            return;
-        }
-        // A crashed responder times out: the requester learns nothing
-        // and drops the stale link (Cyclon-style timeout handling).
-        if !self.alive[t] {
-            if let Actor::Correct(node) = &mut self.actors[requester] {
-                node.brahms_mut().view_mut().remove(target);
-                node.forget_trusted_peer(target);
-            }
-            return;
-        }
-        if self.scenario.message_loss > 0.0 && self.loss_rng.chance(self.scenario.message_loss) {
-            return; // request or answer lost in transit
-        }
-        match &self.actors[t] {
-            Actor::Byzantine => {
-                // Byzantine responders fail authentication (random keys)
-                // and answer with exclusively Byzantine IDs.
-                self.adversary.pull_answer_into(reply);
-                if let Actor::Correct(node) = &mut self.actors[requester] {
-                    node.record_untrusted_pull(reply);
-                }
-            }
-            Actor::Basalt(_) => unreachable!("BASALT actors never appear on the RAPTEE path"),
-            Actor::Correct(_) => {
-                let both_trusted = self.trusted[requester] && self.trusted[t];
-                let outcome_trusted = if self.scenario.real_crypto_handshakes {
-                    let (a, b) = self.two_nodes(requester, t);
-                    let (oa, ob) = RapteeNode::run_handshake(a, b);
-                    debug_assert_eq!(oa, ob);
-                    debug_assert_eq!(oa == AuthOutcome::Trusted, both_trusted);
-                    oa == AuthOutcome::Trusted
-                } else {
-                    both_trusted
-                };
-                if outcome_trusted && self.scenario.trusted_swap {
-                    let (a, b) = self.two_nodes(requester, t);
-                    RapteeNode::trusted_swap(a, b);
-                } else {
-                    // Either an untrusted answer, or the swap-disabled
-                    // ablation: the pair still recognises each other, so
-                    // the answer bypasses eviction, but no half-view
-                    // exchange happens. The responder's full view streams
-                    // through the round's reply buffer (what
-                    // `pull_answer` returns, without the allocation).
-                    reply.clear();
-                    match &self.actors[t] {
-                        Actor::Correct(node) => reply.extend(node.brahms().view().ids()),
-                        _ => unreachable!(),
-                    }
-                    if let Actor::Correct(node) = &mut self.actors[requester] {
-                        if outcome_trusted {
-                            node.record_trusted_pull(reply);
-                        } else {
-                            node.record_untrusted_pull(reply);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Split-borrows two distinct correct nodes.
-    fn two_nodes(&mut self, a: usize, b: usize) -> (&mut RapteeNode, &mut RapteeNode) {
-        assert_ne!(a, b, "cannot borrow the same node twice");
-        let (x, y, swapped) = if a < b { (a, b, false) } else { (b, a, true) };
-        let (lo, hi) = self.actors.split_at_mut(y);
-        let first = match &mut lo[x] {
-            Actor::Correct(n) => n.as_mut(),
-            _ => panic!("actor {x} is not a RAPTEE node"),
-        };
-        let second = match &mut hi[0] {
-            Actor::Correct(n) => n.as_mut(),
-            _ => panic!("actor {y} is not a RAPTEE node"),
-        };
-        if swapped {
-            (second, first)
-        } else {
-            (first, second)
-        }
     }
 
     fn into_result(self) -> RunResult {
@@ -1212,7 +1731,7 @@ mod tests {
         let mut s = small(Protocol::Raptee);
         s.injected_poisoned_fraction = 0.1;
         let sim = Simulation::new(s.clone());
-        assert_eq!(sim.actors.len(), s.total_actors());
+        assert_eq!(sim.total_actors(), s.total_actors());
         // The injected trusted nodes start with fully Byzantine views.
         let first_injected = NodeId(s.n as u64);
         assert!(sim.is_trusted(first_injected));

@@ -16,13 +16,17 @@
 //!   identification classifier of Section VI-A, and the view-poisoned
 //!   trusted-node injection of Section VI-B.
 //! * [`engine`] — the synchronous round loop gluing nodes, network
-//!   defences and adversary together.
+//!   defences and adversary together; phase-parallel within a single
+//!   run (plan/apply phases shard by node over `RAYON_NUM_THREADS`
+//!   workers) with bit-identical results at every thread count.
 //! * [`metrics`] — resilience, system-discovery time, view-stability
 //!   time, identification precision/recall/F1.
 //! * [`runner`] — repetition and (rayon-parallel) parameter sweeps, plus
 //!   the derived quantities the figures plot (resilience improvement %,
 //!   round-overhead %).
-//! * [`bitset`] — a dense bitset for per-node discovery tracking.
+//! * [`bitset`] — dense bitsets plus the flat per-node discovery
+//!   matrix (struct-of-arrays, disjoint row handles for the parallel
+//!   apply phase).
 
 pub mod adversary;
 pub mod bitset;

@@ -24,8 +24,10 @@
 //! 3. `std::thread::available_parallelism()`.
 
 use std::collections::VecDeque;
+use std::marker::PhantomData;
 use std::num::NonZeroUsize;
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 pub mod prelude {
@@ -128,6 +130,14 @@ pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     result
 }
 
+/// The worker count the shim would use right now (rayon-compatible
+/// name): scoped override, then `RAYON_NUM_THREADS`, then the machine's
+/// available parallelism. Inside a parallel region this still reports
+/// the configured count, but nested parallel calls run serially.
+pub fn current_num_threads() -> usize {
+    configured_threads()
+}
+
 /// Resolves the worker count: scoped override, then `RAYON_NUM_THREADS`,
 /// then the machine's available parallelism.
 fn configured_threads() -> usize {
@@ -213,6 +223,90 @@ fn par_apply<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Ve
         .into_iter()
         .map(|r| r.expect("every item computed exactly once"))
         .collect()
+}
+
+/// A `*mut T` that may cross thread boundaries. Soundness rests on the
+/// claiming discipline of [`par_for_each_scratch`]: every index is
+/// handed out exactly once by an atomic cursor, so no two workers ever
+/// hold a `&mut` to the same element.
+struct SharedMutPtr<T>(*mut T, PhantomData<T>);
+
+unsafe impl<T: Send> Send for SharedMutPtr<T> {}
+unsafe impl<T: Send> Sync for SharedMutPtr<T> {}
+
+/// In-place parallel for-each over a mutable slice with **per-worker
+/// scratch state** — the primitive behind the simulation engine's
+/// intra-run phase parallelism (plan / apply phases iterate disjoint
+/// per-node state; per-worker arenas keep the hot path allocation-free).
+///
+/// Semantics:
+///
+/// * `f(scratch, index, item)` runs exactly once per element; which
+///   worker runs it is schedule-dependent, so `f` must derive its output
+///   purely from `(scratch, index, item)` and shared immutable captures
+///   — under that contract results are bit-identical for every thread
+///   count, including 1.
+/// * `scratch` is grown with `S::default()` to the worker count and
+///   worker `w` exclusively uses `scratch[w]`; entries persist across
+///   calls so capacity is reused round after round.
+/// * Indices are claimed from an atomic cursor (dynamic load balancing —
+///   heterogeneous per-node costs cannot serialize on one worker).
+/// * Inside an already-parallel region (nested call, or a call made from
+///   a `par_iter` worker such as a sweep repetition) the loop runs
+///   serially on `scratch[0]`, mirroring real rayon's single global pool
+///   — never threads².
+pub fn par_for_each_scratch<T, S, F>(items: &mut [T], scratch: &mut Vec<S>, f: F)
+where
+    T: Send,
+    S: Send + Default,
+    F: Fn(&mut S, usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let threads = configured_threads().min(n.max(1));
+    if scratch.len() < threads {
+        scratch.resize_with(threads, S::default);
+    }
+    if threads <= 1 || IN_PAR_REGION.with(|flag| flag.get()) {
+        let s = &mut scratch[0];
+        for (i, item) in items.iter_mut().enumerate() {
+            f(s, i, item);
+        }
+        return;
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let cursor = &cursor;
+    let base = SharedMutPtr(items.as_mut_ptr(), PhantomData);
+    let base = &base;
+    let f = &f;
+    std::thread::scope(|scope| {
+        for s in scratch[..threads].iter_mut() {
+            scope.spawn(move || {
+                IN_PAR_REGION.with(|flag| flag.set(true));
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // SAFETY: `i` came from a fetch_add, so this worker
+                    // is the only one ever to receive it; the element
+                    // borrow is exclusive for the duration of `f`.
+                    let item = unsafe { &mut *base.0.add(i) };
+                    f(s, i, item);
+                }
+            });
+        }
+    });
+}
+
+/// [`par_for_each_scratch`] without per-worker state.
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let mut scratch: Vec<()> = Vec::new();
+    par_for_each_scratch(items, &mut scratch, |(), i, item| f(i, item));
 }
 
 #[cfg(test)]
@@ -305,6 +399,72 @@ mod tests {
             });
             assert_eq!(super::configured_threads(), 2);
         });
+    }
+
+    #[test]
+    fn for_each_mut_visits_every_index_once() {
+        for threads in [1, 2, 4, 16] {
+            crate::with_num_threads(threads, || {
+                let mut v = vec![0u64; 1000];
+                crate::par_for_each_mut(&mut v, |i, x| *x += i as u64 + 1);
+                assert!(
+                    v.iter().enumerate().all(|(i, &x)| x == i as u64 + 1),
+                    "threads={threads}"
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn scratch_is_per_worker_and_persistent() {
+        let mut scratch: Vec<Vec<u64>> = Vec::new();
+        crate::with_num_threads(4, || {
+            let mut v = vec![1u64; 256];
+            crate::par_for_each_scratch(&mut v, &mut scratch, |s, i, x| {
+                s.clear(); // per-item reset, as the engine does
+                s.push(i as u64);
+                *x += s[0];
+            });
+            assert!(v.iter().enumerate().all(|(i, &x)| x == 1 + i as u64));
+        });
+        assert!(
+            !scratch.is_empty() && scratch.len() <= 4,
+            "one scratch slot per worker: {}",
+            scratch.len()
+        );
+        // A second call at a lower thread count reuses the pool.
+        crate::with_num_threads(1, || {
+            let mut v = vec![0u64; 8];
+            crate::par_for_each_scratch(&mut v, &mut scratch, |_, i, x| *x = i as u64);
+            assert_eq!(v, (0..8).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn for_each_nested_inside_par_iter_runs_serially() {
+        crate::with_num_threads(4, || {
+            let out: Vec<u64> = (0..8u64)
+                .into_par_iter()
+                .map(|i| {
+                    let mut v = vec![i; 16];
+                    crate::par_for_each_mut(&mut v, |j, x| *x += j as u64);
+                    v.iter().sum()
+                })
+                .collect();
+            let expect: Vec<u64> = (0..8u64).map(|i| 16 * i + (0..16).sum::<u64>()).collect();
+            assert_eq!(out, expect);
+        });
+    }
+
+    #[test]
+    fn for_each_empty_slice() {
+        let mut v: Vec<u8> = Vec::new();
+        crate::par_for_each_mut(&mut v, |_, _| unreachable!("no items"));
+    }
+
+    #[test]
+    fn current_num_threads_reports_override() {
+        crate::with_num_threads(3, || assert_eq!(crate::current_num_threads(), 3));
     }
 
     #[test]

@@ -198,6 +198,39 @@ fn golden_basalt_under_targeted_attack_and_loss() {
 }
 
 #[test]
+fn single_run_identical_across_intra_run_thread_counts() {
+    // PR 4's phase-parallel engine shards the plan and apply phases of
+    // ONE run across workers. The schedule must be invisible: the same
+    // scenario at RAYON_NUM_THREADS ∈ {1, 2, 4} (via the shim's scoped
+    // override) must produce bit-identical RunResults for all three
+    // protocols and each attack type, including churn/loss/validation
+    // and the deferred Byzantine pull-answer replay.
+    let scenarios: [(&str, Scenario); 5] = [
+        ("brahms", base(Protocol::Brahms).brahms_baseline()),
+        ("raptee", base(Protocol::Raptee)),
+        ("basalt", base(Protocol::Brahms).basalt_variant(15)),
+        ("raptee-churn", churn_scenario()),
+        ("basalt-targeted", basalt_targeted_scenario()),
+    ];
+    for (name, scenario) in scenarios {
+        let serial = rayon::with_num_threads(1, || Simulation::new(scenario.clone()).run());
+        for threads in [2, 4] {
+            let parallel =
+                rayon::with_num_threads(threads, || Simulation::new(scenario.clone()).run());
+            assert_eq!(
+                fingerprint(&serial),
+                fingerprint(&parallel),
+                "{name}: single-run results must match at {threads} intra-run threads"
+            );
+            assert_eq!(
+                serial, parallel,
+                "{name}: full RunResult must match at {threads} intra-run threads"
+            );
+        }
+    }
+}
+
+#[test]
 fn repetitions_identical_across_thread_counts() {
     // One scenario per protocol; the repetition loop is the rayon-shim
     // surface, so aggregates must not depend on the worker count.
