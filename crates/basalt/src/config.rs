@@ -31,6 +31,19 @@ pub struct BasaltConfig {
     /// Pull (exchange) requests sent per round, aimed at the
     /// least-confirmed samples.
     pub pull_count: usize,
+    /// Rounds a *hearsay* candidate (an ID learned from someone else's
+    /// pull answer rather than by direct contact) survives on the
+    /// waiting list before being dropped unverified — BASALT's
+    /// connect-before-integrate anti-poisoning refinement. `0` disables
+    /// the waiting list entirely: hearsay ranks immediately (the legacy
+    /// behaviour, kept bit-identical for existing scenarios).
+    pub wlist_ttl: usize,
+    /// Waiting-list candidates verified (contacted) and admitted to the
+    /// ranking per round when the list is enabled. Defaults to
+    /// `push_count`, so hearsay admission is rate-limited to exactly the
+    /// direct-push budget — the adversary's free all-Byzantine pull
+    /// answers stop outrunning its rate-limited pushes.
+    pub wlist_probe: usize,
 }
 
 impl BasaltConfig {
@@ -45,6 +58,26 @@ impl BasaltConfig {
             rotation_count: (view_size / 10).max(1),
             push_count: fanout,
             pull_count: fanout,
+            wlist_ttl: 0,
+            wlist_probe: fanout,
+        };
+        cfg.validate();
+        cfg
+    }
+
+    /// [`BasaltConfig::for_view`] with the waiting-list refinement
+    /// enabled: hearsay candidates are quarantined for up to `wlist_ttl`
+    /// rounds and admitted at the push-budget rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `wlist_ttl` is zero (use [`BasaltConfig::for_view`]
+    /// for the unhardened protocol).
+    pub fn with_wlist(view_size: usize, rotation_interval: usize, wlist_ttl: usize) -> Self {
+        assert!(wlist_ttl > 0, "wlist TTL must be positive to enable it");
+        let cfg = Self {
+            wlist_ttl,
+            ..Self::for_view(view_size, rotation_interval)
         };
         cfg.validate();
         cfg
@@ -63,6 +96,10 @@ impl BasaltConfig {
         );
         assert!(self.push_count > 0, "push count must be positive");
         assert!(self.pull_count > 0, "pull count must be positive");
+        assert!(
+            self.wlist_ttl == 0 || self.wlist_probe > 0,
+            "an enabled wlist needs a positive probe budget"
+        );
     }
 }
 
@@ -96,11 +133,45 @@ mod tests {
     #[should_panic(expected = "rotation count")]
     fn oversized_rotation_rejected() {
         BasaltConfig {
-            view_size: 4,
-            rotation_interval: 10,
             rotation_count: 5,
-            push_count: 2,
-            pull_count: 2,
+            ..BasaltConfig::for_view(4, 10)
+        }
+        .validate();
+    }
+
+    #[test]
+    fn wlist_defaults_off_and_builder_enables() {
+        let plain = BasaltConfig::for_view(16, 30);
+        assert_eq!(plain.wlist_ttl, 0, "legacy configs keep the wlist off");
+        let hardened = BasaltConfig::with_wlist(16, 30, 8);
+        assert_eq!(hardened.wlist_ttl, 8);
+        assert_eq!(
+            hardened.wlist_probe, hardened.push_count,
+            "hearsay admission is rate-limited to the push budget"
+        );
+        assert_eq!(
+            BasaltConfig {
+                wlist_ttl: 0,
+                ..hardened
+            },
+            plain,
+            "with_wlist only flips the TTL"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wlist TTL must be positive")]
+    fn zero_ttl_builder_rejected() {
+        BasaltConfig::with_wlist(16, 30, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probe budget")]
+    fn enabled_wlist_without_probe_rejected() {
+        BasaltConfig {
+            wlist_ttl: 5,
+            wlist_probe: 0,
+            ..BasaltConfig::for_view(8, 0)
         }
         .validate();
     }

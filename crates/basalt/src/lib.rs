@@ -25,11 +25,25 @@
 //! finalisation handles periodic upkeep. This is what lets the simulator
 //! run `Protocol::Basalt` as a drop-in third protocol next to Brahms and
 //! RAPTEE.
+//!
+//! Two optional hardenings extend the core for the **BASALT+TEE
+//! hybrid** (`Protocol::BasaltTee` in `raptee-sim`):
+//!
+//! * the **waiting list** (`BasaltConfig::with_wlist`): hearsay IDs from
+//!   pull answers are quarantined and only admitted after a rate-limited
+//!   verification contact, so the adversary's free all-Byzantine pull
+//!   answers cannot outrun its rate-limited pushes (BASALT's
+//!   connect-before-integrate refinement);
+//! * **trusted nodes** ([`BasaltNode::new_trusted`]): a fraction of
+//!   nodes run inside simulated enclaves, provisioned with the RAPTEE
+//!   group key through the same `raptee-tee` attestation flow; answers
+//!   between mutually authenticated trusted peers bypass the waiting
+//!   list ([`BasaltNode::record_pull_answer_trusted`]).
 
 pub mod config;
 pub mod node;
 pub mod view;
 
 pub use config::BasaltConfig;
-pub use node::{BasaltNode, BasaltPlan, BasaltRoundReport};
+pub use node::{BasaltNode, BasaltPlan, BasaltRoundReport, WlistReport};
 pub use view::{BasaltView, Slot};

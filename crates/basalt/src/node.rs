@@ -21,8 +21,9 @@ use crate::config::BasaltConfig;
 use crate::view::BasaltView;
 use raptee_crypto::SecretKey;
 use raptee_net::NodeId;
-use raptee_util::bitset::IdSet;
+use raptee_util::bitset::{IdSet, DENSE_ID_LIMIT};
 use raptee_util::rng::Xoshiro256StarStar;
+use std::collections::VecDeque;
 
 /// The send targets a node chose for the current round.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -41,6 +42,24 @@ pub struct BasaltRoundReport {
     pub rotated: usize,
     /// Rounds finalised so far (including this one).
     pub round: u64,
+}
+
+/// Outcome of one waiting-list drain (see [`BasaltNode::drain_wlist`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WlistReport {
+    /// Hearsay candidates verified and admitted to the ranking.
+    pub admitted: usize,
+    /// Candidates dropped: TTL expired before verification, or the
+    /// verification contact failed (the candidate was unreachable).
+    pub dropped: usize,
+}
+
+/// One waiting-list entry: a hearsay candidate and the round at which
+/// its TTL expires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WlistEntry {
+    id: NodeId,
+    expires: u64,
 }
 
 /// A BASALT node: ranked hit-counter view + deterministic RNG.
@@ -66,6 +85,20 @@ pub struct BasaltNode {
     rng: Xoshiro256StarStar,
     rounds: u64,
     rotations: u64,
+    /// Whether this node runs inside an attested enclave (the
+    /// BASALT+TEE hybrid). Trust changes nothing about ranking — it
+    /// gates how *peers* treat this node's answers (the engine's
+    /// trusted-exchange path) and which answers bypass the wlist.
+    trusted: bool,
+    /// The attested group key, present iff [`BasaltNode::is_trusted`].
+    /// Held for API honesty (proof of provisioning); authentication in
+    /// the simulation uses the engine's role shortcut, like the
+    /// RAPTEE fast path.
+    group_key: Option<SecretKey>,
+    /// FIFO waiting list of hearsay candidates (enabled by
+    /// `config.wlist_ttl > 0`), plus a dense membership index.
+    wlist: VecDeque<WlistEntry>,
+    wlist_members: IdSet,
     /// Reusable buffers for the per-round distinct-view / probe-order
     /// computations — planning, answering and rotating allocate nothing
     /// in steady state.
@@ -80,6 +113,29 @@ impl BasaltNode {
     /// expanded out of `seed` and the node identity, so they are
     /// node-local secrets the adversary cannot precompute against.
     pub fn new(id: NodeId, config: BasaltConfig, bootstrap: &[NodeId], seed: u64) -> Self {
+        Self::with_trust(id, config, bootstrap, seed, None)
+    }
+
+    /// Creates a *trusted* node of the BASALT+TEE hybrid, holding the
+    /// attested `group_key` (see `raptee::provisioning` — the same
+    /// enclave-load → remote-attestation flow RAPTEE trusted nodes use).
+    pub fn new_trusted(
+        id: NodeId,
+        config: BasaltConfig,
+        bootstrap: &[NodeId],
+        seed: u64,
+        group_key: SecretKey,
+    ) -> Self {
+        Self::with_trust(id, config, bootstrap, seed, Some(group_key))
+    }
+
+    fn with_trust(
+        id: NodeId,
+        config: BasaltConfig,
+        bootstrap: &[NodeId],
+        seed: u64,
+        group_key: Option<SecretKey>,
+    ) -> Self {
         config.validate();
         let rng = Xoshiro256StarStar::seed_from_u64(seed);
         let ranking_key = SecretKey::from_seed(seed).derive("basalt-ranking-key", &id.to_bytes());
@@ -92,6 +148,10 @@ impl BasaltNode {
             rng,
             rounds: 0,
             rotations: 0,
+            trusted: group_key.is_some(),
+            group_key,
+            wlist: VecDeque::new(),
+            wlist_members: IdSet::new(),
             scratch_distinct: Vec::new(),
             scratch_seen: IdSet::new(),
             scratch_order: Vec::new(),
@@ -116,6 +176,21 @@ impl BasaltNode {
     /// Rounds finalised so far.
     pub fn rounds(&self) -> u64 {
         self.rounds
+    }
+
+    /// Whether this node runs inside an (attested, simulated) enclave.
+    pub fn is_trusted(&self) -> bool {
+        self.trusted
+    }
+
+    /// The attested group key (trusted nodes only).
+    pub fn group_key(&self) -> Option<&SecretKey> {
+        self.group_key.as_ref()
+    }
+
+    /// Hearsay candidates currently quarantined on the waiting list.
+    pub fn wlist_len(&self) -> usize {
+        self.wlist.len()
     }
 
     /// Total slots rotated so far.
@@ -173,10 +248,90 @@ impl BasaltNode {
     }
 
     /// Records a pull answer: the responder itself (the contact proves it
-    /// is reachable) plus every ID it returned, all ranked immediately.
+    /// is reachable) is ranked immediately; the IDs it returned are
+    /// *hearsay*. With the waiting list disabled (`wlist_ttl == 0`) they
+    /// also rank immediately — the legacy behaviour. With it enabled,
+    /// they are quarantined until [`BasaltNode::drain_wlist`] verifies
+    /// them, at the rate-limited probe budget.
     pub fn record_pull_answer(&mut self, responder: NodeId, ids: &[NodeId]) {
         self.view.observe(responder);
+        if self.config.wlist_ttl == 0 {
+            self.view.observe_all(ids.iter().copied());
+            return;
+        }
+        for &id in ids {
+            self.enqueue_hearsay(id);
+        }
+    }
+
+    /// Records a pull answer from a mutually *authenticated trusted*
+    /// peer (the BASALT+TEE hybrid): the responder runs attested code,
+    /// so its answer is a genuine view and bypasses the waiting list —
+    /// every ID ranks immediately.
+    pub fn record_pull_answer_trusted(&mut self, responder: NodeId, ids: &[NodeId]) {
+        self.view.observe(responder);
         self.view.observe_all(ids.iter().copied());
+    }
+
+    /// Enqueues one hearsay candidate (deduplicated; own ID ignored).
+    fn enqueue_hearsay(&mut self, id: NodeId) {
+        if id == self.id {
+            return;
+        }
+        let idx = id.0 as usize;
+        let fresh = if idx < DENSE_ID_LIMIT {
+            self.wlist_members.insert(idx)
+        } else {
+            !self.wlist.iter().any(|e| e.id == id)
+        };
+        if !fresh {
+            return;
+        }
+        self.wlist.push_back(WlistEntry {
+            id,
+            expires: self.rounds + self.config.wlist_ttl as u64,
+        });
+    }
+
+    fn forget_wlist_member(&mut self, id: NodeId) {
+        let idx = id.0 as usize;
+        if idx < DENSE_ID_LIMIT {
+            self.wlist_members.remove(idx);
+        }
+    }
+
+    /// Verifies waiting-list candidates (oldest first): up to
+    /// `wlist_probe` *contact attempts* per round, where `is_alive`
+    /// decides whether the connection succeeds. Reachable candidates are
+    /// admitted to the ranking; unreachable ones are dropped (the probe
+    /// is still spent). Entries whose TTL expired are discarded without
+    /// consuming probe budget. No-op while the waiting list is disabled.
+    pub fn drain_wlist(&mut self, mut is_alive: impl FnMut(NodeId) -> bool) -> WlistReport {
+        let mut report = WlistReport::default();
+        if self.config.wlist_ttl == 0 {
+            return report;
+        }
+        let now = self.rounds;
+        let mut probes = 0;
+        while probes < self.config.wlist_probe {
+            let Some(entry) = self.wlist.front().copied() else {
+                break;
+            };
+            self.wlist.pop_front();
+            self.forget_wlist_member(entry.id);
+            if entry.expires <= now {
+                report.dropped += 1;
+                continue; // expired without a probe — free to discard
+            }
+            probes += 1;
+            if is_alive(entry.id) {
+                self.view.observe(entry.id);
+                report.admitted += 1;
+            } else {
+                report.dropped += 1;
+            }
+        }
+        report
     }
 
     /// Finalises the round: when a rotation is due, rotates
@@ -304,6 +459,118 @@ mod tests {
             (n.plan_round(), n.view().sample_ids())
         };
         assert_eq!(mk(), mk());
+    }
+
+    fn wlist_node(ttl: usize) -> BasaltNode {
+        BasaltNode::new(
+            NodeId(0),
+            BasaltConfig::with_wlist(10, 0, ttl),
+            &ids(1..40),
+            7,
+        )
+    }
+
+    #[test]
+    fn untrusted_node_has_no_key() {
+        let n = node(10, 0);
+        assert!(!n.is_trusted());
+        assert!(n.group_key().is_none());
+    }
+
+    #[test]
+    fn trusted_node_holds_group_key() {
+        let key = SecretKey::from_seed(99);
+        let n = BasaltNode::new_trusted(
+            NodeId(0),
+            BasaltConfig::for_view(10, 0),
+            &ids(1..40),
+            7,
+            key.clone(),
+        );
+        assert!(n.is_trusted());
+        assert_eq!(n.group_key(), Some(&key));
+        // Trust changes nothing about the node's own ranking behaviour.
+        assert_eq!(n.view().sample_ids(), node(10, 0).view().sample_ids());
+    }
+
+    #[test]
+    fn wlist_quarantines_hearsay_but_ranks_responder() {
+        let mut n = wlist_node(5);
+        let view_before = n.view().sample_ids();
+        n.record_pull_answer(NodeId(500), &ids(600..620));
+        // The responder (direct contact) was ranked immediately …
+        assert!(n.view().slots().iter().any(|s| {
+            s.sample() == Some(NodeId(500)) || view_before.contains(&s.sample().unwrap())
+        }));
+        // … the 20 hearsay IDs were not: they sit on the waiting list.
+        assert_eq!(n.wlist_len(), 20);
+        for id in ids(600..620) {
+            assert!(!n.view().contains(id), "{id:?} must wait for verification");
+        }
+    }
+
+    #[test]
+    fn wlist_dedupes_and_skips_own_id() {
+        let mut n = wlist_node(5);
+        n.record_pull_answer(NodeId(500), &[NodeId(0), NodeId(7), NodeId(7)]);
+        assert_eq!(n.wlist_len(), 1, "own ID skipped, duplicate collapsed");
+        n.record_pull_answer(NodeId(501), &[NodeId(7)]);
+        assert_eq!(n.wlist_len(), 1, "already-queued hearsay not re-queued");
+    }
+
+    #[test]
+    fn drain_admits_at_probe_rate_and_expires_stale_entries() {
+        let mut n = wlist_node(2);
+        let probe = n.config().wlist_probe;
+        n.record_pull_answer(NodeId(500), &ids(600..620));
+        let r = n.drain_wlist(|_| true);
+        assert_eq!(r.admitted, probe, "admission is probe-rate-limited");
+        assert_eq!(n.wlist_len(), 20 - probe);
+        for id in ids(600..(600 + probe as u64)) {
+            assert!(n.view().contains(id) || !n.view().contains(id));
+        }
+        // Two finish_rounds later the TTL has lapsed: the rest expire
+        // without consuming probes.
+        n.finish_round();
+        n.finish_round();
+        let r = n.drain_wlist(|_| true);
+        assert_eq!(r.admitted, 0);
+        assert_eq!(r.dropped, 20 - probe);
+        assert_eq!(n.wlist_len(), 0);
+    }
+
+    #[test]
+    fn drain_drops_unreachable_candidates() {
+        let mut n = wlist_node(5);
+        n.record_pull_answer(NodeId(500), &ids(600..604));
+        let r = n.drain_wlist(|id| id.0 % 2 == 0);
+        assert_eq!(r.admitted + r.dropped, 4.min(n.config().wlist_probe));
+        assert!(r.dropped >= 1, "odd IDs fail the verification contact");
+        assert!(!n.view().contains(NodeId(601)));
+    }
+
+    #[test]
+    fn drain_is_noop_without_wlist() {
+        let mut n = node(10, 0);
+        n.record_pull_answer(NodeId(500), &ids(600..620));
+        // Legacy path: hearsay ranked immediately, nothing queued.
+        assert_eq!(n.wlist_len(), 0);
+        assert_eq!(n.drain_wlist(|_| true), WlistReport::default());
+    }
+
+    #[test]
+    fn trusted_answers_bypass_the_wlist() {
+        let mut n = wlist_node(5);
+        n.record_pull_answer_trusted(NodeId(500), &ids(600..620));
+        assert_eq!(n.wlist_len(), 0);
+        // The hearsay ranked immediately: the view now holds whatever of
+        // 500/600..620 ranks best alongside the bootstrap.
+        let mut both = wlist_node(5);
+        both.record_pull_answer(NodeId(500), &ids(600..620));
+        both.drain_wlist(|_| true);
+        // At minimum, a trusted answer can never leave the view *less*
+        // informed than the quarantined path after one drain.
+        assert!(n.view().filled() >= both.view().filled());
     }
 
     #[test]

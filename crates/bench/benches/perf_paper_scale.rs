@@ -150,9 +150,54 @@ fn tiny_control() -> Scenario {
     }
 }
 
+/// Pinned golden resilience of the RAPTEE tiny control, as exact f64
+/// bits. The engine is bit-deterministic at every thread count, so this
+/// can *never* be timing-flaky: a mismatch means the engine's behaviour
+/// changed, not that the runner was slow. Behaviour-changing PRs must
+/// re-pin it alongside the `tests/determinism.rs` goldens.
+const TINY_RAPTEE_RESILIENCE_BITS: u64 = 0x3fda04118f49758f;
+/// Same guard for the BASALT tiny control.
+const TINY_BASALT_RESILIENCE_BITS: u64 = 0x3fc41d06a6515d1c;
+
+/// Asserts a tiny-control resilience against its pinned golden bits.
+fn assert_tiny_golden(m: &Measurement, golden_bits: u64) {
+    assert_eq!(
+        m.resilience.to_bits(),
+        golden_bits,
+        "{} tiny control resilience {} (bits {:#018x}) diverged from the pinned golden \
+         {:#018x} — the engine's behaviour changed; re-pin together with the \
+         tests/determinism.rs goldens if that was intentional",
+        m.protocol,
+        m.resilience,
+        m.resilience.to_bits(),
+        golden_bits,
+    );
+}
+
 fn emit_json(measurements: &[Measurement], write_artifact: bool) {
     let threads = rayon::current_num_threads();
     let rev = git_rev();
+    // Dirty-tree guard: a paper-scale measurement recorded from an
+    // uncommitted work tree is not attributable to any revision (the
+    // PR 4-era history entry measured on a pre-commit tree taught us
+    // this). Refuse to touch the committed artifact unless the operator
+    // explicitly opts in — and then flag the entry prominently.
+    let dirty = rev.as_deref().is_some_and(|r| r.ends_with("-dirty"));
+    // Only a truthy value opts in — `RAPTEE_BENCH_ALLOW_DIRTY=0` (or
+    // empty) left over from scripting must not bypass the guard.
+    let allow_dirty = std::env::var("RAPTEE_BENCH_ALLOW_DIRTY")
+        .is_ok_and(|v| !v.is_empty() && v != "0" && v != "false");
+    let write_artifact = if write_artifact && dirty && !allow_dirty {
+        println!(
+            "REFUSING to rewrite BENCH_paper_scale.json: the work tree is dirty ({}), so this \
+             measurement cannot be attributed to a commit. Commit (or stash) first, or set \
+             RAPTEE_BENCH_ALLOW_DIRTY=1 to record it flagged as \"dirty\": true.",
+            rev.as_deref().unwrap_or("?")
+        );
+        false
+    } else {
+        write_artifact
+    };
     let rev_json = rev
         .as_deref()
         .map_or_else(|| "null".to_string(), |r| format!("\"{r}\""));
@@ -194,15 +239,22 @@ fn emit_json(measurements: &[Measurement], write_artifact: bool) {
         .map(|old| existing_history(&old))
         .unwrap_or_default();
     if let Some(paper) = measurements.iter().find(|m| m.profile == "paper") {
-        let timestamp = SystemTime::now()
-            .duration_since(UNIX_EPOCH)
-            .map(|d| d.as_secs().to_string())
-            .unwrap_or_else(|_| "null".into());
-        history.push(format!(
-            "{{\"timestamp\": {timestamp}, \"git_rev\": {rev_json}, \"threads\": {threads}, \
-             \"wall_s\": {:.3}, \"rounds_per_sec\": {:.3}, \"peak_rss_kib\": {peak_json}}}",
-            paper.wall_s, paper.rounds_per_sec
-        ));
+        if write_artifact {
+            let timestamp = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs().to_string())
+                .unwrap_or_else(|_| "null".into());
+            // A dirty-tree entry (operator override) is flagged so the
+            // trajectory reader can never mistake it for a committed
+            // revision's number.
+            let dirty_field = if dirty { ", \"dirty\": true" } else { "" };
+            history.push(format!(
+                "{{\"timestamp\": {timestamp}, \"git_rev\": {rev_json}, \"threads\": {threads}, \
+                 \"wall_s\": {:.3}, \"rounds_per_sec\": {:.3}, \"peak_rss_kib\": {peak_json}\
+                 {dirty_field}}}",
+                paper.wall_s, paper.rounds_per_sec
+            ));
+        }
     }
     json.push_str("  \"history\": [\n");
     for (i, entry) in history.iter().enumerate() {
@@ -237,6 +289,7 @@ fn main() {
         "tiny   : N={:<6} view={:<4} rounds={:<4} wall={:>8.2}s  {:>8.1} rounds/s",
         tiny.n, tiny.view, tiny.rounds, tiny.wall_s, tiny.rounds_per_sec
     );
+    assert_tiny_golden(&tiny, TINY_RAPTEE_RESILIENCE_BITS);
     measurements.push(tiny);
 
     let basalt_tiny = time_run("tiny", "basalt", tiny_control().basalt_variant(15));
@@ -248,7 +301,9 @@ fn main() {
         basalt_tiny.wall_s,
         basalt_tiny.rounds_per_sec
     );
+    assert_tiny_golden(&basalt_tiny, TINY_BASALT_RESILIENCE_BITS);
     measurements.push(basalt_tiny);
+    println!("tiny   : resilience goldens match (bit-exact)");
 
     if full {
         let mut scenario = Scenario::paper_scale();

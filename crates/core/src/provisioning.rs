@@ -65,6 +65,21 @@ pub fn provision_trusted_key(
     Ok(enclave.group_key().expect("just provisioned").clone())
 }
 
+/// Certifies `platform_id` and runs the full provisioning flow on it in
+/// one step — the simulation engine's population builder uses this for
+/// every trusted node (RAPTEE *and* the BASALT+TEE hybrid share the
+/// identical attestation path).
+///
+/// # Panics
+///
+/// Panics if attestation fails — impossible for a just-certified
+/// platform running the genuine trusted code.
+pub fn certify_and_provision(service: &mut AttestationService, platform_id: u64) -> SecretKey {
+    service.certify_platform(platform_id);
+    provision_trusted_key(service, platform_id)
+        .expect("certified platform with genuine code attests")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -59,7 +59,9 @@
 
 use crate::adversary::{Adversary, PushPlan};
 use crate::bitset::{DiscoveryMatrix, DiscoveryRow};
-use crate::metrics::{IdentificationResult, RunResult, DISCOVERY_TARGET_SHARE, STABILITY_SPREAD};
+use crate::metrics::{
+    IdentificationResult, RunResult, SegmentResult, DISCOVERY_TARGET_SHARE, STABILITY_SPREAD,
+};
 use crate::scenario::{AttackStrategy, Protocol, Scenario};
 use raptee::provisioning;
 use raptee::{RapteeConfig, RapteeNode};
@@ -75,10 +77,27 @@ const SMOOTHING_WINDOW: usize = 10;
 /// The correct population in dense, unboxed storage. Byzantine actors
 /// are pure identities (the adversary coordinates them centrally), so
 /// they occupy no node state at all: actor index `i` maps to population
-/// index `i - byz_count` for `i >= byz_count`.
+/// index `i - byz_count` for `i >= byz_count`. Mixed populations store
+/// one contiguous per-protocol arena per segment.
 enum Population {
     Raptee(Vec<RapteeNode>),
     Basalt(Vec<BasaltNode>),
+    Mixed(Vec<SegmentNodes>),
+}
+
+/// One segment's node arena of a mixed population.
+enum SegmentNodes {
+    Raptee(Vec<RapteeNode>),
+    Basalt(Vec<BasaltNode>),
+}
+
+impl SegmentNodes {
+    fn len(&self) -> usize {
+        match self {
+            SegmentNodes::Raptee(v) => v.len(),
+            SegmentNodes::Basalt(v) => v.len(),
+        }
+    }
 }
 
 impl Population {
@@ -86,7 +105,52 @@ impl Population {
         match self {
             Population::Raptee(v) => v.len(),
             Population::Basalt(v) => v.len(),
+            Population::Mixed(segs) => segs.iter().map(SegmentNodes::len).sum(),
         }
+    }
+}
+
+/// Static metadata of one mixed-population segment (see
+/// [`crate::scenario::SegmentSpec`]): its protocol, its contiguous slice
+/// `[start, start + len)` of the correct-population index space, the
+/// per-identity push fanout its protocol grants, and the victim list the
+/// adversary aims its segment-matched attack at.
+struct SegMeta {
+    protocol: Protocol,
+    start: usize,
+    len: usize,
+    fanout: usize,
+    basalt_cfg: Option<BasaltConfig>,
+    victims: Vec<NodeId>,
+}
+
+/// Mutable access to the `ci`-th correct node, which must live in a
+/// Raptee-family segment.
+fn raptee_at<'a>(
+    seg_nodes: &'a mut [SegmentNodes],
+    segs: &[SegMeta],
+    seg_of: &[u32],
+    ci: usize,
+) -> &'a mut RapteeNode {
+    let si = seg_of[ci] as usize;
+    match &mut seg_nodes[si] {
+        SegmentNodes::Raptee(v) => &mut v[ci - segs[si].start],
+        SegmentNodes::Basalt(_) => unreachable!("index {ci} is not in a Raptee-family segment"),
+    }
+}
+
+/// Mutable access to the `ci`-th correct node, which must live in a
+/// BASALT-family segment.
+fn basalt_at<'a>(
+    seg_nodes: &'a mut [SegmentNodes],
+    segs: &[SegMeta],
+    seg_of: &[u32],
+    ci: usize,
+) -> &'a mut BasaltNode {
+    let si = seg_of[ci] as usize;
+    match &mut seg_nodes[si] {
+        SegmentNodes::Basalt(v) => &mut v[ci - segs[si].start],
+        SegmentNodes::Raptee(_) => unreachable!("index {ci} is not in a BASALT-family segment"),
     }
 }
 
@@ -230,6 +294,10 @@ struct Scratch {
     live: Vec<bool>,
     /// The adversary's push plan for the round.
     byz_plan: PushPlan,
+    /// Per-segment staging buffer for the mixed-population adversary:
+    /// each segment's matching attack is planned here, then appended to
+    /// `byz_plan` so one delivery pass charges the combined plan.
+    byz_seg_plan: PushPlan,
     /// Honest pushes surviving limiter/liveness/loss, as
     /// `(absolute target index, sender)` in sender-major order.
     survivors: Vec<(u32, NodeId)>,
@@ -414,6 +482,14 @@ pub struct Simulation {
     /// All non-Byzantine actor IDs (the adversary's victim pool; alive
     /// filtering happens at delivery time) — built once.
     victims: Vec<NodeId>,
+    /// Mixed-population segment metadata, in layout order (empty for
+    /// uniform populations).
+    segs: Vec<SegMeta>,
+    /// Correct-population index → segment index (empty for uniform
+    /// populations).
+    seg_of: Vec<u32>,
+    /// Per-segment mean Byzantine-share series (mixed populations only).
+    seg_series: Vec<Vec<f64>>,
     /// Correct original-population IDs the identification attack may
     /// observe — built once.
     ident_candidates: Vec<NodeId>,
@@ -440,6 +516,15 @@ impl Simulation {
     /// trusted nodes.
     pub fn new(scenario: Scenario) -> Self {
         scenario.validate();
+        // Mixed populations (and the BASALT+TEE hybrid, which carries a
+        // trusted tier plain BASALT lacks) run through the segmented
+        // builder; the uniform protocols keep their historical path —
+        // and their historical RNG draw order — untouched.
+        if !scenario.population.is_empty()
+            || matches!(scenario.protocol, Protocol::BasaltTee { .. })
+        {
+            return Self::new_mixed(scenario);
+        }
         let mut rng = Xoshiro256StarStar::seed_from_u64(scenario.seed);
         let n = scenario.n;
         let total = scenario.total_actors();
@@ -469,11 +554,8 @@ impl Simulation {
         // Group-key provisioning through the full simulated attestation
         // flow: one certified platform per trusted node.
         let mut attestation = provisioning::new_attestation_service(scenario.seed ^ 0x6E0C);
-        let mut provision = |platform: u64| {
-            attestation.certify_platform(platform);
-            provisioning::provision_trusted_key(&mut attestation, platform)
-                .expect("certified platform with genuine code attests")
-        };
+        let mut provision =
+            |platform: u64| provisioning::certify_and_provision(&mut attestation, platform);
 
         let all_ids: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
         let byz_ids: Vec<NodeId> = (0..byz as u64).map(NodeId).collect();
@@ -550,6 +632,7 @@ impl Simulation {
                     seed_row(ci, &mut node.view().sample_ids().into_iter());
                 }
             }
+            Population::Mixed(_) => unreachable!("mixed populations build via new_mixed"),
         }
         let discovery_target = (DISCOVERY_TARGET_SHARE * non_byz_total as f64).ceil() as usize;
 
@@ -576,7 +659,212 @@ impl Simulation {
             discovery_target,
             share_rings: ShareRings::new(non_byz_total),
             victims: (byz..total).map(|i| NodeId(i as u64)).collect(),
+            segs: Vec::new(),
+            seg_of: Vec::new(),
+            seg_series: Vec::new(),
             ident_candidates: (byz..n).map(|i| NodeId(i as u64)).collect(),
+            scratch: Scratch::default(),
+            workers: Vec::new(),
+            non_byz_total,
+            round: 0,
+            byz_share_series: Vec::with_capacity(scenario.rounds),
+            mean_discovered_series: Vec::with_capacity(scenario.rounds),
+            discovery_round: None,
+            spread_stability_round: None,
+            best_identification: None,
+            floods_detected: 0,
+            total_evicted: 0,
+            seed_rotations: 0,
+            scenario,
+        }
+    }
+
+    /// Builds a segmented (mixed-population) simulation: the correct
+    /// population is split into contiguous per-protocol segments in spec
+    /// order, trusted tiers distributed per
+    /// [`Scenario::segment_trusted_counts`] and provisioned through the
+    /// same attestation flow as the uniform RAPTEE path. With a single
+    /// segment this draws the scenario RNG in exactly the uniform
+    /// builder's order, so a 100 %-one-protocol population is
+    /// bit-identical to the single-protocol engine (pinned by
+    /// `tests/determinism.rs`).
+    fn new_mixed(scenario: Scenario) -> Self {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(scenario.seed);
+        let n = scenario.n;
+        let total = n; // mixed mode forbids injected actors
+        let byz = scenario.byzantine_count();
+        let specs = scenario.segments();
+        let trusted_counts = scenario.segment_trusted_counts();
+
+        let gamma = scenario.gamma;
+        let ab = (1.0 - gamma) / 2.0;
+        let alpha_count = (ab * scenario.view_size as f64).round();
+        let flood_threshold = if scenario.flood_slack_sigmas > 0.0 {
+            Some((alpha_count + scenario.flood_slack_sigmas * alpha_count.sqrt()).round() as usize)
+        } else {
+            None
+        };
+        let config = RapteeConfig {
+            brahms: BrahmsConfig {
+                view_size: scenario.view_size,
+                sample_size: scenario.sample_size,
+                alpha: ab,
+                beta: ab,
+                gamma,
+                flood_threshold,
+            },
+            eviction: scenario.eviction,
+        };
+
+        let mut attestation = provisioning::new_attestation_service(scenario.seed ^ 0x6E0C);
+        let all_ids: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
+        let byz_ids: Vec<NodeId> = (0..byz as u64).map(NodeId).collect();
+
+        let non_byz_total = total - byz;
+        let mut trusted_flags = vec![false; total];
+        let mut seg_of = vec![0u32; non_byz_total];
+        let mut segs: Vec<SegMeta> = Vec::with_capacity(specs.len());
+        let mut seg_nodes: Vec<SegmentNodes> = Vec::with_capacity(specs.len());
+        let mut start = 0usize;
+        for (si, (spec, &seg_trusted)) in specs.iter().zip(&trusted_counts).enumerate() {
+            let basalt_cfg = match spec.protocol {
+                Protocol::Basalt {
+                    view_size,
+                    rotation_interval,
+                } => Some(BasaltConfig::for_view(view_size, rotation_interval)),
+                Protocol::BasaltTee {
+                    view_size,
+                    rotation_interval,
+                    wlist_ttl,
+                } => Some(if wlist_ttl > 0 {
+                    BasaltConfig::with_wlist(view_size, rotation_interval, wlist_ttl)
+                } else {
+                    BasaltConfig::for_view(view_size, rotation_interval)
+                }),
+                Protocol::Brahms | Protocol::Raptee => None,
+            };
+            let nodes = if let Some(bcfg) = basalt_cfg {
+                let mut v = Vec::with_capacity(spec.count);
+                for i in 0..spec.count {
+                    let abs = byz + start + i;
+                    let id = NodeId(abs as u64);
+                    let seed = rng.next_u64();
+                    let bootstrap = rng.sample(&all_ids, (bcfg.view_size + 2).min(all_ids.len()));
+                    if i < seg_trusted {
+                        trusted_flags[abs] = true;
+                        let key = provisioning::certify_and_provision(
+                            &mut attestation,
+                            0x1000 + abs as u64,
+                        );
+                        v.push(BasaltNode::new_trusted(id, bcfg, &bootstrap, seed, key));
+                    } else {
+                        v.push(BasaltNode::new(id, bcfg, &bootstrap, seed));
+                    }
+                }
+                SegmentNodes::Basalt(v)
+            } else {
+                let mut v = Vec::with_capacity(spec.count);
+                for i in 0..spec.count {
+                    let abs = byz + start + i;
+                    let id = NodeId(abs as u64);
+                    let seed = rng.next_u64();
+                    let bootstrap =
+                        rng.sample(&all_ids, (scenario.view_size + 2).min(all_ids.len()));
+                    if i < seg_trusted {
+                        trusted_flags[abs] = true;
+                        let key = provisioning::certify_and_provision(
+                            &mut attestation,
+                            0x1000 + abs as u64,
+                        );
+                        v.push(RapteeNode::new_trusted(
+                            id,
+                            config.clone(),
+                            &bootstrap,
+                            seed,
+                            key,
+                        ));
+                    } else {
+                        v.push(RapteeNode::new_untrusted(
+                            id,
+                            config.clone(),
+                            &bootstrap,
+                            seed,
+                        ));
+                    }
+                }
+                SegmentNodes::Raptee(v)
+            };
+            for slot in &mut seg_of[start..start + spec.count] {
+                *slot = si as u32;
+            }
+            segs.push(SegMeta {
+                protocol: spec.protocol,
+                start,
+                len: spec.count,
+                fanout: basalt_cfg.map_or(config.brahms.alpha_count(), |c| c.push_count),
+                basalt_cfg,
+                victims: (byz + start..byz + start + spec.count)
+                    .map(|i| NodeId(i as u64))
+                    .collect(),
+            });
+            seg_nodes.push(nodes);
+            start += spec.count;
+        }
+
+        // Discovery bitsets seeded from the bootstrap views, per family.
+        let mut discovery = DiscoveryMatrix::new(non_byz_total, total);
+        {
+            let mut seed_row = |ci: usize, ids: &mut dyn Iterator<Item = NodeId>| {
+                discovery.insert(ci, byz + ci);
+                for id in ids {
+                    if id.index() >= byz {
+                        discovery.insert(ci, id.index());
+                    }
+                }
+            };
+            for (seg, nodes) in segs.iter().zip(&seg_nodes) {
+                match nodes {
+                    SegmentNodes::Raptee(v) => {
+                        for (i, node) in v.iter().enumerate() {
+                            seed_row(seg.start + i, &mut node.brahms().view().ids());
+                        }
+                    }
+                    SegmentNodes::Basalt(v) => {
+                        for (i, node) in v.iter().enumerate() {
+                            seed_row(seg.start + i, &mut node.view().sample_ids().into_iter());
+                        }
+                    }
+                }
+            }
+        }
+        let discovery_target = (DISCOVERY_TARGET_SHARE * non_byz_total as f64).ceil() as usize;
+
+        // The limiter grants the largest per-identity fanout any segment
+        // uses (equal across segments at matched view sizes); the
+        // adversary answers pulls at the largest view size in play.
+        let limiter_fanout = segs.iter().map(|x| x.fanout).max().unwrap_or(1);
+        let answer_size = segs
+            .iter()
+            .map(|x| x.basalt_cfg.map_or(scenario.view_size, |c| c.view_size))
+            .max()
+            .unwrap_or(scenario.view_size);
+        let adversary = Adversary::new(byz_ids, total, answer_size, rng.next_u64());
+        Self {
+            adversary,
+            limiter: PushRateLimiter::new(total, limiter_fanout as u32),
+            population: Population::Mixed(seg_nodes),
+            trusted: trusted_flags,
+            alive: vec![true; total],
+            loss_rng: rng.split(),
+            byz_count: byz,
+            discovery,
+            discovery_target,
+            share_rings: ShareRings::new(non_byz_total),
+            victims: (byz..total).map(|i| NodeId(i as u64)).collect(),
+            seg_series: vec![Vec::with_capacity(scenario.rounds); segs.len()],
+            segs,
+            seg_of,
+            ident_candidates: Vec::new(),
             scratch: Scratch::default(),
             workers: Vec::new(),
             non_byz_total,
@@ -633,26 +921,42 @@ impl Simulation {
     }
 
     /// Read access to a correct Brahms/RAPTEE node (None for Byzantine
-    /// actors and under [`Protocol::Basalt`]).
+    /// actors and for BASALT-family actors).
     pub fn node(&self, id: NodeId) -> Option<&RapteeNode> {
         if id.index() < self.byz_count {
             return None;
         }
+        let ci = id.index() - self.byz_count;
         match &self.population {
-            Population::Raptee(nodes) => nodes.get(id.index() - self.byz_count),
-            _ => None,
+            Population::Raptee(nodes) => nodes.get(ci),
+            Population::Basalt(_) => None,
+            Population::Mixed(seg_nodes) => {
+                let si = *self.seg_of.get(ci)? as usize;
+                match &seg_nodes[si] {
+                    SegmentNodes::Raptee(v) => v.get(ci - self.segs[si].start),
+                    SegmentNodes::Basalt(_) => None,
+                }
+            }
         }
     }
 
     /// Read access to a correct BASALT node (None for Byzantine actors
-    /// and under the other protocols).
+    /// and for Brahms-family actors).
     pub fn basalt(&self, id: NodeId) -> Option<&BasaltNode> {
         if id.index() < self.byz_count {
             return None;
         }
+        let ci = id.index() - self.byz_count;
         match &self.population {
-            Population::Basalt(nodes) => nodes.get(id.index() - self.byz_count),
-            _ => None,
+            Population::Basalt(nodes) => nodes.get(ci),
+            Population::Raptee(_) => None,
+            Population::Mixed(seg_nodes) => {
+                let si = *self.seg_of.get(ci)? as usize;
+                match &seg_nodes[si] {
+                    SegmentNodes::Basalt(v) => v.get(ci - self.segs[si].start),
+                    SegmentNodes::Raptee(_) => None,
+                }
+            }
         }
     }
 
@@ -686,9 +990,10 @@ impl Simulation {
         let mut scratch = std::mem::take(&mut self.scratch);
         let mut workers = std::mem::take(&mut self.workers);
         scratch.ensure_capacity(self.population.len());
-        match self.scenario.protocol {
-            Protocol::Basalt { .. } => self.basalt_round(&mut scratch, &mut workers),
-            Protocol::Brahms | Protocol::Raptee => self.raptee_round(&mut scratch, &mut workers),
+        match &self.population {
+            Population::Basalt(_) => self.basalt_round(&mut scratch, &mut workers),
+            Population::Raptee(_) => self.raptee_round(&mut scratch, &mut workers),
+            Population::Mixed(_) => self.mixed_round(&mut scratch, &mut workers),
         }
         self.scratch = scratch;
         self.workers = workers;
@@ -784,16 +1089,39 @@ impl Simulation {
         targeted: fn(&mut Adversary, &[NodeId], &[NodeId], usize, f64, &mut PushPlan),
         plan: &mut PushPlan,
     ) {
-        let victims = &self.victims;
-        match self.scenario.attack {
-            AttackStrategy::Balanced => balanced(&mut self.adversary, victims, budget, plan),
+        Self::plan_attack(
+            &mut self.adversary,
+            self.scenario.attack,
+            &self.victims,
+            budget,
+            balanced,
+            targeted,
+            plan,
+        );
+    }
+
+    /// The strategy-dispatching body of [`Simulation::plan_adversary_pushes`],
+    /// parameterised over the victim pool so the mixed-population round
+    /// can aim each segment's matching attack at that segment alone.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_attack(
+        adversary: &mut Adversary,
+        attack: AttackStrategy,
+        victims: &[NodeId],
+        budget: usize,
+        balanced: fn(&mut Adversary, &[NodeId], usize, &mut PushPlan),
+        targeted: fn(&mut Adversary, &[NodeId], &[NodeId], usize, f64, &mut PushPlan),
+        plan: &mut PushPlan,
+    ) {
+        match attack {
+            AttackStrategy::Balanced => balanced(adversary, victims, budget, plan),
             AttackStrategy::Targeted {
                 victim_fraction,
                 focus,
             } => {
                 let k = ((victims.len() as f64) * victim_fraction).round() as usize;
                 let targets = &victims[..k.min(victims.len())];
-                targeted(&mut self.adversary, victims, targets, budget, focus, plan);
+                targeted(adversary, victims, targets, budget, focus, plan);
             }
         }
     }
@@ -809,6 +1137,7 @@ impl Simulation {
                 nodes.first().map(|n| n.config().brahms.alpha_count()),
             ),
             Population::Basalt(_) => unreachable!("BASALT runs through basalt_round"),
+            Population::Mixed(_) => unreachable!("mixed populations run through mixed_round"),
         };
         // No correct nodes: nothing to simulate (matches the historical
         // early return before the adversary planned anything).
@@ -1252,6 +1581,7 @@ impl Simulation {
                 (nodes.len(), nodes.first().map(|n| n.config().push_count))
             }
             Population::Raptee(_) => unreachable!("Brahms/RAPTEE runs through raptee_round"),
+            Population::Mixed(_) => unreachable!("mixed populations run through mixed_round"),
         };
         // No correct nodes: nothing to simulate.
         let Some(push_count) = push_count else {
@@ -1495,32 +1825,748 @@ impl Simulation {
         }
     }
 
+    /// One mixed-population round: the same phase-parallel structure as
+    /// the uniform engines, driven per segment over the shared scratch
+    /// arenas. Shared sequential streams (rate limiter, loss RNG,
+    /// adversary coordinator RNG) are consumed in segment-layout order,
+    /// so a population with a single segment replays the uniform round's
+    /// draw sequence exactly (pinned by `tests/determinism.rs`).
+    fn mixed_round(&mut self, s: &mut Scratch, workers: &mut Vec<WorkerScratch>) {
+        let total = self.total_actors();
+        let byz = self.byz_count;
+        let stride = self.scenario.view_size;
+        let pop = self.population.len();
+        if pop == 0 {
+            return;
+        }
+
+        // Phase 1 (parallel, per segment): plans. Raptee-family rows
+        // also snapshot their post-plan views (for deferred answers) and
+        // reset the per-round view-mutation flags.
+        if s.snap_ids.len() != pop * stride {
+            s.snap_ids.resize(pop * stride, NodeId(0));
+        }
+        {
+            let Population::Mixed(seg_nodes) = &mut self.population else {
+                unreachable!()
+            };
+            let alive = &self.alive;
+            for (seg, nodes) in self.segs.iter().zip(seg_nodes.iter_mut()) {
+                let start = seg.start;
+                match nodes {
+                    SegmentNodes::Raptee(nodes) => {
+                        struct Lane<'a> {
+                            item: PlanItem<'a, RapteeNode>,
+                            plan: &'a mut RoundPlan,
+                            mutated: &'a mut bool,
+                            snap: &'a mut [NodeId],
+                            snap_len: &'a mut u32,
+                        }
+                        let mut lanes: Vec<Lane> = nodes
+                            .iter_mut()
+                            .zip(s.plans[start..start + seg.len].iter_mut())
+                            .zip(s.live[start..start + seg.len].iter_mut())
+                            .zip(s.view_mutated[start..start + seg.len].iter_mut())
+                            .zip(
+                                s.snap_ids[start * stride..(start + seg.len) * stride]
+                                    .chunks_mut(stride),
+                            )
+                            .zip(s.snap_len[start..start + seg.len].iter_mut())
+                            .map(|(((((node, plan), live), mutated), snap), snap_len)| Lane {
+                                item: PlanItem { node, live },
+                                plan,
+                                mutated,
+                                snap,
+                                snap_len,
+                            })
+                            .collect();
+                        rayon::par_for_each_mut(&mut lanes, |i, lane| {
+                            *lane.mutated = false;
+                            if !alive[byz + start + i] {
+                                *lane.item.live = false;
+                                *lane.snap_len = 0;
+                                return;
+                            }
+                            lane.item.node.plan_round_into(lane.plan);
+                            *lane.item.live = true;
+                            let view = lane.item.node.brahms().view();
+                            for (k, e) in view.entries().iter().enumerate() {
+                                lane.snap[k] = e.id;
+                            }
+                            *lane.snap_len = view.len() as u32;
+                        });
+                    }
+                    SegmentNodes::Basalt(nodes) => {
+                        struct Lane<'a> {
+                            item: PlanItem<'a, BasaltNode>,
+                            plan: &'a mut BasaltPlan,
+                        }
+                        let mut lanes: Vec<Lane> = nodes
+                            .iter_mut()
+                            .zip(s.basalt_plans[start..start + seg.len].iter_mut())
+                            .zip(s.live[start..start + seg.len].iter_mut())
+                            .map(|((node, plan), live)| Lane {
+                                item: PlanItem { node, live },
+                                plan,
+                            })
+                            .collect();
+                        rayon::par_for_each_mut(&mut lanes, |i, lane| {
+                            if alive[byz + start + i] {
+                                lane.item.node.plan_round_into(lane.plan);
+                                *lane.item.live = true;
+                            } else {
+                                *lane.item.live = false;
+                            }
+                        });
+                    }
+                }
+            }
+        }
+
+        // Phase 2a (sequential control): honest pushes from every
+        // segment, in population-index order, through the shared rate
+        // limiter and loss filter.
+        {
+            let Scratch {
+                plans,
+                basalt_plans,
+                live,
+                survivors,
+                sorted,
+                counts,
+                ..
+            } = s;
+            let (plans, basalt_plans, live) = (&plans[..], &basalt_plans[..], &live[..]);
+            let segs = &self.segs;
+            let planned = segs.iter().flat_map(|seg| {
+                let basalt = seg.basalt_cfg.is_some();
+                (seg.start..seg.start + seg.len)
+                    .filter(move |&ci| live[ci])
+                    .map(move |ci| {
+                        let targets = if basalt {
+                            basalt_plans[ci].push_targets.as_slice()
+                        } else {
+                            plans[ci].push_targets.as_slice()
+                        };
+                        (byz + ci, targets)
+                    })
+            });
+            Self::collect_and_sort_pushes(
+                &mut self.limiter,
+                &mut self.loss_rng,
+                &self.alive,
+                self.scenario.message_loss,
+                total,
+                survivors,
+                sorted,
+                counts,
+                planned,
+            );
+        }
+
+        // Phase 2b (sequential control): the adversary's segment-matched
+        // attacks — balanced/targeted random-ID pushes against
+        // Brahms-family segments, distinct-ID force pushes against
+        // BASALT-family segments — sharing one lawful budget split
+        // proportionally to segment sizes, then one combined delivery
+        // pass through the limiter.
+        let limiter_fanout = self.segs.iter().map(|x| x.fanout).max().unwrap_or(1);
+        let total_budget = byz * limiter_fanout;
+        s.byz_plan.clear();
+        {
+            let mut assigned = 0usize;
+            for si in 0..self.segs.len() {
+                let budget = if si + 1 == self.segs.len() {
+                    total_budget - assigned
+                } else {
+                    total_budget * self.segs[si].len / pop
+                };
+                assigned += budget;
+                if self.segs[si].basalt_cfg.is_some() {
+                    Self::plan_attack(
+                        &mut self.adversary,
+                        self.scenario.attack,
+                        &self.segs[si].victims,
+                        budget,
+                        Adversary::plan_force_pushes_into,
+                        Adversary::plan_targeted_force_pushes_into,
+                        &mut s.byz_seg_plan,
+                    );
+                } else {
+                    Self::plan_attack(
+                        &mut self.adversary,
+                        self.scenario.attack,
+                        &self.segs[si].victims,
+                        budget,
+                        Adversary::plan_balanced_pushes_into,
+                        Adversary::plan_targeted_pushes_into,
+                        &mut s.byz_seg_plan,
+                    );
+                }
+                s.byz_plan.extend_from_slice(&s.byz_seg_plan);
+            }
+        }
+        {
+            let Scratch {
+                byz_plan,
+                byz_survivors,
+                byz_sorted,
+                byz_counts,
+                ..
+            } = s;
+            let plan = std::mem::take(byz_plan);
+            self.collect_byz_pushes(&plan, byz_survivors, byz_sorted, byz_counts);
+            *byz_plan = plan;
+        }
+
+        // Phase 2c (parallel, per BASALT segment): rank the delivered
+        // push runs into the hit-counter views (BASALT consumes pushes
+        // before the pull phase; the Brahms family consumes its runs at
+        // finish time, like the uniform engines).
+        {
+            let Population::Mixed(seg_nodes) = &mut self.population else {
+                unreachable!()
+            };
+            let Scratch {
+                sorted,
+                counts,
+                byz_sorted,
+                byz_counts,
+                ..
+            } = s;
+            let (sorted, counts) = (&sorted[..], &counts[..]);
+            let (byz_sorted, byz_counts) = (&byz_sorted[..], &byz_counts[..]);
+            for (seg, nodes) in self.segs.iter().zip(seg_nodes.iter_mut()) {
+                let SegmentNodes::Basalt(nodes) = nodes else {
+                    continue;
+                };
+                let start = seg.start;
+                struct Lane<'a> {
+                    node: &'a mut BasaltNode,
+                    disc: DiscoveryRow<'a>,
+                }
+                let mut lanes: Vec<Lane> = nodes
+                    .iter_mut()
+                    .zip(self.discovery.rows_mut().skip(start).take(seg.len))
+                    .map(|(node, disc)| Lane { node, disc })
+                    .collect();
+                rayon::par_for_each_mut(&mut lanes, |i, lane| {
+                    let abs = byz + start + i;
+                    let (h0, h1) = run_bounds(counts, abs);
+                    for &(_, sender) in &sorted[h0..h1] {
+                        lane.node.record_push(sender);
+                        if sender.index() >= byz && sender.index() < total {
+                            lane.disc.insert(sender.index());
+                        }
+                    }
+                    let (b0, b1) = run_bounds(byz_counts, abs);
+                    for &(_, advertised) in &byz_sorted[b0..b1] {
+                        lane.node.record_push(advertised);
+                    }
+                });
+            }
+        }
+
+        // Phase 3 (sequential): pulls in population-index order, each
+        // requester running its own family's exchange control flow.
+        s.events.clear();
+        s.arena.clear();
+        for si in 0..self.segs.len() {
+            let (start, len) = (self.segs[si].start, self.segs[si].len);
+            let is_basalt = self.segs[si].basalt_cfg.is_some();
+            for ci in start..start + len {
+                s.event_start[ci] = s.events.len() as u32;
+                if !s.live[ci] {
+                    continue;
+                }
+                if is_basalt {
+                    let n_pulls = s.basalt_plans[ci].pull_targets.len();
+                    for k in 0..n_pulls {
+                        let target = s.basalt_plans[ci].pull_targets[k];
+                        self.mixed_basalt_pull(ci, target, s);
+                    }
+                } else {
+                    let n_pulls = s.plans[ci].pull_targets.len();
+                    for k in 0..n_pulls {
+                        let target = s.plans[ci].pull_targets[k];
+                        self.mixed_control_pull(ci, target, s);
+                    }
+                }
+            }
+        }
+        s.event_start[pop] = s.events.len() as u32;
+
+        // Phase 3b (sequential): proactive trusted exchanges of the
+        // Raptee segment (directory round-robin, as in the uniform
+        // engine). BASALT-family trusted nodes have no directory — their
+        // trusted exchanges are opportunistic, on the pull path.
+        if self.scenario.trusted_swap {
+            let Population::Mixed(seg_nodes) = &mut self.population else {
+                unreachable!()
+            };
+            for (seg, nodes) in self.segs.iter().zip(seg_nodes.iter_mut()) {
+                let SegmentNodes::Raptee(nodes) = nodes else {
+                    continue;
+                };
+                for local in 0..seg.len {
+                    let abs = byz + seg.start + local;
+                    if !self.trusted[abs] {
+                        continue;
+                    }
+                    let Some(partner) = nodes[local].trusted_partner() else {
+                        continue;
+                    };
+                    if partner.index() == abs || !self.alive[abs] {
+                        continue;
+                    }
+                    if !self.alive[partner.index()] {
+                        nodes[local].forget_trusted_peer(partner);
+                        continue;
+                    }
+                    assert!(
+                        partner.index() >= byz,
+                        "directory entries are authenticated trusted peers"
+                    );
+                    let pc = partner.index() - byz;
+                    assert!(
+                        pc >= seg.start && pc < seg.start + seg.len,
+                        "Raptee trusted partners live in the Raptee segment"
+                    );
+                    let (a, b) = two_nodes(nodes, local, pc - seg.start);
+                    RapteeNode::trusted_swap_kind(a, b, false);
+                }
+            }
+        }
+
+        // Phase 4 (parallel, per segment): round finalisation. Raptee
+        // segments reconstruct their push/pull streams from the shared
+        // arenas (identical to the uniform apply phase); BASALT segments
+        // verify their waiting lists (probe contacts succeed iff the
+        // candidate is alive), then finalise.
+        let validation_due = self.scenario.sampler_validation_period > 0
+            && (self.round + 1).is_multiple_of(self.scenario.sampler_validation_period);
+        {
+            let Population::Mixed(seg_nodes) = &mut self.population else {
+                unreachable!()
+            };
+            let Scratch {
+                stats,
+                events,
+                event_start,
+                arena,
+                snap_ids,
+                snap_len,
+                sorted,
+                counts,
+                byz_sorted,
+                byz_counts,
+                ..
+            } = s;
+            let (events, event_start) = (&events[..], &event_start[..]);
+            let (arena, snap_ids, snap_len) = (&arena[..], &snap_ids[..], &snap_len[..]);
+            let (sorted, counts) = (&sorted[..], &counts[..]);
+            let (byz_sorted, byz_counts) = (&byz_sorted[..], &byz_counts[..]);
+            let alive = &self.alive;
+            let adversary = &self.adversary;
+            for (seg, nodes) in self.segs.iter().zip(seg_nodes.iter_mut()) {
+                let start = seg.start;
+                match nodes {
+                    SegmentNodes::Raptee(nodes) => {
+                        let mut items: Vec<FinishItem<RapteeNode>> = nodes
+                            .iter_mut()
+                            .zip(stats[start..start + seg.len].iter_mut())
+                            .zip(self.discovery.rows_mut().skip(start).take(seg.len))
+                            .zip(self.share_rings.rows_mut().skip(start).take(seg.len))
+                            .map(|(((node, stat), disc), ring)| FinishItem {
+                                node,
+                                stat,
+                                disc,
+                                ring,
+                            })
+                            .collect();
+                        rayon::par_for_each_scratch(&mut items, workers, |ws, i, it| {
+                            let ci = start + i;
+                            let abs = byz + ci;
+                            *it.stat = RoundStat::default();
+                            if !alive[abs] {
+                                return;
+                            }
+                            it.stat.participated = true;
+                            if validation_due {
+                                let brahms = it.node.brahms_mut();
+                                let (sampler, rng) = brahms.sampler_and_rng_mut();
+                                sampler.validate(
+                                    |id| alive.get(id.index()).copied().unwrap_or(false),
+                                    rng,
+                                );
+                            }
+                            let me = NodeId(abs as u64);
+                            ws.pushed.clear();
+                            let (h0, h1) = run_bounds(counts, abs);
+                            ws.pushed.extend(
+                                sorted[h0..h1]
+                                    .iter()
+                                    .map(|&(_, sender)| sender)
+                                    .filter(|&x| x != me),
+                            );
+                            let (b0, b1) = run_bounds(byz_counts, abs);
+                            ws.pushed.extend(
+                                byz_sorted[b0..b1]
+                                    .iter()
+                                    .map(|&(_, advertised)| advertised)
+                                    .filter(|&x| x != me),
+                            );
+                            ws.untrusted.clear();
+                            let e0 = event_start[ci] as usize;
+                            let e1 = event_start[ci + 1] as usize;
+                            for ev in &events[e0..e1] {
+                                match ev {
+                                    PullEvent::Snapshot { responder } => {
+                                        let r = *responder as usize;
+                                        let base = r * stride;
+                                        ws.untrusted.extend_from_slice(
+                                            &snap_ids[base..base + snap_len[r] as usize],
+                                        );
+                                    }
+                                    PullEvent::Arena { start, len } => {
+                                        let (a, b) = (*start as usize, (*start + *len) as usize);
+                                        ws.untrusted.extend_from_slice(&arena[a..b]);
+                                    }
+                                    PullEvent::ByzReplay { rng } => {
+                                        let mut rng = rng.clone();
+                                        adversary.replay_pull_answer(
+                                            &mut rng,
+                                            &mut ws.idx,
+                                            &mut ws.reply,
+                                        );
+                                        ws.untrusted.extend_from_slice(&ws.reply);
+                                    }
+                                }
+                            }
+                            let outcome = it.node.finish_round_streamed(
+                                &ws.pushed,
+                                &mut ws.untrusted,
+                                (e1 - e0) as u32,
+                                &mut ws.pulled,
+                                &mut ws.finish,
+                            );
+                            it.stat.evicted = outcome.evicted as u32;
+                            it.stat.flood = outcome.report.push_flood_detected;
+                            let mut len = 0usize;
+                            let mut byz_in_view = 0usize;
+                            for id in it.node.brahms().view().ids() {
+                                len += 1;
+                                if id.index() < byz {
+                                    byz_in_view += 1;
+                                } else if id.index() < total {
+                                    it.disc.insert(id.index());
+                                }
+                            }
+                            it.stat.discovered = it.disc.count() as u32;
+                            if len > 0 {
+                                let share = byz_in_view as f64 / len as f64;
+                                it.stat.share = share;
+                                it.stat.has_share = true;
+                                it.stat.smoothed = it.ring.push_and_mean(share);
+                            }
+                        });
+                    }
+                    SegmentNodes::Basalt(nodes) => {
+                        let mut items: Vec<FinishItem<BasaltNode>> = nodes
+                            .iter_mut()
+                            .zip(stats[start..start + seg.len].iter_mut())
+                            .zip(self.discovery.rows_mut().skip(start).take(seg.len))
+                            .zip(self.share_rings.rows_mut().skip(start).take(seg.len))
+                            .map(|(((node, stat), disc), ring)| FinishItem {
+                                node,
+                                stat,
+                                disc,
+                                ring,
+                            })
+                            .collect();
+                        rayon::par_for_each_mut(&mut items, |i, it| {
+                            let abs = byz + start + i;
+                            *it.stat = RoundStat::default();
+                            if !alive[abs] {
+                                return;
+                            }
+                            it.stat.participated = true;
+                            it.node
+                                .drain_wlist(|id| alive.get(id.index()).copied().unwrap_or(false));
+                            let report = it.node.finish_round();
+                            it.stat.rotated = report.rotated as u32;
+                            let mut len = 0usize;
+                            let mut byz_in_view = 0usize;
+                            for id in it.node.view().sample_iter() {
+                                len += 1;
+                                if id.index() < byz {
+                                    byz_in_view += 1;
+                                } else if id.index() < total {
+                                    it.disc.insert(id.index());
+                                }
+                            }
+                            it.stat.discovered = it.disc.count() as u32;
+                            if len > 0 {
+                                let share = byz_in_view as f64 / len as f64;
+                                it.stat.share = share;
+                                it.stat.has_share = true;
+                                it.stat.smoothed = it.ring.push_and_mean(share);
+                            }
+                        });
+                    }
+                }
+            }
+        }
+
+        let shares = std::mem::take(&mut s.shares);
+        s.shares = self.fold_round_stats(&s.stats, shares);
+    }
+
+    /// One pull of the mixed sequential exchange pass for a
+    /// Raptee-family requester: the uniform [`Simulation::control_pull`]
+    /// control flow (role-based auth shortcut — mixed mode forbids real
+    /// handshakes), extended with BASALT-family responders, whose ranked
+    /// answers are always materialised (their views mutate during the
+    /// pull phase) and who treat the incoming exchange as a contact.
+    fn mixed_control_pull(&mut self, requester_ci: usize, target: NodeId, s: &mut Scratch) {
+        let byz = self.byz_count;
+        let total = self.total_actors();
+        let requester_abs = byz + requester_ci;
+        let t = target.index();
+        if t == requester_abs || t >= total {
+            return;
+        }
+        if !self.alive[t] {
+            let Population::Mixed(seg_nodes) = &mut self.population else {
+                unreachable!()
+            };
+            let node = raptee_at(seg_nodes, &self.segs, &self.seg_of, requester_ci);
+            node.brahms_mut().view_mut().remove(target);
+            node.forget_trusted_peer(target);
+            s.view_mutated[requester_ci] = true;
+            return;
+        }
+        if self.scenario.message_loss > 0.0 && self.loss_rng.chance(self.scenario.message_loss) {
+            return;
+        }
+        if t < byz {
+            let snapshot = self.adversary.rng_snapshot();
+            self.adversary.pull_answer_into(&mut s.reply);
+            s.events.push(PullEvent::ByzReplay { rng: snapshot });
+            return;
+        }
+        let tc = t - byz;
+        let both_trusted = self.trusted[requester_abs] && self.trusted[t];
+        let target_basalt = self.segs[self.seg_of[tc] as usize].basalt_cfg.is_some();
+        let Population::Mixed(seg_nodes) = &mut self.population else {
+            unreachable!()
+        };
+        if !target_basalt {
+            if both_trusted && self.scenario.trusted_swap {
+                let si = self.seg_of[requester_ci] as usize;
+                debug_assert_eq!(
+                    si, self.seg_of[tc] as usize,
+                    "trusted Raptee nodes share one segment"
+                );
+                let start = self.segs[si].start;
+                let SegmentNodes::Raptee(nodes) = &mut seg_nodes[si] else {
+                    unreachable!()
+                };
+                let (a, b) = two_nodes(nodes, requester_ci - start, tc - start);
+                RapteeNode::trusted_swap(a, b);
+                s.view_mutated[requester_ci] = true;
+                s.view_mutated[tc] = true;
+            } else if both_trusted {
+                s.reply.clear();
+                {
+                    let responder = raptee_at(seg_nodes, &self.segs, &self.seg_of, tc);
+                    s.reply.extend(responder.brahms().view().ids());
+                }
+                raptee_at(seg_nodes, &self.segs, &self.seg_of, requester_ci)
+                    .record_trusted_pull(&s.reply);
+            } else if !s.view_mutated[tc] {
+                s.events.push(PullEvent::Snapshot {
+                    responder: tc as u32,
+                });
+            } else {
+                let start = s.arena.len() as u32;
+                {
+                    let responder = raptee_at(seg_nodes, &self.segs, &self.seg_of, tc);
+                    s.arena.extend(responder.brahms().view().ids());
+                }
+                let len = s.arena.len() as u32 - start;
+                s.events.push(PullEvent::Arena { start, len });
+            }
+        } else {
+            {
+                let responder = basalt_at(seg_nodes, &self.segs, &self.seg_of, tc);
+                responder.pull_answer_into(&mut s.reply);
+            }
+            if both_trusted {
+                // Cross-family mutual trust: no view-format-compatible
+                // swap exists, but the attested answer bypasses eviction.
+                raptee_at(seg_nodes, &self.segs, &self.seg_of, requester_ci)
+                    .record_trusted_pull(&s.reply);
+            } else {
+                let start = s.arena.len() as u32;
+                s.arena.extend_from_slice(&s.reply);
+                let len = s.arena.len() as u32 - start;
+                s.events.push(PullEvent::Arena { start, len });
+            }
+            let requester_id = NodeId(requester_abs as u64);
+            basalt_at(seg_nodes, &self.segs, &self.seg_of, tc).record_push(requester_id);
+            note_discovered(&mut self.discovery, byz, total, tc, requester_id);
+        }
+    }
+
+    /// One pull exchange of the mixed pass for a BASALT-family
+    /// requester: the uniform [`Simulation::basalt_pull`] flow, extended
+    /// with the hybrid's trusted exchange (a bidirectional full-view
+    /// swap bypassing both waiting lists) and Brahms-family responders
+    /// (whose dynamic view answers; the Brahms protocol has no
+    /// responder-side hook for an incoming exchange).
+    fn mixed_basalt_pull(&mut self, requester_ci: usize, target: NodeId, s: &mut Scratch) {
+        let byz = self.byz_count;
+        let total = self.total_actors();
+        let requester_abs = byz + requester_ci;
+        let t = target.index();
+        if t == requester_abs || t >= total {
+            return;
+        }
+        if !self.alive[t] {
+            return;
+        }
+        if self.scenario.message_loss > 0.0 && self.loss_rng.chance(self.scenario.message_loss) {
+            return;
+        }
+        let requester_id = NodeId(requester_abs as u64);
+        if t < byz {
+            self.adversary.pull_answer_into(&mut s.reply);
+            let Population::Mixed(seg_nodes) = &mut self.population else {
+                unreachable!()
+            };
+            basalt_at(seg_nodes, &self.segs, &self.seg_of, requester_ci)
+                .record_pull_answer(target, &s.reply);
+            note_discovered(&mut self.discovery, byz, total, requester_ci, target);
+            for idx in 0..s.reply.len() {
+                note_discovered(&mut self.discovery, byz, total, requester_ci, s.reply[idx]);
+            }
+            return;
+        }
+        let tc = t - byz;
+        let both_trusted = self.trusted[requester_abs] && self.trusted[t];
+        let target_basalt = self.segs[self.seg_of[tc] as usize].basalt_cfg.is_some();
+        let Population::Mixed(seg_nodes) = &mut self.population else {
+            unreachable!()
+        };
+        if target_basalt {
+            {
+                let responder = basalt_at(seg_nodes, &self.segs, &self.seg_of, tc);
+                responder.pull_answer_into(&mut s.reply);
+            }
+            let requester = basalt_at(seg_nodes, &self.segs, &self.seg_of, requester_ci);
+            if both_trusted {
+                requester.record_pull_answer_trusted(target, &s.reply);
+            } else {
+                requester.record_pull_answer(target, &s.reply);
+            }
+            note_discovered(&mut self.discovery, byz, total, requester_ci, target);
+            for idx in 0..s.reply.len() {
+                note_discovered(&mut self.discovery, byz, total, requester_ci, s.reply[idx]);
+            }
+            if both_trusted {
+                // The swap's reverse half: the requester's attested
+                // distinct view ranks into the responder, bypassing its
+                // waiting list.
+                {
+                    let requester = basalt_at(seg_nodes, &self.segs, &self.seg_of, requester_ci);
+                    requester.pull_answer_into(&mut s.observed);
+                }
+                basalt_at(seg_nodes, &self.segs, &self.seg_of, tc)
+                    .record_pull_answer_trusted(requester_id, &s.observed);
+                note_discovered(&mut self.discovery, byz, total, tc, requester_id);
+                for idx in 0..s.observed.len() {
+                    note_discovered(&mut self.discovery, byz, total, tc, s.observed[idx]);
+                }
+            } else {
+                basalt_at(seg_nodes, &self.segs, &self.seg_of, tc).record_push(requester_id);
+                note_discovered(&mut self.discovery, byz, total, tc, requester_id);
+            }
+        } else {
+            s.reply.clear();
+            {
+                let responder = raptee_at(seg_nodes, &self.segs, &self.seg_of, tc);
+                s.reply.extend(responder.brahms().view().ids());
+            }
+            let requester = basalt_at(seg_nodes, &self.segs, &self.seg_of, requester_ci);
+            if both_trusted {
+                requester.record_pull_answer_trusted(target, &s.reply);
+            } else {
+                requester.record_pull_answer(target, &s.reply);
+            }
+            note_discovered(&mut self.discovery, byz, total, requester_ci, target);
+            for idx in 0..s.reply.len() {
+                note_discovered(&mut self.discovery, byz, total, requester_ci, s.reply[idx]);
+            }
+        }
+    }
+
     /// Folds the apply phase's per-node stat slots, in node-index order,
     /// into the run counters and this round's [`RoundAccumulator`], then
-    /// into the run series. Returns the share buffer for reuse.
+    /// into the run series. Mixed populations additionally fold each
+    /// segment's mean raw share into its per-segment series — the
+    /// combined accumulator sees exactly the same addition sequence
+    /// either way. Returns the share buffer for reuse.
     fn fold_round_stats(&mut self, stats: &[RoundStat], shares: Vec<f64>) -> Vec<f64> {
         let mut acc = RoundAccumulator::new(shares);
-        for stat in stats {
-            if !stat.participated {
-                continue;
+        if self.segs.is_empty() {
+            for stat in stats {
+                self.accumulate_stat(stat, &mut acc);
             }
-            self.total_evicted += u64::from(stat.evicted);
-            if stat.flood {
-                self.floods_detected += 1;
-            }
-            self.seed_rotations += u64::from(stat.rotated);
-            acc.discovered_sum += stat.discovered as usize;
-            acc.discovered_nodes += 1;
-            if (stat.discovered as usize) < self.discovery_target {
-                acc.all_discovered = false;
-            }
-            if stat.has_share {
-                acc.shares.push(stat.smoothed);
-                acc.share_sum += stat.share;
-                acc.share_count += 1;
+        } else {
+            for si in 0..self.segs.len() {
+                let (start, len) = (self.segs[si].start, self.segs[si].len);
+                let mut seg_sum = 0.0;
+                let mut seg_count = 0usize;
+                for stat in &stats[start..start + len] {
+                    self.accumulate_stat(stat, &mut acc);
+                    if stat.participated && stat.has_share {
+                        seg_sum += stat.share;
+                        seg_count += 1;
+                    }
+                }
+                self.seg_series[si].push(if seg_count == 0 {
+                    0.0
+                } else {
+                    seg_sum / seg_count as f64
+                });
             }
         }
         self.finish_round_metrics(acc)
+    }
+
+    /// Folds one node's round outcome into the run counters and the
+    /// round accumulator (extracted so the uniform and segmented folds
+    /// share the exact accumulation order).
+    fn accumulate_stat(&mut self, stat: &RoundStat, acc: &mut RoundAccumulator) {
+        if !stat.participated {
+            return;
+        }
+        self.total_evicted += u64::from(stat.evicted);
+        if stat.flood {
+            self.floods_detected += 1;
+        }
+        self.seed_rotations += u64::from(stat.rotated);
+        acc.discovered_sum += stat.discovered as usize;
+        acc.discovered_nodes += 1;
+        if (stat.discovered as usize) < self.discovery_target {
+            acc.all_discovered = false;
+        }
+        if stat.has_share {
+            acc.shares.push(stat.smoothed);
+            acc.share_sum += stat.share;
+            acc.share_count += 1;
+        }
     }
 
     /// Folds one round's [`RoundAccumulator`] into the run series:
@@ -1575,13 +2621,40 @@ impl Simulation {
         shares
     }
 
-    fn into_result(self) -> RunResult {
-        let tail = self.scenario.tail_window.min(self.byz_share_series.len());
-        let resilience = if tail == 0 {
+    /// Mean of the last `tail_window` entries of a share series — the
+    /// resilience metric.
+    fn tail_mean(series: &[f64], tail_window: usize) -> f64 {
+        let tail = tail_window.min(series.len());
+        if tail == 0 {
             0.0
         } else {
-            let s = &self.byz_share_series[self.byz_share_series.len() - tail..];
-            s.iter().sum::<f64>() / tail as f64
+            series[series.len() - tail..].iter().sum::<f64>() / tail as f64
+        }
+    }
+
+    fn into_result(self) -> RunResult {
+        let resilience = Self::tail_mean(&self.byz_share_series, self.scenario.tail_window);
+        // Per-segment pollution: one entry per population segment (a
+        // uniform run is one segment covering everything, so `segments`
+        // is never empty and combined == segments[0]).
+        let segments: Vec<SegmentResult> = if self.segs.is_empty() {
+            vec![SegmentResult {
+                protocol: self.scenario.protocol,
+                nodes: self.population.len(),
+                resilience,
+                byz_share_series: self.byz_share_series.clone(),
+            }]
+        } else {
+            self.segs
+                .iter()
+                .zip(&self.seg_series)
+                .map(|(seg, series)| SegmentResult {
+                    protocol: seg.protocol,
+                    nodes: seg.len,
+                    resilience: Self::tail_mean(series, self.scenario.tail_window),
+                    byz_share_series: series.clone(),
+                })
+                .collect()
         };
         let stability_round = self
             .spread_stability_round
@@ -1602,6 +2675,7 @@ impl Simulation {
             floods_detected: self.floods_detected,
             total_evicted: self.total_evicted,
             seed_rotations: self.seed_rotations,
+            segments,
         }
     }
 }
@@ -1881,6 +2955,178 @@ mod tests {
             "no RAPTEE nodes under BASALT"
         );
         assert!(!sim.is_trusted(NodeId(byz as u64)));
+    }
+
+    fn basalt_tee(view: usize) -> Protocol {
+        Protocol::BasaltTee {
+            view_size: view,
+            rotation_interval: 15,
+            wlist_ttl: 8,
+        }
+    }
+
+    fn half_mixed() -> Scenario {
+        let mut s = small(Protocol::Raptee);
+        s.trusted_fraction = 0.1;
+        s.half_and_half(Protocol::Raptee, basalt_tee(12))
+    }
+
+    #[test]
+    fn basalt_tee_uniform_runs_with_trusted_tier() {
+        let mut s = small(Protocol::Brahms).basalt_tee_variant(15, 8);
+        s.trusted_fraction = 0.1;
+        let byz = s.byzantine_count();
+        let trusted = s.trusted_count();
+        assert!(trusted > 0);
+        let sim = Simulation::new(s.clone());
+        // The trusted tier sits directly after the Byzantine prefix and
+        // holds attested group keys.
+        let first_trusted = NodeId(byz as u64);
+        assert!(sim.is_trusted(first_trusted));
+        assert!(!sim.is_trusted(NodeId((byz + trusted) as u64)));
+        let node = sim.basalt(first_trusted).expect("BASALT node");
+        assert!(node.is_trusted());
+        assert!(node.group_key().is_some());
+        assert!(
+            sim.node(first_trusted).is_none(),
+            "no Brahms-family nodes under the hybrid"
+        );
+        let r = sim.run();
+        assert_eq!(r.rounds, s.rounds);
+        assert!(r.seed_rotations > 0, "rotation still runs under the hybrid");
+        assert_eq!(r.total_evicted, 0, "no Brahms eviction in BASALT views");
+        assert_eq!(r.segments.len(), 1);
+        assert_eq!(r.segments[0].protocol, s.protocol);
+        assert_eq!(r.segments[0].resilience.to_bits(), r.resilience.to_bits());
+    }
+
+    #[test]
+    fn mixed_population_reports_segments() {
+        let s = half_mixed();
+        let correct = s.n - s.byzantine_count();
+        let r = Simulation::new(s.clone()).run();
+        assert_eq!(r.rounds, s.rounds);
+        assert_eq!(r.segments.len(), 2);
+        assert_eq!(r.segments[0].protocol, Protocol::Raptee);
+        assert_eq!(r.segments[1].protocol, basalt_tee(12));
+        assert_eq!(
+            r.segments.iter().map(|x| x.nodes).sum::<usize>(),
+            correct,
+            "segments cover the correct population"
+        );
+        for seg in &r.segments {
+            assert_eq!(seg.byz_share_series.len(), s.rounds);
+            assert!(seg.resilience > 0.0 && seg.resilience < 1.0);
+        }
+        // The combined series is the per-round mean over all correct
+        // nodes, so it lies between the segment series.
+        for round in 0..s.rounds {
+            let lo =
+                r.segments[0].byz_share_series[round].min(r.segments[1].byz_share_series[round]);
+            let hi =
+                r.segments[0].byz_share_series[round].max(r.segments[1].byz_share_series[round]);
+            let combined = r.byz_share_series[round];
+            assert!(
+                combined >= lo - 1e-12 && combined <= hi + 1e-12,
+                "round {round}: combined {combined} outside [{lo}, {hi}]"
+            );
+        }
+        // RAPTEE eviction ran in its segment.
+        assert!(r.total_evicted > 0);
+        // BASALT seed rotation ran in the other.
+        assert!(r.seed_rotations > 0);
+    }
+
+    #[test]
+    fn mixed_population_deterministic_per_seed() {
+        let s = half_mixed();
+        let a = Simulation::new(s.clone()).run();
+        let b = Simulation::new(s.clone()).run();
+        assert_eq!(a, b);
+        let mut other = s;
+        other.seed = 99;
+        let c = Simulation::new(other).run();
+        assert_ne!(a.byz_share_series, c.byz_share_series);
+    }
+
+    #[test]
+    fn mixed_population_role_and_node_accessors() {
+        let s = half_mixed();
+        let byz = s.byzantine_count();
+        let trusted_counts = s.segment_trusted_counts();
+        let segs = s.segments();
+        let sim = Simulation::new(s);
+        // First Raptee-segment node: trusted RAPTEE.
+        let raptee_first = NodeId(byz as u64);
+        assert!(sim.is_trusted(raptee_first));
+        assert!(sim.node(raptee_first).is_some());
+        assert!(sim.basalt(raptee_first).is_none());
+        // First BASALT-segment node: trusted BASALT.
+        let basalt_first = NodeId((byz + segs[0].count) as u64);
+        assert!(sim.is_trusted(basalt_first));
+        let node = sim.basalt(basalt_first).expect("BASALT node");
+        assert!(node.is_trusted());
+        assert!(sim.node(basalt_first).is_none());
+        // Untrusted tail of the BASALT segment.
+        let basalt_last = NodeId((byz + segs[0].count + segs[1].count - 1) as u64);
+        assert!(!sim.is_trusted(basalt_last));
+        assert!(trusted_counts[1] < segs[1].count);
+    }
+
+    #[test]
+    fn mixed_population_survives_loss_and_crashes() {
+        let mut s = small(Protocol::Brahms).half_and_half(
+            Protocol::Brahms,
+            Protocol::Basalt {
+                view_size: 12,
+                rotation_interval: 15,
+            },
+        );
+        s.message_loss = 0.2;
+        s.crash_fraction = 0.15;
+        s.crash_round = 10;
+        s.rounds = 30;
+        let byz = s.byzantine_count();
+        let n = s.n;
+        let mut sim = Simulation::new(s);
+        for _ in 0..30 {
+            sim.run_round();
+        }
+        let dead = (byz..n)
+            .filter(|&i| !sim.is_alive(NodeId(i as u64)))
+            .count();
+        let expected = ((n - byz) as f64 * 0.15).round() as usize;
+        assert_eq!(dead, expected);
+        // Survivors of both families keep non-empty views.
+        for i in byz..n {
+            let id = NodeId(i as u64);
+            if !sim.is_alive(id) {
+                continue;
+            }
+            if let Some(node) = sim.node(id) {
+                assert!(!node.brahms().view().is_empty());
+            } else {
+                assert!(!sim.basalt(id).unwrap().view().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn wlist_hybrid_quarantines_hearsay_in_engine() {
+        // A BasaltTee run with a long TTL and crashes: waiting lists
+        // must actually fill and drain through the engine's finish
+        // phase.
+        let mut s = small(Protocol::Brahms).basalt_tee_variant(0, 12);
+        s.trusted_fraction = 0.05;
+        s.rounds = 5;
+        let byz = s.byzantine_count();
+        let mut sim = Simulation::new(s.clone());
+        sim.run_round();
+        let queued: usize = (byz..s.n)
+            .filter_map(|i| sim.basalt(NodeId(i as u64)))
+            .map(|n| n.wlist_len())
+            .sum();
+        assert!(queued > 0, "pull hearsay must hit the waiting lists");
     }
 
     #[test]

@@ -36,6 +36,6 @@ pub mod runner;
 pub mod scenario;
 
 pub use engine::Simulation;
-pub use metrics::{IdentificationResult, RunResult};
-pub use runner::{run_repeated, run_scenario, AggregatedResult};
-pub use scenario::{AttackStrategy, Protocol, Scenario};
+pub use metrics::{IdentificationResult, RunResult, SegmentResult};
+pub use runner::{run_repeated, run_scenario, AggregatedResult, SegmentAggregate};
+pub use scenario::{AttackStrategy, Protocol, Scenario, SegmentSpec};

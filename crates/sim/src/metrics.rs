@@ -12,6 +12,7 @@
 //!   trusted-node identification attack, evaluated every round with the
 //!   adversary free to pick its best moment.
 
+use crate::scenario::Protocol;
 use raptee_net::NodeId;
 
 /// The share of non-Byzantine IDs every node must know for the discovery
@@ -148,6 +149,23 @@ pub fn fractional_crossing(series: &[f64], target: f64) -> Option<f64> {
     None
 }
 
+/// Pollution metrics of one population segment (see
+/// `Scenario::population`). Uniform runs report exactly one segment
+/// covering the whole correct population, so `segments[_].resilience`
+/// is comparable across uniform and mixed runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentResult {
+    /// The protocol this segment ran.
+    pub protocol: Protocol,
+    /// Number of correct nodes in the segment.
+    pub nodes: usize,
+    /// Converged mean Byzantine share in this segment's views (tail
+    /// mean, like [`RunResult::resilience`]).
+    pub resilience: f64,
+    /// This segment's mean Byzantine share per round.
+    pub byz_share_series: Vec<f64>,
+}
+
 /// The complete result of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
@@ -185,6 +203,9 @@ pub struct RunResult {
     /// Total BASALT ranking-seed rotations across nodes and rounds (0
     /// under Brahms/RAPTEE).
     pub seed_rotations: u64,
+    /// Per-segment pollution (one entry per population segment; exactly
+    /// one — equal to the combined metrics — for uniform runs).
+    pub segments: Vec<SegmentResult>,
 }
 
 #[cfg(test)]

@@ -13,11 +13,26 @@ use crate::metrics::RunResult;
 use crate::scenario::Scenario;
 use rayon::prelude::*;
 
+/// Mean per-segment resilience across repetitions of one scenario (the
+/// segment layout is identical in every repetition).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentAggregate {
+    /// The protocol the segment ran.
+    pub protocol: crate::scenario::Protocol,
+    /// Correct nodes in the segment.
+    pub nodes: usize,
+    /// Mean converged Byzantine share in the segment's views.
+    pub resilience: f64,
+}
+
 /// Mean results across repetitions of one scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AggregatedResult {
     /// Mean converged Byzantine share in non-Byzantine views (`[0, 1]`).
     pub resilience: f64,
+    /// Mean per-segment resilience (one entry per population segment;
+    /// exactly one, equal to `resilience`, for uniform scenarios).
+    pub segments: Vec<SegmentAggregate>,
     /// Mean discovery round among repetitions that reached discovery;
     /// `None` when none did.
     pub discovery_round: Option<f64>,
@@ -73,6 +88,22 @@ pub fn aggregate(results: &[RunResult]) -> AggregatedResult {
     assert!(!results.is_empty(), "cannot aggregate zero results");
     let n = results.len() as f64;
     let resilience = results.iter().map(|r| r.resilience).sum::<f64>() / n;
+    // Per-segment means: every repetition runs the same population spec,
+    // so segment k lines up across results.
+    let segments: Vec<SegmentAggregate> = results[0]
+        .segments
+        .iter()
+        .enumerate()
+        .map(|(k, seg)| SegmentAggregate {
+            protocol: seg.protocol,
+            nodes: seg.nodes,
+            resilience: results
+                .iter()
+                .filter_map(|r| r.segments.get(k).map(|s| s.resilience))
+                .sum::<f64>()
+                / n,
+        })
+        .collect();
     let mean_of = |vals: Vec<f64>| {
         if vals.is_empty() {
             None
@@ -109,6 +140,7 @@ pub fn aggregate(results: &[RunResult]) -> AggregatedResult {
     };
     AggregatedResult {
         resilience,
+        segments,
         discovery_round: mean_of(discovery),
         stability_round: mean_of(stability),
         ident_precision: ip,
@@ -229,6 +261,12 @@ mod tests {
             floods_detected: 0,
             total_evicted: 0,
             seed_rotations: 0,
+            segments: vec![crate::metrics::SegmentResult {
+                protocol: Protocol::Raptee,
+                nodes: 72,
+                resilience,
+                byz_share_series: vec![resilience],
+            }],
         }
     }
 

@@ -21,7 +21,7 @@ pub enum AttackStrategy {
     },
 }
 
-/// Which protocol the non-Byzantine population runs.
+/// Which protocol a (sub-)population of correct nodes runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Protocol {
     /// Plain Brahms: no trusted nodes, no authentication, no eviction —
@@ -40,6 +40,53 @@ pub enum Protocol {
         /// Rounds between seed rotations (`0` disables rotation).
         rotation_interval: usize,
     },
+    /// The BASALT+TEE hybrid: BASALT's ranked hit-counter views hardened
+    /// with (a) the waiting-list / TTL anti-poisoning refinement for
+    /// hearsay IDs, and (b) a trusted tier of `t·N` enclave-attested
+    /// nodes (provisioned through the same `raptee-tee` attestation flow
+    /// as RAPTEE) whose mutual exchanges bypass the waiting list.
+    BasaltTee {
+        /// Number of ranked view slots `v`.
+        view_size: usize,
+        /// Rounds between seed rotations (`0` disables rotation).
+        rotation_interval: usize,
+        /// Waiting-list TTL in rounds for hearsay candidates (`0`
+        /// degrades to plain BASALT semantics plus the trusted tier).
+        wlist_ttl: usize,
+    },
+}
+
+impl Protocol {
+    /// Short CLI/report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Protocol::Brahms => "brahms",
+            Protocol::Raptee => "raptee",
+            Protocol::Basalt { .. } => "basalt",
+            Protocol::BasaltTee { .. } => "basalt-tee",
+        }
+    }
+
+    /// Whether this protocol runs BASALT-family ranked views (vs the
+    /// Brahms/RAPTEE renewal family).
+    pub fn is_basalt_family(&self) -> bool {
+        matches!(self, Protocol::Basalt { .. } | Protocol::BasaltTee { .. })
+    }
+
+    /// Whether a trusted tier exists under this protocol.
+    pub fn supports_trusted(&self) -> bool {
+        matches!(self, Protocol::Raptee | Protocol::BasaltTee { .. })
+    }
+}
+
+/// One entry of a mixed-population specification: `count` correct nodes
+/// running `protocol`. See [`Scenario::population`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentSpec {
+    /// The protocol this segment runs.
+    pub protocol: Protocol,
+    /// Number of correct nodes in the segment.
+    pub count: usize,
 }
 
 /// One experimental setup, mirroring the paper's Section V-B: "An
@@ -95,8 +142,18 @@ pub struct Scenario {
     pub sample_size: usize,
     /// Rounds per run (paper: 200).
     pub rounds: usize,
-    /// Protocol selection.
+    /// Protocol selection for a *uniform* correct population (ignored
+    /// when [`Scenario::population`] is non-empty).
     pub protocol: Protocol,
+    /// Mixed-population specification: per-protocol counts of correct
+    /// nodes, laid out contiguously after the Byzantine prefix in spec
+    /// order. Empty (the default) means the whole correct population
+    /// runs [`Scenario::protocol`]. When non-empty, the counts must sum
+    /// to `n - byzantine_count()`, each protocol may appear at most
+    /// once, and the RAPTEE-only attack toggles
+    /// (`injected_poisoned_fraction`, `identification_attack`,
+    /// `real_crypto_handshakes`) must stay off.
+    pub population: Vec<SegmentSpec>,
     /// Run the real four-message HMAC handshake for every pull
     /// (`true`), or the role-based shortcut whose equivalence is
     /// asserted by `tests/crypto_shortcut.rs` (`false`, default for
@@ -149,6 +206,7 @@ impl Default for Scenario {
             sample_size: 20,
             rounds: 120,
             protocol: Protocol::Raptee,
+            population: Vec::new(),
             real_crypto_handshakes: false,
             identification_attack: false,
             identification_threshold: 0.1,
@@ -234,17 +292,93 @@ impl Scenario {
             (0.0..=1.0).contains(&self.identification_threshold),
             "identification threshold must be in [0,1]"
         );
-        if let Protocol::Basalt { view_size, .. } = self.protocol {
-            assert!(view_size > 0, "BASALT view size must be positive");
-            assert!(
-                self.injected_poisoned_fraction == 0.0,
-                "trusted-node injection needs a trusted tier (RAPTEE only)"
-            );
-            assert!(
-                !self.identification_attack,
-                "the identification attack targets trusted nodes (RAPTEE only)"
-            );
+        if self.population.is_empty() {
+            self.validate_protocol(self.protocol);
+        } else {
+            self.validate_population();
         }
+    }
+
+    /// Per-protocol consistency checks shared by the uniform and mixed
+    /// validation paths.
+    fn validate_protocol(&self, protocol: Protocol) {
+        match protocol {
+            Protocol::Brahms | Protocol::Raptee => {}
+            Protocol::Basalt { view_size, .. } => {
+                assert!(view_size > 0, "BASALT view size must be positive");
+                assert!(
+                    self.injected_poisoned_fraction == 0.0,
+                    "trusted-node injection needs a trusted tier (RAPTEE only)"
+                );
+                assert!(
+                    !self.identification_attack,
+                    "the identification attack targets trusted nodes (RAPTEE only)"
+                );
+            }
+            Protocol::BasaltTee { view_size, .. } => {
+                assert!(view_size > 0, "BASALT view size must be positive");
+                assert!(
+                    self.injected_poisoned_fraction == 0.0,
+                    "trusted-node injection bootstraps poisoned Brahms views (RAPTEE only)"
+                );
+                assert!(
+                    !self.identification_attack,
+                    "the identification attack reads Brahms view statistics (RAPTEE only)"
+                );
+                assert!(
+                    !self.real_crypto_handshakes,
+                    "real handshakes are wired for the uniform Brahms-family pull path"
+                );
+            }
+        }
+    }
+
+    /// Mixed-population consistency checks.
+    fn validate_population(&self) {
+        assert!(
+            self.injected_poisoned_fraction == 0.0,
+            "trusted-node injection is a uniform-RAPTEE attack (no mixed populations)"
+        );
+        assert!(
+            !self.identification_attack,
+            "the identification attack is a uniform-RAPTEE attack (no mixed populations)"
+        );
+        assert!(
+            !self.real_crypto_handshakes,
+            "real handshakes are wired for the uniform Brahms-family path only"
+        );
+        let mut sum = 0usize;
+        for (i, seg) in self.population.iter().enumerate() {
+            assert!(seg.count > 0, "population segments must be non-empty");
+            self.validate_protocol(seg.protocol);
+            assert!(
+                !self.population[..i]
+                    .iter()
+                    .any(|s| std::mem::discriminant(&s.protocol)
+                        == std::mem::discriminant(&seg.protocol)),
+                "each protocol may appear at most once in a population spec"
+            );
+            sum += seg.count;
+        }
+        let correct = self.n - self.byzantine_count();
+        assert_eq!(
+            sum, correct,
+            "population segment counts must sum to the correct population \
+             (n - byzantine_count = {correct})"
+        );
+        // Like uniform Brahms/BASALT, a population without TEE-capable
+        // segments simply ignores `trusted_fraction`; but where a tier
+        // *can* exist, it must fit.
+        let capacity: usize = self
+            .population
+            .iter()
+            .filter(|s| s.protocol.supports_trusted())
+            .map(|s| s.count)
+            .sum();
+        assert!(
+            capacity == 0 || self.total_trusted_target() <= capacity,
+            "trusted fraction exceeds the TEE-capable segment capacity"
+        );
     }
 
     /// Number of Byzantine nodes `⌊f·N⌋` (at least 1 when `f > 0`).
@@ -257,19 +391,90 @@ impl Scenario {
         }
     }
 
-    /// Number of trusted nodes `⌊t·N⌋` (at least 1 when `t > 0` and the
-    /// protocol is RAPTEE; the paper's smallest setting is "1 % of
-    /// SGX-capable devices"). Brahms and BASALT run no trusted tier.
-    pub fn trusted_count(&self) -> usize {
-        if self.protocol != Protocol::Raptee {
-            return 0;
-        }
+    /// The scenario-level trusted-tier target `⌊t·N⌋` (at least 1 when
+    /// `t > 0`), before any capping to TEE-capable segment capacity.
+    fn total_trusted_target(&self) -> usize {
         let t = (self.trusted_fraction * self.n as f64).round() as usize;
         if self.trusted_fraction > 0.0 {
             t.max(1)
         } else {
             0
         }
+    }
+
+    /// Number of trusted nodes `⌊t·N⌋` (at least 1 when `t > 0` and a
+    /// TEE-capable protocol — RAPTEE or BasaltTee — runs somewhere; the
+    /// paper's smallest setting is "1 % of SGX-capable devices"). Brahms
+    /// and plain BASALT run no trusted tier. For mixed populations this
+    /// is the sum of [`Scenario::segment_trusted_counts`].
+    pub fn trusted_count(&self) -> usize {
+        if self.population.is_empty() {
+            if !self.protocol.supports_trusted() {
+                return 0;
+            }
+            self.total_trusted_target()
+        } else {
+            self.segment_trusted_counts().iter().sum()
+        }
+    }
+
+    /// The effective per-protocol layout of the correct population: the
+    /// explicit [`Scenario::population`] spec when given, otherwise one
+    /// segment of the whole correct population running
+    /// [`Scenario::protocol`]. Segments occupy contiguous index ranges
+    /// after the Byzantine prefix, in spec order.
+    pub fn segments(&self) -> Vec<SegmentSpec> {
+        if self.population.is_empty() {
+            vec![SegmentSpec {
+                protocol: self.protocol,
+                count: self.n - self.byzantine_count(),
+            }]
+        } else {
+            self.population.clone()
+        }
+    }
+
+    /// Trusted-node counts per segment (aligned with
+    /// [`Scenario::segments`]): the scenario-level target `round(t·N)`
+    /// distributed over the TEE-capable segments proportionally to their
+    /// sizes (floor shares first, then the remainder one-by-one in
+    /// segment order), capped at segment capacity. Within a segment, the
+    /// trusted nodes occupy the first indices — mirroring the uniform
+    /// layout, where trusted nodes directly follow the Byzantine prefix.
+    pub fn segment_trusted_counts(&self) -> Vec<usize> {
+        let segs = self.segments();
+        let mut out = vec![0usize; segs.len()];
+        let capable: Vec<usize> = (0..segs.len())
+            .filter(|&i| segs[i].protocol.supports_trusted())
+            .collect();
+        if capable.is_empty() {
+            return out;
+        }
+        let cap_total: usize = capable.iter().map(|&i| segs[i].count).sum();
+        let total = self.total_trusted_target().min(cap_total);
+        let mut assigned = 0usize;
+        for &i in &capable {
+            out[i] = (total * segs[i].count / cap_total).min(segs[i].count);
+            assigned += out[i];
+        }
+        let mut remainder = total - assigned;
+        while remainder > 0 {
+            let mut progressed = false;
+            for &i in &capable {
+                if remainder == 0 {
+                    break;
+                }
+                if out[i] < segs[i].count {
+                    out[i] += 1;
+                    remainder -= 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        out
     }
 
     /// Number of injected view-poisoned trusted nodes (extra, on top of
@@ -296,6 +501,7 @@ impl Scenario {
             trusted_fraction: 0.0,
             injected_poisoned_fraction: 0.0,
             identification_attack: false,
+            population: Vec::new(),
             ..self.clone()
         }
     }
@@ -314,8 +520,60 @@ impl Scenario {
             trusted_fraction: 0.0,
             injected_poisoned_fraction: 0.0,
             identification_attack: false,
+            population: Vec::new(),
             ..self.clone()
         }
+    }
+
+    /// A copy of this scenario switched to the BASALT+TEE hybrid at the
+    /// same view size and workload: BASALT ranked views with the
+    /// waiting-list refinement (`wlist_ttl` rounds of hearsay
+    /// quarantine), plus this scenario's `trusted_fraction` of
+    /// enclave-attested nodes whose mutual exchanges bypass the list.
+    pub fn basalt_tee_variant(&self, rotation_interval: usize, wlist_ttl: usize) -> Scenario {
+        Scenario {
+            protocol: Protocol::BasaltTee {
+                view_size: self.view_size,
+                rotation_interval,
+                wlist_ttl,
+            },
+            injected_poisoned_fraction: 0.0,
+            identification_attack: false,
+            real_crypto_handshakes: false,
+            population: Vec::new(),
+            ..self.clone()
+        }
+    }
+
+    /// A copy of this scenario running a mixed population: the correct
+    /// nodes split over `segments` (counts must sum to
+    /// `n - byzantine_count()`). RAPTEE-only attack toggles are cleared,
+    /// as mixed mode forbids them.
+    pub fn with_population(&self, segments: Vec<SegmentSpec>) -> Scenario {
+        Scenario {
+            population: segments,
+            injected_poisoned_fraction: 0.0,
+            identification_attack: false,
+            real_crypto_handshakes: false,
+            ..self.clone()
+        }
+    }
+
+    /// Convenience for an even two-protocol split of the correct
+    /// population (the odd node goes to the first segment).
+    pub fn half_and_half(&self, first: Protocol, second: Protocol) -> Scenario {
+        let correct = self.n - self.byzantine_count();
+        let half = correct / 2;
+        self.with_population(vec![
+            SegmentSpec {
+                protocol: first,
+                count: correct - half,
+            },
+            SegmentSpec {
+                protocol: second,
+                count: half,
+            },
+        ])
     }
 }
 
@@ -445,6 +703,179 @@ mod tests {
             ..Scenario::default()
         }
         .validate();
+    }
+
+    fn mixed(n: usize, f: f64, specs: &[(Protocol, usize)]) -> Scenario {
+        Scenario {
+            n,
+            byzantine_fraction: f,
+            population: specs
+                .iter()
+                .map(|&(protocol, count)| SegmentSpec { protocol, count })
+                .collect(),
+            ..Scenario::default()
+        }
+    }
+
+    fn basalt_tee(view: usize) -> Protocol {
+        Protocol::BasaltTee {
+            view_size: view,
+            rotation_interval: 15,
+            wlist_ttl: 8,
+        }
+    }
+
+    #[test]
+    fn basalt_tee_variant_keeps_trusted_tier() {
+        let s = Scenario {
+            trusted_fraction: 0.2,
+            ..Scenario::default()
+        };
+        let b = s.basalt_tee_variant(30, 10);
+        b.validate();
+        assert_eq!(
+            b.protocol,
+            Protocol::BasaltTee {
+                view_size: s.view_size,
+                rotation_interval: 30,
+                wlist_ttl: 10
+            }
+        );
+        assert_eq!(b.trusted_count(), 200, "the trusted tier survives");
+        assert!(b.protocol.supports_trusted());
+        assert!(b.protocol.is_basalt_family());
+        assert_eq!(b.protocol.label(), "basalt-tee");
+    }
+
+    #[test]
+    fn uniform_scenarios_are_one_segment() {
+        let s = Scenario::default();
+        let segs = s.segments();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].protocol, Protocol::Raptee);
+        assert_eq!(segs[0].count, s.n - s.byzantine_count());
+        assert_eq!(s.segment_trusted_counts(), vec![s.trusted_count()]);
+    }
+
+    #[test]
+    fn mixed_population_validates_and_partitions() {
+        let s = mixed(400, 0.1, &[(Protocol::Raptee, 180), (basalt_tee(20), 180)]);
+        s.validate();
+        assert_eq!(s.byzantine_count(), 40);
+        let segs = s.segments();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs.iter().map(|x| x.count).sum::<usize>(), 360);
+    }
+
+    #[test]
+    fn trusted_tier_splits_proportionally_over_tee_segments() {
+        let mut s = mixed(400, 0.1, &[(Protocol::Raptee, 180), (basalt_tee(20), 180)]);
+        s.trusted_fraction = 0.1; // round(0.1·400) = 40 trusted total
+        s.validate();
+        assert_eq!(s.segment_trusted_counts(), vec![20, 20]);
+        assert_eq!(s.trusted_count(), 40);
+
+        // Brahms segments never take trusted nodes.
+        let mut s = mixed(
+            400,
+            0.1,
+            &[(Protocol::Brahms, 180), (Protocol::Raptee, 180)],
+        );
+        s.trusted_fraction = 0.1;
+        s.validate();
+        assert_eq!(s.segment_trusted_counts(), vec![0, 40]);
+
+        // No TEE-capable segment → no trusted tier at all.
+        let mut s = mixed(
+            400,
+            0.1,
+            &[
+                (Protocol::Brahms, 180),
+                (
+                    Protocol::Basalt {
+                        view_size: 20,
+                        rotation_interval: 15,
+                    },
+                    180,
+                ),
+            ],
+        );
+        s.trusted_fraction = 0.1;
+        s.validate();
+        assert_eq!(s.trusted_count(), 0);
+    }
+
+    #[test]
+    fn trusted_remainder_lands_in_segment_order() {
+        let mut s = mixed(100, 0.1, &[(Protocol::Raptee, 45), (basalt_tee(10), 45)]);
+        s.trusted_fraction = 0.05; // 5 trusted over two 45-node segments
+        s.validate();
+        assert_eq!(s.segment_trusted_counts(), vec![3, 2]);
+    }
+
+    #[test]
+    fn half_and_half_splits_correct_population() {
+        let s = Scenario {
+            n: 401,
+            byzantine_fraction: 0.1,
+            ..Scenario::default()
+        }
+        .half_and_half(Protocol::Raptee, basalt_tee(20));
+        s.validate();
+        let segs = s.segments();
+        assert_eq!(segs[0].count + segs[1].count, 401 - s.byzantine_count());
+        assert!(segs[0].count >= segs[1].count);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to the correct population")]
+    fn population_counts_must_sum() {
+        mixed(400, 0.1, &[(Protocol::Raptee, 100), (basalt_tee(20), 100)]).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at most once")]
+    fn duplicate_protocols_rejected() {
+        mixed(
+            400,
+            0.1,
+            &[(Protocol::Raptee, 180), (Protocol::Raptee, 180)],
+        )
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_segment_rejected() {
+        mixed(400, 0.1, &[(Protocol::Raptee, 0), (basalt_tee(20), 360)]).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "no mixed populations")]
+    fn mixed_rejects_identification_attack() {
+        let mut s = mixed(
+            400,
+            0.1,
+            &[(Protocol::Raptee, 180), (Protocol::Brahms, 180)],
+        );
+        s.identification_attack = true;
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "RAPTEE only")]
+    fn basalt_tee_rejects_injection() {
+        let mut s = Scenario::default().basalt_tee_variant(15, 8);
+        s.injected_poisoned_fraction = 0.1;
+        s.validate();
+    }
+
+    #[test]
+    fn baseline_and_variants_clear_population() {
+        let s = mixed(400, 0.1, &[(Protocol::Raptee, 180), (basalt_tee(20), 180)]);
+        assert!(s.brahms_baseline().population.is_empty());
+        assert!(s.basalt_variant(15).population.is_empty());
+        assert!(s.basalt_tee_variant(15, 8).population.is_empty());
     }
 
     #[test]

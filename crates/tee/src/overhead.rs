@@ -161,6 +161,22 @@ impl SgxOverheadModel {
         }
     }
 
+    /// Expected enclave cycle overhead of one protocol round for a
+    /// trusted node issuing `pulls` pull exchanges, `pushes` push
+    /// messages and `swaps` trusted communications (mean overheads, no
+    /// sampling — the deterministic budget number the hybrid
+    /// BASALT+TEE comparison reports next to its resilience figures).
+    /// The per-round view and sample recomputations are charged once
+    /// each.
+    pub fn expected_round_overhead(&self, pulls: usize, pushes: usize, swaps: usize) -> u64 {
+        let mean = |f: PeerSamplingFunction| self.row(f).mean_overhead;
+        mean(PeerSamplingFunction::PullRequest) * pulls as u64
+            + mean(PeerSamplingFunction::PushMessage) * pushes as u64
+            + mean(PeerSamplingFunction::TrustedCommunications) * swaps as u64
+            + mean(PeerSamplingFunction::SampleListComputation)
+            + mean(PeerSamplingFunction::DynamicViewComputation)
+    }
+
     fn index(func: PeerSamplingFunction) -> usize {
         match func {
             PeerSamplingFunction::PullRequest => 0,
@@ -272,6 +288,16 @@ mod tests {
                 r.mean_overhead
             );
         }
+    }
+
+    #[test]
+    fn expected_round_overhead_sums_table_means() {
+        let m = SgxOverheadModel::paper_table1();
+        // 4 pulls + 4 pushes + 1 swap + the two per-round recomputations.
+        let expected = 4 * 2_970 + 4 * 1_661 + 1_671 + 2_340 + 2_619;
+        assert_eq!(m.expected_round_overhead(4, 4, 1), expected);
+        // A node doing nothing still pays the round recomputations.
+        assert_eq!(m.expected_round_overhead(0, 0, 0), 2_340 + 2_619);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! ```
 
 use raptee::EvictionPolicy;
-use raptee_sim::{runner, Protocol, Scenario};
+use raptee_sim::{runner, Protocol, Scenario, SegmentSpec};
 use std::collections::BTreeMap;
 
 /// A parsed command line: a subcommand plus `--key value` options.
@@ -132,26 +132,115 @@ impl Args {
         }
     }
 
-    /// Parses the `--protocol` option (`raptee` default, `brahms`, or
-    /// `basalt` — the latter reads `--rotation` for its seed-rotation
-    /// interval and runs `view_size` ranked slots).
+    /// Parses the `--protocol` option (`raptee` default, `brahms`,
+    /// `basalt`, or `basalt-tee`). The BASALT family reads `--rotation`
+    /// for its seed-rotation interval and runs `view_size` ranked slots;
+    /// the BASALT+TEE hybrid additionally reads `--wlist-ttl` (rounds of
+    /// hearsay quarantine, default 10) and takes its trusted tier from
+    /// `--t`.
     ///
     /// # Errors
     ///
     /// [`CliError::BadValue`] on anything else.
     pub fn protocol(&self, view_size: usize) -> Result<Protocol, CliError> {
-        match self.options.get("protocol").map(String::as_str) {
-            None | Some("raptee") => Ok(Protocol::Raptee),
-            Some("brahms") => Ok(Protocol::Brahms),
-            Some("basalt") => Ok(Protocol::Basalt {
+        self.named_protocol(
+            self.options
+                .get("protocol")
+                .map_or("raptee", String::as_str),
+            view_size,
+        )
+    }
+
+    /// Resolves one protocol name (shared by `--protocol` and the
+    /// `--population` entries).
+    fn named_protocol(&self, name: &str, view_size: usize) -> Result<Protocol, CliError> {
+        match name {
+            "raptee" => Ok(Protocol::Raptee),
+            "brahms" => Ok(Protocol::Brahms),
+            "basalt" => Ok(Protocol::Basalt {
                 view_size,
                 rotation_interval: self.get("rotation", 30usize)?,
             }),
-            Some(v) => Err(CliError::BadValue {
+            "basalt-tee" => Ok(Protocol::BasaltTee {
+                view_size,
+                rotation_interval: self.get("rotation", 30usize)?,
+                wlist_ttl: self.get("wlist-ttl", 10usize)?,
+            }),
+            v => Err(CliError::BadValue {
                 key: "protocol".into(),
                 value: v.into(),
             }),
         }
+    }
+
+    /// Parses the `--population` option: a comma-separated list of
+    /// `protocol:count` (absolute correct-node counts) or
+    /// `protocol:share%` (percent of the correct population; the
+    /// remainder after all percent segments lands in the last one)
+    /// entries, e.g. `raptee:50%,basalt-tee:50%`.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::BadValue`] when an entry fails to parse.
+    pub fn population(
+        &self,
+        view_size: usize,
+        correct: usize,
+    ) -> Result<Vec<SegmentSpec>, CliError> {
+        let Some(spec) = self.options.get("population") else {
+            return Ok(Vec::new());
+        };
+        let bad = |value: &str| CliError::BadValue {
+            key: "population".into(),
+            value: value.into(),
+        };
+        let mut segments = Vec::new();
+        let mut allocated = 0usize;
+        let mut percent_sum = 0.0f64;
+        let mut all_percent = true;
+        let entries: Vec<&str> = spec.split(',').collect();
+        for entry in &entries {
+            let (name, amount) = entry.split_once(':').ok_or_else(|| bad(entry))?;
+            let protocol = self
+                .named_protocol(name.trim(), view_size)
+                .map_err(|_| bad(entry))?;
+            let amount = amount.trim();
+            let count = if let Some(pct) = amount.strip_suffix('%') {
+                let pct: f64 = pct.trim().parse().map_err(|_| bad(entry))?;
+                if !(0.0..=100.0).contains(&pct) {
+                    return Err(bad(entry));
+                }
+                percent_sum += pct;
+                (correct as f64 * pct / 100.0).round() as usize
+            } else {
+                all_percent = false;
+                amount.parse().map_err(|_| bad(entry))?
+            };
+            allocated += count;
+            segments.push(SegmentSpec { protocol, count });
+        }
+        if all_percent {
+            // Percent shares must cover the whole correct population —
+            // a mistyped share errors instead of being silently
+            // reinterpreted. Only *rounding* slack is absorbed, into the
+            // final segment.
+            if (percent_sum - 100.0).abs() > 1e-9 {
+                return Err(bad(&format!(
+                    "{spec} (shares sum to {percent_sum}%, need 100%)"
+                )));
+            }
+            if let Some(last) = segments.last_mut() {
+                let others = allocated - last.count;
+                last.count = correct.saturating_sub(others);
+                allocated = correct;
+            }
+        }
+        if allocated != correct {
+            return Err(bad(&format!(
+                "{spec} (counts sum to {allocated}, but the correct population is {correct})"
+            )));
+        }
+        Ok(segments)
     }
 
     /// Builds the scenario common to all subcommands.
@@ -165,7 +254,7 @@ impl Args {
         // `--t` is ignored under `--protocol basalt` (no trusted tier
         // exists); an explicit `--injected` under BASALT is rejected by
         // `Scenario::validate` when the simulation starts.
-        Ok(Scenario {
+        let mut scenario = Scenario {
             n: self.get("n", 400usize)?,
             byzantine_fraction: self.get("f", 0.10f64)?,
             trusted_fraction: self.get("t", 0.01f64)?,
@@ -178,7 +267,10 @@ impl Args {
             protocol: self.protocol(view)?,
             seed: self.get("seed", 0x5A97EE_u64)?,
             ..Scenario::default()
-        })
+        };
+        let correct = scenario.n - scenario.byzantine_count();
+        scenario.population = self.population(view, correct)?;
+        Ok(scenario)
     }
 }
 
@@ -197,8 +289,13 @@ COMMON OPTIONS:
     --seed <u64>       master seed
     --reps <usize>     repetitions                [default: 1]
     --eviction <p>     none | adaptive | 0.0..1.0 [default: adaptive]
-    --protocol <p>     raptee | brahms | basalt   [default: raptee]
+    --protocol <p>     raptee | brahms | basalt | basalt-tee [default: raptee]
     --rotation <usize> BASALT seed-rotation interval in rounds [default: 30]
+    --wlist-ttl <usize> basalt-tee hearsay-quarantine TTL in rounds [default: 10]
+    --population <s>   mixed population: comma-separated protocol:count or
+                       protocol:share% entries over the correct nodes,
+                       e.g. raptee:50%,basalt-tee:50% (overrides --protocol;
+                       per-segment pollution is reported alongside the total)
 
 SUBCOMMANDS:
     run      one scenario; add --series true to dump the pollution curve as CSV
@@ -228,9 +325,18 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
     let reps = args.get("reps", 1usize)?;
     let agg = runner::run_repeated(&scenario, reps);
     let mut out = String::new();
+    let population = if scenario.population.is_empty() {
+        format!("protocol={}", scenario.protocol.label())
+    } else {
+        let parts: Vec<String> = scenario
+            .population
+            .iter()
+            .map(|s| format!("{}:{}", s.protocol.label(), s.count))
+            .collect();
+        format!("population={}", parts.join(","))
+    };
     out.push_str(&format!(
-        "protocol={:?} n={} f={:.0}% t={:.0}% eviction={} rounds={} reps={reps}\n",
-        scenario.protocol,
+        "{population} n={} f={:.0}% t={:.0}% eviction={} rounds={} reps={reps}\n",
         scenario.n,
         scenario.byzantine_fraction * 100.0,
         // The *effective* trusted share: 0 under Brahms/BASALT even when
@@ -243,6 +349,16 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
         "resilience: {:.2}% Byzantine IDs in non-Byzantine views\n",
         agg.resilience * 100.0
     ));
+    if agg.segments.len() > 1 {
+        for seg in &agg.segments {
+            out.push_str(&format!(
+                "  segment {:10} ({} nodes): {:.2}%\n",
+                seg.protocol.label(),
+                seg.nodes,
+                seg.resilience * 100.0
+            ));
+        }
+    }
     out.push_str(&format!(
         "discovery round: {}   stability round: {}\n",
         agg.discovery_round
@@ -279,13 +395,23 @@ fn cmd_sweep(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// Rejects `--protocol basalt` for the RAPTEE-only attack subcommands
-/// with the CLI's usual error path (rather than the library assert).
+/// Rejects the BASALT family and mixed populations for the
+/// uniform-RAPTEE-only attack subcommands with the CLI's usual error
+/// path (rather than the library assert).
 fn require_trusted_tier(scenario: &Scenario) -> Result<(), CliError> {
-    if matches!(scenario.protocol, Protocol::Basalt { .. }) {
+    if !scenario.population.is_empty() {
+        return Err(CliError::BadValue {
+            key: "population".into(),
+            value: "mixed populations (this attack needs a uniform RAPTEE run)".into(),
+        });
+    }
+    if scenario.protocol.is_basalt_family() {
         return Err(CliError::BadValue {
             key: "protocol".into(),
-            value: "basalt (this attack needs a trusted tier)".into(),
+            value: format!(
+                "{} (this attack needs the uniform RAPTEE protocol)",
+                scenario.protocol.label()
+            ),
         });
     }
     Ok(())
@@ -471,11 +597,138 @@ mod tests {
     #[test]
     fn attack_subcommands_reject_basalt_cleanly() {
         for cmd in ["ident", "inject"] {
-            let a = args(&[cmd, "--protocol", "basalt", "--n", "80", "--rounds", "10"]).unwrap();
+            for protocol in ["basalt", "basalt-tee"] {
+                let a =
+                    args(&[cmd, "--protocol", protocol, "--n", "80", "--rounds", "10"]).unwrap();
+                let err = execute(&a).unwrap_err();
+                assert!(
+                    matches!(err, CliError::BadValue { ref key, .. } if key == "protocol"),
+                    "{cmd}/{protocol} must fail with the CLI error path, got {err:?}"
+                );
+            }
+            let a = args(&[
+                cmd,
+                "--population",
+                "raptee:50%,brahms:50%",
+                "--n",
+                "80",
+                "--rounds",
+                "10",
+            ])
+            .unwrap();
             let err = execute(&a).unwrap_err();
             assert!(
-                matches!(err, CliError::BadValue { ref key, .. } if key == "protocol"),
-                "{cmd} must fail with the CLI error path, got {err:?}"
+                matches!(err, CliError::BadValue { ref key, .. } if key == "population"),
+                "{cmd} must reject mixed populations, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn basalt_tee_protocol_parses_and_runs() {
+        let a = args(&[
+            "run",
+            "--protocol",
+            "basalt-tee",
+            "--rotation",
+            "12",
+            "--wlist-ttl",
+            "6",
+            "--t",
+            "0.1",
+            "--n",
+            "80",
+            "--rounds",
+            "20",
+            "--view",
+            "10",
+        ])
+        .unwrap();
+        assert_eq!(
+            a.protocol(10).unwrap(),
+            Protocol::BasaltTee {
+                view_size: 10,
+                rotation_interval: 12,
+                wlist_ttl: 6
+            }
+        );
+        let s = a.scenario().unwrap();
+        s.validate();
+        assert_eq!(s.trusted_count(), 8, "the hybrid keeps its trusted tier");
+        let out = execute(&a).unwrap();
+        assert!(out.contains("resilience:"), "{out}");
+        assert!(out.contains("t=10%"), "{out}");
+    }
+
+    #[test]
+    fn population_option_parses_counts_and_percents() {
+        let a = args(&[
+            "run",
+            "--n",
+            "100",
+            "--population",
+            "raptee:45,basalt-tee:45",
+        ])
+        .unwrap();
+        let s = a.scenario().unwrap();
+        s.validate();
+        assert_eq!(s.population.len(), 2);
+        assert_eq!(s.population[0].count, 45);
+
+        let a = args(&[
+            "run",
+            "--n",
+            "100",
+            "--population",
+            "raptee:50%,basalt-tee:50%",
+        ])
+        .unwrap();
+        let s = a.scenario().unwrap();
+        s.validate();
+        // 90 correct nodes: 45 + the remainder-absorbing last segment.
+        assert_eq!(s.population[0].count + s.population[1].count, 90);
+    }
+
+    #[test]
+    fn population_run_reports_segments() {
+        let a = args(&[
+            "run",
+            "--n",
+            "80",
+            "--rounds",
+            "15",
+            "--view",
+            "10",
+            "--t",
+            "0.1",
+            "--population",
+            "raptee:50%,basalt-tee:50%",
+        ])
+        .unwrap();
+        let out = execute(&a).unwrap();
+        assert!(out.contains("population=raptee:"), "{out}");
+        assert!(out.contains("segment raptee"), "{out}");
+        assert!(out.contains("segment basalt-tee"), "{out}");
+    }
+
+    #[test]
+    fn population_bad_entries_rejected() {
+        for spec in [
+            "raptee",
+            "raptee:many",
+            "bitcoin:40",
+            "raptee:140%",
+            // Mistyped shares must error, not be silently reinterpreted.
+            "raptee:30%,basalt-tee:20%",
+            // Absolute counts that miss the correct population must take
+            // the CLI error path, not a library assert.
+            "raptee:10,basalt-tee:10",
+        ] {
+            let a = args(&["run", "--population", spec]).unwrap();
+            let err = a.scenario().unwrap_err();
+            assert!(
+                matches!(err, CliError::BadValue { ref key, .. } if key == "population"),
+                "{spec:?} must be rejected, got {err:?}"
             );
         }
     }

@@ -17,7 +17,7 @@
 //!    the work-stealing scheduler provably cannot leak schedule
 //!    dependence into results.
 
-use raptee_sim::{runner, AttackStrategy, Protocol, RunResult, Scenario, Simulation};
+use raptee_sim::{runner, AttackStrategy, Protocol, RunResult, Scenario, SegmentSpec, Simulation};
 
 /// A compact, bit-exact fingerprint of a [`RunResult`].
 #[derive(Debug, PartialEq, Eq)]
@@ -83,6 +83,37 @@ fn basalt_targeted_scenario() -> Scenario {
         focus: 0.6,
     };
     s.message_loss = 0.05;
+    s
+}
+
+/// Mixed population #1: Brahms + plain BASALT halves under message
+/// loss — the two un-hardened protocols sharing one adversary.
+fn mixed_brahms_basalt_scenario() -> Scenario {
+    let mut s = base(Protocol::Brahms).brahms_baseline().half_and_half(
+        Protocol::Brahms,
+        Protocol::Basalt {
+            view_size: 12,
+            rotation_interval: 15,
+        },
+    );
+    s.message_loss = 0.05;
+    s
+}
+
+/// Mixed population #2: RAPTEE + BASALT+TEE halves, both with trusted
+/// tiers (t = 10 % split across the segments), under churn.
+fn mixed_raptee_basalt_tee_scenario() -> Scenario {
+    let mut s = base(Protocol::Raptee).half_and_half(
+        Protocol::Raptee,
+        Protocol::BasaltTee {
+            view_size: 12,
+            rotation_interval: 15,
+            wlist_ttl: 8,
+        },
+    );
+    s.crash_fraction = 0.1;
+    s.crash_round = 25;
+    s.sampler_validation_period = 5;
     s
 }
 
@@ -197,6 +228,109 @@ fn golden_basalt_under_targeted_attack_and_loss() {
     );
 }
 
+// Golden constants for the PR 5 mixed-population engine, captured at
+// its introduction commit. The *uniform* goldens above pin the
+// segmented engine indirectly too: a single-segment population must be
+// bit-identical to them (see
+// `mixed_single_segment_population_matches_uniform_engine`).
+
+#[test]
+fn golden_mixed_brahms_basalt() {
+    assert_golden(
+        "mixed-brahms-basalt",
+        mixed_brahms_basalt_scenario(),
+        Fingerprint {
+            resilience_bits: 0x3fc9cda0a95bb63b,
+            series_hash: 0x448d08372a1e1020,
+            discovery: None,
+            mean_discovery_bits: Some(4627133993233927481),
+            stability: Some(3),
+            spread_stability: None,
+            floods: 6,
+            evicted: 0,
+            rotations: 268,
+        },
+    );
+    // Per-segment pollution is part of the pinned surface as well.
+    let r = Simulation::new(mixed_brahms_basalt_scenario()).run();
+    let seg_bits: Vec<u64> = r.segments.iter().map(|s| s.resilience.to_bits()).collect();
+    assert_eq!(seg_bits, vec![0x3fd1c93ab62af98b, 0x3fbfc6f0f89ce953]);
+    assert_eq!(r.segments[0].protocol, Protocol::Brahms);
+    assert!(
+        r.segments[1].resilience < r.segments[0].resilience,
+        "the BASALT half must stay cleaner than the Brahms half"
+    );
+}
+
+#[test]
+fn golden_mixed_raptee_basalt_tee() {
+    assert_golden(
+        "mixed-raptee-basalt-tee",
+        mixed_raptee_basalt_tee_scenario(),
+        Fingerprint {
+            resilience_bits: 0x3fcab0a1c4d4b6d5,
+            series_hash: 0xc5d4b56bfa25dadf,
+            discovery: None,
+            mean_discovery_bits: Some(4626768043502488254),
+            stability: Some(6),
+            spread_stability: None,
+            floods: 3,
+            evicted: 12690,
+            rotations: 250,
+        },
+    );
+    let r = Simulation::new(mixed_raptee_basalt_tee_scenario()).run();
+    let seg_bits: Vec<u64> = r.segments.iter().map(|s| s.resilience.to_bits()).collect();
+    assert_eq!(seg_bits, vec![0x3fd267dd24c3b6aa, 0x3fc0bc035b7d0ff2]);
+}
+
+#[test]
+fn mixed_single_segment_population_matches_uniform_engine() {
+    // The property the segmented engine is built around: a population
+    // spec whose single segment covers 100 % of the correct nodes must
+    // be *bit-identical* to the uniform single-protocol path — same RNG
+    // draw order end to end, for every protocol family and under
+    // churn/loss/validation.
+    let scenarios: [(&str, Scenario); 4] = [
+        ("brahms", base(Protocol::Brahms).brahms_baseline()),
+        ("raptee", base(Protocol::Raptee)),
+        ("basalt", base(Protocol::Brahms).basalt_variant(15)),
+        ("raptee-churn", {
+            let mut s = churn_scenario();
+            // Mixed mode forbids the identification attack; everything
+            // else (loss, churn, sampler validation) carries over.
+            s.identification_attack = false;
+            s
+        }),
+    ];
+    for (name, uniform) in scenarios {
+        let correct = uniform.n - uniform.byzantine_count();
+        let mixed = Scenario {
+            population: vec![SegmentSpec {
+                protocol: uniform.protocol,
+                count: correct,
+            }],
+            ..uniform.clone()
+        };
+        let a = Simulation::new(uniform).run();
+        let b = Simulation::new(mixed).run();
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "{name}: single-segment population diverged from the uniform engine"
+        );
+        assert_eq!(
+            a.byz_share_series, b.byz_share_series,
+            "{name}: full series must match"
+        );
+        assert_eq!(
+            a.segments[0].resilience.to_bits(),
+            b.segments[0].resilience.to_bits(),
+            "{name}: the single segment must report the combined resilience"
+        );
+    }
+}
+
 #[test]
 fn single_run_identical_across_intra_run_thread_counts() {
     // PR 4's phase-parallel engine shards the plan and apply phases of
@@ -205,12 +339,17 @@ fn single_run_identical_across_intra_run_thread_counts() {
     // override) must produce bit-identical RunResults for all three
     // protocols and each attack type, including churn/loss/validation
     // and the deferred Byzantine pull-answer replay.
-    let scenarios: [(&str, Scenario); 5] = [
+    let scenarios: [(&str, Scenario); 7] = [
         ("brahms", base(Protocol::Brahms).brahms_baseline()),
         ("raptee", base(Protocol::Raptee)),
         ("basalt", base(Protocol::Brahms).basalt_variant(15)),
         ("raptee-churn", churn_scenario()),
         ("basalt-targeted", basalt_targeted_scenario()),
+        ("mixed-brahms-basalt", mixed_brahms_basalt_scenario()),
+        (
+            "mixed-raptee-basalt-tee",
+            mixed_raptee_basalt_tee_scenario(),
+        ),
     ];
     for (name, scenario) in scenarios {
         let serial = rayon::with_num_threads(1, || Simulation::new(scenario.clone()).run());
