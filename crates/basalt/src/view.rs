@@ -124,6 +124,13 @@ pub struct BasaltView {
     members: RefCell<MemberCache>,
 }
 
+/// Views with at most this many slots skip both the membership cache
+/// and the dense dedup scratch: a scan over ≤ 64 slots is faster than
+/// maintaining an [`IdSet`] whose backing words grow with the largest
+/// sampled ID — per-node memory that forbids very large populations.
+/// Matches the gossip view's linear-scan gate.
+pub const LINEAR_SCAN_SLOTS: usize = 64;
+
 #[derive(Debug, Clone)]
 struct MemberCache {
     set: IdSet,
@@ -280,10 +287,13 @@ impl BasaltView {
     pub fn distinct_into(&self, out: &mut Vec<NodeId>, seen: &mut IdSet) {
         out.clear();
         seen.clear();
+        // Small views dedup by scanning `out` (≤ v entries) so `seen`
+        // never grows — see [`LINEAR_SCAN_SLOTS`].
+        let scan = self.slots.len() <= LINEAR_SCAN_SLOTS;
         for s in &self.slots {
             if let Some(id) = s.sample {
                 let idx = id.0 as usize;
-                let fresh = if idx < DENSE_ID_LIMIT {
+                let fresh = if !scan && idx < DENSE_ID_LIMIT {
                     seen.insert(idx)
                 } else {
                     !out.contains(&id)
@@ -296,11 +306,12 @@ impl BasaltView {
     }
 
     /// Whether any slot currently samples `id` — amortised O(1) through
-    /// the lazily rebuilt membership cache (IDs beyond the dense range
-    /// fall back to a slot scan).
+    /// the lazily rebuilt membership cache for large views (small views
+    /// and IDs beyond the dense range fall back to a slot scan; see
+    /// [`LINEAR_SCAN_SLOTS`]).
     pub fn contains(&self, id: NodeId) -> bool {
         let idx = id.0 as usize;
-        if idx >= DENSE_ID_LIMIT {
+        if idx >= DENSE_ID_LIMIT || self.slots.len() <= LINEAR_SCAN_SLOTS {
             return self.slots.iter().any(|s| s.sample == Some(id));
         }
         let mut cache = self.members.borrow_mut();
@@ -568,6 +579,25 @@ mod tests {
             let id = s.sample().expect("refilled");
             assert!(v.contains(id));
         }
+    }
+
+    #[test]
+    fn large_views_use_the_membership_cache() {
+        // Above the linear-scan gate the lazily rebuilt cache answers
+        // membership; behaviour must match a slot scan exactly.
+        let mut v = view(0, LINEAR_SCAN_SLOTS + 8);
+        v.observe_all((1..500).map(NodeId));
+        for id in (0..600u64).map(NodeId) {
+            let scanned = v.slots().iter().any(|s| s.sample() == Some(id));
+            assert_eq!(v.contains(id), scanned, "id {id}");
+        }
+        assert!(!v.members.borrow().set.is_empty(), "cache was built");
+        // Small views never populate the cache.
+        let mut small = view(0, LINEAR_SCAN_SLOTS);
+        small.observe_all((1..500).map(NodeId));
+        let sample = small.sample_ids()[0];
+        assert!(small.contains(sample));
+        assert!(small.members.borrow().set.is_empty());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Engine throughput bench: times full simulation runs and emits the
 //! tracked `BENCH_paper_scale.json` at the repository root.
 //!
-//! Two profiles:
+//! Three profiles:
 //!
 //! * **tiny control** — always runs (seconds): N=150, view 12, 250
 //!   rounds. This is the CI smoke target; it exists so the bench binary
@@ -9,6 +9,9 @@
 //! * **paper** — the published setup (`Scenario::paper_scale()`:
 //!   N=10,000, view 200, 200 rounds), one timed run. Expensive; opt in
 //!   with `RAPTEE_SCALE=paper` (matching the figure benches).
+//! * **million** — the memory-scaling run (`Scale::named("million")`:
+//!   N=1,000,000, view 16, 12 rounds), one timed run with HLL-sketched
+//!   discovery metrics. Opt in with `RAPTEE_SCALE=million`.
 //!
 //! The JSON records wall-clock, rounds/sec, the intra-run worker count
 //! (`threads`, the engine's `RAYON_NUM_THREADS`-governed parallelism),
@@ -20,11 +23,12 @@
 //! touching the artifact, so CI smoke runs never dirty the tree or
 //! clobber a recorded paper-scale measurement.
 //!
-//! Each paper-scale rewrite **appends** to the artifact's `history`
-//! array (timestamp, git revision, thread count, wall-clock,
-//! rounds/sec, peak RSS) instead of overwriting it, so the perf
-//! trajectory across PRs stays machine-readable.
+//! Each paper- or million-scale rewrite **appends** to the artifact's
+//! `history` array (timestamp, git revision, profile, thread count,
+//! wall-clock, rounds/sec, peak RSS) instead of overwriting it, so the
+//! perf trajectory across PRs stays machine-readable.
 
+use raptee_bench::Scale;
 use raptee_sim::{Protocol, Scenario, Simulation};
 use std::fmt::Write as _;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
@@ -238,7 +242,10 @@ fn emit_json(measurements: &[Measurement], write_artifact: bool) {
     let mut history = std::fs::read_to_string(&path)
         .map(|old| existing_history(&old))
         .unwrap_or_default();
-    if let Some(paper) = measurements.iter().find(|m| m.profile == "paper") {
+    if let Some(tracked) = measurements
+        .iter()
+        .find(|m| m.profile == "paper" || m.profile == "million")
+    {
         if write_artifact {
             let timestamp = SystemTime::now()
                 .duration_since(UNIX_EPOCH)
@@ -246,13 +253,19 @@ fn emit_json(measurements: &[Measurement], write_artifact: bool) {
                 .unwrap_or_else(|_| "null".into());
             // A dirty-tree entry (operator override) is flagged so the
             // trajectory reader can never mistake it for a committed
-            // revision's number.
+            // revision's number. Pre-million entries carry no profile
+            // field and are implicitly paper-scale.
             let dirty_field = if dirty { ", \"dirty\": true" } else { "" };
+            let profile_field = if tracked.profile == "paper" {
+                String::new()
+            } else {
+                format!(", \"profile\": \"{}\"", tracked.profile)
+            };
             history.push(format!(
                 "{{\"timestamp\": {timestamp}, \"git_rev\": {rev_json}, \"threads\": {threads}, \
                  \"wall_s\": {:.3}, \"rounds_per_sec\": {:.3}, \"peak_rss_kib\": {peak_json}\
-                 {dirty_field}}}",
-                paper.wall_s, paper.rounds_per_sec
+                 {profile_field}{dirty_field}}}",
+                tracked.wall_s, tracked.rounds_per_sec
             ));
         }
     }
@@ -275,10 +288,13 @@ fn emit_json(measurements: &[Measurement], write_artifact: bool) {
 }
 
 fn main() {
-    let full = std::env::var("RAPTEE_SCALE").as_deref() == Ok("paper");
+    let scale_env = std::env::var("RAPTEE_SCALE").unwrap_or_default();
+    let full = scale_env == "paper";
+    let million = scale_env == "million";
     println!("=== perf_paper_scale — engine throughput ===");
     println!(
-        "    tiny control always runs; set RAPTEE_SCALE=paper for the full N=10,000 measurement"
+        "    tiny control always runs; set RAPTEE_SCALE=paper for the full N=10,000 \
+         measurement, RAPTEE_SCALE=million for the N=1,000,000 sketched run"
     );
     println!();
 
@@ -318,6 +334,24 @@ fn main() {
         println!("paper  : skipped (RAPTEE_SCALE != paper)");
     }
 
+    if million {
+        let profile = Scale::named("million").expect("million profile exists");
+        let mut scenario = profile.scenario();
+        scenario.protocol = Protocol::Raptee;
+        assert!(
+            scenario.sketch_discovery(),
+            "the million profile must auto-select sketched discovery"
+        );
+        let run = time_run("million", "raptee", scenario);
+        println!(
+            "million: N={:<7} view={:<4} rounds={:<4} wall={:>8.2}s  {:>8.1} rounds/s",
+            run.n, run.view, run.rounds, run.wall_s, run.rounds_per_sec
+        );
+        measurements.push(run);
+    } else {
+        println!("million: skipped (RAPTEE_SCALE != million)");
+    }
+
     println!();
-    emit_json(&measurements, full);
+    emit_json(&measurements, full || million);
 }

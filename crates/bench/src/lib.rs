@@ -23,6 +23,12 @@
 //! | `small` (default) | 400 | 16 | 600 | 2 | shape reproduction |
 //! | `medium` | 1000 | 24 | 600 | 3 | tighter curves |
 //! | `paper` | 10000 | 200 | 200 | 10 | the published setup |
+//! | `million` | 1000000 | 16 | 12 | 1 | memory-scaling run (sketched discovery) |
+//!
+//! The `million` profile only drives `perf_paper_scale` (the figure
+//! sweeps would take days at that population); discovery metrics run on
+//! the HLL sketches — see the "Scale profiles" section of README.md for
+//! the accuracy caveat and memory budget.
 
 use raptee_sim::{runner, AggregatedResult, Scenario};
 use raptee_util::series::SeriesTable;
@@ -44,42 +50,59 @@ pub struct Scale {
 }
 
 impl Scale {
+    /// Looks up one profile by name (the `RAPTEE_SCALE` values).
+    pub fn named(name: &str) -> Option<Self> {
+        match name {
+            "tiny" => Some(Scale {
+                name: "tiny",
+                n: 150,
+                view: 12,
+                rounds: 250,
+                reps: 1,
+            }),
+            "small" => Some(Scale {
+                name: "small",
+                n: 400,
+                view: 16,
+                rounds: 600,
+                reps: 2,
+            }),
+            "medium" => Some(Scale {
+                name: "medium",
+                n: 1000,
+                view: 24,
+                rounds: 600,
+                reps: 3,
+            }),
+            "paper" => Some(Scale {
+                name: "paper",
+                n: 10_000,
+                view: 200,
+                rounds: 200,
+                reps: 10,
+            }),
+            "million" => Some(Scale {
+                name: "million",
+                n: 1_000_000,
+                view: 16,
+                rounds: 12,
+                reps: 1,
+            }),
+            _ => None,
+        }
+    }
+
     /// Reads `RAPTEE_SCALE` (default `small`).
     ///
     /// # Panics
     ///
     /// Panics on an unknown profile name.
     pub fn from_env() -> Self {
-        match std::env::var("RAPTEE_SCALE").as_deref() {
-            Ok("tiny") => Scale {
-                name: "tiny",
-                n: 150,
-                view: 12,
-                rounds: 250,
-                reps: 1,
-            },
-            Ok("medium") => Scale {
-                name: "medium",
-                n: 1000,
-                view: 24,
-                rounds: 600,
-                reps: 3,
-            },
-            Ok("paper") => Scale {
-                name: "paper",
-                n: 10_000,
-                view: 200,
-                rounds: 200,
-                reps: 10,
-            },
-            Ok("small") | Err(_) => Scale {
-                name: "small",
-                n: 400,
-                view: 16,
-                rounds: 600,
-                reps: 2,
-            },
-            Ok(other) => panic!("unknown RAPTEE_SCALE {other:?} (tiny|small|medium|paper)"),
+        match std::env::var("RAPTEE_SCALE") {
+            Err(_) => Scale::named("small").expect("small profile exists"),
+            Ok(name) => Scale::named(&name).unwrap_or_else(|| {
+                panic!("unknown RAPTEE_SCALE {name:?} (tiny|small|medium|paper|million)")
+            }),
         }
     }
 

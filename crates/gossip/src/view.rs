@@ -50,8 +50,20 @@ pub struct View {
     /// [`DENSE_ID_LIMIT`] fall back to a linear scan — they only occur in
     /// adversarial corner cases, never in the contiguous simulation
     /// numbering). Kept in lock-step with `entries` by every mutator.
+    ///
+    /// Views at or below [`LINEAR_SCAN_CAPACITY`] skip the index entirely
+    /// and always scan: a scan over ≤ 64 entries beats the index, and the
+    /// index's backing words grow with the *largest ID seen* — per-node
+    /// cost that forbids million-node populations. Small views therefore
+    /// keep this set permanently empty.
     present: IdSet,
 }
+
+/// Views with at most this many slots use a pure linear scan for
+/// membership instead of the dense ID index. Chosen so the scan stays
+/// within a few cache lines while large paper-scale views (e.g. 200
+/// slots at N=10,000) keep their O(1) index.
+pub const LINEAR_SCAN_CAPACITY: usize = 64;
 
 /// Equality is defined by owner, capacity and entry sequence; the
 /// membership index is derived state (its grown size depends on insert
@@ -82,20 +94,29 @@ impl View {
         }
     }
 
-    /// Records `id` in the O(1) membership index (dense range only).
+    /// Whether this view maintains the O(1) membership index (large
+    /// views only — see [`LINEAR_SCAN_CAPACITY`]).
+    #[inline]
+    fn indexed(&self) -> bool {
+        self.capacity > LINEAR_SCAN_CAPACITY
+    }
+
+    /// Records `id` in the O(1) membership index (indexed views, dense
+    /// range only).
     #[inline]
     fn index_insert(&mut self, id: NodeId) {
         let idx = id.0 as usize;
-        if idx < DENSE_ID_LIMIT {
+        if self.indexed() && idx < DENSE_ID_LIMIT {
             self.present.insert(idx);
         }
     }
 
-    /// Drops `id` from the O(1) membership index (dense range only).
+    /// Drops `id` from the O(1) membership index (indexed views, dense
+    /// range only).
     #[inline]
     fn index_remove(&mut self, id: NodeId) {
         let idx = id.0 as usize;
-        if idx < DENSE_ID_LIMIT {
+        if self.indexed() && idx < DENSE_ID_LIMIT {
             self.present.remove(idx);
         }
     }
@@ -136,10 +157,11 @@ impl View {
     }
 
     /// Whether `id` is present — O(1) through the membership index for
-    /// dense IDs, linear only beyond [`DENSE_ID_LIMIT`].
+    /// dense IDs in indexed views; a linear scan for small views and for
+    /// IDs beyond [`DENSE_ID_LIMIT`].
     pub fn contains(&self, id: NodeId) -> bool {
         let idx = id.0 as usize;
-        if idx < DENSE_ID_LIMIT {
+        if self.indexed() && idx < DENSE_ID_LIMIT {
             self.present.contains(idx)
         } else {
             self.entries.iter().any(|e| e.id == id)
@@ -360,10 +382,11 @@ impl View {
     /// were removed.
     pub fn retain<F: FnMut(&ViewEntry) -> bool>(&mut self, mut pred: F) -> usize {
         let before = self.entries.len();
+        let indexed = self.indexed();
         let present = &mut self.present;
         self.entries.retain(|e| {
             let keep = pred(e);
-            if !keep {
+            if !keep && indexed {
                 let idx = e.id.0 as usize;
                 if idx < DENSE_ID_LIMIT {
                     present.remove(idx);
@@ -385,6 +408,10 @@ impl View {
         ids.sort_unstable();
         if !ids.windows(2).all(|w| w[0] != w[1]) {
             return false;
+        }
+        if !self.indexed() {
+            // Small views never touch the index: it must stay empty.
+            return self.present.is_empty();
         }
         let dense = ids.iter().filter(|id| (id.0 as usize) < DENSE_ID_LIMIT);
         dense.clone().count() == self.present.count()
@@ -631,6 +658,59 @@ mod tests {
         v.remove(huge);
         assert!(!v.contains(huge));
         assert!(v.invariants_hold());
+    }
+
+    #[test]
+    fn small_views_never_grow_the_membership_index() {
+        // Capacity ≤ LINEAR_SCAN_CAPACITY → pure linear scan; the index
+        // must stay empty no matter how large the inserted IDs are.
+        let mut v = View::new(NodeId(0), LINEAR_SCAN_CAPACITY);
+        for i in 1..=LINEAR_SCAN_CAPACITY as u64 {
+            assert!(v.insert_fresh(NodeId(i * 1_000_003)));
+        }
+        assert!(v.present.is_empty());
+        assert!(v.contains(NodeId(1_000_003)));
+        assert!(!v.contains(NodeId(2)));
+        assert!(v.invariants_hold());
+        v.remove(NodeId(1_000_003));
+        assert!(!v.contains(NodeId(1_000_003)));
+        assert!(v.invariants_hold());
+    }
+
+    #[test]
+    fn large_views_maintain_the_membership_index() {
+        let mut v = View::new(NodeId(0), LINEAR_SCAN_CAPACITY + 1);
+        for i in 1..=10u64 {
+            v.insert_fresh(NodeId(i));
+        }
+        assert_eq!(v.present.count(), 10);
+        assert!(v.contains(NodeId(5)));
+        assert!(v.invariants_hold());
+        v.remove(NodeId(5));
+        assert_eq!(v.present.count(), 9);
+        assert!(v.invariants_hold());
+    }
+
+    #[test]
+    fn indexed_and_scanned_views_behave_identically() {
+        // The same mutation sequence on a just-below-gate and a
+        // just-above-gate view must agree on membership at every step.
+        let caps = [LINEAR_SCAN_CAPACITY, LINEAR_SCAN_CAPACITY + 1];
+        let [mut small, mut big] = caps.map(|c| View::new(NodeId(0), c));
+        for i in 1..=40u64 {
+            small.insert_fresh(NodeId(i));
+            big.insert_fresh(NodeId(i));
+        }
+        for v in [&mut small, &mut big] {
+            v.remove(NodeId(3));
+            v.remove_head(2, 0);
+            v.retain(|e| e.id.0 % 5 != 0);
+            assert!(v.invariants_hold());
+        }
+        assert_eq!(small.id_vec(), big.id_vec());
+        for i in 0..=45u64 {
+            assert_eq!(small.contains(NodeId(i)), big.contains(NodeId(i)), "id {i}");
+        }
     }
 
     #[test]

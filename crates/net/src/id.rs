@@ -53,6 +53,126 @@ impl std::fmt::Display for NodeId {
     }
 }
 
+/// A dense arena index for a node — the compact (u32) hot-path identity.
+///
+/// [`NodeId`] stays the wire/public identity (64-bit, sparse, chosen by
+/// the node); `NodeIdx` is the simulation-internal arena slot assigned by
+/// an [`IdInterner`] at the sim boundary. Arena-sized buffers (push runs,
+/// counting-sort scratch, snapshot arenas) store `NodeIdx` and halve
+/// their footprint, which is what keeps million-node scratch state in
+/// cache-friendly territory.
+///
+/// # Examples
+///
+/// ```
+/// use raptee_net::{IdInterner, NodeId, NodeIdx};
+/// let mut interner = IdInterner::new();
+/// let idx = interner.intern(NodeId(7));
+/// assert_eq!(interner.resolve(idx), NodeId(7));
+/// assert_eq!(idx, interner.intern(NodeId(7))); // stable
+/// assert_eq!(NodeIdx(0), interner.intern(NodeId(7)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct NodeIdx(pub u32);
+
+impl NodeIdx {
+    /// The arena slot as a `usize` (for indexing role tables and SoA
+    /// arenas).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeIdx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The explicit `NodeId` ↔ `NodeIdx` mapping at the simulation boundary.
+///
+/// Interning is first-come-first-served: the k-th distinct `NodeId`
+/// interned gets arena slot `NodeIdx(k)`. The simulation interns its
+/// population in node order at construction, so a dense population
+/// `NodeId(0..n)` maps to the *identity* (`NodeId(i)` ↔ `NodeIdx(i)`) —
+/// which is what lets the hot path convert back with a cast instead of a
+/// table lookup. The interner still keeps the real map so the boundary
+/// stays correct if a future population ever uses sparse wire IDs.
+#[derive(Debug, Clone, Default)]
+pub struct IdInterner {
+    forward: std::collections::HashMap<NodeId, NodeIdx>,
+    reverse: Vec<NodeId>,
+}
+
+impl IdInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty interner with capacity for `n` ids.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            forward: std::collections::HashMap::with_capacity(n),
+            reverse: Vec::with_capacity(n),
+        }
+    }
+
+    /// The arena index for `id`, assigning the next free slot on first
+    /// sight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` distinct ids are interned.
+    pub fn intern(&mut self, id: NodeId) -> NodeIdx {
+        if let Some(&idx) = self.forward.get(&id) {
+            return idx;
+        }
+        let idx = NodeIdx(
+            u32::try_from(self.reverse.len())
+                .expect("arena overflow: more than u32::MAX distinct node ids"),
+        );
+        self.forward.insert(id, idx);
+        self.reverse.push(id);
+        idx
+    }
+
+    /// The arena index for `id`, if already interned.
+    pub fn lookup(&self, id: NodeId) -> Option<NodeIdx> {
+        self.forward.get(&id).copied()
+    }
+
+    /// The wire identity stored in arena slot `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` was never assigned.
+    pub fn resolve(&self, idx: NodeIdx) -> NodeId {
+        self.reverse[idx.index()]
+    }
+
+    /// Number of distinct ids interned.
+    pub fn len(&self) -> usize {
+        self.reverse.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reverse.is_empty()
+    }
+
+    /// Whether the interned population maps every `NodeId(i)` to
+    /// `NodeIdx(i)` — the dense-identity fast path the simulation
+    /// asserts once at construction to justify cast-based conversion in
+    /// the hot loop.
+    pub fn is_identity(&self) -> bool {
+        self.reverse
+            .iter()
+            .enumerate()
+            .all(|(i, id)| id.0 == i as u64)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +194,40 @@ mod tests {
     #[test]
     fn display_format() {
         assert_eq!(format!("{}", NodeId(17)), "n17");
+        assert_eq!(format!("{}", NodeIdx(17)), "#17");
+    }
+
+    #[test]
+    fn interner_assigns_dense_slots_in_first_seen_order() {
+        let mut interner = IdInterner::new();
+        assert!(interner.is_empty());
+        let a = interner.intern(NodeId(100));
+        let b = interner.intern(NodeId(7));
+        assert_eq!(a, NodeIdx(0));
+        assert_eq!(b, NodeIdx(1));
+        assert_eq!(interner.intern(NodeId(100)), a);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.resolve(a), NodeId(100));
+        assert_eq!(interner.resolve(b), NodeId(7));
+        assert_eq!(interner.lookup(NodeId(7)), Some(b));
+        assert_eq!(interner.lookup(NodeId(8)), None);
+    }
+
+    #[test]
+    fn dense_population_interns_to_the_identity() {
+        let mut interner = IdInterner::with_capacity(10);
+        for i in 0..10u64 {
+            interner.intern(NodeId(i));
+        }
+        assert!(interner.is_identity());
+        // A sparse population does not.
+        let mut sparse = IdInterner::new();
+        sparse.intern(NodeId(5));
+        assert!(!sparse.is_identity());
+    }
+
+    #[test]
+    fn empty_interner_is_trivially_identity() {
+        assert!(IdInterner::new().is_identity());
     }
 }

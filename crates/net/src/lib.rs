@@ -29,6 +29,6 @@ pub mod network;
 pub mod rate;
 
 pub use channel::SecureChannel;
-pub use id::NodeId;
+pub use id::{IdInterner, NodeId, NodeIdx};
 pub use network::{Envelope, MessageMeter, Network, TrafficTap};
 pub use rate::PushRateLimiter;

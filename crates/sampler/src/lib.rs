@@ -131,6 +131,13 @@ pub struct SamplerArray {
     /// cache, restoring the conservative invariant that a cached ID has
     /// been seen by *every* live hash function.
     seen: IdSet,
+    /// IDs at or above this bound bypass the seen-cache (they take the
+    /// full hash loop, which is always correct — just slower on
+    /// repeats). Defaults to [`DENSE_ID_LIMIT`]; million-node
+    /// populations lower it to 0 via
+    /// [`SamplerArray::limit_seen_cache`], because a per-node cache of
+    /// `max_id/64` words is an O(N²/64) memory bill at that scale.
+    seen_limit: usize,
 }
 
 impl SamplerArray {
@@ -144,7 +151,21 @@ impl SamplerArray {
         Self {
             samplers: (0..l2).map(|_| Sampler::new(rng.next_u64())).collect(),
             seen: IdSet::new(),
+            seen_limit: DENSE_ID_LIMIT,
         }
+    }
+
+    /// Caps the seen-cache to IDs below `limit` and *frees* the backing
+    /// storage (the bitset words already span `max_id_seen / 8` bytes by
+    /// the time a caller can cap a freshly-bootstrapped node — `clear`
+    /// alone would keep that allocation alive). The cache is a pure
+    /// optimisation — min-wise sampling is idempotent under repetition —
+    /// so any limit, including 0 (cache disabled), leaves every sample
+    /// unchanged. Large populations disable it to keep per-node memory
+    /// O(l2) instead of O(max_id).
+    pub fn limit_seen_cache(&mut self, limit: usize) {
+        self.seen_limit = limit.min(DENSE_ID_LIMIT);
+        self.seen = IdSet::new();
     }
 
     /// Number of samplers (`l2`).
@@ -162,7 +183,7 @@ impl SamplerArray {
     /// seen-cache short-circuits the hash loop.
     pub fn observe(&mut self, id: NodeId) {
         let idx = id.0 as usize;
-        if idx < DENSE_ID_LIMIT && !self.seen.insert(idx) {
+        if idx < self.seen_limit && !self.seen.insert(idx) {
             return;
         }
         let pre = premix(id);
@@ -382,6 +403,27 @@ mod tests {
         assert!(arr.seen.is_empty());
         arr.observe_all((0..50).map(NodeId));
         assert_eq!(arr.samples().len(), 8, "fresh samplers re-filled");
+    }
+
+    #[test]
+    fn disabled_seen_cache_is_observationally_invisible() {
+        // With the cache limited to 0 every observe takes the full hash
+        // loop; samples must match the cached array exactly, and the
+        // cache must never allocate.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(33);
+        let mut cached = SamplerArray::new(16, &mut rng);
+        let mut uncached = cached.clone();
+        uncached.limit_seen_cache(0);
+        for rep in 0..3 {
+            for id in 0..300u64 {
+                let id = NodeId(id * (rep + 1) % 257);
+                cached.observe(id);
+                uncached.observe(id);
+            }
+        }
+        assert_eq!(cached.samples(), uncached.samples());
+        assert!(uncached.seen.is_empty());
+        assert!(!cached.seen.is_empty());
     }
 
     #[test]

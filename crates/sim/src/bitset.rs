@@ -1,15 +1,31 @@
-//! Dense bitset for discovery tracking.
+//! Discovery tracking: exact bitsets below a node-count threshold, HLL
+//! sketches above it.
 //!
-//! The implementation now lives in [`raptee_util::bitset`] so the view
+//! The bitset implementation lives in [`raptee_util::bitset`] so the view
 //! structures in `raptee-gossip`/`raptee-basalt` can share it without a
 //! dependency cycle; this module re-exports it for source compatibility.
 //!
 //! Every non-Byzantine node tracks which non-Byzantine IDs it has learned
 //! so far (system-discovery metric). At the paper's scale that is
 //! 10,000 × 10,000 bits ≈ 12 MB total — cheap as bitsets, prohibitive as
-//! hash sets.
+//! hash sets. At a million nodes the same matrix is ~125 GB, which is
+//! why [`Discovery`] switches to per-node HyperLogLog sketches
+//! ([`raptee_util::hll`], 256 bytes/node ≈ 256 MB total) above
+//! [`EXACT_DISCOVERY_THRESHOLD`] actors: the *estimated* distinct count
+//! replaces the exact one, trading a stated ~6.5 % relative error for
+//! O(N) memory. Below the threshold the exact matrix runs the identical
+//! pre-existing code path, so every golden fingerprint is byte-for-byte
+//! unchanged.
+
+use raptee_util::hll;
 
 pub use raptee_util::bitset::{BitSet, IdSet};
+
+/// Actor-count bound (inclusive) under which discovery defaults to the
+/// exact bitset matrix. 16,384 keeps every committed scenario — tiny
+/// through paper scale (10,000 nodes) — on the exact path, while the
+/// 100,000-node smoke and million-node profiles default to sketches.
+pub const EXACT_DISCOVERY_THRESHOLD: usize = 1 << 14;
 
 /// The discovery matrix in struct-of-arrays form: one flat word arena
 /// holding every tracked node's discovery bitset as a fixed-stride row,
@@ -79,16 +95,35 @@ impl DiscoveryMatrix {
     /// Splits the matrix into disjoint per-row handles, in row order —
     /// the shape the engine zips against its node and stat lanes for the
     /// parallel finish phase.
-    pub fn rows_mut(&mut self) -> impl Iterator<Item = DiscoveryRow<'_>> {
-        let universe = self.universe;
-        self.words
-            .chunks_mut(self.stride.max(1))
-            .zip(self.counts.iter_mut())
-            .map(move |(words, count)| DiscoveryRow {
-                words,
-                count,
-                universe,
-            })
+    pub fn rows_mut(&mut self) -> DiscoveryRows<'_> {
+        DiscoveryRows {
+            words: self.words.chunks_mut(self.stride.max(1)),
+            counts: self.counts.iter_mut(),
+            universe: self.universe,
+        }
+    }
+}
+
+/// Iterator over the disjoint per-row handles of a [`DiscoveryMatrix`]
+/// (concrete type so [`DiscoveryLanes`] can wrap it).
+#[derive(Debug)]
+pub struct DiscoveryRows<'a> {
+    words: std::slice::ChunksMut<'a, u64>,
+    counts: std::slice::IterMut<'a, u32>,
+    universe: usize,
+}
+
+impl<'a> Iterator for DiscoveryRows<'a> {
+    type Item = DiscoveryRow<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let words = self.words.next()?;
+        let count = self.counts.next()?;
+        Some(DiscoveryRow {
+            words,
+            count,
+            universe: self.universe,
+        })
     }
 }
 
@@ -119,9 +154,228 @@ impl DiscoveryRow<'_> {
     }
 }
 
+/// The sketch-mode counterpart of [`DiscoveryMatrix`]: one flat register
+/// arena holding a [`hll::REGISTERS`]-byte HyperLogLog per row.
+/// Identical access shape — `insert`/`count` by row, plus disjoint
+/// per-row handles for the phase-parallel fold — but
+/// [`SketchMatrix::count`] is an *estimate* (~6.5 % relative standard
+/// error) and memory is O(rows) instead of O(rows × universe).
+#[derive(Debug, Clone)]
+pub struct SketchMatrix {
+    regs: Vec<u8>,
+    universe: usize,
+}
+
+/// Exclusive access to one row of a [`SketchMatrix`].
+#[derive(Debug)]
+pub struct SketchRow<'a> {
+    regs: &'a mut [u8],
+    universe: usize,
+}
+
+impl SketchMatrix {
+    /// Creates `rows` empty sketches over the universe `0..universe`
+    /// (the universe bound is kept only for insert-range parity with the
+    /// exact matrix).
+    pub fn new(rows: usize, universe: usize) -> Self {
+        Self {
+            regs: vec![0; rows * hll::REGISTERS],
+            universe,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.regs.len() / hll::REGISTERS
+    }
+
+    /// Folds `idx` into `row`'s sketch; returns `true` when the sketch
+    /// changed (unlike the exact matrix, a `false` does *not* prove the
+    /// index was seen before — only that it left no new evidence).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row` or `idx` is out of range.
+    #[inline]
+    pub fn insert(&mut self, row: usize, idx: usize) -> bool {
+        assert!(idx < self.universe, "discovery index {idx} out of range");
+        let start = row * hll::REGISTERS;
+        hll::update(&mut self.regs[start..start + hll::REGISTERS], idx as u64)
+    }
+
+    /// Estimated number of distinct indices folded into `row`, rounded
+    /// to the nearest integer.
+    #[inline]
+    pub fn count(&self, row: usize) -> usize {
+        let start = row * hll::REGISTERS;
+        hll::estimate(&self.regs[start..start + hll::REGISTERS]).round() as usize
+    }
+
+    /// Splits the matrix into disjoint per-row handles, in row order.
+    pub fn rows_mut(&mut self) -> SketchRows<'_> {
+        SketchRows {
+            regs: self.regs.chunks_mut(hll::REGISTERS),
+            universe: self.universe,
+        }
+    }
+}
+
+/// Iterator over the disjoint per-row handles of a [`SketchMatrix`].
+#[derive(Debug)]
+pub struct SketchRows<'a> {
+    regs: std::slice::ChunksMut<'a, u8>,
+    universe: usize,
+}
+
+impl<'a> Iterator for SketchRows<'a> {
+    type Item = SketchRow<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let regs = self.regs.next()?;
+        Some(SketchRow {
+            regs,
+            universe: self.universe,
+        })
+    }
+}
+
+impl SketchRow<'_> {
+    /// Folds `idx` into this row's sketch; returns `true` when a
+    /// register grew.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is outside the universe.
+    #[inline]
+    pub fn insert(&mut self, idx: usize) -> bool {
+        assert!(idx < self.universe, "discovery index {idx} out of range");
+        hll::update(self.regs, idx as u64)
+    }
+
+    /// Estimated distinct count of this row, rounded.
+    #[inline]
+    pub fn count(&self) -> usize {
+        hll::estimate(self.regs).round() as usize
+    }
+}
+
+/// Per-node discovery tracking in one of two representations, chosen per
+/// run: exact bitset rows (the historic code path — every pre-existing
+/// golden runs through it unchanged) or HLL sketch rows (O(N) memory for
+/// million-node populations, estimated counts).
+#[derive(Debug, Clone)]
+pub enum Discovery {
+    /// Exact per-node bitsets: O(rows × universe) bits, exact counts.
+    Exact(DiscoveryMatrix),
+    /// Per-node HLL sketches: O(rows) bytes, estimated counts.
+    Sketch(SketchMatrix),
+}
+
+impl Discovery {
+    /// Creates `rows` empty trackers over `0..universe`, sketched when
+    /// `sketch` is set.
+    pub fn new(rows: usize, universe: usize, sketch: bool) -> Self {
+        if sketch {
+            Discovery::Sketch(SketchMatrix::new(rows, universe))
+        } else {
+            Discovery::Exact(DiscoveryMatrix::new(rows, universe))
+        }
+    }
+
+    /// Whether this tracker uses sketches (estimated counts).
+    pub fn is_sketch(&self) -> bool {
+        matches!(self, Discovery::Sketch(_))
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        match self {
+            Discovery::Exact(m) => m.rows(),
+            Discovery::Sketch(m) => m.rows(),
+        }
+    }
+
+    /// Inserts `idx` into `row`. See [`DiscoveryMatrix::insert`] /
+    /// [`SketchMatrix::insert`] for the return-value semantics.
+    #[inline]
+    pub fn insert(&mut self, row: usize, idx: usize) -> bool {
+        match self {
+            Discovery::Exact(m) => m.insert(row, idx),
+            Discovery::Sketch(m) => m.insert(row, idx),
+        }
+    }
+
+    /// Distinct count of `row` — exact or estimated by representation.
+    #[inline]
+    pub fn count(&self, row: usize) -> usize {
+        match self {
+            Discovery::Exact(m) => m.count(row),
+            Discovery::Sketch(m) => m.count(row),
+        }
+    }
+
+    /// Splits into disjoint per-row lanes, in row order.
+    pub fn rows_mut(&mut self) -> DiscoveryLanes<'_> {
+        match self {
+            Discovery::Exact(m) => DiscoveryLanes::Exact(m.rows_mut()),
+            Discovery::Sketch(m) => DiscoveryLanes::Sketch(m.rows_mut()),
+        }
+    }
+}
+
+/// Iterator over the disjoint per-row lanes of a [`Discovery`].
+#[derive(Debug)]
+pub enum DiscoveryLanes<'a> {
+    /// Lanes of an exact matrix.
+    Exact(DiscoveryRows<'a>),
+    /// Lanes of a sketch matrix.
+    Sketch(SketchRows<'a>),
+}
+
+impl<'a> Iterator for DiscoveryLanes<'a> {
+    type Item = DiscoveryLane<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            DiscoveryLanes::Exact(rows) => rows.next().map(DiscoveryLane::Exact),
+            DiscoveryLanes::Sketch(rows) => rows.next().map(DiscoveryLane::Sketch),
+        }
+    }
+}
+
+/// Exclusive access to one row of a [`Discovery`] — safe to use from a
+/// worker thread while other workers hold other rows.
+#[derive(Debug)]
+pub enum DiscoveryLane<'a> {
+    /// An exact bitset row.
+    Exact(DiscoveryRow<'a>),
+    /// A sketch row.
+    Sketch(SketchRow<'a>),
+}
+
+impl DiscoveryLane<'_> {
+    /// Inserts `idx` into this row.
+    #[inline]
+    pub fn insert(&mut self, idx: usize) -> bool {
+        match self {
+            DiscoveryLane::Exact(row) => row.insert(idx),
+            DiscoveryLane::Sketch(row) => row.insert(idx),
+        }
+    }
+
+    /// Distinct count of this row — exact or estimated.
+    #[inline]
+    pub fn count(&self) -> usize {
+        match self {
+            DiscoveryLane::Exact(row) => row.count(),
+            DiscoveryLane::Sketch(row) => row.count(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::DiscoveryMatrix;
+    use super::{Discovery, DiscoveryMatrix, SketchMatrix};
 
     #[test]
     fn matrix_insert_count_and_rows() {
@@ -147,5 +401,68 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn matrix_out_of_range_panics() {
         DiscoveryMatrix::new(1, 10).insert(0, 10);
+    }
+
+    #[test]
+    fn sketch_counts_track_distinct_inserts() {
+        let mut m = SketchMatrix::new(2, 100_000);
+        assert_eq!(m.rows(), 2);
+        for idx in 0..50usize {
+            m.insert(0, idx);
+            m.insert(0, idx); // repeats leave the sketch unchanged
+        }
+        let est = m.count(0);
+        assert!(
+            (35..=65).contains(&est),
+            "row 0 estimated {est} for 50 distinct"
+        );
+        assert_eq!(m.count(1), 0, "rows are disjoint");
+    }
+
+    #[test]
+    fn sketch_rows_mut_matches_whole_matrix_access() {
+        let mut direct = SketchMatrix::new(3, 1000);
+        let mut laned = SketchMatrix::new(3, 1000);
+        for idx in 0..200usize {
+            direct.insert(idx % 3, idx);
+        }
+        for (row, mut lane) in laned.rows_mut().enumerate() {
+            for idx in 0..200usize {
+                if idx % 3 == row {
+                    lane.insert(idx);
+                }
+            }
+        }
+        for row in 0..3 {
+            assert_eq!(direct.count(row), laned.count(row));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sketch_out_of_range_panics() {
+        SketchMatrix::new(1, 10).insert(0, 10);
+    }
+
+    #[test]
+    fn discovery_enum_dispatches_both_representations() {
+        for sketch in [false, true] {
+            let mut d = Discovery::new(2, 5000, sketch);
+            assert_eq!(d.is_sketch(), sketch);
+            assert_eq!(d.rows(), 2);
+            for idx in 0..100usize {
+                d.insert(0, idx);
+            }
+            let c = d.count(0);
+            if sketch {
+                assert!((80..=120).contains(&c), "estimate {c} for 100 distinct");
+            } else {
+                assert_eq!(c, 100);
+            }
+            assert_eq!(d.count(1), 0);
+            // Lane access agrees with whole-matrix access.
+            let lanes: Vec<usize> = d.rows_mut().map(|lane| lane.count()).collect();
+            assert_eq!(lanes, vec![d.count(0), d.count(1)]);
+        }
     }
 }

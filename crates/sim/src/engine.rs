@@ -58,7 +58,7 @@
 //! application and round finalisation shard like the Brahms path.
 
 use crate::adversary::{Adversary, PushPlan};
-use crate::bitset::{DiscoveryMatrix, DiscoveryRow};
+use crate::bitset::{Discovery, DiscoveryLane, EXACT_DISCOVERY_THRESHOLD};
 use crate::metrics::{
     IdentificationResult, RunResult, SegmentResult, DISCOVERY_TARGET_SHARE, STABILITY_SPREAD,
 };
@@ -68,7 +68,7 @@ use raptee::{RapteeConfig, RapteeNode};
 use raptee_basalt::{BasaltConfig, BasaltNode, BasaltPlan};
 use raptee_brahms::{BrahmsConfig, FinishScratch, RoundPlan};
 use raptee_crypto::auth::AuthOutcome;
-use raptee_net::{NodeId, PushRateLimiter};
+use raptee_net::{IdInterner, NodeId, NodeIdx, PushRateLimiter};
 use raptee_util::rng::Xoshiro256StarStar;
 
 /// Rounds of per-node share smoothing for the spread-stability check.
@@ -299,18 +299,19 @@ struct Scratch {
     /// `byz_plan` so one delivery pass charges the combined plan.
     byz_seg_plan: PushPlan,
     /// Honest pushes surviving limiter/liveness/loss, as
-    /// `(absolute target index, sender)` in sender-major order.
-    survivors: Vec<(u32, NodeId)>,
+    /// `(absolute target index, sender)` in sender-major order. Senders
+    /// are dense [`NodeIdx`]es, halving the pair width at paper scale+.
+    survivors: Vec<(u32, NodeIdx)>,
     /// `survivors` counting-sorted by target — the apply phase reads
     /// per-receiver runs instead of per-message dispatch.
-    sorted: Vec<(u32, NodeId)>,
+    sorted: Vec<(u32, NodeIdx)>,
     /// Counting-sort offsets; after the fill pass, `counts[t]` is the
     /// *end* of target `t`'s run (its start is `counts[t-1]`).
     counts: Vec<u32>,
     /// Adversary pushes surviving limiter/liveness/loss, in plan order.
-    byz_survivors: Vec<(u32, NodeId)>,
+    byz_survivors: Vec<(u32, NodeIdx)>,
     /// `byz_survivors` counting-sorted by victim.
-    byz_sorted: Vec<(u32, NodeId)>,
+    byz_sorted: Vec<(u32, NodeIdx)>,
     /// Counting-sort offsets for the adversary runs.
     byz_counts: Vec<u32>,
     /// Reusable sequential-phase answer buffer (BASALT pulls, trusted
@@ -318,18 +319,16 @@ struct Scratch {
     reply: Vec<NodeId>,
     /// Reusable observation-target buffer (identification attack).
     observed: Vec<NodeId>,
-    /// Reusable smoothed-share buffer for the round fold.
-    shares: Vec<f64>,
     /// Deferred pull answers, requester-major.
     events: Vec<PullEvent>,
     /// Event range per population index (`events[start[ci]..start[ci+1]]`).
     event_start: Vec<u32>,
     /// Materialised answers for responders whose view had already
-    /// mutated at pull time.
-    arena: Vec<NodeId>,
+    /// mutated at pull time, as dense indices.
+    arena: Vec<NodeIdx>,
     /// Post-plan view snapshots, one `view_size`-stride row per
-    /// population index.
-    snap_ids: Vec<NodeId>,
+    /// population index, as dense indices.
+    snap_ids: Vec<NodeIdx>,
     /// Occupied length of each snapshot row.
     snap_len: Vec<u32>,
     /// Whether a node's view has mutated during the current exchange
@@ -358,24 +357,28 @@ impl Scratch {
 
 /// Per-round metric aggregates, filled by the sequential node-order fold
 /// over the apply phase's [`RoundStat`] slots and folded into the run
-/// series by [`Simulation::finish_round_metrics`].
+/// series by [`Simulation::finish_round_metrics`]. Fully streaming: no
+/// per-node buffer survives the fold — the smoothed shares accumulate as
+/// a running sum in node-index order (the same addition sequence the
+/// historical buffered `iter().sum()` performed, so the mean is
+/// bit-identical), and the spread check re-reads the stat slots.
 struct RoundAccumulator {
     share_sum: f64,
     share_count: usize,
-    shares: Vec<f64>,
+    smoothed_sum: f64,
+    smoothed_count: usize,
     all_discovered: bool,
     discovered_sum: usize,
     discovered_nodes: usize,
 }
 
 impl RoundAccumulator {
-    /// Builds an accumulator around a reused (cleared) share buffer.
-    fn new(mut shares: Vec<f64>) -> Self {
-        shares.clear();
+    fn new() -> Self {
         Self {
             share_sum: 0.0,
             share_count: 0,
-            shares,
+            smoothed_sum: 0.0,
+            smoothed_count: 0,
             all_discovered: true,
             discovered_sum: 0,
             discovered_nodes: 0,
@@ -393,8 +396,22 @@ struct PlanItem<'a, N> {
 struct FinishItem<'a, N> {
     node: &'a mut N,
     stat: &'a mut RoundStat,
-    disc: DiscoveryRow<'a>,
+    disc: DiscoveryLane<'a>,
     ring: ShareRingRow<'a>,
+}
+
+/// Narrows a wire identity to its dense arena index. Valid because the
+/// simulation interns its population in identity order at construction
+/// and asserts [`IdInterner::is_identity`], so the mapping is a cast.
+#[inline]
+fn narrow(id: NodeId) -> NodeIdx {
+    NodeIdx(id.0 as u32)
+}
+
+/// Widens a dense arena index back to the wire identity (see [`narrow`]).
+#[inline]
+fn widen(idx: NodeIdx) -> NodeId {
+    NodeId(u64::from(idx.0))
 }
 
 /// Split-borrows two distinct population entries.
@@ -416,8 +433,8 @@ fn two_nodes<N>(nodes: &mut [N], a: usize, b: usize) -> (&mut N, &mut N) {
 /// streaming over the runs is observationally identical to per-message
 /// dispatch.
 fn counting_sort_by_target(
-    survivors: &[(u32, NodeId)],
-    sorted: &mut Vec<(u32, NodeId)>,
+    survivors: &[(u32, NodeIdx)],
+    sorted: &mut Vec<(u32, NodeIdx)>,
     counts: &mut Vec<u32>,
     total: usize,
 ) {
@@ -430,7 +447,7 @@ fn counting_sort_by_target(
         counts[i] += counts[i - 1];
     }
     sorted.clear();
-    sorted.resize(survivors.len(), (0, NodeId(0)));
+    sorted.resize(survivors.len(), (0, NodeIdx(0)));
     for &(t, payload) in survivors {
         let pos = &mut counts[t as usize];
         sorted[*pos as usize] = (t, payload);
@@ -451,7 +468,7 @@ fn run_bounds(counts: &[u32], t: usize) -> (usize, usize) {
 /// the sequential BASALT pull pass can call it while the population is
 /// borrowed.
 fn note_discovered(
-    discovery: &mut DiscoveryMatrix,
+    discovery: &mut Discovery,
     byz_count: usize,
     total: usize,
     row: usize,
@@ -472,9 +489,16 @@ pub struct Simulation {
     byz_count: usize,
     adversary: Adversary,
     limiter: PushRateLimiter,
-    /// Discovery bitsets of every non-Byzantine actor, as one flat
-    /// matrix (rows by population index, universe = absolute indices).
-    discovery: DiscoveryMatrix,
+    /// The wire-identity ↔ dense-index mapping. Interned in identity
+    /// order at construction and asserted to be the identity mapping —
+    /// the invariant that licenses the cast-based [`narrow`]/[`widen`]
+    /// conversions on the hot path.
+    interner: IdInterner,
+    /// Per-node discovery state of every non-Byzantine actor: exact
+    /// bitset rows below [`crate::bitset::EXACT_DISCOVERY_THRESHOLD`]
+    /// actors, mergeable HLL sketches above (rows by population index,
+    /// universe = absolute indices).
+    discovery: Discovery,
     discovery_target: usize,
     /// Per-node rings of recent per-round view pollution shares, used
     /// for the smoothed spread-stability criterion.
@@ -490,6 +514,9 @@ pub struct Simulation {
     seg_of: Vec<u32>,
     /// Per-segment mean Byzantine-share series (mixed populations only).
     seg_series: Vec<Vec<f64>>,
+    /// Per-segment mean discovered-fraction series (mixed populations
+    /// only) — feeds the per-segment discovery-round metric.
+    seg_discovered_series: Vec<Vec<f64>>,
     /// Correct original-population IDs the identification attack may
     /// observe — built once.
     ident_candidates: Vec<NodeId>,
@@ -594,13 +621,22 @@ impl Simulation {
             } else {
                 rng.sample(&all_ids, (scenario.view_size + 2).min(all_ids.len()))
             };
-            let node = if is_trusted || is_injected {
+            let mut node = if is_trusted || is_injected {
                 trusted_flags[i] = true;
                 let key = provision(0x1000 + i as u64);
                 RapteeNode::new_trusted(id, config.clone(), &bootstrap, seed, key)
             } else {
                 RapteeNode::new_untrusted(id, config.clone(), &bootstrap, seed)
             };
+            // The sampler seen-cache is pure memoization (identical
+            // samples either way) whose backing bitset grows toward one
+            // bit per live identity *per node* — an O(N²)-bit structure
+            // in aggregate (≈ 125 KiB/node at N = 1,000,000, dwarfing
+            // the protocol state). Past the same population threshold
+            // that retires exact discovery bitsets, run uncached.
+            if total > EXACT_DISCOVERY_THRESHOLD {
+                node.brahms_mut().sampler_mut().limit_seen_cache(0);
+            }
             raptee_nodes.push(node);
         }
         let population = if basalt_config.is_some() {
@@ -609,10 +645,10 @@ impl Simulation {
             Population::Raptee(raptee_nodes)
         };
 
-        // Discovery bitsets (non-Byzantine actors only) seeded with the
+        // Discovery state (non-Byzantine actors only) seeded with the
         // bootstrap view and the node itself.
         let non_byz_total = total - byz;
-        let mut discovery = DiscoveryMatrix::new(non_byz_total, total);
+        let mut discovery = Discovery::new(non_byz_total, total, scenario.sketch_discovery());
         let mut seed_row = |ci: usize, ids: &mut dyn Iterator<Item = NodeId>| {
             discovery.insert(ci, byz + ci);
             for id in ids {
@@ -655,6 +691,7 @@ impl Simulation {
             alive: vec![true; total],
             loss_rng: rng.split(),
             byz_count: byz,
+            interner: Self::intern_population(total),
             discovery,
             discovery_target,
             share_rings: ShareRings::new(non_byz_total),
@@ -662,6 +699,7 @@ impl Simulation {
             segs: Vec::new(),
             seg_of: Vec::new(),
             seg_series: Vec::new(),
+            seg_discovered_series: Vec::new(),
             ident_candidates: (byz..n).map(|i| NodeId(i as u64)).collect(),
             scratch: Scratch::default(),
             workers: Vec::new(),
@@ -770,27 +808,23 @@ impl Simulation {
                     let seed = rng.next_u64();
                     let bootstrap =
                         rng.sample(&all_ids, (scenario.view_size + 2).min(all_ids.len()));
-                    if i < seg_trusted {
+                    let mut node = if i < seg_trusted {
                         trusted_flags[abs] = true;
                         let key = provisioning::certify_and_provision(
                             &mut attestation,
                             0x1000 + abs as u64,
                         );
-                        v.push(RapteeNode::new_trusted(
-                            id,
-                            config.clone(),
-                            &bootstrap,
-                            seed,
-                            key,
-                        ));
+                        RapteeNode::new_trusted(id, config.clone(), &bootstrap, seed, key)
                     } else {
-                        v.push(RapteeNode::new_untrusted(
-                            id,
-                            config.clone(),
-                            &bootstrap,
-                            seed,
-                        ));
+                        RapteeNode::new_untrusted(id, config.clone(), &bootstrap, seed)
+                    };
+                    // Same large-population seen-cache policy as the
+                    // uniform constructor (see `new`): the cache is an
+                    // O(N²)-bit memoization in aggregate.
+                    if total > EXACT_DISCOVERY_THRESHOLD {
+                        node.brahms_mut().sampler_mut().limit_seen_cache(0);
                     }
+                    v.push(node);
                 }
                 SegmentNodes::Raptee(v)
             };
@@ -811,8 +845,8 @@ impl Simulation {
             start += spec.count;
         }
 
-        // Discovery bitsets seeded from the bootstrap views, per family.
-        let mut discovery = DiscoveryMatrix::new(non_byz_total, total);
+        // Discovery state seeded from the bootstrap views, per family.
+        let mut discovery = Discovery::new(non_byz_total, total, scenario.sketch_discovery());
         {
             let mut seed_row = |ci: usize, ids: &mut dyn Iterator<Item = NodeId>| {
                 discovery.insert(ci, byz + ci);
@@ -857,11 +891,13 @@ impl Simulation {
             alive: vec![true; total],
             loss_rng: rng.split(),
             byz_count: byz,
+            interner: Self::intern_population(total),
             discovery,
             discovery_target,
             share_rings: ShareRings::new(non_byz_total),
             victims: (byz..total).map(|i| NodeId(i as u64)).collect(),
             seg_series: vec![Vec::with_capacity(scenario.rounds); segs.len()],
+            seg_discovered_series: vec![Vec::with_capacity(scenario.rounds); segs.len()],
             segs,
             seg_of,
             ident_candidates: Vec::new(),
@@ -881,9 +917,30 @@ impl Simulation {
         }
     }
 
+    /// Interns the actor population at the wire-identity boundary and
+    /// asserts the dense-ID invariant: identity-order interning must
+    /// yield the identity mapping, or the hot path's cast-based
+    /// [`narrow`]/[`widen`] conversions would be wrong.
+    fn intern_population(total: usize) -> IdInterner {
+        let mut interner = IdInterner::with_capacity(total);
+        for i in 0..total as u64 {
+            interner.intern(NodeId(i));
+        }
+        assert!(
+            interner.is_identity(),
+            "simulation actor IDs must intern to the identity mapping"
+        );
+        interner
+    }
+
     /// The scenario driving this run.
     pub fn scenario(&self) -> &Scenario {
         &self.scenario
+    }
+
+    /// The wire-identity ↔ dense-index interner covering every actor.
+    pub fn interner(&self) -> &IdInterner {
+        &self.interner
     }
 
     /// Total actors in the run (Byzantine identities + correct nodes).
@@ -1013,8 +1070,8 @@ impl Simulation {
         alive: &[bool],
         message_loss: f64,
         total: usize,
-        survivors: &mut Vec<(u32, NodeId)>,
-        sorted: &mut Vec<(u32, NodeId)>,
+        survivors: &mut Vec<(u32, NodeIdx)>,
+        sorted: &mut Vec<(u32, NodeIdx)>,
         counts: &mut Vec<u32>,
         planned: impl Iterator<Item = (usize, &'a [NodeId])>,
     ) {
@@ -1029,7 +1086,7 @@ impl Simulation {
                 if message_loss > 0.0 && loss_rng.chance(message_loss) {
                     continue;
                 }
-                survivors.push((target.index() as u32, sender));
+                survivors.push((target.index() as u32, narrow(sender)));
             }
         }
         counting_sort_by_target(survivors, sorted, counts, total);
@@ -1045,8 +1102,8 @@ impl Simulation {
     fn collect_byz_pushes(
         &mut self,
         byz_plan: &[(NodeId, NodeId)],
-        survivors: &mut Vec<(u32, NodeId)>,
-        sorted: &mut Vec<(u32, NodeId)>,
+        survivors: &mut Vec<(u32, NodeIdx)>,
+        sorted: &mut Vec<(u32, NodeIdx)>,
         counts: &mut Vec<u32>,
     ) {
         survivors.clear();
@@ -1071,7 +1128,7 @@ impl Simulation {
             {
                 continue;
             }
-            survivors.push((victim.index() as u32, advertised));
+            survivors.push((victim.index() as u32, narrow(advertised)));
         }
         counting_sort_by_target(survivors, sorted, counts, self.total_actors());
     }
@@ -1150,7 +1207,7 @@ impl Simulation {
         // pull answers will reference, and the per-round reset of the
         // view-mutation flags.
         if s.snap_ids.len() != pop * stride {
-            s.snap_ids.resize(pop * stride, NodeId(0));
+            s.snap_ids.resize(pop * stride, NodeIdx(0));
         }
         {
             let Population::Raptee(nodes) = &mut self.population else {
@@ -1161,7 +1218,7 @@ impl Simulation {
                 item: PlanItem<'a, RapteeNode>,
                 plan: &'a mut RoundPlan,
                 mutated: &'a mut bool,
-                snap: &'a mut [NodeId],
+                snap: &'a mut [NodeIdx],
                 snap_len: &'a mut u32,
             }
             let mut lanes: Vec<Lane> = nodes
@@ -1190,7 +1247,7 @@ impl Simulation {
                 *lane.item.live = true;
                 let view = lane.item.node.brahms().view();
                 for (k, e) in view.entries().iter().enumerate() {
-                    lane.snap[k] = e.id;
+                    lane.snap[k] = narrow(e.id);
                 }
                 *lane.snap_len = view.len() as u32;
             });
@@ -1394,14 +1451,14 @@ impl Simulation {
                 ws.pushed.extend(
                     sorted[h0..h1]
                         .iter()
-                        .map(|&(_, sender)| sender)
+                        .map(|&(_, sender)| widen(sender))
                         .filter(|&x| x != me),
                 );
                 let (b0, b1) = run_bounds(byz_counts, abs);
                 ws.pushed.extend(
                     byz_sorted[b0..b1]
                         .iter()
-                        .map(|&(_, advertised)| advertised)
+                        .map(|&(_, advertised)| widen(advertised))
                         .filter(|&x| x != me),
                 );
                 // Untrusted pull stream, reconstructed in delivery order.
@@ -1413,12 +1470,15 @@ impl Simulation {
                         PullEvent::Snapshot { responder } => {
                             let r = *responder as usize;
                             let base = r * stride;
-                            ws.untrusted
-                                .extend_from_slice(&snap_ids[base..base + snap_len[r] as usize]);
+                            ws.untrusted.extend(
+                                snap_ids[base..base + snap_len[r] as usize]
+                                    .iter()
+                                    .map(|&i| widen(i)),
+                            );
                         }
                         PullEvent::Arena { start, len } => {
                             let (a, b) = (*start as usize, (*start + *len) as usize);
-                            ws.untrusted.extend_from_slice(&arena[a..b]);
+                            ws.untrusted.extend(arena[a..b].iter().map(|&i| widen(i)));
                         }
                         PullEvent::ByzReplay { rng } => {
                             let mut rng = rng.clone();
@@ -1461,8 +1521,7 @@ impl Simulation {
 
         // Fold (sequential, node-index order — float accumulation order
         // is exactly the historical per-actor loop's).
-        let shares = std::mem::take(&mut s.shares);
-        s.shares = self.fold_round_stats(&s.stats, shares);
+        self.fold_round_stats(&s.stats);
 
         if self.scenario.identification_attack {
             let flagged = self
@@ -1559,7 +1618,7 @@ impl Simulation {
                 });
             } else {
                 let start = s.arena.len() as u32;
-                s.arena.extend(nodes[tc].brahms().view().ids());
+                s.arena.extend(nodes[tc].brahms().view().ids().map(narrow));
                 let len = s.arena.len() as u32 - start;
                 s.events.push(PullEvent::Arena { start, len });
             }
@@ -1688,7 +1747,7 @@ impl Simulation {
             let (byz_sorted, byz_counts) = (&byz_sorted[..], &byz_counts[..]);
             struct Lane<'a> {
                 node: &'a mut BasaltNode,
-                disc: DiscoveryRow<'a>,
+                disc: DiscoveryLane<'a>,
             }
             let mut lanes: Vec<Lane> = nodes
                 .iter_mut()
@@ -1699,6 +1758,7 @@ impl Simulation {
                 let abs = byz + ci;
                 let (h0, h1) = run_bounds(counts, abs);
                 for &(_, sender) in &sorted[h0..h1] {
+                    let sender = widen(sender);
                     lane.node.record_push(sender);
                     if sender.index() >= byz && sender.index() < total {
                         lane.disc.insert(sender.index());
@@ -1706,7 +1766,7 @@ impl Simulation {
                 }
                 let (b0, b1) = run_bounds(byz_counts, abs);
                 for &(_, advertised) in &byz_sorted[b0..b1] {
-                    lane.node.record_push(advertised);
+                    lane.node.record_push(widen(advertised));
                 }
             });
         }
@@ -1774,8 +1834,7 @@ impl Simulation {
         }
         let _ = workers; // BASALT finalisation needs no per-worker arenas
 
-        let shares = std::mem::take(&mut s.shares);
-        s.shares = self.fold_round_stats(&s.stats, shares);
+        self.fold_round_stats(&s.stats);
     }
 
     /// One BASALT pull exchange of the sequential phase: the responder's
@@ -1844,7 +1903,7 @@ impl Simulation {
         // also snapshot their post-plan views (for deferred answers) and
         // reset the per-round view-mutation flags.
         if s.snap_ids.len() != pop * stride {
-            s.snap_ids.resize(pop * stride, NodeId(0));
+            s.snap_ids.resize(pop * stride, NodeIdx(0));
         }
         {
             let Population::Mixed(seg_nodes) = &mut self.population else {
@@ -1859,7 +1918,7 @@ impl Simulation {
                             item: PlanItem<'a, RapteeNode>,
                             plan: &'a mut RoundPlan,
                             mutated: &'a mut bool,
-                            snap: &'a mut [NodeId],
+                            snap: &'a mut [NodeIdx],
                             snap_len: &'a mut u32,
                         }
                         let mut lanes: Vec<Lane> = nodes
@@ -1891,7 +1950,7 @@ impl Simulation {
                             *lane.item.live = true;
                             let view = lane.item.node.brahms().view();
                             for (k, e) in view.entries().iter().enumerate() {
-                                lane.snap[k] = e.id;
+                                lane.snap[k] = narrow(e.id);
                             }
                             *lane.snap_len = view.len() as u32;
                         });
@@ -2043,7 +2102,7 @@ impl Simulation {
                 let start = seg.start;
                 struct Lane<'a> {
                     node: &'a mut BasaltNode,
-                    disc: DiscoveryRow<'a>,
+                    disc: DiscoveryLane<'a>,
                 }
                 let mut lanes: Vec<Lane> = nodes
                     .iter_mut()
@@ -2054,6 +2113,7 @@ impl Simulation {
                     let abs = byz + start + i;
                     let (h0, h1) = run_bounds(counts, abs);
                     for &(_, sender) in &sorted[h0..h1] {
+                        let sender = widen(sender);
                         lane.node.record_push(sender);
                         if sender.index() >= byz && sender.index() < total {
                             lane.disc.insert(sender.index());
@@ -2061,7 +2121,7 @@ impl Simulation {
                     }
                     let (b0, b1) = run_bounds(byz_counts, abs);
                     for &(_, advertised) in &byz_sorted[b0..b1] {
-                        lane.node.record_push(advertised);
+                        lane.node.record_push(widen(advertised));
                     }
                 });
             }
@@ -2206,14 +2266,14 @@ impl Simulation {
                             ws.pushed.extend(
                                 sorted[h0..h1]
                                     .iter()
-                                    .map(|&(_, sender)| sender)
+                                    .map(|&(_, sender)| widen(sender))
                                     .filter(|&x| x != me),
                             );
                             let (b0, b1) = run_bounds(byz_counts, abs);
                             ws.pushed.extend(
                                 byz_sorted[b0..b1]
                                     .iter()
-                                    .map(|&(_, advertised)| advertised)
+                                    .map(|&(_, advertised)| widen(advertised))
                                     .filter(|&x| x != me),
                             );
                             ws.untrusted.clear();
@@ -2224,13 +2284,15 @@ impl Simulation {
                                     PullEvent::Snapshot { responder } => {
                                         let r = *responder as usize;
                                         let base = r * stride;
-                                        ws.untrusted.extend_from_slice(
-                                            &snap_ids[base..base + snap_len[r] as usize],
+                                        ws.untrusted.extend(
+                                            snap_ids[base..base + snap_len[r] as usize]
+                                                .iter()
+                                                .map(|&i| widen(i)),
                                         );
                                     }
                                     PullEvent::Arena { start, len } => {
                                         let (a, b) = (*start as usize, (*start + *len) as usize);
-                                        ws.untrusted.extend_from_slice(&arena[a..b]);
+                                        ws.untrusted.extend(arena[a..b].iter().map(|&i| widen(i)));
                                     }
                                     PullEvent::ByzReplay { rng } => {
                                         let mut rng = rng.clone();
@@ -2318,8 +2380,7 @@ impl Simulation {
             }
         }
 
-        let shares = std::mem::take(&mut s.shares);
-        s.shares = self.fold_round_stats(&s.stats, shares);
+        self.fold_round_stats(&s.stats);
     }
 
     /// One pull of the mixed sequential exchange pass for a
@@ -2392,7 +2453,7 @@ impl Simulation {
                 let start = s.arena.len() as u32;
                 {
                     let responder = raptee_at(seg_nodes, &self.segs, &self.seg_of, tc);
-                    s.arena.extend(responder.brahms().view().ids());
+                    s.arena.extend(responder.brahms().view().ids().map(narrow));
                 }
                 let len = s.arena.len() as u32 - start;
                 s.events.push(PullEvent::Arena { start, len });
@@ -2409,7 +2470,7 @@ impl Simulation {
                     .record_trusted_pull(&s.reply);
             } else {
                 let start = s.arena.len() as u32;
-                s.arena.extend_from_slice(&s.reply);
+                s.arena.extend(s.reply.iter().map(|&id| narrow(id)));
                 let len = s.arena.len() as u32 - start;
                 s.events.push(PullEvent::Arena { start, len });
             }
@@ -2514,23 +2575,31 @@ impl Simulation {
     /// Folds the apply phase's per-node stat slots, in node-index order,
     /// into the run counters and this round's [`RoundAccumulator`], then
     /// into the run series. Mixed populations additionally fold each
-    /// segment's mean raw share into its per-segment series — the
-    /// combined accumulator sees exactly the same addition sequence
-    /// either way. Returns the share buffer for reuse.
-    fn fold_round_stats(&mut self, stats: &[RoundStat], shares: Vec<f64>) -> Vec<f64> {
-        let mut acc = RoundAccumulator::new(shares);
+    /// segment's mean raw share and mean discovered fraction into its
+    /// per-segment series — the combined accumulator sees exactly the
+    /// same addition sequence either way.
+    fn fold_round_stats(&mut self, stats: &[RoundStat]) {
+        let mut acc = RoundAccumulator::new();
         if self.segs.is_empty() {
             for stat in stats {
                 self.accumulate_stat(stat, &mut acc);
             }
         } else {
+            let target_pool = (self.non_byz_total as f64).max(1.0);
             for si in 0..self.segs.len() {
                 let (start, len) = (self.segs[si].start, self.segs[si].len);
                 let mut seg_sum = 0.0;
                 let mut seg_count = 0usize;
+                let mut seg_disc_sum = 0usize;
+                let mut seg_disc_count = 0usize;
                 for stat in &stats[start..start + len] {
                     self.accumulate_stat(stat, &mut acc);
-                    if stat.participated && stat.has_share {
+                    if !stat.participated {
+                        continue;
+                    }
+                    seg_disc_sum += stat.discovered as usize;
+                    seg_disc_count += 1;
+                    if stat.has_share {
                         seg_sum += stat.share;
                         seg_count += 1;
                     }
@@ -2540,9 +2609,14 @@ impl Simulation {
                 } else {
                     seg_sum / seg_count as f64
                 });
+                self.seg_discovered_series[si].push(if seg_disc_count == 0 {
+                    0.0
+                } else {
+                    seg_disc_sum as f64 / seg_disc_count as f64 / target_pool
+                });
             }
         }
-        self.finish_round_metrics(acc)
+        self.finish_round_metrics(&acc, stats);
     }
 
     /// Folds one node's round outcome into the run counters and the
@@ -2563,7 +2637,8 @@ impl Simulation {
             acc.all_discovered = false;
         }
         if stat.has_share {
-            acc.shares.push(stat.smoothed);
+            acc.smoothed_sum += stat.smoothed;
+            acc.smoothed_count += 1;
             acc.share_sum += stat.share;
             acc.share_count += 1;
         }
@@ -2571,30 +2646,24 @@ impl Simulation {
 
     /// Folds one round's [`RoundAccumulator`] into the run series:
     /// pollution curve, discovery round, mean-discovery series and the
-    /// spread-stability detector.
-    fn finish_round_metrics(&mut self, acc: RoundAccumulator) -> Vec<f64> {
-        let RoundAccumulator {
-            share_sum,
-            share_count,
-            shares,
-            all_discovered,
-            discovered_sum,
-            discovered_nodes,
-        } = acc;
-        let mean_share = if share_count == 0 {
+    /// spread-stability detector. `stats` re-enters only for the spread
+    /// check, which streams over the stat slots instead of a buffered
+    /// share vector — no per-(node,round) allocation remains.
+    fn finish_round_metrics(&mut self, acc: &RoundAccumulator, stats: &[RoundStat]) {
+        let mean_share = if acc.share_count == 0 {
             0.0
         } else {
-            share_sum / share_count as f64
+            acc.share_sum / acc.share_count as f64
         };
         self.byz_share_series.push(mean_share);
 
-        if self.discovery_round.is_none() && all_discovered {
+        if self.discovery_round.is_none() && acc.all_discovered {
             self.discovery_round = Some(self.round);
         }
-        if discovered_nodes > 0 {
+        if acc.discovered_nodes > 0 {
             let target_pool = (self.non_byz_total as f64).max(1.0);
             self.mean_discovered_series
-                .push(discovered_sum as f64 / discovered_nodes as f64 / target_pool);
+                .push(acc.discovered_sum as f64 / acc.discovered_nodes as f64 / target_pool);
         }
         // Spread stability (the paper's criterion): every non-Byzantine
         // node's pollution within STABILITY_SPREAD of the average. Each
@@ -2602,23 +2671,24 @@ impl Simulation {
         // at reduced view sizes a single view entry moves the raw share
         // by 5-10 points of pure quantisation noise, which would make the
         // criterion unreachable regardless of convergence. The smoothed
-        // criterion stays gated by laggard nodes, like the original.
-        let smoothed_mean = if shares.is_empty() {
+        // criterion stays gated by laggard nodes, like the original. The
+        // running smoothed sum accumulates in node-index order, exactly
+        // the addition sequence of the historical buffered sum.
+        let smoothed_mean = if acc.smoothed_count == 0 {
             0.0
         } else {
-            shares.iter().sum::<f64>() / shares.len() as f64
+            acc.smoothed_sum / acc.smoothed_count as f64
         };
         if self.spread_stability_round.is_none()
             && self.round + 1 >= SMOOTHING_WINDOW
-            && !shares.is_empty()
-            && shares
+            && acc.smoothed_count > 0
+            && stats
                 .iter()
-                .all(|s| (s - smoothed_mean).abs() <= STABILITY_SPREAD)
+                .filter(|st| st.participated && st.has_share)
+                .all(|st| (st.smoothed - smoothed_mean).abs() <= STABILITY_SPREAD)
         {
             self.spread_stability_round = Some(self.round);
         }
-        // Hand the share buffer back for reuse next round.
-        shares
     }
 
     /// Mean of the last `tail_window` entries of a share series — the
@@ -2634,28 +2704,6 @@ impl Simulation {
 
     fn into_result(self) -> RunResult {
         let resilience = Self::tail_mean(&self.byz_share_series, self.scenario.tail_window);
-        // Per-segment pollution: one entry per population segment (a
-        // uniform run is one segment covering everything, so `segments`
-        // is never empty and combined == segments[0]).
-        let segments: Vec<SegmentResult> = if self.segs.is_empty() {
-            vec![SegmentResult {
-                protocol: self.scenario.protocol,
-                nodes: self.population.len(),
-                resilience,
-                byz_share_series: self.byz_share_series.clone(),
-            }]
-        } else {
-            self.segs
-                .iter()
-                .zip(&self.seg_series)
-                .map(|(seg, series)| SegmentResult {
-                    protocol: seg.protocol,
-                    nodes: seg.len,
-                    resilience: Self::tail_mean(series, self.scenario.tail_window),
-                    byz_share_series: series.clone(),
-                })
-                .collect()
-        };
         let stability_round = self
             .spread_stability_round
             .or_else(|| crate::metrics::series_stability_round(&self.byz_share_series, resilience));
@@ -2663,6 +2711,43 @@ impl Simulation {
             &self.mean_discovered_series,
             crate::metrics::DISCOVERY_TARGET_SHARE,
         );
+        // Per-segment pollution, discovery and stability: one entry per
+        // population segment (a uniform run is one segment covering
+        // everything, so `segments` is never empty and combined ==
+        // segments[0]).
+        let segments: Vec<SegmentResult> = if self.segs.is_empty() {
+            vec![SegmentResult {
+                protocol: self.scenario.protocol,
+                nodes: self.population.len(),
+                resilience,
+                mean_discovery_round,
+                stability_round,
+                byz_share_series: self.byz_share_series.clone(),
+            }]
+        } else {
+            self.segs
+                .iter()
+                .zip(&self.seg_series)
+                .zip(&self.seg_discovered_series)
+                .map(|((seg, series), disc_series)| {
+                    let seg_resilience = Self::tail_mean(series, self.scenario.tail_window);
+                    SegmentResult {
+                        protocol: seg.protocol,
+                        nodes: seg.len,
+                        resilience: seg_resilience,
+                        mean_discovery_round: crate::metrics::fractional_crossing(
+                            disc_series,
+                            crate::metrics::DISCOVERY_TARGET_SHARE,
+                        ),
+                        stability_round: crate::metrics::series_stability_round(
+                            series,
+                            seg_resilience,
+                        ),
+                        byz_share_series: series.clone(),
+                    }
+                })
+                .collect()
+        };
         RunResult {
             resilience,
             discovery_round: self.discovery_round,

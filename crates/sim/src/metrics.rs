@@ -162,6 +162,14 @@ pub struct SegmentResult {
     /// Converged mean Byzantine share in this segment's views (tail
     /// mean, like [`RunResult::resilience`]).
     pub resilience: f64,
+    /// The (fractional) round at which this segment's mean discovered
+    /// share crossed 75 % (like [`RunResult::mean_discovery_round`];
+    /// equal to it for uniform runs).
+    pub mean_discovery_round: Option<f64>,
+    /// First round from which this segment's mean Byzantine share stayed
+    /// within tolerance of its converged value (like
+    /// [`RunResult::stability_round`]; equal to it for uniform runs).
+    pub stability_round: Option<usize>,
     /// This segment's mean Byzantine share per round.
     pub byz_share_series: Vec<f64>,
 }

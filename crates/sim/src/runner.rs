@@ -23,6 +23,12 @@ pub struct SegmentAggregate {
     pub nodes: usize,
     /// Mean converged Byzantine share in the segment's views.
     pub resilience: f64,
+    /// Mean per-segment mean-discovery round among repetitions that
+    /// reached it; `None` when none did.
+    pub discovery_round: Option<f64>,
+    /// Mean per-segment stability round among repetitions that reached
+    /// it; `None` when none did.
+    pub stability_round: Option<f64>,
 }
 
 /// Mean results across repetitions of one scenario.
@@ -90,6 +96,13 @@ pub fn aggregate(results: &[RunResult]) -> AggregatedResult {
     let resilience = results.iter().map(|r| r.resilience).sum::<f64>() / n;
     // Per-segment means: every repetition runs the same population spec,
     // so segment k lines up across results.
+    let mean_of = |vals: Vec<f64>| {
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    };
     let segments: Vec<SegmentAggregate> = results[0]
         .segments
         .iter()
@@ -102,15 +115,24 @@ pub fn aggregate(results: &[RunResult]) -> AggregatedResult {
                 .filter_map(|r| r.segments.get(k).map(|s| s.resilience))
                 .sum::<f64>()
                 / n,
+            discovery_round: mean_of(
+                results
+                    .iter()
+                    .filter_map(|r| r.segments.get(k).and_then(|s| s.mean_discovery_round))
+                    .collect(),
+            ),
+            stability_round: mean_of(
+                results
+                    .iter()
+                    .filter_map(|r| {
+                        r.segments
+                            .get(k)
+                            .and_then(|s| s.stability_round.map(|x| x as f64))
+                    })
+                    .collect(),
+            ),
         })
         .collect();
-    let mean_of = |vals: Vec<f64>| {
-        if vals.is_empty() {
-            None
-        } else {
-            Some(vals.iter().sum::<f64>() / vals.len() as f64)
-        }
-    };
     // Prefer the paper-literal all-nodes round when reached; otherwise
     // fall back to the scale-robust mean-based round.
     let discovery: Vec<f64> = results
@@ -265,6 +287,8 @@ mod tests {
                 protocol: Protocol::Raptee,
                 nodes: 72,
                 resilience,
+                mean_discovery_round: discovery.map(|d| d as f64),
+                stability_round: discovery.map(|d| d + 5),
                 byz_share_series: vec![resilience],
             }],
         }

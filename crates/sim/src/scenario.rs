@@ -1,6 +1,31 @@
 //! Experiment configuration.
 
+use crate::bitset::EXACT_DISCOVERY_THRESHOLD;
 use raptee::EvictionPolicy;
+
+/// How the engine tracks per-node discovery (see
+/// [`crate::bitset::Discovery`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DiscoveryMode {
+    /// Exact bitsets up to [`EXACT_DISCOVERY_THRESHOLD`] total actors,
+    /// HLL sketches above — the default, and what every committed golden
+    /// scenario resolves to (they all sit below the threshold, on the
+    /// byte-identical exact path).
+    #[default]
+    Auto,
+    /// Force exact bitsets regardless of scale. Rejected by
+    /// [`Scenario::validate`] above [`EXACT_FORCE_LIMIT`] actors, where
+    /// the O(N²) matrix would exceed ~2 GiB.
+    Exact,
+    /// Force HLL sketches regardless of scale (estimated discovery
+    /// counts, ~6.5 % relative standard error; O(N) memory).
+    Sketch,
+}
+
+/// Hard cap for [`DiscoveryMode::Exact`]: above this many total actors
+/// the exact matrix costs more than ~2 GiB (`(2^17)² / 8` bytes) and
+/// validation rejects the forced-exact request.
+pub const EXACT_FORCE_LIMIT: usize = 1 << 17;
 
 /// The adversary's push strategy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -187,6 +212,8 @@ pub struct Scenario {
     pub flood_slack_sigmas: f64,
     /// Rounds averaged at the end of the run for the resilience metric.
     pub tail_window: usize,
+    /// Discovery-metric representation (exact bitsets vs HLL sketches).
+    pub discovery: DiscoveryMode,
     /// Master seed; every repetition derives its own sub-seed.
     pub seed: u64,
 }
@@ -216,6 +243,7 @@ impl Default for Scenario {
             sampler_validation_period: 0,
             flood_slack_sigmas: 4.0,
             tail_window: 20,
+            discovery: DiscoveryMode::Auto,
             seed: 0x5A97EE,
         }
     }
@@ -291,6 +319,12 @@ impl Scenario {
         assert!(
             (0.0..=1.0).contains(&self.identification_threshold),
             "identification threshold must be in [0,1]"
+        );
+        assert!(
+            self.discovery != DiscoveryMode::Exact || self.total_actors() <= EXACT_FORCE_LIMIT,
+            "exact discovery forced at {} actors: the O(N²) matrix would exceed the \
+             ~2 GiB guard (limit {EXACT_FORCE_LIMIT}); use DiscoveryMode::Auto or Sketch",
+            self.total_actors()
         );
         if self.population.is_empty() {
             self.validate_protocol(self.protocol);
@@ -491,6 +525,16 @@ impl Scenario {
     /// Total actors in the run, including injected nodes.
     pub fn total_actors(&self) -> usize {
         self.n + self.injected_count()
+    }
+
+    /// Whether this run tracks discovery with HLL sketches (resolving
+    /// [`DiscoveryMode::Auto`] against [`EXACT_DISCOVERY_THRESHOLD`]).
+    pub fn sketch_discovery(&self) -> bool {
+        match self.discovery {
+            DiscoveryMode::Exact => false,
+            DiscoveryMode::Sketch => true,
+            DiscoveryMode::Auto => self.total_actors() > EXACT_DISCOVERY_THRESHOLD,
+        }
     }
 
     /// A copy of this scenario switched to the Brahms baseline (used to
@@ -894,6 +938,43 @@ mod tests {
     fn negative_fraction_rejected() {
         Scenario {
             byzantine_fraction: -0.1,
+            ..Scenario::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn discovery_mode_resolves_by_scale() {
+        let small = Scenario::default();
+        assert_eq!(small.discovery, DiscoveryMode::Auto);
+        assert!(!small.sketch_discovery(), "default scale stays exact");
+        assert!(!Scenario::paper_scale().sketch_discovery());
+        let huge = Scenario {
+            n: 100_000,
+            ..Scenario::default()
+        };
+        assert!(huge.sketch_discovery(), "auto switches above the threshold");
+        let forced = Scenario {
+            n: 100_000,
+            discovery: DiscoveryMode::Sketch,
+            ..Scenario::default()
+        };
+        forced.validate();
+        assert!(forced.sketch_discovery());
+        let forced_exact = Scenario {
+            discovery: DiscoveryMode::Exact,
+            ..Scenario::default()
+        };
+        forced_exact.validate();
+        assert!(!forced_exact.sketch_discovery());
+    }
+
+    #[test]
+    #[should_panic(expected = "2 GiB guard")]
+    fn forced_exact_discovery_rejected_at_scale() {
+        Scenario {
+            n: (EXACT_FORCE_LIMIT) + 1,
+            discovery: DiscoveryMode::Exact,
             ..Scenario::default()
         }
         .validate();

@@ -14,6 +14,8 @@
 //! * [`bitset`] — dense fixed-universe and growable bitsets used for
 //!   O(1) membership over node-ID spaces (view indices, seen-caches,
 //!   discovery tracking).
+//! * [`hll`] — fixed-size HyperLogLog cardinality sketches backing the
+//!   sketch-mode discovery metric at million-node scale.
 //! * [`chi`] — a chi-square uniformity test used by the sampler property
 //!   tests.
 //! * [`series`] — tiny CSV/series formatting helpers shared by the
@@ -37,6 +39,7 @@
 pub mod bitset;
 pub mod chi;
 pub mod hist;
+pub mod hll;
 pub mod rng;
 pub mod series;
 pub mod stats;

@@ -3,8 +3,13 @@
 //! The build environment for this reproduction has no registry access,
 //! so the workspace vendors the *exact* API surface it uses —
 //! `into_par_iter()` / `par_iter()` followed by `map(...).collect()` —
-//! backed by `std::thread::scope`. Results keep input order, so callers
-//! observe the same semantics as rayon for these pipelines
+//! backed by a **persistent worker pool** (like real rayon's global
+//! pool). Helper threads are spawned lazily up to the largest worker
+//! count ever requested and then parked on a condvar between jobs, so
+//! the engine's per-phase parallel calls (several per simulated round)
+//! pay a wakeup, not a `thread::spawn`, each time. The submitting
+//! thread always participates as worker 0. Results keep input order, so
+//! callers observe the same semantics as rayon for these pipelines
 //! (deterministic output order, one closure call per item).
 //!
 //! Scheduling is **work-stealing**: every worker owns a deque seeded
@@ -156,6 +161,180 @@ fn configured_threads() -> usize {
         .unwrap_or(1)
 }
 
+mod pool {
+    //! The persistent worker pool behind [`par_apply`] and
+    //! [`par_for_each_scratch`](super::par_for_each_scratch).
+    //!
+    //! One global pool per process, mirroring real rayon: helper
+    //! threads are spawned lazily the first time a job needs them and
+    //! then live forever, parked on a condvar. Jobs are serialized by a
+    //! submission lock (one fork-join region at a time — concurrent
+    //! top-level callers queue, they never oversubscribe), and the
+    //! submitting thread runs the job as worker 0 so a pool of `k`
+    //! helpers serves `k + 1`-way parallelism.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Condvar, Mutex, OnceLock};
+
+    /// A lifetime-erased job. The erasure is sound because [`run`]
+    /// never returns before every participating helper has finished the
+    /// job (the `running` latch), so the borrows inside the closure
+    /// outlive every use.
+    type Job = &'static (dyn Fn(usize) + Sync);
+
+    #[derive(Default)]
+    struct State {
+        /// Monotonic job id; bumped on every submission. A helper keeps
+        /// the last generation it acted on, so condvar wakeups are
+        /// idempotent: each helper runs each job at most once.
+        generation: u64,
+        /// The current job plus the helper count that must run it.
+        job: Option<(Job, usize)>,
+        /// Participating helpers still inside the current job.
+        running: usize,
+        /// Helper threads spawned so far (their ordinals are 1..=spawned).
+        spawned: usize,
+        /// A helper panicked inside the current job.
+        panicked: bool,
+    }
+
+    struct Pool {
+        state: Mutex<State>,
+        /// Wakes helpers when a job is published.
+        work: Condvar,
+        /// Wakes the submitter when the last helper finishes.
+        done: Condvar,
+        /// Serializes whole jobs.
+        submit: Mutex<()>,
+    }
+
+    /// Poison-tolerant lock: jobs are wrapped in `catch_unwind` and the
+    /// submitter re-raises only after restoring a consistent state, so a
+    /// poisoned mutex carries no broken invariants — recover the guard.
+    fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn pool() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool {
+            state: Mutex::new(State::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            submit: Mutex::new(()),
+        })
+    }
+
+    /// Restores the caller's `IN_PAR_REGION` flag on drop, so a
+    /// panicking job cannot leave the submitting thread marked as
+    /// inside a parallel region.
+    struct RegionGuard(bool);
+
+    impl Drop for RegionGuard {
+        fn drop(&mut self) {
+            super::IN_PAR_REGION.with(|flag| flag.set(self.0));
+        }
+    }
+
+    /// The body of one persistent helper thread.
+    fn helper(ordinal: usize) {
+        // Helpers only ever execute inside a job, so the nested-
+        // parallelism flag is permanently set for them.
+        super::IN_PAR_REGION.with(|flag| flag.set(true));
+        let p = pool();
+        let mut seen = 0u64;
+        loop {
+            let job = {
+                let mut st = lock(&p.state);
+                loop {
+                    match st.job {
+                        Some((job, helpers)) if st.generation > seen => {
+                            seen = st.generation;
+                            break (ordinal <= helpers).then_some(job);
+                        }
+                        _ => {
+                            st = p
+                                .work
+                                .wait(st)
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        }
+                    }
+                }
+            };
+            let Some(job) = job else { continue };
+            let ok = catch_unwind(AssertUnwindSafe(|| job(ordinal))).is_ok();
+            let mut st = lock(&p.state);
+            if !ok {
+                st.panicked = true;
+            }
+            st.running -= 1;
+            if st.running == 0 {
+                p.done.notify_all();
+            }
+        }
+    }
+
+    /// Runs `job(w)` once for every worker `w` in `0..=helpers`: the
+    /// caller executes ordinal 0 itself, persistent helpers execute
+    /// 1..=helpers concurrently. Returns only after every participant
+    /// has finished; a panic on any worker is re-raised here (the
+    /// helpers themselves survive and keep serving later jobs).
+    pub(super) fn run(job: &(dyn Fn(usize) + Sync), helpers: usize) {
+        if helpers == 0 {
+            let _guard = RegionGuard(super::IN_PAR_REGION.with(|flag| flag.replace(true)));
+            job(0);
+            return;
+        }
+        let p = pool();
+        let _submit = lock(&p.submit);
+        // SAFETY: only the lifetime is erased; the completion latch
+        // below keeps the borrow alive past every helper's last use.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        {
+            let mut st = lock(&p.state);
+            while st.spawned < helpers {
+                let ordinal = st.spawned + 1;
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{ordinal}"))
+                    .spawn(move || helper(ordinal))
+                    .expect("spawn rayon-shim pool helper");
+                st.spawned += 1;
+            }
+            st.job = Some((job, helpers));
+            st.generation += 1;
+            st.running = helpers;
+            st.panicked = false;
+            p.work.notify_all();
+        }
+        let caller = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = RegionGuard(super::IN_PAR_REGION.with(|flag| flag.replace(true)));
+            job(0);
+        }));
+        let mut st = lock(&p.state);
+        while st.running > 0 {
+            st = p
+                .done
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        st.job = None;
+        let helper_panicked = st.panicked;
+        drop(st);
+        if let Err(payload) = caller {
+            std::panic::resume_unwind(payload);
+        }
+        assert!(!helper_panicked, "rayon-shim pool worker panicked");
+    }
+
+    /// How many persistent helper threads exist (diagnostics; grows to
+    /// the largest helper count any job has requested, never shrinks).
+    pub fn spawned_workers() -> usize {
+        lock(&pool().state).spawned
+    }
+}
+
+pub use pool::spawned_workers as pool_spawned_workers;
+
 /// Work-stealing fork-join map over `items`, preserving input order.
 fn par_apply<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
     let n = items.len();
@@ -176,49 +355,45 @@ fn par_apply<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Ve
     let deques = &deques;
 
     let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|w| {
-                scope.spawn(move || {
-                    IN_PAR_REGION.with(|flag| flag.set(true));
-                    let mut done: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        // Drain the front of the local deque.
-                        let task = deques[w].lock().expect("deque poisoned").pop_front();
-                        if let Some((i, item)) = task {
-                            done.push((i, f(item)));
-                            continue;
-                        }
-                        // Empty: steal the back half of the first
-                        // non-empty victim (back-stealing keeps the
-                        // victim's cache-warm front intact).
-                        let mut loot: Option<VecDeque<(usize, T)>> = None;
-                        for v in 1..threads {
-                            let victim = (w + v) % threads;
-                            let mut dq = deques[victim].lock().expect("deque poisoned");
-                            let len = dq.len();
-                            if len > 0 {
-                                loot = Some(dq.split_off(len - len.div_ceil(2)));
-                                break;
-                            }
-                        }
-                        match loot {
-                            Some(stolen) => {
-                                deques[w].lock().expect("deque poisoned").extend(stolen);
-                            }
-                            None => break, // every deque drained
-                        }
+    let slot_base = SharedMutPtr(slots.as_mut_ptr(), PhantomData);
+    let slot_base = &slot_base;
+    pool::run(
+        &move |w: usize| {
+            loop {
+                // Drain the front of the local deque.
+                let task = deques[w].lock().expect("deque poisoned").pop_front();
+                if let Some((i, item)) = task {
+                    let r = f(item);
+                    // SAFETY: index `i` lives in exactly one deque at a
+                    // time and is claimed by exactly one worker, so this
+                    // slot write is exclusive; the pool's completion
+                    // latch orders it before `slots` is read below.
+                    unsafe { *slot_base.0.add(i) = Some(r) };
+                    continue;
+                }
+                // Empty: steal the back half of the first
+                // non-empty victim (back-stealing keeps the
+                // victim's cache-warm front intact).
+                let mut loot: Option<VecDeque<(usize, T)>> = None;
+                for v in 1..threads {
+                    let victim = (w + v) % threads;
+                    let mut dq = deques[victim].lock().expect("deque poisoned");
+                    let len = dq.len();
+                    if len > 0 {
+                        loot = Some(dq.split_off(len - len.div_ceil(2)));
+                        break;
                     }
-                    done
-                })
-            })
-            .collect();
-        for h in handles {
-            for (i, r) in h.join().expect("rayon-shim worker panicked") {
-                slots[i] = Some(r);
+                }
+                match loot {
+                    Some(stolen) => {
+                        deques[w].lock().expect("deque poisoned").extend(stolen);
+                    }
+                    None => break, // every deque drained
+                }
             }
-        }
-    });
+        },
+        threads - 1,
+    );
     slots
         .into_iter()
         .map(|r| r.expect("every item computed exactly once"))
@@ -226,9 +401,10 @@ fn par_apply<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Ve
 }
 
 /// A `*mut T` that may cross thread boundaries. Soundness rests on the
-/// claiming discipline of [`par_for_each_scratch`]: every index is
-/// handed out exactly once by an atomic cursor, so no two workers ever
-/// hold a `&mut` to the same element.
+/// claiming discipline of the call sites ([`par_apply`],
+/// [`par_for_each_scratch`]): every index is handed out exactly once —
+/// by an atomic cursor, a deque pop, or the pool's unique worker
+/// ordinals — so no two workers ever hold a `&mut` to the same element.
 struct SharedMutPtr<T>(*mut T, PhantomData<T>);
 
 unsafe impl<T: Send> Send for SharedMutPtr<T> {}
@@ -278,25 +454,30 @@ where
     let cursor = &cursor;
     let base = SharedMutPtr(items.as_mut_ptr(), PhantomData);
     let base = &base;
+    let scratch_base = SharedMutPtr(scratch.as_mut_ptr(), PhantomData);
+    let scratch_base = &scratch_base;
     let f = &f;
-    std::thread::scope(|scope| {
-        for s in scratch[..threads].iter_mut() {
-            scope.spawn(move || {
-                IN_PAR_REGION.with(|flag| flag.set(true));
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    // SAFETY: `i` came from a fetch_add, so this worker
-                    // is the only one ever to receive it; the element
-                    // borrow is exclusive for the duration of `f`.
-                    let item = unsafe { &mut *base.0.add(i) };
-                    f(s, i, item);
+    pool::run(
+        &move |w: usize| {
+            // SAFETY: the pool hands each ordinal in 0..threads to
+            // exactly one thread per job, so `scratch[w]` is borrowed
+            // exclusively (and `w < threads <= scratch.len()` after the
+            // resize above).
+            let s = unsafe { &mut *scratch_base.0.add(w) };
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
                 }
-            });
-        }
-    });
+                // SAFETY: `i` came from a fetch_add, so this worker
+                // is the only one ever to receive it; the element
+                // borrow is exclusive for the duration of `f`.
+                let item = unsafe { &mut *base.0.add(i) };
+                f(s, i, item);
+            }
+        },
+        threads - 1,
+    );
 }
 
 /// [`par_for_each_scratch`] without per-worker state.
@@ -465,6 +646,58 @@ mod tests {
     #[test]
     fn current_num_threads_reports_override() {
         crate::with_num_threads(3, || assert_eq!(crate::current_num_threads(), 3));
+    }
+
+    #[test]
+    fn pool_workers_are_persistent() {
+        // 64 workers = 63 helpers, the largest count any test in this
+        // suite requests, so the pool cannot grow between the two reads
+        // below (concurrent tests ask for fewer).
+        let run = || {
+            crate::with_num_threads(64, || {
+                let out: Vec<u64> = (0..128u64).into_par_iter().map(|x| x + 1).collect();
+                assert_eq!(out.len(), 128);
+            });
+        };
+        run();
+        let before = crate::pool_spawned_workers();
+        assert!(before >= 63, "first 64-worker job spawned {before} helpers");
+        for _ in 0..4 {
+            run();
+        }
+        assert_eq!(
+            crate::pool_spawned_workers(),
+            before,
+            "repeat jobs must reuse the spawned helpers, not grow the pool"
+        );
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let result = std::panic::catch_unwind(|| {
+            crate::with_num_threads(4, || {
+                let _: Vec<u64> = (0..64u64)
+                    .into_par_iter()
+                    .map(|x| {
+                        assert!(x != 13, "boom");
+                        x
+                    })
+                    .collect();
+            });
+        });
+        assert!(result.is_err(), "the item panic must reach the caller");
+        // The unwind skipped with_num_threads' restore; clean up so the
+        // rest of this test thread is unaffected.
+        super::THREAD_OVERRIDE.with(|c| c.set(None));
+        // The pool keeps serving jobs after a worker panic.
+        let out: Vec<u64> =
+            crate::with_num_threads(4, || (0..8u64).into_par_iter().map(|x| x + 1).collect());
+        assert_eq!(out, (1..=8).collect::<Vec<_>>());
+        let mut v = vec![0u64; 64];
+        crate::with_num_threads(4, || {
+            crate::par_for_each_mut(&mut v, |i, x| *x = i as u64);
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64));
     }
 
     #[test]

@@ -7,14 +7,15 @@
 //! ```text
 //! raptee-cli run    [--n 400] [--f 0.2] [--t 0.1] [--eviction adaptive]
 //!                   [--view 16] [--rounds 200] [--seed 7] [--protocol raptee]
-//!                   [--reps 1] [--series]
+//!                   [--scale million] [--discovery sketch] [--reps 1] [--series]
 //! raptee-cli sweep  [--eviction adaptive] [--reps 2] ...
 //! raptee-cli ident  [--f 0.1] [--eviction 0.6] ...
 //! raptee-cli inject [--t 0.01] [--injected 0.05] ...
 //! ```
 
 use raptee::EvictionPolicy;
-use raptee_sim::{runner, Protocol, Scenario, SegmentSpec};
+use raptee_bench::Scale;
+use raptee_sim::{runner, DiscoveryMode, Protocol, Scenario, SegmentSpec};
 use std::collections::BTreeMap;
 
 /// A parsed command line: a subcommand plus `--key value` options.
@@ -243,19 +244,62 @@ impl Args {
         Ok(segments)
     }
 
+    /// Parses the `--scale` option: a named profile from the bench
+    /// harness (`tiny|small|medium|paper|million`) whose N/view/rounds
+    /// become the scenario defaults; explicit `--n`/`--view`/`--rounds`
+    /// still win.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::BadValue`] on an unknown profile name.
+    pub fn scale(&self) -> Result<Option<Scale>, CliError> {
+        match self.options.get("scale") {
+            None => Ok(None),
+            Some(name) => Scale::named(name)
+                .map(Some)
+                .ok_or_else(|| CliError::BadValue {
+                    key: "scale".into(),
+                    value: name.clone(),
+                }),
+        }
+    }
+
+    /// Parses the `--discovery` option (`auto` default, `exact`,
+    /// `sketch`): how the system-discovery metric is tracked. `auto`
+    /// picks exact bitsets up to the crossover population and HLL
+    /// sketches above it.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::BadValue`] on anything else.
+    pub fn discovery(&self) -> Result<DiscoveryMode, CliError> {
+        match self.options.get("discovery").map(String::as_str) {
+            None | Some("auto") => Ok(DiscoveryMode::Auto),
+            Some("exact") => Ok(DiscoveryMode::Exact),
+            Some("sketch") => Ok(DiscoveryMode::Sketch),
+            Some(v) => Err(CliError::BadValue {
+                key: "discovery".into(),
+                value: v.into(),
+            }),
+        }
+    }
+
     /// Builds the scenario common to all subcommands.
     ///
     /// # Errors
     ///
     /// Propagates option-parsing failures.
     pub fn scenario(&self) -> Result<Scenario, CliError> {
-        let view = self.get("view", 16usize)?;
-        let rounds = self.get("rounds", 200usize)?;
+        let scale = self.scale()?;
+        let (n_default, view_default, rounds_default) =
+            scale.map_or((400, 16, 200), |s| (s.n, s.view, s.rounds));
+        let view = self.get("view", view_default)?;
+        let rounds = self.get("rounds", rounds_default)?;
         // `--t` is ignored under `--protocol basalt` (no trusted tier
         // exists); an explicit `--injected` under BASALT is rejected by
         // `Scenario::validate` when the simulation starts.
         let mut scenario = Scenario {
-            n: self.get("n", 400usize)?,
+            n: self.get("n", n_default)?,
             byzantine_fraction: self.get("f", 0.10f64)?,
             trusted_fraction: self.get("t", 0.01f64)?,
             injected_poisoned_fraction: self.get("injected", 0.0f64)?,
@@ -265,6 +309,7 @@ impl Args {
             rounds,
             tail_window: (rounds / 10).max(5),
             protocol: self.protocol(view)?,
+            discovery: self.discovery()?,
             seed: self.get("seed", 0x5A97EE_u64)?,
             ..Scenario::default()
         };
@@ -286,6 +331,11 @@ COMMON OPTIONS:
     --t <f64>          trusted fraction           [default: 0.01]
     --view <usize>     view/sample size           [default: 16]
     --rounds <usize>   rounds per run             [default: 200]
+    --scale <name>     tiny | small | medium | paper | million — preset
+                       n/view/rounds defaults (explicit flags still win)
+    --discovery <m>    auto | exact | sketch      [default: auto]
+                       auto = exact bitsets up to 16384 actors, HLL
+                       cardinality sketches (~6.5% std error) above
     --seed <u64>       master seed
     --reps <usize>     repetitions                [default: 1]
     --eviction <p>     none | adaptive | 0.0..1.0 [default: adaptive]
@@ -336,7 +386,7 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
         format!("population={}", parts.join(","))
     };
     out.push_str(&format!(
-        "{population} n={} f={:.0}% t={:.0}% eviction={} rounds={} reps={reps}\n",
+        "{population} n={} f={:.0}% t={:.0}% eviction={} rounds={} reps={reps} discovery={}\n",
         scenario.n,
         scenario.byzantine_fraction * 100.0,
         // The *effective* trusted share: 0 under Brahms/BASALT even when
@@ -344,6 +394,11 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
         scenario.trusted_count() as f64 / scenario.n as f64 * 100.0,
         scenario.eviction.label(),
         scenario.rounds,
+        if scenario.sketch_discovery() {
+            "sketch"
+        } else {
+            "exact"
+        },
     ));
     out.push_str(&format!(
         "resilience: {:.2}% Byzantine IDs in non-Byzantine views\n",
@@ -352,10 +407,14 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
     if agg.segments.len() > 1 {
         for seg in &agg.segments {
             out.push_str(&format!(
-                "  segment {:10} ({} nodes): {:.2}%\n",
+                "  segment {:10} ({} nodes): {:.2}%   discovery {}   stability {}\n",
                 seg.protocol.label(),
                 seg.nodes,
-                seg.resilience * 100.0
+                seg.resilience * 100.0,
+                seg.discovery_round
+                    .map_or("-".into(), |r| format!("{r:.1}")),
+                seg.stability_round
+                    .map_or("-".into(), |r| format!("{r:.1}")),
             ));
         }
     }
@@ -529,6 +588,68 @@ mod tests {
         assert_eq!(s.byzantine_fraction, 0.3);
         assert_eq!(s.rounds, 50);
         s.validate();
+    }
+
+    #[test]
+    fn scale_presets_apply_and_yield_to_explicit_flags() {
+        let s = args(&["run", "--scale", "tiny"])
+            .unwrap()
+            .scenario()
+            .unwrap();
+        assert_eq!((s.n, s.view_size, s.rounds), (150, 12, 250));
+        let s = args(&["run", "--scale", "tiny", "--n", "99", "--rounds", "40"])
+            .unwrap()
+            .scenario()
+            .unwrap();
+        assert_eq!((s.n, s.view_size, s.rounds), (99, 12, 40));
+        let s = args(&["run", "--scale", "million"])
+            .unwrap()
+            .scenario()
+            .unwrap();
+        assert_eq!(s.n, 1_000_000);
+        assert!(s.sketch_discovery(), "million auto-selects sketches");
+        let err = args(&["run", "--scale", "galactic"])
+            .unwrap()
+            .scenario()
+            .unwrap_err();
+        assert!(matches!(err, CliError::BadValue { ref key, .. } if key == "scale"));
+    }
+
+    #[test]
+    fn discovery_modes_parse() {
+        let a = args(&["run"]).unwrap();
+        assert_eq!(a.discovery().unwrap(), DiscoveryMode::Auto);
+        let a = args(&["run", "--discovery", "exact"]).unwrap();
+        assert_eq!(a.discovery().unwrap(), DiscoveryMode::Exact);
+        let a = args(&["run", "--discovery", "sketch"]).unwrap();
+        assert_eq!(a.discovery().unwrap(), DiscoveryMode::Sketch);
+        assert!(a.scenario().unwrap().sketch_discovery());
+        let a = args(&["run", "--discovery", "psychic"]).unwrap();
+        assert!(matches!(
+            a.discovery().unwrap_err(),
+            CliError::BadValue { ref key, .. } if key == "discovery"
+        ));
+    }
+
+    #[test]
+    fn run_reports_discovery_mode() {
+        let a = args(&[
+            "run",
+            "--n",
+            "60",
+            "--rounds",
+            "10",
+            "--view",
+            "8",
+            "--discovery",
+            "sketch",
+        ])
+        .unwrap();
+        let out = execute(&a).unwrap();
+        assert!(out.contains("discovery=sketch"), "{out}");
+        let a = args(&["run", "--n", "60", "--rounds", "10", "--view", "8"]).unwrap();
+        let out = execute(&a).unwrap();
+        assert!(out.contains("discovery=exact"), "{out}");
     }
 
     #[test]
@@ -709,6 +830,12 @@ mod tests {
         assert!(out.contains("population=raptee:"), "{out}");
         assert!(out.contains("segment raptee"), "{out}");
         assert!(out.contains("segment basalt-tee"), "{out}");
+        for line in out.lines().filter(|l| l.contains("segment ")) {
+            assert!(
+                line.contains("discovery ") && line.contains("stability "),
+                "per-segment rounds must be reported: {line}"
+            );
+        }
     }
 
     #[test]

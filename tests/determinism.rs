@@ -17,7 +17,9 @@
 //!    the work-stealing scheduler provably cannot leak schedule
 //!    dependence into results.
 
-use raptee_sim::{runner, AttackStrategy, Protocol, RunResult, Scenario, SegmentSpec, Simulation};
+use raptee_sim::{
+    runner, AttackStrategy, DiscoveryMode, Protocol, RunResult, Scenario, SegmentSpec, Simulation,
+};
 
 /// A compact, bit-exact fingerprint of a [`RunResult`].
 #[derive(Debug, PartialEq, Eq)]
@@ -114,6 +116,19 @@ fn mixed_raptee_basalt_tee_scenario() -> Scenario {
     s.crash_fraction = 0.1;
     s.crash_round = 25;
     s.sampler_validation_period = 5;
+    s
+}
+
+/// The sketch-discovery determinism scenario: the raptee golden
+/// scenario with HLL sketches forced on (well below the automatic
+/// crossover, so exact-mode goldens are untouched). Runs longer than
+/// `base` because the 60-round exact run only crosses the 75 %
+/// discovery target in its final rounds — a few percent of sketch
+/// estimation error must not push the crossing off the end of the run.
+fn sketch_scenario() -> Scenario {
+    let mut s = base(Protocol::Raptee);
+    s.discovery = DiscoveryMode::Sketch;
+    s.rounds = 120;
     s
 }
 
@@ -284,6 +299,61 @@ fn golden_mixed_raptee_basalt_tee() {
     assert_eq!(seg_bits, vec![0x3fd267dd24c3b6aa, 0x3fc0bc035b7d0ff2]);
 }
 
+// Golden constant for the sketch-discovery engine (this PR), captured
+// at its introduction commit. Sketches touch nothing but the discovery
+// counters — `sketch_mode_only_moves_discovery_metrics` below proves
+// the non-discovery metrics stay bit-identical to an exact run of the
+// same scenario.
+
+#[test]
+fn golden_sketch_raptee() {
+    assert_golden(
+        "raptee-sketch",
+        sketch_scenario(),
+        Fingerprint {
+            resilience_bits: 0x3fd88874ce99e6f6,
+            series_hash: 0xfeb9f7ed8dbcc980,
+            discovery: None,
+            mean_discovery_bits: Some(4634281981934209955),
+            stability: Some(11),
+            spread_stability: None,
+            floods: 4,
+            evicted: 41893,
+            rotations: 0,
+        },
+    );
+}
+
+#[test]
+fn sketch_mode_only_moves_discovery_metrics() {
+    // Sketches replace the discovery counters and nothing else, so
+    // every non-discovery metric matches the exact run bit-for-bit and
+    // the discovery estimate stays within the HLL error envelope.
+    let mut exact_scenario = sketch_scenario();
+    exact_scenario.discovery = DiscoveryMode::Auto; // 150 actors → exact
+    let exact = Simulation::new(exact_scenario).run();
+    let sketched = Simulation::new(sketch_scenario()).run();
+    assert_eq!(
+        exact.resilience.to_bits(),
+        sketched.resilience.to_bits(),
+        "resilience must not depend on the discovery representation"
+    );
+    assert_eq!(exact.byz_share_series, sketched.byz_share_series);
+    assert_eq!(exact.stability_round, sketched.stability_round);
+    assert_eq!(exact.total_evicted, sketched.total_evicted);
+    assert_eq!(exact.floods_detected, sketched.floods_detected);
+    match (exact.mean_discovery_round, sketched.mean_discovery_round) {
+        (Some(e), Some(s)) => {
+            let bound = (0.20 * e).max(1.5);
+            assert!(
+                (e - s).abs() <= bound,
+                "sketched mean discovery round {s} strays more than ±{bound:.2} from exact {e}"
+            );
+        }
+        (e, s) => panic!("both modes must report a discovery round, got {e:?} vs {s:?}"),
+    }
+}
+
 #[test]
 fn mixed_single_segment_population_matches_uniform_engine() {
     // The property the segmented engine is built around: a population
@@ -339,7 +409,7 @@ fn single_run_identical_across_intra_run_thread_counts() {
     // override) must produce bit-identical RunResults for all three
     // protocols and each attack type, including churn/loss/validation
     // and the deferred Byzantine pull-answer replay.
-    let scenarios: [(&str, Scenario); 7] = [
+    let scenarios: [(&str, Scenario); 8] = [
         ("brahms", base(Protocol::Brahms).brahms_baseline()),
         ("raptee", base(Protocol::Raptee)),
         ("basalt", base(Protocol::Brahms).basalt_variant(15)),
@@ -350,6 +420,7 @@ fn single_run_identical_across_intra_run_thread_counts() {
             "mixed-raptee-basalt-tee",
             mixed_raptee_basalt_tee_scenario(),
         ),
+        ("raptee-sketch", sketch_scenario()),
     ];
     for (name, scenario) in scenarios {
         let serial = rayon::with_num_threads(1, || Simulation::new(scenario.clone()).run());

@@ -10,6 +10,7 @@ use raptee_brahms::BrahmsConfig;
 use raptee_crypto::auth::AuthOutcome;
 use raptee_crypto::SecretKey;
 use raptee_net::{NodeId, SecureChannel};
+use raptee_sim::Discovery;
 
 fn config(view: usize, eviction: EvictionPolicy) -> RapteeConfig {
     RapteeConfig {
@@ -107,6 +108,39 @@ proptest! {
         // Directories now reference each other.
         prop_assert!(a.directory().contains(NodeId(2)));
         prop_assert!(b.directory().contains(NodeId(1)));
+    }
+
+    /// The HLL-sketched discovery counter stays within its stated
+    /// relative-error bound of the exact bitset counter for arbitrary
+    /// insertion sequences (duplicates included — both sides must be
+    /// idempotent). m = 256 registers give a ~6.5 % standard error; the
+    /// bound below is ~3σ plus absolute slack for near-empty rows.
+    #[test]
+    fn sketched_discovery_tracks_exact_counts(
+        idxs in proptest::collection::vec(0u64..5_000, 0..800),
+        row_count in 1u64..4,
+    ) {
+        let rows = row_count as usize;
+        let universe = 5_000;
+        let mut exact = Discovery::new(rows, universe, false);
+        let mut sketch = Discovery::new(rows, universe, true);
+        prop_assert!(!exact.is_sketch());
+        prop_assert!(sketch.is_sketch());
+        for (k, &idx) in idxs.iter().enumerate() {
+            let row = k % rows;
+            exact.insert(row, idx as usize);
+            sketch.insert(row, idx as usize);
+        }
+        for row in 0..rows {
+            let truth = exact.count(row) as f64;
+            let est = sketch.count(row) as f64;
+            let bound = (0.20 * truth).max(2.0);
+            prop_assert!(
+                (est - truth).abs() <= bound,
+                "row {}: sketch estimate {} vs exact {} exceeds the ±20% bound",
+                row, est, truth
+            );
+        }
     }
 
     /// Wire messages survive an encrypted round trip through the secure

@@ -1,0 +1,71 @@
+//! Memory-budget smoke for the large-population engine.
+//!
+//! A reduced-round, sketch-discovery run at N=100,000 must complete
+//! and keep the process' peak RSS inside the budget documented in
+//! README.md's "Scale profiles" section. This guards the compact-ID
+//! arenas and the HLL discovery sketches against memory regressions at
+//! scale: an accidental fallback to exact bitsets (≈ 1.1 GiB of
+//! discovery state alone at this population) or a reintroduced
+//! per-(node,node) structure blows the budget immediately.
+//!
+//! Expensive (tens of seconds in release) — ignored by default and run
+//! explicitly by the CI `scale-smoke` job with `-- --ignored`.
+
+use raptee_sim::{Protocol, Scenario, Simulation};
+
+/// Peak resident set size in KiB from `/proc/self/status` (Linux).
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches(" kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
+/// The documented budget: 1 GiB for the whole test process at
+/// N=100,000 (README.md "Scale profiles"). Measured ≈ 0.25 GiB on the
+/// reference machine — per-node protocol state (views, samplers,
+/// secure channels; ≈ 2.5 KiB/node) plus the discovery sketches at
+/// 256 B/node. The headroom absorbs allocator and platform variance,
+/// not growth: an exact-bitset fallback alone would add ≈ 1.1 GiB, and
+/// a reintroduced per-node seen-cache/dense-membership bitset
+/// (O(N²) bits in aggregate — the exact regression this PR removed)
+/// ≈ 1.2 GiB; either trips the gate immediately.
+const BUDGET_KIB: u64 = 1024 * 1024;
+
+#[test]
+#[ignore = "scale smoke (~1 min in release): run explicitly, see the CI scale-smoke job"]
+fn hundred_thousand_node_sketch_run_fits_memory_budget() {
+    let scenario = Scenario {
+        n: 100_000,
+        view_size: 16,
+        sample_size: 16,
+        rounds: 6,
+        tail_window: 5,
+        protocol: Protocol::Raptee,
+        ..Scenario::default()
+    };
+    assert!(
+        scenario.sketch_discovery(),
+        "100,000 actors must auto-select sketched discovery"
+    );
+    let result = Simulation::new(scenario).run();
+    assert!(
+        result.resilience.is_finite() && result.resilience > 0.0,
+        "the run must produce a real pollution measurement, got {}",
+        result.resilience
+    );
+    assert_eq!(result.byz_share_series.len(), 6);
+    if let Some(peak) = peak_rss_kib() {
+        assert!(
+            peak <= BUDGET_KIB,
+            "peak RSS {peak} KiB exceeds the documented {BUDGET_KIB} KiB budget \
+             (README.md \"Scale profiles\")"
+        );
+        println!("scale smoke: peak RSS {peak} KiB (budget {BUDGET_KIB} KiB)");
+    } else {
+        println!("scale smoke: no /proc/self/status; RSS budget not checked");
+    }
+}
