@@ -59,6 +59,7 @@
 
 use crate::adversary::{Adversary, PushPlan};
 use crate::bitset::{Discovery, DiscoveryLane, EXACT_DISCOVERY_THRESHOLD};
+use crate::event::{EventNet, Lane as NetLane, PullGate};
 use crate::metrics::{
     IdentificationResult, RunResult, SegmentResult, DISCOVERY_TARGET_SHARE, STABILITY_SPREAD,
 };
@@ -524,6 +525,10 @@ pub struct Simulation {
     scratch: Scratch,
     /// Per-worker arenas for the parallel phases.
     workers: Vec<WorkerScratch>,
+    /// The event-driven delivery substrate (`None` under
+    /// [`crate::scenario::NetworkModel::Rounds`] — in which case every
+    /// message follows the historical lockstep path untouched).
+    net: Option<EventNet>,
     non_byz_total: usize,
     round: usize,
     byz_share_series: Vec<f64>,
@@ -683,6 +688,7 @@ impl Simulation {
         // trusted nodes so the system contacts them and the poison can
         // flow into the genuine trusted tier.
         adversary.advertise_injected((n..total).map(|i| NodeId(i as u64)));
+        let net = EventNet::from_scenario(&scenario);
         Self {
             adversary,
             limiter: PushRateLimiter::new(total, alpha_count as u32),
@@ -703,6 +709,7 @@ impl Simulation {
             ident_candidates: (byz..n).map(|i| NodeId(i as u64)).collect(),
             scratch: Scratch::default(),
             workers: Vec::new(),
+            net,
             non_byz_total,
             round: 0,
             byz_share_series: Vec::with_capacity(scenario.rounds),
@@ -883,6 +890,7 @@ impl Simulation {
             .max()
             .unwrap_or(scenario.view_size);
         let adversary = Adversary::new(byz_ids, total, answer_size, rng.next_u64());
+        let net = EventNet::from_scenario(&scenario);
         Self {
             adversary,
             limiter: PushRateLimiter::new(total, limiter_fanout as u32),
@@ -903,6 +911,7 @@ impl Simulation {
             ident_candidates: Vec::new(),
             scratch: Scratch::default(),
             workers: Vec::new(),
+            net,
             non_byz_total,
             round: 0,
             byz_share_series: Vec::with_capacity(scenario.rounds),
@@ -1028,6 +1037,11 @@ impl Simulation {
     /// Executes one round (public so tests can single-step).
     pub fn run_round(&mut self) {
         self.limiter.next_round();
+        // Event model: consume this round's SelfNotif round-timer tick
+        // and drain every envelope due inside the round window.
+        if let Some(net) = &mut self.net {
+            net.begin_round(self.round);
+        }
         let total = self.total_actors();
 
         // Churn injection: crash a batch of correct nodes at the
@@ -1073,9 +1087,17 @@ impl Simulation {
         survivors: &mut Vec<(u32, NodeIdx)>,
         sorted: &mut Vec<(u32, NodeIdx)>,
         counts: &mut Vec<u32>,
+        net: &mut Option<EventNet>,
+        round: usize,
         planned: impl Iterator<Item = (usize, &'a [NodeId])>,
     ) {
         survivors.clear();
+        // Late pushes from earlier rounds arrive first: they are the
+        // oldest messages each receiver sees, and the stable counting
+        // sort preserves that ordering per target.
+        if let Some(net) = net.as_mut() {
+            net.drain_due_pushes(NetLane::Honest, survivors);
+        }
         for (i, targets) in planned {
             let sender = NodeId(i as u64);
             let granted = limiter.try_push_n(sender, targets.len());
@@ -1085,6 +1107,11 @@ impl Simulation {
                 }
                 if message_loss > 0.0 && loss_rng.chance(message_loss) {
                     continue;
+                }
+                if let Some(net) = net.as_mut() {
+                    if !net.send_push(round, i, target.index(), sender, NetLane::Honest) {
+                        continue;
+                    }
                 }
                 survivors.push((target.index() as u32, narrow(sender)));
             }
@@ -1107,6 +1134,9 @@ impl Simulation {
         counts: &mut Vec<u32>,
     ) {
         survivors.clear();
+        if let Some(net) = self.net.as_mut() {
+            net.drain_due_pushes(NetLane::Adversary, survivors);
+        }
         let mut charge_rotor = 0usize;
         for &(victim, advertised) in byz_plan {
             let mut charged = false;
@@ -1127,6 +1157,20 @@ impl Simulation {
             if self.scenario.message_loss > 0.0 && self.loss_rng.chance(self.scenario.message_loss)
             {
                 continue;
+            }
+            if let Some(net) = self.net.as_mut() {
+                // The adversary's pushes originate at the advertised
+                // identity's host (injected poisoned nodes send from
+                // their own addresses).
+                if !net.send_push(
+                    self.round,
+                    advertised.index(),
+                    victim.index(),
+                    advertised,
+                    NetLane::Adversary,
+                ) {
+                    continue;
+                }
             }
             survivors.push((victim.index() as u32, narrow(advertised)));
         }
@@ -1280,6 +1324,8 @@ impl Simulation {
                 survivors,
                 sorted,
                 counts,
+                &mut self.net,
+                self.round,
                 planned,
             );
         }
@@ -1313,8 +1359,29 @@ impl Simulation {
         // deferred as a pull event for the parallel apply phase.
         s.events.clear();
         s.arena.clear();
+        // Event model: pull answers deferred from earlier rounds arrive
+        // ahead of this round's fresh pulls (they are the oldest answers
+        // the requester sees). Dead requesters consume and drop theirs.
+        let due = self
+            .net
+            .as_mut()
+            .map(|n| n.take_due_answers())
+            .unwrap_or_default();
+        let mut due_cursor = 0usize;
         for ci in 0..pop {
             s.event_start[ci] = s.events.len() as u32;
+            while due_cursor < due.len() && due[due_cursor].ci as usize <= ci {
+                let ans = &due[due_cursor];
+                due_cursor += 1;
+                if ans.ci as usize == ci && s.live[ci] {
+                    let start = s.arena.len() as u32;
+                    s.arena.extend(ans.ids.iter().map(|&id| narrow(id)));
+                    s.events.push(PullEvent::Arena {
+                        start,
+                        len: ans.ids.len() as u32,
+                    });
+                }
+            }
             if !s.live[ci] {
                 continue;
             }
@@ -1325,6 +1392,9 @@ impl Simulation {
             }
         }
         s.event_start[pop] = s.events.len() as u32;
+        if let Some(net) = self.net.as_mut() {
+            net.restore_due_answers(due);
+        }
 
         // Phase 3b (sequential): proactive trusted exchanges. Each
         // trusted node initiates one exchange with the oldest entry of
@@ -1558,6 +1628,18 @@ impl Simulation {
         if t == requester_abs || t >= self.total_actors() {
             return;
         }
+        // Event model: reachability gating and round-trip timing. A
+        // refused exchange never opens a connection, so (unlike a crash
+        // timeout) the requester drops nothing and no loss RNG draw
+        // happens — at the zero-latency config no exchange is ever
+        // refused and this is a pass-through.
+        let gate = match self.net.as_mut() {
+            Some(net) => net.gate_pull(self.round, requester_abs, t),
+            None => PullGate::Inline,
+        };
+        if gate == PullGate::Refused {
+            return;
+        }
         let Population::Raptee(nodes) = &mut self.population else {
             unreachable!()
         };
@@ -1580,7 +1662,16 @@ impl Simulation {
             // regenerated in parallel from the pre-draw snapshot.
             let snapshot = self.adversary.rng_snapshot();
             self.adversary.pull_answer_into(&mut s.reply);
-            s.events.push(PullEvent::ByzReplay { rng: snapshot });
+            if let PullGate::Deferred { round, held } = gate {
+                // The answer was drawn now (the adversary's RNG advances
+                // in event order) but lands in a later round.
+                let ids = s.reply.clone();
+                if let Some(net) = self.net.as_mut() {
+                    net.queue_answer(round, held, requester_ci as u32, target, ids);
+                }
+            } else {
+                s.events.push(PullEvent::ByzReplay { rng: snapshot });
+            }
             return;
         }
         let tc = t - byz;
@@ -1607,6 +1698,14 @@ impl Simulation {
             s.reply.clear();
             s.reply.extend(nodes[tc].brahms().view().ids());
             nodes[requester_ci].record_trusted_pull(&s.reply);
+        } else if let PullGate::Deferred { round, held } = gate {
+            // An untrusted answer crossing a round boundary: materialise
+            // the responder's view *now* (the answer reflects the state
+            // at request time) and deliver it in a later round.
+            let ids: Vec<NodeId> = nodes[tc].brahms().view().ids().collect();
+            if let Some(net) = self.net.as_mut() {
+                net.queue_answer(round, held, requester_ci as u32, target, ids);
+            }
         } else {
             // An untrusted answer: the responder's full view at this
             // moment. If the responder's view is still exactly its
@@ -1702,6 +1801,8 @@ impl Simulation {
                 survivors,
                 sorted,
                 counts,
+                &mut self.net,
+                self.round,
                 planned,
             );
         }
@@ -1774,8 +1875,31 @@ impl Simulation {
         // Phase 3 (sequential): pull exchanges, least-confirmed samples
         // first. Order-dependent across nodes (every answer is ranked on
         // arrival and shapes later answers), so this phase does not
-        // shard.
+        // shard. Under the event model, answers deferred from earlier
+        // rounds rank first (oldest arrivals), then this round's fresh
+        // exchanges.
+        let due = self
+            .net
+            .as_mut()
+            .map(|n| n.take_due_answers())
+            .unwrap_or_default();
+        let mut due_cursor = 0usize;
         for ci in 0..pop {
+            while due_cursor < due.len() && due[due_cursor].ci as usize <= ci {
+                let ans = &due[due_cursor];
+                due_cursor += 1;
+                if ans.ci as usize != ci || !s.live[ci] {
+                    continue;
+                }
+                let Population::Basalt(nodes) = &mut self.population else {
+                    unreachable!()
+                };
+                nodes[ci].record_pull_answer(ans.from, &ans.ids);
+                note_discovered(&mut self.discovery, byz, total, ci, ans.from);
+                for &id in &ans.ids {
+                    note_discovered(&mut self.discovery, byz, total, ci, id);
+                }
+            }
             if !s.live[ci] {
                 continue;
             }
@@ -1784,6 +1908,9 @@ impl Simulation {
                 let target = s.basalt_plans[ci].pull_targets[k];
                 self.basalt_pull(ci, target, s);
             }
+        }
+        if let Some(net) = self.net.as_mut() {
+            net.restore_due_answers(due);
         }
 
         // Phase 4 (parallel): finalisation (seed rotation) + metrics
@@ -1849,6 +1976,15 @@ impl Simulation {
         if t == requester_abs || t >= total {
             return;
         }
+        // Event model: reachability gating and round-trip timing (see
+        // `control_pull` — refusals happen before any RNG draw).
+        let gate = match self.net.as_mut() {
+            Some(net) => net.gate_pull(self.round, requester_abs, t),
+            None => PullGate::Inline,
+        };
+        if gate == PullGate::Refused {
+            return;
+        }
         // A crashed responder times out; its stale samples are recycled
         // by seed rotation rather than an explicit removal.
         if !self.alive[t] {
@@ -1867,16 +2003,28 @@ impl Simulation {
         } else {
             nodes[t - byz].pull_answer_into(&mut s.reply);
         }
-        nodes[requester_ci].record_pull_answer(target, &s.reply);
-        // Discovery under BASALT counts *ranked candidates*: the view is
-        // deliberately stable (slots converge to their distance minima),
-        // so the Brahms "entered the dynamic view" criterion would
-        // measure rotation pacing, not knowledge. A candidate that has
-        // been ranked against every slot has genuinely been discovered.
-        note_discovered(&mut self.discovery, byz, total, requester_ci, target);
-        for idx in 0..s.reply.len() {
-            note_discovered(&mut self.discovery, byz, total, requester_ci, s.reply[idx]);
+        if let PullGate::Deferred { round, held } = gate {
+            // The answer reflects the responder's state at request time
+            // but ranks at the requester in a later round.
+            if let Some(net) = self.net.as_mut() {
+                net.queue_answer(round, held, requester_ci as u32, target, s.reply.clone());
+            }
+        } else {
+            nodes[requester_ci].record_pull_answer(target, &s.reply);
+            // Discovery under BASALT counts *ranked candidates*: the view
+            // is deliberately stable (slots converge to their distance
+            // minima), so the Brahms "entered the dynamic view" criterion
+            // would measure rotation pacing, not knowledge. A candidate
+            // that has been ranked against every slot has genuinely been
+            // discovered.
+            note_discovered(&mut self.discovery, byz, total, requester_ci, target);
+            for idx in 0..s.reply.len() {
+                note_discovered(&mut self.discovery, byz, total, requester_ci, s.reply[idx]);
+            }
         }
+        // The request itself arrives synchronously (requests are tiny;
+        // only answers carry enough state to matter across rounds), so
+        // the responder's contact bookkeeping stays inline.
         let requester_id = NodeId(requester_abs as u64);
         if t >= byz {
             nodes[t - byz].record_push(requester_id);
@@ -2019,6 +2167,8 @@ impl Simulation {
                 survivors,
                 sorted,
                 counts,
+                &mut self.net,
+                self.round,
                 planned,
             );
         }
@@ -2129,13 +2279,48 @@ impl Simulation {
 
         // Phase 3 (sequential): pulls in population-index order, each
         // requester running its own family's exchange control flow.
+        // Under the event model, answers deferred from earlier rounds
+        // deliver first, through the requester's own family path.
         s.events.clear();
         s.arena.clear();
+        let due = self
+            .net
+            .as_mut()
+            .map(|n| n.take_due_answers())
+            .unwrap_or_default();
+        let mut due_cursor = 0usize;
         for si in 0..self.segs.len() {
             let (start, len) = (self.segs[si].start, self.segs[si].len);
             let is_basalt = self.segs[si].basalt_cfg.is_some();
             for ci in start..start + len {
                 s.event_start[ci] = s.events.len() as u32;
+                while due_cursor < due.len() && due[due_cursor].ci as usize <= ci {
+                    let ans = &due[due_cursor];
+                    due_cursor += 1;
+                    if ans.ci as usize != ci || !s.live[ci] {
+                        continue;
+                    }
+                    if is_basalt {
+                        let Population::Mixed(seg_nodes) = &mut self.population else {
+                            unreachable!()
+                        };
+                        let SegmentNodes::Basalt(nodes) = &mut seg_nodes[si] else {
+                            unreachable!()
+                        };
+                        nodes[ci - start].record_pull_answer(ans.from, &ans.ids);
+                        note_discovered(&mut self.discovery, byz, total, ci, ans.from);
+                        for &id in &ans.ids {
+                            note_discovered(&mut self.discovery, byz, total, ci, id);
+                        }
+                    } else {
+                        let a0 = s.arena.len() as u32;
+                        s.arena.extend(ans.ids.iter().map(|&id| narrow(id)));
+                        s.events.push(PullEvent::Arena {
+                            start: a0,
+                            len: ans.ids.len() as u32,
+                        });
+                    }
+                }
                 if !s.live[ci] {
                     continue;
                 }
@@ -2155,6 +2340,9 @@ impl Simulation {
             }
         }
         s.event_start[pop] = s.events.len() as u32;
+        if let Some(net) = self.net.as_mut() {
+            net.restore_due_answers(due);
+        }
 
         // Phase 3b (sequential): proactive trusted exchanges of the
         // Raptee segment (directory round-robin, as in the uniform
@@ -2397,6 +2585,15 @@ impl Simulation {
         if t == requester_abs || t >= total {
             return;
         }
+        // Event model: reachability gating and round-trip timing (see
+        // `control_pull`).
+        let gate = match self.net.as_mut() {
+            Some(net) => net.gate_pull(self.round, requester_abs, t),
+            None => PullGate::Inline,
+        };
+        if gate == PullGate::Refused {
+            return;
+        }
         if !self.alive[t] {
             let Population::Mixed(seg_nodes) = &mut self.population else {
                 unreachable!()
@@ -2413,7 +2610,14 @@ impl Simulation {
         if t < byz {
             let snapshot = self.adversary.rng_snapshot();
             self.adversary.pull_answer_into(&mut s.reply);
-            s.events.push(PullEvent::ByzReplay { rng: snapshot });
+            if let PullGate::Deferred { round, held } = gate {
+                let ids = s.reply.clone();
+                if let Some(net) = self.net.as_mut() {
+                    net.queue_answer(round, held, requester_ci as u32, target, ids);
+                }
+            } else {
+                s.events.push(PullEvent::ByzReplay { rng: snapshot });
+            }
             return;
         }
         let tc = t - byz;
@@ -2445,6 +2649,18 @@ impl Simulation {
                 }
                 raptee_at(seg_nodes, &self.segs, &self.seg_of, requester_ci)
                     .record_trusted_pull(&s.reply);
+            } else if let PullGate::Deferred { round, held } = gate {
+                // An untrusted answer crossing a round boundary (trusted
+                // exchanges above run over the attested synchronous
+                // channel and stay inline).
+                let ids: Vec<NodeId> = raptee_at(seg_nodes, &self.segs, &self.seg_of, tc)
+                    .brahms()
+                    .view()
+                    .ids()
+                    .collect();
+                if let Some(net) = self.net.as_mut() {
+                    net.queue_answer(round, held, requester_ci as u32, target, ids);
+                }
             } else if !s.view_mutated[tc] {
                 s.events.push(PullEvent::Snapshot {
                     responder: tc as u32,
@@ -2468,6 +2684,11 @@ impl Simulation {
                 // swap exists, but the attested answer bypasses eviction.
                 raptee_at(seg_nodes, &self.segs, &self.seg_of, requester_ci)
                     .record_trusted_pull(&s.reply);
+            } else if let PullGate::Deferred { round, held } = gate {
+                let ids = s.reply.clone();
+                if let Some(net) = self.net.as_mut() {
+                    net.queue_answer(round, held, requester_ci as u32, target, ids);
+                }
             } else {
                 let start = s.arena.len() as u32;
                 s.arena.extend(s.reply.iter().map(|&id| narrow(id)));
@@ -2494,6 +2715,15 @@ impl Simulation {
         if t == requester_abs || t >= total {
             return;
         }
+        // Event model: reachability gating and round-trip timing (see
+        // `control_pull`).
+        let gate = match self.net.as_mut() {
+            Some(net) => net.gate_pull(self.round, requester_abs, t),
+            None => PullGate::Inline,
+        };
+        if gate == PullGate::Refused {
+            return;
+        }
         if !self.alive[t] {
             return;
         }
@@ -2503,6 +2733,13 @@ impl Simulation {
         let requester_id = NodeId(requester_abs as u64);
         if t < byz {
             self.adversary.pull_answer_into(&mut s.reply);
+            if let PullGate::Deferred { round, held } = gate {
+                let ids = s.reply.clone();
+                if let Some(net) = self.net.as_mut() {
+                    net.queue_answer(round, held, requester_ci as u32, target, ids);
+                }
+                return;
+            }
             let Population::Mixed(seg_nodes) = &mut self.population else {
                 unreachable!()
             };
@@ -2525,15 +2762,25 @@ impl Simulation {
                 let responder = basalt_at(seg_nodes, &self.segs, &self.seg_of, tc);
                 responder.pull_answer_into(&mut s.reply);
             }
-            let requester = basalt_at(seg_nodes, &self.segs, &self.seg_of, requester_ci);
-            if both_trusted {
-                requester.record_pull_answer_trusted(target, &s.reply);
+            if let (PullGate::Deferred { round, held }, false) = (gate, both_trusted) {
+                // Untrusted cross-round answer; the responder-side
+                // contact bookkeeping below stays inline (the request
+                // arrives synchronously).
+                let ids = s.reply.clone();
+                if let Some(net) = self.net.as_mut() {
+                    net.queue_answer(round, held, requester_ci as u32, target, ids);
+                }
             } else {
-                requester.record_pull_answer(target, &s.reply);
-            }
-            note_discovered(&mut self.discovery, byz, total, requester_ci, target);
-            for idx in 0..s.reply.len() {
-                note_discovered(&mut self.discovery, byz, total, requester_ci, s.reply[idx]);
+                let requester = basalt_at(seg_nodes, &self.segs, &self.seg_of, requester_ci);
+                if both_trusted {
+                    requester.record_pull_answer_trusted(target, &s.reply);
+                } else {
+                    requester.record_pull_answer(target, &s.reply);
+                }
+                note_discovered(&mut self.discovery, byz, total, requester_ci, target);
+                for idx in 0..s.reply.len() {
+                    note_discovered(&mut self.discovery, byz, total, requester_ci, s.reply[idx]);
+                }
             }
             if both_trusted {
                 // The swap's reverse half: the requester's attested
@@ -2558,6 +2805,13 @@ impl Simulation {
             {
                 let responder = raptee_at(seg_nodes, &self.segs, &self.seg_of, tc);
                 s.reply.extend(responder.brahms().view().ids());
+            }
+            if let (PullGate::Deferred { round, held }, false) = (gate, both_trusted) {
+                let ids = s.reply.clone();
+                if let Some(net) = self.net.as_mut() {
+                    net.queue_answer(round, held, requester_ci as u32, target, ids);
+                }
+                return;
             }
             let requester = basalt_at(seg_nodes, &self.segs, &self.seg_of, requester_ci);
             if both_trusted {
@@ -2748,6 +3002,13 @@ impl Simulation {
                 })
                 .collect()
         };
+        // Virtual time: event runs measure ticks, round runs count one
+        // tick per round. `finish` drains the queue, counting messages
+        // still in flight.
+        let (virtual_ticks, net) = match self.net {
+            Some(n) => (self.round as u64 * n.round_ticks(), Some(n.finish())),
+            None => (self.round as u64, None),
+        };
         RunResult {
             resilience,
             discovery_round: self.discovery_round,
@@ -2761,6 +3022,8 @@ impl Simulation {
             total_evicted: self.total_evicted,
             seed_rotations: self.seed_rotations,
             segments,
+            virtual_ticks,
+            net,
         }
     }
 }

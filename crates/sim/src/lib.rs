@@ -19,6 +19,12 @@
 //!   defences and adversary together; phase-parallel within a single
 //!   run (plan/apply phases shard by node over `RAYON_NUM_THREADS`
 //!   workers) with bit-identical results at every thread count.
+//! * [`event`] — the discrete-event delivery substrate
+//!   ([`event::EventNet`], [`event::EventEngine`]): a deterministic
+//!   `(time, seq)` binary-heap queue carrying `raptee::wire::Message`
+//!   payloads, per-link latency models, partition/healing schedules and
+//!   NAT-like asymmetric reachability; bit-for-bit equal to the round
+//!   engine at zero latency (`tests/asynchrony.rs`).
 //! * [`metrics`] — resilience, system-discovery time, view-stability
 //!   time, identification precision/recall/F1.
 //! * [`runner`] — repetition and (rayon-parallel) parameter sweeps, plus
@@ -34,12 +40,17 @@
 pub mod adversary;
 pub mod bitset;
 pub mod engine;
+pub mod event;
 pub mod metrics;
 pub mod runner;
 pub mod scenario;
 
 pub use bitset::{Discovery, EXACT_DISCOVERY_THRESHOLD};
 pub use engine::Simulation;
-pub use metrics::{IdentificationResult, RunResult, SegmentResult};
+pub use event::{EventEngine, EventQueue};
+pub use metrics::{IdentificationResult, NetRunStats, RunResult, SegmentResult};
 pub use runner::{run_repeated, run_scenario, AggregatedResult, SegmentAggregate};
-pub use scenario::{AttackStrategy, DiscoveryMode, Protocol, Scenario, SegmentSpec};
+pub use scenario::{
+    AttackStrategy, DiscoveryMode, EventNetConfig, LatencyModel, NetworkModel, PartitionWindow,
+    Protocol, Reachability, Scenario, SegmentSpec,
+};

@@ -149,6 +149,28 @@ pub fn fractional_crossing(series: &[f64], target: f64) -> Option<f64> {
     None
 }
 
+/// Delivery-substrate statistics of one event-driven run (see
+/// `crate::event::EventNet`). All counters are message counts folded in
+/// deterministic sequential order, so they are golden-pinnable alongside
+/// the protocol metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetRunStats {
+    /// Messages whose arrival crossed a round boundary (queued instead of
+    /// delivered inline).
+    pub late_deliveries: u64,
+    /// Messages held at a partition boundary (delayed to the heal).
+    pub partition_held: u64,
+    /// Held messages that were subsequently released at a heal.
+    pub partition_released: u64,
+    /// Messages bounced off a NAT with no punched hole.
+    pub nat_blocked: u64,
+    /// Pull exchanges refused outright (active partition cut between
+    /// requester and target).
+    pub refused_pulls: u64,
+    /// Messages still queued when the run ended.
+    pub in_flight_at_end: u64,
+}
+
 /// Pollution metrics of one population segment (see
 /// `Scenario::population`). Uniform runs report exactly one segment
 /// covering the whole correct population, so `segments[_].resilience`
@@ -214,6 +236,11 @@ pub struct RunResult {
     /// Per-segment pollution (one entry per population segment; exactly
     /// one — equal to the combined metrics — for uniform runs).
     pub segments: Vec<SegmentResult>,
+    /// Virtual time elapsed: `rounds × round_ticks` for event-driven
+    /// runs, `rounds` (one tick per round) for round-model runs.
+    pub virtual_ticks: u64,
+    /// Delivery-substrate statistics; `None` for round-model runs.
+    pub net: Option<NetRunStats>,
 }
 
 #[cfg(test)]

@@ -291,6 +291,8 @@ mod tests {
                 stability_round: discovery.map(|d| d + 5),
                 byz_share_series: vec![resilience],
             }],
+            virtual_ticks: 10,
+            net: None,
         }
     }
 

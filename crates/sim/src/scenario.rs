@@ -114,6 +114,134 @@ pub struct SegmentSpec {
     pub count: usize,
 }
 
+/// Per-link latency distribution for the event-driven network model,
+/// in virtual ticks (see [`EventNetConfig::round_ticks`]). Every link
+/// draw is hash-derived from `(seed, src, dst)` — no shared RNG stream
+/// is consumed, so enabling latency never perturbs the protocol RNG
+/// draw order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// Every message takes exactly this many ticks. `Constant(0)` is
+    /// the asynchrony-equivalence configuration: deliveries land in the
+    /// sending round and the event engine reproduces the round engine
+    /// bit-for-bit.
+    Constant(u64),
+    /// Uniform in `[min, max]` ticks.
+    Uniform {
+        /// Inclusive lower bound.
+        min: u64,
+        /// Inclusive upper bound.
+        max: u64,
+    },
+    /// Log-normal with the given location/scale of the underlying
+    /// normal (the classic heavy-tailed WAN latency shape used by the
+    /// BASALT and Honeybee evaluations), truncated at `cap` ticks so a
+    /// tail draw cannot stall a message past the run.
+    LogNormal {
+        /// Location `μ` of `ln(latency)`.
+        mu: f64,
+        /// Scale `σ ≥ 0` of `ln(latency)`.
+        sigma: f64,
+        /// Hard upper truncation, in ticks (`> 0`).
+        cap: u64,
+    },
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::Constant(0)
+    }
+}
+
+/// One network partition: for rounds in `[start, end)` no message
+/// crosses the cut between actor indices `< boundary` (side A) and
+/// `>= boundary` (side B). In-flight messages are held at the cut and
+/// released when the partition heals — delayed, never dropped (loss is
+/// the [`Scenario::message_loss`] model's job). New pull requests
+/// across an active cut are refused at the sender (no connection, so no
+/// message ever exists).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// First partitioned round (inclusive).
+    pub start: usize,
+    /// Healing round (exclusive; the cut is down again from here).
+    pub end: usize,
+    /// Actor-index split point: side A is `index < boundary`.
+    pub boundary: usize,
+}
+
+/// Who can reach whom, independent of partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Reachability {
+    /// Everyone can open a connection to everyone (the round model's
+    /// implicit assumption).
+    #[default]
+    Full,
+    /// NAT-like asymmetric reachability: the last `fraction` of correct
+    /// actors (by index) sit behind NATs. Inbound traffic to a NATted
+    /// node is only delivered through a *hole* — a reverse path opened
+    /// whenever the NATted node itself contacts a peer (push or pull),
+    /// fresh for `hole_ttl` rounds. Pull answers always pass (the
+    /// requester just contacted the responder). This is the
+    /// hole-punching asymmetry that lets an adversary who gets into a
+    /// victim's view amplify an eclipse: the victim keeps refreshing
+    /// holes toward its (poisoned) view while random honest pushes
+    /// bounce off the NAT.
+    Nat {
+        /// Fraction of *correct* actors behind NATs, in `[0, 1)`.
+        fraction: f64,
+        /// Rounds a punched hole stays open (`>= 1`).
+        hole_ttl: usize,
+    },
+}
+
+/// Configuration of the event-driven delivery substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventNetConfig {
+    /// Per-link latency distribution.
+    pub latency: LatencyModel,
+    /// Virtual ticks per protocol round — the period of every node's
+    /// round timer. A message sent in round `r` with latency `d` lands
+    /// in round `(r·round_ticks + offset + d) / round_ticks`.
+    pub round_ticks: u64,
+    /// Maximum per-node round-timer offset (desynchronized clocks),
+    /// hash-derived per node in `[0, jitter]`; must stay below
+    /// `round_ticks`. `0` means all round timers fire in lockstep —
+    /// required for the asynchrony-equivalence tests.
+    pub jitter: u64,
+    /// Partition/healing schedule (may overlap).
+    pub partitions: Vec<PartitionWindow>,
+    /// Asymmetric-reachability model.
+    pub reachability: Reachability,
+}
+
+impl Default for EventNetConfig {
+    fn default() -> Self {
+        Self {
+            latency: LatencyModel::Constant(0),
+            round_ticks: 1000,
+            jitter: 0,
+            partitions: Vec::new(),
+            reachability: Reachability::Full,
+        }
+    }
+}
+
+/// Which delivery substrate drives the protocol cores.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum NetworkModel {
+    /// The lockstep phase-parallel round engine (the default; exactly
+    /// the pre-event-engine behavior).
+    #[default]
+    Rounds,
+    /// The discrete-event engine: protocol messages become timed
+    /// `Request`/`Reply` events ordered by `(time, seq)` on a
+    /// deterministic binary heap, with per-link latency, partitions and
+    /// NAT-like reachability. With the all-zero default config this
+    /// reproduces the round engine bit-for-bit (`tests/asynchrony.rs`).
+    Events(EventNetConfig),
+}
+
 /// One experimental setup, mirroring the paper's Section V-B: "An
 /// experimental setup consists of selected proportions of Byzantine
 /// nodes, f, and trusted nodes, t, and a fixed Byzantine eviction rate."
@@ -214,6 +342,10 @@ pub struct Scenario {
     pub tail_window: usize,
     /// Discovery-metric representation (exact bitsets vs HLL sketches).
     pub discovery: DiscoveryMode,
+    /// Delivery substrate: lockstep rounds (default) or the
+    /// discrete-event engine with latency, partitions and NAT-like
+    /// reachability.
+    pub network: NetworkModel,
     /// Master seed; every repetition derives its own sub-seed.
     pub seed: u64,
 }
@@ -244,6 +376,7 @@ impl Default for Scenario {
             flood_slack_sigmas: 4.0,
             tail_window: 20,
             discovery: DiscoveryMode::Auto,
+            network: NetworkModel::Rounds,
             seed: 0x5A97EE,
         }
     }
@@ -326,10 +459,49 @@ impl Scenario {
              ~2 GiB guard (limit {EXACT_FORCE_LIMIT}); use DiscoveryMode::Auto or Sketch",
             self.total_actors()
         );
+        if let NetworkModel::Events(net) = &self.network {
+            self.validate_network(net);
+        }
         if self.population.is_empty() {
             self.validate_protocol(self.protocol);
         } else {
             self.validate_population();
+        }
+    }
+
+    /// Event-network consistency checks.
+    fn validate_network(&self, net: &EventNetConfig) {
+        assert!(net.round_ticks > 0, "round_ticks must be positive");
+        assert!(
+            net.jitter < net.round_ticks,
+            "round-timer jitter must stay below one round period"
+        );
+        match net.latency {
+            LatencyModel::Constant(_) => {}
+            LatencyModel::Uniform { min, max } => {
+                assert!(min <= max, "uniform latency needs min <= max");
+            }
+            LatencyModel::LogNormal { sigma, cap, .. } => {
+                assert!(sigma >= 0.0, "log-normal sigma must be non-negative");
+                assert!(cap > 0, "log-normal latency cap must be positive");
+            }
+        }
+        for p in &net.partitions {
+            assert!(
+                p.start < p.end && p.end <= self.rounds,
+                "partition windows need start < end <= rounds"
+            );
+            assert!(
+                p.boundary <= self.total_actors(),
+                "partition boundary exceeds the actor count"
+            );
+        }
+        if let Reachability::Nat { fraction, hole_ttl } = net.reachability {
+            assert!(
+                (0.0..1.0).contains(&fraction),
+                "NAT fraction must be in [0,1)"
+            );
+            assert!(hole_ttl >= 1, "NAT hole TTL must be at least one round");
         }
     }
 
@@ -603,6 +775,24 @@ impl Scenario {
         }
     }
 
+    /// A copy of this scenario moved onto the event-driven substrate
+    /// with the given network configuration (everything else — seeds,
+    /// protocol, attack — unchanged).
+    pub fn with_network(&self, net: EventNetConfig) -> Scenario {
+        Scenario {
+            network: NetworkModel::Events(net),
+            ..self.clone()
+        }
+    }
+
+    /// A copy of this scenario on the event engine in its equivalence
+    /// configuration: zero latency, no partitions, full reachability,
+    /// synchronized round timers. `tests/asynchrony.rs` asserts this
+    /// reproduces the round engine bit-for-bit.
+    pub fn evented_zero_latency(&self) -> Scenario {
+        self.with_network(EventNetConfig::default())
+    }
+
     /// Convenience for an even two-protocol split of the correct
     /// population (the odd node goes to the first segment).
     pub fn half_and_half(&self, first: Protocol, second: Protocol) -> Scenario {
@@ -747,6 +937,90 @@ mod tests {
             ..Scenario::default()
         }
         .validate();
+    }
+
+    #[test]
+    fn event_network_validates() {
+        let s = Scenario::default().evented_zero_latency();
+        s.validate();
+        assert_eq!(
+            s.network,
+            NetworkModel::Events(EventNetConfig::default()),
+            "equivalence config is the all-zero default"
+        );
+        Scenario::default()
+            .with_network(EventNetConfig {
+                latency: LatencyModel::LogNormal {
+                    mu: 5.0,
+                    sigma: 0.8,
+                    cap: 4000,
+                },
+                jitter: 250,
+                partitions: vec![PartitionWindow {
+                    start: 10,
+                    end: 30,
+                    boundary: 500,
+                }],
+                reachability: Reachability::Nat {
+                    fraction: 0.3,
+                    hole_ttl: 3,
+                },
+                ..EventNetConfig::default()
+            })
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter must stay below")]
+    fn event_network_rejects_jitter_over_round() {
+        Scenario::default()
+            .with_network(EventNetConfig {
+                round_ticks: 100,
+                jitter: 100,
+                ..EventNetConfig::default()
+            })
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "start < end <= rounds")]
+    fn event_network_rejects_partition_past_run() {
+        let s = Scenario::default();
+        let rounds = s.rounds;
+        s.with_network(EventNetConfig {
+            partitions: vec![PartitionWindow {
+                start: 5,
+                end: rounds + 1,
+                boundary: 10,
+            }],
+            ..EventNetConfig::default()
+        })
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= max")]
+    fn event_network_rejects_inverted_uniform() {
+        Scenario::default()
+            .with_network(EventNetConfig {
+                latency: LatencyModel::Uniform { min: 9, max: 3 },
+                ..EventNetConfig::default()
+            })
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "NAT fraction")]
+    fn event_network_rejects_full_nat() {
+        Scenario::default()
+            .with_network(EventNetConfig {
+                reachability: Reachability::Nat {
+                    fraction: 1.0,
+                    hole_ttl: 2,
+                },
+                ..EventNetConfig::default()
+            })
+            .validate();
     }
 
     fn mixed(n: usize, f: f64, specs: &[(Protocol, usize)]) -> Scenario {

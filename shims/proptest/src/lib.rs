@@ -9,9 +9,12 @@
 //!
 //! Differences from real proptest, deliberately accepted:
 //!
-//! * **No shrinking.** A failing case panics with its case index and
-//!   seed; cases are deterministic per (test name, case index), so a
-//!   failure reproduces exactly on re-run.
+//! * **Linear shrinking, not value trees.** On a failing case the
+//!   runner greedily applies [`strategy::Strategy::shrink`] candidates
+//!   (integers step toward the range start, `Vec`s truncate and then
+//!   shrink elements, tuples shrink coordinate-wise) and reports the
+//!   smallest still-failing input; `prop_map`/`prop_oneof` values are
+//!   not invertible and do not shrink.
 //! * **Deterministic RNG.** Seeds are derived from the test's module
 //!   path and name (FNV-1a) mixed with the case index via SplitMix64 —
 //!   there is no `PROPTEST_` environment handling.
@@ -100,14 +103,27 @@ pub mod strategy {
 
     /// A generator of values of type `Self::Value`.
     ///
-    /// Unlike real proptest there is no value tree and no shrinking:
-    /// `generate` directly produces one value.
+    /// Unlike real proptest there is no value tree: `generate` directly
+    /// produces one value, and [`Strategy::shrink`] proposes smaller
+    /// variants of a failing value after the fact.
     pub trait Strategy {
         /// The generated type.
         type Value;
 
         /// Draws one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Proposes simpler variants of `value`, best candidates first.
+        ///
+        /// The runner keeps the first candidate that still fails and
+        /// repeats, so candidates must be strictly "smaller" than
+        /// `value` under some well-founded order or shrinking may loop
+        /// (the runner also caps total steps as a backstop). The
+        /// default — for `prop_map`, `prop_oneof`, `Just`, `any` — is
+        /// no candidates.
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
 
         /// Maps generated values through `f`.
         fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
@@ -134,12 +150,18 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> T {
             (**self).generate(rng)
         }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            (**self).shrink(value)
+        }
     }
 
     impl<S: Strategy + ?Sized> Strategy for &S {
         type Value = S::Value;
         fn generate(&self, rng: &mut TestRng) -> S::Value {
             (**self).generate(rng)
+        }
+        fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+            (**self).shrink(value)
         }
     }
 
@@ -189,6 +211,24 @@ pub mod strategy {
         }
     }
 
+    /// Shrink candidates for an integer toward the range's low bound:
+    /// the bound itself, the midpoint, and one step down. Strictly
+    /// decreasing toward `lo`, so the greedy runner terminates.
+    fn int_shrink(lo: i128, v: i128) -> Vec<i128> {
+        let mut out = Vec::new();
+        if v > lo {
+            out.push(lo);
+            let mid = lo + (v - lo) / 2;
+            if mid != lo {
+                out.push(mid);
+            }
+            if v - 1 != lo && v - 1 != mid {
+                out.push(v - 1);
+            }
+        }
+        out
+    }
+
     macro_rules! int_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for Range<$t> {
@@ -197,6 +237,12 @@ pub mod strategy {
                     assert!(self.start < self.end, "empty range strategy");
                     let span = (self.end as i128 - self.start as i128) as u64;
                     (self.start as i128 + rng.below(span) as i128) as $t
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink(self.start as i128, *value as i128)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .collect()
                 }
             }
             impl Strategy for RangeInclusive<$t> {
@@ -211,6 +257,12 @@ pub mod strategy {
                     } else {
                         (lo + rng.below(span) as i128) as $t
                     }
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink(*self.start() as i128, *value as i128)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .collect()
                 }
             }
         )*};
@@ -237,22 +289,40 @@ pub mod strategy {
     }
 
     macro_rules! tuple_strategy {
-        ($(($($name:ident),+))*) => {$(
-            #[allow(non_snake_case)]
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        ($(($($name:ident $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone,)+
+            {
                 type Value = ($($name::Value,)+);
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                    let ($($name,)+) = self;
-                    ($($name.generate(rng),)+)
+                    // Tuple construction evaluates left to right, so the
+                    // RNG draw order matches per-binding generation.
+                    ($(self.$idx.generate(rng),)+)
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut tuple = value.clone();
+                            tuple.$idx = cand;
+                            out.push(tuple);
+                        }
+                    )+
+                    out
                 }
             }
         )*};
     }
     tuple_strategy! {
-        (A, B)
-        (A, B, C)
-        (A, B, C, D)
-        (A, B, C, D, E)
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
     }
 }
 
@@ -314,6 +384,19 @@ pub mod arbitrary {
     }
 }
 
+#[doc(hidden)]
+pub mod __rt {
+    //! Internal helpers for the [`crate::proptest!`] expansion.
+
+    use crate::strategy::Strategy;
+
+    /// Pins a test-body closure's parameter type to `S::Value` so the
+    /// tuple-destructuring pattern type-checks before any call site.
+    pub fn bind_runner<S: Strategy, R, F: Fn(S::Value) -> R>(_strats: &S, f: F) -> F {
+        f
+    }
+}
+
 pub mod collection {
     //! Collection strategies (`vec`, `btree_set`).
 
@@ -334,13 +417,41 @@ pub mod collection {
         VecStrategy { elem, size }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             assert!(self.size.start < self.size.end, "empty vec size range");
             let span = (self.size.end - self.size.start) as u64;
             let len = self.size.start + rng.below(span) as usize;
             (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let min = self.size.start;
+            let mut out: Vec<Vec<S::Value>> = Vec::new();
+            // Structural candidates first: shorter vectors (never below
+            // the strategy's minimum length).
+            if value.len() > min {
+                let half = min.max(value.len() / 2);
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                if value.len() - 1 != half {
+                    out.push(value[..value.len() - 1].to_vec());
+                }
+                out.push(value[1..].to_vec());
+            }
+            // Then element-wise: the best shrink of each position.
+            for i in 0..value.len() {
+                if let Some(cand) = self.elem.shrink(&value[i]).into_iter().next() {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 
@@ -452,14 +563,66 @@ macro_rules! __proptest_impl {
                     $crate::test_runner::fnv(concat!(module_path!(), "::", stringify!($name)));
                 for __case in 0..__cfg.cases {
                     let mut __rng = $crate::test_runner::TestRng::for_case(__TEST_HASH, __case);
-                    $(let $binding = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)+
-                    let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
-                    if let Err(panic) = __outcome {
+                    // Bundle the bindings into one tuple strategy so a
+                    // failing case can shrink coordinate-wise; tuple
+                    // generation draws left to right, matching the old
+                    // per-binding order (cases are unchanged).
+                    let __strats = ($($strat,)+);
+                    let __vals =
+                        $crate::strategy::Strategy::generate(&__strats, &mut __rng);
+                    let __run = $crate::__rt::bind_runner(&__strats, |($($binding,)+)| $body);
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| __run(__vals.clone())),
+                    );
+                    if let Err(__panic) = __outcome {
+                        // Greedy linear shrink: keep the first candidate
+                        // that still fails, restart from it, give up when
+                        // no candidate fails or after a step cap. The
+                        // panic hook is silenced so the candidate probes
+                        // don't spam stderr.
+                        let __hook = ::std::panic::take_hook();
+                        ::std::panic::set_hook(::std::boxed::Box::new(|_| {}));
+                        let mut __current = __vals;
+                        let mut __steps = 0u32;
+                        '__shrinking: while __steps < 256 {
+                            let __cands = $crate::strategy::Strategy::shrink(
+                                &__strats, &__current,
+                            );
+                            for __cand in __cands {
+                                let __failed = ::std::panic::catch_unwind(
+                                    ::std::panic::AssertUnwindSafe(|| __run(__cand.clone())),
+                                )
+                                .is_err();
+                                if __failed {
+                                    __current = __cand;
+                                    __steps += 1;
+                                    continue '__shrinking;
+                                }
+                            }
+                            break;
+                        }
+                        // Re-run the minimal case so the resumed panic's
+                        // message matches the reported counterexample.
+                        let __final = ::std::panic::catch_unwind(
+                            ::std::panic::AssertUnwindSafe(|| __run(__current.clone())),
+                        );
+                        ::std::panic::set_hook(__hook);
                         eprintln!(
                             "proptest shim: {} failed at case {}/{} (deterministic; re-run reproduces it)",
                             stringify!($name), __case, __cfg.cases,
                         );
-                        ::std::panic::resume_unwind(panic);
+                        eprintln!(
+                            "proptest shim: minimal counterexample after {} shrink step(s): {} = {:?}",
+                            __steps,
+                            stringify!(($($binding),+)),
+                            __current,
+                        );
+                        match __final {
+                            Err(__p) => ::std::panic::resume_unwind(__p),
+                            // A flaky body that stopped failing: fall back
+                            // to the original panic.
+                            Ok(_) => ::std::panic::resume_unwind(__panic),
+                        }
                     }
                 }
             }
@@ -534,5 +697,119 @@ mod tests {
         fn macro_config_header(v in any::<u64>()) {
             let _ = v;
         }
+    }
+
+    /// Greedy driver mirroring the macro's shrink loop, reusable against
+    /// a plain predicate (no panics needed).
+    fn shrink_to_minimal<S: Strategy>(
+        strat: &S,
+        start: S::Value,
+        fails: impl Fn(&S::Value) -> bool,
+    ) -> (S::Value, u32)
+    where
+        S::Value: Clone,
+    {
+        assert!(fails(&start), "shrink_to_minimal needs a failing start");
+        let mut current = start;
+        let mut steps = 0u32;
+        'shrinking: while steps < 256 {
+            for cand in strat.shrink(&current) {
+                if fails(&cand) {
+                    current = cand;
+                    steps += 1;
+                    continue 'shrinking;
+                }
+            }
+            break;
+        }
+        (current, steps)
+    }
+
+    #[test]
+    fn int_shrink_reaches_the_range_low() {
+        // Any value fails: the minimum must be the range start.
+        let (min, _) = shrink_to_minimal(&(10u64..500), 499, |_| true);
+        assert_eq!(min, 10);
+        let (min, _) = shrink_to_minimal(&(-20i32..=20), 17, |_| true);
+        assert_eq!(min, -20);
+    }
+
+    #[test]
+    fn int_shrink_finds_a_threshold_boundary() {
+        // "fails iff v >= 100" must shrink to exactly 100.
+        let (min, steps) = shrink_to_minimal(&(0u64..100_000), 73_421, |v| *v >= 100);
+        assert_eq!(min, 100);
+        // Bisection, not single steps: far fewer than 73k iterations.
+        assert!(steps < 64, "took {steps} steps");
+    }
+
+    #[test]
+    fn int_shrink_candidates_stay_in_range_and_below_value() {
+        let strat = 5u64..50;
+        for v in 6u64..50 {
+            for c in strat.shrink(&v) {
+                assert!((5..v).contains(&c), "candidate {c} for value {v}");
+            }
+        }
+        assert!(strat.shrink(&5).is_empty(), "low bound must be terminal");
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_length_and_shrinks_elements() {
+        let strat = crate::collection::vec(0u32..10, 2..8);
+        // Any vec fails: minimal is the shortest allowed, all elements low.
+        let (min, _) = shrink_to_minimal(&strat, vec![7, 3, 9, 1, 4, 2], |_| true);
+        assert_eq!(min, vec![0, 0]);
+    }
+
+    #[test]
+    fn vec_shrink_isolates_the_offending_element() {
+        let strat = crate::collection::vec(0u32..10, 1..8);
+        // Fails iff it contains a 9 somewhere.
+        let (min, _) = shrink_to_minimal(&strat, vec![7, 3, 9, 1, 9, 2], |v| v.contains(&9));
+        assert_eq!(min, vec![9]);
+    }
+
+    #[test]
+    fn tuple_shrink_is_coordinate_wise() {
+        let strat = (0u64..100, 0u64..100);
+        // Fails iff a + b >= 30: greedy shrink lands on a boundary pair.
+        let (min, _) = shrink_to_minimal(&strat, (80, 77), |(a, b)| a + b >= 30);
+        assert_eq!(min.0 + min.1, 30);
+        // And with a fully-free predicate both coordinates bottom out.
+        let (min, _) = shrink_to_minimal(&strat, (80, 77), |_| true);
+        assert_eq!(min, (0, 0));
+    }
+
+    #[test]
+    fn single_binding_tuple_strategy_works() {
+        let mut rng = TestRng::for_case(11, 0);
+        let strat = (0u64..7,);
+        for _ in 0..50 {
+            let (v,) = Strategy::generate(&strat, &mut rng);
+            assert!(v < 7);
+        }
+        assert_eq!(strat.shrink(&(6,)).first(), Some(&(0,)));
+    }
+
+    #[test]
+    fn macro_reports_shrunk_counterexample() {
+        // Run the generated test fn behind catch_unwind: the property
+        // "v < 10_000" fails for some generated case and must panic.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            fn inner_failing(v in 0u64..1_000_000) {
+                prop_assert!(v < 10_000);
+            }
+        }
+        let panic = std::panic::catch_unwind(inner_failing).expect_err("property should fail");
+        let msg = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        // The resumed panic comes from the minimal re-run, whose
+        // assertion message embeds the shrunk (boundary) value.
+        assert!(msg.contains("v < 10_000"), "unexpected message: {msg}");
     }
 }

@@ -15,7 +15,10 @@
 
 use raptee::EvictionPolicy;
 use raptee_bench::Scale;
-use raptee_sim::{runner, DiscoveryMode, Protocol, Scenario, SegmentSpec};
+use raptee_sim::{
+    runner, DiscoveryMode, EventNetConfig, LatencyModel, NetworkModel, PartitionWindow, Protocol,
+    Reachability, Scenario, SegmentSpec,
+};
 use std::collections::BTreeMap;
 
 /// A parsed command line: a subcommand plus `--key value` options.
@@ -284,6 +287,150 @@ impl Args {
         }
     }
 
+    /// Parses the network-model options. `--network events` selects the
+    /// discrete-event delivery substrate; the shaping flags
+    /// (`--latency`, `--round-ticks`, `--jitter`, `--partition`,
+    /// `--nat`) configure it. Under the default round model a shaping
+    /// flag is rejected rather than silently ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::BadValue`] on malformed specs or shaping flags
+    /// without `--network events`.
+    pub fn network(&self) -> Result<NetworkModel, CliError> {
+        const SHAPING: [&str; 5] = ["latency", "round-ticks", "jitter", "partition", "nat"];
+        let events = match self.options.get("network").map(String::as_str) {
+            None | Some("rounds") => false,
+            Some("events") => true,
+            Some(v) => {
+                return Err(CliError::BadValue {
+                    key: "network".into(),
+                    value: v.into(),
+                })
+            }
+        };
+        if !events {
+            if let Some(k) = SHAPING.iter().find(|k| self.options.contains_key(**k)) {
+                return Err(CliError::BadValue {
+                    key: (*k).to_string(),
+                    value: "requires --network events".into(),
+                });
+            }
+            return Ok(NetworkModel::Rounds);
+        }
+        let round_ticks = self.get("round-ticks", 1_000u64)?;
+        Ok(NetworkModel::Events(EventNetConfig {
+            latency: self.latency(round_ticks)?,
+            round_ticks,
+            jitter: self.get("jitter", 0u64)?,
+            partitions: self.partitions()?,
+            reachability: self.reachability()?,
+        }))
+    }
+
+    /// Parses `--latency const:T | uniform:LO..HI |
+    /// lognormal:MU,SIGMA[,CAP]` (ticks; CAP defaults to ten rounds).
+    fn latency(&self, round_ticks: u64) -> Result<LatencyModel, CliError> {
+        let Some(spec) = self.options.get("latency") else {
+            return Ok(LatencyModel::Constant(0));
+        };
+        let bad = || CliError::BadValue {
+            key: "latency".into(),
+            value: spec.clone(),
+        };
+        let (kind, params) = spec.split_once(':').ok_or_else(bad)?;
+        match kind {
+            "const" | "constant" => Ok(LatencyModel::Constant(params.parse().map_err(|_| bad())?)),
+            "uniform" => {
+                let (lo, hi) = params.split_once("..").ok_or_else(bad)?;
+                let (min, max): (u64, u64) = (
+                    lo.parse().map_err(|_| bad())?,
+                    hi.parse().map_err(|_| bad())?,
+                );
+                if min > max {
+                    return Err(bad());
+                }
+                Ok(LatencyModel::Uniform { min, max })
+            }
+            "lognormal" => {
+                let parts: Vec<&str> = params.split(',').collect();
+                if !(2..=3).contains(&parts.len()) {
+                    return Err(bad());
+                }
+                let mu: f64 = parts[0].parse().map_err(|_| bad())?;
+                let sigma: f64 = parts[1].parse().map_err(|_| bad())?;
+                let cap: u64 = match parts.get(2) {
+                    Some(c) => c.parse().map_err(|_| bad())?,
+                    None => round_ticks.saturating_mul(10),
+                };
+                if sigma < 0.0 || cap == 0 {
+                    return Err(bad());
+                }
+                Ok(LatencyModel::LogNormal { mu, sigma, cap })
+            }
+            _ => Err(bad()),
+        }
+    }
+
+    /// Parses `--partition start..end@boundary[;start..end@boundary...]`
+    /// (rounds and an actor-index boundary per window).
+    fn partitions(&self) -> Result<Vec<PartitionWindow>, CliError> {
+        let Some(spec) = self.options.get("partition") else {
+            return Ok(Vec::new());
+        };
+        let bad = |v: &str| CliError::BadValue {
+            key: "partition".into(),
+            value: v.into(),
+        };
+        spec.split(';')
+            .map(|entry| {
+                let entry = entry.trim();
+                let (range, boundary) = entry.split_once('@').ok_or_else(|| bad(entry))?;
+                let (start, end) = range.split_once("..").ok_or_else(|| bad(entry))?;
+                let (start, end): (usize, usize) = (
+                    start.trim().parse().map_err(|_| bad(entry))?,
+                    end.trim().parse().map_err(|_| bad(entry))?,
+                );
+                if start >= end {
+                    return Err(bad(entry));
+                }
+                Ok(PartitionWindow {
+                    start,
+                    end,
+                    boundary: boundary.trim().parse().map_err(|_| bad(entry))?,
+                })
+            })
+            .collect()
+    }
+
+    /// Parses `--nat fraction[:ttl]`: the NAT-ted share of the correct
+    /// population and the punched-hole TTL in rounds (default 3).
+    fn reachability(&self) -> Result<Reachability, CliError> {
+        let Some(spec) = self.options.get("nat") else {
+            return Ok(Reachability::Full);
+        };
+        let bad = || CliError::BadValue {
+            key: "nat".into(),
+            value: spec.clone(),
+        };
+        let (fraction, ttl) = match spec.split_once(':') {
+            Some((f, t)) => (f, Some(t)),
+            None => (spec.as_str(), None),
+        };
+        let fraction: f64 = fraction.parse().map_err(|_| bad())?;
+        if !(0.0..1.0).contains(&fraction) {
+            return Err(bad());
+        }
+        let hole_ttl: usize = match ttl {
+            Some(t) => t.parse().map_err(|_| bad())?,
+            None => 3,
+        };
+        if hole_ttl == 0 {
+            return Err(bad());
+        }
+        Ok(Reachability::Nat { fraction, hole_ttl })
+    }
+
     /// Builds the scenario common to all subcommands.
     ///
     /// # Errors
@@ -310,6 +457,7 @@ impl Args {
             tail_window: (rounds / 10).max(5),
             protocol: self.protocol(view)?,
             discovery: self.discovery()?,
+            network: self.network()?,
             seed: self.get("seed", 0x5A97EE_u64)?,
             ..Scenario::default()
         };
@@ -346,6 +494,21 @@ COMMON OPTIONS:
                        protocol:share% entries over the correct nodes,
                        e.g. raptee:50%,basalt-tee:50% (overrides --protocol;
                        per-segment pollution is reported alongside the total)
+
+NETWORK OPTIONS (all but --network require --network events):
+    --network <m>      rounds | events            [default: rounds]
+                       events = discrete-event delivery: per-link latency,
+                       partitions and NAT instead of lockstep rounds
+    --latency <l>      const:T | uniform:LO..HI | lognormal:MU,SIGMA[,CAP]
+                       in ticks                   [default: const:0]
+    --round-ticks <u64> virtual ticks per round   [default: 1000]
+    --jitter <u64>     max per-node round-timer offset in ticks [default: 0]
+    --partition <s>    semicolon-separated cut windows start..end@boundary,
+                       e.g. 10..25@75 (rounds start..end, cut before actor
+                       index boundary; held messages release at the heal)
+    --nat <s>          fraction[:ttl] — share of correct nodes behind
+                       NAT-like asymmetric reachability; inbound traffic
+                       needs a hole punched within ttl rounds [default ttl: 3]
 
 SUBCOMMANDS:
     run      one scenario; add --series true to dump the pollution curve as CSV
@@ -385,8 +548,12 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
             .collect();
         format!("population={}", parts.join(","))
     };
+    let network = match scenario.network {
+        NetworkModel::Rounds => "rounds",
+        NetworkModel::Events(_) => "events",
+    };
     out.push_str(&format!(
-        "{population} n={} f={:.0}% t={:.0}% eviction={} rounds={} reps={reps} discovery={}\n",
+        "{population} n={} f={:.0}% t={:.0}% eviction={} rounds={} reps={reps} discovery={} network={network}\n",
         scenario.n,
         scenario.byzantine_fraction * 100.0,
         // The *effective* trusted share: 0 under Brahms/BASALT even when
@@ -858,6 +1025,204 @@ mod tests {
                 "{spec:?} must be rejected, got {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn network_defaults_to_rounds() {
+        let a = args(&["run"]).unwrap();
+        assert_eq!(a.network().unwrap(), NetworkModel::Rounds);
+        let a = args(&["run", "--network", "rounds"]).unwrap();
+        assert_eq!(a.network().unwrap(), NetworkModel::Rounds);
+        let a = args(&["run", "--network", "events"]).unwrap();
+        assert_eq!(
+            a.network().unwrap(),
+            NetworkModel::Events(EventNetConfig::default()),
+            "bare --network events is the zero-latency equivalence config"
+        );
+        let a = args(&["run", "--network", "carrier-pigeon"]).unwrap();
+        assert!(matches!(
+            a.network().unwrap_err(),
+            CliError::BadValue { ref key, .. } if key == "network"
+        ));
+    }
+
+    #[test]
+    fn latency_forms_parse() {
+        let net = |extra: &[&str]| {
+            let mut v = vec!["run", "--network", "events"];
+            v.extend_from_slice(extra);
+            args(&v).unwrap().network()
+        };
+        let latency = |extra: &[&str]| match net(extra).unwrap() {
+            NetworkModel::Events(cfg) => cfg.latency,
+            NetworkModel::Rounds => unreachable!(),
+        };
+        assert_eq!(
+            latency(&["--latency", "const:250"]),
+            LatencyModel::Constant(250)
+        );
+        assert_eq!(
+            latency(&["--latency", "uniform:50..600"]),
+            LatencyModel::Uniform { min: 50, max: 600 }
+        );
+        assert_eq!(
+            latency(&["--latency", "lognormal:6.2,0.8,5000"]),
+            LatencyModel::LogNormal {
+                mu: 6.2,
+                sigma: 0.8,
+                cap: 5_000
+            }
+        );
+        assert_eq!(
+            latency(&["--latency", "lognormal:6.2,0.8"]),
+            LatencyModel::LogNormal {
+                mu: 6.2,
+                sigma: 0.8,
+                cap: 10_000
+            },
+            "cap defaults to ten rounds of the tick budget"
+        );
+        for bad in [
+            "warp",
+            "const:fast",
+            "uniform:600..50",
+            "uniform:50",
+            "lognormal:6.2",
+            "lognormal:6.2,-0.1",
+            "lognormal:6.2,0.8,0",
+        ] {
+            assert!(
+                matches!(
+                    net(&["--latency", bad]).unwrap_err(),
+                    CliError::BadValue { ref key, .. } if key == "latency"
+                ),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_and_nat_parse() {
+        let a = args(&[
+            "run",
+            "--network",
+            "events",
+            "--partition",
+            "10..25@75; 30..35@40",
+            "--nat",
+            "0.4:3",
+            "--jitter",
+            "200",
+            "--round-ticks",
+            "500",
+        ])
+        .unwrap();
+        let NetworkModel::Events(cfg) = a.network().unwrap() else {
+            panic!("events expected");
+        };
+        assert_eq!(
+            cfg.partitions,
+            vec![
+                PartitionWindow {
+                    start: 10,
+                    end: 25,
+                    boundary: 75
+                },
+                PartitionWindow {
+                    start: 30,
+                    end: 35,
+                    boundary: 40
+                },
+            ]
+        );
+        assert_eq!(
+            cfg.reachability,
+            Reachability::Nat {
+                fraction: 0.4,
+                hole_ttl: 3
+            }
+        );
+        assert_eq!((cfg.round_ticks, cfg.jitter), (500, 200));
+        // `--nat fraction` alone picks the default TTL.
+        let a = args(&["run", "--network", "events", "--nat", "0.25"]).unwrap();
+        let NetworkModel::Events(cfg) = a.network().unwrap() else {
+            panic!("events expected");
+        };
+        assert_eq!(
+            cfg.reachability,
+            Reachability::Nat {
+                fraction: 0.25,
+                hole_ttl: 3
+            }
+        );
+        for (key, bad) in [
+            ("partition", "10..25"),
+            ("partition", "25..10@75"),
+            ("partition", "10..25@many"),
+            ("nat", "1.5"),
+            ("nat", "0.4:0"),
+            ("nat", "porous"),
+        ] {
+            let a = args(&["run", "--network", "events", &format!("--{key}"), bad]).unwrap();
+            assert!(
+                matches!(
+                    a.network().unwrap_err(),
+                    CliError::BadValue { key: ref k, .. } if k == key
+                ),
+                "--{key} {bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn shaping_flags_require_the_event_network() {
+        for (key, value) in [
+            ("latency", "const:100"),
+            ("round-ticks", "500"),
+            ("jitter", "100"),
+            ("partition", "1..5@10"),
+            ("nat", "0.4"),
+        ] {
+            let a = args(&["run", &format!("--{key}"), value]).unwrap();
+            assert!(
+                matches!(
+                    a.network().unwrap_err(),
+                    CliError::BadValue { key: ref k, .. } if k == key
+                ),
+                "--{key} without --network events must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn execute_event_network_run() {
+        let a = args(&[
+            "run",
+            "--n",
+            "80",
+            "--rounds",
+            "20",
+            "--view",
+            "10",
+            "--t",
+            "0.1",
+            "--network",
+            "events",
+            "--latency",
+            "lognormal:5.5,0.8,3000",
+            "--jitter",
+            "150",
+            "--partition",
+            "5..10@40",
+        ])
+        .unwrap();
+        let out = execute(&a).unwrap();
+        assert!(out.contains("network=events"), "{out}");
+        assert!(out.contains("resilience:"), "{out}");
+        // And the round model still reports as such.
+        let a = args(&["run", "--n", "80", "--rounds", "20", "--view", "10"]).unwrap();
+        let out = execute(&a).unwrap();
+        assert!(out.contains("network=rounds"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! Asynchrony-equivalence suite for the event-driven network model.
+//!
+//! Three layers:
+//!
+//! 1. **Zero-latency equivalence** — the event engine in its all-zero
+//!    configuration (constant-0 latency, synchronized round timers, no
+//!    partitions, full reachability) must reproduce the round engine
+//!    *bit-for-bit* on every pinned golden scenario. This is the
+//!    license for sharing one protocol core between both engines: the
+//!    delivery substrate is provably the only thing that changes.
+//! 2. **A pollution effect the round model cannot express** — a
+//!    partition-and-heal run whose held-then-released message burst
+//!    trips the flood defences and delays convergence, visible in the
+//!    substrate counters and the pollution series.
+//! 3. **Scheduler properties** (via the proptest shim) — `(time, seq)`
+//!    pop order is invariant under insertion order, nothing crosses an
+//!    active cut, and healed partitions drop no message forever.
+
+use proptest::prelude::*;
+use raptee_net::{NodeId, NodeIdx};
+use raptee_sim::event::{EventNet, Lane, PullGate};
+use raptee_sim::{
+    AttackStrategy, DiscoveryMode, EventEngine, EventNetConfig, EventQueue, LatencyModel,
+    NetRunStats, NetworkModel, PartitionWindow, Protocol, Scenario, Simulation,
+};
+
+// ---------------------------------------------------------------------
+// The golden scenarios (mirrors tests/determinism.rs).
+
+fn base(protocol: Protocol) -> Scenario {
+    Scenario {
+        n: 150,
+        byzantine_fraction: 0.1,
+        trusted_fraction: 0.1,
+        view_size: 12,
+        sample_size: 12,
+        rounds: 60,
+        tail_window: 10,
+        protocol,
+        seed: 0xD5EED,
+        ..Scenario::default()
+    }
+}
+
+fn churn_scenario() -> Scenario {
+    let mut s = base(Protocol::Raptee);
+    s.message_loss = 0.1;
+    s.crash_fraction = 0.15;
+    s.crash_round = 20;
+    s.sampler_validation_period = 5;
+    s.identification_attack = true;
+    s
+}
+
+fn basalt_targeted_scenario() -> Scenario {
+    let mut s = base(Protocol::Brahms).basalt_variant(10);
+    s.attack = AttackStrategy::Targeted {
+        victim_fraction: 0.2,
+        focus: 0.6,
+    };
+    s.message_loss = 0.05;
+    s
+}
+
+fn mixed_raptee_basalt_tee_scenario() -> Scenario {
+    let mut s = base(Protocol::Raptee).half_and_half(
+        Protocol::Raptee,
+        Protocol::BasaltTee {
+            view_size: 12,
+            rotation_interval: 15,
+            wlist_ttl: 8,
+        },
+    );
+    s.crash_fraction = 0.1;
+    s.crash_round = 25;
+    s.sampler_validation_period = 5;
+    s
+}
+
+fn sketch_scenario() -> Scenario {
+    let mut s = base(Protocol::Raptee);
+    s.discovery = DiscoveryMode::Sketch;
+    s.rounds = 120;
+    s
+}
+
+fn event_partition_scenario() -> Scenario {
+    base(Protocol::Raptee).with_network(EventNetConfig {
+        latency: LatencyModel::Uniform { min: 50, max: 600 },
+        partitions: vec![PartitionWindow {
+            start: 10,
+            end: 25,
+            boundary: 75,
+        }],
+        ..EventNetConfig::default()
+    })
+}
+
+// ---------------------------------------------------------------------
+// 1. Zero-latency equivalence: event engine ≡ round engine, bit for bit.
+
+/// Runs `scenario` under both engines and asserts the event engine in
+/// the equivalence configuration reproduces the round engine exactly —
+/// every metric, every series value, every per-segment result.
+fn assert_equivalent(name: &str, scenario: Scenario) {
+    let round = Simulation::new(scenario.clone()).run();
+    let mut event = EventEngine::new(scenario.evented_zero_latency()).run();
+    assert_eq!(
+        event.net,
+        Some(NetRunStats::default()),
+        "{name}: the zero-latency substrate must route nothing through the queue"
+    );
+    assert_eq!(
+        event.virtual_ticks,
+        round.rounds as u64 * 1_000,
+        "{name}: event time advances in whole synchronized rounds"
+    );
+    // The only fields allowed to differ are the substrate's own.
+    event.net = round.net;
+    event.virtual_ticks = round.virtual_ticks;
+    assert_eq!(
+        event, round,
+        "{name}: zero-latency event run diverged from the round engine"
+    );
+}
+
+#[test]
+fn zero_latency_matches_rounds_brahms() {
+    assert_equivalent("brahms", base(Protocol::Brahms).brahms_baseline());
+}
+
+#[test]
+fn zero_latency_matches_rounds_raptee() {
+    assert_equivalent("raptee", base(Protocol::Raptee));
+}
+
+#[test]
+fn zero_latency_matches_rounds_basalt() {
+    assert_equivalent("basalt", base(Protocol::Brahms).basalt_variant(15));
+}
+
+#[test]
+fn zero_latency_matches_rounds_raptee_under_churn() {
+    assert_equivalent("raptee-churn", churn_scenario());
+}
+
+#[test]
+fn zero_latency_matches_rounds_basalt_targeted() {
+    assert_equivalent("basalt-targeted", basalt_targeted_scenario());
+}
+
+#[test]
+fn zero_latency_matches_rounds_sketch_discovery() {
+    assert_equivalent("raptee-sketch", sketch_scenario());
+}
+
+#[test]
+fn zero_latency_matches_rounds_mixed_population() {
+    assert_equivalent(
+        "mixed-raptee-basalt-tee",
+        mixed_raptee_basalt_tee_scenario(),
+    );
+}
+
+// ---------------------------------------------------------------------
+// 2. The partition effect the round model cannot express.
+
+#[test]
+fn partition_heal_burst_is_inexpressible_in_the_round_model() {
+    // Same protocol scenario, two substrates. The round model has no
+    // notion of messages *in flight*: a cut-then-heal either looks like
+    // uniform loss (messages vanish) or like nothing. Only the event
+    // model can hold fifteen rounds of cross-cut traffic and then
+    // release it as one burst at the heal.
+    let round = Simulation::new(base(Protocol::Raptee)).run();
+    let event = Simulation::new(event_partition_scenario()).run();
+    let net = event.net.expect("event run reports substrate counters");
+
+    // The substrate held real traffic at the cut and released all of
+    // it — healed partitions drop nothing.
+    assert!(net.partition_held > 0, "the cut must hold cross-cut pushes");
+    assert_eq!(
+        net.partition_held, net.partition_released,
+        "every message held at the cut must release at the heal"
+    );
+    assert!(
+        net.refused_pulls > 0,
+        "fresh cross-cut pulls during the window must be refused"
+    );
+
+    // The observable protocol-level effect: the heal-release burst
+    // floods receivers with stale pushes and trips the per-round push
+    // rate defence far beyond anything the synchronous run shows.
+    assert!(
+        event.floods_detected > 10 * round.floods_detected.max(1),
+        "heal burst must spike flood detections ({} vs {})",
+        event.floods_detected,
+        round.floods_detected
+    );
+
+    // And it delays convergence: the pollution series needs visibly
+    // longer to settle than the uninterrupted run.
+    let (ev_stab, rd_stab) = (
+        event
+            .stability_round
+            .expect("partitioned run still settles"),
+        round.stability_round.expect("baseline settles"),
+    );
+    assert!(
+        ev_stab > rd_stab,
+        "partition must delay stability ({ev_stab} vs {rd_stab})"
+    );
+
+    // The series themselves diverge while the cut is active: the two
+    // population halves see different gossip, so the mean Byzantine
+    // share walks away from the synchronous trajectory.
+    let max_window_gap = (10..25)
+        .map(|r| (event.byz_share_series[r] - round.byz_share_series[r]).abs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_window_gap > 0.02,
+        "pollution series must diverge during the cut (max gap {max_window_gap:.4})"
+    );
+}
+
+// ---------------------------------------------------------------------
+// 3. Scheduler properties (proptest shim).
+
+/// A substrate-only scenario: 100 actors, event network `cfg`.
+fn harness(rounds: usize, cfg: EventNetConfig) -> EventNet {
+    let scenario = Scenario {
+        n: 100,
+        rounds,
+        network: NetworkModel::Events(cfg),
+        ..Scenario::default()
+    };
+    EventNet::from_scenario(&scenario).expect("an Events scenario builds a substrate")
+}
+
+/// The partition window shared by the substrate properties.
+fn cut_5_to_20_at_50() -> PartitionWindow {
+    PartitionWindow {
+        start: 5,
+        end: 20,
+        boundary: 50,
+    }
+}
+
+proptest! {
+    /// Pop order is exactly ascending `(time, seq)` — independent of
+    /// insertion order, with the payload riding its key.
+    #[test]
+    fn queue_order_is_time_seq_under_insertion_permutations(
+        times in proptest::collection::vec(0u64..64, 1..32),
+        rot in 0usize..32,
+    ) {
+        let n = times.len();
+        // Distinct keys by construction: seq is the entry index.
+        let entries: Vec<(u64, u64)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i as u64)).collect();
+        let mut natural = EventQueue::new();
+        let mut rotated = EventQueue::new();
+        let mut reversed = EventQueue::new();
+        for &(t, s) in &entries {
+            natural.push_raw(t, s, s);
+        }
+        for k in 0..n {
+            let (t, s) = entries[(k + rot) % n];
+            rotated.push_raw(t, s, s);
+        }
+        for &(t, s) in entries.iter().rev() {
+            reversed.push_raw(t, s, s);
+        }
+        let pop_all = |q: &mut EventQueue<u64>| -> Vec<(u64, u64, u64)> {
+            std::iter::from_fn(|| q.pop()).collect()
+        };
+        let (a, b, c) = (pop_all(&mut natural), pop_all(&mut rotated), pop_all(&mut reversed));
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+        for w in a.windows(2) {
+            prop_assert!(
+                (w[0].0, w[0].1) < (w[1].0, w[1].1),
+                "pops must ascend strictly in (time, seq)"
+            );
+        }
+        for &(_, s, payload) in &a {
+            prop_assert_eq!(s, payload, "payloads must ride their keys");
+        }
+    }
+
+    /// A push across an active cut is never delivered before the heal,
+    /// and always delivered after it.
+    #[test]
+    fn no_push_delivery_across_an_active_cut(
+        src in 0usize..50,
+        dst in 50usize..90,
+        sent in 5usize..15,
+        latency in 0u64..3_000,
+    ) {
+        let rounds = 30;
+        let mut net = harness(rounds, EventNetConfig {
+            latency: LatencyModel::Constant(latency),
+            partitions: vec![cut_5_to_20_at_50()],
+            ..EventNetConfig::default()
+        });
+        let inline = net.send_push(sent, src, dst, NodeId(src as u64), Lane::Honest);
+        prop_assert!(!inline, "a cross-cut push must never deliver inline");
+        prop_assert_eq!(net.stats().partition_held, 1);
+
+        let mut survivors = Vec::new();
+        let mut delivered_at = None;
+        for r in 0..rounds {
+            net.begin_round(r);
+            survivors.clear();
+            net.drain_due_pushes(Lane::Honest, &mut survivors);
+            if survivors
+                .iter()
+                .any(|&(d, adv)| d == dst as u32 && adv == NodeIdx(src as u32))
+            {
+                delivered_at = Some(r);
+                break;
+            }
+        }
+        let r = delivered_at.expect("a healed partition never drops the message");
+        prop_assert!(r >= 20, "delivered in round {} with the cut still active", r);
+        prop_assert_eq!(net.stats().partition_released, 1);
+    }
+
+    /// Fresh pulls refuse across the active cut and go through once the
+    /// window closes.
+    #[test]
+    fn pulls_refuse_across_the_cut_and_resume_at_the_heal(
+        req in 0usize..50,
+        tgt in 50usize..100,
+        in_window in 5usize..20,
+        after_heal in 20usize..30,
+    ) {
+        let mut net = harness(30, EventNetConfig {
+            partitions: vec![cut_5_to_20_at_50()],
+            ..EventNetConfig::default()
+        });
+        prop_assert_eq!(net.gate_pull(in_window, req, tgt), PullGate::Refused);
+        prop_assert_eq!(net.stats().refused_pulls, 1);
+        prop_assert_eq!(net.gate_pull(after_heal, req, tgt), PullGate::Inline);
+    }
+
+    /// Aggregate no-loss law: over an arbitrary cross-population send
+    /// schedule, every message held at the cut is released at the heal
+    /// and nothing is still in flight once the run outlives the window.
+    #[test]
+    fn healed_partitions_release_every_held_message(
+        sends in proptest::collection::vec(
+            (0usize..100, 0usize..100, 0usize..25),
+            1..40,
+        ),
+        latency in 0u64..1_500,
+    ) {
+        let rounds = 40;
+        let mut net = harness(rounds, EventNetConfig {
+            latency: LatencyModel::Constant(latency),
+            partitions: vec![cut_5_to_20_at_50()],
+            ..EventNetConfig::default()
+        });
+        let mut schedule = sends.clone();
+        schedule.sort_by_key(|&(_, _, r)| r);
+        let mut cursor = 0;
+        let mut survivors = Vec::new();
+        for r in 0..rounds {
+            net.begin_round(r);
+            survivors.clear();
+            net.drain_due_pushes(Lane::Honest, &mut survivors);
+            while cursor < schedule.len() && schedule[cursor].2 == r {
+                let (s, d, _) = schedule[cursor];
+                net.send_push(r, s, d, NodeId(s as u64), Lane::Honest);
+                cursor += 1;
+            }
+        }
+        let stats = net.finish();
+        prop_assert_eq!(
+            stats.partition_held, stats.partition_released,
+            "the heal must release every held message"
+        );
+        prop_assert_eq!(
+            stats.in_flight_at_end, 0,
+            "rounds 25..40 give every message time to land"
+        );
+    }
+}

@@ -18,7 +18,8 @@
 //!    dependence into results.
 
 use raptee_sim::{
-    runner, AttackStrategy, DiscoveryMode, Protocol, RunResult, Scenario, SegmentSpec, Simulation,
+    runner, AttackStrategy, DiscoveryMode, EventNetConfig, LatencyModel, PartitionWindow, Protocol,
+    Reachability, RunResult, Scenario, SegmentSpec, Simulation,
 };
 
 /// A compact, bit-exact fingerprint of a [`RunResult`].
@@ -130,6 +131,52 @@ fn sketch_scenario() -> Scenario {
     s.discovery = DiscoveryMode::Sketch;
     s.rounds = 120;
     s
+}
+
+/// Event family #1 (latency-only): the raptee golden scenario on the
+/// event engine with log-normal per-link latency and desynchronised
+/// round timers — a realistic WAN where a tail of answers and pushes
+/// crosses round boundaries.
+fn event_latency_scenario() -> Scenario {
+    base(Protocol::Raptee).with_network(EventNetConfig {
+        latency: LatencyModel::LogNormal {
+            mu: 6.2,
+            sigma: 0.8,
+            cap: 5_000,
+        },
+        round_ticks: 1_000,
+        jitter: 200,
+        ..EventNetConfig::default()
+    })
+}
+
+/// Event family #2 (partition-and-heal): a clean cut through the
+/// population for 15 rounds mid-run; held messages release at the heal.
+fn event_partition_scenario() -> Scenario {
+    base(Protocol::Raptee).with_network(EventNetConfig {
+        latency: LatencyModel::Uniform { min: 50, max: 600 },
+        partitions: vec![PartitionWindow {
+            start: 10,
+            end: 25,
+            boundary: 75,
+        }],
+        ..EventNetConfig::default()
+    })
+}
+
+/// Event family #3 (NAT eclipse): 40 % of the correct population behind
+/// NAT-like asymmetric reachability — unsolicited inbound pushes bounce
+/// unless the receiver recently contacted the sender, starving the
+/// natted tail of honest pushes while pulls (outbound) still work.
+fn event_nat_eclipse_scenario() -> Scenario {
+    base(Protocol::Raptee).with_network(EventNetConfig {
+        latency: LatencyModel::Constant(100),
+        reachability: Reachability::Nat {
+            fraction: 0.4,
+            hole_ttl: 3,
+        },
+        ..EventNetConfig::default()
+    })
 }
 
 /// Asserts `scenario` still produces the exact metric bits the
@@ -409,7 +456,7 @@ fn single_run_identical_across_intra_run_thread_counts() {
     // override) must produce bit-identical RunResults for all three
     // protocols and each attack type, including churn/loss/validation
     // and the deferred Byzantine pull-answer replay.
-    let scenarios: [(&str, Scenario); 8] = [
+    let scenarios: [(&str, Scenario); 11] = [
         ("brahms", base(Protocol::Brahms).brahms_baseline()),
         ("raptee", base(Protocol::Raptee)),
         ("basalt", base(Protocol::Brahms).basalt_variant(15)),
@@ -421,6 +468,9 @@ fn single_run_identical_across_intra_run_thread_counts() {
             mixed_raptee_basalt_tee_scenario(),
         ),
         ("raptee-sketch", sketch_scenario()),
+        ("event-latency", event_latency_scenario()),
+        ("event-partition", event_partition_scenario()),
+        ("event-nat-eclipse", event_nat_eclipse_scenario()),
     ];
     for (name, scenario) in scenarios {
         let serial = rayon::with_num_threads(1, || Simulation::new(scenario.clone()).run());
@@ -472,4 +522,121 @@ fn sweep_grid_identical_across_thread_counts() {
     let stolen = rayon::with_num_threads(4, || runner::sweep_grid(&template, &fs, &ts, 1));
     assert_eq!(serial.baselines, stolen.baselines);
     assert_eq!(serial.grid, stolen.grid);
+}
+
+// Golden constants for the event-driven network model (this PR),
+// captured at its introduction commit. Each run also pins the
+// delivery-substrate counters — the event engine's observable surface
+// beyond the protocol metrics.
+
+/// Asserts the substrate counters of one event-family golden run.
+fn assert_golden_net(name: &str, scenario: Scenario, net: raptee_sim::NetRunStats) {
+    let r = Simulation::new(scenario).run();
+    assert_eq!(
+        r.net,
+        Some(net),
+        "{name}: substrate counters diverged from the introduction commit"
+    );
+    assert_eq!(r.virtual_ticks, 60_000, "{name}: 60 rounds × 1000 ticks");
+}
+
+#[test]
+fn golden_event_latency() {
+    assert_golden(
+        "event-latency",
+        event_latency_scenario(),
+        Fingerprint {
+            resilience_bits: 0x3fd68944a9645797,
+            series_hash: 0x4ee7b463bfe737f3,
+            discovery: None,
+            mean_discovery_bits: Some(0x4049339f656f1825),
+            stability: Some(16),
+            spread_stability: None,
+            floods: 2,
+            evicted: 0x53b7,
+            rotations: 0,
+        },
+    );
+    assert_golden_net(
+        "event-latency",
+        event_latency_scenario(),
+        raptee_sim::NetRunStats {
+            late_deliveries: 36088,
+            partition_held: 0,
+            partition_released: 0,
+            nat_blocked: 0,
+            refused_pulls: 0,
+            in_flight_at_end: 859,
+        },
+    );
+}
+
+#[test]
+fn golden_event_partition() {
+    assert_golden(
+        "event-partition",
+        event_partition_scenario(),
+        Fingerprint {
+            resilience_bits: 0x3fd88ab80af8fadb,
+            series_hash: 0xf78584275a77e646,
+            discovery: None,
+            mean_discovery_bits: Some(0x404aaf0329161f9c),
+            stability: Some(37),
+            spread_stability: None,
+            floods: 124,
+            evicted: 0x4efd,
+            rotations: 0,
+        },
+    );
+    assert_golden_net(
+        "event-partition",
+        event_partition_scenario(),
+        raptee_sim::NetRunStats {
+            late_deliveries: 5946,
+            partition_held: 3510,
+            // Every held message releases at the heal — none dropped.
+            partition_released: 3510,
+            nat_blocked: 0,
+            refused_pulls: 2769,
+            in_flight_at_end: 46,
+        },
+    );
+}
+
+#[test]
+fn golden_event_nat_eclipse() {
+    assert_golden(
+        "event-nat-eclipse",
+        event_nat_eclipse_scenario(),
+        Fingerprint {
+            resilience_bits: 0x3fe00554ecdfa5aa,
+            series_hash: 0xa780f3bf8a789193,
+            discovery: None,
+            mean_discovery_bits: None,
+            stability: Some(11),
+            spread_stability: None,
+            floods: 1,
+            evicted: 0x3b6c,
+            rotations: 0,
+        },
+    );
+    assert_golden_net(
+        "event-nat-eclipse",
+        event_nat_eclipse_scenario(),
+        raptee_sim::NetRunStats {
+            late_deliveries: 0,
+            partition_held: 0,
+            partition_released: 0,
+            nat_blocked: 12477,
+            refused_pulls: 0,
+            in_flight_at_end: 0,
+        },
+    );
+    // The eclipse story the fingerprint encodes: the round-model raptee
+    // golden converges near 0.395 pollution; behind 40 % NAT the same
+    // scenario converges near 0.50 — starving natted nodes of honest
+    // pushes hands the adversary a materially larger view share.
+    let natted = f64::from_bits(0x3fe00554ecdfa5aa);
+    let open = f64::from_bits(0x3fd942da9bc93fe8);
+    assert!(natted > open + 0.05);
 }
