@@ -158,6 +158,42 @@ impl BasaltNode {
         }
     }
 
+    /// Cold rejoin after a crash–restart: fresh node-local ranking
+    /// seeds (derived from the new `seed`, so the adversary cannot have
+    /// precomputed against them), the view re-ranked over a fresh
+    /// bootstrap, and the waiting list emptied — only identity, trust
+    /// and the lifetime counters survive. Peers re-learn the rejoiner
+    /// by hearsay, so under the hybrid it passes through *their*
+    /// waiting-list quarantine like any other unverified candidate.
+    pub fn rejoin_cold(&mut self, bootstrap: &[NodeId], seed: u64) {
+        self.rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let ranking_key =
+            SecretKey::from_seed(seed).derive("basalt-ranking-key", &self.id.to_bytes());
+        let mut view = BasaltView::new(self.id, self.config.view_size, ranking_key);
+        view.observe_all(bootstrap.iter().copied());
+        self.view = view;
+        self.wlist.clear();
+        self.wlist_members = IdSet::new();
+    }
+
+    /// Warm rejoin after a crash–restart: the node resumes from its
+    /// persisted ranked view, paying a staleness penalty — one forced
+    /// seed rotation re-ranks the survivors under fresh slot seeds (the
+    /// BASALT analogue of probe revalidation: stale entries must win
+    /// their slots back), and the stale waiting list is discarded
+    /// unverified. Returns the number of rotated slots.
+    pub fn rejoin_warm(&mut self) -> usize {
+        self.wlist.clear();
+        self.wlist_members = IdSet::new();
+        self.view
+            .distinct_into(&mut self.scratch_distinct, &mut self.scratch_seen);
+        let indices = self.view.rotate(self.config.rotation_count);
+        let rotated = indices.len();
+        self.rotations += rotated as u64;
+        self.view.observe_into(&indices, &self.scratch_distinct);
+        rotated
+    }
+
     /// This node's identifier.
     pub fn id(&self) -> NodeId {
         self.id
@@ -571,6 +607,45 @@ mod tests {
         // At minimum, a trusted answer can never leave the view *less*
         // informed than the quarantined path after one drain.
         assert!(n.view().filled() >= both.view().filled());
+    }
+
+    #[test]
+    fn cold_rejoin_matches_a_freshly_bootstrapped_node() {
+        let mut n = wlist_node(5);
+        // Life before the crash: pushes, hearsay, rounds — all state the
+        // cold restart must shed.
+        for id in ids(200..260) {
+            n.record_push(id);
+        }
+        n.record_pull_answer(NodeId(500), &ids(600..620));
+        n.finish_round();
+        assert!(n.wlist_len() > 0);
+
+        let boot = ids(1000..1030);
+        n.rejoin_cold(&boot, 31337);
+        let mut fresh = BasaltNode::new(NodeId(0), *n.config(), &boot, 31337);
+        assert_eq!(n.view().sample_ids(), fresh.view().sample_ids());
+        assert_eq!(n.wlist_len(), 0, "stale quarantine discarded");
+        // The reseeded RNG plans identically to the fresh node's.
+        assert_eq!(n.plan_round(), fresh.plan_round());
+    }
+
+    #[test]
+    fn warm_rejoin_forces_a_rotation_and_clears_the_wlist() {
+        let mut n = wlist_node(5);
+        n.record_pull_answer(NodeId(500), &ids(600..620));
+        assert_eq!(n.wlist_len(), 20);
+        let survivors = n.view().sample_ids();
+        let rotated = n.rejoin_warm();
+        assert_eq!(rotated, n.config().rotation_count, "staleness penalty");
+        assert_eq!(n.rotations(), rotated as u64);
+        assert_eq!(n.wlist_len(), 0, "unverified hearsay does not survive");
+        // Rotation re-ranks rather than blanking: the view stays full and
+        // every sample still comes from the pre-crash survivors.
+        assert_eq!(n.view().filled(), n.config().view_size);
+        for id in n.view().sample_ids() {
+            assert!(survivors.contains(&id));
+        }
     }
 
     #[test]

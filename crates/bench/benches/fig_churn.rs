@@ -1,0 +1,138 @@
+//! Churn & recovery figure — dynamic membership under fire.
+//!
+//! The paper's experiments hold the population fixed for the whole run.
+//! This bench sweeps a steady per-round crash rate across three
+//! membership regimes on the round engine:
+//!
+//! * **no rejoin** — crashed nodes never come back (pure attrition);
+//! * **cold rejoin** — restarted nodes re-bootstrap with a fresh state;
+//! * **warm rejoin** — restarted nodes keep their last view and sampler
+//!   state and re-validate it against the live population.
+//!
+//! Panel (a): converged Byzantine in-view share (%) per regime — the
+//! acceptance property of `tests/failure_injection.rs` (rejoin strictly
+//! beats permanent departure) shown across the whole churn axis.
+//! Panel (b): availability (live-node fraction integrated over the run,
+//! %) and mean time-to-recover (rounds from restart to a re-stabilised
+//! view) per rejoin policy.
+//!
+//! Two free-form runs ride along: a catastrophe burst (a crash spike
+//! over a twentieth of the run) and a trusted-tier degradation run
+//! (attestation certificates expiring with TTL = rounds/16 and
+//! renewing), each printing its recovery counters.
+
+use raptee_bench::{emit, header, Scale};
+use raptee_sim::{runner, ChurnBurst, ChurnSchedule, RejoinPolicy, Scenario};
+use raptee_util::series::SeriesTable;
+
+/// Trusted tier of every run (the paper's t = 10 %).
+const TRUSTED: f64 = 0.10;
+
+/// Restart rate of the rejoin regimes: a crashed node returns with
+/// probability 0.4 per round (mean outage of 2.5 rounds).
+const RESTART: f64 = 0.4;
+
+/// The per-round crash rates of the x axis (fraction of live nodes).
+const CRASH_RATES: [f64; 4] = [0.005, 0.01, 0.02, 0.04];
+
+fn churn_template(scale: &Scale) -> Scenario {
+    let mut template = scale.scenario();
+    template.byzantine_fraction = 0.10;
+    template.trusted_fraction = TRUSTED;
+    template
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    header(
+        "fig_churn",
+        "RAPTEE under continuous churn: attrition vs cold vs warm rejoin",
+        &scale,
+    );
+
+    let template = churn_template(&scale);
+    let mut pollution = SeriesTable::new("crash(%/round)");
+    let mut recovery = SeriesTable::new("crash(%/round)");
+    for &crash in &CRASH_RATES {
+        let x = crash * 100.0;
+        let mut attrition = template.clone();
+        attrition.churn = ChurnSchedule::steady(crash, 0.0);
+        let dead_end = runner::run_repeated(&attrition, scale.reps);
+        pollution.insert("no rejoin", x, dead_end.resilience * 100.0);
+
+        for (label, policy) in [
+            ("cold rejoin", RejoinPolicy::Cold),
+            ("warm rejoin", RejoinPolicy::Warm),
+        ] {
+            let mut s = template.clone();
+            s.churn = ChurnSchedule::steady(crash, RESTART);
+            s.churn.rejoin = policy;
+            let agg = runner::run_repeated(&s, scale.reps);
+            pollution.insert(label, x, agg.resilience * 100.0);
+            if let Some(avail) = agg.availability {
+                recovery.insert(format!("availability {label} (%)"), x, avail * 100.0);
+            }
+            if let Some(ttr) = agg.time_to_recover {
+                recovery.insert(format!("TTR {label} (rounds)"), x, ttr);
+            }
+        }
+    }
+    emit(
+        "fig_churna",
+        "(a) Converged Byzantine IDs in correct views (%) per rejoin regime",
+        &pollution,
+    );
+    emit(
+        "fig_churnb",
+        "(b) Availability (%) and mean time-to-recover (rounds) per rejoin policy",
+        &recovery,
+    );
+
+    // A catastrophe burst on top of gentle steady churn: a twentieth of
+    // the run at a 25 %/round crash rate, warm rejoin.
+    let mut burst = template.clone();
+    let start = burst.rounds / 4;
+    burst.churn = ChurnSchedule::steady(0.005, RESTART);
+    burst.churn.rejoin = RejoinPolicy::Warm;
+    burst.churn.bursts = vec![ChurnBurst {
+        start,
+        end: start + (burst.rounds / 20).max(2),
+        crash_rate: 0.25,
+    }];
+    let burst_run = runner::run_scenario(burst.clone());
+    if let Some(rec) = &burst_run.recovery {
+        println!(
+            "    catastrophe run (burst rounds {}..{} @ 25%/round): {} crashes, {} restarts, {} recovered, availability {:.1}%, TTR {}",
+            burst.churn.bursts[0].start,
+            burst.churn.bursts[0].end,
+            rec.crashes,
+            rec.restarts,
+            rec.recovered,
+            rec.availability * 100.0,
+            rec.mean_time_to_recover
+                .map_or_else(|| "-".to_string(), |t| format!("{t:.1} rounds")),
+        );
+    }
+
+    // Trusted-tier degradation: attestation certificates expire with a
+    // staggered TTL and renew a few rounds later; the trusted tier dips
+    // and heals while the node population itself never crashes.
+    let mut expiry = template;
+    expiry.attest_ttl = (expiry.rounds / 16).max(4);
+    let expiry_run = runner::run_scenario(expiry.clone());
+    if let Some(rec) = &expiry_run.recovery {
+        let min_live = rec
+            .trusted_live_fraction
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let final_live = rec.trusted_live_fraction.last().copied().unwrap_or(1.0);
+        println!(
+            "    attestation-expiry run (TTL {} rounds): trusted tier dipped to {:.1}% attested, finished at {:.1}%, node availability {:.1}%",
+            expiry.attest_ttl,
+            min_live * 100.0,
+            final_live * 100.0,
+            rec.availability * 100.0,
+        );
+    }
+}

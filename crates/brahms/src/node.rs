@@ -123,6 +123,44 @@ impl BrahmsNode {
         }
     }
 
+    /// Cold rejoin after a crash–restart: the node comes back with a
+    /// fresh bootstrap view and fully reinitialised samplers, as if
+    /// provisioned from scratch — the pre-crash view, sample list and
+    /// RNG stream are all discarded (only identity and the cumulative
+    /// lifetime counters survive).
+    pub fn rejoin_cold(&mut self, bootstrap: &[NodeId], seed: u64) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut view = View::new(self.id, self.config.view_size);
+        for &b in bootstrap {
+            if view.len() == self.config.view_size {
+                break;
+            }
+            view.insert_fresh(b);
+        }
+        let mut sampler = SamplerArray::new(self.config.sample_size, &mut rng);
+        sampler.observe_all(view.ids());
+        self.view = view;
+        self.sampler = sampler;
+        self.rng = rng;
+        self.pushed.clear();
+        self.pulled.clear();
+    }
+
+    /// Warm rejoin after a crash–restart: the node resumes from its
+    /// persisted view and sample list, but every entry is probed
+    /// against `is_alive` first — the Brahms probe revalidation a
+    /// returning node runs before trusting state that aged while it was
+    /// down. Dead view entries are dropped and samplers holding dead
+    /// IDs are re-initialised. Returns `(view entries purged, samplers
+    /// reset)`.
+    pub fn rejoin_warm<F: FnMut(NodeId) -> bool>(&mut self, mut is_alive: F) -> (usize, usize) {
+        let purged = self.view.retain(|e| is_alive(e.id));
+        let reset = self.sampler.validate(&mut is_alive, &mut self.rng);
+        self.pushed.clear();
+        self.pulled.clear();
+        (purged, reset)
+    }
+
     /// This node's identifier.
     pub fn id(&self) -> NodeId {
         self.id
@@ -370,6 +408,31 @@ mod tests {
         let n = node(10);
         assert_eq!(n.view().len(), 10);
         assert_eq!(n.sampler().samples().len(), 10);
+    }
+
+    #[test]
+    fn cold_rejoin_matches_a_freshly_bootstrapped_node() {
+        let mut n = node(10);
+        // Age the node: pushes, pulls, finished rounds.
+        n.record_push(NodeId(55));
+        n.record_pulled(&ids(60..70));
+        n.finish_round();
+        let boot = ids(100..110);
+        n.rejoin_cold(&boot, 99);
+        let fresh = BrahmsNode::new(NodeId(0), cfg(10), &boot, 99);
+        assert_eq!(n.view().ids().collect::<Vec<_>>(), boot);
+        assert_eq!(n.sampler().samples(), fresh.sampler().samples());
+    }
+
+    #[test]
+    fn warm_rejoin_purges_dead_view_entries_and_samples() {
+        let mut n = node(10);
+        // Everything below NodeId(6) "died" while the node was down.
+        let (purged, reset) = n.rejoin_warm(|id| id.0 >= 6);
+        assert_eq!(purged, 5, "bootstrap IDs 1..6 purged from the view");
+        assert!(reset >= 1, "samplers holding dead IDs re-initialised");
+        assert!(n.view().ids().all(|id| id.0 >= 6));
+        assert!(n.sampler().samples().iter().all(|id| id.0 >= 6));
     }
 
     #[test]

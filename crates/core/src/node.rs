@@ -149,6 +149,35 @@ impl RapteeNode {
         }
     }
 
+    /// Cold rejoin after a crash–restart: the Brahms layer comes back
+    /// from a fresh bootstrap ([`raptee_brahms::BrahmsNode::rejoin_cold`]) and the
+    /// trusted directory is emptied — authenticated trust is a live
+    /// property, so a returning node must re-handshake its trusted
+    /// peers from scratch (the re-attested enclave keeps the sealed
+    /// group key, which is why `trusted` itself survives the restart —
+    /// see the sealing test in [`crate::provisioning`]).
+    pub fn rejoin_cold(&mut self, bootstrap: &[NodeId], seed: u64) {
+        self.brahms.rejoin_cold(bootstrap, seed);
+        self.directory = View::new(self.id(), self.config.brahms.view_size);
+        self.pulled_untrusted.clear();
+        self.pulled_trusted.clear();
+        self.contacts_total = 0;
+        self.contacts_trusted = 0;
+        self.last_eviction_rate = 0.0;
+    }
+
+    /// Warm rejoin after a crash–restart: Brahms probe-revalidates the
+    /// persisted view and samples, and directory entries whose trusted
+    /// peer died while this node was down are purged — the trusted
+    /// re-handshake then happens opportunistically against the
+    /// survivors. Returns `(view entries purged, samplers reset)`.
+    pub fn rejoin_warm<F: FnMut(NodeId) -> bool>(&mut self, mut is_alive: F) -> (usize, usize) {
+        self.directory.retain(|e| is_alive(e.id));
+        self.pulled_untrusted.clear();
+        self.pulled_trusted.clear();
+        self.brahms.rejoin_warm(is_alive)
+    }
+
     /// This node's identifier.
     pub fn id(&self) -> NodeId {
         self.brahms.id()

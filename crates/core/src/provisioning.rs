@@ -14,7 +14,7 @@
 
 use raptee_crypto::SecretKey;
 use raptee_tee::enclave::{Enclave, Measurement};
-use raptee_tee::{AttestationError, AttestationService};
+use raptee_tee::{AttestationError, AttestationService, Certificate};
 
 /// The canonical RAPTEE trusted-node code blob (stand-in for the enclave
 /// binary whose MRENCLAVE the attestation service expects).
@@ -80,6 +80,28 @@ pub fn certify_and_provision(service: &mut AttestationService, platform_id: u64)
         .expect("certified platform with genuine code attests")
 }
 
+/// Renews an expired (or expiring) attestation: the platform re-runs the
+/// full challenge/quote/attest flow and receives a fresh time-bounded
+/// [`Certificate`] valid from `now` for `ttl` rounds. The trusted-tier
+/// degradation model calls this at each re-attestation event.
+///
+/// # Errors
+///
+/// Returns the [`AttestationError`] when the platform is uncertified or
+/// revoked.
+pub fn renew_attestation(
+    service: &mut AttestationService,
+    platform_id: u64,
+    now: u64,
+    ttl: u64,
+) -> Result<Certificate, AttestationError> {
+    let enclave = Enclave::load(TRUSTED_CODE, platform_id);
+    let nonce = service.challenge();
+    let quote = AttestationService::quote(platform_id, &enclave, nonce);
+    let (_, cert) = service.attest_certified(&quote, now, ttl)?;
+    Ok(cert)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +150,19 @@ mod tests {
         assert_eq!(
             service.attest(&quote).unwrap_err(),
             AttestationError::WrongMeasurement
+        );
+    }
+
+    #[test]
+    fn renewal_issues_fresh_window_and_respects_revocation() {
+        let mut service = new_attestation_service(99);
+        service.certify_platform(4);
+        let cert = renew_attestation(&mut service, 4, 30, 20).unwrap();
+        assert!(cert.valid_at(30) && cert.valid_at(49) && !cert.valid_at(50));
+        service.revoke_platform(4);
+        assert_eq!(
+            renew_attestation(&mut service, 4, 50, 20).unwrap_err(),
+            AttestationError::RevokedPlatform
         );
     }
 

@@ -61,19 +61,62 @@ use crate::adversary::{Adversary, PushPlan};
 use crate::bitset::{Discovery, DiscoveryLane, EXACT_DISCOVERY_THRESHOLD};
 use crate::event::{EventNet, Lane as NetLane, PullGate};
 use crate::metrics::{
-    IdentificationResult, RunResult, SegmentResult, DISCOVERY_TARGET_SHARE, STABILITY_SPREAD,
+    IdentificationResult, RecoveryStats, RunResult, SegmentResult, DISCOVERY_TARGET_SHARE,
+    STABILITY_SPREAD,
 };
-use crate::scenario::{AttackStrategy, Protocol, Scenario};
+use crate::scenario::{AttackStrategy, Protocol, RejoinPolicy, Scenario};
 use raptee::provisioning;
 use raptee::{RapteeConfig, RapteeNode};
 use raptee_basalt::{BasaltConfig, BasaltNode, BasaltPlan};
 use raptee_brahms::{BrahmsConfig, FinishScratch, RoundPlan};
 use raptee_crypto::auth::AuthOutcome;
 use raptee_net::{IdInterner, NodeId, NodeIdx, PushRateLimiter};
-use raptee_util::rng::Xoshiro256StarStar;
+use raptee_tee::AttestationService;
+use raptee_util::rng::{mix64, Xoshiro256StarStar};
 
 /// Rounds of per-node share smoothing for the spread-stability check.
 const SMOOTHING_WINDOW: usize = 10;
+
+/// Maps a hash draw to a uniform in the open interval `(0, 1)` — the
+/// same mapping the event substrate uses, so churn draws share its
+/// statistical properties without sharing (or perturbing) its streams.
+fn hash_unit(x: u64) -> f64 {
+    ((x >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+}
+
+/// Run-long recovery accounting, allocated only when dynamic churn or
+/// attestation expiry is active (so the all-off configuration carries
+/// zero extra state and [`RunResult::recovery`] stays `None`).
+#[derive(Default)]
+struct RecoveryState {
+    crashes: u64,
+    restarts: u64,
+    recovered: u64,
+    /// Sum of (recovery round − restart round) over recovered rejoins.
+    ttr_sum: u64,
+    live_node_rounds: u64,
+    node_rounds: u64,
+    trusted_live_fraction: Vec<f64>,
+    /// Per-correct-node restart round while the rejoiner's smoothed
+    /// pollution has not yet re-entered the population band.
+    pending: Vec<Option<u32>>,
+}
+
+/// Trusted-tier degradation state (attestation certificates with a TTL):
+/// expired trusted nodes fall back to untrusted behaviour until they
+/// re-attest through the same service that provisioned them. Engine
+/// level only — the nodes keep their group keys, but the engine's
+/// authentication shortcut treats a stale certificate as failed
+/// freshness, exactly as a verifier would.
+struct TrustTier {
+    service: AttestationService,
+    seed: u64,
+    /// Per-actor certificate expiry round (trusted actors only).
+    expires: Vec<u64>,
+    /// Per-actor re-attestation round for degraded trusted actors.
+    heal_at: Vec<u64>,
+    degraded: Vec<bool>,
+}
 
 /// The correct population in dense, unboxed storage. Byzantine actors
 /// are pure identities (the adversary coordinates them centrally), so
@@ -539,6 +582,16 @@ pub struct Simulation {
     floods_detected: u64,
     total_evicted: u64,
     seed_rotations: u64,
+    /// Seed of the hash-derived churn draws (steady crashes, restarts,
+    /// cold-rejoin bootstraps). Dedicated stream: churn never consumes
+    /// `loss_rng` or any node RNG, so the all-off configuration replays
+    /// the historical draw sequences bit-for-bit.
+    churn_seed: u64,
+    /// Recovery accounting (`None` unless dynamic churn or attestation
+    /// expiry is active).
+    recovery: Option<RecoveryState>,
+    /// Trusted-tier degradation state (`None` unless `attest_ttl > 0`).
+    trust: Option<TrustTier>,
 }
 
 impl Simulation {
@@ -552,11 +605,19 @@ impl Simulation {
         // trusted tier plain BASALT lacks) run through the segmented
         // builder; the uniform protocols keep their historical path —
         // and their historical RNG draw order — untouched.
-        if !scenario.population.is_empty()
+        let mut sim = if !scenario.population.is_empty()
             || matches!(scenario.protocol, Protocol::BasaltTee { .. })
         {
-            return Self::new_mixed(scenario);
-        }
+            Self::new_mixed(scenario)
+        } else {
+            Self::new_uniform(scenario)
+        };
+        sim.init_robustness();
+        sim
+    }
+
+    /// The historical uniform-population builder (see [`Simulation::new`]).
+    fn new_uniform(scenario: Scenario) -> Self {
         let mut rng = Xoshiro256StarStar::seed_from_u64(scenario.seed);
         let n = scenario.n;
         let total = scenario.total_actors();
@@ -720,6 +781,9 @@ impl Simulation {
             floods_detected: 0,
             total_evicted: 0,
             seed_rotations: 0,
+            churn_seed: 0,
+            recovery: None,
+            trust: None,
             scenario,
         }
     }
@@ -922,8 +986,68 @@ impl Simulation {
             floods_detected: 0,
             total_evicted: 0,
             seed_rotations: 0,
+            churn_seed: 0,
+            recovery: None,
+            trust: None,
             scenario,
         }
+    }
+
+    /// Initialises the robustness subsystems both builders share: the
+    /// churn draw seed, the recovery accounting (dynamic churn or
+    /// attestation expiry only) and the trusted-tier degradation state.
+    /// With everything off this sets one integer and leaves both options
+    /// `None` — the historical engine, bit for bit.
+    fn init_robustness(&mut self) {
+        self.churn_seed = mix64(self.scenario.seed ^ 0x0C4A_54E5_50DD_BA11);
+        if self.scenario.churn.dynamic() || self.scenario.attest_ttl > 0 {
+            self.recovery = Some(RecoveryState {
+                pending: vec![None; self.non_byz_total],
+                ..RecoveryState::default()
+            });
+        }
+        if self.scenario.attest_ttl > 0 {
+            let total = self.total_actors();
+            let ttl = self.scenario.attest_ttl as u64;
+            // Rebuild the attestation service the constructors
+            // provisioned through (same measurement, same group key) and
+            // re-certify every trusted platform so renewals verify.
+            let mut service = provisioning::new_attestation_service(self.scenario.seed ^ 0x6E0C);
+            let seed = mix64(self.scenario.seed ^ 0x7255_7ED0_0DDA_7E5A);
+            let mut expires = vec![0u64; total];
+            for (abs, expiry) in expires.iter_mut().enumerate().skip(self.byz_count) {
+                if !self.trusted[abs] {
+                    continue;
+                }
+                service.certify_platform(0x1000 + abs as u64);
+                // Staggered initial expiry in [ttl, 2·ttl): certificates
+                // issued at different pre-run moments, so the tier never
+                // expires as one synchronized cliff.
+                *expiry = ttl + mix64(seed ^ mix64(abs as u64)) % ttl;
+            }
+            self.trust = Some(TrustTier {
+                service,
+                seed,
+                expires,
+                heal_at: vec![0; total],
+                degraded: vec![false; total],
+            });
+        }
+    }
+
+    /// Whether actor `abs` currently *behaves* trusted: provisioned into
+    /// the trusted tier and (when attestation expiry is active) holding
+    /// an unexpired certificate. Degraded nodes keep their group key but
+    /// fail the freshness check every verifier applies, so their
+    /// exchanges fall back to the untrusted path until they re-attest.
+    fn effective_trusted(&self, abs: usize) -> bool {
+        Self::effective_trusted_in(&self.trusted, self.trust.as_ref(), abs)
+    }
+
+    /// [`Simulation::effective_trusted`] over the raw fields, for call
+    /// sites holding a mutable borrow of the population.
+    fn effective_trusted_in(trusted: &[bool], trust: Option<&TrustTier>, abs: usize) -> bool {
+        trusted[abs] && trust.is_none_or(|t| !t.degraded[abs])
     }
 
     /// Interns the actor population at the wire-identity boundary and
@@ -1044,17 +1168,53 @@ impl Simulation {
         }
         let total = self.total_actors();
 
-        // Churn injection: crash a batch of correct nodes at the
-        // configured round. Crashed nodes stop planning, answering and
-        // pushing; pulls towards them time out.
-        if self.scenario.crash_fraction > 0.0 && self.round == self.scenario.crash_round {
+        // Churn injection, one-shot flavour: crash a batch of correct
+        // nodes at the configured round. Crashed nodes stop planning,
+        // answering and pushing; pulls towards them time out. This draws
+        // from `loss_rng` at exactly the historical point, so legacy
+        // one-shot scenarios replay bit-for-bit.
+        if self.scenario.churn.crash_fraction > 0.0 && self.round == self.scenario.churn.crash_round
+        {
             let candidates: Vec<usize> =
                 (self.byz_count..total).filter(|&i| self.alive[i]).collect();
-            let k = (self.scenario.crash_fraction * candidates.len() as f64).round() as usize;
+            let k = (self.scenario.churn.crash_fraction * candidates.len() as f64).round() as usize;
             for idx in self.loss_rng.sample(&candidates, k) {
-                self.alive[idx] = false;
+                self.crash_node(idx);
             }
         }
+
+        // Churn injection, continuous flavour: per-round hash-derived
+        // crash/restart draws (steady rates plus catastrophe bursts).
+        // Hash draws — never shared-RNG draws — so enabling churn cannot
+        // shift any other stochastic stream, and the schedule is
+        // identical at any thread count.
+        if self.scenario.churn.dynamic() {
+            let crash_rate = self.scenario.churn.crash_rate_at(self.round);
+            let restart_rate = self.scenario.churn.restart_rate;
+            let round_tag = (self.round as u64) << 1;
+            for abs in self.byz_count..total {
+                if self.alive[abs] {
+                    if crash_rate > 0.0
+                        && hash_unit(mix64(
+                            self.churn_seed ^ mix64(round_tag) ^ mix64(abs as u64),
+                        )) < crash_rate
+                    {
+                        self.crash_node(abs);
+                    }
+                } else if restart_rate > 0.0
+                    && hash_unit(mix64(
+                        self.churn_seed ^ mix64(round_tag | 1) ^ mix64(abs as u64),
+                    )) < restart_rate
+                {
+                    self.restart_node(abs);
+                }
+            }
+        }
+
+        // Trusted-tier degradation: expire stale certificates, re-attest
+        // healed ones (hash-derived heal delays; the attestation service
+        // is its own deterministic stream).
+        self.update_trust_tier();
 
         // The scratch arenas move out for the duration of the round so
         // `&mut self` stays available to the control passes.
@@ -1069,7 +1229,199 @@ impl Simulation {
         self.scratch = scratch;
         self.workers = workers;
 
+        self.update_recovery_metrics();
         self.round += 1;
+    }
+
+    /// Marks a correct actor dead and books the crash. A node that was
+    /// still converging after an earlier rejoin loses its pending
+    /// recovery — it died before recovering.
+    fn crash_node(&mut self, abs: usize) {
+        self.alive[abs] = false;
+        let ci = abs - self.byz_count;
+        if let Some(rec) = self.recovery.as_mut() {
+            rec.crashes += 1;
+            rec.pending[ci] = None;
+        }
+    }
+
+    /// Restarts a crashed correct actor through its protocol family's
+    /// rejoin path. Cold rejoiners bootstrap from a fresh hash-derived
+    /// membership sample with reinitialised samplers/rankings; warm
+    /// rejoiners resume from their persisted view, paying the staleness
+    /// penalty (Brahms probe revalidation / BASALT forced rotation).
+    /// Trusted rejoiners additionally re-run the attestation handshake
+    /// when certificate expiry is active.
+    fn restart_node(&mut self, abs: usize) {
+        self.alive[abs] = true;
+        let byz = self.byz_count;
+        let ci = abs - byz;
+        let total = self.total_actors();
+        let round = self.round as u64;
+        let rejoin = self.scenario.churn.rejoin;
+        let cold_seed = mix64(self.churn_seed ^ mix64(abs as u64) ^ mix64(round) ^ 0xC01D);
+        let view_size = self.scenario.view_size;
+        let bootstrap_of = |churn_seed: u64, k: usize| -> Vec<NodeId> {
+            (0..k as u64)
+                .map(|j| {
+                    NodeId(mix64(churn_seed ^ mix64(abs as u64) ^ mix64(round) ^ j) % total as u64)
+                })
+                .collect()
+        };
+        let churn_seed = self.churn_seed;
+        let alive = &self.alive;
+        let is_alive = |id: NodeId| alive.get(id.index()).copied().unwrap_or(false);
+        let segs = &self.segs;
+        let seg_of = &self.seg_of;
+        match &mut self.population {
+            Population::Raptee(nodes) => match rejoin {
+                RejoinPolicy::Cold => {
+                    let boot = bootstrap_of(churn_seed, view_size + 2);
+                    nodes[ci].rejoin_cold(&boot, cold_seed);
+                }
+                RejoinPolicy::Warm => {
+                    nodes[ci].rejoin_warm(is_alive);
+                }
+            },
+            Population::Basalt(nodes) => match rejoin {
+                RejoinPolicy::Cold => {
+                    let k = nodes[ci].config().view_size + 2;
+                    let boot = bootstrap_of(churn_seed, k);
+                    nodes[ci].rejoin_cold(&boot, cold_seed);
+                }
+                RejoinPolicy::Warm => {
+                    nodes[ci].rejoin_warm();
+                }
+            },
+            Population::Mixed(seg_nodes) => {
+                let si = seg_of[ci] as usize;
+                let local = ci - segs[si].start;
+                match &mut seg_nodes[si] {
+                    SegmentNodes::Raptee(nodes) => match rejoin {
+                        RejoinPolicy::Cold => {
+                            let boot = bootstrap_of(churn_seed, view_size + 2);
+                            nodes[local].rejoin_cold(&boot, cold_seed);
+                        }
+                        RejoinPolicy::Warm => {
+                            nodes[local].rejoin_warm(is_alive);
+                        }
+                    },
+                    SegmentNodes::Basalt(nodes) => match rejoin {
+                        RejoinPolicy::Cold => {
+                            let k = nodes[local].config().view_size + 2;
+                            let boot = bootstrap_of(churn_seed, k);
+                            nodes[local].rejoin_cold(&boot, cold_seed);
+                        }
+                        RejoinPolicy::Warm => {
+                            nodes[local].rejoin_warm();
+                        }
+                    },
+                }
+            }
+        }
+        // A trusted rejoiner re-attests on the spot (the trusted
+        // re-handshake): fresh certificate, degradation cleared.
+        if self.trusted[abs] {
+            if let Some(tier) = self.trust.as_mut() {
+                let ttl = self.scenario.attest_ttl as u64;
+                if let Ok(cert) = provisioning::renew_attestation(
+                    &mut tier.service,
+                    0x1000 + abs as u64,
+                    round,
+                    ttl,
+                ) {
+                    tier.degraded[abs] = false;
+                    tier.expires[abs] = cert.expires_round;
+                }
+            }
+        }
+        if let Some(rec) = self.recovery.as_mut() {
+            rec.restarts += 1;
+            rec.pending[ci] = Some(self.round as u32);
+        }
+    }
+
+    /// Advances the trusted-tier degradation state machine: unexpired →
+    /// degraded when the certificate lapses (with a 1–3 round re-attest
+    /// delay), degraded → healed when the node re-attests successfully.
+    /// Revoked platforms stay degraded forever.
+    fn update_trust_tier(&mut self) {
+        let Some(mut tier) = self.trust.take() else {
+            return;
+        };
+        let round = self.round as u64;
+        let ttl = self.scenario.attest_ttl as u64;
+        for abs in self.byz_count..self.total_actors() {
+            if !self.trusted[abs] {
+                continue;
+            }
+            if tier.degraded[abs] {
+                if self.alive[abs] && round >= tier.heal_at[abs] {
+                    if let Ok(cert) = provisioning::renew_attestation(
+                        &mut tier.service,
+                        0x1000 + abs as u64,
+                        round,
+                        ttl,
+                    ) {
+                        tier.degraded[abs] = false;
+                        tier.expires[abs] = cert.expires_round;
+                    }
+                }
+            } else if round >= tier.expires[abs] {
+                tier.degraded[abs] = true;
+                tier.heal_at[abs] =
+                    round + 1 + mix64(tier.seed ^ mix64(abs as u64) ^ mix64(round)) % 3;
+            }
+        }
+        self.trust = Some(tier);
+    }
+
+    /// Books this round's recovery metrics: availability node-rounds,
+    /// the effective-trusted live fraction, and time-to-recover for
+    /// rejoiners whose smoothed pollution share has re-entered the
+    /// population band (within [`STABILITY_SPREAD`] of the smoothed
+    /// mean, after at least [`SMOOTHING_WINDOW`] post-restart rounds).
+    fn update_recovery_metrics(&mut self) {
+        let Some(mut rec) = self.recovery.take() else {
+            return;
+        };
+        let byz = self.byz_count;
+        let total = self.total_actors();
+        rec.node_rounds += (total - byz) as u64;
+        rec.live_node_rounds += self.alive[byz..total].iter().filter(|&&a| a).count() as u64;
+        let trusted_total = self.trusted.iter().filter(|&&t| t).count();
+        if trusted_total > 0 {
+            let live = (byz..total)
+                .filter(|&abs| self.trusted[abs] && self.alive[abs] && self.effective_trusted(abs))
+                .count();
+            rec.trusted_live_fraction
+                .push(live as f64 / trusted_total as f64);
+        }
+        let stats = &self.scratch.stats;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for st in stats {
+            if st.participated && st.has_share {
+                sum += st.smoothed;
+                count += 1;
+            }
+        }
+        let mean = if count == 0 { 0.0 } else { sum / count as f64 };
+        for (ci, st) in stats.iter().enumerate().take(total - byz) {
+            let Some(restart) = rec.pending[ci] else {
+                continue;
+            };
+            if st.participated
+                && st.has_share
+                && self.round + 1 - restart as usize >= SMOOTHING_WINDOW
+                && (st.smoothed - mean).abs() <= STABILITY_SPREAD
+            {
+                rec.recovered += 1;
+                rec.ttr_sum += (self.round + 1 - restart as usize) as u64;
+                rec.pending[ci] = None;
+            }
+        }
+        self.recovery = Some(rec);
     }
 
     /// Collects the honest pushes surviving the rate limiter, liveness
@@ -1373,7 +1725,13 @@ impl Simulation {
             while due_cursor < due.len() && due[due_cursor].ci as usize <= ci {
                 let ans = &due[due_cursor];
                 due_cursor += 1;
-                if ans.ci as usize == ci && s.live[ci] {
+                if ans.ci as usize != ci {
+                    continue;
+                }
+                // First delivered copy claims the answer nonce; deadline
+                // retransmits and injected duplicates are suppressed.
+                let fresh = self.net.as_mut().is_none_or(|n| n.accept_answer(ans.nonce));
+                if fresh && s.live[ci] {
                     let start = s.arena.len() as u32;
                     s.arena.extend(ans.ids.iter().map(|&id| narrow(id)));
                     s.events.push(PullEvent::Arena {
@@ -1409,7 +1767,7 @@ impl Simulation {
             };
             for ci in 0..pop {
                 let abs = byz + ci;
-                if !self.trusted[abs] {
+                if !Self::effective_trusted_in(&self.trusted, self.trust.as_ref(), abs) {
                     continue;
                 }
                 let Some(partner) = nodes[ci].trusted_partner() else {
@@ -1421,6 +1779,13 @@ impl Simulation {
                 if !self.alive[partner.index()] {
                     // Timeout: forget the dead trusted peer.
                     nodes[ci].forget_trusted_peer(partner);
+                    continue;
+                }
+                if !Self::effective_trusted_in(&self.trusted, self.trust.as_ref(), partner.index())
+                {
+                    // The partner is alive but its certificate lapsed:
+                    // skip the exchange without forgetting it — it will
+                    // re-attest and answer again.
                     continue;
                 }
                 assert!(
@@ -1644,15 +2009,22 @@ impl Simulation {
             unreachable!()
         };
         // A crashed responder times out: the requester learns nothing
-        // and drops the stale link (Cyclon-style timeout handling).
+        // and drops the stale link (Cyclon-style timeout handling). Any
+        // in-flight retransmit copies die with the exchange.
         if !self.alive[t] {
             let node = &mut nodes[requester_ci];
             node.brahms_mut().view_mut().remove(target);
             node.forget_trusted_peer(target);
             s.view_mutated[requester_ci] = true;
+            if let Some(net) = self.net.as_mut() {
+                net.drop_pending_copies();
+            }
             return;
         }
         if self.scenario.message_loss > 0.0 && self.loss_rng.chance(self.scenario.message_loss) {
+            if let Some(net) = self.net.as_mut() {
+                net.drop_pending_copies();
+            }
             return; // request or answer lost in transit
         }
         if t < byz {
@@ -1675,16 +2047,32 @@ impl Simulation {
             return;
         }
         let tc = t - byz;
-        let both_trusted = self.trusted[requester_abs] && self.trusted[t];
+        // Effective trust: an expired attestation certificate fails the
+        // freshness check even though the group keys still agree, so a
+        // degraded pair's exchange falls back to the untrusted path.
+        let both_trusted =
+            Self::effective_trusted_in(&self.trusted, self.trust.as_ref(), requester_abs)
+                && Self::effective_trusted_in(&self.trusted, self.trust.as_ref(), t);
         let outcome_trusted = if self.scenario.real_crypto_handshakes {
             let (a, b) = two_nodes(nodes, requester_ci, tc);
             let (oa, ob) = RapteeNode::run_handshake(a, b);
             debug_assert_eq!(oa, ob);
-            debug_assert_eq!(oa == AuthOutcome::Trusted, both_trusted);
-            oa == AuthOutcome::Trusted
+            debug_assert_eq!(
+                oa == AuthOutcome::Trusted,
+                self.trusted[requester_abs] && self.trusted[t]
+            );
+            oa == AuthOutcome::Trusted && both_trusted
         } else {
             both_trusted
         };
+        if outcome_trusted {
+            // Trusted exchanges apply inline even when the gate deferred
+            // the answer (the attested channel is synchronous); drop any
+            // pending retransmit copies so they cannot double-deliver.
+            if let Some(net) = self.net.as_mut() {
+                net.drop_pending_copies();
+            }
+        }
         if outcome_trusted && self.scenario.trusted_swap {
             let (a, b) = two_nodes(nodes, requester_ci, tc);
             RapteeNode::trusted_swap(a, b);
@@ -1888,7 +2276,11 @@ impl Simulation {
             while due_cursor < due.len() && due[due_cursor].ci as usize <= ci {
                 let ans = &due[due_cursor];
                 due_cursor += 1;
-                if ans.ci as usize != ci || !s.live[ci] {
+                if ans.ci as usize != ci {
+                    continue;
+                }
+                let fresh = self.net.as_mut().is_none_or(|n| n.accept_answer(ans.nonce));
+                if !fresh || !s.live[ci] {
                     continue;
                 }
                 let Population::Basalt(nodes) = &mut self.population else {
@@ -1986,11 +2378,18 @@ impl Simulation {
             return;
         }
         // A crashed responder times out; its stale samples are recycled
-        // by seed rotation rather than an explicit removal.
+        // by seed rotation rather than an explicit removal. In-flight
+        // retransmit copies die with the exchange.
         if !self.alive[t] {
+            if let Some(net) = self.net.as_mut() {
+                net.drop_pending_copies();
+            }
             return;
         }
         if self.scenario.message_loss > 0.0 && self.loss_rng.chance(self.scenario.message_loss) {
+            if let Some(net) = self.net.as_mut() {
+                net.drop_pending_copies();
+            }
             return; // request or answer lost in transit
         }
         let Population::Basalt(nodes) = &mut self.population else {
@@ -2297,7 +2696,11 @@ impl Simulation {
                 while due_cursor < due.len() && due[due_cursor].ci as usize <= ci {
                     let ans = &due[due_cursor];
                     due_cursor += 1;
-                    if ans.ci as usize != ci || !s.live[ci] {
+                    if ans.ci as usize != ci {
+                        continue;
+                    }
+                    let fresh = self.net.as_mut().is_none_or(|n| n.accept_answer(ans.nonce));
+                    if !fresh || !s.live[ci] {
                         continue;
                     }
                     if is_basalt {
@@ -2358,7 +2761,7 @@ impl Simulation {
                 };
                 for local in 0..seg.len {
                     let abs = byz + seg.start + local;
-                    if !self.trusted[abs] {
+                    if !Self::effective_trusted_in(&self.trusted, self.trust.as_ref(), abs) {
                         continue;
                     }
                     let Some(partner) = nodes[local].trusted_partner() else {
@@ -2369,6 +2772,15 @@ impl Simulation {
                     }
                     if !self.alive[partner.index()] {
                         nodes[local].forget_trusted_peer(partner);
+                        continue;
+                    }
+                    if !Self::effective_trusted_in(
+                        &self.trusted,
+                        self.trust.as_ref(),
+                        partner.index(),
+                    ) {
+                        // Degraded partner: skip, don't forget (see the
+                        // uniform phase 3b).
                         continue;
                     }
                     assert!(
@@ -2602,9 +3014,15 @@ impl Simulation {
             node.brahms_mut().view_mut().remove(target);
             node.forget_trusted_peer(target);
             s.view_mutated[requester_ci] = true;
+            if let Some(net) = self.net.as_mut() {
+                net.drop_pending_copies();
+            }
             return;
         }
         if self.scenario.message_loss > 0.0 && self.loss_rng.chance(self.scenario.message_loss) {
+            if let Some(net) = self.net.as_mut() {
+                net.drop_pending_copies();
+            }
             return;
         }
         if t < byz {
@@ -2621,7 +3039,17 @@ impl Simulation {
             return;
         }
         let tc = t - byz;
-        let both_trusted = self.trusted[requester_abs] && self.trusted[t];
+        let both_trusted =
+            Self::effective_trusted_in(&self.trusted, self.trust.as_ref(), requester_abs)
+                && Self::effective_trusted_in(&self.trusted, self.trust.as_ref(), t);
+        if both_trusted {
+            // Trusted exchanges apply inline even when deferred by the
+            // gate — discard pending retransmit copies (see
+            // `control_pull`).
+            if let Some(net) = self.net.as_mut() {
+                net.drop_pending_copies();
+            }
+        }
         let target_basalt = self.segs[self.seg_of[tc] as usize].basalt_cfg.is_some();
         let Population::Mixed(seg_nodes) = &mut self.population else {
             unreachable!()
@@ -2725,9 +3153,15 @@ impl Simulation {
             return;
         }
         if !self.alive[t] {
+            if let Some(net) = self.net.as_mut() {
+                net.drop_pending_copies();
+            }
             return;
         }
         if self.scenario.message_loss > 0.0 && self.loss_rng.chance(self.scenario.message_loss) {
+            if let Some(net) = self.net.as_mut() {
+                net.drop_pending_copies();
+            }
             return;
         }
         let requester_id = NodeId(requester_abs as u64);
@@ -2752,7 +3186,16 @@ impl Simulation {
             return;
         }
         let tc = t - byz;
-        let both_trusted = self.trusted[requester_abs] && self.trusted[t];
+        let both_trusted =
+            Self::effective_trusted_in(&self.trusted, self.trust.as_ref(), requester_abs)
+                && Self::effective_trusted_in(&self.trusted, self.trust.as_ref(), t);
+        if both_trusted {
+            // Trusted exchanges apply inline regardless of the gate —
+            // discard pending retransmit copies (see `control_pull`).
+            if let Some(net) = self.net.as_mut() {
+                net.drop_pending_copies();
+            }
+        }
         let target_basalt = self.segs[self.seg_of[tc] as usize].basalt_cfg.is_some();
         let Population::Mixed(seg_nodes) = &mut self.population else {
             unreachable!()
@@ -3009,6 +3452,22 @@ impl Simulation {
             Some(n) => (self.round as u64 * n.round_ticks(), Some(n.finish())),
             None => (self.round as u64, None),
         };
+        // Recovery metrics exist only when dynamic churn or attestation
+        // expiry ran — the all-off configuration reports `None` and
+        // pre-existing results compare (and hash) unchanged.
+        let recovery = self.recovery.map(|rec| RecoveryStats {
+            availability: if rec.node_rounds == 0 {
+                1.0
+            } else {
+                rec.live_node_rounds as f64 / rec.node_rounds as f64
+            },
+            crashes: rec.crashes,
+            restarts: rec.restarts,
+            recovered: rec.recovered,
+            mean_time_to_recover: (rec.recovered > 0)
+                .then(|| rec.ttr_sum as f64 / rec.recovered as f64),
+            trusted_live_fraction: rec.trusted_live_fraction,
+        });
         RunResult {
             resilience,
             discovery_round: self.discovery_round,
@@ -3024,6 +3483,7 @@ impl Simulation {
             segments,
             virtual_ticks,
             net,
+            recovery,
         }
     }
 }
@@ -3180,8 +3640,7 @@ mod tests {
     #[test]
     fn crash_marks_nodes_dead_and_views_recover() {
         let mut s = small(Protocol::Brahms);
-        s.crash_fraction = 0.2;
-        s.crash_round = 10;
+        s.churn = crate::scenario::ChurnSchedule::one_shot(0.2, 10);
         s.rounds = 30;
         let byz = s.byzantine_count();
         let n = s.n;
@@ -3431,8 +3890,7 @@ mod tests {
             },
         );
         s.message_loss = 0.2;
-        s.crash_fraction = 0.15;
-        s.crash_round = 10;
+        s.churn = crate::scenario::ChurnSchedule::one_shot(0.15, 10);
         s.rounds = 30;
         let byz = s.byzantine_count();
         let n = s.n;
@@ -3481,8 +3939,7 @@ mod tests {
     fn basalt_survives_loss_and_crashes() {
         let mut s = small(Protocol::Brahms).basalt_variant(15);
         s.message_loss = 0.3;
-        s.crash_fraction = 0.2;
-        s.crash_round = 10;
+        s.churn = crate::scenario::ChurnSchedule::one_shot(0.2, 10);
         s.rounds = 30;
         let byz = s.byzantine_count();
         let n = s.n;
@@ -3502,5 +3959,137 @@ mod tests {
                 assert!(!sim.basalt(id).unwrap().view().is_empty());
             }
         }
+    }
+
+    #[test]
+    fn legacy_one_shot_crash_reports_no_recovery_metrics() {
+        let mut s = small(Protocol::Raptee);
+        s.churn = crate::scenario::ChurnSchedule::one_shot(0.2, 10);
+        let r = Simulation::new(s).run();
+        assert!(
+            r.recovery.is_none(),
+            "one-shot crashes predate the recovery family"
+        );
+    }
+
+    #[test]
+    fn steady_churn_with_restarts_reports_recovery_metrics() {
+        let mut s = small(Protocol::Raptee);
+        s.churn = crate::scenario::ChurnSchedule::steady(0.02, 0.4);
+        let a = Simulation::new(s.clone()).run();
+        let rec = a
+            .recovery
+            .as_ref()
+            .expect("dynamic churn yields recovery stats");
+        assert!(rec.crashes > 0, "steady rate must crash someone");
+        assert!(rec.restarts > 0, "restart process must fire");
+        assert!(rec.recovered <= rec.restarts);
+        assert!(rec.availability > 0.0 && rec.availability < 1.0);
+        if let Some(ttr) = rec.mean_time_to_recover {
+            assert!(ttr >= SMOOTHING_WINDOW as f64);
+        }
+        let b = Simulation::new(s).run();
+        assert_eq!(a, b, "churn draws are hash-deterministic");
+    }
+
+    #[test]
+    fn catastrophe_burst_crashes_more_than_steady_alone() {
+        let mut steady = small(Protocol::Raptee);
+        steady.churn = crate::scenario::ChurnSchedule::steady(0.005, 0.5);
+        let mut burst = steady.clone();
+        burst.churn.bursts = vec![crate::scenario::ChurnBurst {
+            start: 20,
+            end: 25,
+            crash_rate: 0.5,
+        }];
+        let a = Simulation::new(steady).run();
+        let b = Simulation::new(burst).run();
+        let (ra, rb) = (a.recovery.unwrap(), b.recovery.unwrap());
+        assert!(
+            rb.crashes > ra.crashes,
+            "burst window raises crash volume: {} vs {}",
+            rb.crashes,
+            ra.crashes
+        );
+    }
+
+    #[test]
+    fn cold_and_warm_rejoin_policies_diverge() {
+        let mut cold = small(Protocol::Raptee);
+        cold.churn = crate::scenario::ChurnSchedule::steady(0.02, 0.4);
+        let mut warm = cold.clone();
+        warm.churn.rejoin = RejoinPolicy::Warm;
+        let a = Simulation::new(cold).run();
+        let b = Simulation::new(warm).run();
+        assert!(a.recovery.is_some() && b.recovery.is_some());
+        // Crash/restart draws are state-independent hashes, so both runs
+        // see identical membership timelines — only the rebuilt node
+        // state differs, and that must show up in the trajectories.
+        assert_ne!(a.byz_share_series, b.byz_share_series);
+    }
+
+    #[test]
+    fn basalt_family_survives_dynamic_churn_with_warm_rejoin() {
+        let mut s = small(Protocol::Brahms).basalt_variant(15);
+        s.churn = crate::scenario::ChurnSchedule::steady(0.02, 0.4);
+        s.churn.rejoin = RejoinPolicy::Warm;
+        let r = Simulation::new(s).run();
+        let rec = r.recovery.expect("recovery stats under dynamic churn");
+        assert!(rec.crashes > 0 && rec.restarts > 0);
+        assert!(rec.availability > 0.0 && rec.availability < 1.0);
+    }
+
+    #[test]
+    fn mixed_population_routes_restarts_to_both_families() {
+        let mut s = small(Protocol::Brahms).half_and_half(
+            Protocol::Brahms,
+            Protocol::Basalt {
+                view_size: 12,
+                rotation_interval: 15,
+            },
+        );
+        s.churn = crate::scenario::ChurnSchedule::steady(0.03, 0.5);
+        let a = Simulation::new(s.clone()).run();
+        assert!(a.recovery.as_ref().unwrap().restarts > 0);
+        let b = Simulation::new(s).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn attestation_expiry_degrades_and_heals_the_trusted_tier() {
+        let mut s = small(Protocol::Raptee);
+        s.attest_ttl = 6;
+        let a = Simulation::new(s.clone()).run();
+        let rec = a
+            .recovery
+            .as_ref()
+            .expect("attest_ttl alone activates recovery stats");
+        assert_eq!(rec.trusted_live_fraction.len(), s.rounds);
+        // No churn: availability stays perfect even while certs lapse.
+        assert!((rec.availability - 1.0).abs() < 1e-12);
+        assert_eq!(rec.crashes, 0);
+        // Initial expiries are staggered over [ttl, 2*ttl), so the tier
+        // starts whole, dips when certs lapse, and heals back up after
+        // re-attestation.
+        assert!((rec.trusted_live_fraction[0] - 1.0).abs() < 1e-12);
+        let dip = rec
+            .trusted_live_fraction
+            .iter()
+            .position(|&f| f < 1.0)
+            .expect("a six-round TTL must degrade someone");
+        assert!(
+            rec.trusted_live_fraction[dip..]
+                .iter()
+                .any(|&f| f > rec.trusted_live_fraction[dip]),
+            "re-attestation must heal the tier after the first dip"
+        );
+        // Degraded trusted nodes act untrusted, which changes the
+        // protocol trajectory relative to the eternal-cert baseline.
+        let mut eternal = s.clone();
+        eternal.attest_ttl = 0;
+        let base = Simulation::new(eternal).run();
+        assert_ne!(a.byz_share_series, base.byz_share_series);
+        let b = Simulation::new(s).run();
+        assert_eq!(a, b, "degradation schedule is hash-deterministic");
     }
 }

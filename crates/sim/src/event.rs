@@ -42,7 +42,7 @@ use raptee::wire::Message;
 use raptee_net::{NodeId, NodeIdx};
 use raptee_util::rng::mix64;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// A deterministic min-ordered event queue.
 ///
@@ -195,6 +195,10 @@ pub enum Envelope {
         from: NodeId,
         /// Whether a partition cut held this message back.
         held: bool,
+        /// Exchange nonce: every copy of the same answer (deadline
+        /// retransmits, injected duplicates) carries the same value, so
+        /// the engine's dedup applies at most one.
+        nonce: u64,
         /// The wire payload.
         msg: Message,
     },
@@ -209,6 +213,9 @@ pub struct DueAnswer {
     pub ci: u32,
     /// The responder's wire identity.
     pub from: NodeId,
+    /// Exchange nonce — pass to [`EventNet::accept_answer`] before
+    /// applying; duplicates of an already-applied answer return `false`.
+    pub nonce: u64,
     /// The answered view.
     pub ids: Vec<NodeId>,
 }
@@ -256,6 +263,20 @@ pub struct EventNet {
     /// Per-message counter salting the latency hash, bumped in
     /// sequential control order.
     msg_seq: u64,
+    /// Counter salting the fault-injection hash (retry jitter,
+    /// duplicate/reorder draws). A stream of its own: fault draws never
+    /// advance `msg_seq`, so the protocol-visible latency sequence of a
+    /// run is identical whether the injectors are on or off.
+    fault_seq: u64,
+    /// Next exchange nonce (0 is never issued).
+    next_nonce: u64,
+    /// Nonces whose answer has already been applied (point-queried
+    /// only — set order cannot leak into results).
+    seen_nonces: HashSet<u64>,
+    /// Deadline-expired answer copies of the pull currently being
+    /// gated: `(arrival tick, held)` recorded by the retry loop, queued
+    /// (with the shared nonce) when the engine materialises the answer.
+    dup_pending: Vec<(u64, bool)>,
     queue: EventQueue<Envelope>,
     /// This round's due pushes, honest lane: `(receiver, advertised)`
     /// pairs ready to head the survivor list.
@@ -300,6 +321,10 @@ impl EventNet {
             natted_from,
             holes: HashMap::new(),
             msg_seq: 0,
+            fault_seq: 0,
+            next_nonce: 0,
+            seen_nonces: HashSet::new(),
+            dup_pending: Vec::new(),
             queue,
             due_honest: Vec::new(),
             due_byz: Vec::new(),
@@ -352,6 +377,7 @@ impl EventNet {
                     ci,
                     from,
                     held,
+                    nonce,
                     msg,
                 } => {
                     let Message::PullAnswer { ids } = msg else {
@@ -360,7 +386,12 @@ impl EventNet {
                     if held {
                         self.stats.partition_released += 1;
                     }
-                    self.due_answers.push(DueAnswer { ci, from, ids });
+                    self.due_answers.push(DueAnswer {
+                        ci,
+                        from,
+                        nonce,
+                        ids,
+                    });
                 }
             }
         }
@@ -429,40 +460,100 @@ impl EventNet {
     /// Gates one pull exchange from requester `req` (absolute index) to
     /// `tgt`: refused across a NAT or an active cut, inline when the
     /// round trip fits the sending round, deferred otherwise.
+    ///
+    /// With [`RetryConfig`](crate::scenario::RetryConfig) enabled, each
+    /// request arms a deadline timer of one round period. A refused
+    /// connection re-attempts after bounded exponential backoff plus
+    /// hash-derived jitter (a cut that heals before the re-attempt
+    /// succeeds); an answer that would miss the deadline is treated as
+    /// lost and retried, while the late copy still arrives and carries
+    /// the *same* nonce — exercising the dedup in the engine's answer
+    /// path. The first attempt consumes draws exactly like the
+    /// retry-free gate, so the all-off config stays byte-identical.
     pub fn gate_pull(&mut self, round: usize, req: usize, tgt: usize) -> PullGate {
-        if self.natted(req) {
-            self.holes.insert((req as u32, tgt as u32), round);
-        }
-        if self.natted(tgt) && !self.hole_open(tgt, req, round) {
-            self.stats.nat_blocked += 1;
-            return PullGate::Refused;
-        }
-        if self.cut_active(round, req, tgt) {
-            self.stats.refused_pulls += 1;
-            return PullGate::Refused;
-        }
+        debug_assert!(self.dup_pending.is_empty(), "pending copies were drained");
         let ticks = self.cfg.round_ticks;
-        let rtt = self.latency(req, tgt) + self.latency(tgt, req);
-        let mut arrival = round as u64 * ticks + self.offset(req) + rtt;
-        // The answer travels back across the same pair: a cut activating
-        // before it lands holds it at the boundary.
-        let held = self.partition_clamp(req, tgt, &mut arrival);
-        if held {
-            self.stats.partition_held += 1;
-        }
-        let answer_round = (arrival / ticks) as usize;
-        if answer_round <= round {
-            PullGate::Inline
-        } else {
-            PullGate::Deferred {
-                round: answer_round,
-                held,
+        let retry = self.cfg.retry;
+        let mut depart = round as u64 * ticks + self.offset(req);
+        for attempt in 0..=retry.max_retries {
+            let last = attempt == retry.max_retries;
+            let depart_round = (depart / ticks) as usize;
+            if depart_round >= self.rounds {
+                // The run ends before this attempt fires.
+                self.dup_pending.clear();
+                return PullGate::Refused;
             }
+            // Each attempt is an outbound contact: it re-punches the
+            // requester's NAT hole at its own departure round.
+            if self.natted(req) {
+                self.holes.insert((req as u32, tgt as u32), depart_round);
+            }
+            let refused = if self.natted(tgt) && !self.hole_open(tgt, req, depart_round) {
+                self.stats.nat_blocked += 1;
+                true
+            } else if self.cut_active(depart_round, req, tgt) {
+                self.stats.refused_pulls += 1;
+                true
+            } else {
+                false
+            };
+            if refused {
+                if last {
+                    self.dup_pending.clear();
+                    return PullGate::Refused;
+                }
+                depart += self.backoff(attempt, req, tgt);
+                continue;
+            }
+            let rtt = self.latency(req, tgt) + self.latency(tgt, req);
+            let mut arrival = depart + rtt;
+            // The answer travels back across the same pair: a cut
+            // activating before it lands holds it at the boundary.
+            let held = self.partition_clamp(req, tgt, &mut arrival);
+            if held {
+                self.stats.partition_held += 1;
+            }
+            if !last && arrival > depart + ticks {
+                // Deadline expired: the requester assumes loss and
+                // retries. The late copy is still in flight — record it
+                // so the materialised answer is also delivered at this
+                // arrival, under the shared nonce.
+                self.dup_pending.push((arrival, held));
+                depart += self.backoff(attempt, req, tgt);
+                continue;
+            }
+            let answer_round = (arrival / ticks) as usize;
+            return if answer_round <= round && self.dup_pending.is_empty() {
+                PullGate::Inline
+            } else {
+                // Retransmit copies are pending: the exchange must go
+                // through `queue_answer` so they get their payload, so
+                // an in-round arrival defers to the next round.
+                PullGate::Deferred {
+                    round: answer_round.max(if self.dup_pending.is_empty() {
+                        0
+                    } else {
+                        round + 1
+                    }),
+                    held,
+                }
+            };
         }
+        unreachable!("the final attempt always returns")
+    }
+
+    /// One bounded-exponential-backoff delay: `base · 2^attempt` plus
+    /// hash-derived jitter in `[0, base)`, counted as a retry.
+    fn backoff(&mut self, attempt: u32, req: usize, tgt: usize) -> u64 {
+        self.stats.retries_issued += 1;
+        let base = self.cfg.retry.base_backoff;
+        (base << attempt.min(16)) + self.fault_draw(req, tgt) % base.max(1)
     }
 
     /// Queues a materialised pull answer for delivery at `round` (as
-    /// returned by [`PullGate::Deferred`]).
+    /// returned by [`PullGate::Deferred`]), plus every pending
+    /// deadline-retransmit copy and any injected duplicate — all under
+    /// one fresh nonce, so the engine applies exactly one copy.
     pub fn queue_answer(
         &mut self,
         round: usize,
@@ -471,16 +562,58 @@ impl EventNet {
         from: NodeId,
         ids: Vec<NodeId>,
     ) {
-        self.stats.late_deliveries += 1;
-        self.queue.push(
-            round as u64 * self.cfg.round_ticks,
-            Envelope::Reply {
-                ci,
-                from,
-                held,
-                msg: Message::PullAnswer { ids },
-            },
-        );
+        self.next_nonce += 1;
+        let nonce = self.next_nonce;
+        let primary = round as u64 * self.cfg.round_ticks;
+        let mut copies: Vec<(u64, bool)> = vec![(primary, held)];
+        copies.append(&mut self.dup_pending);
+        if self.cfg.duplicate_rate > 0.0
+            && unit(self.fault_draw(ci as usize, from.0 as usize)) < self.cfg.duplicate_rate
+        {
+            // Injected duplicate, optionally reordered by extra
+            // hash-derived delay.
+            let extra = if self.cfg.reorder_jitter > 0 {
+                self.fault_draw(ci as usize, from.0 as usize) % (self.cfg.reorder_jitter + 1)
+            } else {
+                0
+            };
+            copies.push((primary + extra, held));
+        }
+        for (arrival, held) in copies {
+            self.stats.late_deliveries += 1;
+            self.queue.push(
+                arrival,
+                Envelope::Reply {
+                    ci,
+                    from,
+                    held,
+                    nonce,
+                    msg: Message::PullAnswer { ids: ids.clone() },
+                },
+            );
+        }
+    }
+
+    /// Discards the deadline-retransmit copies of the current exchange —
+    /// for gated pulls that never materialise an answer (crashed or
+    /// lossy responder), where the in-flight copies have no payload to
+    /// carry.
+    pub fn drop_pending_copies(&mut self) {
+        self.dup_pending.clear();
+    }
+
+    /// Whether this answer nonce is fresh. The engine consults this
+    /// before applying a due answer: the first copy claims the nonce,
+    /// every later duplicate (deadline retransmit, injected copy)
+    /// returns `false` and is counted as suppressed — the idempotence
+    /// guarantee of the wire path.
+    pub fn accept_answer(&mut self, nonce: u64) -> bool {
+        if self.seen_nonces.insert(nonce) {
+            true
+        } else {
+            self.stats.duplicates_suppressed += 1;
+            false
+        }
     }
 
     /// Takes this round's due answers (sorted by requester). The engine
@@ -600,6 +733,16 @@ impl EventNet {
     fn draw(&mut self, src: usize, dst: usize) -> u64 {
         self.msg_seq += 1;
         mix64(self.seed ^ mix64(((src as u64) << 32) | dst as u64) ^ mix64(self.msg_seq))
+    }
+
+    /// The fault-injection uniform (retry jitter, duplicate/reorder
+    /// draws): its own salt and counter, so fault draws never shift the
+    /// protocol-visible latency sequence of [`EventNet::draw`].
+    fn fault_draw(&mut self, a: usize, b: usize) -> u64 {
+        self.fault_seq += 1;
+        mix64(
+            self.seed ^ 0xD0D0_FA17 ^ mix64(((a as u64) << 32) | b as u64) ^ mix64(self.fault_seq),
+        )
     }
 
     /// Number of rounds this substrate was built for (tests).
@@ -831,6 +974,124 @@ mod tests {
             vec![(2, NodeId(41)), (7, NodeId(40)), (7, NodeId(42))],
             "sorted by requester, arrival order preserved within one"
         );
+    }
+
+    use crate::scenario::RetryConfig;
+
+    #[test]
+    fn refused_pull_retries_after_backoff_and_succeeds_past_the_heal() {
+        let mut net = net(EventNetConfig {
+            partitions: vec![PartitionWindow {
+                start: 0,
+                end: 5,
+                boundary: 50,
+            }],
+            retry: RetryConfig {
+                max_retries: 3,
+                base_backoff: 5_000,
+            },
+            ..EventNetConfig::default()
+        });
+        net.begin_round(0);
+        // Attempt 0 hits the cut; the single retry departs 5000..10000
+        // ticks later (round 5..9), after the heal, and succeeds.
+        match net.gate_pull(0, 1, 60) {
+            PullGate::Deferred { round, .. } => assert!((5..10).contains(&round)),
+            g => panic!("expected a post-heal deferred answer, got {g:?}"),
+        }
+        assert_eq!(net.stats().refused_pulls, 1);
+        assert_eq!(net.stats().retries_issued, 1);
+    }
+
+    #[test]
+    fn retries_stop_at_the_cap() {
+        let mut net = net(EventNetConfig {
+            partitions: vec![PartitionWindow {
+                start: 0,
+                end: 40,
+                boundary: 50,
+            }],
+            retry: RetryConfig {
+                max_retries: 3,
+                base_backoff: 10,
+            },
+            ..EventNetConfig::default()
+        });
+        net.begin_round(0);
+        assert_eq!(net.gate_pull(0, 1, 60), PullGate::Refused);
+        assert_eq!(net.stats().refused_pulls, 4, "initial try + 3 retries");
+        assert_eq!(net.stats().retries_issued, 3, "the cap binds");
+        assert_eq!(net.finish().in_flight_at_end, 0);
+    }
+
+    #[test]
+    fn deadline_retransmits_share_one_nonce_and_dedup_suppresses_them() {
+        let mut net = net(EventNetConfig {
+            latency: LatencyModel::Constant(2500),
+            retry: RetryConfig {
+                max_retries: 2,
+                base_backoff: 100,
+            },
+            ..EventNetConfig::default()
+        });
+        net.begin_round(0);
+        // Every attempt's round trip (5000 ticks) blows the one-round
+        // deadline: two retries fire, and both expired copies stay in
+        // flight alongside the final answer.
+        let gate = net.gate_pull(0, 1, 2);
+        let PullGate::Deferred { round, held } = gate else {
+            panic!("expected deferred, got {gate:?}")
+        };
+        assert_eq!(net.stats().retries_issued, 2);
+        net.queue_answer(round, held, 4, NodeId(2), vec![NodeId(9)]);
+        for r in 1..=round {
+            net.begin_round(r);
+        }
+        let due = net.take_due_answers();
+        assert_eq!(due.len(), 3, "final answer + two deadline retransmits");
+        assert!(due.iter().all(|a| a.nonce == due[0].nonce));
+        let applied = due.iter().filter(|a| net.accept_answer(a.nonce)).count();
+        assert_eq!(applied, 1, "dedup applies exactly one copy");
+        assert_eq!(net.stats().duplicates_suppressed, 2);
+    }
+
+    #[test]
+    fn injected_duplicates_are_suppressed_not_double_applied() {
+        let mut net = net(EventNetConfig {
+            duplicate_rate: 1.0,
+            reorder_jitter: 100,
+            ..EventNetConfig::default()
+        });
+        net.queue_answer(1, false, 3, NodeId(8), vec![NodeId(5)]);
+        net.begin_round(0);
+        let buf = net.take_due_answers();
+        net.restore_due_answers(buf);
+        net.begin_round(1);
+        let due = net.take_due_answers();
+        assert_eq!(due.len(), 2, "the injector added one copy");
+        assert_eq!(due[0].nonce, due[1].nonce);
+        assert!(net.accept_answer(due[0].nonce));
+        assert!(!net.accept_answer(due[1].nonce), "second copy suppressed");
+        assert_eq!(net.stats().duplicates_suppressed, 1);
+    }
+
+    #[test]
+    fn dropped_exchanges_discard_pending_copies() {
+        let mut net = net(EventNetConfig {
+            latency: LatencyModel::Constant(2500),
+            retry: RetryConfig {
+                max_retries: 1,
+                base_backoff: 100,
+            },
+            ..EventNetConfig::default()
+        });
+        net.begin_round(0);
+        let _ = net.gate_pull(0, 1, 2);
+        // The responder never materialises an answer (crash/loss): the
+        // engine discards the in-flight copies instead of queueing them.
+        net.drop_pending_copies();
+        let _ = net.gate_pull(0, 3, 4); // debug_assert: buffer is clean
+        net.drop_pending_copies();
     }
 
     #[test]

@@ -48,9 +48,11 @@ pub mod scenario;
 pub use bitset::{Discovery, EXACT_DISCOVERY_THRESHOLD};
 pub use engine::Simulation;
 pub use event::{EventEngine, EventQueue};
+pub use metrics::RecoveryStats;
 pub use metrics::{IdentificationResult, NetRunStats, RunResult, SegmentResult};
 pub use runner::{run_repeated, run_scenario, AggregatedResult, SegmentAggregate};
 pub use scenario::{
-    AttackStrategy, DiscoveryMode, EventNetConfig, LatencyModel, NetworkModel, PartitionWindow,
-    Protocol, Reachability, Scenario, SegmentSpec,
+    AttackStrategy, ChurnBurst, ChurnSchedule, DiscoveryMode, EventNetConfig, LatencyModel,
+    NetworkModel, PartitionWindow, Protocol, Reachability, RejoinPolicy, RetryConfig, Scenario,
+    SegmentSpec,
 };

@@ -169,6 +169,39 @@ pub struct NetRunStats {
     pub refused_pulls: u64,
     /// Messages still queued when the run ended.
     pub in_flight_at_end: u64,
+    /// Pull retry attempts issued by the bounded-backoff timer (0 with
+    /// retries disabled).
+    pub retries_issued: u64,
+    /// Duplicate pull-answer deliveries suppressed by the engine's
+    /// nonce dedup (retransmitted answers plus injected copies).
+    pub duplicates_suppressed: u64,
+}
+
+/// Dynamic-membership outcome of one run — present only when the
+/// scenario configures churn or attestation expiry, so static-scenario
+/// results (and their golden fingerprints) are untouched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryStats {
+    /// Mean fraction of correct nodes alive per round (node-rounds
+    /// alive / node-rounds total) — 1.0 in a churn-free run.
+    pub availability: f64,
+    /// Crash events over the run (one-shot batch + steady + bursts).
+    pub crashes: u64,
+    /// Restart events over the run.
+    pub restarts: u64,
+    /// Restarted nodes that returned in-band — their smoothed Byzantine
+    /// share back within [`STABILITY_SPREAD`] of the population mean at
+    /// least [`crate::engine::Simulation`]'s smoothing window after the
+    /// restart.
+    pub recovered: u64,
+    /// Mean rounds from restart to in-band recovery, over the nodes
+    /// that recovered within the run; `None` when none did (or no
+    /// restarts happened).
+    pub mean_time_to_recover: Option<f64>,
+    /// Fraction of the trusted tier both alive and holding a valid
+    /// (unexpired) attestation certificate, per round. Empty when the
+    /// run has no trusted tier.
+    pub trusted_live_fraction: Vec<f64>,
 }
 
 /// Pollution metrics of one population segment (see
@@ -241,6 +274,9 @@ pub struct RunResult {
     pub virtual_ticks: u64,
     /// Delivery-substrate statistics; `None` for round-model runs.
     pub net: Option<NetRunStats>,
+    /// Dynamic-membership and trusted-tier recovery statistics; `None`
+    /// unless the scenario configures churn or attestation expiry.
+    pub recovery: Option<RecoveryStats>,
 }
 
 #[cfg(test)]

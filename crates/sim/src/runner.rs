@@ -57,6 +57,14 @@ pub struct AggregatedResult {
     pub discovery_success: f64,
     /// Fraction of repetitions that reached stability within the run.
     pub stability_success: f64,
+    /// Mean node availability (live node-rounds over scheduled
+    /// node-rounds) across repetitions that tracked recovery metrics;
+    /// `None` when churn and attestation expiry were both off.
+    pub availability: Option<f64>,
+    /// Mean time-to-recover in rounds across repetitions in which at
+    /// least one restarted node re-stabilised; `None` when none did (or
+    /// recovery tracking was off).
+    pub time_to_recover: Option<f64>,
 }
 
 /// Runs one scenario once. Takes the scenario by value — repetition
@@ -160,6 +168,18 @@ pub fn aggregate(results: &[RunResult]) -> AggregatedResult {
             idents.iter().map(|i| i.f1).sum::<f64>() / m,
         )
     };
+    let availability = mean_of(
+        results
+            .iter()
+            .filter_map(|r| r.recovery.as_ref().map(|rec| rec.availability))
+            .collect(),
+    );
+    let time_to_recover = mean_of(
+        results
+            .iter()
+            .filter_map(|r| r.recovery.as_ref().and_then(|rec| rec.mean_time_to_recover))
+            .collect(),
+    );
     AggregatedResult {
         resilience,
         segments,
@@ -171,6 +191,8 @@ pub fn aggregate(results: &[RunResult]) -> AggregatedResult {
         repetitions: results.len(),
         discovery_success,
         stability_success,
+        availability,
+        time_to_recover,
     }
 }
 
@@ -293,6 +315,7 @@ mod tests {
             }],
             virtual_ticks: 10,
             net: None,
+            recovery: None,
         }
     }
 
@@ -304,6 +327,33 @@ mod tests {
         assert_eq!(agg.discovery_success, 0.5);
         assert_eq!(agg.repetitions, 2);
         assert!((agg.ident_precision - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_folds_recovery_metrics() {
+        let quiet = fake_result(0.2, Some(10));
+        let mut churned = fake_result(0.4, None);
+        churned.recovery = Some(crate::metrics::RecoveryStats {
+            availability: 0.9,
+            crashes: 4,
+            restarts: 3,
+            recovered: 2,
+            mean_time_to_recover: Some(12.0),
+            trusted_live_fraction: Vec::new(),
+        });
+        let agg = aggregate(&[quiet.clone(), churned.clone()]);
+        // Only repetitions that tracked recovery contribute to the mean.
+        assert_eq!(agg.availability, Some(0.9));
+        assert_eq!(agg.time_to_recover, Some(12.0));
+        let off = aggregate(&[quiet]);
+        assert_eq!(off.availability, None);
+        assert_eq!(off.time_to_recover, None);
+        // A tracked repetition where nothing re-stabilised yields an
+        // availability mean but no TTR.
+        churned.recovery.as_mut().unwrap().mean_time_to_recover = None;
+        let agg = aggregate(&[churned]);
+        assert_eq!(agg.availability, Some(0.9));
+        assert_eq!(agg.time_to_recover, None);
     }
 
     #[test]
@@ -323,6 +373,15 @@ mod tests {
         let agg = run_repeated(&tiny(), 2);
         assert_eq!(agg.repetitions, 2);
         assert!(agg.resilience > 0.0 && agg.resilience < 1.0);
+    }
+
+    #[test]
+    fn repeated_churn_runs_surface_availability() {
+        let mut s = tiny();
+        s.churn = crate::scenario::ChurnSchedule::steady(0.02, 0.4);
+        let agg = run_repeated(&s, 2);
+        let availability = agg.availability.expect("churn runs track availability");
+        assert!(availability > 0.0 && availability < 1.0);
     }
 
     #[test]

@@ -195,6 +195,24 @@ pub enum Reachability {
     },
 }
 
+/// Bounded exponential-backoff retry policy for pull requests on the
+/// event network. A pull whose connection is refused (an active cut, a
+/// closed NAT) re-arms a deadline timer and tries again after
+/// `base_backoff · 2^(attempt-1)` ticks plus deterministic hash-derived
+/// jitter, up to `max_retries` extra attempts. The all-zero default
+/// disables retries entirely and is draw-for-draw identical to the
+/// pre-retry engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryConfig {
+    /// Maximum retry attempts per pull beyond the first try (`0`
+    /// disables retries).
+    pub max_retries: u32,
+    /// Backoff base in virtual ticks; attempt `k` waits
+    /// `base_backoff · 2^(k-1)` plus jitter. Must be positive when
+    /// `max_retries > 0`.
+    pub base_backoff: u64,
+}
+
 /// Configuration of the event-driven delivery substrate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EventNetConfig {
@@ -213,6 +231,19 @@ pub struct EventNetConfig {
     pub partitions: Vec<PartitionWindow>,
     /// Asymmetric-reachability model.
     pub reachability: Reachability,
+    /// Pull retry/timeout/backoff policy (all-zero default: off).
+    pub retry: RetryConfig,
+    /// Duplicate-delivery fault injector: probability that a pull
+    /// answer is delivered twice (the second copy carries the same
+    /// nonce, so the engine's dedup must suppress it). Hash-derived
+    /// from a dedicated fault stream — protocol-visible latency draws
+    /// are unperturbed, so a run differs from `0.0` only in net
+    /// counters.
+    pub duplicate_rate: f64,
+    /// Reorder fault injector: extra hash-derived delay in
+    /// `[0, reorder_jitter]` ticks added to duplicate copies, shuffling
+    /// them against the original delivery order (`0` disables).
+    pub reorder_jitter: u64,
 }
 
 impl Default for EventNetConfig {
@@ -223,6 +254,9 @@ impl Default for EventNetConfig {
             jitter: 0,
             partitions: Vec::new(),
             reachability: Reachability::Full,
+            retry: RetryConfig::default(),
+            duplicate_rate: 0.0,
+            reorder_jitter: 0,
         }
     }
 }
@@ -240,6 +274,110 @@ pub enum NetworkModel {
     /// NAT-like reachability. With the all-zero default config this
     /// reproduces the round engine bit-for-bit (`tests/asynchrony.rs`).
     Events(EventNetConfig),
+}
+
+/// How a restarted node rebuilds its protocol state when it rejoins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RejoinPolicy {
+    /// Fresh bootstrap: a hash-derived seed view (as if re-provisioned
+    /// from the bootstrap service) and reinitialised samplers — the
+    /// node remembers nothing of its pre-crash state.
+    #[default]
+    Cold,
+    /// Persisted state with a staleness penalty: the node keeps its
+    /// pre-crash view and samples, but every entry is revalidated
+    /// against liveness on rejoin (Brahms probe revalidation) and
+    /// BASALT-family nodes are forced through an immediate seed
+    /// rotation, so stale entries cost real view slots until purged.
+    Warm,
+}
+
+/// A windowed churn burst: for rounds in `[start, end)` the per-round
+/// crash probability is raised to `crash_rate` (a catastrophe window —
+/// correlated failures like a datacenter outage or a flash crowd
+/// departing at once).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnBurst {
+    /// First burst round (inclusive).
+    pub start: usize,
+    /// End round (exclusive).
+    pub end: usize,
+    /// Per-round crash probability inside the window, in `[0, 1)`.
+    pub crash_rate: f64,
+}
+
+/// The dynamic-membership schedule: hash-deterministic per-round
+/// crash/restart processes over the correct population, plus the legacy
+/// one-shot crash batch for backward compatibility. Every draw is
+/// hash-derived from `(churn seed, round, node)` — no shared RNG stream
+/// is consumed, so the all-off default leaves every golden byte-identical.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChurnSchedule {
+    /// Legacy one-shot batch: fraction of correct nodes crashed at
+    /// [`ChurnSchedule::crash_round`] (`0.0` disables). Uses the shared
+    /// loss RNG exactly as the pre-churn engine did, preserving old
+    /// fingerprints.
+    pub crash_fraction: f64,
+    /// Round at which the one-shot crash batch happens.
+    pub crash_round: usize,
+    /// Steady-state per-round crash probability for each live correct
+    /// node, in `[0, 1)`.
+    pub crash_rate: f64,
+    /// Per-round restart probability for each crashed correct node, in
+    /// `[0, 1]` (`0.0` means crashes are permanent, as before).
+    pub restart_rate: f64,
+    /// Catastrophe windows overriding the steady rate.
+    pub bursts: Vec<ChurnBurst>,
+    /// How restarted nodes rebuild their state.
+    pub rejoin: RejoinPolicy,
+}
+
+impl ChurnSchedule {
+    /// The legacy one-shot crash batch: `fraction` of correct nodes
+    /// crash at `round`, permanently (compatibility constructor for the
+    /// old `Scenario::{crash_fraction, crash_round}` fields).
+    pub fn one_shot(fraction: f64, round: usize) -> Self {
+        Self {
+            crash_fraction: fraction,
+            crash_round: round,
+            ..Self::default()
+        }
+    }
+
+    /// Continuous churn: per-round crash probability `crash_rate` for
+    /// live nodes, per-round restart probability `restart_rate` for
+    /// crashed ones.
+    pub fn steady(crash_rate: f64, restart_rate: f64) -> Self {
+        Self {
+            crash_rate,
+            restart_rate,
+            ..Self::default()
+        }
+    }
+
+    /// Whether any crash/restart process is configured at all.
+    pub fn active(&self) -> bool {
+        self.crash_fraction > 0.0
+            || self.crash_rate > 0.0
+            || self.restart_rate > 0.0
+            || !self.bursts.is_empty()
+    }
+
+    /// Whether membership evolves beyond the legacy one-shot batch
+    /// (steady rates, bursts, or restarts).
+    pub fn dynamic(&self) -> bool {
+        self.crash_rate > 0.0 || self.restart_rate > 0.0 || !self.bursts.is_empty()
+    }
+
+    /// The per-round crash probability at `round`: the maximum of the
+    /// steady rate and every active burst window.
+    pub fn crash_rate_at(&self, round: usize) -> f64 {
+        self.bursts
+            .iter()
+            .filter(|b| (b.start..b.end).contains(&round))
+            .map(|b| b.crash_rate)
+            .fold(self.crash_rate, f64::max)
+    }
 }
 
 /// One experimental setup, mirroring the paper's Section V-B: "An
@@ -322,12 +460,17 @@ pub struct Scenario {
     /// Uniform message-loss probability applied to pushes and pull
     /// answers (failure injection; the paper's testbed is lossless).
     pub message_loss: f64,
-    /// Fraction of *correct* nodes crashed at [`Scenario::crash_round`]
-    /// (churn injection; exercises Brahms' probe-based sampler
-    /// validation and the timeout handling of pulls).
-    pub crash_fraction: f64,
-    /// Round at which the crash batch happens.
-    pub crash_round: usize,
+    /// Dynamic-membership schedule: one-shot crash batches, steady
+    /// churn rates, catastrophe bursts and crash–recovery restarts
+    /// (exercises Brahms' probe-based sampler validation, the timeout
+    /// handling of pulls, and every protocol family's rejoin path).
+    pub churn: ChurnSchedule,
+    /// Attestation-certificate lifetime in rounds (`0` disables
+    /// expiry). When positive, trusted nodes' certificates expire on a
+    /// staggered schedule; an expired node degrades to untrusted
+    /// behaviour (no trusted swaps or trusted pulls) until a
+    /// re-attestation event heals it a few rounds later.
+    pub attest_ttl: usize,
     /// Run the sampler liveness validation every `k` rounds (0 disables).
     /// The original Brahms probes its samples so departed nodes leave
     /// the sample list.
@@ -370,8 +513,8 @@ impl Default for Scenario {
             identification_attack: false,
             identification_threshold: 0.1,
             message_loss: 0.0,
-            crash_fraction: 0.0,
-            crash_round: 0,
+            churn: ChurnSchedule::default(),
+            attest_ttl: 0,
             sampler_validation_period: 0,
             flood_slack_sigmas: 4.0,
             tail_window: 20,
@@ -444,9 +587,10 @@ impl Scenario {
             );
             assert!((0.0..=1.0).contains(&focus), "focus must be in [0,1]");
         }
+        self.validate_churn();
         assert!(
-            (0.0..1.0).contains(&self.crash_fraction),
-            "crash fraction must be in [0,1)"
+            self.attest_ttl == 0 || self.trusted_count() > 0,
+            "attestation expiry needs a provisioned trusted tier"
         );
         self.eviction.validate();
         assert!(
@@ -502,6 +646,49 @@ impl Scenario {
                 "NAT fraction must be in [0,1)"
             );
             assert!(hole_ttl >= 1, "NAT hole TTL must be at least one round");
+        }
+        assert!(
+            net.retry.max_retries == 0 || net.retry.base_backoff > 0,
+            "retry backoff base must be positive when retries are enabled"
+        );
+        assert!(
+            (0.0..=1.0).contains(&net.duplicate_rate),
+            "duplicate rate must be in [0,1]"
+        );
+        assert!(
+            net.reorder_jitter == 0 || net.duplicate_rate > 0.0,
+            "reorder jitter shuffles duplicate copies; it needs duplicate_rate > 0"
+        );
+    }
+
+    /// Churn-schedule consistency checks.
+    fn validate_churn(&self) {
+        let churn = &self.churn;
+        assert!(
+            (0.0..1.0).contains(&churn.crash_fraction),
+            "crash fraction must be in [0,1)"
+        );
+        assert!(
+            churn.crash_fraction == 0.0 || churn.crash_round < self.rounds,
+            "one-shot crash round must fall inside the run (crash_round < rounds)"
+        );
+        assert!(
+            (0.0..1.0).contains(&churn.crash_rate),
+            "steady churn crash rate must be in [0,1)"
+        );
+        assert!(
+            (0.0..=1.0).contains(&churn.restart_rate),
+            "restart rate must be in [0,1]"
+        );
+        for b in &churn.bursts {
+            assert!(
+                b.start < b.end && b.end <= self.rounds,
+                "churn bursts need start < end <= rounds"
+            );
+            assert!(
+                (0.0..1.0).contains(&b.crash_rate),
+                "churn burst crash rate must be in [0,1)"
+            );
         }
     }
 
@@ -1241,6 +1428,144 @@ mod tests {
         };
         forced_exact.validate();
         assert!(!forced_exact.sketch_discovery());
+    }
+
+    #[test]
+    fn one_shot_churn_matches_legacy_fields() {
+        let c = ChurnSchedule::one_shot(0.2, 30);
+        assert_eq!(c.crash_fraction, 0.2);
+        assert_eq!(c.crash_round, 30);
+        assert!(c.active());
+        assert!(!c.dynamic(), "a one-shot batch is not continuous churn");
+        Scenario {
+            churn: c,
+            ..Scenario::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn burst_overrides_steady_rate_inside_its_window() {
+        let c = ChurnSchedule {
+            crash_rate: 0.01,
+            restart_rate: 0.2,
+            bursts: vec![ChurnBurst {
+                start: 10,
+                end: 20,
+                crash_rate: 0.3,
+            }],
+            ..ChurnSchedule::default()
+        };
+        assert!(c.active() && c.dynamic());
+        assert_eq!(c.crash_rate_at(9), 0.01);
+        assert_eq!(c.crash_rate_at(10), 0.3);
+        assert_eq!(c.crash_rate_at(19), 0.3);
+        assert_eq!(c.crash_rate_at(20), 0.01);
+        Scenario {
+            churn: c,
+            ..Scenario::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "crash_round < rounds")]
+    fn one_shot_crash_past_the_run_rejected() {
+        Scenario {
+            churn: ChurnSchedule::one_shot(0.2, 120),
+            rounds: 120,
+            ..Scenario::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "steady churn crash rate")]
+    fn full_steady_crash_rate_rejected() {
+        Scenario {
+            churn: ChurnSchedule::steady(1.0, 0.5),
+            ..Scenario::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "churn bursts need start < end <= rounds")]
+    fn churn_burst_past_the_run_rejected() {
+        Scenario {
+            churn: ChurnSchedule {
+                bursts: vec![ChurnBurst {
+                    start: 100,
+                    end: 200,
+                    crash_rate: 0.2,
+                }],
+                ..ChurnSchedule::default()
+            },
+            rounds: 120,
+            ..Scenario::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a provisioned trusted tier")]
+    fn attest_ttl_requires_trusted_tier() {
+        Scenario {
+            attest_ttl: 20,
+            protocol: Protocol::Brahms,
+            ..Scenario::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn attest_ttl_validates_with_trusted_tier() {
+        Scenario {
+            attest_ttl: 20,
+            trusted_fraction: 0.1,
+            ..Scenario::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "retry backoff base must be positive")]
+    fn retry_without_backoff_base_rejected() {
+        Scenario::default()
+            .with_network(EventNetConfig {
+                retry: RetryConfig {
+                    max_retries: 3,
+                    base_backoff: 0,
+                },
+                ..EventNetConfig::default()
+            })
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "needs duplicate_rate > 0")]
+    fn reorder_without_duplicates_rejected() {
+        Scenario::default()
+            .with_network(EventNetConfig {
+                reorder_jitter: 50,
+                ..EventNetConfig::default()
+            })
+            .validate();
+    }
+
+    #[test]
+    fn fault_injectors_validate() {
+        Scenario::default()
+            .with_network(EventNetConfig {
+                retry: RetryConfig {
+                    max_retries: 3,
+                    base_backoff: 120,
+                },
+                duplicate_rate: 0.25,
+                reorder_jitter: 80,
+                ..EventNetConfig::default()
+            })
+            .validate();
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub struct Quote {
 pub enum AttestationError {
     /// The platform is not in the certified-platform registry.
     UnknownPlatform,
+    /// The platform's certification has been revoked (EPID group
+    /// revocation / a compromised CPU pulled from the registry).
+    RevokedPlatform,
     /// The quote signature does not verify.
     BadSignature,
     /// The enclave measurement is not the expected RAPTEE trusted code.
@@ -55,6 +58,7 @@ impl std::fmt::Display for AttestationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
             AttestationError::UnknownPlatform => "platform is not certified",
+            AttestationError::RevokedPlatform => "platform certification has been revoked",
             AttestationError::BadSignature => "quote signature verification failed",
             AttestationError::WrongMeasurement => "enclave measurement is not the expected code",
             AttestationError::StaleNonce => "attestation nonce is stale or unknown",
@@ -64,6 +68,30 @@ impl std::fmt::Display for AttestationError {
 }
 
 impl std::error::Error for AttestationError {}
+
+/// A time-bounded attestation certificate: the service's statement that
+/// `platform_id` attested genuine code at `issued_round`, trustworthy
+/// until `expires_round` (exclusive). Real attestation collateral ages
+/// the same way — TCB info and QE identity carry validity windows — and
+/// a relying party must treat an expired certificate exactly like no
+/// certificate until the platform re-attests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Certificate {
+    /// The attested platform.
+    pub platform_id: u64,
+    /// Round the attestation completed.
+    pub issued_round: u64,
+    /// First round the certificate is no longer valid.
+    pub expires_round: u64,
+}
+
+impl Certificate {
+    /// Whether the certificate still vouches for the platform at
+    /// `round`.
+    pub fn valid_at(&self, round: u64) -> bool {
+        round < self.expires_round
+    }
+}
 
 /// The group-key provisioning service.
 ///
@@ -92,6 +120,7 @@ pub struct AttestationService {
     expected: Measurement,
     group_key: SecretKey,
     certified_platforms: Vec<u64>,
+    revoked_platforms: Vec<u64>,
     issued_nonces: Vec<[u8; 16]>,
     nonce_counter: u64,
 }
@@ -104,6 +133,7 @@ impl AttestationService {
             expected,
             group_key,
             certified_platforms: Vec::new(),
+            revoked_platforms: Vec::new(),
             issued_nonces: Vec::new(),
             nonce_counter: 0,
         }
@@ -114,6 +144,21 @@ impl AttestationService {
         if !self.certified_platforms.contains(&platform_id) {
             self.certified_platforms.push(platform_id);
         }
+    }
+
+    /// Revokes a platform's certification: every future attestation
+    /// from it fails with [`AttestationError::RevokedPlatform`], and
+    /// relying parties must stop trusting its outstanding certificates.
+    /// Revocation is permanent — re-certifying does not clear it.
+    pub fn revoke_platform(&mut self, platform_id: u64) {
+        if !self.revoked_platforms.contains(&platform_id) {
+            self.revoked_platforms.push(platform_id);
+        }
+    }
+
+    /// Whether a platform's certification has been revoked.
+    pub fn is_revoked(&self, platform_id: u64) -> bool {
+        self.revoked_platforms.contains(&platform_id)
     }
 
     /// Issues a fresh challenge nonce the platform must quote over.
@@ -144,6 +189,9 @@ impl AttestationService {
     ///
     /// See [`AttestationError`] for the four rejection cases.
     pub fn attest(&mut self, quote: &Quote) -> Result<SecretKey, AttestationError> {
+        if self.is_revoked(quote.platform_id) {
+            return Err(AttestationError::RevokedPlatform);
+        }
         if !self.certified_platforms.contains(&quote.platform_id) {
             return Err(AttestationError::UnknownPlatform);
         }
@@ -161,6 +209,32 @@ impl AttestationService {
         }
         self.issued_nonces.swap_remove(pos);
         Ok(self.group_key.clone())
+    }
+
+    /// Verifies a quote and, on success, issues a time-bounded
+    /// [`Certificate`] alongside the group key: valid from `now` for
+    /// `ttl` rounds. This is also the *renewal* path — an expired
+    /// platform simply runs the full challenge/quote/attest flow again
+    /// and receives a fresh certificate.
+    ///
+    /// # Errors
+    ///
+    /// See [`AttestationError`].
+    pub fn attest_certified(
+        &mut self,
+        quote: &Quote,
+        now: u64,
+        ttl: u64,
+    ) -> Result<(SecretKey, Certificate), AttestationError> {
+        let key = self.attest(quote)?;
+        Ok((
+            key,
+            Certificate {
+                platform_id: quote.platform_id,
+                issued_round: now,
+                expires_round: now.saturating_add(ttl),
+            },
+        ))
     }
 
     /// The platform attestation key — in real SGX a CPU-fused secret whose
@@ -260,6 +334,50 @@ mod tests {
         assert!(s.attest(&quote).is_ok());
         // Second use of the same nonce fails.
         assert_eq!(s.attest(&quote).unwrap_err(), AttestationError::StaleNonce);
+    }
+
+    #[test]
+    fn certificates_expire_and_renew() {
+        let mut s = service();
+        let enclave = Enclave::load(CODE, 1);
+        let nonce = s.challenge();
+        let quote = AttestationService::quote(1, &enclave, nonce);
+        let (_, cert) = s.attest_certified(&quote, 10, 5).unwrap();
+        assert_eq!(cert.platform_id, 1);
+        assert!(cert.valid_at(10) && cert.valid_at(14));
+        assert!(!cert.valid_at(15), "expiry round is exclusive");
+        // Renewal is a fresh attestation: new nonce, new window.
+        let nonce = s.challenge();
+        let quote = AttestationService::quote(1, &enclave, nonce);
+        let (_, renewed) = s.attest_certified(&quote, 15, 5).unwrap();
+        assert_eq!(renewed.issued_round, 15);
+        assert!(renewed.valid_at(19) && !renewed.valid_at(20));
+    }
+
+    #[test]
+    fn revoked_platform_cannot_reattest() {
+        let mut s = service();
+        let enclave = Enclave::load(CODE, 1);
+        let nonce = s.challenge();
+        assert!(s
+            .attest(&AttestationService::quote(1, &enclave, nonce))
+            .is_ok());
+        s.revoke_platform(1);
+        assert!(s.is_revoked(1));
+        let nonce = s.challenge();
+        assert_eq!(
+            s.attest(&AttestationService::quote(1, &enclave, nonce))
+                .unwrap_err(),
+            AttestationError::RevokedPlatform
+        );
+        // Re-certifying does not clear the revocation.
+        s.certify_platform(1);
+        let nonce = s.challenge();
+        assert_eq!(
+            s.attest_certified(&AttestationService::quote(1, &enclave, nonce), 0, 10)
+                .unwrap_err(),
+            AttestationError::RevokedPlatform
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! Run with `cargo run --release --example churn_and_healing`.
 
 use raptee_net::NodeId;
-use raptee_sim::{Scenario, Simulation};
+use raptee_sim::{ChurnSchedule, Scenario, Simulation};
 
 fn stale_stats(sim: &Simulation, s: &Scenario) -> (f64, f64) {
     let byz = s.byzantine_count();
@@ -50,8 +50,7 @@ fn run(label: &str, validation_period: usize) {
         view_size: 16,
         sample_size: 16,
         rounds: 120,
-        crash_fraction: 0.25,
-        crash_round: 40,
+        churn: ChurnSchedule::one_shot(0.25, 40),
         sampler_validation_period: validation_period,
         seed: 2023,
         ..Scenario::default()

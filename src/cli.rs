@@ -16,8 +16,8 @@
 use raptee::EvictionPolicy;
 use raptee_bench::Scale;
 use raptee_sim::{
-    runner, DiscoveryMode, EventNetConfig, LatencyModel, NetworkModel, PartitionWindow, Protocol,
-    Reachability, Scenario, SegmentSpec,
+    runner, ChurnBurst, ChurnSchedule, DiscoveryMode, EventNetConfig, LatencyModel, NetworkModel,
+    PartitionWindow, Protocol, Reachability, RejoinPolicy, RetryConfig, Scenario, SegmentSpec,
 };
 use std::collections::BTreeMap;
 
@@ -298,7 +298,16 @@ impl Args {
     /// [`CliError::BadValue`] on malformed specs or shaping flags
     /// without `--network events`.
     pub fn network(&self) -> Result<NetworkModel, CliError> {
-        const SHAPING: [&str; 5] = ["latency", "round-ticks", "jitter", "partition", "nat"];
+        const SHAPING: [&str; 8] = [
+            "latency",
+            "round-ticks",
+            "jitter",
+            "partition",
+            "nat",
+            "retry",
+            "duplicate",
+            "reorder",
+        ];
         let events = match self.options.get("network").map(String::as_str) {
             None | Some("rounds") => false,
             Some("events") => true,
@@ -319,13 +328,129 @@ impl Args {
             return Ok(NetworkModel::Rounds);
         }
         let round_ticks = self.get("round-ticks", 1_000u64)?;
+        let duplicate_rate = self.get("duplicate", 0.0f64)?;
+        if !(0.0..1.0).contains(&duplicate_rate) {
+            return Err(CliError::BadValue {
+                key: "duplicate".into(),
+                value: self.options["duplicate"].clone(),
+            });
+        }
         Ok(NetworkModel::Events(EventNetConfig {
             latency: self.latency(round_ticks)?,
             round_ticks,
             jitter: self.get("jitter", 0u64)?,
             partitions: self.partitions()?,
             reachability: self.reachability()?,
+            retry: self.retry()?,
+            duplicate_rate,
+            reorder_jitter: self.get("reorder", 0u64)?,
         }))
+    }
+
+    /// Parses `--retry max[:base-backoff]`: extra pull attempts after a
+    /// missed deadline and the exponential-backoff base in ticks
+    /// (default 250).
+    fn retry(&self) -> Result<RetryConfig, CliError> {
+        let Some(spec) = self.options.get("retry") else {
+            return Ok(RetryConfig::default());
+        };
+        let bad = || CliError::BadValue {
+            key: "retry".into(),
+            value: spec.clone(),
+        };
+        let (max, backoff) = match spec.split_once(':') {
+            Some((m, b)) => (m, Some(b)),
+            None => (spec.as_str(), None),
+        };
+        let max_retries: u32 = max.parse().map_err(|_| bad())?;
+        let base_backoff: u64 = match backoff {
+            Some(b) => b.parse().map_err(|_| bad())?,
+            None => 250,
+        };
+        if max_retries > 0 && base_backoff == 0 {
+            return Err(bad());
+        }
+        Ok(RetryConfig {
+            max_retries,
+            base_backoff,
+        })
+    }
+
+    /// Parses the churn options: `--churn rate[:restart-rate]` (steady
+    /// per-round crash/restart probabilities), `--catastrophe
+    /// start..end@frac[;...]` (burst windows with a raised crash rate)
+    /// and `--rejoin cold|warm` (how restarted nodes rebuild state).
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::BadValue`] on malformed specs, out-of-range rates, or
+    /// `--rejoin` without any restart process.
+    fn churn(&self) -> Result<ChurnSchedule, CliError> {
+        let mut churn = ChurnSchedule::default();
+        if let Some(spec) = self.options.get("churn") {
+            let bad = || CliError::BadValue {
+                key: "churn".into(),
+                value: spec.clone(),
+            };
+            let (crash, restart) = match spec.split_once(':') {
+                Some((c, r)) => (c, Some(r)),
+                None => (spec.as_str(), None),
+            };
+            churn.crash_rate = crash.parse().map_err(|_| bad())?;
+            churn.restart_rate = match restart {
+                Some(r) => r.parse().map_err(|_| bad())?,
+                None => 0.0,
+            };
+            if !(0.0..1.0).contains(&churn.crash_rate) || !(0.0..=1.0).contains(&churn.restart_rate)
+            {
+                return Err(bad());
+            }
+        }
+        if let Some(spec) = self.options.get("catastrophe") {
+            let bad = |v: &str| CliError::BadValue {
+                key: "catastrophe".into(),
+                value: v.into(),
+            };
+            churn.bursts = spec
+                .split(';')
+                .map(|entry| {
+                    let entry = entry.trim();
+                    let (range, rate) = entry.split_once('@').ok_or_else(|| bad(entry))?;
+                    let (start, end) = range.split_once("..").ok_or_else(|| bad(entry))?;
+                    let (start, end): (usize, usize) = (
+                        start.trim().parse().map_err(|_| bad(entry))?,
+                        end.trim().parse().map_err(|_| bad(entry))?,
+                    );
+                    let crash_rate: f64 = rate.trim().parse().map_err(|_| bad(entry))?;
+                    if start >= end || !(0.0..1.0).contains(&crash_rate) {
+                        return Err(bad(entry));
+                    }
+                    Ok(ChurnBurst {
+                        start,
+                        end,
+                        crash_rate,
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        match self.options.get("rejoin").map(String::as_str) {
+            None => {}
+            Some(v) if !churn.dynamic() => {
+                return Err(CliError::BadValue {
+                    key: "rejoin".into(),
+                    value: format!("{v} (requires --churn or --catastrophe)"),
+                });
+            }
+            Some("cold") => churn.rejoin = RejoinPolicy::Cold,
+            Some("warm") => churn.rejoin = RejoinPolicy::Warm,
+            Some(v) => {
+                return Err(CliError::BadValue {
+                    key: "rejoin".into(),
+                    value: v.into(),
+                });
+            }
+        }
+        Ok(churn)
     }
 
     /// Parses `--latency const:T | uniform:LO..HI |
@@ -458,9 +583,19 @@ impl Args {
             protocol: self.protocol(view)?,
             discovery: self.discovery()?,
             network: self.network()?,
+            churn: self.churn()?,
+            attest_ttl: self.get("attest-ttl", 0usize)?,
             seed: self.get("seed", 0x5A97EE_u64)?,
             ..Scenario::default()
         };
+        // Attestation expiry degrades the trusted tier — meaningless
+        // (and rejected) when the scenario runs no trusted nodes.
+        if scenario.attest_ttl > 0 && scenario.trusted_count() == 0 {
+            return Err(CliError::BadValue {
+                key: "attest-ttl".into(),
+                value: "requires a trusted tier (--t > 0 under a TEE protocol)".into(),
+            });
+        }
         let correct = scenario.n - scenario.byzantine_count();
         scenario.population = self.population(view, correct)?;
         Ok(scenario)
@@ -509,6 +644,28 @@ NETWORK OPTIONS (all but --network require --network events):
     --nat <s>          fraction[:ttl] — share of correct nodes behind
                        NAT-like asymmetric reachability; inbound traffic
                        needs a hole punched within ttl rounds [default ttl: 3]
+    --retry <s>        max[:base-backoff] — extra pull attempts after a
+                       missed deadline, exponential backoff base in ticks
+                       [default backoff: 250]
+    --duplicate <f64>  probability a pull answer is delivered twice
+                       (nonce dedup suppresses the copy) [default: 0]
+    --reorder <u64>    extra hash-derived delay in [0, N] ticks on
+                       duplicate copies (reorders them)  [default: 0]
+
+FAULT OPTIONS (round and event network alike):
+    --churn <s>        rate[:restart-rate] — steady per-round crash
+                       probability for live correct nodes and restart
+                       probability for crashed ones   [default: 0 / 0]
+    --catastrophe <s>  semicolon-separated burst windows start..end@rate,
+                       e.g. 20..25@0.4 — the crash rate is raised inside
+                       the window (correlated failures)
+    --rejoin <p>       cold | warm — restarted nodes rebootstrap from
+                       scratch (cold) or keep their view with a staleness
+                       penalty (warm); needs --churn or --catastrophe
+                       [default: cold]
+    --attest-ttl <u>   attestation-certificate lifetime in rounds; expired
+                       trusted nodes act untrusted until re-attestation
+                       heals them (0 = certificates never expire)
 
 SUBCOMMANDS:
     run      one scenario; add --series true to dump the pollution curve as CSV
@@ -592,6 +749,14 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
         agg.stability_round
             .map_or("-".into(), |r| format!("{r:.1}")),
     ));
+    if let Some(availability) = agg.availability {
+        out.push_str(&format!(
+            "availability: {:.2}%   time-to-recover: {}\n",
+            availability * 100.0,
+            agg.time_to_recover
+                .map_or("-".into(), |r| format!("{r:.1} rounds")),
+        ));
+    }
     if args.flag("series") {
         let run = runner::run_scenario(scenario);
         out.push_str("round,byzantine_share\n");
@@ -1175,6 +1340,157 @@ mod tests {
     }
 
     #[test]
+    fn retry_and_injector_flags_parse() {
+        let cfg = |extra: &[&str]| {
+            let mut v = vec!["run", "--network", "events"];
+            v.extend_from_slice(extra);
+            match args(&v).unwrap().network() {
+                Ok(NetworkModel::Events(cfg)) => Ok(cfg),
+                Ok(NetworkModel::Rounds) => unreachable!(),
+                Err(e) => Err(e),
+            }
+        };
+        let c = cfg(&["--retry", "3:500", "--duplicate", "0.2", "--reorder", "40"]).unwrap();
+        assert_eq!(
+            c.retry,
+            RetryConfig {
+                max_retries: 3,
+                base_backoff: 500
+            }
+        );
+        assert_eq!(c.duplicate_rate, 0.2);
+        assert_eq!(c.reorder_jitter, 40);
+        assert_eq!(
+            cfg(&["--retry", "2"]).unwrap().retry,
+            RetryConfig {
+                max_retries: 2,
+                base_backoff: 250
+            },
+            "backoff base defaults to 250 ticks"
+        );
+        for (key, bad) in [
+            ("retry", "many"),
+            ("retry", "3:slow"),
+            ("retry", "3:0"),
+            ("duplicate", "1.5"),
+            ("duplicate", "often"),
+            ("reorder", "-4"),
+        ] {
+            assert!(
+                matches!(
+                    cfg(&[&format!("--{key}"), bad]).unwrap_err(),
+                    CliError::BadValue { key: ref k, .. } if k == key
+                ),
+                "--{key} {bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn churn_flags_parse() {
+        let s = args(&["run", "--churn", "0.02"])
+            .unwrap()
+            .scenario()
+            .unwrap();
+        assert_eq!(s.churn, ChurnSchedule::steady(0.02, 0.0));
+        let s = args(&["run", "--churn", "0.02:0.4", "--rejoin", "warm"])
+            .unwrap()
+            .scenario()
+            .unwrap();
+        assert_eq!(s.churn.crash_rate, 0.02);
+        assert_eq!(s.churn.restart_rate, 0.4);
+        assert_eq!(s.churn.rejoin, RejoinPolicy::Warm);
+        s.validate();
+        let s = args(&["run", "--catastrophe", "20..25@0.4; 40..42@0.6"])
+            .unwrap()
+            .scenario()
+            .unwrap();
+        assert_eq!(
+            s.churn.bursts,
+            vec![
+                ChurnBurst {
+                    start: 20,
+                    end: 25,
+                    crash_rate: 0.4
+                },
+                ChurnBurst {
+                    start: 40,
+                    end: 42,
+                    crash_rate: 0.6
+                },
+            ]
+        );
+        for (key, bad) in [
+            ("churn", "lots"),
+            ("churn", "1.5"),
+            ("churn", "0.02:2.0"),
+            ("catastrophe", "20..25"),
+            ("catastrophe", "25..20@0.4"),
+            ("catastrophe", "20..25@1.5"),
+            ("rejoin", "lukewarm"),
+        ] {
+            let mut v = vec!["run"];
+            // --rejoin needs a churn process before its value is even
+            // inspected.
+            let churn_arg;
+            if key == "rejoin" {
+                churn_arg = "--churn".to_string();
+                v.extend_from_slice(&[&churn_arg, "0.02:0.4"]);
+            }
+            let flag = format!("--{key}");
+            v.extend_from_slice(&[&flag, bad]);
+            let err = args(&v).unwrap().scenario().unwrap_err();
+            assert!(
+                matches!(err, CliError::BadValue { key: ref k, .. } if k == key),
+                "--{key} {bad:?} must be rejected, got {err:?}"
+            );
+        }
+        // --rejoin without any restart process is meaningless.
+        let err = args(&["run", "--rejoin", "warm"])
+            .unwrap()
+            .scenario()
+            .unwrap_err();
+        assert!(matches!(err, CliError::BadValue { ref key, .. } if key == "rejoin"));
+    }
+
+    #[test]
+    fn attest_ttl_requires_a_trusted_tier() {
+        let s = args(&["run", "--attest-ttl", "40", "--t", "0.1"])
+            .unwrap()
+            .scenario()
+            .unwrap();
+        assert_eq!(s.attest_ttl, 40);
+        s.validate();
+        for extra in [
+            vec!["--attest-ttl", "40", "--t", "0"],
+            vec!["--attest-ttl", "40", "--protocol", "basalt"],
+        ] {
+            let mut v = vec!["run"];
+            v.extend_from_slice(&extra);
+            let err = args(&v).unwrap().scenario().unwrap_err();
+            assert!(
+                matches!(err, CliError::BadValue { ref key, .. } if key == "attest-ttl"),
+                "{extra:?} must be rejected, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn churn_run_reports_recovery_metrics() {
+        let a = args(&[
+            "run", "--n", "80", "--rounds", "30", "--view", "10", "--t", "0.1", "--churn",
+            "0.03:0.5",
+        ])
+        .unwrap();
+        let out = execute(&a).unwrap();
+        assert!(out.contains("availability:"), "{out}");
+        // The quiet run stays silent about recovery.
+        let a = args(&["run", "--n", "80", "--rounds", "30", "--view", "10"]).unwrap();
+        let out = execute(&a).unwrap();
+        assert!(!out.contains("availability:"), "{out}");
+    }
+
+    #[test]
     fn shaping_flags_require_the_event_network() {
         for (key, value) in [
             ("latency", "const:100"),
@@ -1182,6 +1498,9 @@ mod tests {
             ("jitter", "100"),
             ("partition", "1..5@10"),
             ("nat", "0.4"),
+            ("retry", "3:500"),
+            ("duplicate", "0.1"),
+            ("reorder", "40"),
         ] {
             let a = args(&["run", &format!("--{key}"), value]).unwrap();
             assert!(

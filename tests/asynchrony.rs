@@ -20,8 +20,8 @@ use proptest::prelude::*;
 use raptee_net::{NodeId, NodeIdx};
 use raptee_sim::event::{EventNet, Lane, PullGate};
 use raptee_sim::{
-    AttackStrategy, DiscoveryMode, EventEngine, EventNetConfig, EventQueue, LatencyModel,
-    NetRunStats, NetworkModel, PartitionWindow, Protocol, Scenario, Simulation,
+    AttackStrategy, ChurnSchedule, DiscoveryMode, EventEngine, EventNetConfig, EventQueue,
+    LatencyModel, NetRunStats, NetworkModel, PartitionWindow, Protocol, Scenario, Simulation,
 };
 
 // ---------------------------------------------------------------------
@@ -45,8 +45,7 @@ fn base(protocol: Protocol) -> Scenario {
 fn churn_scenario() -> Scenario {
     let mut s = base(Protocol::Raptee);
     s.message_loss = 0.1;
-    s.crash_fraction = 0.15;
-    s.crash_round = 20;
+    s.churn = ChurnSchedule::one_shot(0.15, 20);
     s.sampler_validation_period = 5;
     s.identification_attack = true;
     s
@@ -71,8 +70,7 @@ fn mixed_raptee_basalt_tee_scenario() -> Scenario {
             wlist_ttl: 8,
         },
     );
-    s.crash_fraction = 0.1;
-    s.crash_round = 25;
+    s.churn = ChurnSchedule::one_shot(0.1, 25);
     s.sampler_validation_period = 5;
     s
 }

@@ -18,8 +18,9 @@
 //!    dependence into results.
 
 use raptee_sim::{
-    runner, AttackStrategy, DiscoveryMode, EventNetConfig, LatencyModel, PartitionWindow, Protocol,
-    Reachability, RunResult, Scenario, SegmentSpec, Simulation,
+    runner, AttackStrategy, ChurnSchedule, DiscoveryMode, EventNetConfig, LatencyModel,
+    PartitionWindow, Protocol, Reachability, RejoinPolicy, RetryConfig, RunResult, Scenario,
+    SegmentSpec, Simulation,
 };
 
 /// A compact, bit-exact fingerprint of a [`RunResult`].
@@ -72,8 +73,7 @@ fn base(protocol: Protocol) -> Scenario {
 fn churn_scenario() -> Scenario {
     let mut s = base(Protocol::Raptee);
     s.message_loss = 0.1;
-    s.crash_fraction = 0.15;
-    s.crash_round = 20;
+    s.churn = ChurnSchedule::one_shot(0.15, 20);
     s.sampler_validation_period = 5;
     s.identification_attack = true;
     s
@@ -114,8 +114,7 @@ fn mixed_raptee_basalt_tee_scenario() -> Scenario {
             wlist_ttl: 8,
         },
     );
-    s.crash_fraction = 0.1;
-    s.crash_round = 25;
+    s.churn = ChurnSchedule::one_shot(0.1, 25);
     s.sampler_validation_period = 5;
     s
 }
@@ -177,6 +176,41 @@ fn event_nat_eclipse_scenario() -> Scenario {
         },
         ..EventNetConfig::default()
     })
+}
+
+/// Robustness family #1 (this PR): steady churn with warm-rejoin
+/// restarts riding on the lognormal-latency event substrate, with
+/// bounded-backoff retries and a duplicate/reorder fault injector — the
+/// full dynamic-membership surface in one pinned run.
+fn event_churn_recovery_scenario() -> Scenario {
+    let mut s = base(Protocol::Raptee).with_network(EventNetConfig {
+        latency: LatencyModel::LogNormal {
+            mu: 6.2,
+            sigma: 0.8,
+            cap: 5_000,
+        },
+        round_ticks: 1_000,
+        jitter: 200,
+        retry: RetryConfig {
+            max_retries: 2,
+            base_backoff: 250,
+        },
+        duplicate_rate: 0.1,
+        reorder_jitter: 50,
+        ..EventNetConfig::default()
+    });
+    s.churn = ChurnSchedule::steady(0.02, 0.4);
+    s.churn.rejoin = RejoinPolicy::Warm;
+    s
+}
+
+/// Robustness family #2 (this PR): attestation certificates expiring on
+/// a 15-round TTL over the 10 % trusted tier — degraded nodes act
+/// untrusted until re-attestation heals them.
+fn trusted_expiry_scenario() -> Scenario {
+    let mut s = base(Protocol::Raptee);
+    s.attest_ttl = 15;
+    s
 }
 
 /// Asserts `scenario` still produces the exact metric bits the
@@ -456,7 +490,7 @@ fn single_run_identical_across_intra_run_thread_counts() {
     // override) must produce bit-identical RunResults for all three
     // protocols and each attack type, including churn/loss/validation
     // and the deferred Byzantine pull-answer replay.
-    let scenarios: [(&str, Scenario); 11] = [
+    let scenarios: [(&str, Scenario); 13] = [
         ("brahms", base(Protocol::Brahms).brahms_baseline()),
         ("raptee", base(Protocol::Raptee)),
         ("basalt", base(Protocol::Brahms).basalt_variant(15)),
@@ -471,6 +505,8 @@ fn single_run_identical_across_intra_run_thread_counts() {
         ("event-latency", event_latency_scenario()),
         ("event-partition", event_partition_scenario()),
         ("event-nat-eclipse", event_nat_eclipse_scenario()),
+        ("event-churn-recovery", event_churn_recovery_scenario()),
+        ("trusted-expiry", trusted_expiry_scenario()),
     ];
     for (name, scenario) in scenarios {
         let serial = rayon::with_num_threads(1, || Simulation::new(scenario.clone()).run());
@@ -509,6 +545,98 @@ fn repetitions_identical_across_thread_counts() {
             );
         }
     }
+}
+
+// Golden constants for the dynamic-membership engine (this PR),
+// captured at its introduction commit. Beyond the usual fingerprint
+// each run pins its recovery family — the new observable surface.
+
+/// Hashes a per-round f64 series the same way the fingerprint does.
+fn series_hash(series: &[f64]) -> u64 {
+    series
+        .iter()
+        .fold(0u64, |acc, v| acc.rotate_left(7) ^ v.to_bits())
+}
+
+#[test]
+fn golden_event_churn_recovery() {
+    assert_golden(
+        "event-churn-recovery",
+        event_churn_recovery_scenario(),
+        Fingerprint {
+            resilience_bits: 0x3fd98445e3a0cece,
+            series_hash: 0x66de0f1926767bfb,
+            discovery: None,
+            mean_discovery_bits: None,
+            stability: Some(19),
+            spread_stability: None,
+            floods: 1,
+            evicted: 0x4d20,
+            rotations: 0,
+        },
+    );
+    let r = Simulation::new(event_churn_recovery_scenario()).run();
+    assert_eq!(
+        r.net,
+        Some(raptee_sim::NetRunStats {
+            late_deliveries: 68930,
+            partition_held: 0,
+            partition_released: 0,
+            nat_blocked: 0,
+            refused_pulls: 0,
+            in_flight_at_end: 1288,
+            retries_issued: 35460,
+            duplicates_suppressed: 35063,
+        }),
+        "substrate counters diverged from the introduction commit"
+    );
+    let rec = r.recovery.expect("dynamic churn pins recovery stats");
+    assert_eq!(rec.availability.to_bits(), 0x3fee4c1acd0d86e4);
+    assert_eq!((rec.crashes, rec.restarts, rec.recovered), (163, 154, 96));
+    assert_eq!(
+        rec.mean_time_to_recover.map(f64::to_bits),
+        Some(0x40276aaaaaaaaaab),
+        "mean TTR ≈ 11.7 rounds at the introduction commit"
+    );
+    assert_eq!(rec.trusted_live_fraction.len(), 60);
+    assert_eq!(series_hash(&rec.trusted_live_fraction), 0xd31a1b9070e26651);
+}
+
+#[test]
+fn golden_trusted_expiry() {
+    assert_golden(
+        "trusted-expiry",
+        trusted_expiry_scenario(),
+        Fingerprint {
+            resilience_bits: 0x3fd8b12bb080a020,
+            series_hash: 0x89fa4474b0cbf2f,
+            discovery: None,
+            mean_discovery_bits: Some(0x404d27999999999a),
+            stability: Some(11),
+            spread_stability: None,
+            floods: 7,
+            evicted: 0x6069,
+            rotations: 0,
+        },
+    );
+    let r = Simulation::new(trusted_expiry_scenario()).run();
+    let rec = r.recovery.expect("attestation expiry pins recovery stats");
+    // No churn: every node-round is live and nothing restarts.
+    assert_eq!(rec.availability.to_bits(), 1.0f64.to_bits());
+    assert_eq!((rec.crashes, rec.restarts, rec.recovered), (0, 0, 0));
+    assert_eq!(rec.mean_time_to_recover, None);
+    // The degradation/heal cycle: the tier starts whole, dips to 73 %
+    // live-and-attested, and the exact per-round trace is pinned.
+    assert_eq!(rec.trusted_live_fraction.len(), 60);
+    assert_eq!(
+        rec.trusted_live_fraction
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            .to_bits(),
+        (11.0f64 / 15.0).to_bits()
+    );
+    assert_eq!(series_hash(&rec.trusted_live_fraction), 0xa031a18827913f9);
 }
 
 #[test]
@@ -567,6 +695,8 @@ fn golden_event_latency() {
             nat_blocked: 0,
             refused_pulls: 0,
             in_flight_at_end: 859,
+            retries_issued: 0,
+            duplicates_suppressed: 0,
         },
     );
 }
@@ -599,6 +729,8 @@ fn golden_event_partition() {
             nat_blocked: 0,
             refused_pulls: 2769,
             in_flight_at_end: 46,
+            retries_issued: 0,
+            duplicates_suppressed: 0,
         },
     );
 }
@@ -630,6 +762,8 @@ fn golden_event_nat_eclipse() {
             nat_blocked: 12477,
             refused_pulls: 0,
             in_flight_at_end: 0,
+            retries_issued: 0,
+            duplicates_suppressed: 0,
         },
     );
     // The eclipse story the fingerprint encodes: the round-model raptee

@@ -6,7 +6,7 @@
 //! and sample lists (Brahms' probe validation).
 
 use raptee_net::NodeId;
-use raptee_sim::{run_scenario, Scenario, Simulation};
+use raptee_sim::{run_scenario, ChurnSchedule, Scenario, Simulation};
 
 fn base() -> Scenario {
     Scenario {
@@ -40,8 +40,7 @@ fn protocol_survives_heavy_message_loss() {
 #[test]
 fn crashed_nodes_leave_views() {
     let mut s = base();
-    s.crash_fraction = 0.20;
-    s.crash_round = 30;
+    s.churn = ChurnSchedule::one_shot(0.20, 30);
     let byz = s.byzantine_count();
     let mut sim = Simulation::new(s.clone());
     for _ in 0..s.rounds {
@@ -81,8 +80,7 @@ fn crashed_nodes_leave_views() {
 #[test]
 fn sampler_validation_purges_dead_samples() {
     let mut with_validation = base();
-    with_validation.crash_fraction = 0.25;
-    with_validation.crash_round = 20;
+    with_validation.churn = ChurnSchedule::one_shot(0.25, 20);
     with_validation.sampler_validation_period = 5;
     let byz = with_validation.byzantine_count();
     let mut sim = Simulation::new(with_validation.clone());
@@ -116,8 +114,7 @@ fn without_validation_dead_samples_linger() {
     // Negative control for the test above: with validation disabled, the
     // min-wise samplers keep their dead minima forever.
     let mut s = base();
-    s.crash_fraction = 0.25;
-    s.crash_round = 20;
+    s.churn = ChurnSchedule::one_shot(0.25, 20);
     s.sampler_validation_period = 0;
     let byz = s.byzantine_count();
     let mut sim = Simulation::new(s.clone());
@@ -149,8 +146,7 @@ fn without_validation_dead_samples_linger() {
 fn crashed_trusted_peers_leave_directories() {
     let mut s = base();
     s.trusted_fraction = 0.20;
-    s.crash_fraction = 0.30;
-    s.crash_round = 40;
+    s.churn = ChurnSchedule::one_shot(0.30, 40);
     let byz = s.byzantine_count();
     let trusted_n = s.trusted_count();
     let mut sim = Simulation::new(s.clone());
@@ -178,10 +174,78 @@ fn crashed_trusted_peers_leave_directories() {
 fn determinism_holds_under_failures() {
     let mut s = base();
     s.message_loss = 0.15;
-    s.crash_fraction = 0.10;
-    s.crash_round = 25;
+    s.churn = ChurnSchedule::one_shot(0.10, 25);
     s.sampler_validation_period = 7;
     let a = run_scenario(s.clone());
     let b = run_scenario(s);
     assert_eq!(a, b);
+}
+
+#[test]
+fn rejoining_nodes_beat_permanent_departure() {
+    // The PR's acceptance property: under the same crash schedule, a
+    // population whose crashed nodes restart and rebootstrap ends the
+    // run strictly cleaner than one where every crash is permanent —
+    // rejoined correct nodes dilute the adversary's view share again.
+    let mut dying = base();
+    dying.churn = ChurnSchedule::steady(0.01, 0.0);
+    let mut rejoining = dying.clone();
+    rejoining.churn.restart_rate = 0.5;
+    let dead_end = run_scenario(dying);
+    let healed = run_scenario(rejoining.clone());
+    let final_share = |r: &raptee_sim::RunResult| *r.byz_share_series.last().unwrap();
+    assert!(
+        final_share(&healed) < final_share(&dead_end),
+        "rejoin must improve final pollution: {} vs {}",
+        final_share(&healed),
+        final_share(&dead_end)
+    );
+    // And the recovery family reports the healing process.
+    let rec = healed.recovery.expect("dynamic churn tracks recovery");
+    assert!(rec.restarts > 0 && rec.recovered > 0);
+    let ttr = rec.mean_time_to_recover.expect("someone re-stabilised");
+    assert!(ttr >= 1.0 && ttr < rejoining.rounds as f64);
+    assert!(
+        rec.availability > dead_end.recovery.expect("tracked").availability,
+        "restarts must raise availability"
+    );
+}
+
+#[test]
+fn warm_rejoin_probes_out_stale_view_entries() {
+    // Warm rejoiners keep their pre-crash view (minus a forced
+    // staleness penalty); Brahms probe revalidation must still purge
+    // the entries that died while they were down.
+    let mut s = base();
+    s.churn = ChurnSchedule::steady(0.02, 0.3);
+    s.churn.rejoin = raptee_sim::RejoinPolicy::Warm;
+    s.sampler_validation_period = 5;
+    let byz = s.byzantine_count();
+    let mut sim = Simulation::new(s.clone());
+    for _ in 0..s.rounds {
+        sim.run_round();
+    }
+    let mut stale = 0usize;
+    let mut live_nodes = 0usize;
+    for i in byz..s.n {
+        let id = NodeId(i as u64);
+        if !sim.is_alive(id) {
+            continue;
+        }
+        live_nodes += 1;
+        stale += sim
+            .node(id)
+            .unwrap()
+            .brahms()
+            .view()
+            .ids()
+            .filter(|v| v.index() >= byz && !sim.is_alive(*v))
+            .count();
+    }
+    assert!(live_nodes > 0);
+    let per_node = stale as f64 / live_nodes as f64;
+    assert!(
+        per_node < 2.0,
+        "continuous churn with warm rejoin must keep views fresh: {per_node:.2} stale refs/node"
+    );
 }

@@ -10,13 +10,25 @@ use raptee_brahms::BrahmsConfig;
 use raptee_crypto::auth::AuthOutcome;
 use raptee_crypto::SecretKey;
 use raptee_net::{NodeId, SecureChannel};
-use raptee_sim::Discovery;
+use raptee_sim::event::{EventNet, PullGate};
+use raptee_sim::{Discovery, EventNetConfig, LatencyModel, NetworkModel, RetryConfig, Scenario};
 
 fn config(view: usize, eviction: EvictionPolicy) -> RapteeConfig {
     RapteeConfig {
         brahms: BrahmsConfig::paper_defaults(view, view),
         eviction,
     }
+}
+
+fn event_net(cfg: EventNetConfig, rounds: usize) -> EventNet {
+    let scenario = Scenario {
+        n: 100,
+        rounds,
+        network: NetworkModel::Events(cfg),
+        ..Scenario::default()
+    };
+    scenario.validate();
+    EventNet::from_scenario(&scenario).expect("events model")
 }
 
 proptest! {
@@ -141,6 +153,87 @@ proptest! {
                 row, est, truth
             );
         }
+    }
+
+    /// The bounded-backoff retry loop never issues more than
+    /// `max_retries` extra attempts per gated pull, whatever the latency
+    /// regime — and the global counter is exactly the sum of the
+    /// per-pull deltas.
+    #[test]
+    fn retry_cap_is_never_exceeded(
+        max_retries in 0u32..4,
+        base_backoff in 1u64..800,
+        latency in 0u64..6_000,
+        pairs in proptest::collection::vec((10usize..55, 55usize..100), 1..40),
+    ) {
+        let mut net = event_net(
+            EventNetConfig {
+                latency: LatencyModel::Constant(latency),
+                retry: RetryConfig { max_retries, base_backoff },
+                ..EventNetConfig::default()
+            },
+            40,
+        );
+        net.begin_round(0);
+        let mut issued = 0u64;
+        for (req, tgt) in pairs {
+            let before = net.stats().retries_issued;
+            let gate = net.gate_pull(0, req, tgt);
+            let delta = net.stats().retries_issued - before;
+            prop_assert!(
+                delta <= u64::from(max_retries),
+                "one pull issued {} retries past the cap {}", delta, max_retries
+            );
+            issued += delta;
+            if matches!(gate, PullGate::Deferred { .. }) {
+                // The responder never materialises an answer here.
+                net.drop_pending_copies();
+            }
+        }
+        prop_assert_eq!(net.stats().retries_issued, issued);
+    }
+
+    /// Nonce dedup is airtight: whatever the duplicate/reorder injector
+    /// does, every queued exchange is applied exactly once and every
+    /// extra delivered copy is counted as suppressed.
+    #[test]
+    fn duplicates_are_never_double_applied(
+        duplicate_rate in 0.0f64..1.0,
+        reorder in 0u64..500,
+        answers in proptest::collection::vec((0u32..45, 100u64..200), 1..30),
+    ) {
+        let rounds = 6;
+        let mut net = event_net(
+            EventNetConfig {
+                duplicate_rate,
+                reorder_jitter: reorder,
+                ..EventNetConfig::default()
+            },
+            rounds,
+        );
+        for (ci, from) in &answers {
+            net.queue_answer(1, false, *ci, NodeId(*from), vec![NodeId(7)]);
+        }
+        let mut delivered = 0usize;
+        let mut applied = std::collections::HashMap::new();
+        for r in 0..rounds {
+            net.begin_round(r);
+            let due = net.take_due_answers();
+            delivered += due.len();
+            for a in &due {
+                if net.accept_answer(a.nonce) {
+                    *applied.entry(a.nonce).or_insert(0u32) += 1;
+                }
+            }
+            net.restore_due_answers(due);
+        }
+        prop_assert_eq!(applied.len(), answers.len(), "every exchange lands");
+        prop_assert!(applied.values().all(|&c| c == 1), "each applied exactly once");
+        prop_assert_eq!(
+            net.stats().duplicates_suppressed as usize,
+            delivered - answers.len(),
+            "every extra copy is a suppressed duplicate"
+        );
     }
 
     /// Wire messages survive an encrypted round trip through the secure
