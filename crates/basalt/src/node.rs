@@ -309,6 +309,20 @@ impl BasaltNode {
         self.view.observe_all(ids.iter().copied());
     }
 
+    /// Quarantines `id`: evicts it from the ranked view (fresh slot
+    /// seeds, see [`BasaltView::evict`]) and purges any pending hearsay
+    /// entry from the waiting list, so a convicted peer neither occupies
+    /// slots nor re-enters via queued hearsay. Returns the number of
+    /// view slots reset.
+    pub fn quarantine(&mut self, id: NodeId) -> usize {
+        let reset = self.view.evict(id);
+        if self.wlist.iter().any(|e| e.id == id) {
+            self.wlist.retain(|e| e.id != id);
+            self.forget_wlist_member(id);
+        }
+        reset
+    }
+
     /// Enqueues one hearsay candidate (deduplicated; own ID ignored).
     fn enqueue_hearsay(&mut self, id: NodeId) {
         if id == self.id {

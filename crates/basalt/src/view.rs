@@ -396,6 +396,28 @@ impl BasaltView {
         rotated
     }
 
+    /// Evicts `id` from the view: every slot currently sampling it is
+    /// reset with a freshly derived seed (new generation, empty sample,
+    /// zeroed hit counter), exactly like a [`BasaltView::rotate`] of
+    /// those slots — so the evicted ID only wins a slot back if it is
+    /// re-observed *and* ranks closest under the fresh seed. All other
+    /// slots stay bit-identical. Returns the number of slots reset.
+    pub fn evict(&mut self, id: NodeId) -> usize {
+        let mut reset = 0;
+        for i in 0..self.slots.len() {
+            if self.slots[i].sample == Some(id) {
+                let generation = self.slots[i].generation + 1;
+                let seed = self.derive_seed(i, generation);
+                self.slots[i] = Slot::new(seed, generation);
+                reset += 1;
+            }
+        }
+        if reset > 0 {
+            self.members.get_mut().stale = true;
+        }
+        reset
+    }
+
     /// Checks the structural invariants: the owner is never sampled and
     /// every stored distance matches its sample.
     pub fn invariants_hold(&self) -> bool {

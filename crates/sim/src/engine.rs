@@ -58,6 +58,7 @@
 //! application and round finalisation shard like the Brahms path.
 
 use crate::adversary::{Adversary, PushPlan};
+use crate::audit::{AuditResponse, Challenger, Verdict};
 use crate::bitset::{Discovery, DiscoveryLane, EXACT_DISCOVERY_THRESHOLD};
 use crate::event::{EventNet, Lane as NetLane, PullGate};
 use crate::metrics::{
@@ -76,6 +77,11 @@ use raptee_util::rng::{mix64, Xoshiro256StarStar};
 
 /// Rounds of per-node share smoothing for the spread-stability check.
 const SMOOTHING_WINDOW: usize = 10;
+
+/// Salt of the proactive trusted-directory partner draws — a dedicated
+/// hash stream (like the churn and audit-beacon streams), so enabling
+/// the directory refresh cannot shift any other stochastic stream.
+const TRUSTED_DIR_SALT: u64 = 0xD1EC_7027_7257_ED15;
 
 /// Maps a hash draw to a uniform in the open interval `(0, 1)` — the
 /// same mapping the event substrate uses, so churn draws share its
@@ -592,6 +598,14 @@ pub struct Simulation {
     recovery: Option<RecoveryState>,
     /// Trusted-tier degradation state (`None` unless `attest_ttl > 0`).
     trust: Option<TrustTier>,
+    /// The audit challenger (`None` unless `Scenario::audit` is set) —
+    /// merkle view commitments, beacon-driven challenges, quarantine.
+    audit: Option<Challenger>,
+    /// BASALT-family proactive trusted directory: absolute indices of
+    /// live effective-trusted, non-quarantined actors, rebuilt every
+    /// `Scenario::trusted_directory_refresh` rounds (empty while the
+    /// refresh is off).
+    trusted_dir: Vec<u32>,
 }
 
 impl Simulation {
@@ -784,6 +798,8 @@ impl Simulation {
             churn_seed: 0,
             recovery: None,
             trust: None,
+            audit: None,
+            trusted_dir: Vec::new(),
             scenario,
         }
     }
@@ -989,6 +1005,8 @@ impl Simulation {
             churn_seed: 0,
             recovery: None,
             trust: None,
+            audit: None,
+            trusted_dir: Vec::new(),
             scenario,
         }
     }
@@ -1032,6 +1050,14 @@ impl Simulation {
                 heal_at: vec![0; total],
                 degraded: vec![false; total],
             });
+        }
+        if let Some(cfg) = self.scenario.audit {
+            self.audit = Some(Challenger::new(
+                cfg,
+                self.scenario.seed,
+                self.total_actors(),
+                self.byz_count,
+            ));
         }
     }
 
@@ -1099,6 +1125,20 @@ impl Simulation {
     /// Current round index.
     pub fn round(&self) -> usize {
         self.round
+    }
+
+    /// How many values the audit beacon has produced so far (0 when
+    /// audits are off — the stream must never be touched in that case).
+    pub fn audit_beacon_draws(&self) -> u64 {
+        self.audit.as_ref().map_or(0, |a| a.beacon_draws())
+    }
+
+    /// Whether actor `id` has been convicted and quarantined by the
+    /// challenger (always false when audits are off).
+    pub fn is_quarantined(&self, id: NodeId) -> bool {
+        self.audit
+            .as_ref()
+            .is_some_and(|a| a.is_quarantined(id.index()))
     }
 
     /// Number of non-Byzantine IDs `id` has discovered so far (None for
@@ -1216,6 +1256,10 @@ impl Simulation {
         // is its own deterministic stream).
         self.update_trust_tier();
 
+        // Proactive trusted-directory refresh (BASALT-family trusted
+        // exchanges and audit targeting; off by default).
+        self.refresh_trusted_directory();
+
         // The scratch arenas move out for the duration of the round so
         // `&mut self` stays available to the control passes.
         let mut scratch = std::mem::take(&mut self.scratch);
@@ -1228,6 +1272,11 @@ impl Simulation {
         }
         self.scratch = scratch;
         self.workers = workers;
+
+        // Audit pass: view commitments, beacon-drawn challenges,
+        // verdicts and quarantine (no-op — zero beacon draws — unless
+        // the scenario enables the challenger).
+        self.audit_round();
 
         self.update_recovery_metrics();
         self.round += 1;
@@ -1339,6 +1388,16 @@ impl Simulation {
             rec.restarts += 1;
             rec.pending[ci] = Some(self.round as u32);
         }
+        // Audit bookkeeping: a cold rejoiner lost its sealed commitment
+        // state, so its chain restarts from genesis; a warm rejoiner
+        // re-commits on the existing chain. Either way the rejoin round
+        // is the new detection-latency reference point.
+        if let Some(aud) = self.audit.as_mut() {
+            if matches!(rejoin, RejoinPolicy::Cold) {
+                aud.restart_chain(abs);
+            }
+            aud.mark_active(abs, self.round as u32);
+        }
     }
 
     /// Advances the trusted-tier degradation state machine: unexpired →
@@ -1374,6 +1433,151 @@ impl Simulation {
             }
         }
         self.trust = Some(tier);
+    }
+
+    /// Rebuilds the proactive trusted directory when the refresh period
+    /// elapses: live, effective-trusted, non-quarantined actors in
+    /// index order. Never built (and the exchange pass never runs)
+    /// while `Scenario::trusted_directory_refresh` is 0.
+    fn refresh_trusted_directory(&mut self) {
+        let period = self.scenario.trusted_directory_refresh;
+        if period == 0 || !self.round.is_multiple_of(period) {
+            return;
+        }
+        let mut dir = std::mem::take(&mut self.trusted_dir);
+        dir.clear();
+        for abs in self.byz_count..self.total_actors() {
+            if self.trusted[abs]
+                && self.alive[abs]
+                && self.effective_trusted(abs)
+                && !self.audit.as_ref().is_some_and(|a| a.is_quarantined(abs))
+            {
+                dir.push(abs as u32);
+            }
+        }
+        self.trusted_dir = dir;
+    }
+
+    /// The audit pass of one round: every live effective-trusted node
+    /// commits its view onto its chain, the challenger draws its
+    /// beacon targets and audits each, convictions are purged from all
+    /// honest views, and standing suspicions decay. A strict no-op —
+    /// zero beacon draws, zero state — when `Scenario::audit` is off.
+    fn audit_round(&mut self) {
+        let Some(mut aud) = self.audit.take() else {
+            return;
+        };
+        let round = self.round as u32;
+        let total = self.total_actors();
+        let byz = self.byz_count;
+        // Commit phase: commitments ride the attested exchange path, so
+        // a dead node or a degraded (expired) certificate suspends them.
+        let mut view_buf: Vec<NodeId> = Vec::new();
+        for abs in byz..total {
+            if self.trusted[abs] && self.alive[abs] && self.effective_trusted(abs) {
+                self.view_ids_into(abs, &mut view_buf);
+                aud.commit_view(round, abs, &view_buf);
+            }
+        }
+        // Challenge phase: beacon-drawn targets answer — or fail to.
+        let mut targets = Vec::new();
+        aud.draw_targets(total, &mut targets);
+        let mut convicted: Vec<usize> = Vec::new();
+        for t in targets {
+            // The challenger observes from the high end of the index
+            // space; a partition window separating it from the target
+            // makes the opening undeliverable (a pure schedule lookup —
+            // no latency or loss draws are consumed).
+            let partitioned = self
+                .net
+                .as_ref()
+                .is_some_and(|n| n.separated(self.round, t, total - 1));
+            let response = if t < byz {
+                // Byzantine responders answer, but recorded traffic and
+                // chained commitment cannot both hold — the replay
+                // exposes the equivocation.
+                AuditResponse::Equivocation
+            } else if !self.alive[t]
+                || partitioned
+                || (self.trusted[t] && !self.effective_trusted(t))
+            {
+                // Dead, churned-out or partitioned targets cannot
+                // answer; an expired certificate makes the commitment
+                // inadmissible (`provisioning::commitment_admissible`).
+                AuditResponse::Unavailable
+            } else {
+                self.view_ids_into(t, &mut view_buf);
+                AuditResponse::Opening { view: &view_buf }
+            };
+            if aud.audit(round, t, response) == Verdict::Convicted {
+                convicted.push(t);
+            }
+        }
+        if !convicted.is_empty() {
+            self.purge_quarantined(&convicted);
+        }
+        aud.end_round(round);
+        self.audit = Some(aud);
+    }
+
+    /// Copies the current view of correct actor `abs` into `out` (slot
+    /// order — the leaf order of its merkle commitment).
+    fn view_ids_into(&self, abs: usize, out: &mut Vec<NodeId>) {
+        out.clear();
+        let id = NodeId(abs as u64);
+        if let Some(node) = self.node(id) {
+            out.extend(node.brahms().view().ids());
+        } else if let Some(node) = self.basalt(id) {
+            out.extend(node.view().sample_ids());
+        }
+    }
+
+    /// Conviction-time purge: removes the freshly convicted identities
+    /// from every honest view, waiting list and trusted directory. The
+    /// pull-path blacklist keeps re-learned entries out afterwards.
+    fn purge_quarantined(&mut self, convicted: &[usize]) {
+        match &mut self.population {
+            Population::Raptee(nodes) => {
+                for node in nodes.iter_mut() {
+                    for &c in convicted {
+                        let id = NodeId(c as u64);
+                        node.brahms_mut().view_mut().remove(id);
+                        node.forget_trusted_peer(id);
+                    }
+                }
+            }
+            Population::Basalt(nodes) => {
+                for node in nodes.iter_mut() {
+                    for &c in convicted {
+                        node.quarantine(NodeId(c as u64));
+                    }
+                }
+            }
+            Population::Mixed(seg_nodes) => {
+                for nodes in seg_nodes.iter_mut() {
+                    match nodes {
+                        SegmentNodes::Raptee(v) => {
+                            for node in v.iter_mut() {
+                                for &c in convicted {
+                                    let id = NodeId(c as u64);
+                                    node.brahms_mut().view_mut().remove(id);
+                                    node.forget_trusted_peer(id);
+                                }
+                            }
+                        }
+                        SegmentNodes::Basalt(v) => {
+                            for node in v.iter_mut() {
+                                for &c in convicted {
+                                    node.quarantine(NodeId(c as u64));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.trusted_dir
+            .retain(|&a| !convicted.contains(&(a as usize)));
     }
 
     /// Books this round's recovery metrics: availability node-rounds,
@@ -1525,6 +1729,12 @@ impl Simulation {
                 }
             }
             survivors.push((victim.index() as u32, narrow(advertised)));
+        }
+        // Quarantine filter: adversary pushes advertising a convicted
+        // identity (including copies drained from earlier rounds) are
+        // discarded — honest nodes blacklist the quarantined ID.
+        if let Some(aud) = self.audit.as_ref() {
+            survivors.retain(|&(_, advertised)| !aud.is_quarantined(widen(advertised).index()));
         }
         counting_sort_by_target(survivors, sorted, counts, self.total_actors());
     }
@@ -1993,6 +2203,19 @@ impl Simulation {
         if t == requester_abs || t >= self.total_actors() {
             return;
         }
+        // A convicted (quarantined) target is blacklisted before any
+        // connection or RNG draw: drop it from the view and the trusted
+        // directory, like a dead-peer timeout.
+        if self.audit.as_ref().is_some_and(|a| a.is_quarantined(t)) {
+            let Population::Raptee(nodes) = &mut self.population else {
+                unreachable!()
+            };
+            let node = &mut nodes[requester_ci];
+            node.brahms_mut().view_mut().remove(target);
+            node.forget_trusted_peer(target);
+            s.view_mutated[requester_ci] = true;
+            return;
+        }
         // Event model: reachability gating and round-trip timing. A
         // refused exchange never opens a connection, so (unlike a crash
         // timeout) the requester drops nothing and no loss RNG draw
@@ -2366,6 +2589,15 @@ impl Simulation {
         let requester_abs = byz + requester_ci;
         let t = target.index();
         if t == requester_abs || t >= total {
+            return;
+        }
+        // Quarantine blacklist (see `control_pull`): evict before any
+        // connection or RNG draw.
+        if self.audit.as_ref().is_some_and(|a| a.is_quarantined(t)) {
+            let Population::Basalt(nodes) = &mut self.population else {
+                unreachable!()
+            };
+            nodes[requester_ci].quarantine(target);
             return;
         }
         // Event model: reachability gating and round-trip timing (see
@@ -2798,6 +3030,85 @@ impl Simulation {
             }
         }
 
+        // Phase 3c (sequential): proactive BASALT trusted exchanges off
+        // the engine-level directory (`Scenario::trusted_directory_refresh`)
+        // — the hybrid's counterpart of the Raptee directory
+        // round-robin, so trusted swaps and audit coverage don't depend
+        // on random encounter. Partner draws come from a dedicated hash
+        // stream; with the refresh off the directory is empty and this
+        // pass vanishes.
+        if self.scenario.trusted_directory_refresh > 0 && self.trusted_dir.len() > 1 {
+            let dir_seed = mix64(self.scenario.seed ^ TRUSTED_DIR_SALT);
+            let round_tag = mix64(self.round as u64);
+            let dir = std::mem::take(&mut self.trusted_dir);
+            for &abs_u in &dir {
+                let abs = abs_u as usize;
+                let ci = abs - byz;
+                if !self.alive[abs]
+                    || !Self::effective_trusted_in(&self.trusted, self.trust.as_ref(), abs)
+                {
+                    continue;
+                }
+                if self.segs[self.seg_of[ci] as usize].basalt_cfg.is_none() {
+                    continue; // Raptee trusted nodes already ran phase 3b
+                }
+                let mut pick =
+                    (mix64(dir_seed ^ round_tag ^ mix64(abs as u64)) % dir.len() as u64) as usize;
+                if dir[pick] as usize == abs {
+                    pick = (pick + 1) % dir.len();
+                }
+                let partner_abs = dir[pick] as usize;
+                let pc = partner_abs - byz;
+                if partner_abs == abs
+                    || !self.alive[partner_abs]
+                    || !Self::effective_trusted_in(&self.trusted, self.trust.as_ref(), partner_abs)
+                    || self.segs[self.seg_of[pc] as usize].basalt_cfg.is_none()
+                {
+                    continue;
+                }
+                // Bidirectional attested swap (the `mixed_basalt_pull`
+                // both-trusted idiom): each side's distinct view ranks
+                // into the other, bypassing the waiting lists.
+                {
+                    let Population::Mixed(seg_nodes) = &mut self.population else {
+                        unreachable!()
+                    };
+                    {
+                        let partner = basalt_at(seg_nodes, &self.segs, &self.seg_of, pc);
+                        partner.pull_answer_into(&mut s.reply);
+                    }
+                    basalt_at(seg_nodes, &self.segs, &self.seg_of, ci)
+                        .record_pull_answer_trusted(NodeId(partner_abs as u64), &s.reply);
+                }
+                note_discovered(
+                    &mut self.discovery,
+                    byz,
+                    total,
+                    ci,
+                    NodeId(partner_abs as u64),
+                );
+                for idx in 0..s.reply.len() {
+                    note_discovered(&mut self.discovery, byz, total, ci, s.reply[idx]);
+                }
+                {
+                    let Population::Mixed(seg_nodes) = &mut self.population else {
+                        unreachable!()
+                    };
+                    {
+                        let me = basalt_at(seg_nodes, &self.segs, &self.seg_of, ci);
+                        me.pull_answer_into(&mut s.observed);
+                    }
+                    basalt_at(seg_nodes, &self.segs, &self.seg_of, pc)
+                        .record_pull_answer_trusted(NodeId(abs as u64), &s.observed);
+                }
+                note_discovered(&mut self.discovery, byz, total, pc, NodeId(abs as u64));
+                for idx in 0..s.observed.len() {
+                    note_discovered(&mut self.discovery, byz, total, pc, s.observed[idx]);
+                }
+            }
+            self.trusted_dir = dir;
+        }
+
         // Phase 4 (parallel, per segment): round finalisation. Raptee
         // segments reconstruct their push/pull streams from the shared
         // arenas (identical to the uniform apply phase); BASALT segments
@@ -2997,6 +3308,18 @@ impl Simulation {
         if t == requester_abs || t >= total {
             return;
         }
+        // Quarantine blacklist (see `control_pull`): drop before any
+        // connection or RNG draw.
+        if self.audit.as_ref().is_some_and(|a| a.is_quarantined(t)) {
+            let Population::Mixed(seg_nodes) = &mut self.population else {
+                unreachable!()
+            };
+            let node = raptee_at(seg_nodes, &self.segs, &self.seg_of, requester_ci);
+            node.brahms_mut().view_mut().remove(target);
+            node.forget_trusted_peer(target);
+            s.view_mutated[requester_ci] = true;
+            return;
+        }
         // Event model: reachability gating and round-trip timing (see
         // `control_pull`).
         let gate = match self.net.as_mut() {
@@ -3141,6 +3464,15 @@ impl Simulation {
         let requester_abs = byz + requester_ci;
         let t = target.index();
         if t == requester_abs || t >= total {
+            return;
+        }
+        // Quarantine blacklist (see `control_pull`): evict before any
+        // connection or RNG draw.
+        if self.audit.as_ref().is_some_and(|a| a.is_quarantined(t)) {
+            let Population::Mixed(seg_nodes) = &mut self.population else {
+                unreachable!()
+            };
+            basalt_at(seg_nodes, &self.segs, &self.seg_of, requester_ci).quarantine(target);
             return;
         }
         // Event model: reachability gating and round-trip timing (see
@@ -3468,6 +3800,9 @@ impl Simulation {
                 .then(|| rec.ttr_sum as f64 / rec.recovered as f64),
             trusted_live_fraction: rec.trusted_live_fraction,
         });
+        // Audit stats exist only when the challenger ran — `None`
+        // otherwise, so audit-off results compare (and hash) unchanged.
+        let audit = self.audit.map(Challenger::into_stats);
         RunResult {
             resilience,
             discovery_round: self.discovery_round,
@@ -3484,6 +3819,7 @@ impl Simulation {
             virtual_ticks,
             net,
             recovery,
+            audit,
         }
     }
 }

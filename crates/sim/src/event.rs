@@ -41,7 +41,7 @@ use crate::scenario::{
 use raptee::wire::Message;
 use raptee_net::{NodeId, NodeIdx};
 use raptee_util::rng::mix64;
-use std::cmp::Ordering;
+use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// A deterministic min-ordered event queue.
@@ -273,6 +273,13 @@ pub struct EventNet {
     /// Nonces whose answer has already been applied (point-queried
     /// only — set order cannot leak into results).
     seen_nonces: HashSet<u64>,
+    /// Retirement schedule bounding `seen_nonces`: `(last possible
+    /// arrival round, nonce)` min-heap, swept at each round open. Every
+    /// copy of a nonce is queued at `queue_answer` time, so its last
+    /// arrival round is known exactly — the sweep can never evict a
+    /// nonce that could still be presented, keeping dedup behaviour
+    /// byte-identical while the set stays bounded on long runs.
+    nonce_retire: BinaryHeap<Reverse<(usize, u64)>>,
     /// Deadline-expired answer copies of the pull currently being
     /// gated: `(arrival tick, held)` recorded by the retry loop, queued
     /// (with the shared nonce) when the engine materialises the answer.
@@ -324,6 +331,7 @@ impl EventNet {
             fault_seq: 0,
             next_nonce: 0,
             seen_nonces: HashSet::new(),
+            nonce_retire: BinaryHeap::new(),
             dup_pending: Vec::new(),
             queue,
             due_honest: Vec::new(),
@@ -347,6 +355,18 @@ impl EventNet {
         self.due_honest.clear();
         self.due_byz.clear();
         self.due_answers.clear();
+        // Generation sweep: retire nonces whose last possible arrival
+        // round has passed — no remaining copy can present them, so
+        // removal is invisible to the dedup semantics.
+        while let Some(&Reverse((last_round, nonce))) = self.nonce_retire.peek() {
+            if last_round >= round {
+                break;
+            }
+            self.nonce_retire.pop();
+            if self.seen_nonces.remove(&nonce) {
+                self.stats.nonce_evictions += 1;
+            }
+        }
         let horizon = (round as u64 + 1) * self.cfg.round_ticks;
         let mut ticked = false;
         while let Some((_, _, env)) = self.queue.pop_before(horizon) {
@@ -579,6 +599,11 @@ impl EventNet {
             };
             copies.push((primary + extra, held));
         }
+        let last_arrival = copies.iter().map(|&(a, _)| a).max().unwrap_or(primary);
+        self.nonce_retire.push(Reverse((
+            (last_arrival / self.cfg.round_ticks) as usize,
+            nonce,
+        )));
         for (arrival, held) in copies {
             self.stats.late_deliveries += 1;
             self.queue.push(
@@ -658,6 +683,13 @@ impl EventNet {
         self.holes
             .get(&(natted_dst as u32, src as u32))
             .is_some_and(|&opened| round - opened <= hole_ttl)
+    }
+
+    /// Whether an active partition window separates `a` and `b` in
+    /// `round` — a pure schedule lookup (no stream draws), used by the
+    /// audit challenger to recognise targets it cannot reach.
+    pub fn separated(&self, round: usize, a: usize, b: usize) -> bool {
+        self.cut_active(round, a, b)
     }
 
     /// Whether an active partition separates `a` and `b` in `round`.

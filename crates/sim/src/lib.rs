@@ -38,6 +38,7 @@
 //!   selectable per scenario via [`scenario::DiscoveryMode`].
 
 pub mod adversary;
+pub mod audit;
 pub mod bitset;
 pub mod engine;
 pub mod event;
@@ -45,14 +46,15 @@ pub mod metrics;
 pub mod runner;
 pub mod scenario;
 
+pub use audit::{AuditResponse, Beacon, Challenger, Verdict};
 pub use bitset::{Discovery, EXACT_DISCOVERY_THRESHOLD};
 pub use engine::Simulation;
 pub use event::{EventEngine, EventQueue};
-pub use metrics::RecoveryStats;
+pub use metrics::{AuditStats, RecoveryStats};
 pub use metrics::{IdentificationResult, NetRunStats, RunResult, SegmentResult};
 pub use runner::{run_repeated, run_scenario, AggregatedResult, SegmentAggregate};
 pub use scenario::{
-    AttackStrategy, ChurnBurst, ChurnSchedule, DiscoveryMode, EventNetConfig, LatencyModel,
-    NetworkModel, PartitionWindow, Protocol, Reachability, RejoinPolicy, RetryConfig, Scenario,
-    SegmentSpec,
+    AttackStrategy, AuditConfig, ChurnBurst, ChurnSchedule, DiscoveryMode, EventNetConfig,
+    LatencyModel, NetworkModel, PartitionWindow, Protocol, Reachability, RejoinPolicy, RetryConfig,
+    Scenario, SegmentSpec, DEFAULT_AUDIT_GRACE,
 };

@@ -175,6 +175,10 @@ pub struct NetRunStats {
     /// Duplicate pull-answer deliveries suppressed by the engine's
     /// nonce dedup (retransmitted answers plus injected copies).
     pub duplicates_suppressed: u64,
+    /// Nonces retired from the dedup set by the per-round generation
+    /// sweep (a nonce is evicted once its last possible arrival round
+    /// has passed, so the set stays bounded on long runs).
+    pub nonce_evictions: u64,
 }
 
 /// Dynamic-membership outcome of one run — present only when the
@@ -202,6 +206,41 @@ pub struct RecoveryStats {
     /// (unexpired) attestation certificate, per round. Empty when the
     /// run has no trusted tier.
     pub trusted_live_fraction: Vec<f64>,
+}
+
+/// Audit-layer outcome of one run — present only when the scenario
+/// enables the challenger (`Scenario::audit`), so audit-off results
+/// (and every pre-existing golden fingerprint) are untouched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditStats {
+    /// Audit challenges issued by the challenger over the run.
+    pub audits_issued: u64,
+    /// Challenges answered with an opening (live nodes; crashed or
+    /// certificate-expired targets cannot answer).
+    pub audits_answered: u64,
+    /// Verdicts: opening verified against the chained commitment.
+    pub cleared: u64,
+    /// Verdicts: opening missing or inadmissible (dead, churned-out or
+    /// certificate-expired target) — decays after the grace window.
+    pub suspected: u64,
+    /// Verdicts: opening inconsistent with the chained commitment.
+    /// Convicted nodes enter quarantine.
+    pub convictions: u64,
+    /// Convictions of correct nodes — must be zero: an honest opening
+    /// always verifies, and missing openings only ever suspect.
+    pub false_accusations: u64,
+    /// Byzantine nodes convicted within the run.
+    pub detected_byzantine: u64,
+    /// Mean rounds from a Byzantine node's first activity to its
+    /// conviction, over the nodes detected; `None` when none were.
+    pub mean_detection_latency: Option<f64>,
+    /// Quarantine population at the end of each round.
+    pub quarantine_series: Vec<u32>,
+    /// Chained view commitments recorded from the trusted tier.
+    pub commitments_recorded: u64,
+    /// Commitment chains restarted from genesis by cold rejoins (warm
+    /// rejoins re-commit on the existing chain instead).
+    pub chain_restarts: u64,
 }
 
 /// Pollution metrics of one population segment (see
@@ -277,6 +316,9 @@ pub struct RunResult {
     /// Dynamic-membership and trusted-tier recovery statistics; `None`
     /// unless the scenario configures churn or attestation expiry.
     pub recovery: Option<RecoveryStats>,
+    /// Challenger audit statistics; `None` unless the scenario enables
+    /// the audit layer.
+    pub audit: Option<AuditStats>,
 }
 
 #[cfg(test)]

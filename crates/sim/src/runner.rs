@@ -65,6 +65,18 @@ pub struct AggregatedResult {
     /// least one restarted node re-stabilised; `None` when none did (or
     /// recovery tracking was off).
     pub time_to_recover: Option<f64>,
+    /// Mean Byzantine detection latency (rounds from first activity to
+    /// conviction) across repetitions in which the challenger convicted
+    /// at least one Byzantine node; `None` when none did (or the audit
+    /// layer was off).
+    pub audit_detection_latency: Option<f64>,
+    /// Mean convictions per repetition across repetitions that ran the
+    /// audit layer; `None` when it was off.
+    pub audit_convictions: Option<f64>,
+    /// Mean false accusations (convictions of correct nodes — expected
+    /// zero) per repetition across repetitions that ran the audit
+    /// layer; `None` when it was off.
+    pub audit_false_accusations: Option<f64>,
 }
 
 /// Runs one scenario once. Takes the scenario by value — repetition
@@ -180,6 +192,24 @@ pub fn aggregate(results: &[RunResult]) -> AggregatedResult {
             .filter_map(|r| r.recovery.as_ref().and_then(|rec| rec.mean_time_to_recover))
             .collect(),
     );
+    let audit_detection_latency = mean_of(
+        results
+            .iter()
+            .filter_map(|r| r.audit.as_ref().and_then(|a| a.mean_detection_latency))
+            .collect(),
+    );
+    let audit_convictions = mean_of(
+        results
+            .iter()
+            .filter_map(|r| r.audit.as_ref().map(|a| a.convictions as f64))
+            .collect(),
+    );
+    let audit_false_accusations = mean_of(
+        results
+            .iter()
+            .filter_map(|r| r.audit.as_ref().map(|a| a.false_accusations as f64))
+            .collect(),
+    );
     AggregatedResult {
         resilience,
         segments,
@@ -193,6 +223,9 @@ pub fn aggregate(results: &[RunResult]) -> AggregatedResult {
         stability_success,
         availability,
         time_to_recover,
+        audit_detection_latency,
+        audit_convictions,
+        audit_false_accusations,
     }
 }
 
@@ -316,6 +349,7 @@ mod tests {
             virtual_ticks: 10,
             net: None,
             recovery: None,
+            audit: None,
         }
     }
 
@@ -354,6 +388,42 @@ mod tests {
         let agg = aggregate(&[churned]);
         assert_eq!(agg.availability, Some(0.9));
         assert_eq!(agg.time_to_recover, None);
+    }
+
+    #[test]
+    fn aggregate_folds_audit_metrics() {
+        let plain = fake_result(0.2, Some(10));
+        let mut audited = fake_result(0.4, None);
+        audited.audit = Some(crate::metrics::AuditStats {
+            audits_issued: 40,
+            audits_answered: 30,
+            cleared: 25,
+            suspected: 5,
+            convictions: 10,
+            false_accusations: 0,
+            detected_byzantine: 10,
+            mean_detection_latency: Some(8.0),
+            quarantine_series: vec![0, 4, 10],
+            commitments_recorded: 100,
+            chain_restarts: 1,
+        });
+        let agg = aggregate(&[plain.clone(), audited.clone()]);
+        // Only repetitions that ran the challenger contribute.
+        assert_eq!(agg.audit_detection_latency, Some(8.0));
+        assert_eq!(agg.audit_convictions, Some(10.0));
+        assert_eq!(agg.audit_false_accusations, Some(0.0));
+        let off = aggregate(&[plain]);
+        assert_eq!(off.audit_detection_latency, None);
+        assert_eq!(off.audit_convictions, None);
+        assert_eq!(off.audit_false_accusations, None);
+        // An audited repetition that convicted nothing still reports
+        // conviction counts, just no latency.
+        audited.audit.as_mut().unwrap().mean_detection_latency = None;
+        audited.audit.as_mut().unwrap().convictions = 0;
+        audited.audit.as_mut().unwrap().detected_byzantine = 0;
+        let agg = aggregate(&[audited]);
+        assert_eq!(agg.audit_detection_latency, None);
+        assert_eq!(agg.audit_convictions, Some(0.0));
     }
 
     #[test]

@@ -402,6 +402,34 @@ impl ChurnSchedule {
 /// assert_eq!(s.byzantine_count(), 50);
 /// assert_eq!(s.trusted_count(), 5);
 /// ```
+/// Challenger configuration for the verifiable audit layer: every
+/// round the challenger draws `budget` targets from its dedicated
+/// randomness beacon, demands merkle openings of sampled view slots,
+/// and issues verdicts (see `crate::audit`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditConfig {
+    /// Audit challenges issued per round.
+    pub budget: usize,
+    /// Suspicion grace window in rounds: a `Suspected` verdict (missing
+    /// or inadmissible opening — a crashed, churned-out or
+    /// certificate-expired target) decays after this many rounds, so
+    /// crash-recovery never escalates towards a conviction.
+    pub grace: usize,
+}
+
+/// Default suspicion grace window (rounds).
+pub const DEFAULT_AUDIT_GRACE: usize = 10;
+
+impl AuditConfig {
+    /// An audit configuration with the default grace window.
+    pub fn with_budget(budget: usize) -> Self {
+        Self {
+            budget,
+            grace: DEFAULT_AUDIT_GRACE,
+        }
+    }
+}
+
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Total number of (original) nodes `N`.
@@ -475,6 +503,19 @@ pub struct Scenario {
     /// The original Brahms probes its samples so departed nodes leave
     /// the sample list.
     pub sampler_validation_period: usize,
+    /// Verifiable audit layer: `None` (the default) disables the
+    /// challenger entirely — no commitments are taken and the audit
+    /// beacon stream is never drawn from, so audit-off runs replay
+    /// byte-for-byte. Requires a provisioned trusted tier.
+    pub audit: Option<AuditConfig>,
+    /// Proactive trusted-directory refresh period, in rounds (`0`
+    /// disables — the default, preserving all golden fingerprints).
+    /// When positive, the engine rebuilds a directory of live,
+    /// certificate-valid trusted nodes every this-many rounds and
+    /// BASALT-family trusted nodes perform one directory-driven
+    /// trusted exchange per round — instead of relying on the
+    /// opportunistic both-trusted pull encounters of the hybrid path.
+    pub trusted_directory_refresh: usize,
     /// Push-flood threshold margin in standard deviations above `α·l1`.
     /// `0` keeps the paper-literal `α·l1` threshold (appropriate at the
     /// paper's view size, where `α·l1` already sits ≈ 4σ above the mean
@@ -516,6 +557,8 @@ impl Default for Scenario {
             churn: ChurnSchedule::default(),
             attest_ttl: 0,
             sampler_validation_period: 0,
+            audit: None,
+            trusted_directory_refresh: 0,
             flood_slack_sigmas: 4.0,
             tail_window: 20,
             discovery: DiscoveryMode::Auto,
@@ -592,6 +635,11 @@ impl Scenario {
             self.attest_ttl == 0 || self.trusted_count() > 0,
             "attestation expiry needs a provisioned trusted tier"
         );
+        self.validate_audit();
+        assert!(
+            self.trusted_directory_refresh == 0 || self.trusted_count() > 0,
+            "the trusted-directory refresh needs a provisioned trusted tier"
+        );
         self.eviction.validate();
         assert!(
             (0.0..=1.0).contains(&self.identification_threshold),
@@ -658,6 +706,27 @@ impl Scenario {
         assert!(
             net.reorder_jitter == 0 || net.duplicate_rate > 0.0,
             "reorder jitter shuffles duplicate copies; it needs duplicate_rate > 0"
+        );
+    }
+
+    /// Audit-layer consistency checks.
+    fn validate_audit(&self) {
+        let Some(audit) = &self.audit else { return };
+        assert!(audit.budget > 0, "audit budget must be positive");
+        assert!(audit.grace > 0, "audit grace window must be positive");
+        assert!(
+            self.trusted_count() > 0,
+            "the audit layer needs a provisioned trusted tier (t > 0 under a TEE protocol)"
+        );
+        // Commitments expire with the attestation certificate: a TTL
+        // shorter than the grace window would leave an honest node
+        // certificate-less for longer than suspicion is allowed to
+        // persist, making an expired-but-honest node indistinguishable
+        // from an evasive one. Reject the combination outright.
+        assert!(
+            self.attest_ttl == 0 || self.attest_ttl >= audit.grace,
+            "attestation TTL shorter than the audit grace window would make \
+             expired-but-honest nodes convictable; use attest_ttl >= grace"
         );
     }
 

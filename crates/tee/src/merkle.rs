@@ -1,0 +1,410 @@
+//! Merkle commitments over per-round view digests.
+//!
+//! The audit layer (PR 9) needs every trusted-tier node to *commit* to
+//! its view each round so a challenger can later demand an opening of
+//! any view slot and check it against the committed root. Two builders
+//! share one root definition:
+//!
+//! * [`MerkleTree`] — the fixed-shape tree: leaves are padded to the
+//!   next power of two with a domain-separated empty digest, so the
+//!   shape (and therefore the root) of a view of `k` entries is a pure
+//!   function of the leaf sequence. Supports openings
+//!   ([`MerkleTree::open`]) and verification ([`verify`]).
+//! * [`IncrementalMerkle`] — a streaming builder keeping only the
+//!   `O(log n)` perfect-subtree peaks; [`IncrementalMerkle::root`]
+//!   pads with the same empty-subtree ladder and folds, so it equals
+//!   the fixed-shape root over the same leaves without ever holding
+//!   the full tree. Used where views are folded slot-by-slot.
+//!
+//! Hashing is domain-separated ([`leaf_hash`] prefixes `0x00`, interior
+//! nodes `0x01`, the empty pad `0x02`) so a leaf can never be
+//! reinterpreted as an interior node — the classic second-preimage
+//! defence.
+//!
+//! [`ViewCommitment`] chains the per-round roots: each commitment binds
+//! `(round, root)` to the digest of its predecessor, so a node cannot
+//! rewrite history without breaking every later link. A cold-rejoining
+//! node restarts its chain from the genesis `prev` (all zeroes); a warm
+//! rejoin continues where it left off.
+
+use raptee_crypto::sha256::{Digest, Sha256, DIGEST_LEN};
+
+/// The all-zero digest used as the genesis `prev` link of a commitment
+/// chain.
+pub const GENESIS: Digest = [0u8; DIGEST_LEN];
+
+/// Hashes one leaf payload (domain tag `0x00`).
+pub fn leaf_hash(data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[0x00]);
+    h.update(data);
+    h.finalize()
+}
+
+/// Hashes one interior node from its children (domain tag `0x01`).
+fn node_hash(left: &Digest, right: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[0x01]);
+    h.update(left);
+    h.update(right);
+    h.finalize()
+}
+
+/// The empty-subtree digest at `level` (level 0 = the padding leaf,
+/// domain tag `0x02`). A short ladder — views are tiny — recomputed on
+/// demand.
+fn empty_at(level: usize) -> Digest {
+    let mut d = Sha256::digest(&[0x02]);
+    for _ in 0..level {
+        d = node_hash(&d, &d);
+    }
+    d
+}
+
+/// An opening of one leaf: its index and the sibling digests from the
+/// leaf's level up to (excluding) the root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the opened leaf in the committed sequence.
+    pub index: usize,
+    /// Sibling digest per level, leaf level first.
+    pub siblings: Vec<Digest>,
+}
+
+/// Verifies that `leaf` (already leaf-hashed) sits at `proof.index`
+/// under `root`.
+pub fn verify(root: &Digest, leaf: &Digest, proof: &MerkleProof) -> bool {
+    let mut acc = *leaf;
+    let mut idx = proof.index;
+    for sib in &proof.siblings {
+        acc = if idx & 1 == 0 {
+            node_hash(&acc, sib)
+        } else {
+            node_hash(sib, &acc)
+        };
+        idx >>= 1;
+    }
+    idx == 0 && acc == *root
+}
+
+/// Fixed-shape merkle tree over a leaf-digest sequence, padded to the
+/// next power of two with the empty-leaf digest.
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    /// `levels[0]` = padded leaves, last level = `[root]`.
+    levels: Vec<Vec<Digest>>,
+    /// Number of real (unpadded) leaves.
+    len: usize,
+}
+
+impl MerkleTree {
+    /// Builds the tree from already-hashed leaves. An empty sequence
+    /// commits to the empty-leaf digest.
+    pub fn from_leaves(leaves: &[Digest]) -> Self {
+        let len = leaves.len();
+        let width = len.next_power_of_two().max(1);
+        let mut level: Vec<Digest> = Vec::with_capacity(width);
+        level.extend_from_slice(leaves);
+        level.resize(width, empty_at(0));
+        let mut levels = vec![level];
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let next: Vec<Digest> = prev
+                .chunks_exact(2)
+                .map(|pair| node_hash(&pair[0], &pair[1]))
+                .collect();
+            levels.push(next);
+        }
+        Self { levels, len }
+    }
+
+    /// Builds the tree from raw leaf payloads ([`leaf_hash`] applied).
+    pub fn from_payloads<T: AsRef<[u8]>>(payloads: &[T]) -> Self {
+        let leaves: Vec<Digest> = payloads.iter().map(|p| leaf_hash(p.as_ref())).collect();
+        Self::from_leaves(&leaves)
+    }
+
+    /// Number of real leaves committed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree commits to zero leaves.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The root digest.
+    pub fn root(&self) -> Digest {
+        self.levels.last().unwrap()[0]
+    }
+
+    /// Opens the leaf at `index` (must be `< len`).
+    pub fn open(&self, index: usize) -> MerkleProof {
+        assert!(index < self.len.max(1), "opening past the committed leaves");
+        let mut siblings = Vec::with_capacity(self.levels.len() - 1);
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            siblings.push(level[idx ^ 1]);
+            idx >>= 1;
+        }
+        MerkleProof { index, siblings }
+    }
+}
+
+/// Streaming merkle builder: keeps one digest per perfect-subtree peak
+/// (binary carry chain), merging eagerly, so memory is `O(log n)`.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalMerkle {
+    /// `peaks[i]` = root of a perfect subtree of `2^i` leaves, `None`
+    /// when that bit of `len` is clear.
+    peaks: Vec<Option<Digest>>,
+    len: usize,
+}
+
+impl IncrementalMerkle {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one already-hashed leaf.
+    pub fn push(&mut self, leaf: Digest) {
+        let mut carry = leaf;
+        let mut level = 0;
+        loop {
+            if level == self.peaks.len() {
+                self.peaks.push(None);
+            }
+            match self.peaks[level].take() {
+                None => {
+                    self.peaks[level] = Some(carry);
+                    break;
+                }
+                Some(existing) => {
+                    carry = node_hash(&existing, &carry);
+                    level += 1;
+                }
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Appends one raw payload ([`leaf_hash`] applied).
+    pub fn push_payload(&mut self, payload: &[u8]) {
+        self.push(leaf_hash(payload));
+    }
+
+    /// Leaves appended so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no leaves were appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The fixed-shape root: pads the partial subtrees with the
+    /// empty-subtree ladder and folds the peaks, matching
+    /// [`MerkleTree::from_leaves`] over the same sequence.
+    pub fn root(&self) -> Digest {
+        // Fold peaks lowest-first. A lower peak covers *later* leaves
+        // than a higher one, so when pairing it sits on the right; the
+        // accumulator is right-padded with empty subtrees until it
+        // reaches the next peak's level.
+        let mut acc: Option<(Digest, usize)> = None;
+        for (level, peak) in self.peaks.iter().enumerate() {
+            let Some(p) = peak else { continue };
+            acc = Some(match acc {
+                None => (*p, level),
+                Some((mut a, mut a_level)) => {
+                    while a_level < level {
+                        a = node_hash(&a, &empty_at(a_level));
+                        a_level += 1;
+                    }
+                    (node_hash(p, &a), level + 1)
+                }
+            });
+        }
+        acc.map(|(d, _)| d).unwrap_or_else(|| empty_at(0))
+    }
+}
+
+/// One round's chained view commitment: the merkle `root` of the view,
+/// the `round` it was taken in, and the digest of the previous
+/// commitment (or [`GENESIS`] at the chain start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewCommitment {
+    /// Round the view was committed in.
+    pub round: u64,
+    /// Merkle root over the view's leaf digests.
+    pub root: Digest,
+    /// Digest of the previous commitment in the chain ([`GENESIS`] for
+    /// the first link after boot or a cold rejoin).
+    pub prev: Digest,
+}
+
+impl ViewCommitment {
+    /// Starts a chain (or restarts it after a cold rejoin).
+    pub fn genesis(round: u64, root: Digest) -> Self {
+        Self {
+            round,
+            root,
+            prev: GENESIS,
+        }
+    }
+
+    /// Chains a new commitment onto `prev`.
+    pub fn chained(prev: &ViewCommitment, round: u64, root: Digest) -> Self {
+        Self {
+            round,
+            root,
+            prev: prev.digest(),
+        }
+    }
+
+    /// The commitment's own digest (what the next link's `prev` binds).
+    pub fn digest(&self) -> Digest {
+        let mut h = Sha256::new();
+        h.update(&[0x03]);
+        h.update(&self.round.to_le_bytes());
+        h.update(&self.root);
+        h.update(&self.prev);
+        h.finalize()
+    }
+
+    /// Whether `next` is a valid successor of `self` (later round,
+    /// `prev` binds this commitment).
+    pub fn links_to(&self, next: &ViewCommitment) -> bool {
+        next.round > self.round && next.prev == self.digest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payloads(n: usize) -> Vec<Vec<u8>> {
+        (0..n as u64).map(|i| i.to_le_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn roots_differ_by_content_and_order() {
+        let a = MerkleTree::from_payloads(&payloads(4));
+        let mut swapped = payloads(4);
+        swapped.swap(1, 2);
+        let b = MerkleTree::from_payloads(&swapped);
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn every_leaf_opens_and_verifies() {
+        for n in 1..=9 {
+            let tree = MerkleTree::from_payloads(&payloads(n));
+            for i in 0..n {
+                let proof = tree.open(i);
+                let leaf = leaf_hash(&(i as u64).to_le_bytes());
+                assert!(verify(&tree.root(), &leaf, &proof), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn any_single_leaf_tamper_is_detected() {
+        // Property: for every leaf position and every byte flip, the
+        // tampered leaf fails against the committed root.
+        for n in [1usize, 3, 4, 7, 8] {
+            let tree = MerkleTree::from_payloads(&payloads(n));
+            for i in 0..n {
+                let proof = tree.open(i);
+                let mut data = (i as u64).to_le_bytes();
+                for byte in 0..data.len() {
+                    data[byte] ^= 0xA5;
+                    let tampered = leaf_hash(&data);
+                    assert!(
+                        !verify(&tree.root(), &tampered, &proof),
+                        "tamper must be detected: n={n} i={i} byte={byte}"
+                    );
+                    data[byte] ^= 0xA5;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn proof_verifies_iff_leaf_in_committed_view() {
+        let n = 6;
+        let tree = MerkleTree::from_payloads(&payloads(n));
+        // Every committed leaf verifies at its own index...
+        for i in 0..n {
+            let leaf = leaf_hash(&(i as u64).to_le_bytes());
+            assert!(verify(&tree.root(), &leaf, &tree.open(i)));
+            // ...and at no other index.
+            for j in (0..n).filter(|&j| j != i) {
+                assert!(!verify(&tree.root(), &leaf, &tree.open(j)));
+            }
+        }
+        // A leaf outside the committed view verifies nowhere.
+        let foreign = leaf_hash(&999u64.to_le_bytes());
+        for i in 0..n {
+            assert!(!verify(&tree.root(), &foreign, &tree.open(i)));
+        }
+    }
+
+    #[test]
+    fn proof_against_wrong_root_fails() {
+        let tree = MerkleTree::from_payloads(&payloads(5));
+        let other = MerkleTree::from_payloads(&payloads(6));
+        let leaf = leaf_hash(&2u64.to_le_bytes());
+        assert!(!verify(&other.root(), &leaf, &tree.open(2)));
+    }
+
+    #[test]
+    fn truncated_proof_fails() {
+        let tree = MerkleTree::from_payloads(&payloads(8));
+        let mut proof = tree.open(5);
+        proof.siblings.pop();
+        let leaf = leaf_hash(&5u64.to_le_bytes());
+        assert!(!verify(&tree.root(), &leaf, &proof));
+    }
+
+    #[test]
+    fn incremental_matches_fixed_shape() {
+        for n in 0..=17 {
+            let ps = payloads(n);
+            let fixed = MerkleTree::from_payloads(&ps);
+            let mut inc = IncrementalMerkle::new();
+            for p in &ps {
+                inc.push_payload(p);
+            }
+            assert_eq!(inc.root(), fixed.root(), "n={n}");
+            assert_eq!(inc.len(), n);
+        }
+    }
+
+    #[test]
+    fn empty_tree_has_stable_root() {
+        let a = MerkleTree::from_leaves(&[]);
+        let b = IncrementalMerkle::new();
+        assert_eq!(a.root(), b.root());
+        assert!(a.is_empty() && b.is_empty());
+    }
+
+    #[test]
+    fn commitment_chain_links_and_breaks() {
+        let t0 = MerkleTree::from_payloads(&payloads(4));
+        let t1 = MerkleTree::from_payloads(&payloads(5));
+        let c0 = ViewCommitment::genesis(0, t0.root());
+        let c1 = ViewCommitment::chained(&c0, 1, t1.root());
+        assert_eq!(c0.prev, GENESIS);
+        assert!(c0.links_to(&c1));
+        // Rewriting the earlier root breaks the link.
+        let mut forged = c0;
+        forged.root = t1.root();
+        assert!(!forged.links_to(&c1));
+        // A same-round successor is rejected.
+        let same = ViewCommitment::chained(&c0, 0, t1.root());
+        assert!(!c0.links_to(&same));
+    }
+}

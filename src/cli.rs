@@ -16,8 +16,9 @@
 use raptee::EvictionPolicy;
 use raptee_bench::Scale;
 use raptee_sim::{
-    runner, ChurnBurst, ChurnSchedule, DiscoveryMode, EventNetConfig, LatencyModel, NetworkModel,
-    PartitionWindow, Protocol, Reachability, RejoinPolicy, RetryConfig, Scenario, SegmentSpec,
+    runner, AuditConfig, ChurnBurst, ChurnSchedule, DiscoveryMode, EventNetConfig, LatencyModel,
+    NetworkModel, PartitionWindow, Protocol, Reachability, RejoinPolicy, RetryConfig, Scenario,
+    SegmentSpec, DEFAULT_AUDIT_GRACE,
 };
 use std::collections::BTreeMap;
 
@@ -376,6 +377,32 @@ impl Args {
         })
     }
 
+    /// Parses `--audit budget[:grace]`: challenges issued per round by
+    /// the verifiable-audit challenger and the suspicion grace window in
+    /// rounds (default 10).
+    fn audit(&self) -> Result<Option<AuditConfig>, CliError> {
+        let Some(spec) = self.options.get("audit") else {
+            return Ok(None);
+        };
+        let bad = || CliError::BadValue {
+            key: "audit".into(),
+            value: spec.clone(),
+        };
+        let (budget, grace) = match spec.split_once(':') {
+            Some((b, g)) => (b, Some(g)),
+            None => (spec.as_str(), None),
+        };
+        let budget: usize = budget.parse().map_err(|_| bad())?;
+        let grace: usize = match grace {
+            Some(g) => g.parse().map_err(|_| bad())?,
+            None => DEFAULT_AUDIT_GRACE,
+        };
+        if budget == 0 || grace == 0 {
+            return Err(bad());
+        }
+        Ok(Some(AuditConfig { budget, grace }))
+    }
+
     /// Parses the churn options: `--churn rate[:restart-rate]` (steady
     /// per-round crash/restart probabilities), `--catastrophe
     /// start..end@frac[;...]` (burst windows with a raised crash rate)
@@ -585,6 +612,8 @@ impl Args {
             network: self.network()?,
             churn: self.churn()?,
             attest_ttl: self.get("attest-ttl", 0usize)?,
+            audit: self.audit()?,
+            trusted_directory_refresh: self.get("trusted-refresh", 0usize)?,
             seed: self.get("seed", 0x5A97EE_u64)?,
             ..Scenario::default()
         };
@@ -598,6 +627,29 @@ impl Args {
         }
         let correct = scenario.n - scenario.byzantine_count();
         scenario.population = self.population(view, correct)?;
+        // The audit layer only makes sense with commitments to audit:
+        // it needs a trusted tier, and an attestation TTL shorter than
+        // the grace window would make expired-but-honest trusted nodes
+        // look convictable (the library assert rejects it too — surface
+        // it as a CLI error instead).
+        if let Some(audit) = scenario.audit {
+            if scenario.trusted_count() == 0 {
+                return Err(CliError::BadValue {
+                    key: "audit".into(),
+                    value: "requires a trusted tier (--t > 0 under a TEE protocol)".into(),
+                });
+            }
+            if scenario.attest_ttl > 0 && scenario.attest_ttl < audit.grace {
+                return Err(CliError::BadValue {
+                    key: "audit".into(),
+                    value: format!(
+                        "grace window {} exceeds --attest-ttl {} (expired-but-honest \
+                         nodes would stay suspect past certificate renewal)",
+                        audit.grace, scenario.attest_ttl
+                    ),
+                });
+            }
+        }
         Ok(scenario)
     }
 }
@@ -666,6 +718,15 @@ FAULT OPTIONS (round and event network alike):
     --attest-ttl <u>   attestation-certificate lifetime in rounds; expired
                        trusted nodes act untrusted until re-attestation
                        heals them (0 = certificates never expire)
+
+AUDIT OPTIONS (require a trusted tier):
+    --audit <s>        budget[:grace] — enable the verifiable audit layer:
+                       the challenger issues budget merkle-opening
+                       challenges per round; unanswered audits decay
+                       after grace rounds [default grace: 10]; proof
+                       inconsistency convicts and quarantines the node
+    --trusted-refresh <u> rounds between proactive trusted-directory
+                       exchanges on the trusted tier (0 = off)
 
 SUBCOMMANDS:
     run      one scenario; add --series true to dump the pollution curve as CSV
@@ -755,6 +816,19 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
             availability * 100.0,
             agg.time_to_recover
                 .map_or("-".into(), |r| format!("{r:.1} rounds")),
+        ));
+    }
+    if let Some(audit) = scenario.audit {
+        out.push_str(&format!(
+            "audit (budget {}, grace {}): convictions {}   false accusations {}   detection latency {}\n",
+            audit.budget,
+            audit.grace,
+            agg.audit_convictions
+                .map_or("-".into(), |c| format!("{c:.1}")),
+            agg.audit_false_accusations
+                .map_or("-".into(), |c| format!("{c:.1}")),
+            agg.audit_detection_latency
+                .map_or("-".into(), |l| format!("{l:.1} rounds")),
         ));
     }
     if args.flag("series") {
@@ -1473,6 +1547,71 @@ mod tests {
                 "{extra:?} must be rejected, got {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn audit_flag_parses_and_gates() {
+        // budget only → default grace.
+        let s = args(&["run", "--audit", "4", "--t", "0.1"])
+            .unwrap()
+            .scenario()
+            .unwrap();
+        assert_eq!(
+            s.audit,
+            Some(AuditConfig {
+                budget: 4,
+                grace: DEFAULT_AUDIT_GRACE
+            })
+        );
+        s.validate();
+        // budget:grace spelled out, compatible with an attestation TTL.
+        let s = args(&["run", "--audit", "6:8", "--t", "0.1", "--attest-ttl", "20"])
+            .unwrap()
+            .scenario()
+            .unwrap();
+        assert_eq!(
+            s.audit,
+            Some(AuditConfig {
+                budget: 6,
+                grace: 8
+            })
+        );
+        s.validate();
+        // Gating: no trusted tier, a trusted-incapable protocol, an
+        // attestation TTL shorter than the grace window, and malformed
+        // or zero-valued specs are all CLI errors, not library asserts.
+        for extra in [
+            vec!["--audit", "4", "--t", "0"],
+            vec!["--audit", "4", "--protocol", "basalt"],
+            vec!["--audit", "4", "--protocol", "brahms"],
+            vec!["--audit", "6:8", "--t", "0.1", "--attest-ttl", "5"],
+            vec!["--audit", "0", "--t", "0.1"],
+            vec!["--audit", "4:0", "--t", "0.1"],
+            vec!["--audit", "many", "--t", "0.1"],
+        ] {
+            let mut v = vec!["run"];
+            v.extend_from_slice(&extra);
+            let err = args(&v).unwrap().scenario().unwrap_err();
+            assert!(
+                matches!(err, CliError::BadValue { ref key, .. } if key == "audit"),
+                "{extra:?} must be rejected, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn audit_run_reports_audit_metrics() {
+        let a = args(&[
+            "run", "--n", "80", "--rounds", "30", "--view", "10", "--t", "0.1", "--audit", "4",
+        ])
+        .unwrap();
+        let out = execute(&a).unwrap();
+        assert!(out.contains("audit (budget 4, grace 10):"), "{out}");
+        assert!(out.contains("false accusations 0.0"), "{out}");
+        // Audit-off runs stay silent about the challenger.
+        let a = args(&["run", "--n", "80", "--rounds", "30", "--view", "10"]).unwrap();
+        let out = execute(&a).unwrap();
+        assert!(!out.contains("audit ("), "{out}");
     }
 
     #[test]

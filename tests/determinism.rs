@@ -18,9 +18,9 @@
 //!    dependence into results.
 
 use raptee_sim::{
-    runner, AttackStrategy, ChurnSchedule, DiscoveryMode, EventNetConfig, LatencyModel,
-    PartitionWindow, Protocol, Reachability, RejoinPolicy, RetryConfig, RunResult, Scenario,
-    SegmentSpec, Simulation,
+    runner, AttackStrategy, AuditConfig, ChurnSchedule, DiscoveryMode, EventNetConfig,
+    LatencyModel, PartitionWindow, Protocol, Reachability, RejoinPolicy, RetryConfig, RunResult,
+    Scenario, SegmentSpec, Simulation,
 };
 
 /// A compact, bit-exact fingerprint of a [`RunResult`].
@@ -210,6 +210,21 @@ fn event_churn_recovery_scenario() -> Scenario {
 fn trusted_expiry_scenario() -> Scenario {
     let mut s = base(Protocol::Raptee);
     s.attest_ttl = 15;
+    s
+}
+
+/// Audit family (PR 9): the NAT-eclipse substrate with the verifiable
+/// audit layer switched on and gentle warm-rejoin churn — commitments,
+/// challenger sampling, conviction/quarantine and the churn interaction
+/// (re-commits after restarts) in one pinned run.
+fn audit_eclipse_scenario() -> Scenario {
+    let mut s = event_nat_eclipse_scenario();
+    s.audit = Some(AuditConfig {
+        budget: 4,
+        grace: 8,
+    });
+    s.churn = ChurnSchedule::steady(0.01, 0.4);
+    s.churn.rejoin = RejoinPolicy::Warm;
     s
 }
 
@@ -490,7 +505,7 @@ fn single_run_identical_across_intra_run_thread_counts() {
     // override) must produce bit-identical RunResults for all three
     // protocols and each attack type, including churn/loss/validation
     // and the deferred Byzantine pull-answer replay.
-    let scenarios: [(&str, Scenario); 13] = [
+    let scenarios: [(&str, Scenario); 14] = [
         ("brahms", base(Protocol::Brahms).brahms_baseline()),
         ("raptee", base(Protocol::Raptee)),
         ("basalt", base(Protocol::Brahms).basalt_variant(15)),
@@ -507,6 +522,7 @@ fn single_run_identical_across_intra_run_thread_counts() {
         ("event-nat-eclipse", event_nat_eclipse_scenario()),
         ("event-churn-recovery", event_churn_recovery_scenario()),
         ("trusted-expiry", trusted_expiry_scenario()),
+        ("audit-eclipse", audit_eclipse_scenario()),
     ];
     for (name, scenario) in scenarios {
         let serial = rayon::with_num_threads(1, || Simulation::new(scenario.clone()).run());
@@ -587,6 +603,7 @@ fn golden_event_churn_recovery() {
             in_flight_at_end: 1288,
             retries_issued: 35460,
             duplicates_suppressed: 35063,
+            nonce_evictions: 22527,
         }),
         "substrate counters diverged from the introduction commit"
     );
@@ -697,6 +714,7 @@ fn golden_event_latency() {
             in_flight_at_end: 859,
             retries_issued: 0,
             duplicates_suppressed: 0,
+            nonce_evictions: 24792,
         },
     );
 }
@@ -731,6 +749,7 @@ fn golden_event_partition() {
             in_flight_at_end: 46,
             retries_issued: 0,
             duplicates_suppressed: 0,
+            nonce_evictions: 2369,
         },
     );
 }
@@ -764,6 +783,7 @@ fn golden_event_nat_eclipse() {
             in_flight_at_end: 0,
             retries_issued: 0,
             duplicates_suppressed: 0,
+            nonce_evictions: 0,
         },
     );
     // The eclipse story the fingerprint encodes: the round-model raptee
@@ -773,4 +793,65 @@ fn golden_event_nat_eclipse() {
     let natted = f64::from_bits(0x3fe00554ecdfa5aa);
     let open = f64::from_bits(0x3fd942da9bc93fe8);
     assert!(natted > open + 0.05);
+}
+
+// Golden constants for the verifiable audit layer (PR 9), captured at
+// its introduction commit: the protocol fingerprint plus the full
+// AuditStats family — the challenger's observable surface.
+
+#[test]
+fn golden_audit_eclipse() {
+    assert_golden(
+        "audit-eclipse",
+        audit_eclipse_scenario(),
+        Fingerprint {
+            resilience_bits: 0x3fbdc9175d75ca2a,
+            series_hash: 0xfdeea7fe103682f7,
+            discovery: None,
+            mean_discovery_bits: None,
+            stability: Some(57),
+            spread_stability: None,
+            floods: 10,
+            evicted: 12407,
+            rotations: 0,
+        },
+    );
+    let r = Simulation::new(audit_eclipse_scenario()).run();
+    let a = r.audit.expect("the audit layer is on, stats must report");
+    let series_hash = a
+        .quarantine_series
+        .iter()
+        .fold(0u64, |acc, &v| acc.rotate_left(7) ^ u64::from(v));
+    assert_eq!(
+        (
+            a.audits_issued,
+            a.audits_answered,
+            a.cleared,
+            a.suspected,
+            a.convictions,
+            a.false_accusations,
+            a.detected_byzantine,
+            a.mean_detection_latency.map(f64::to_bits),
+            a.commitments_recorded,
+            a.chain_restarts,
+            a.quarantine_series.len(),
+            series_hash,
+        ),
+        (
+            231u64,
+            227u64,
+            216u64,
+            4u64,
+            11u64,
+            0u64,
+            11u64,
+            // ≈ 24.09 rounds from activity to conviction at budget 4.
+            Some(0x40381745d1745d17),
+            891u64,
+            0u64,
+            60usize,
+            0xd162244893257efb,
+        ),
+        "audit-eclipse: AuditStats diverged from the introduction commit"
+    );
 }
