@@ -43,7 +43,9 @@
 pub mod config;
 pub mod node;
 pub mod view;
+pub mod wlist;
 
 pub use config::BasaltConfig;
-pub use node::{BasaltNode, BasaltPlan, BasaltRoundReport, WlistReport};
+pub use node::{BasaltNode, BasaltPlan, BasaltRoundReport};
 pub use view::{BasaltView, Slot};
+pub use wlist::{WaitingList, WlistReport};

@@ -19,11 +19,11 @@
 
 use crate::config::BasaltConfig;
 use crate::view::BasaltView;
+use crate::wlist::{WaitingList, WlistReport};
 use raptee_crypto::SecretKey;
 use raptee_net::NodeId;
-use raptee_util::bitset::{IdSet, DENSE_ID_LIMIT};
+use raptee_util::bitset::IdSet;
 use raptee_util::rng::Xoshiro256StarStar;
-use std::collections::VecDeque;
 
 /// The send targets a node chose for the current round.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -42,24 +42,6 @@ pub struct BasaltRoundReport {
     pub rotated: usize,
     /// Rounds finalised so far (including this one).
     pub round: u64,
-}
-
-/// Outcome of one waiting-list drain (see [`BasaltNode::drain_wlist`]).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct WlistReport {
-    /// Hearsay candidates verified and admitted to the ranking.
-    pub admitted: usize,
-    /// Candidates dropped: TTL expired before verification, or the
-    /// verification contact failed (the candidate was unreachable).
-    pub dropped: usize,
-}
-
-/// One waiting-list entry: a hearsay candidate and the round at which
-/// its TTL expires.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct WlistEntry {
-    id: NodeId,
-    expires: u64,
 }
 
 /// A BASALT node: ranked hit-counter view + deterministic RNG.
@@ -96,9 +78,8 @@ pub struct BasaltNode {
     /// RAPTEE fast path.
     group_key: Option<SecretKey>,
     /// FIFO waiting list of hearsay candidates (enabled by
-    /// `config.wlist_ttl > 0`), plus a dense membership index.
-    wlist: VecDeque<WlistEntry>,
-    wlist_members: IdSet,
+    /// `config.wlist_ttl > 0`); see [`WaitingList`].
+    wlist: WaitingList,
     /// Reusable buffers for the per-round distinct-view / probe-order
     /// computations — planning, answering and rotating allocate nothing
     /// in steady state.
@@ -150,8 +131,7 @@ impl BasaltNode {
             rotations: 0,
             trusted: group_key.is_some(),
             group_key,
-            wlist: VecDeque::new(),
-            wlist_members: IdSet::new(),
+            wlist: WaitingList::new(config.wlist_ttl, config.wlist_probe),
             scratch_distinct: Vec::new(),
             scratch_seen: IdSet::new(),
             scratch_order: Vec::new(),
@@ -173,7 +153,6 @@ impl BasaltNode {
         view.observe_all(bootstrap.iter().copied());
         self.view = view;
         self.wlist.clear();
-        self.wlist_members = IdSet::new();
     }
 
     /// Warm rejoin after a crash–restart: the node resumes from its
@@ -184,7 +163,6 @@ impl BasaltNode {
     /// unverified. Returns the number of rotated slots.
     pub fn rejoin_warm(&mut self) -> usize {
         self.wlist.clear();
-        self.wlist_members = IdSet::new();
         self.view
             .distinct_into(&mut self.scratch_distinct, &mut self.scratch_seen);
         let indices = self.view.rotate(self.config.rotation_count);
@@ -296,7 +274,7 @@ impl BasaltNode {
             return;
         }
         for &id in ids {
-            self.enqueue_hearsay(id);
+            self.wlist.enqueue(self.id, id, self.rounds);
         }
     }
 
@@ -316,38 +294,8 @@ impl BasaltNode {
     /// view slots reset.
     pub fn quarantine(&mut self, id: NodeId) -> usize {
         let reset = self.view.evict(id);
-        if self.wlist.iter().any(|e| e.id == id) {
-            self.wlist.retain(|e| e.id != id);
-            self.forget_wlist_member(id);
-        }
+        self.wlist.purge(id);
         reset
-    }
-
-    /// Enqueues one hearsay candidate (deduplicated; own ID ignored).
-    fn enqueue_hearsay(&mut self, id: NodeId) {
-        if id == self.id {
-            return;
-        }
-        let idx = id.0 as usize;
-        let fresh = if idx < DENSE_ID_LIMIT {
-            self.wlist_members.insert(idx)
-        } else {
-            !self.wlist.iter().any(|e| e.id == id)
-        };
-        if !fresh {
-            return;
-        }
-        self.wlist.push_back(WlistEntry {
-            id,
-            expires: self.rounds + self.config.wlist_ttl as u64,
-        });
-    }
-
-    fn forget_wlist_member(&mut self, id: NodeId) {
-        let idx = id.0 as usize;
-        if idx < DENSE_ID_LIMIT {
-            self.wlist_members.remove(idx);
-        }
     }
 
     /// Verifies waiting-list candidates (oldest first): up to
@@ -356,32 +304,11 @@ impl BasaltNode {
     /// admitted to the ranking; unreachable ones are dropped (the probe
     /// is still spent). Entries whose TTL expired are discarded without
     /// consuming probe budget. No-op while the waiting list is disabled.
-    pub fn drain_wlist(&mut self, mut is_alive: impl FnMut(NodeId) -> bool) -> WlistReport {
-        let mut report = WlistReport::default();
-        if self.config.wlist_ttl == 0 {
-            return report;
-        }
-        let now = self.rounds;
-        let mut probes = 0;
-        while probes < self.config.wlist_probe {
-            let Some(entry) = self.wlist.front().copied() else {
-                break;
-            };
-            self.wlist.pop_front();
-            self.forget_wlist_member(entry.id);
-            if entry.expires <= now {
-                report.dropped += 1;
-                continue; // expired without a probe — free to discard
-            }
-            probes += 1;
-            if is_alive(entry.id) {
-                self.view.observe(entry.id);
-                report.admitted += 1;
-            } else {
-                report.dropped += 1;
-            }
-        }
-        report
+    pub fn drain_wlist(&mut self, is_alive: impl FnMut(NodeId) -> bool) -> WlistReport {
+        let view = &mut self.view;
+        self.wlist.drain(self.rounds, is_alive, |id| {
+            view.observe(id);
+        })
     }
 
     /// Finalises the round: when a rotation is due, rotates

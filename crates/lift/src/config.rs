@@ -1,0 +1,106 @@
+//! LIFT protocol parameters.
+
+/// Parameters of a LIFT node.
+///
+/// The defaults mirror the message budget of the Brahms/RAPTEE and
+/// BASALT scenarios so head-to-head comparisons spend the same
+/// bandwidth: `push_count` and `pull_count` are both `round(0.4·v)` —
+/// the `α·l1`/`β·l1` split `BrahmsConfig` uses at equal view sizes (and
+/// therefore the same per-identity rate-limiter budget).
+///
+/// # Examples
+///
+/// ```
+/// use raptee_lift::LiftConfig;
+/// let cfg = LiftConfig::for_view(20, 30);
+/// assert_eq!(cfg.view_size, 20);
+/// assert_eq!(cfg.push_count, 8);
+/// cfg.validate();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiftConfig {
+    /// Number of view slots `v`.
+    pub view_size: usize,
+    /// Rounds between hub-score fades (each fade halves every counter);
+    /// `0` disables fading, making scores monotone forever.
+    pub fade_interval: usize,
+    /// Push messages sent per round (own ID advertised to view peers).
+    pub push_count: usize,
+    /// Pull (exchange) requests sent per round, aimed at the
+    /// lowest-score — least hub-like — view members.
+    pub pull_count: usize,
+    /// Maximum tracked hub-score counters. Estimation state stays
+    /// bounded regardless of how many IDs gossip mentions: once full,
+    /// the coldest off-view counters are pruned.
+    pub score_capacity: usize,
+}
+
+impl LiftConfig {
+    /// Brahms-budget-parity configuration for a view of `view_size`
+    /// slots, fading hub scores every `fade_interval` rounds.
+    pub fn for_view(view_size: usize, fade_interval: usize) -> Self {
+        let fanout = ((0.4 * view_size as f64).round() as usize).max(1);
+        let cfg = Self {
+            view_size,
+            fade_interval,
+            push_count: fanout,
+            pull_count: fanout,
+            score_capacity: (view_size * 8).max(64),
+        };
+        cfg.validate();
+        cfg
+    }
+
+    /// Checks parameter consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any size is zero or the score table cannot hold the
+    /// view.
+    pub fn validate(&self) {
+        assert!(self.view_size > 0, "LIFT view size must be positive");
+        assert!(self.push_count > 0, "push count must be positive");
+        assert!(self.pull_count > 0, "pull count must be positive");
+        assert!(
+            self.score_capacity >= self.view_size,
+            "score capacity must cover the view"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_view_matches_brahms_budget() {
+        let cfg = LiftConfig::for_view(16, 30);
+        assert_eq!(cfg.push_count, 6); // round(0.4·16) = α·l1 at l1=16
+        assert_eq!(cfg.pull_count, 6);
+        assert_eq!(cfg.fade_interval, 30);
+        assert!(cfg.score_capacity >= 16);
+    }
+
+    #[test]
+    fn tiny_views_keep_positive_fanout() {
+        let cfg = LiftConfig::for_view(1, 0);
+        assert_eq!(cfg.push_count, 1);
+        assert_eq!(cfg.pull_count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "view size must be positive")]
+    fn zero_view_rejected() {
+        LiftConfig::for_view(0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "score capacity")]
+    fn undersized_score_table_rejected() {
+        LiftConfig {
+            score_capacity: 4,
+            ..LiftConfig::for_view(8, 0)
+        }
+        .validate();
+    }
+}

@@ -23,6 +23,8 @@
 //! crates (`raptee-brahms`, `raptee`) define their own message enums and
 //! this crate stays protocol-agnostic.
 
+#![warn(missing_docs)]
+
 pub mod channel;
 pub mod id;
 pub mod network;

@@ -472,6 +472,110 @@ impl Adversary {
     }
 }
 
+/// One arm's running statistics in the [`AdaptiveCoordinator`].
+#[derive(Debug, Clone, Copy, Default)]
+struct ArmStats {
+    /// Rounds this arm has been played.
+    pulls: u64,
+    /// Accumulated pollution yield (mean Byzantine view share of the
+    /// attacked segment, one observation per played round).
+    total_yield: f64,
+}
+
+/// The bandit scheduler behind `AdversaryMode::Adaptive`: a
+/// deterministic UCB1 policy over abstract arms (the engine maps each
+/// arm to one segment × attack-strategy pair), re-allocating the whole
+/// lawful per-round push budget to the arm with the best upper
+/// confidence bound on observed pollution yield.
+///
+/// Determinism: the coordinator consumes **no randomness** — arm choice
+/// is a pure function of the recorded pull counts and yields, with ties
+/// broken by lowest arm index. A scenario that never constructs the
+/// coordinator therefore draws exactly the same RNG streams as before
+/// it existed, keeping every static-adversary golden byte-identical.
+#[derive(Debug, Clone)]
+pub struct AdaptiveCoordinator {
+    arms: Vec<ArmStats>,
+    rounds: u64,
+}
+
+impl AdaptiveCoordinator {
+    /// A coordinator over `arm_count` arms (must be positive).
+    pub fn new(arm_count: usize) -> Self {
+        assert!(arm_count > 0, "the bandit needs at least one arm");
+        Self {
+            arms: vec![ArmStats::default(); arm_count],
+            rounds: 0,
+        }
+    }
+
+    /// Number of arms.
+    pub fn arm_count(&self) -> usize {
+        self.arms.len()
+    }
+
+    /// Rounds played so far (reward observations recorded).
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Times `arm` has been chosen.
+    pub fn pulls(&self, arm: usize) -> u64 {
+        self.arms[arm].pulls
+    }
+
+    /// Mean observed yield of `arm` (`0.0` before its first pull).
+    pub fn mean_yield(&self, arm: usize) -> f64 {
+        let a = &self.arms[arm];
+        if a.pulls == 0 {
+            0.0
+        } else {
+            a.total_yield / a.pulls as f64
+        }
+    }
+
+    /// The arm to play this round: each arm once in index order first
+    /// (the UCB1 warm-up), then the arm maximising
+    /// `mean + sqrt(2·ln(t) / pulls)`; ties break to the lowest index.
+    pub fn choose(&self) -> usize {
+        if let Some(cold) = self.arms.iter().position(|a| a.pulls == 0) {
+            return cold;
+        }
+        let t = self.rounds.max(1) as f64;
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for (i, a) in self.arms.iter().enumerate() {
+            let mean = a.total_yield / a.pulls as f64;
+            let score = mean + (2.0 * t.ln() / a.pulls as f64).sqrt();
+            if score > best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The per-arm budget allocation for this round: the entire lawful
+    /// `budget` goes to [`AdaptiveCoordinator::choose`]'s arm, every
+    /// other arm gets zero — so the allocation always sums exactly to
+    /// `budget` (the lawfulness invariant the property tests assert).
+    pub fn allocate(&self, budget: usize) -> Vec<usize> {
+        let mut out = vec![0usize; self.arms.len()];
+        out[self.choose()] = budget;
+        out
+    }
+
+    /// Records the observed pollution yield of playing `arm` this round
+    /// (the engine feeds the attacked segment's mean Byzantine view
+    /// share after the round's stats fold).
+    pub fn reward(&mut self, arm: usize, observed_yield: f64) {
+        let a = &mut self.arms[arm];
+        a.pulls += 1;
+        a.total_yield += observed_yield.clamp(0.0, 1.0);
+        self.rounds += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -714,5 +818,60 @@ mod tests {
         let mut a = adversary(10, 100);
         a.observe_pull_answer(NodeId(50), &[], |_| false);
         assert_eq!(a.observed_count(), 0);
+    }
+
+    #[test]
+    fn bandit_warms_up_in_index_order() {
+        let mut c = AdaptiveCoordinator::new(3);
+        for expect in 0..3 {
+            let arm = c.choose();
+            assert_eq!(arm, expect, "cold arms are explored in index order");
+            c.reward(arm, 0.1 * arm as f64);
+        }
+    }
+
+    #[test]
+    fn bandit_converges_on_the_best_arm() {
+        let mut c = AdaptiveCoordinator::new(4);
+        // Arm 2 yields double everyone else.
+        let yields = [0.1, 0.1, 0.3, 0.1];
+        let mut played = [0u64; 4];
+        for _ in 0..400 {
+            let arm = c.choose();
+            played[arm] += 1;
+            c.reward(arm, yields[arm]);
+        }
+        assert!(
+            played[2] > played[0] + played[1] + played[3],
+            "UCB1 must concentrate on the best arm: {played:?}"
+        );
+        assert!((c.mean_yield(2) - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandit_allocation_conserves_the_budget() {
+        let mut c = AdaptiveCoordinator::new(5);
+        for round in 0..50 {
+            let alloc = c.allocate(777);
+            assert_eq!(alloc.iter().sum::<usize>(), 777);
+            assert_eq!(alloc.iter().filter(|&&b| b > 0).count(), 1);
+            let arm = alloc.iter().position(|&b| b > 0).unwrap();
+            c.reward(arm, (round % 3) as f64 * 0.1);
+        }
+    }
+
+    #[test]
+    fn bandit_is_deterministic() {
+        let play = || {
+            let mut c = AdaptiveCoordinator::new(3);
+            let mut trace = Vec::new();
+            for round in 0..60u64 {
+                let arm = c.choose();
+                trace.push(arm);
+                c.reward(arm, ((round * 7 + arm as u64) % 10) as f64 / 10.0);
+            }
+            trace
+        };
+        assert_eq!(play(), play(), "identical inputs replay identically");
     }
 }

@@ -57,7 +57,7 @@
 //! nodes; that one phase stays sequential, while BASALT planning, push
 //! application and round finalisation shard like the Brahms path.
 
-use crate::adversary::{Adversary, PushPlan};
+use crate::adversary::{AdaptiveCoordinator, Adversary, PushPlan};
 use crate::audit::{AuditResponse, Challenger, Verdict};
 use crate::bitset::{Discovery, DiscoveryLane, EXACT_DISCOVERY_THRESHOLD};
 use crate::event::{EventNet, Lane as NetLane, PullGate};
@@ -65,12 +65,15 @@ use crate::metrics::{
     IdentificationResult, RecoveryStats, RunResult, SegmentResult, DISCOVERY_TARGET_SHARE,
     STABILITY_SPREAD,
 };
-use crate::scenario::{AttackStrategy, Protocol, RejoinPolicy, Scenario};
+use crate::ranked::{RankedCfg, RankedNode};
+use crate::scenario::{AdversaryMode, AttackStrategy, Protocol, RejoinPolicy, Scenario};
 use raptee::provisioning;
 use raptee::{RapteeConfig, RapteeNode};
 use raptee_basalt::{BasaltConfig, BasaltNode, BasaltPlan};
 use raptee_brahms::{BrahmsConfig, FinishScratch, RoundPlan};
 use raptee_crypto::auth::AuthOutcome;
+use raptee_honeybee::HoneybeeConfig;
+use raptee_lift::LiftConfig;
 use raptee_net::{IdInterner, NodeId, NodeIdx, PushRateLimiter};
 use raptee_tee::AttestationService;
 use raptee_util::rng::{mix64, Xoshiro256StarStar};
@@ -82,6 +85,19 @@ const SMOOTHING_WINDOW: usize = 10;
 /// hash stream (like the churn and audit-beacon streams), so enabling
 /// the directory refresh cannot shift any other stochastic stream.
 const TRUSTED_DIR_SALT: u64 = 0xD1EC_7027_7257_ED15;
+
+/// The candidate attacks the adaptive adversary's bandit arbitrates
+/// between, per segment: the Brahms-optimal balanced spread, the
+/// ranked-family coverage play, and a focused isolation attempt. The
+/// targeted parameters match the `ablation_gamma` study's setting.
+const ADAPTIVE_STRATEGIES: [AttackStrategy; 3] = [
+    AttackStrategy::Balanced,
+    AttackStrategy::ForcePush,
+    AttackStrategy::Targeted {
+        victim_fraction: 0.1,
+        focus: 0.75,
+    },
+];
 
 /// Maps a hash draw to a uniform in the open interval `(0, 1)` — the
 /// same mapping the event substrate uses, so churn draws share its
@@ -131,14 +147,18 @@ struct TrustTier {
 /// one contiguous per-protocol arena per segment.
 enum Population {
     Raptee(Vec<RapteeNode>),
-    Basalt(Vec<BasaltNode>),
+    Basalt(Vec<RankedNode>),
     Mixed(Vec<SegmentNodes>),
 }
 
-/// One segment's node arena of a mixed population.
+/// One segment's node arena of a mixed population. The `Basalt` variant
+/// carries the whole ranked family (BASALT, BASALT+TEE, LIFT, Honeybee)
+/// behind the [`RankedNode`] delegation surface; the name survives from
+/// when BASALT was its only member, and keeps the diff of every
+/// dispatch site minimal.
 enum SegmentNodes {
     Raptee(Vec<RapteeNode>),
-    Basalt(Vec<BasaltNode>),
+    Basalt(Vec<RankedNode>),
 }
 
 impl SegmentNodes {
@@ -170,7 +190,7 @@ struct SegMeta {
     start: usize,
     len: usize,
     fanout: usize,
-    basalt_cfg: Option<BasaltConfig>,
+    ranked_cfg: Option<RankedCfg>,
     victims: Vec<NodeId>,
 }
 
@@ -190,17 +210,17 @@ fn raptee_at<'a>(
 }
 
 /// Mutable access to the `ci`-th correct node, which must live in a
-/// BASALT-family segment.
+/// ranked-family segment.
 fn basalt_at<'a>(
     seg_nodes: &'a mut [SegmentNodes],
     segs: &[SegMeta],
     seg_of: &[u32],
     ci: usize,
-) -> &'a mut BasaltNode {
+) -> &'a mut RankedNode {
     let si = seg_of[ci] as usize;
     match &mut seg_nodes[si] {
         SegmentNodes::Basalt(v) => &mut v[ci - segs[si].start],
-        SegmentNodes::Raptee(_) => unreachable!("index {ci} is not in a BASALT-family segment"),
+        SegmentNodes::Raptee(_) => unreachable!("index {ci} is not in a ranked-family segment"),
     }
 }
 
@@ -601,6 +621,11 @@ pub struct Simulation {
     /// The audit challenger (`None` unless `Scenario::audit` is set) —
     /// merkle view commitments, beacon-driven challenges, quarantine.
     audit: Option<Challenger>,
+    /// The adaptive adversary's bandit scheduler (`None` unless
+    /// `Scenario::adversary_mode` is `Adaptive`) — arms are
+    /// segment × strategy pairs, re-allocated the whole lawful budget
+    /// each round by observed pollution yield. Consumes no RNG stream.
+    bandit: Option<AdaptiveCoordinator>,
     /// BASALT-family proactive trusted directory: absolute indices of
     /// live effective-trusted, non-quarantined actors, rebuilt every
     /// `Scenario::trusted_directory_refresh` rounds (empty while the
@@ -667,28 +692,46 @@ impl Simulation {
         let all_ids: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
         let byz_ids: Vec<NodeId> = (0..byz as u64).map(NodeId).collect();
 
-        // Under Protocol::Basalt the whole correct population runs the
-        // BASALT hit-counter protocol instead of Brahms/RAPTEE.
+        // Under a ranked-family protocol (BASALT, LIFT, Honeybee) the
+        // whole correct population runs that protocol's node type behind
+        // the RankedNode delegation surface instead of Brahms/RAPTEE.
         let basalt_config = match scenario.protocol {
             Protocol::Basalt {
                 view_size,
                 rotation_interval,
-            } => Some(BasaltConfig::for_view(view_size, rotation_interval)),
+            } => Some(RankedCfg::Basalt(BasaltConfig::for_view(
+                view_size,
+                rotation_interval,
+            ))),
+            Protocol::Lift {
+                view_size,
+                fade_interval,
+            } => Some(RankedCfg::Lift(LiftConfig::for_view(
+                view_size,
+                fade_interval,
+            ))),
+            Protocol::Honeybee {
+                view_size,
+                walk_length,
+            } => Some(RankedCfg::Honeybee(HoneybeeConfig::for_view(
+                view_size,
+                walk_length,
+            ))),
             _ => None,
         };
 
         // Byzantine actors are the identity prefix [0, byz) and carry no
         // state; the correct population is stored densely and unboxed.
         let mut raptee_nodes: Vec<RapteeNode> = Vec::new();
-        let mut basalt_nodes: Vec<BasaltNode> = Vec::new();
+        let mut basalt_nodes: Vec<RankedNode> = Vec::new();
         let mut trusted_flags = vec![false; total];
         #[allow(clippy::needless_range_loop)] // i is the node identity
         for i in byz..total {
             let id = NodeId(i as u64);
             let seed = rng.next_u64();
             if let Some(bcfg) = basalt_config {
-                let bootstrap = rng.sample(&all_ids, (bcfg.view_size + 2).min(all_ids.len()));
-                basalt_nodes.push(BasaltNode::new(id, bcfg, &bootstrap, seed));
+                let bootstrap = rng.sample(&all_ids, (bcfg.view_size() + 2).min(all_ids.len()));
+                basalt_nodes.push(RankedNode::new(id, &bcfg, &bootstrap, seed));
                 continue;
             }
             let is_trusted = i < byz + trusted_n;
@@ -745,19 +788,19 @@ impl Simulation {
             }
             Population::Basalt(nodes) => {
                 for (ci, node) in nodes.iter().enumerate() {
-                    seed_row(ci, &mut node.view().sample_ids().into_iter());
+                    seed_row(ci, &mut node.sample_ids().into_iter());
                 }
             }
             Population::Mixed(_) => unreachable!("mixed populations build via new_mixed"),
         }
         let discovery_target = (DISCOVERY_TARGET_SHARE * non_byz_total as f64).ceil() as usize;
 
-        // The per-identity push budget: Brahms' α·l1, or BASALT's
-        // equal-bandwidth push fanout.
-        let alpha_count = basalt_config.map_or(config.brahms.alpha_count(), |c| c.push_count);
+        // The per-identity push budget: Brahms' α·l1, or the ranked
+        // family's equal-bandwidth push fanout.
+        let alpha_count = basalt_config.map_or(config.brahms.alpha_count(), |c| c.push_count());
         // The adversary answers pulls with views matching the protocol
         // the correct population runs.
-        let answer_size = basalt_config.map_or(scenario.view_size, |c| c.view_size);
+        let answer_size = basalt_config.map_or(scenario.view_size, |c| c.view_size());
         let mut adversary = Adversary::new(byz_ids, total, answer_size, rng.next_u64());
         // Section VI-B: the adversary advertises its injected poisoned
         // trusted nodes so the system contacts them and the poison can
@@ -799,6 +842,7 @@ impl Simulation {
             recovery: None,
             trust: None,
             audit: None,
+            bandit: None,
             trusted_dir: Vec::new(),
             scenario,
         }
@@ -852,38 +896,60 @@ impl Simulation {
         let mut seg_nodes: Vec<SegmentNodes> = Vec::with_capacity(specs.len());
         let mut start = 0usize;
         for (si, (spec, &seg_trusted)) in specs.iter().zip(&trusted_counts).enumerate() {
-            let basalt_cfg = match spec.protocol {
+            let ranked_cfg = match spec.protocol {
                 Protocol::Basalt {
                     view_size,
                     rotation_interval,
-                } => Some(BasaltConfig::for_view(view_size, rotation_interval)),
+                } => Some(RankedCfg::Basalt(BasaltConfig::for_view(
+                    view_size,
+                    rotation_interval,
+                ))),
                 Protocol::BasaltTee {
                     view_size,
                     rotation_interval,
                     wlist_ttl,
-                } => Some(if wlist_ttl > 0 {
+                } => Some(RankedCfg::Basalt(if wlist_ttl > 0 {
                     BasaltConfig::with_wlist(view_size, rotation_interval, wlist_ttl)
                 } else {
                     BasaltConfig::for_view(view_size, rotation_interval)
-                }),
+                })),
+                Protocol::Lift {
+                    view_size,
+                    fade_interval,
+                } => Some(RankedCfg::Lift(LiftConfig::for_view(
+                    view_size,
+                    fade_interval,
+                ))),
+                Protocol::Honeybee {
+                    view_size,
+                    walk_length,
+                } => Some(RankedCfg::Honeybee(HoneybeeConfig::for_view(
+                    view_size,
+                    walk_length,
+                ))),
                 Protocol::Brahms | Protocol::Raptee => None,
             };
-            let nodes = if let Some(bcfg) = basalt_cfg {
+            let nodes = if let Some(rcfg) = ranked_cfg {
                 let mut v = Vec::with_capacity(spec.count);
                 for i in 0..spec.count {
                     let abs = byz + start + i;
                     let id = NodeId(abs as u64);
                     let seed = rng.next_u64();
-                    let bootstrap = rng.sample(&all_ids, (bcfg.view_size + 2).min(all_ids.len()));
+                    let bootstrap = rng.sample(&all_ids, (rcfg.view_size() + 2).min(all_ids.len()));
                     if i < seg_trusted {
                         trusted_flags[abs] = true;
                         let key = provisioning::certify_and_provision(
                             &mut attestation,
                             0x1000 + abs as u64,
                         );
-                        v.push(BasaltNode::new_trusted(id, bcfg, &bootstrap, seed, key));
+                        let RankedCfg::Basalt(bcfg) = rcfg else {
+                            unreachable!("only BASALT+TEE segments provision a trusted tier")
+                        };
+                        v.push(RankedNode::Basalt(BasaltNode::new_trusted(
+                            id, bcfg, &bootstrap, seed, key,
+                        )));
                     } else {
-                        v.push(BasaltNode::new(id, bcfg, &bootstrap, seed));
+                        v.push(RankedNode::new(id, &rcfg, &bootstrap, seed));
                     }
                 }
                 SegmentNodes::Basalt(v)
@@ -922,8 +988,8 @@ impl Simulation {
                 protocol: spec.protocol,
                 start,
                 len: spec.count,
-                fanout: basalt_cfg.map_or(config.brahms.alpha_count(), |c| c.push_count),
-                basalt_cfg,
+                fanout: ranked_cfg.map_or(config.brahms.alpha_count(), |c| c.push_count()),
+                ranked_cfg,
                 victims: (byz + start..byz + start + spec.count)
                     .map(|i| NodeId(i as u64))
                     .collect(),
@@ -952,7 +1018,7 @@ impl Simulation {
                     }
                     SegmentNodes::Basalt(v) => {
                         for (i, node) in v.iter().enumerate() {
-                            seed_row(seg.start + i, &mut node.view().sample_ids().into_iter());
+                            seed_row(seg.start + i, &mut node.sample_ids().into_iter());
                         }
                     }
                 }
@@ -966,7 +1032,7 @@ impl Simulation {
         let limiter_fanout = segs.iter().map(|x| x.fanout).max().unwrap_or(1);
         let answer_size = segs
             .iter()
-            .map(|x| x.basalt_cfg.map_or(scenario.view_size, |c| c.view_size))
+            .map(|x| x.ranked_cfg.map_or(scenario.view_size, |c| c.view_size()))
             .max()
             .unwrap_or(scenario.view_size);
         let adversary = Adversary::new(byz_ids, total, answer_size, rng.next_u64());
@@ -1006,6 +1072,7 @@ impl Simulation {
             recovery: None,
             trust: None,
             audit: None,
+            bandit: None,
             trusted_dir: Vec::new(),
             scenario,
         }
@@ -1057,6 +1124,16 @@ impl Simulation {
                 self.scenario.seed,
                 self.total_actors(),
                 self.byz_count,
+            ));
+        }
+        if self.scenario.adversary_mode == AdversaryMode::Adaptive {
+            // One arm per (segment, candidate strategy) pair; uniform
+            // populations count as a single segment. The coordinator is
+            // pure bookkeeping (no RNG), so static-mode runs — where it
+            // stays `None` — replay byte-identically.
+            let seg_count = self.segs.len().max(1);
+            self.bandit = Some(AdaptiveCoordinator::new(
+                seg_count * ADAPTIVE_STRATEGIES.len(),
             ));
         }
     }
@@ -1170,9 +1247,9 @@ impl Simulation {
         }
     }
 
-    /// Read access to a correct BASALT node (None for Byzantine actors
-    /// and for Brahms-family actors).
-    pub fn basalt(&self, id: NodeId) -> Option<&BasaltNode> {
+    /// Read access to a correct ranked-family node (None for Byzantine
+    /// actors and for Brahms-family actors).
+    pub fn ranked(&self, id: NodeId) -> Option<&RankedNode> {
         if id.index() < self.byz_count {
             return None;
         }
@@ -1188,6 +1265,24 @@ impl Simulation {
                 }
             }
         }
+    }
+
+    /// Read access to a correct BASALT node (None for Byzantine actors
+    /// and actors of any other family).
+    pub fn basalt(&self, id: NodeId) -> Option<&BasaltNode> {
+        self.ranked(id).and_then(RankedNode::as_basalt)
+    }
+
+    /// Read access to a correct LIFT node (None for Byzantine actors and
+    /// actors of any other family).
+    pub fn lift(&self, id: NodeId) -> Option<&raptee_lift::LiftNode> {
+        self.ranked(id).and_then(RankedNode::as_lift)
+    }
+
+    /// Read access to a correct Honeybee node (None for Byzantine actors
+    /// and actors of any other family).
+    pub fn honeybee(&self, id: NodeId) -> Option<&raptee_honeybee::HoneybeeNode> {
+        self.ranked(id).and_then(RankedNode::as_honeybee)
     }
 
     /// Executes the full run and returns the collected metrics.
@@ -1334,7 +1429,7 @@ impl Simulation {
             },
             Population::Basalt(nodes) => match rejoin {
                 RejoinPolicy::Cold => {
-                    let k = nodes[ci].config().view_size + 2;
+                    let k = nodes[ci].view_size() + 2;
                     let boot = bootstrap_of(churn_seed, k);
                     nodes[ci].rejoin_cold(&boot, cold_seed);
                 }
@@ -1357,7 +1452,7 @@ impl Simulation {
                     },
                     SegmentNodes::Basalt(nodes) => match rejoin {
                         RejoinPolicy::Cold => {
-                            let k = nodes[local].config().view_size + 2;
+                            let k = nodes[local].view_size() + 2;
                             let boot = bootstrap_of(churn_seed, k);
                             nodes[local].rejoin_cold(&boot, cold_seed);
                         }
@@ -1527,8 +1622,8 @@ impl Simulation {
         let id = NodeId(abs as u64);
         if let Some(node) = self.node(id) {
             out.extend(node.brahms().view().ids());
-        } else if let Some(node) = self.basalt(id) {
-            out.extend(node.view().sample_ids());
+        } else if let Some(node) = self.ranked(id) {
+            node.for_each_sample(|id| out.push(id));
         }
     }
 
@@ -1751,16 +1846,31 @@ impl Simulation {
         balanced: fn(&mut Adversary, &[NodeId], usize, &mut PushPlan),
         targeted: fn(&mut Adversary, &[NodeId], &[NodeId], usize, f64, &mut PushPlan),
         plan: &mut PushPlan,
-    ) {
+    ) -> Option<usize> {
+        // Adaptive mode: the bandit overrides the static strategy with
+        // its current-best arm (uniform populations are one segment, so
+        // the arm index encodes the strategy alone). The chosen arm is
+        // returned so the round can feed the observed yield back.
+        let (attack, arm) = match self.bandit.as_ref() {
+            Some(bandit) => {
+                let arm = bandit.choose();
+                (
+                    ADAPTIVE_STRATEGIES[arm % ADAPTIVE_STRATEGIES.len()],
+                    Some(arm),
+                )
+            }
+            None => (self.scenario.attack, None),
+        };
         Self::plan_attack(
             &mut self.adversary,
-            self.scenario.attack,
+            attack,
             &self.victims,
             budget,
             balanced,
             targeted,
             plan,
         );
+        arm
     }
 
     /// The strategy-dispatching body of [`Simulation::plan_adversary_pushes`],
@@ -1786,7 +1896,39 @@ impl Simulation {
                 let targets = &victims[..k.min(victims.len())];
                 targeted(adversary, victims, targets, budget, focus, plan);
             }
+            // The coverage play is family-independent: always the
+            // round-robin distinct-identity planner, whatever planners
+            // the victim family paired with Balanced/Targeted.
+            AttackStrategy::ForcePush => {
+                adversary.plan_force_pushes_into(victims, budget, plan);
+            }
         }
+    }
+
+    /// Feeds the adaptive bandit the observed pollution yield of the arm
+    /// it played this round: the mean Byzantine view share over the
+    /// attacked segment (whole population for uniform runs). No-op when
+    /// the adversary is static.
+    fn bandit_reward(&mut self, stats: &[RoundStat], arm: Option<usize>) {
+        let (Some(bandit), Some(arm)) = (self.bandit.as_mut(), arm) else {
+            return;
+        };
+        let (start, len) = if self.segs.is_empty() {
+            (0, stats.len())
+        } else {
+            let si = arm / ADAPTIVE_STRATEGIES.len();
+            (self.segs[si].start, self.segs[si].len)
+        };
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for st in &stats[start..(start + len).min(stats.len())] {
+            if st.participated && st.has_share {
+                sum += st.share;
+                count += 1;
+            }
+        }
+        let observed = if count == 0 { 0.0 } else { sum / count as f64 };
+        bandit.reward(arm, observed);
     }
 
     /// One Brahms/RAPTEE round (the paper's protocol loop).
@@ -1896,7 +2038,7 @@ impl Simulation {
         // pushes, saturating exactly its lawful budget B·α·l1 (every
         // push charged to a Byzantine identity).
         let budget = byz * alpha_count;
-        self.plan_adversary_pushes(
+        let bandit_arm = self.plan_adversary_pushes(
             budget,
             Adversary::plan_balanced_pushes_into,
             Adversary::plan_targeted_pushes_into,
@@ -2167,6 +2309,7 @@ impl Simulation {
         // Fold (sequential, node-index order — float accumulation order
         // is exactly the historical per-actor loop's).
         self.fold_round_stats(&s.stats);
+        self.bandit_reward(&s.stats, bandit_arm);
 
         if self.scenario.identification_attack {
             let flagged = self
@@ -2346,9 +2489,7 @@ impl Simulation {
         let total = self.total_actors();
         let byz = self.byz_count;
         let (pop, push_count) = match &self.population {
-            Population::Basalt(nodes) => {
-                (nodes.len(), nodes.first().map(|n| n.config().push_count))
-            }
+            Population::Basalt(nodes) => (nodes.len(), nodes.first().map(|n| n.push_count())),
             Population::Raptee(_) => unreachable!("Brahms/RAPTEE runs through raptee_round"),
             Population::Mixed(_) => unreachable!("mixed populations run through mixed_round"),
         };
@@ -2364,7 +2505,7 @@ impl Simulation {
             };
             let alive = &self.alive;
             struct Lane<'a> {
-                item: PlanItem<'a, BasaltNode>,
+                item: PlanItem<'a, RankedNode>,
                 plan: &'a mut BasaltPlan,
             }
             let mut lanes: Vec<Lane> = nodes
@@ -2422,7 +2563,7 @@ impl Simulation {
         // maximal identity coverage at exactly its lawful budget
         // B·push_count, every push charged to a Byzantine identity.
         let budget = byz * push_count;
-        self.plan_adversary_pushes(
+        let bandit_arm = self.plan_adversary_pushes(
             budget,
             Adversary::plan_force_pushes_into,
             Adversary::plan_targeted_force_pushes_into,
@@ -2458,7 +2599,7 @@ impl Simulation {
             let (sorted, counts) = (&sorted[..], &counts[..]);
             let (byz_sorted, byz_counts) = (&byz_sorted[..], &byz_counts[..]);
             struct Lane<'a> {
-                node: &'a mut BasaltNode,
+                node: &'a mut RankedNode,
                 disc: DiscoveryLane<'a>,
             }
             let mut lanes: Vec<Lane> = nodes
@@ -2535,7 +2676,7 @@ impl Simulation {
                 unreachable!()
             };
             let alive = &self.alive;
-            let mut items: Vec<FinishItem<BasaltNode>> = nodes
+            let mut items: Vec<FinishItem<RankedNode>> = nodes
                 .iter_mut()
                 .zip(s.stats.iter_mut())
                 .zip(self.discovery.rows_mut())
@@ -2553,18 +2694,23 @@ impl Simulation {
                     return;
                 }
                 it.stat.participated = true;
-                let report = it.node.finish_round();
-                it.stat.rotated = report.rotated as u32;
+                // Quarantine drain before finalisation: a no-op for
+                // BASALT/LIFT uniform configs (wlist disabled), live for
+                // Honeybee, whose verified walk endpoints pass the
+                // reachability probe here.
+                it.node
+                    .drain_wlist(|id| alive.get(id.index()).copied().unwrap_or(false));
+                it.stat.rotated = it.node.finish_round() as u32;
                 let mut len = 0usize;
                 let mut byz_in_view = 0usize;
-                for id in it.node.view().sample_iter() {
+                it.node.for_each_sample(|id| {
                     len += 1;
                     if id.index() < byz {
                         byz_in_view += 1;
                     } else if id.index() < total {
                         it.disc.insert(id.index());
                     }
-                }
+                });
                 it.stat.discovered = it.disc.count() as u32;
                 if len > 0 {
                     let share = byz_in_view as f64 / len as f64;
@@ -2574,9 +2720,10 @@ impl Simulation {
                 }
             });
         }
-        let _ = workers; // BASALT finalisation needs no per-worker arenas
+        let _ = workers; // ranked-family finalisation needs no per-worker arenas
 
         self.fold_round_stats(&s.stats);
+        self.bandit_reward(&s.stats, bandit_arm);
     }
 
     /// One BASALT pull exchange of the sequential phase: the responder's
@@ -2736,7 +2883,7 @@ impl Simulation {
                     }
                     SegmentNodes::Basalt(nodes) => {
                         struct Lane<'a> {
-                            item: PlanItem<'a, BasaltNode>,
+                            item: PlanItem<'a, RankedNode>,
                             plan: &'a mut BasaltPlan,
                         }
                         let mut lanes: Vec<Lane> = nodes
@@ -2777,7 +2924,7 @@ impl Simulation {
             let (plans, basalt_plans, live) = (&plans[..], &basalt_plans[..], &live[..]);
             let segs = &self.segs;
             let planned = segs.iter().flat_map(|seg| {
-                let basalt = seg.basalt_cfg.is_some();
+                let basalt = seg.ranked_cfg.is_some();
                 (seg.start..seg.start + seg.len)
                     .filter(move |&ci| live[ci])
                     .map(move |ci| {
@@ -2813,19 +2960,37 @@ impl Simulation {
         let limiter_fanout = self.segs.iter().map(|x| x.fanout).max().unwrap_or(1);
         let total_budget = byz * limiter_fanout;
         s.byz_plan.clear();
+        // Adaptive mode: instead of the static proportional split, the
+        // bandit concentrates the entire lawful budget on its chosen
+        // (segment, strategy) arm; every other segment gets zero this
+        // round. The arm is fed its observed yield after the fold.
+        let bandit_arm = self.bandit.as_ref().map(|b| b.choose());
         {
             let mut assigned = 0usize;
             for si in 0..self.segs.len() {
-                let budget = if si + 1 == self.segs.len() {
-                    total_budget - assigned
-                } else {
-                    total_budget * self.segs[si].len / pop
+                let (budget, attack) = match bandit_arm {
+                    Some(arm) => {
+                        let budget = if si == arm / ADAPTIVE_STRATEGIES.len() {
+                            total_budget
+                        } else {
+                            0
+                        };
+                        (budget, ADAPTIVE_STRATEGIES[arm % ADAPTIVE_STRATEGIES.len()])
+                    }
+                    None => {
+                        let budget = if si + 1 == self.segs.len() {
+                            total_budget - assigned
+                        } else {
+                            total_budget * self.segs[si].len / pop
+                        };
+                        (budget, self.scenario.attack)
+                    }
                 };
                 assigned += budget;
-                if self.segs[si].basalt_cfg.is_some() {
+                if self.segs[si].ranked_cfg.is_some() {
                     Self::plan_attack(
                         &mut self.adversary,
-                        self.scenario.attack,
+                        attack,
                         &self.segs[si].victims,
                         budget,
                         Adversary::plan_force_pushes_into,
@@ -2835,7 +3000,7 @@ impl Simulation {
                 } else {
                     Self::plan_attack(
                         &mut self.adversary,
-                        self.scenario.attack,
+                        attack,
                         &self.segs[si].victims,
                         budget,
                         Adversary::plan_balanced_pushes_into,
@@ -2882,7 +3047,7 @@ impl Simulation {
                 };
                 let start = seg.start;
                 struct Lane<'a> {
-                    node: &'a mut BasaltNode,
+                    node: &'a mut RankedNode,
                     disc: DiscoveryLane<'a>,
                 }
                 let mut lanes: Vec<Lane> = nodes
@@ -2922,7 +3087,7 @@ impl Simulation {
         let mut due_cursor = 0usize;
         for si in 0..self.segs.len() {
             let (start, len) = (self.segs[si].start, self.segs[si].len);
-            let is_basalt = self.segs[si].basalt_cfg.is_some();
+            let is_basalt = self.segs[si].ranked_cfg.is_some();
             for ci in start..start + len {
                 s.event_start[ci] = s.events.len() as u32;
                 while due_cursor < due.len() && due[due_cursor].ci as usize <= ci {
@@ -3049,7 +3214,7 @@ impl Simulation {
                 {
                     continue;
                 }
-                if self.segs[self.seg_of[ci] as usize].basalt_cfg.is_none() {
+                if self.segs[self.seg_of[ci] as usize].ranked_cfg.is_none() {
                     continue; // Raptee trusted nodes already ran phase 3b
                 }
                 let mut pick =
@@ -3062,7 +3227,7 @@ impl Simulation {
                 if partner_abs == abs
                     || !self.alive[partner_abs]
                     || !Self::effective_trusted_in(&self.trusted, self.trust.as_ref(), partner_abs)
-                    || self.segs[self.seg_of[pc] as usize].basalt_cfg.is_none()
+                    || self.segs[self.seg_of[pc] as usize].ranked_cfg.is_none()
                 {
                     continue;
                 }
@@ -3245,7 +3410,7 @@ impl Simulation {
                         });
                     }
                     SegmentNodes::Basalt(nodes) => {
-                        let mut items: Vec<FinishItem<BasaltNode>> = nodes
+                        let mut items: Vec<FinishItem<RankedNode>> = nodes
                             .iter_mut()
                             .zip(stats[start..start + seg.len].iter_mut())
                             .zip(self.discovery.rows_mut().skip(start).take(seg.len))
@@ -3266,18 +3431,17 @@ impl Simulation {
                             it.stat.participated = true;
                             it.node
                                 .drain_wlist(|id| alive.get(id.index()).copied().unwrap_or(false));
-                            let report = it.node.finish_round();
-                            it.stat.rotated = report.rotated as u32;
+                            it.stat.rotated = it.node.finish_round() as u32;
                             let mut len = 0usize;
                             let mut byz_in_view = 0usize;
-                            for id in it.node.view().sample_iter() {
+                            it.node.for_each_sample(|id| {
                                 len += 1;
                                 if id.index() < byz {
                                     byz_in_view += 1;
                                 } else if id.index() < total {
                                     it.disc.insert(id.index());
                                 }
-                            }
+                            });
                             it.stat.discovered = it.disc.count() as u32;
                             if len > 0 {
                                 let share = byz_in_view as f64 / len as f64;
@@ -3292,6 +3456,7 @@ impl Simulation {
         }
 
         self.fold_round_stats(&s.stats);
+        self.bandit_reward(&s.stats, bandit_arm);
     }
 
     /// One pull of the mixed sequential exchange pass for a
@@ -3373,7 +3538,7 @@ impl Simulation {
                 net.drop_pending_copies();
             }
         }
-        let target_basalt = self.segs[self.seg_of[tc] as usize].basalt_cfg.is_some();
+        let target_basalt = self.segs[self.seg_of[tc] as usize].ranked_cfg.is_some();
         let Population::Mixed(seg_nodes) = &mut self.population else {
             unreachable!()
         };
@@ -3528,7 +3693,7 @@ impl Simulation {
                 net.drop_pending_copies();
             }
         }
-        let target_basalt = self.segs[self.seg_of[tc] as usize].basalt_cfg.is_some();
+        let target_basalt = self.segs[self.seg_of[tc] as usize].ranked_cfg.is_some();
         let Population::Mixed(seg_nodes) = &mut self.population else {
             unreachable!()
         };

@@ -36,6 +36,15 @@
 //!   [`bitset::EXACT_DISCOVERY_THRESHOLD`] actors, mergeable HLL
 //!   cardinality sketches (256 B/node, ~6.5 % standard error) above,
 //!   selectable per scenario via [`scenario::DiscoveryMode`].
+//! * [`ranked`] — the ranked-family dispatch layer
+//!   ([`ranked::RankedNode`] / [`ranked::RankedCfg`]): a thin delegation
+//!   enum over the BASALT / LIFT / Honeybee nodes so one engine lane
+//!   (and the mixed-population loop) drives all three families.
+//! * [`audit`] — the verifiable audit layer: merkle-committed views,
+//!   beacon-sampled challenges, replay verification, conviction and
+//!   quarantine.
+
+#![warn(missing_docs)]
 
 pub mod adversary;
 pub mod audit;
@@ -43,18 +52,21 @@ pub mod bitset;
 pub mod engine;
 pub mod event;
 pub mod metrics;
+pub mod ranked;
 pub mod runner;
 pub mod scenario;
 
+pub use adversary::AdaptiveCoordinator;
 pub use audit::{AuditResponse, Beacon, Challenger, Verdict};
 pub use bitset::{Discovery, EXACT_DISCOVERY_THRESHOLD};
 pub use engine::Simulation;
 pub use event::{EventEngine, EventQueue};
 pub use metrics::{AuditStats, RecoveryStats};
 pub use metrics::{IdentificationResult, NetRunStats, RunResult, SegmentResult};
+pub use ranked::{RankedCfg, RankedNode};
 pub use runner::{run_repeated, run_scenario, AggregatedResult, SegmentAggregate};
 pub use scenario::{
-    AttackStrategy, AuditConfig, ChurnBurst, ChurnSchedule, DiscoveryMode, EventNetConfig,
-    LatencyModel, NetworkModel, PartitionWindow, Protocol, Reachability, RejoinPolicy, RetryConfig,
-    Scenario, SegmentSpec, DEFAULT_AUDIT_GRACE,
+    AdversaryMode, AttackStrategy, AuditConfig, ChurnBurst, ChurnSchedule, DiscoveryMode,
+    EventNetConfig, LatencyModel, NetworkModel, PartitionWindow, Protocol, Reachability,
+    RejoinPolicy, RetryConfig, Scenario, SegmentSpec, DEFAULT_AUDIT_GRACE,
 };

@@ -44,6 +44,28 @@ pub enum AttackStrategy {
         /// Fraction of the adversary's push budget aimed at them.
         focus: f64,
     },
+    /// Spread the budget evenly like [`AttackStrategy::Balanced`], but
+    /// advertise distinct Byzantine identities round-robin instead of
+    /// random draws — the coverage play that matters against ranked
+    /// (BASALT/LIFT) and walk-sampled (Honeybee) views, where repeating
+    /// an ID buys nothing. Against Brahms-family victims it degrades to
+    /// a balanced attack with a different identity schedule.
+    ForcePush,
+}
+
+/// How the adversary allocates its lawful budget across rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdversaryMode {
+    /// Run [`Scenario::attack`] unchanged every round (the evaluation
+    /// default; every committed golden uses it).
+    #[default]
+    Static,
+    /// Bandit-style adaptation: a deterministic UCB1 coordinator
+    /// re-allocates the whole lawful budget each round across
+    /// segment × strategy arms by observed per-round pollution yield
+    /// (mean Byzantine view share). Draws nothing from any RNG stream,
+    /// so switching it off leaves every existing run byte-identical.
+    Adaptive,
 }
 
 /// Which protocol a (sub-)population of correct nodes runs.
@@ -79,6 +101,31 @@ pub enum Protocol {
         /// degrades to plain BASALT semantics plus the trusted tier).
         wlist_ttl: usize,
     },
+    /// LIFT (see PAPERS.md): hub-score estimation over gossip exchanges
+    /// with score-weighted neighbour replacement — nodes track how often
+    /// each peer is advertised and probabilistically avoid hubs, so a
+    /// flooding adversary marks its own identities as hubs and prices
+    /// itself out of views. No trusted tier exists under this protocol.
+    Lift {
+        /// Number of view slots `v` (kept equal to
+        /// [`Scenario::view_size`] for budget-parity comparisons).
+        view_size: usize,
+        /// Rounds between score fades (halving); `0` is rejected — an
+        /// unfading score table grows without bound.
+        fade_interval: usize,
+    },
+    /// Honeybee (see PAPERS.md): verifiable random walks with
+    /// hash-committed transcripts (`raptee-crypto` SHA-256 chains);
+    /// verified walk endpoints pass through the shared BASALT
+    /// waiting-list quarantine before admission, and transcripts that
+    /// fail verification convict their responder. No trusted tier exists
+    /// under this protocol.
+    Honeybee {
+        /// Number of view slots `v`.
+        view_size: usize,
+        /// Hops per random walk.
+        walk_length: usize,
+    },
 }
 
 impl Protocol {
@@ -89,6 +136,8 @@ impl Protocol {
             Protocol::Raptee => "raptee",
             Protocol::Basalt { .. } => "basalt",
             Protocol::BasaltTee { .. } => "basalt-tee",
+            Protocol::Lift { .. } => "lift",
+            Protocol::Honeybee { .. } => "honeybee",
         }
     }
 
@@ -96,6 +145,20 @@ impl Protocol {
     /// Brahms/RAPTEE renewal family).
     pub fn is_basalt_family(&self) -> bool {
         matches!(self, Protocol::Basalt { .. } | Protocol::BasaltTee { .. })
+    }
+
+    /// Whether this protocol runs on the engine's ranked-family lane
+    /// (caller-owned plan/exchange/finish delegation through
+    /// [`crate::RankedNode`]): BASALT, BASALT+TEE, LIFT or Honeybee, as
+    /// opposed to the Brahms/RAPTEE view-renewal family.
+    pub fn is_ranked_family(&self) -> bool {
+        matches!(
+            self,
+            Protocol::Basalt { .. }
+                | Protocol::BasaltTee { .. }
+                | Protocol::Lift { .. }
+                | Protocol::Honeybee { .. }
+        )
     }
 
     /// Whether a trusted tier exists under this protocol.
@@ -380,28 +443,6 @@ impl ChurnSchedule {
     }
 }
 
-/// One experimental setup, mirroring the paper's Section V-B: "An
-/// experimental setup consists of selected proportions of Byzantine
-/// nodes, f, and trusted nodes, t, and a fixed Byzantine eviction rate."
-///
-/// # Examples
-///
-/// ```
-/// use raptee_sim::{Protocol, Scenario};
-/// use raptee::EvictionPolicy;
-///
-/// let s = Scenario {
-///     n: 500,
-///     byzantine_fraction: 0.1,
-///     trusted_fraction: 0.01,
-///     eviction: EvictionPolicy::adaptive(),
-///     protocol: Protocol::Raptee,
-///     ..Scenario::default()
-/// };
-/// s.validate();
-/// assert_eq!(s.byzantine_count(), 50);
-/// assert_eq!(s.trusted_count(), 5);
-/// ```
 /// Challenger configuration for the verifiable audit layer: every
 /// round the challenger draws `budget` targets from its dedicated
 /// randomness beacon, demands merkle openings of sampled view slots,
@@ -430,6 +471,28 @@ impl AuditConfig {
     }
 }
 
+/// One experimental setup, mirroring the paper's Section V-B: "An
+/// experimental setup consists of selected proportions of Byzantine
+/// nodes, f, and trusted nodes, t, and a fixed Byzantine eviction rate."
+///
+/// # Examples
+///
+/// ```
+/// use raptee_sim::{Protocol, Scenario};
+/// use raptee::EvictionPolicy;
+///
+/// let s = Scenario {
+///     n: 500,
+///     byzantine_fraction: 0.1,
+///     trusted_fraction: 0.01,
+///     eviction: EvictionPolicy::adaptive(),
+///     protocol: Protocol::Raptee,
+///     ..Scenario::default()
+/// };
+/// s.validate();
+/// assert_eq!(s.byzantine_count(), 50);
+/// assert_eq!(s.trusted_count(), 5);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Total number of (original) nodes `N`.
@@ -526,6 +589,12 @@ pub struct Scenario {
     pub tail_window: usize,
     /// Discovery-metric representation (exact bitsets vs HLL sketches).
     pub discovery: DiscoveryMode,
+    /// Adversary budget scheduling: [`AdversaryMode::Static`] (the
+    /// default) replays [`Scenario::attack`] every round;
+    /// [`AdversaryMode::Adaptive`] layers a deterministic UCB1 bandit
+    /// over segments × strategies, re-allocating the whole lawful budget
+    /// each round by observed pollution yield.
+    pub adversary_mode: AdversaryMode,
     /// Delivery substrate: lockstep rounds (default) or the
     /// discrete-event engine with latency, partitions and NAT-like
     /// reachability.
@@ -562,6 +631,7 @@ impl Default for Scenario {
             flood_slack_sigmas: 4.0,
             tail_window: 20,
             discovery: DiscoveryMode::Auto,
+            adversary_mode: AdversaryMode::Static,
             network: NetworkModel::Rounds,
             seed: 0x5A97EE,
         }
@@ -792,6 +862,39 @@ impl Scenario {
                     "real handshakes are wired for the uniform Brahms-family pull path"
                 );
             }
+            Protocol::Lift {
+                view_size,
+                fade_interval,
+            } => {
+                assert!(view_size > 0, "LIFT view size must be positive");
+                assert!(
+                    fade_interval > 0,
+                    "LIFT needs a positive fade interval (scores must decay)"
+                );
+                assert!(
+                    self.injected_poisoned_fraction == 0.0,
+                    "trusted-node injection needs a trusted tier (RAPTEE only)"
+                );
+                assert!(
+                    !self.identification_attack,
+                    "the identification attack targets trusted nodes (RAPTEE only)"
+                );
+            }
+            Protocol::Honeybee {
+                view_size,
+                walk_length,
+            } => {
+                assert!(view_size > 0, "Honeybee view size must be positive");
+                assert!(walk_length > 0, "Honeybee walk length must be positive");
+                assert!(
+                    self.injected_poisoned_fraction == 0.0,
+                    "trusted-node injection needs a trusted tier (RAPTEE only)"
+                );
+                assert!(
+                    !self.identification_attack,
+                    "the identification attack targets trusted nodes (RAPTEE only)"
+                );
+            }
         }
     }
 
@@ -1012,6 +1115,40 @@ impl Scenario {
             injected_poisoned_fraction: 0.0,
             identification_attack: false,
             real_crypto_handshakes: false,
+            population: Vec::new(),
+            ..self.clone()
+        }
+    }
+
+    /// A copy of this scenario switched to LIFT at the same view size
+    /// and workload: hub-score-weighted views with scores halved every
+    /// `fade_interval` rounds, no trusted tier.
+    pub fn lift_variant(&self, fade_interval: usize) -> Scenario {
+        Scenario {
+            protocol: Protocol::Lift {
+                view_size: self.view_size,
+                fade_interval,
+            },
+            trusted_fraction: 0.0,
+            injected_poisoned_fraction: 0.0,
+            identification_attack: false,
+            population: Vec::new(),
+            ..self.clone()
+        }
+    }
+
+    /// A copy of this scenario switched to Honeybee at the same view
+    /// size and workload: verifiable `walk_length`-hop random walks with
+    /// quarantined endpoint admission, no trusted tier.
+    pub fn honeybee_variant(&self, walk_length: usize) -> Scenario {
+        Scenario {
+            protocol: Protocol::Honeybee {
+                view_size: self.view_size,
+                walk_length,
+            },
+            trusted_fraction: 0.0,
+            injected_poisoned_fraction: 0.0,
+            identification_attack: false,
             population: Vec::new(),
             ..self.clone()
         }

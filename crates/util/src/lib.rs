@@ -36,6 +36,8 @@
 //! assert_ne!(a, b);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bitset;
 pub mod chi;
 pub mod hist;

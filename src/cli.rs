@@ -16,9 +16,9 @@
 use raptee::EvictionPolicy;
 use raptee_bench::Scale;
 use raptee_sim::{
-    runner, AuditConfig, ChurnBurst, ChurnSchedule, DiscoveryMode, EventNetConfig, LatencyModel,
-    NetworkModel, PartitionWindow, Protocol, Reachability, RejoinPolicy, RetryConfig, Scenario,
-    SegmentSpec, DEFAULT_AUDIT_GRACE,
+    runner, AdversaryMode, AttackStrategy, AuditConfig, ChurnBurst, ChurnSchedule, DiscoveryMode,
+    EventNetConfig, LatencyModel, NetworkModel, PartitionWindow, Protocol, Reachability,
+    RejoinPolicy, RetryConfig, Scenario, SegmentSpec, DEFAULT_AUDIT_GRACE,
 };
 use std::collections::BTreeMap;
 
@@ -138,11 +138,13 @@ impl Args {
     }
 
     /// Parses the `--protocol` option (`raptee` default, `brahms`,
-    /// `basalt`, or `basalt-tee`). The BASALT family reads `--rotation`
-    /// for its seed-rotation interval and runs `view_size` ranked slots;
-    /// the BASALT+TEE hybrid additionally reads `--wlist-ttl` (rounds of
-    /// hearsay quarantine, default 10) and takes its trusted tier from
-    /// `--t`.
+    /// `basalt`, `basalt-tee`, `lift`, or `honeybee`). The BASALT family
+    /// reads `--rotation` for its seed-rotation interval and runs
+    /// `view_size` ranked slots; the BASALT+TEE hybrid additionally
+    /// reads `--wlist-ttl` (rounds of hearsay quarantine, default 10)
+    /// and takes its trusted tier from `--t`. LIFT reads `--fade`
+    /// (hub-score fade interval, default 20) and Honeybee reads
+    /// `--walk-length` (random-walk hop budget, default 5).
     ///
     /// # Errors
     ///
@@ -170,6 +172,14 @@ impl Args {
                 view_size,
                 rotation_interval: self.get("rotation", 30usize)?,
                 wlist_ttl: self.get("wlist-ttl", 10usize)?,
+            }),
+            "lift" => Ok(Protocol::Lift {
+                view_size,
+                fade_interval: self.get("fade", 20usize)?,
+            }),
+            "honeybee" => Ok(Protocol::Honeybee {
+                view_size,
+                walk_length: self.get("walk-length", 5usize)?,
             }),
             v => Err(CliError::BadValue {
                 key: "protocol".into(),
@@ -555,6 +565,50 @@ impl Args {
             .collect()
     }
 
+    /// Parses `--attack` (`balanced` default, `force-push`, or
+    /// `targeted:fraction,focus` — e.g. `targeted:0.1,0.75`): the
+    /// adversary's static push strategy.
+    fn attack(&self) -> Result<AttackStrategy, CliError> {
+        let Some(spec) = self.options.get("attack") else {
+            return Ok(AttackStrategy::Balanced);
+        };
+        let bad = || CliError::BadValue {
+            key: "attack".into(),
+            value: spec.clone(),
+        };
+        match spec.as_str() {
+            "balanced" => Ok(AttackStrategy::Balanced),
+            "force-push" => Ok(AttackStrategy::ForcePush),
+            s => {
+                let params = s.strip_prefix("targeted:").ok_or_else(bad)?;
+                let (fraction, focus) = params.split_once(',').ok_or_else(bad)?;
+                let victim_fraction: f64 = fraction.trim().parse().map_err(|_| bad())?;
+                let focus: f64 = focus.trim().parse().map_err(|_| bad())?;
+                if !(0.0..=1.0).contains(&victim_fraction) || !(0.0..=1.0).contains(&focus) {
+                    return Err(bad());
+                }
+                Ok(AttackStrategy::Targeted {
+                    victim_fraction,
+                    focus,
+                })
+            }
+        }
+    }
+
+    /// Parses `--adversary` (`static` default or `adaptive`): whether
+    /// the adversary plays `--attack` every round or lets the UCB bandit
+    /// coordinator re-aim the budget by observed pollution yield.
+    fn adversary_mode(&self) -> Result<AdversaryMode, CliError> {
+        match self.options.get("adversary").map(String::as_str) {
+            None | Some("static") => Ok(AdversaryMode::Static),
+            Some("adaptive") => Ok(AdversaryMode::Adaptive),
+            Some(v) => Err(CliError::BadValue {
+                key: "adversary".into(),
+                value: v.into(),
+            }),
+        }
+    }
+
     /// Parses `--nat fraction[:ttl]`: the NAT-ted share of the correct
     /// population and the punched-hole TTL in rounds (default 3).
     fn reachability(&self) -> Result<Reachability, CliError> {
@@ -608,6 +662,8 @@ impl Args {
             rounds,
             tail_window: (rounds / 10).max(5),
             protocol: self.protocol(view)?,
+            attack: self.attack()?,
+            adversary_mode: self.adversary_mode()?,
             discovery: self.discovery()?,
             network: self.network()?,
             churn: self.churn()?,
@@ -674,9 +730,17 @@ COMMON OPTIONS:
     --seed <u64>       master seed
     --reps <usize>     repetitions                [default: 1]
     --eviction <p>     none | adaptive | 0.0..1.0 [default: adaptive]
-    --protocol <p>     raptee | brahms | basalt | basalt-tee [default: raptee]
+    --protocol <p>     raptee | brahms | basalt | basalt-tee | lift |
+                       honeybee                   [default: raptee]
     --rotation <usize> BASALT seed-rotation interval in rounds [default: 30]
     --wlist-ttl <usize> basalt-tee hearsay-quarantine TTL in rounds [default: 10]
+    --fade <usize>     LIFT hub-score fade interval in rounds [default: 20]
+    --walk-length <usize> Honeybee verified-walk hop budget [default: 5]
+    --attack <s>       balanced | force-push | targeted:fraction,focus —
+                       the adversary's static push strategy [default: balanced]
+    --adversary <m>    static | adaptive — adaptive re-aims the lawful
+                       budget each round with a UCB bandit over
+                       (segment, strategy) arms    [default: static]
     --population <s>   mixed population: comma-separated protocol:count or
                        protocol:share% entries over the correct nodes,
                        e.g. raptee:50%,basalt-tee:50% (overrides --protocol;
@@ -860,9 +924,9 @@ fn cmd_sweep(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// Rejects the BASALT family and mixed populations for the
-/// uniform-RAPTEE-only attack subcommands with the CLI's usual error
-/// path (rather than the library assert).
+/// Rejects the ranked families (BASALT/LIFT/Honeybee) and mixed
+/// populations for the uniform-RAPTEE-only attack subcommands with the
+/// CLI's usual error path (rather than the library assert).
 fn require_trusted_tier(scenario: &Scenario) -> Result<(), CliError> {
     if !scenario.population.is_empty() {
         return Err(CliError::BadValue {
@@ -870,7 +934,7 @@ fn require_trusted_tier(scenario: &Scenario) -> Result<(), CliError> {
             value: "mixed populations (this attack needs a uniform RAPTEE run)".into(),
         });
     }
-    if scenario.protocol.is_basalt_family() {
+    if scenario.protocol.is_ranked_family() {
         return Err(CliError::BadValue {
             key: "protocol".into(),
             value: format!(
@@ -1185,6 +1249,115 @@ mod tests {
         let out = execute(&a).unwrap();
         assert!(out.contains("resilience:"), "{out}");
         assert!(out.contains("t=10%"), "{out}");
+    }
+
+    #[test]
+    fn lift_protocol_parses_and_runs() {
+        let a = args(&["run", "--protocol", "lift", "--fade", "8"]).unwrap();
+        assert_eq!(
+            a.protocol(16).unwrap(),
+            Protocol::Lift {
+                view_size: 16,
+                fade_interval: 8
+            }
+        );
+        let a = args(&[
+            "run",
+            "--protocol",
+            "lift",
+            "--n",
+            "80",
+            "--rounds",
+            "20",
+            "--view",
+            "10",
+        ])
+        .unwrap();
+        let s = a.scenario().unwrap();
+        assert_eq!(s.trusted_count(), 0, "LIFT runs no trusted tier");
+        s.validate();
+        let out = execute(&a).unwrap();
+        assert!(out.contains("resilience:"), "{out}");
+    }
+
+    #[test]
+    fn honeybee_protocol_parses_and_runs() {
+        let a = args(&["run", "--protocol", "honeybee", "--walk-length", "4"]).unwrap();
+        assert_eq!(
+            a.protocol(16).unwrap(),
+            Protocol::Honeybee {
+                view_size: 16,
+                walk_length: 4
+            }
+        );
+        let a = args(&[
+            "run",
+            "--protocol",
+            "honeybee",
+            "--n",
+            "80",
+            "--rounds",
+            "20",
+            "--view",
+            "10",
+        ])
+        .unwrap();
+        let s = a.scenario().unwrap();
+        s.validate();
+        let out = execute(&a).unwrap();
+        assert!(out.contains("resilience:"), "{out}");
+    }
+
+    #[test]
+    fn attack_and_adversary_options_parse() {
+        let a = args(&["run", "--attack", "force-push"]).unwrap();
+        assert_eq!(a.scenario().unwrap().attack, AttackStrategy::ForcePush);
+        let a = args(&["run", "--attack", "targeted:0.1,0.75"]).unwrap();
+        assert_eq!(
+            a.scenario().unwrap().attack,
+            AttackStrategy::Targeted {
+                victim_fraction: 0.1,
+                focus: 0.75
+            }
+        );
+        let a = args(&["run", "--adversary", "adaptive"]).unwrap();
+        assert_eq!(
+            a.scenario().unwrap().adversary_mode,
+            AdversaryMode::Adaptive
+        );
+        // Defaults stay the historical static/balanced pair.
+        let a = args(&["run"]).unwrap();
+        let s = a.scenario().unwrap();
+        assert_eq!(s.attack, AttackStrategy::Balanced);
+        assert_eq!(s.adversary_mode, AdversaryMode::Static);
+        for bad in [
+            vec!["run", "--attack", "nuclear"],
+            vec!["run", "--attack", "targeted:2.0,0.5"],
+            vec!["run", "--adversary", "psychic"],
+        ] {
+            let a = args(&bad).unwrap();
+            assert!(a.scenario().is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn adaptive_adversary_runs_end_to_end() {
+        let a = args(&[
+            "run",
+            "--protocol",
+            "lift",
+            "--adversary",
+            "adaptive",
+            "--n",
+            "60",
+            "--rounds",
+            "15",
+            "--view",
+            "8",
+        ])
+        .unwrap();
+        let out = execute(&a).unwrap();
+        assert!(out.contains("resilience:"), "{out}");
     }
 
     #[test]

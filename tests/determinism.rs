@@ -18,9 +18,9 @@
 //!    dependence into results.
 
 use raptee_sim::{
-    runner, AttackStrategy, AuditConfig, ChurnSchedule, DiscoveryMode, EventNetConfig,
-    LatencyModel, PartitionWindow, Protocol, Reachability, RejoinPolicy, RetryConfig, RunResult,
-    Scenario, SegmentSpec, Simulation,
+    runner, AdversaryMode, AttackStrategy, AuditConfig, ChurnSchedule, DiscoveryMode,
+    EventNetConfig, LatencyModel, PartitionWindow, Protocol, Reachability, RejoinPolicy,
+    RetryConfig, RunResult, Scenario, SegmentSpec, Simulation,
 };
 
 /// A compact, bit-exact fingerprint of a [`RunResult`].
@@ -116,6 +116,33 @@ fn mixed_raptee_basalt_tee_scenario() -> Scenario {
     );
     s.churn = ChurnSchedule::one_shot(0.1, 25);
     s.sampler_validation_period = 5;
+    s
+}
+
+/// LIFT under loss: hub-score-weighted replacement on the ranked
+/// engine lane, pinned with the same workload knobs as the BASALT
+/// golden so family-level drift is easy to spot.
+fn lift_scenario() -> Scenario {
+    let mut s = base(Protocol::Brahms).lift_variant(15);
+    s.message_loss = 0.05;
+    s
+}
+
+/// Honeybee under loss: verifiable random walks (live waiting-list
+/// quarantine on the endpoints) on the same workload.
+fn honeybee_scenario() -> Scenario {
+    let mut s = base(Protocol::Brahms).honeybee_variant(4);
+    s.message_loss = 0.05;
+    s
+}
+
+/// The adaptive adversary on the two-family mixed population: the UCB
+/// coordinator re-aims the lawful budget across (segment, strategy)
+/// arms each round. Pinned so the bandit's deterministic choice
+/// sequence is part of the golden surface.
+fn adaptive_mixed_scenario() -> Scenario {
+    let mut s = mixed_brahms_basalt_scenario();
+    s.adversary_mode = AdversaryMode::Adaptive;
     s
 }
 
@@ -420,6 +447,80 @@ fn golden_sketch_raptee() {
     );
 }
 
+// Golden constants for the LIFT / Honeybee protocol families and the
+// adaptive adversary (this PR), captured at their introduction commit.
+// The pre-existing goldens above are untouched by construction: with
+// `AdversaryMode::Static` and a non-ranked or BASALT protocol the new
+// code paths consume zero RNG draws.
+
+#[test]
+fn golden_lift() {
+    assert_golden(
+        "lift",
+        lift_scenario(),
+        Fingerprint {
+            resilience_bits: 4588185012371869861,
+            series_hash: 8344924728755860859,
+            discovery: Some(4),
+            mean_discovery_bits: Some(4612898595231693904),
+            stability: Some(9),
+            spread_stability: Some(9),
+            floods: 0,
+            evicted: 0,
+            rotations: 0,
+        },
+    );
+}
+
+#[test]
+fn golden_honeybee() {
+    assert_golden(
+        "honeybee",
+        honeybee_scenario(),
+        Fingerprint {
+            resilience_bits: 4595063843802712798,
+            series_hash: 1628966297862320722,
+            discovery: Some(8),
+            mean_discovery_bits: Some(4614639924362755912),
+            stability: Some(15),
+            spread_stability: None,
+            floods: 0,
+            evicted: 0,
+            rotations: 0,
+        },
+    );
+}
+
+#[test]
+fn golden_adaptive_mixed() {
+    assert_golden(
+        "adaptive-mixed",
+        adaptive_mixed_scenario(),
+        Fingerprint {
+            resilience_bits: 4596544877487963725,
+            series_hash: 9871653851333298584,
+            discovery: None,
+            mean_discovery_bits: Some(4627340315227848702),
+            stability: Some(1),
+            spread_stability: None,
+            floods: 9,
+            evicted: 0,
+            rotations: 268,
+        },
+    );
+    // The adaptive coordinator must *move the needle* relative to the
+    // same mixed population under the static balanced split — its whole
+    // point is concentrating the budget where pollution sticks.
+    let adaptive = Simulation::new(adaptive_mixed_scenario()).run();
+    let static_run = Simulation::new(mixed_brahms_basalt_scenario()).run();
+    assert!(
+        adaptive.resilience > static_run.resilience,
+        "adaptive ({}) must out-pollute the static proportional split ({})",
+        adaptive.resilience,
+        static_run.resilience
+    );
+}
+
 #[test]
 fn sketch_mode_only_moves_discovery_metrics() {
     // Sketches replace the discovery counters and nothing else, so
@@ -457,10 +558,12 @@ fn mixed_single_segment_population_matches_uniform_engine() {
     // be *bit-identical* to the uniform single-protocol path — same RNG
     // draw order end to end, for every protocol family and under
     // churn/loss/validation.
-    let scenarios: [(&str, Scenario); 4] = [
+    let scenarios: [(&str, Scenario); 6] = [
         ("brahms", base(Protocol::Brahms).brahms_baseline()),
         ("raptee", base(Protocol::Raptee)),
         ("basalt", base(Protocol::Brahms).basalt_variant(15)),
+        ("lift", lift_scenario()),
+        ("honeybee", honeybee_scenario()),
         ("raptee-churn", {
             let mut s = churn_scenario();
             // Mixed mode forbids the identification attack; everything
@@ -505,12 +608,15 @@ fn single_run_identical_across_intra_run_thread_counts() {
     // override) must produce bit-identical RunResults for all three
     // protocols and each attack type, including churn/loss/validation
     // and the deferred Byzantine pull-answer replay.
-    let scenarios: [(&str, Scenario); 14] = [
+    let scenarios: [(&str, Scenario); 17] = [
         ("brahms", base(Protocol::Brahms).brahms_baseline()),
         ("raptee", base(Protocol::Raptee)),
         ("basalt", base(Protocol::Brahms).basalt_variant(15)),
+        ("lift", lift_scenario()),
+        ("honeybee", honeybee_scenario()),
         ("raptee-churn", churn_scenario()),
         ("basalt-targeted", basalt_targeted_scenario()),
+        ("adaptive-mixed", adaptive_mixed_scenario()),
         ("mixed-brahms-basalt", mixed_brahms_basalt_scenario()),
         (
             "mixed-raptee-basalt-tee",

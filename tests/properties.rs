@@ -11,7 +11,10 @@ use raptee_crypto::auth::AuthOutcome;
 use raptee_crypto::SecretKey;
 use raptee_net::{NodeId, SecureChannel};
 use raptee_sim::event::{EventNet, PullGate};
-use raptee_sim::{Discovery, EventNetConfig, LatencyModel, NetworkModel, RetryConfig, Scenario};
+use raptee_sim::{
+    AdaptiveCoordinator, Discovery, EventNetConfig, LatencyModel, NetworkModel, RetryConfig,
+    Scenario,
+};
 
 fn config(view: usize, eviction: EvictionPolicy) -> RapteeConfig {
     RapteeConfig {
@@ -252,5 +255,26 @@ proptest! {
         let ct = tx.seal_from_initiator(&msg.encode());
         let decoded = Message::decode(&rx.open_from_initiator(&ct)).unwrap();
         prop_assert_eq!(decoded, msg);
+    }
+
+    /// The adaptive adversary never mints budget: whatever reward
+    /// sequence the bandit observes, each round's per-arm allocation
+    /// sums to exactly the lawful budget it was handed.
+    #[test]
+    fn adaptive_allocations_conserve_the_budget(
+        arm_count in 1usize..12,
+        budget in 0usize..10_000,
+        rewards in proptest::collection::vec(0.0f64..1.5, 1..60),
+    ) {
+        let mut bandit = AdaptiveCoordinator::new(arm_count);
+        for reward in rewards {
+            let allocation = bandit.allocate(budget);
+            prop_assert_eq!(allocation.len(), arm_count);
+            prop_assert_eq!(allocation.iter().sum::<usize>(), budget);
+            let arm = bandit.choose();
+            prop_assert_eq!(allocation[arm], budget,
+                "the whole budget rides the chosen arm");
+            bandit.reward(arm, reward);
+        }
     }
 }
